@@ -1,0 +1,127 @@
+// Command evprof regenerates the paper's event-graph figures: it runs
+// the video player workload under instrumentation, builds the event
+// graph (Fig. 5), reduces it by a threshold (Fig. 6), and prints edges,
+// event paths and chains — optionally as Graphviz DOT.
+//
+// It can also analyze a previously saved trace file (-trace), decoupling
+// profiling runs from analysis as in the paper's off-line workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"eventopt/internal/bench"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+func main() {
+	var (
+		threshold = flag.Int("threshold", 300, "edge-weight threshold for the reduced graph (Fig. 6 used 300)")
+		dot       = flag.Bool("dot", false, "emit Graphviz DOT after each table")
+		traceFile = flag.String("trace", "", "analyze a saved trace file instead of running the video player")
+		saveTrace = flag.String("save", "", "write the generated trace to this file")
+		full      = flag.Bool("full", true, "print the full event graph (Fig. 5)")
+		reduced   = flag.Bool("reduced", true, "print the reduced graph, paths and chains (Fig. 6)")
+		handlers  = flag.Bool("handlers", false, "print the handler graph of the hot pair (Fig. 8)")
+		binaryOut = flag.Bool("binary", false, "write -save traces in the compact binary format")
+	)
+	flag.Parse()
+
+	if *traceFile != "" {
+		analyzeFile(*traceFile, *threshold, *dot)
+		return
+	}
+
+	if *saveTrace != "" {
+		entries, _, err := bench.Fig5Workload()
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if *binaryOut {
+			err = trace.WriteBinary(f, entries)
+		} else {
+			_, err = trace.WriteEntries(f, entries)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d trace entries to %s\n", len(entries), *saveTrace)
+	}
+
+	if *full {
+		if _, err := bench.RunFig5(os.Stdout, *dot); err != nil {
+			fatal(err)
+		}
+	}
+	if *reduced {
+		if _, err := bench.RunFig6(os.Stdout, *threshold, *dot); err != nil {
+			fatal(err)
+		}
+	}
+	if *handlers {
+		if _, err := bench.RunFig8(os.Stdout, *dot); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func analyzeFile(path string, threshold int, dot bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	// Sniff the format: binary traces start with the EVTR magic.
+	var head [4]byte
+	n, _ := io.ReadFull(f, head[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		fatal(err)
+	}
+	var entries []trace.Entry
+	if n == 4 && string(head[:]) == "EVTR" {
+		entries, err = trace.ReadBinary(f)
+	} else {
+		entries, err = trace.Read(f)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	g := profile.BuildEventGraph(entries)
+	fmt.Printf("trace %s: %d entries, %d nodes, %d edges\n", path, len(entries), g.NumNodes(), g.NumEdges())
+	for _, e := range g.Edges() {
+		kind := "sync"
+		if !e.Sync() {
+			kind = "async"
+		}
+		fmt.Printf("  %-20s -> %-20s %6d [%s]\n", g.Name(e.From), g.Name(e.To), e.Weight, kind)
+	}
+	r := g.Reduce(threshold)
+	fmt.Printf("reduced (t=%d): %d nodes, %d edges\n", threshold, r.NumNodes(), r.NumEdges())
+	for _, p := range g.Paths(threshold, 32) {
+		fmt.Printf("  path: %s\n", p.String(g))
+	}
+	for _, c := range r.Chains() {
+		fmt.Printf("  chain: %s\n", c.String(r))
+	}
+	if dot {
+		if err := g.WriteDOT(os.Stdout, "trace"); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "evprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command hirdump makes the compiler side of the optimization visible:
+// it builds the video player, profiles it, and prints the HIR of a hot
+// event's handlers — each original body, the merged super-handler body,
+// and the merged body after the compiler passes (inlining, constant
+// propagation, CSE, peephole, DCE). With -full it prints the whole-chain
+// body with subsumed raises spliced in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventopt/internal/core"
+	"eventopt/internal/ctp"
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+	"eventopt/internal/video"
+)
+
+func main() {
+	var (
+		eventName = flag.String("event", "Seg2Net", "event whose handlers to dump")
+		full      = flag.Bool("full", false, "use full fusion (splice subsumed raises)")
+	)
+	flag.Parse()
+
+	p, err := video.NewPlayer(ctp.DefaultConfig(), 25, 900)
+	if err != nil {
+		fatal(err)
+	}
+	sys := p.Sender.Sys
+	ev := sys.Lookup(*eventName)
+	if ev == event.NoID {
+		fatal(fmt.Errorf("unknown event %q; try SegFromUser, Seg2Net, Adapt", *eventName))
+	}
+
+	fmt.Printf("=== original handler bodies of %s ===\n\n", *eventName)
+	before := 0
+	for _, h := range sys.Handlers(ev) {
+		body, ok := h.IR.(*hir.Function)
+		if !ok {
+			fmt.Printf("(%s: native handler, no HIR)\n\n", h.Name)
+			continue
+		}
+		before += body.NumInstrs()
+		fmt.Println(body.String())
+	}
+
+	opts := core.DefaultOptions()
+	if *full {
+		opts.FullFusion = true
+		opts.Partitioned = false
+	}
+	if _, err := p.Optimize(200, opts); err != nil {
+		fatal(err)
+	}
+	sh := sys.FastPath(ev)
+	if sh == nil {
+		fatal(fmt.Errorf("no super-handler installed on %s (not hot?)", *eventName))
+	}
+	for i := range sh.Segments {
+		seg := &sh.Segments[i]
+		body, ok := seg.FusedIR.(*hir.Function)
+		if !ok {
+			continue
+		}
+		fmt.Printf("=== fused + optimized: %s (segment %s) ===\n\n", seg.FusedName, seg.EventName)
+		fmt.Println(body.String())
+		fmt.Printf("instructions: %d original -> %d fused+optimized\n\n", before, body.NumInstrs())
+		if !*full {
+			break // per-segment mode: the entry segment is the story
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hirdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command paperbench regenerates the paper's entire evaluation section
+// in one run: the event graphs (Figs. 5-6), the video player tables
+// (Figs. 10-11), the SecComm table (Fig. 12), the X client table
+// (Fig. 13), the section 1 overhead-share claim and the section 4.2
+// code-size note. Use -quick for a fast pass with reduced iteration
+// counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventopt/internal/bench"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "reduced iteration counts")
+		overhead = flag.Bool("overhead", true, "include the overhead-share measurement")
+		codesize = flag.Bool("codesize", true, "include the code-size measurement")
+		dot      = flag.Bool("dot", false, "emit DOT for the graphs")
+	)
+	flag.Parse()
+
+	frames, iters, msgs, xiters, ohFrames := 400, 2000, 1000, 1000, 400
+	if *quick {
+		frames, iters, msgs, xiters, ohFrames = 120, 400, 200, 250, 150
+	}
+
+	step := func(name string, f func() error) {
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	step("fig5", func() error { _, err := bench.RunFig5(os.Stdout, *dot); return err })
+	step("fig6", func() error { _, err := bench.RunFig6(os.Stdout, 300, *dot); return err })
+	step("fig8", func() error { _, err := bench.RunFig8(os.Stdout, *dot); return err })
+	step("fig10", func() error { _, err := bench.RunFig10(os.Stdout, frames); return err })
+	step("fig11", func() error { _, err := bench.RunFig11(os.Stdout, iters); return err })
+	step("fig12", func() error { _, err := bench.RunFig12(os.Stdout, msgs); return err })
+	step("fig13", func() error { _, err := bench.RunFig13(os.Stdout, xiters); return err })
+	if *overhead {
+		step("overhead", func() error { _, err := bench.RunOverhead(os.Stdout, ohFrames); return err })
+	}
+	if *codesize {
+		step("codesize", func() error { return bench.RunCodeSize(os.Stdout) })
+	}
+}

@@ -1,0 +1,21 @@
+// Command seccomm regenerates Figure 12: time spent in the SecComm
+// secure-communication service's push and pop portions, before and after
+// profile-directed optimization, across packet sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventopt/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "messages per packet size (the paper used 1000)")
+	flag.Parse()
+	if _, err := bench.RunFig12(os.Stdout, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "seccomm:", err)
+		os.Exit(1)
+	}
+}

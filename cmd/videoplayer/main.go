@@ -1,0 +1,51 @@
+// Command videoplayer regenerates the paper's video player experiments:
+// Figure 10 (total and handler time across frame rates) and Figure 11
+// (per-event processing times for Adapt, SegFromUser and Seg2Net).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventopt/internal/bench"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "all", "which table to run: fig10, fig11, all")
+		frames = flag.Int("frames", 400, "frames per Fig. 10 measurement")
+		iters  = flag.Int("iters", 2000, "activations per Fig. 11 event")
+	)
+	flag.Parse()
+
+	switch *table {
+	case "fig10":
+		run10(*frames)
+	case "fig11":
+		run11(*iters)
+	case "all":
+		run10(*frames)
+		run11(*iters)
+	default:
+		fmt.Fprintf(os.Stderr, "videoplayer: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func run10(frames int) {
+	if _, err := bench.RunFig10(os.Stdout, frames); err != nil {
+		fatal(err)
+	}
+}
+
+func run11(iters int) {
+	if _, err := bench.RunFig11(os.Stdout, iters); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "videoplayer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Command xbench regenerates Figure 13: execution time of the X events
+// Scroll (gvim scrollbar) and Popup (xterm menu), original versus
+// optimized, on the simulated X Window system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eventopt/internal/bench"
+)
+
+func main() {
+	n := flag.Int("n", 250, "activations per event (the paper used 250)")
+	flag.Parse()
+	if _, err := bench.RunFig13(os.Stdout, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,171 @@
+// Package eventopt is a profile-directed optimizer for event-based
+// programs, reproducing "Profile-Directed Optimization of Event-Based
+// Programs" (Rajagopalan, Debray, Hiltunen, Schlichting; PLDI 2002).
+//
+// The package ties the pieces together behind one façade:
+//
+//   - an event runtime in the Cactus mold (events, handlers, dynamic
+//     bindings, synchronous/asynchronous/timed activation),
+//   - trace-based event and handler profiling (event graphs, reduced
+//     graphs, event paths and chains),
+//   - the optimizer: handler merging into super-handlers, event-chain
+//     subsumption, HIR fusion with compiler passes (inlining, constant
+//     propagation, CSE, DCE), installed behind binding-version guards
+//     with whole-chain or per-event (partitioned) fallback.
+//
+// Typical use:
+//
+//	app := eventopt.New()
+//	ev := app.Sys.Define("request")
+//	app.Sys.Bind(ev, "audit", auditHandler)
+//	app.Sys.Bind(ev, "serve", serveHandler)
+//
+//	app.StartProfiling()
+//	runRepresentativeWorkload(app)
+//	prof, _ := app.StopProfiling()
+//
+//	plan, handle, _ := app.Optimize(prof, eventopt.DefaultOptions())
+//	_ = plan // inspect with plan.Describe(app.Sys)
+//	// ... hot events now dispatch through super-handlers ...
+//	handle.Uninstall() // back to fully generic dispatch
+package eventopt
+
+import (
+	"errors"
+
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/hirrt"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// Re-exported types: the runtime, profile and optimizer vocabulary.
+type (
+	// System is the event runtime (registry + scheduler).
+	System = event.System
+	// Ctx is the per-activation handler context.
+	Ctx = event.Ctx
+	// HandlerFunc is the signature of event handlers.
+	HandlerFunc = event.HandlerFunc
+	// ID identifies an event.
+	ID = event.ID
+	// Arg is one named raise argument.
+	Arg = event.Arg
+	// Options configures the optimizer.
+	Options = core.Options
+	// Plan is the optimizer's chosen set of super-handlers.
+	Plan = core.Plan
+	// Installed is the handle over installed super-handlers.
+	Installed = core.Installed
+	// Profile is an analyzed event/handler profile.
+	Profile = profile.Profile
+	// Module groups the HIR execution context of one component.
+	Module = hirrt.Module
+)
+
+// BindOption configures a Bind call.
+type BindOption = event.BindOption
+
+// A builds a named argument (shorthand for raise calls).
+func A(name string, val any) Arg { return event.A(name, val) }
+
+// WithOrder sets a handler's execution order (lower runs first).
+func WithOrder(order int) BindOption { return event.WithOrder(order) }
+
+// WithParams declares the parameters a handler expects from the raise.
+func WithParams(names ...string) BindOption { return event.WithParams(names...) }
+
+// WithBindArgs attaches static bind-time arguments to the binding.
+func WithBindArgs(args ...Arg) BindOption { return event.WithBindArgs(args...) }
+
+// DefaultOptions enables the full optimization stack.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// SystemOption configures the runtime at construction.
+type SystemOption = event.Option
+
+// WithVirtualClock runs the app on a deterministic virtual clock (timed
+// events fire by advancing simulated time in Drain).
+func WithVirtualClock() SystemOption {
+	return event.WithClock(event.NewVirtualClock())
+}
+
+// App is one event-based application: a runtime plus its HIR module and
+// an optional live profiling session.
+type App struct {
+	Sys *System
+	Mod *Module
+
+	rec *trace.Recorder
+}
+
+// New creates an application with a fresh runtime.
+func New(opts ...SystemOption) *App {
+	sys := event.New(opts...)
+	return &App{Sys: sys, Mod: hirrt.NewModule(sys)}
+}
+
+// StartProfiling begins recording events and handler activity (the
+// paper's instrumented execution). It replaces any previous recording.
+func (a *App) StartProfiling() {
+	a.rec = trace.NewRecorder()
+	a.rec.EnableHandlerProfiling()
+	a.Sys.SetTracer(a.rec)
+}
+
+// ErrNotProfiling is returned by StopProfiling without StartProfiling.
+var ErrNotProfiling = errors.New("eventopt: StopProfiling without StartProfiling")
+
+// StopProfiling ends the recording and analyzes it into a Profile.
+func (a *App) StopProfiling() (*Profile, error) {
+	if a.rec == nil {
+		return nil, ErrNotProfiling
+	}
+	a.Sys.SetTracer(nil)
+	entries := a.rec.Entries()
+	a.rec = nil
+	return profile.Analyze(entries)
+}
+
+// Optimize plans super-handlers from a profile and installs them.
+func (a *App) Optimize(prof *Profile, opts Options) (*Plan, *Installed, error) {
+	return core.Apply(a.Sys, prof, a.Mod, opts)
+}
+
+// ProfileTwoPhase implements the paper's two-phase profiling workflow
+// (section 3.1): the workload first runs under event-level
+// instrumentation only; the event graph is reduced by threshold (0
+// selects an automatic tenth-of-max) to find the hot events; then the
+// workload runs again with handler-level instrumentation enabled for
+// exactly those events. The returned profile carries full handler detail
+// where it matters and stays small everywhere else. The workload must be
+// repeatable — the paper's programs were run "enough times to develop an
+// adequate profile".
+func (a *App) ProfileTwoPhase(workload func(), threshold int) (*Profile, error) {
+	// Phase 1: events only.
+	rec1 := trace.NewRecorder()
+	a.Sys.SetTracer(rec1)
+	workload()
+	a.Sys.SetTracer(nil)
+	p1, err := profile.Analyze(rec1.Entries())
+	if err != nil {
+		return nil, err
+	}
+	t := threshold
+	if t <= 0 {
+		t = core.AutoThreshold(p1.Graph)
+	}
+	hot := p1.Graph.Reduce(t).Nodes()
+	if len(hot) == 0 {
+		return p1, nil // nothing hot: the event-level profile is all there is
+	}
+
+	// Phase 2: handler instrumentation for the hot events only.
+	rec2 := trace.NewRecorder()
+	rec2.EnableHandlerProfiling(hot...)
+	a.Sys.SetTracer(rec2)
+	workload()
+	a.Sys.SetTracer(nil)
+	return profile.Analyze(rec2.Entries())
+}

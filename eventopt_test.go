@@ -1,0 +1,144 @@
+package eventopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadePipeline(t *testing.T) {
+	app := New()
+	req := app.Sys.Define("request")
+	log := app.Sys.Define("log")
+	var order []string
+	app.Sys.Bind(req, "audit", func(c *Ctx) {
+		order = append(order, "audit:"+c.Args.String("user"))
+	}, WithOrder(1))
+	app.Sys.Bind(req, "serve", func(c *Ctx) {
+		order = append(order, "serve")
+		c.Raise(log, A("line", "served"))
+	}, WithOrder(2))
+	app.Sys.Bind(log, "sink", func(c *Ctx) {
+		order = append(order, "log:"+c.Args.String("line"))
+	})
+
+	app.StartProfiling()
+	for i := 0; i < 40; i++ {
+		app.Sys.Raise(req, A("user", "u"))
+	}
+	prof, err := app.StopProfiling()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, handle, err := app.Optimize(prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) == 0 {
+		t.Fatal("empty plan")
+	}
+	if !strings.Contains(plan.Describe(app.Sys), "request") {
+		t.Errorf("plan: %s", plan.Describe(app.Sys))
+	}
+
+	order = nil
+	app.Sys.Stats().Reset()
+	app.Sys.Raise(req, A("user", "alice"))
+	want := []string{"audit:alice", "serve", "log:served"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if app.Sys.Stats().FastRuns.Load() != 1 {
+		t.Errorf("FastRuns = %d", app.Sys.Stats().FastRuns.Load())
+	}
+
+	handle.Uninstall()
+	app.Sys.Stats().Reset()
+	app.Sys.Raise(req, A("user", "bob"))
+	if app.Sys.Stats().FastRuns.Load() != 0 {
+		t.Error("fast path survived Uninstall")
+	}
+}
+
+func TestStopProfilingWithoutStart(t *testing.T) {
+	app := New()
+	if _, err := app.StopProfiling(); err != ErrNotProfiling {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWithVirtualClock(t *testing.T) {
+	app := New(WithVirtualClock())
+	ev := app.Sys.Define("tick")
+	n := 0
+	app.Sys.Bind(ev, "h", func(*Ctx) { n++ })
+	app.Sys.RaiseAfter(100, ev)
+	app.Sys.Drain()
+	if n != 1 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestProfileTwoPhase(t *testing.T) {
+	app := New()
+	hot := app.Sys.Define("hot")
+	cold := app.Sys.Define("cold")
+	app.Sys.Bind(hot, "h1", func(*Ctx) {}, WithOrder(1))
+	app.Sys.Bind(hot, "h2", func(*Ctx) {}, WithOrder(2))
+	app.Sys.Bind(cold, "c1", func(*Ctx) {})
+	workload := func() {
+		for i := 0; i < 100; i++ {
+			app.Sys.Raise(hot)
+		}
+		app.Sys.Raise(cold)
+	}
+	prof, err := app.ProfileTwoPhase(workload, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot event: full handler detail; cold event: events only.
+	if hs, ok := prof.StableHandlers(hot); !ok || len(hs) != 2 {
+		t.Errorf("hot handlers = %v, %v", hs, ok)
+	}
+	if _, ok := prof.StableHandlers(cold); ok {
+		t.Error("cold event should have no handler profile in phase 2")
+	}
+	if prof.Count(cold) == 0 {
+		t.Error("cold event missing from the event-level profile")
+	}
+	// The two-phase profile still drives the optimizer.
+	plan, _, err := app.Optimize(prof, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHot := false
+	for _, e := range plan.Entries {
+		if e.Event == hot {
+			foundHot = true
+		}
+		if e.Event == cold {
+			t.Error("cold event planned")
+		}
+	}
+	if !foundHot {
+		t.Errorf("hot event not planned:\n%s", plan.Describe(app.Sys))
+	}
+}
+
+func TestProfileTwoPhaseNothingHot(t *testing.T) {
+	app := New()
+	ev := app.Sys.Define("rare")
+	app.Sys.Bind(ev, "h", func(*Ctx) {})
+	prof, err := app.ProfileTwoPhase(func() { app.Sys.Raise(ev) }, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Count(ev) != 1 {
+		t.Errorf("count = %d", prof.Count(ev))
+	}
+}

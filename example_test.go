@@ -1,0 +1,103 @@
+package eventopt_test
+
+import (
+	"fmt"
+
+	"eventopt"
+)
+
+// The basic pipeline: bind handlers, profile a workload, optimize, and
+// observe that behavior is unchanged while dispatch goes through the
+// merged fast path.
+func Example() {
+	app := eventopt.New()
+	order := app.Sys.Define("order")
+	ship := app.Sys.Define("ship")
+
+	shipped := 0
+	app.Sys.Bind(order, "validate", func(c *eventopt.Ctx) {
+		if c.Args.Int("qty") <= 0 {
+			c.Halt()
+		}
+	}, eventopt.WithOrder(1), eventopt.WithParams("qty"))
+	app.Sys.Bind(order, "fulfill", func(c *eventopt.Ctx) {
+		c.Raise(ship, eventopt.A("qty", c.Args.Int("qty")))
+	}, eventopt.WithOrder(2))
+	app.Sys.Bind(ship, "carrier", func(c *eventopt.Ctx) {
+		shipped += c.Args.Int("qty")
+	})
+
+	app.StartProfiling()
+	for i := 0; i < 100; i++ {
+		app.Sys.Raise(order, eventopt.A("qty", 1))
+	}
+	prof, _ := app.StopProfiling()
+	plan, _, _ := app.Optimize(prof, eventopt.DefaultOptions())
+
+	shipped = 0
+	app.Sys.Raise(order, eventopt.A("qty", 3))
+	app.Sys.Raise(order, eventopt.A("qty", 0)) // halted by validate
+	fmt.Println("plan entries:", len(plan.Entries) > 0)
+	fmt.Println("shipped:", shipped)
+	// Output:
+	// plan entries: true
+	// shipped: 3
+}
+
+// Handlers bound to the same event run in their declared order; Halt
+// stops the remainder (the Cactus semantics).
+func ExampleCtx_Halt() {
+	app := eventopt.New()
+	ev := app.Sys.Define("request")
+	app.Sys.Bind(ev, "gate", func(c *eventopt.Ctx) {
+		fmt.Println("gate")
+		c.Halt()
+	}, eventopt.WithOrder(1))
+	app.Sys.Bind(ev, "work", func(*eventopt.Ctx) {
+		fmt.Println("work")
+	}, eventopt.WithOrder(2))
+	app.Sys.Raise(ev)
+	// Output:
+	// gate
+}
+
+// Timed events fire deterministically under a virtual clock.
+func ExampleWithVirtualClock() {
+	app := eventopt.New(eventopt.WithVirtualClock())
+	tick := app.Sys.Define("tick")
+	app.Sys.Bind(tick, "h", func(c *eventopt.Ctx) {
+		fmt.Println("tick at", app.Sys.Now())
+	})
+	app.Sys.RaiseAfter(250, tick)
+	app.Sys.RaiseAfter(100, tick)
+	app.Sys.Drain()
+	// Output:
+	// tick at 100ns
+	// tick at 250ns
+}
+
+// Two-phase profiling instruments handlers only on hot events, keeping
+// traces small (the paper's section 3.1 workflow).
+func ExampleApp_ProfileTwoPhase() {
+	app := eventopt.New()
+	hot := app.Sys.Define("hot")
+	cold := app.Sys.Define("cold")
+	app.Sys.Bind(hot, "h1", func(*eventopt.Ctx) {}, eventopt.WithOrder(1))
+	app.Sys.Bind(hot, "h2", func(*eventopt.Ctx) {}, eventopt.WithOrder(2))
+	app.Sys.Bind(cold, "c1", func(*eventopt.Ctx) {})
+
+	prof, _ := app.ProfileTwoPhase(func() {
+		for i := 0; i < 200; i++ {
+			app.Sys.Raise(hot)
+		}
+		app.Sys.Raise(cold)
+	}, 0)
+
+	_, hotProfiled := prof.StableHandlers(hot)
+	_, coldProfiled := prof.StableHandlers(cold)
+	fmt.Println("hot handlers profiled:", hotProfiled)
+	fmt.Println("cold handlers profiled:", coldProfiled)
+	// Output:
+	// hot handlers profiled: true
+	// cold handlers profiled: false
+}

@@ -1,0 +1,117 @@
+// Seccomm: the paper's configurable secure-communication service. Two
+// endpoints are composed from micro-protocols (DES privacy, XOR privacy,
+// keyed-MD5 integrity), wired back to back, profiled and optimized; a
+// tampered packet demonstrates that the optimized pop chain still
+// detects corruption and halts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"eventopt/internal/ciphers"
+	"eventopt/internal/core"
+	"eventopt/internal/profile"
+	"eventopt/internal/seccomm"
+	"eventopt/internal/trace"
+)
+
+func main() {
+	cfg := seccomm.Config{
+		DESKey: []byte("8bytekey"),
+		XORKey: []byte{0x5A, 0xA5, 0x3C},
+		MACKey: []byte("integrity-key"),
+		IV:     []byte("initvect"),
+	}
+	alice, bob, err := seccomm.Pair(cfg)
+	if err != nil {
+		panic(err)
+	}
+	var received [][]byte
+	bob.OnDeliver(func(m []byte) { received = append(received, append([]byte(nil), m...)) })
+
+	// Capture one wire packet for the demo.
+	var lastWire []byte
+	innerSend := func(p []byte) {
+		lastWire = append([]byte(nil), p...)
+		bob.HandlePacket(append([]byte(nil), p...))
+	}
+	alice.OnSend(innerSend)
+
+	// Profile and optimize both endpoints.
+	for _, e := range []*seccomm.Endpoint{alice, bob} {
+		rec := trace.NewRecorder()
+		rec.EnableHandlerProfiling()
+		e.Sys.SetTracer(rec)
+		for i := 0; i < 50; i++ {
+			alice.Push([]byte("profiling message"))
+		}
+		e.Sys.SetTracer(nil)
+		prof, err := profile.Analyze(rec.Entries())
+		if err != nil {
+			panic(err)
+		}
+		opts := core.DefaultOptions()
+		opts.MergeAll = true
+		if _, _, err := core.Apply(e.Sys, prof, e.Mod, opts); err != nil {
+			panic(err)
+		}
+	}
+	received = nil
+
+	msg := []byte("the eagle lands at dawn")
+	alice.Push(msg)
+	fmt.Printf("sent      : %q\n", msg)
+	fmt.Printf("wire bytes: %x...\n", lastWire[:16])
+	fmt.Printf("received  : %q\n", received[0])
+	if !bytes.Equal(received[0], msg) {
+		panic("round trip corrupted")
+	}
+	fmt.Printf("plaintext on the wire: %v\n", bytes.Contains(lastWire, msg[:8]))
+
+	// Tamper with a packet: integrity halts the optimized pop chain.
+	bad := append([]byte(nil), lastWire...)
+	bad[3] ^= 0xFF
+	before := len(received)
+	bob.HandlePacket(bad)
+	bob.Sys.Drain()
+	fmt.Printf("tampered packet delivered: %v, errors counted: %d\n",
+		len(received) != before, bob.Errors)
+	fmt.Printf("fast-path runs (bob): %d\n", bob.Sys.Stats().FastRuns.Load())
+
+	sessionDemo()
+}
+
+// sessionDemo shows the ClientKeyDistribution micro-protocol of paper
+// Fig. 2: the DES session key travels to the server under RSA; a data
+// packet arriving before the key raises the keyMiss event.
+func sessionDemo() {
+	fmt.Println("\n--- ClientKeyDistribution (openSession / keyMiss) ---")
+	key, err := ciphers.GenerateRSA(512, nil)
+	if err != nil {
+		panic(err)
+	}
+	cfg := seccomm.SessionConfig{MACKey: []byte("session-mac")}
+	srv, err := seccomm.NewServer(key, cfg)
+	if err != nil {
+		panic(err)
+	}
+	cli, err := seccomm.NewClient(key.Public(), cfg)
+	if err != nil {
+		panic(err)
+	}
+	cli.OnSend(func(p []byte) { srv.HandlePacket(append([]byte(nil), p...)) })
+
+	// Data before any session: the keyMiss event fires.
+	srv.HandlePacket([]byte{0x02, 0xDE, 0xAD})
+	fmt.Printf("keyMiss events before session: %d\n", srv.KeyMisses)
+
+	if err := cli.Open(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("sessions opened: %d\n", srv.Sessions)
+	var got []byte
+	srv.OnDeliver(func(m []byte) { got = append([]byte(nil), m...) })
+	cli.Push([]byte("over the fresh session key"))
+	fmt.Printf("server received: %q\n", got)
+}

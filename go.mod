@@ -1,0 +1,3 @@
+module eventopt
+
+go 1.22

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"eventopt/internal/core"
+	"eventopt/internal/ctp"
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+	"eventopt/internal/video"
+)
+
+// RunOverhead quantifies the section 1 claim that event-system
+// mechanisms "can account for up to 20% of the total execution time in
+// some scenarios": it drives the video player hot path and reports how
+// much of the original per-frame cost the optimized dispatch removes —
+// an upper bound on the machinery share — alongside the raw dispatch
+// counter deltas.
+func RunOverhead(w io.Writer, frames int) (float64, error) {
+	build := func(optimize bool) (*video.Player, error) {
+		p, err := video.NewPlayer(ctp.DefaultConfig(), 25, 900)
+		if err != nil {
+			return nil, err
+		}
+		if optimize {
+			if _, err := p.Optimize(200, core.DefaultOptions()); err != nil {
+				return nil, err
+			}
+		} else {
+			p.Run(50)
+		}
+		return p, nil
+	}
+	orig, err := build(false)
+	if err != nil {
+		return 0, err
+	}
+	opt, err := build(true)
+	if err != nil {
+		return 0, err
+	}
+	origRes := orig.Run(frames)
+	opt.Sender.Sys.Stats().Reset()
+	optRes := opt.Run(frames)
+	for round := 0; round < 5; round++ {
+		runtime.GC()
+		if r := orig.Run(frames); r.EventTime < origRes.EventTime {
+			origRes = r
+		}
+		runtime.GC()
+		if r := opt.Run(frames); r.EventTime < optRes.EventTime {
+			optRes = r
+		}
+	}
+
+	share := 0.0
+	if origRes.EventTime > 0 {
+		share = 1 - float64(optRes.EventTime)/float64(origRes.EventTime)
+	}
+	header(w, "Section 1: event-mechanism overhead share")
+	fmt.Fprintf(w, "event-path time, original : %v (%d frames)\n", origRes.EventTime, frames)
+	fmt.Fprintf(w, "event-path time, optimized: %v\n", optRes.EventTime)
+	fmt.Fprintf(w, "dispatch machinery removed: %.1f%% of event-path time\n", 100*share)
+	st := opt.Sender.Sys.Stats()
+	fmt.Fprintf(w, "optimized run counters: fast=%d fallbacks=%d generic=%d marshals=%d\n",
+		st.FastRuns.Load(), st.Fallbacks.Load(), st.Generic.Load(), st.Marshals.Load())
+	return share, nil
+}
+
+// CodeSize reports the section 4.2 code-growth measurement for one
+// optimized system: the paper counted objdump lines of the whole binary
+// (growth of 1.3% for the video player, 1.1% for SecComm, because the
+// original handler code is retained as the fallback path). Here the unit
+// is HIR instructions: Base counts all bound handler bodies, Added
+// counts the fused super-handler bodies installed next to them.
+type CodeSize struct {
+	Base  int
+	Added int
+}
+
+// Growth is the relative code growth (Added over Base+Added program).
+func (c CodeSize) Growth() float64 {
+	if c.Base == 0 {
+		return 0
+	}
+	return float64(c.Added) / float64(c.Base)
+}
+
+// MeasureCodeSize walks a system's bindings and fast paths.
+func MeasureCodeSize(sys *event.System) CodeSize {
+	var cs CodeSize
+	for _, ev := range sys.EventIDs() {
+		for _, h := range sys.Handlers(ev) {
+			if body, ok := h.IR.(*hir.Function); ok {
+				cs.Base += body.NumInstrs()
+			}
+		}
+		if sh := sys.FastPath(ev); sh != nil {
+			for i := range sh.Segments {
+				if body, ok := sh.Segments[i].FusedIR.(*hir.Function); ok {
+					cs.Added += body.NumInstrs()
+				}
+			}
+		}
+	}
+	return cs
+}
+
+// RunCodeSize regenerates the code-size note for the video player and
+// SecComm configurations.
+func RunCodeSize(w io.Writer) error {
+	header(w, "Section 4.2: code size effect of optimization (HIR instructions)")
+
+	p, err := video.NewPlayer(ctp.DefaultConfig(), 25, 900)
+	if err != nil {
+		return err
+	}
+	if _, err := p.Optimize(200, core.DefaultOptions()); err != nil {
+		return err
+	}
+	cs := MeasureCodeSize(p.Sender.Sys)
+	fmt.Fprintf(w, "video player: %5d handler instrs + %4d fused (merged copies) = +%.1f%% of handler code\n",
+		cs.Base, cs.Added, 100*cs.Growth())
+
+	a, _, err := secCommPair(true)
+	if err != nil {
+		return err
+	}
+	cs = MeasureCodeSize(a.Sys)
+	fmt.Fprintf(w, "seccomm:      %5d handler instrs + %4d fused (merged copies) = +%.1f%% of handler code\n",
+		cs.Base, cs.Added, 100*cs.Growth())
+	fmt.Fprintln(w, "note: the paper's 1.3%/1.1% are relative to whole binaries; handler code")
+	fmt.Fprintln(w, "is a small fraction of a real program, so growth relative to handler code")
+	fmt.Fprintln(w, "is the comparable honest unit here.")
+	return nil
+}

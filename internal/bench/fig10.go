@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"eventopt/internal/core"
+	"eventopt/internal/ctp"
+	"eventopt/internal/video"
+)
+
+// Fig10Row is one frame-rate row of the video player table.
+type Fig10Row struct {
+	Rate                    int
+	OrigTotal, OptTotal     time.Duration
+	OrigHandler, OptHandler time.Duration
+}
+
+// calibrateDecode times the synthetic per-frame decode loop in
+// isolation (best of several passes), so the Fig. 10 totals can use a
+// deterministic decode model instead of a noisy per-run measurement.
+func calibrateDecode(work int) time.Duration {
+	sink := int64(1)
+	best := time.Duration(0)
+	for p := 0; p < 20; p++ {
+		t0 := time.Now()
+		acc := sink
+		for j := 0; j < work; j++ {
+			acc = acc*1664525 + 1013904223
+		}
+		sink = acc
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	if sink == 42 {
+		fmt.Fprint(io.Discard, sink) // defeat dead-code elimination
+	}
+	return best
+}
+
+// RunFig10 regenerates Figure 10: total execution time and event-handler
+// time for the video player at frame rates 10/15/20/25, original versus
+// optimized. frames is the number of frames per measurement (the paper
+// played a fixed clip; ~400 frames keeps the run under a second).
+//
+// Pacing model: each frame costs a fixed, separately calibrated decode
+// time plus the measured event-path time; the real-time budget per frame
+// is set so that the highest frame rate is just compute bound — below
+// it, idle time absorbs the savings (the paper's explanation for the
+// 97% -> 89% progression).
+func RunFig10(w io.Writer, frames int) ([]Fig10Row, error) {
+	rates := []int{10, 15, 20, 25}
+	const decodeWork = 20000
+	decodeCost := calibrateDecode(decodeWork)
+
+	build := func(rate int, optimize bool) (*video.Player, error) {
+		p, err := video.NewPlayer(ctp.DefaultConfig(), rate, 900)
+		if err != nil {
+			return nil, err
+		}
+		if optimize {
+			if _, err := p.Optimize(200, core.DefaultOptions()); err != nil {
+				return nil, err
+			}
+		}
+		p.Run(frames / 4) // warmup
+		return p, nil
+	}
+
+	// bestEvent interleaves rounds and keeps each side's best event time:
+	// robust against machine-load drift during the sweep.
+	bestEvent := func(orig, opt *video.Player) (time.Duration, time.Duration) {
+		o := orig.Run(frames).EventTime
+		q := opt.Run(frames).EventTime
+		for round := 0; round < 4; round++ {
+			// A GC before each side keeps either from paying the other's
+			// collection debt mid-measurement.
+			runtime.GC()
+			if d := orig.Run(frames).EventTime; d < o {
+				o = d
+			}
+			runtime.GC()
+			if d := opt.Run(frames).EventTime; d < q {
+				q = d
+			}
+		}
+		return o, q
+	}
+
+	// Measure every rate first; anchor the pacing budget to the measured
+	// top-rate original so that the two highest rates are compute bound
+	// and the lower rates idle (the paper's regime).
+	type pairT struct{ orig, opt time.Duration }
+	events := make(map[int]pairT, len(rates))
+	for _, rate := range rates {
+		orig, err := build(rate, false)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := build(rate, true)
+		if err != nil {
+			return nil, err
+		}
+		o, q := bestEvent(orig, opt)
+		events[rate] = pairT{orig: o, opt: q}
+	}
+
+	topRate := rates[len(rates)-1]
+	decodeTotal := decodeCost * time.Duration(frames)
+	topBusy := events[topRate].orig + decodeTotal
+	total := func(eventTime, budget time.Duration) time.Duration {
+		busy := eventTime + decodeTotal
+		if budget > busy {
+			return budget
+		}
+		return busy
+	}
+
+	header(w, fmt.Sprintf("Figure 10: video player optimization results (%d frames)", frames))
+	fmt.Fprintf(w, "%-6s %14s %14s %7s %16s %16s %7s\n",
+		"rate", "total orig", "total opt", "(%)", "handler orig", "handler opt", "(%)")
+	var rows []Fig10Row
+	for _, rate := range rates {
+		// Budget: 75% of the top-rate busy time at the top rate, scaled
+		// by 1/rate. The two highest rates land over budget (compute
+		// bound), the lower rates under it (idle absorbs savings).
+		budget := topBusy * 75 / 100 * time.Duration(topRate) / time.Duration(rate)
+
+		origEvent, optEvent := events[rate].orig, events[rate].opt
+		row := Fig10Row{
+			Rate:        rate,
+			OrigTotal:   total(origEvent, budget),
+			OptTotal:    total(optEvent, budget),
+			OrigHandler: origEvent,
+			OptHandler:  optEvent,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-6d %14s %14s %7s %16s %16s %7s\n",
+			rate,
+			row.OrigTotal.Round(time.Microsecond), row.OptTotal.Round(time.Microsecond),
+			ratio(row.OrigTotal, row.OptTotal),
+			row.OrigHandler.Round(time.Microsecond), row.OptHandler.Round(time.Microsecond),
+			ratio(row.OrigHandler, row.OptHandler))
+	}
+	return rows, nil
+}
+
+// Fig11Row is one event row of the per-event processing-time table.
+type Fig11Row struct {
+	Event     string
+	Orig, Opt time.Duration
+}
+
+// RunFig11 regenerates Figure 11: per-activation processing time of the
+// three hot events (Adapt, SegFromUser, Seg2Net), original versus
+// optimized, iters activations each.
+func RunFig11(w io.Writer, iters int) ([]Fig11Row, error) {
+	build := func(optimize bool) (*video.Player, error) {
+		p, err := video.NewPlayer(ctp.DefaultConfig(), 25, 900)
+		if err != nil {
+			return nil, err
+		}
+		if optimize {
+			if _, err := p.Optimize(200, core.DefaultOptions()); err != nil {
+				return nil, err
+			}
+		} else {
+			p.Run(50) // comparable warmup to the profiling run
+		}
+		return p, nil
+	}
+	orig, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+
+	seg := make([]byte, 900)
+	drive := func(p *video.Player, name string) func() {
+		s := p.Sender
+		seq := s.Seq() + 1e6 // fresh sequence numbers, clear of protocol state
+		switch name {
+		case "Adapt":
+			return func() {
+				s.Sys.Raise(s.Ev.Adapt)
+				s.Sys.DrainFor(s.Sys.Now()) // due work only: clocks stay armed
+			}
+		case "SegFromUser":
+			i := 0
+			return func() {
+				s.Sys.Raise(s.Ev.SegFromUser, evA("seg", seg), evA("len", len(seg)))
+				// Acks and timers drain outside the common case so the
+				// measurement isolates the event chain, as the paper's
+				// per-event numbers do; the amortized drain keeps queues
+				// bounded and costs both variants equally.
+				if i++; i&63 == 0 {
+					s.Sys.DrainFor(s.Sys.Now() + s.Cfg.RTT + 1e6)
+				}
+			}
+		case "Seg2Net":
+			i := 0
+			return func() {
+				seq++
+				s.Sys.Raise(s.Ev.Seg2Net, evA("seg", seg), evA("seq", seq), evA("fec", 0))
+				if i++; i&63 == 0 {
+					s.Sys.DrainFor(s.Sys.Now() + s.Cfg.RTT + 1e6)
+				}
+			}
+		}
+		return nil
+	}
+
+	header(w, fmt.Sprintf("Figure 11: event processing times in the video player (%d activations)", iters))
+	fmt.Fprintf(w, "%-14s %12s %12s %10s\n", "event", "orig (us)", "opt (us)", "speedup %")
+	var rows []Fig11Row
+	for _, name := range []string{"Adapt", "SegFromUser", "Seg2Net"} {
+		to, tp := measurePair(iters, drive(orig, name), drive(opt, name))
+		rows = append(rows, Fig11Row{Event: name, Orig: to, Opt: tp})
+		speedup := "-"
+		if to > 0 {
+			speedup = fmt.Sprintf("%.1f", 100*(1-float64(tp)/float64(to)))
+		}
+		fmt.Fprintf(w, "%-14s %12s %12s %10s\n", name, us(to), us(tp), speedup)
+	}
+	return rows, nil
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eventopt/internal/core"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+	"eventopt/internal/xwin"
+)
+
+// Fig13Row is one X event row.
+type Fig13Row struct {
+	Event     string
+	Orig, Opt time.Duration
+}
+
+// optimizeXClient profiles a driver and installs the plan.
+func optimizeXClient(c *xwin.Client, drive func(int)) error {
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	c.Sys.SetTracer(rec)
+	drive(100)
+	c.Sys.SetTracer(nil)
+	prof, err := profile.Analyze(rec.Entries())
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.MergeAll = true
+	_, _, err2 := core.Apply(c.Sys, prof, c.Mod, opts)
+	return err2
+}
+
+// RunFig13 regenerates Figure 13: execution time of the X events Scroll
+// (gvim scrollbar motion: two action handlers plus their callbacks) and
+// Popup (xterm CTRL+button menu: two action handlers, the second
+// invoking two motion callbacks), original versus optimized. The paper
+// raised each event 250 times.
+func RunFig13(w io.Writer, iters int) ([]Fig13Row, error) {
+	// Scroll.
+	gOrig := xwin.NewGvim()
+	gOpt := xwin.NewGvim()
+	if err := optimizeXClient(gOpt.Client, func(n int) {
+		for i := 0; i < n; i++ {
+			gOpt.Scroll(i * 3 % 360)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	y1, y2 := 0, 0
+	scrollOrig, scrollOpt := measurePair(iters,
+		func() { y1 = (y1 + 7) % 360; gOrig.Scroll(y1) },
+		func() { y2 = (y2 + 7) % 360; gOpt.Scroll(y2) })
+
+	// Popup.
+	xOrig := xwin.NewXTerm()
+	xOpt := xwin.NewXTerm()
+	if err := optimizeXClient(xOpt.Client, func(n int) {
+		for i := 0; i < n; i++ {
+			xOpt.Popup(30, i%60)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	popupOrig, popupOpt := measurePair(iters,
+		func() { xOrig.Popup(30, 40) },
+		func() { xOpt.Popup(30, 40) })
+
+	// Keep display lists from growing unboundedly across measurements.
+	gOrig.Client.Display.Reset()
+	gOpt.Client.Display.Reset()
+	xOrig.Client.Display.Reset()
+	xOpt.Client.Display.Reset()
+
+	rows := []Fig13Row{
+		{Event: "Scroll", Orig: scrollOrig, Opt: scrollOpt},
+		{Event: "Popup", Orig: popupOrig, Opt: popupOpt},
+	}
+	header(w, fmt.Sprintf("Figure 13: optimization of X events (%d activations)", iters))
+	fmt.Fprintf(w, "%-8s %12s %12s %7s\n", "type", "orig (us)", "opt (us)", "(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %12s %12s %7s\n", r.Event, us(r.Orig), us(r.Opt), ratio(r.Orig, r.Opt))
+	}
+	return rows, nil
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"eventopt/internal/ctp"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+	"eventopt/internal/video"
+)
+
+// Fig5Workload runs the video player for roughly the paper's workload
+// (about 390 user messages with the controller and adaptation active)
+// and returns the trace together with the player (for name lookups).
+func Fig5Workload() ([]trace.Entry, *video.Player, error) {
+	cfg := ctp.DefaultConfig()
+	p, err := video.NewPlayer(cfg, 25, 900)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries := p.Trace(391)
+	return entries, p, nil
+}
+
+// RunFig5 regenerates the Fig. 5 event graph: it prints every edge with
+// its weight and sync/async classification, and optionally emits DOT.
+func RunFig5(w io.Writer, dot bool) (*profile.EventGraph, error) {
+	entries, _, err := Fig5Workload()
+	if err != nil {
+		return nil, err
+	}
+	g := profile.BuildEventGraph(entries)
+	header(w, "Figure 5: event graph generated from video player")
+	fmt.Fprintf(w, "%d nodes, %d edges, total weight %d\n", g.NumNodes(), g.NumEdges(), g.TotalWeight())
+	for _, e := range g.Edges() {
+		kind := "sync"
+		if !e.Sync() {
+			kind = "async"
+		}
+		fmt.Fprintf(w, "  %-18s -> %-18s %6d  [%s]\n", g.Name(e.From), g.Name(e.To), e.Weight, kind)
+	}
+	if dot {
+		fmt.Fprintln(w)
+		if err := g.WriteDOT(w, "fig5"); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// RunFig6 regenerates the Fig. 6 reduced event graph for a threshold
+// (the paper used 300) and prints the extracted event paths and chains.
+func RunFig6(w io.Writer, threshold int, dot bool) (*profile.EventGraph, error) {
+	entries, _, err := Fig5Workload()
+	if err != nil {
+		return nil, err
+	}
+	g := profile.BuildEventGraph(entries)
+	r := g.Reduce(threshold)
+	header(w, fmt.Sprintf("Figure 6: reduced event graph (threshold = %d)", threshold))
+	fmt.Fprintf(w, "%d nodes, %d edges survive\n", r.NumNodes(), r.NumEdges())
+	for _, e := range r.Edges() {
+		fmt.Fprintf(w, "  %-18s -> %-18s %6d\n", r.Name(e.From), r.Name(e.To), e.Weight)
+	}
+	fmt.Fprintln(w, "event paths:")
+	for _, p := range g.Paths(threshold, 32) {
+		fmt.Fprintf(w, "  %s (bottleneck %d)\n", p.String(g), g.MinWeight(p))
+	}
+	fmt.Fprintln(w, "event chains (unique synchronous successors):")
+	for _, c := range r.Chains() {
+		fmt.Fprintf(w, "  %s\n", c.String(r))
+	}
+	if dot {
+		fmt.Fprintln(w)
+		if err := r.WriteDOT(w, "fig6"); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// RunFig8 regenerates the Fig. 8 handler-graph view: handler-level
+// profiling of the SegFromUser/Seg2Net pair, showing the FEC-SFU1 ->
+// SeqSeg-SFU -> TDriver-SFU -> (PAU-S2N -> WFC-S2N -> FEC-S2N -> TD-S2N)
+// -> FEC-SFU2 nesting that justifies subsumption.
+func RunFig8(w io.Writer, dot bool) (*profile.HandlerGraph, error) {
+	cfg := ctp.DefaultConfig()
+	p, err := video.NewPlayer(cfg, 25, 900)
+	if err != nil {
+		return nil, err
+	}
+	sys := p.Sender.Sys
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling(sys.Lookup("SegFromUser"), sys.Lookup("Seg2Net"))
+	sys.SetTracer(rec)
+	p.Run(120)
+	sys.SetTracer(nil)
+
+	g := profile.BuildHandlerGraph(rec.Entries())
+	header(w, "Figure 8: handler graph of SegFromUser / Seg2Net (subsumption view)")
+	for _, e := range g.Edges() {
+		fmt.Fprintf(w, "  %-28s -> %-28s %6d\n", e.From, e.To, e.Weight)
+	}
+	if dot {
+		fmt.Fprintln(w)
+		if err := g.WriteDOT(w, "fig8"); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,107 @@
+package ciphers
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// MD5Size is the digest length in bytes.
+const MD5Size = 16
+
+// md5K is the RFC 1321 sine-derived constant table.
+var md5K [64]uint32
+
+// md5S is the per-round left-rotation table.
+var md5S = [64]uint32{
+	7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+	5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+	4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+	6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+}
+
+func init() {
+	for i := range md5K {
+		md5K[i] = uint32(math.Floor(math.Abs(math.Sin(float64(i+1))) * (1 << 32)))
+	}
+}
+
+// MD5 computes the MD5 digest of msg (RFC 1321), implemented from
+// scratch; the tests cross-check it against crypto/md5.
+func MD5(msg []byte) [MD5Size]byte {
+	a0, b0, c0, d0 := uint32(0x67452301), uint32(0xefcdab89), uint32(0x98badcfe), uint32(0x10325476)
+
+	// Padding: 0x80, zeros, 64-bit little-endian bit length.
+	bitLen := uint64(len(msg)) * 8
+	padded := make([]byte, 0, len(msg)+72)
+	padded = append(padded, msg...)
+	padded = append(padded, 0x80)
+	for len(padded)%64 != 56 {
+		padded = append(padded, 0)
+	}
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], bitLen)
+	padded = append(padded, lenb[:]...)
+
+	var m [16]uint32
+	for chunk := 0; chunk < len(padded); chunk += 64 {
+		for i := 0; i < 16; i++ {
+			m[i] = binary.LittleEndian.Uint32(padded[chunk+i*4:])
+		}
+		a, b, c, d := a0, b0, c0, d0
+		for i := 0; i < 64; i++ {
+			var f uint32
+			var g int
+			switch {
+			case i < 16:
+				f = (b & c) | (^b & d)
+				g = i
+			case i < 32:
+				f = (d & b) | (^d & c)
+				g = (5*i + 1) % 16
+			case i < 48:
+				f = b ^ c ^ d
+				g = (3*i + 5) % 16
+			default:
+				f = c ^ (b | ^d)
+				g = (7 * i) % 16
+			}
+			f += a + md5K[i] + m[g]
+			a, d, c = d, c, b
+			b += (f << md5S[i]) | (f >> (32 - md5S[i]))
+		}
+		a0 += a
+		b0 += b
+		c0 += c
+		d0 += d
+	}
+	var out [MD5Size]byte
+	binary.LittleEndian.PutUint32(out[0:], a0)
+	binary.LittleEndian.PutUint32(out[4:], b0)
+	binary.LittleEndian.PutUint32(out[8:], c0)
+	binary.LittleEndian.PutUint32(out[12:], d0)
+	return out
+}
+
+// KeyedMD5 is the envelope MAC used by the KeyedMD5Integrity
+// micro-protocol: MD5(key || msg || key). (The construction predates
+// HMAC; it matches the era of the paper's SecComm configuration.)
+func KeyedMD5(key, msg []byte) [MD5Size]byte {
+	buf := make([]byte, 0, len(key)*2+len(msg))
+	buf = append(buf, key...)
+	buf = append(buf, msg...)
+	buf = append(buf, key...)
+	return MD5(buf)
+}
+
+// VerifyKeyedMD5 checks a KeyedMD5 tag in constant time.
+func VerifyKeyedMD5(key, msg []byte, tag []byte) bool {
+	want := KeyedMD5(key, msg)
+	if len(tag) != MD5Size {
+		return false
+	}
+	var diff byte
+	for i := range want {
+		diff |= want[i] ^ tag[i]
+	}
+	return diff == 0
+}

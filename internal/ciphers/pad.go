@@ -1,0 +1,33 @@
+package ciphers
+
+import "fmt"
+
+// Pad appends PKCS#7-style padding up to a multiple of blockSize (which
+// must be in 1..255). A full extra block is added when the input is
+// already aligned, so padding is always removable.
+func Pad(msg []byte, blockSize int) []byte {
+	n := blockSize - len(msg)%blockSize
+	out := make([]byte, len(msg)+n)
+	copy(out, msg)
+	for i := len(msg); i < len(out); i++ {
+		out[i] = byte(n)
+	}
+	return out
+}
+
+// Unpad removes PKCS#7-style padding, validating it fully.
+func Unpad(msg []byte, blockSize int) ([]byte, error) {
+	if len(msg) == 0 || len(msg)%blockSize != 0 {
+		return nil, fmt.Errorf("ciphers: unpad: bad length %d", len(msg))
+	}
+	n := int(msg[len(msg)-1])
+	if n == 0 || n > blockSize || n > len(msg) {
+		return nil, fmt.Errorf("ciphers: unpad: bad pad byte %d", n)
+	}
+	for i := len(msg) - n; i < len(msg); i++ {
+		if int(msg[i]) != n {
+			return nil, fmt.Errorf("ciphers: unpad: corrupt padding")
+		}
+	}
+	return msg[:len(msg)-n], nil
+}

@@ -1,0 +1,200 @@
+package ciphers
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// RSAKey is a textbook RSA key pair (public exponent E and modulus N;
+// private exponent D present only in private keys). It backs the
+// RSAAuthenticity and ClientKeyDistribution micro-protocols of paper
+// Fig. 2. The implementation is deliberately from scratch over math/big:
+// generation, a random-padded encryption mode for key transport, and a
+// digest-signing mode for authenticity.
+type RSAKey struct {
+	N *big.Int // modulus
+	E *big.Int // public exponent
+	D *big.Int // private exponent (nil in public-only keys)
+}
+
+// Public returns the public half of the key.
+func (k *RSAKey) Public() *RSAKey { return &RSAKey{N: k.N, E: k.E} }
+
+// Bits reports the modulus size in bits.
+func (k *RSAKey) Bits() int { return k.N.BitLen() }
+
+// ErrRSADecrypt reports a malformed or mis-keyed RSA ciphertext.
+var ErrRSADecrypt = errors.New("ciphers: RSA decryption failed")
+
+// GenerateRSA creates a key pair with a modulus of the given bit size
+// (>= 128; use >= 512 outside tests). rng may be nil for crypto/rand.
+func GenerateRSA(bits int, rng io.Reader) (*RSAKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("ciphers: RSA modulus too small (%d bits)", bits)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	e := big.NewInt(65537)
+	one := big.NewInt(1)
+	for attempts := 0; attempts < 64; attempts++ {
+		p, err := rand.Prime(rng, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rng, bits-bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		phi := new(big.Int).Mul(new(big.Int).Sub(p, one), new(big.Int).Sub(q, one))
+		d := new(big.Int).ModInverse(e, phi)
+		if d == nil {
+			continue // e shares a factor with phi: rare, retry
+		}
+		return &RSAKey{N: n, E: e, D: d}, nil
+	}
+	return nil, errors.New("ciphers: RSA key generation did not converge")
+}
+
+// Encrypt encrypts a short message (at most modulusBytes-11) under the
+// public key with random non-zero padding in the style of PKCS#1 v1.5
+// block type 2: 0x00 0x02 <nonzero padding> 0x00 <msg>.
+func (k *RSAKey) Encrypt(rng io.Reader, msg []byte) ([]byte, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	nb := (k.Bits() + 7) / 8
+	if len(msg) > nb-11 {
+		return nil, fmt.Errorf("ciphers: RSA message too long (%d > %d)", len(msg), nb-11)
+	}
+	block := make([]byte, nb)
+	block[0] = 0x00
+	block[1] = 0x02
+	pad := block[2 : nb-len(msg)-1]
+	if err := fillNonZero(rng, pad); err != nil {
+		return nil, err
+	}
+	block[nb-len(msg)-1] = 0x00
+	copy(block[nb-len(msg):], msg)
+	m := new(big.Int).SetBytes(block)
+	c := new(big.Int).Exp(m, k.E, k.N)
+	return leftPad(c.Bytes(), nb), nil
+}
+
+// Decrypt reverses Encrypt with the private key.
+func (k *RSAKey) Decrypt(ct []byte) ([]byte, error) {
+	if k.D == nil {
+		return nil, errors.New("ciphers: decrypt requires a private key")
+	}
+	nb := (k.Bits() + 7) / 8
+	if len(ct) != nb {
+		return nil, ErrRSADecrypt
+	}
+	c := new(big.Int).SetBytes(ct)
+	if c.Cmp(k.N) >= 0 {
+		return nil, ErrRSADecrypt
+	}
+	m := new(big.Int).Exp(c, k.D, k.N)
+	block := leftPad(m.Bytes(), nb)
+	if block[0] != 0x00 || block[1] != 0x02 {
+		return nil, ErrRSADecrypt
+	}
+	for i := 2; i < len(block); i++ {
+		if block[i] == 0x00 {
+			if i < 10 { // at least 8 bytes of padding
+				return nil, ErrRSADecrypt
+			}
+			return block[i+1:], nil
+		}
+	}
+	return nil, ErrRSADecrypt
+}
+
+// Sign produces a raw signature over a digest (at most modulusBytes-11):
+// the digest is padded with 0xFF bytes (block type 1) and exponentiated
+// with the private key.
+func (k *RSAKey) Sign(digest []byte) ([]byte, error) {
+	if k.D == nil {
+		return nil, errors.New("ciphers: sign requires a private key")
+	}
+	nb := (k.Bits() + 7) / 8
+	if len(digest) > nb-11 {
+		return nil, fmt.Errorf("ciphers: digest too long (%d > %d)", len(digest), nb-11)
+	}
+	block := make([]byte, nb)
+	block[0] = 0x00
+	block[1] = 0x01
+	for i := 2; i < nb-len(digest)-1; i++ {
+		block[i] = 0xFF
+	}
+	block[nb-len(digest)-1] = 0x00
+	copy(block[nb-len(digest):], digest)
+	m := new(big.Int).SetBytes(block)
+	s := new(big.Int).Exp(m, k.D, k.N)
+	return leftPad(s.Bytes(), nb), nil
+}
+
+// Verify checks a signature produced by Sign against a digest.
+func (k *RSAKey) Verify(digest, sig []byte) bool {
+	nb := (k.Bits() + 7) / 8
+	if len(sig) != nb || len(digest) > nb-11 {
+		return false
+	}
+	s := new(big.Int).SetBytes(sig)
+	if s.Cmp(k.N) >= 0 {
+		return false
+	}
+	m := new(big.Int).Exp(s, k.E, k.N)
+	block := leftPad(m.Bytes(), nb)
+	if block[0] != 0x00 || block[1] != 0x01 {
+		return false
+	}
+	i := 2
+	for ; i < len(block) && block[i] == 0xFF; i++ {
+	}
+	if i < 10 || i >= len(block) || block[i] != 0x00 {
+		return false
+	}
+	got := block[i+1:]
+	if len(got) != len(digest) {
+		return false
+	}
+	var diff byte
+	for j := range got {
+		diff |= got[j] ^ digest[j]
+	}
+	return diff == 0
+}
+
+func fillNonZero(rng io.Reader, out []byte) error {
+	buf := make([]byte, len(out))
+	filled := 0
+	for filled < len(out) {
+		if _, err := io.ReadFull(rng, buf); err != nil {
+			return err
+		}
+		for _, b := range buf {
+			if b != 0 && filled < len(out) {
+				out[filled] = b
+				filled++
+			}
+		}
+	}
+	return nil
+}
+
+func leftPad(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b
+	}
+	out := make([]byte, n)
+	copy(out[n-len(b):], b)
+	return out
+}

@@ -1,0 +1,144 @@
+package ciphers
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testKey generates a small key once for the package's tests.
+var testKey = mustKey(512)
+
+func mustKey(bits int) *RSAKey {
+	k, err := GenerateRSA(bits, nil)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+func TestRSAGenerateValidations(t *testing.T) {
+	if _, err := GenerateRSA(64, nil); err == nil {
+		t.Error("tiny modulus accepted")
+	}
+	k := testKey
+	if k.Bits() < 500 {
+		t.Errorf("bits = %d", k.Bits())
+	}
+	if k.D == nil || k.E.Int64() != 65537 {
+		t.Error("key shape wrong")
+	}
+	// d*e = 1 mod phi is hard to check without p,q; verify via a
+	// round trip through the trapdoor instead.
+	m := big.NewInt(123456789)
+	c := new(big.Int).Exp(m, k.E, k.N)
+	back := new(big.Int).Exp(c, k.D, k.N)
+	if back.Cmp(m) != 0 {
+		t.Error("trapdoor does not invert")
+	}
+}
+
+func TestRSAEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey
+	for _, msg := range [][]byte{
+		[]byte("8bytekey"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 32),
+	} {
+		ct, err := k.Public().Encrypt(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := k.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(pt, msg) {
+			t.Errorf("round trip: %x != %x", pt, msg)
+		}
+	}
+}
+
+func TestRSAEncryptErrors(t *testing.T) {
+	k := testKey
+	long := make([]byte, (k.Bits()+7)/8-10)
+	if _, err := k.Encrypt(nil, long); err == nil {
+		t.Error("oversized message accepted")
+	}
+	if _, err := k.Public().Decrypt(make([]byte, (k.Bits()+7)/8)); err == nil {
+		t.Error("decrypt without private key succeeded")
+	}
+	if _, err := k.Decrypt([]byte{1, 2, 3}); err == nil {
+		t.Error("short ciphertext accepted")
+	}
+}
+
+func TestRSADecryptTamperRejected(t *testing.T) {
+	k := testKey
+	ct, err := k.Public().Encrypt(nil, []byte("session-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)-1] ^= 0x01
+	if pt, err := k.Decrypt(ct); err == nil && bytes.Equal(pt, []byte("session-key")) {
+		t.Error("tampered ciphertext decrypted to original")
+	}
+}
+
+func TestRSASignVerify(t *testing.T) {
+	k := testKey
+	digest := MD5([]byte("authentic message"))
+	sig, err := k.Sign(digest[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k.Public().Verify(digest[:], sig) {
+		t.Fatal("valid signature rejected")
+	}
+	bad := MD5([]byte("forged message"))
+	if k.Public().Verify(bad[:], sig) {
+		t.Error("signature accepted for different digest")
+	}
+	sig[0] ^= 1
+	if k.Public().Verify(digest[:], sig) {
+		t.Error("tampered signature accepted")
+	}
+	if _, err := k.Public().Sign(digest[:]); err == nil {
+		t.Error("sign without private key succeeded")
+	}
+	if k.Verify(digest[:], []byte("short")) {
+		t.Error("short signature accepted")
+	}
+}
+
+// Property: encryption round-trips arbitrary short messages, and a
+// signature verifies only for its own digest.
+func TestQuickRSA(t *testing.T) {
+	k := testKey
+	rng := rand.New(rand.NewSource(11))
+	f := func(raw []byte) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		ct, err := k.Public().Encrypt(rng, raw)
+		if err != nil {
+			return false
+		}
+		pt, err := k.Decrypt(ct)
+		if err != nil || !bytes.Equal(pt, raw) {
+			return false
+		}
+		d := MD5(raw)
+		sig, err := k.Sign(d[:])
+		if err != nil || !k.Public().Verify(d[:], sig) {
+			return false
+		}
+		other := MD5(append(raw, 1))
+		return !k.Public().Verify(other[:], sig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

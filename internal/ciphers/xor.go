@@ -1,0 +1,37 @@
+package ciphers
+
+// XOR is the trivial repeating-key XOR cipher used as SecComm's second
+// privacy micro-protocol ("a trivial XOR with a key", paper section 4.2).
+// It is symmetric: applying it twice with the same key restores the
+// input.
+type XOR struct {
+	key []byte
+}
+
+// NewXOR builds the cipher; an empty key makes it the identity.
+func NewXOR(key []byte) *XOR {
+	return &XOR{key: append([]byte(nil), key...)}
+}
+
+// Apply XORs msg with the repeating key into a fresh slice.
+func (x *XOR) Apply(msg []byte) []byte {
+	out := make([]byte, len(msg))
+	if len(x.key) == 0 {
+		copy(out, msg)
+		return out
+	}
+	for i, b := range msg {
+		out[i] = b ^ x.key[i%len(x.key)]
+	}
+	return out
+}
+
+// ApplyInPlace XORs msg with the repeating key in place.
+func (x *XOR) ApplyInPlace(msg []byte) {
+	if len(x.key) == 0 {
+		return
+	}
+	for i := range msg {
+		msg[i] ^= x.key[i%len(x.key)]
+	}
+}

@@ -1,0 +1,251 @@
+// Package core implements the paper's primary contribution: the
+// profile-directed optimizer for event-based programs (sections 3.2-3.3).
+// From an event/handler profile it plans which events to optimize, builds
+// super-handlers (handler merging, Fig. 7), extends them across event
+// chains with subsumption of nested synchronous raises (Figs. 8-9), fuses
+// and compiler-optimizes HIR handler bodies (section 3.2.2), and installs
+// the result behind binding-version guards with whole-chain or
+// partitioned fallback (section 3.3, Fig. 14).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hir/opt"
+	"eventopt/internal/profile"
+)
+
+// Options configures plan construction and installation.
+type Options struct {
+	// Threshold is the event-graph edge weight below which edges are
+	// discarded before path extraction (paper Fig. 6 used 300). Zero
+	// selects AutoThreshold.
+	Threshold int
+	// MergeAll applies handler merging to every event with more than one
+	// handler, not only those on hot paths (the section 5 extension).
+	MergeAll bool
+	// Subsume extends super-handlers across nested synchronous raises
+	// observed stably in the profile (Figs. 8-9).
+	Subsume bool
+	// Speculative additionally extends chains along *dominant* raise
+	// patterns — "A is followed by B 90% of the time" (section 5) —
+	// with SpeculativeShare as the minimum observed share. Minority
+	// executions stay correct: a covered event's segment is entered only
+	// when its raise actually happens, and its guard still applies.
+	Speculative bool
+	// SpeculativeShare is the dominance threshold (0 selects 0.5).
+	SpeculativeShare float64
+	// FuseHIR merges the HIR bodies of each covered event's handlers into
+	// one function per segment and runs the compiler passes over it.
+	FuseHIR bool
+	// FullFusion additionally splices subsumed synchronous raises
+	// statically into the entry segment's fused body, removing even the
+	// dynamic chain dispatch. It requires every handler of every covered
+	// event to carry an HIR body: HIR has no bind operation, so the chain
+	// cannot rebind itself mid-execution and the entry guard suffices.
+	// Caveat: an application intrinsic that mutates bindings would break
+	// that assumption — keep bind/unbind out of intrinsics used by fused
+	// handlers, or stay with per-segment fusion (guards re-checked at
+	// every nested dispatch).
+	FullFusion bool
+	// CompileClosures executes fused bodies through the HIR closure
+	// compiler instead of the interpreter: intrinsic references resolve
+	// at optimization time and instructions dispatch as direct calls.
+	CompileClosures bool
+	// Partitioned selects the extended super-handler organization of
+	// Fig. 14: per-event guards with per-event fallback.
+	Partitioned bool
+	// MaxChainLen caps the number of events covered by one super-handler.
+	MaxChainLen int
+	// HIR configures the compiler passes used on fused bodies.
+	HIR opt.Options
+}
+
+// DefaultOptions enables the full optimization stack with partitioned
+// guards and automatic thresholding.
+func DefaultOptions() Options {
+	return Options{
+		Subsume:     true,
+		FuseHIR:     true,
+		Partitioned: true,
+		MaxChainLen: 16,
+		HIR:         opt.Default(),
+	}
+}
+
+// AutoThreshold picks an edge threshold for a graph: a tenth of the
+// heaviest edge, but at least 2 (so one-shot startup sequences never
+// qualify as hot).
+func AutoThreshold(g *profile.EventGraph) int {
+	max := 0
+	for _, e := range g.Edges() {
+		if e.Weight > max {
+			max = e.Weight
+		}
+	}
+	t := max / 10
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// PlanEntry describes one super-handler to build: the entry event and the
+// ordered set of events it covers (entry first, then subsumed events in
+// discovery order).
+type PlanEntry struct {
+	Event     event.ID
+	EventName string
+	Chain     []event.ID
+	Reason    string
+}
+
+// Plan is the set of super-handlers the optimizer intends to install.
+type Plan struct {
+	Entries []PlanEntry
+	opts    Options
+}
+
+// Options returns the options the plan was built with.
+func (p *Plan) Options() Options { return p.opts }
+
+// Describe renders the plan for diagnostics.
+func (p *Plan) Describe(sys *event.System) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan: %d super-handlers\n", len(p.Entries))
+	for _, e := range p.Entries {
+		names := make([]string, len(e.Chain))
+		for i, ev := range e.Chain {
+			names[i] = sys.EventName(ev)
+		}
+		fmt.Fprintf(&b, "  %-20s chain=[%s] (%s)\n", e.EventName, strings.Join(names, " "), e.Reason)
+	}
+	return b.String()
+}
+
+// BuildPlan selects the events to optimize from a profile. Candidates are
+// the events on hot paths of the reduced event graph (plus, with
+// MergeAll, every multi-handler event); each candidate is extended into a
+// chain by following handler raises that the profile shows to be stable
+// and synchronous.
+func BuildPlan(sys *event.System, prof *profile.Profile, opts Options) (*Plan, error) {
+	if prof == nil {
+		return nil, fmt.Errorf("core: BuildPlan: nil profile")
+	}
+	if opts.MaxChainLen <= 0 {
+		opts.MaxChainLen = 16
+	}
+	t := opts.Threshold
+	if t <= 0 {
+		t = AutoThreshold(prof.Graph)
+	}
+	reduced := prof.Graph.Reduce(t)
+
+	// Candidate entries: hot events first (by activation count), then
+	// multi-handler events under MergeAll.
+	seen := make(map[event.ID]bool)
+	reasons := make(map[event.ID]string)
+	var candidates []event.ID
+	add := func(ev event.ID, why string) {
+		if seen[ev] || sys.HandlerCount(ev) == 0 {
+			return
+		}
+		seen[ev] = true
+		candidates = append(candidates, ev)
+		reasons[ev] = why
+	}
+	hot := reduced.Nodes()
+	sort.Slice(hot, func(i, j int) bool {
+		ci, cj := prof.Count(hot[i]), prof.Count(hot[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return hot[i] < hot[j]
+	})
+	for _, ev := range hot {
+		add(ev, fmt.Sprintf("hot event (weight>=%d)", t))
+	}
+	if opts.MergeAll {
+		for _, ev := range sys.EventIDs() {
+			if sys.HandlerCount(ev) > 1 {
+				add(ev, "merge-all extension")
+			}
+		}
+	}
+
+	plan := &Plan{opts: opts}
+	for _, ev := range candidates {
+		entry := PlanEntry{Event: ev, EventName: sys.EventName(ev), Reason: reasons[ev]}
+		entry.Chain = chainFor(sys, prof, ev, opts)
+		// A super-handler pays for itself only when it merges something:
+		// several handlers on the entry event, or a chain to subsume. A
+		// single-handler, chain-less event keeps generic dispatch (the
+		// paper likewise merges only multi-handler events and chains).
+		if len(entry.Chain) == 1 && sys.HandlerCount(ev) < 2 {
+			continue
+		}
+		plan.Entries = append(plan.Entries, entry)
+	}
+	return plan, nil
+}
+
+// chainFor computes the events covered by the super-handler rooted at ev:
+// ev itself plus the transitive closure of events its handlers raise
+// synchronously with a stable pattern.
+func chainFor(sys *event.System, prof *profile.Profile, ev event.ID, opts Options) []event.ID {
+	chain := []event.ID{ev}
+	if !opts.Subsume {
+		return chain
+	}
+	minShare := opts.SpeculativeShare
+	if minShare <= 0 {
+		minShare = 0.5
+	}
+	visited := map[event.ID]bool{ev: true}
+	for i := 0; i < len(chain) && len(chain) < opts.MaxChainLen; i++ {
+		cur := chain[i]
+		handlers, ok := prof.StableHandlers(cur)
+		if !ok {
+			// Fall back to the currently bound handler names; raises are
+			// still required to be stable (or dominant) below.
+			for _, h := range sys.Handlers(cur) {
+				handlers = append(handlers, h.Name)
+			}
+		}
+		for _, h := range handlers {
+			raises, stable := prof.StableSyncRaises(cur, h)
+			if !stable && opts.Speculative {
+				// Section 5 speculation: cover every event this handler
+				// raises often enough, even though not always.
+				shares := prof.SyncRaiseShares(cur, h)
+				var spec []event.ID
+				for x, share := range shares {
+					if share >= minShare {
+						spec = append(spec, x)
+					}
+				}
+				sort.Slice(spec, func(i, j int) bool { return spec[i] < spec[j] })
+				if len(spec) > 0 {
+					raises, stable = spec, true
+				}
+			}
+			if !stable {
+				continue
+			}
+			for _, x := range raises {
+				if visited[x] || sys.HandlerCount(x) == 0 {
+					continue
+				}
+				if len(chain) >= opts.MaxChainLen {
+					break
+				}
+				visited[x] = true
+				chain = append(chain, x)
+			}
+		}
+	}
+	return chain
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// buildConditionalChain builds A whose handler raises B only for even n
+// (a 50%-dominant, non-universal pattern that defeats plain chain
+// extension), with a shared log to compare behavior.
+func buildConditionalChain() (*event.System, event.ID, event.ID, *[]string) {
+	sys := event.New()
+	a := sys.Define("A")
+	b := sys.Define("B")
+	log := &[]string{}
+	sys.Bind(a, "a1", func(c *event.Ctx) {
+		*log = append(*log, "a1")
+		if c.Args.Int("n")%2 == 0 {
+			c.Raise(b, event.A("n", c.Args.Int("n")))
+		}
+	})
+	sys.Bind(b, "b1", func(*event.Ctx) { *log = append(*log, "b1") }, event.WithOrder(1))
+	sys.Bind(b, "b2", func(*event.Ctx) { *log = append(*log, "b2") }, event.WithOrder(2))
+	return sys, a, b, log
+}
+
+func profileConditional(t *testing.T, sys *event.System, a event.ID) *profile.Profile {
+	t.Helper()
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	sys.SetTracer(rec)
+	for i := 0; i < 60; i++ {
+		sys.Raise(a, event.A("n", i))
+	}
+	sys.SetTracer(nil)
+	p, err := profile.Analyze(rec.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDominantSyncRaises(t *testing.T) {
+	sys, a, b, _ := buildConditionalChain()
+	prof := profileConditional(t, sys, a)
+	if _, stable := prof.StableSyncRaises(a, "a1"); stable {
+		t.Fatal("conditional raise reported stable")
+	}
+	dom, share, ok := prof.DominantSyncRaises(a, "a1")
+	if !ok {
+		t.Fatal("no dominant pattern")
+	}
+	if share != 0.5 {
+		t.Errorf("share = %v, want 0.5", share)
+	}
+	// The dominant pattern is either [] or [B]; both occur 30/60 times,
+	// ties break deterministically.
+	if len(dom) == 1 && dom[0] != b {
+		t.Errorf("dom = %v", dom)
+	}
+	if _, _, ok := prof.DominantSyncRaises(event.ID(99), "x"); ok {
+		t.Error("unknown event has dominant raises")
+	}
+	if _, _, ok := prof.DominantSyncRaises(a, "nope"); ok {
+		t.Error("unknown handler has dominant raises")
+	}
+}
+
+func TestSpeculativeChainExtension(t *testing.T) {
+	// Without speculation: A's chain stays a singleton (conditional raise).
+	sys, a, b, _ := buildConditionalChain()
+	prof := profileConditional(t, sys, a)
+	opts := DefaultOptions()
+	opts.MergeAll = true
+	plan, err := BuildPlan(sys, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Entries {
+		if e.Event == a && len(e.Chain) != 1 {
+			t.Errorf("non-speculative chain = %v", e.Chain)
+		}
+	}
+
+	// With speculation at the 0.5 threshold: B joins A's chain.
+	opts.Speculative = true
+	opts.SpeculativeShare = 0.4
+	plan, err = BuildPlan(sys, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range plan.Entries {
+		if e.Event == a && len(e.Chain) == 2 && e.Chain[1] == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("speculative chain missing:\n%s", plan.Describe(sys))
+	}
+}
+
+func TestSpeculativeShareThresholdRespected(t *testing.T) {
+	sys, a, _, _ := buildConditionalChain()
+	prof := profileConditional(t, sys, a)
+	opts := DefaultOptions()
+	opts.MergeAll = true
+	opts.Speculative = true
+	opts.SpeculativeShare = 0.9 // dominance is only 0.5: no extension
+	plan, err := BuildPlan(sys, prof, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Entries {
+		if e.Event == a && len(e.Chain) != 1 {
+			t.Errorf("chain extended below dominance threshold: %v", e.Chain)
+		}
+	}
+}
+
+func TestSpeculativeEquivalenceAndCoverage(t *testing.T) {
+	// Reference.
+	refSys, refA, _, refLog := buildConditionalChain()
+	for i := 0; i < 20; i++ {
+		refSys.Raise(refA, event.A("n", i))
+	}
+	want := append([]string(nil), *refLog...)
+
+	// Speculative optimized.
+	sys, a, b, log := buildConditionalChain()
+	prof := profileConditional(t, sys, a)
+	opts := DefaultOptions()
+	opts.MergeAll = true
+	opts.Speculative = true
+	opts.SpeculativeShare = 0.4
+	if _, _, err := Apply(sys, prof, nil, opts); err != nil {
+		t.Fatal(err)
+	}
+	*log = (*log)[:0]
+	sys.Stats().Reset()
+	for i := 0; i < 20; i++ {
+		sys.Raise(a, event.A("n", i))
+	}
+	if len(*log) != len(want) {
+		t.Fatalf("log = %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Fatalf("log = %v, want %v", *log, want)
+		}
+	}
+	// Every top-level raise took the fast path; the 10 even-n nested B
+	// raises dispatched through the speculative segment, not generically.
+	st := sys.Stats()
+	if st.FastRuns.Load() != 20 {
+		t.Errorf("FastRuns = %d", st.FastRuns.Load())
+	}
+	if st.Generic.Load() != 0 {
+		t.Errorf("Generic = %d, want 0 (B covered speculatively)", st.Generic.Load())
+	}
+	sh := sys.FastPath(a)
+	if sh == nil || !sh.Covers(b) {
+		t.Error("speculative segment for B missing")
+	}
+}

@@ -1,0 +1,263 @@
+package ctp
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+)
+
+// feed is a test helper delivering data segments directly.
+func feedData(r *Receiver, seq int64, b byte) {
+	r.Segment(seq, []byte{b, b, b}, false)
+}
+
+func TestReceiverInOrderDelivery(t *testing.T) {
+	r := NewReceiver(4)
+	var got []int64
+	r.OnFrame = func(seq int64, p []byte) { got = append(got, seq) }
+	feedData(r, 1, 1)
+	feedData(r, 2, 2)
+	feedData(r, 3, 3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("got = %v", got)
+	}
+	if r.Stats.OutOfOrder != 0 || r.Stats.Duplicates != 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	if r.Next() != 4 {
+		t.Errorf("next = %d", r.Next())
+	}
+}
+
+func TestReceiverReordersAndDedups(t *testing.T) {
+	r := NewReceiver(0)
+	var got []int64
+	r.OnFrame = func(seq int64, p []byte) { got = append(got, seq) }
+	feedData(r, 2, 2) // buffered
+	feedData(r, 3, 3) // buffered
+	if len(got) != 0 {
+		t.Fatalf("premature delivery: %v", got)
+	}
+	if p := r.Pending(); len(p) != 2 || p[0] != 2 || p[1] != 3 {
+		t.Errorf("pending = %v", p)
+	}
+	feedData(r, 1, 1) // releases all three
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got = %v", got)
+	}
+	feedData(r, 2, 2) // late duplicate
+	if r.Stats.Duplicates != 1 {
+		t.Errorf("duplicates = %d", r.Stats.Duplicates)
+	}
+	if r.Stats.OutOfOrder != 2 {
+		t.Errorf("out of order = %d", r.Stats.OutOfOrder)
+	}
+}
+
+func TestReceiverFECRecoversSingleLoss(t *testing.T) {
+	r := NewReceiver(3)
+	var got [][]byte
+	r.OnFrame = func(seq int64, p []byte) { got = append(got, p) }
+	a := []byte{0xA0, 0x01, 0x0F}
+	b := []byte{0x0B, 0x20, 0xF0}
+	c := []byte{0xCC, 0x03, 0x33}
+	par := make([]byte, 3)
+	for i := range par {
+		par[i] = a[i] ^ b[i] ^ c[i]
+	}
+	r.Segment(1, a, false)
+	// seq 2 (b) lost.
+	r.Segment(3, c, false)
+	r.Segment(4, par, true) // parity closes group [1,4)
+	if r.Stats.Recovered != 1 {
+		t.Fatalf("recovered = %d", r.Stats.Recovered)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered = %d", len(got))
+	}
+	if !bytes.Equal(got[1], b) {
+		t.Errorf("recovered payload = %x, want %x", got[1], b)
+	}
+	if r.Next() != 5 {
+		t.Errorf("next = %d (parity position must be consumed)", r.Next())
+	}
+}
+
+func TestReceiverFECCannotRecoverDoubleLoss(t *testing.T) {
+	r := NewReceiver(3)
+	delivered := 0
+	r.OnFrame = func(int64, []byte) { delivered++ }
+	r.Segment(1, []byte{1, 1, 1}, false)
+	// 2 and 3 lost.
+	r.Segment(4, []byte{0, 0, 0}, true)
+	if r.Stats.Recovered != 0 {
+		t.Errorf("recovered = %d, want 0", r.Stats.Recovered)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+	// Retransmissions later repair the stream.
+	r.Segment(2, []byte{2, 2, 2}, false)
+	r.Segment(3, []byte{3, 3, 3}, false)
+	if delivered != 3 || r.Next() != 5 {
+		t.Errorf("delivered = %d next = %d", delivered, r.Next())
+	}
+}
+
+func TestReceiverLostParityStreamStillRepairs(t *testing.T) {
+	// Parity lost: the in-order stream stalls at the parity position
+	// until the retransmitted parity (or nothing, if data complete and
+	// parity arrives late) fills it.
+	r := NewReceiver(2)
+	delivered := 0
+	r.OnFrame = func(int64, []byte) { delivered++ }
+	r.Segment(1, []byte{1}, false)
+	r.Segment(2, []byte{2}, false)
+	// parity at 3 lost; next data group begins at 4.
+	r.Segment(4, []byte{4}, false)
+	if delivered != 2 {
+		t.Errorf("delivered = %d (4 must wait for 3)", delivered)
+	}
+	r.Segment(3, []byte{0}, true) // retransmitted parity
+	if delivered != 3 {
+		t.Errorf("delivered = %d after parity arrives", delivered)
+	}
+}
+
+func TestAttachedReceiverLosslessEndToEnd(t *testing.T) {
+	s := newTestSender(t, func(c *Config) { c.FECInterval = 4 })
+	r := s.AttachReceiver()
+	var frames [][]byte
+	r.OnFrame = func(seq int64, p []byte) { frames = append(frames, p) }
+	s.Start()
+	for i := 0; i < 12; i++ {
+		s.SendFrame([]byte{byte(i), 0xEE}, false)
+	}
+	s.Sys.DrainFor(1e9)
+	// 12 data segments delivered in order; 3 parity positions consumed.
+	if len(frames) != 12 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for i, f := range frames {
+		if f[0] != byte(i) {
+			t.Errorf("frame %d = %x", i, f)
+		}
+	}
+	if r.Stats.ParitySeen != 3 {
+		t.Errorf("parity seen = %d", r.Stats.ParitySeen)
+	}
+	if r.Stats.Recovered != 0 || r.Stats.Duplicates != 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+}
+
+func TestAttachedReceiverRecoversFromLossBeforeRetransmit(t *testing.T) {
+	// Loss of one data segment per parity group; the receiver's FEC
+	// recovery should beat the 40ms retransmission timeout.
+	s := newTestSender(t, func(c *Config) {
+		c.FECInterval = 4
+		c.LossEvery = 3 // drops data segments (5 would phase-lock onto parity)
+	})
+	r := s.AttachReceiver()
+	count := 0
+	r.OnFrame = func(int64, []byte) { count++ }
+	s.Start()
+	for i := 0; i < 16; i++ {
+		s.SendFrame([]byte{byte(i), 1, 2, 3}, false)
+	}
+	s.Sys.DrainFor(2e9)
+	if count != 16 {
+		t.Fatalf("frames = %d, want 16", count)
+	}
+	if r.Stats.Recovered == 0 {
+		t.Error("no FEC recovery despite periodic loss")
+	}
+	// Retransmissions of recovered segments arrive late as duplicates.
+	if r.Stats.Duplicates == 0 {
+		t.Error("expected late retransmissions counted as duplicates")
+	}
+}
+
+func TestReceiverWithOptimizedSender(t *testing.T) {
+	// The receiver observes identical streams from original and
+	// optimized senders, with loss.
+	run := func(optimize bool) ([]byte, ReceiverStats) {
+		s := newTestSender(t, func(c *Config) {
+			c.FECInterval = 4
+			c.LossEvery = 7
+		})
+		if optimize {
+			optimizeSender(t, s, core.DefaultOptions())
+			// Reset FEC position and loss phase so both runs emit
+			// identical streams after the profiling traffic.
+			s.Mod.Globals.Set(CellFECCount, hir.IntVal(0))
+			s.Mod.Globals.Set(CellParity, hir.BytesVal([]byte{}))
+			s.link.n = 0
+		}
+		r := s.AttachReceiver()
+		var firsts []byte
+		r.OnFrame = func(seq int64, p []byte) { firsts = append(firsts, p[0]) }
+		s.Start()
+		for i := 0; i < 12; i++ {
+			s.SendFrame([]byte{byte(i), 9}, false)
+		}
+		s.Sys.DrainFor(s.Sys.Now() + 2e9)
+		return firsts, r.Stats
+	}
+	ref, _ := run(false)
+	opt, _ := run(true)
+	if len(ref) != len(opt) {
+		t.Fatalf("deliveries differ: %d vs %d", len(ref), len(opt))
+	}
+	for i := range ref {
+		if ref[i] != opt[i] {
+			t.Fatalf("delivery order diverges at %d: %v vs %v", i, ref, opt)
+		}
+	}
+}
+
+// Property: for any loss pattern, every data segment is eventually
+// delivered exactly once and in order (retransmission repairs what FEC
+// cannot).
+func TestQuickReceiverEventualDelivery(t *testing.T) {
+	f := func(lossEvery uint8, nFrames uint8) bool {
+		n := int(nFrames%20) + 5
+		le := int(lossEvery % 6) // 0..5; 1 would lose every transmission forever
+		if le == 1 {
+			le = 2
+		}
+		cfg := DefaultConfig()
+		cfg.FECInterval = 4
+		cfg.LossEvery = le
+		cfg.MaxRetransmits = -1 // eventual delivery needs unbounded repair
+		s, err := New(cfg, event.WithClock(event.NewVirtualClock()))
+		if err != nil {
+			return false
+		}
+		r := s.AttachReceiver()
+		var seqs []int64
+		r.OnFrame = func(seq int64, p []byte) { seqs = append(seqs, seq) }
+		s.Start()
+		for i := 0; i < n; i++ {
+			s.SendFrame([]byte{byte(i), byte(i >> 4)}, false)
+		}
+		s.Sys.DrainFor(10e9)
+		if len(seqs) != n {
+			t.Logf("lossEvery=%d n=%d: delivered %d (%v)", le, n, len(seqs), seqs)
+			return false
+		}
+		for i := 1; i < len(seqs); i++ {
+			if seqs[i] <= seqs[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+// Package event implements a general event/handler runtime modeled on the
+// Cactus system described in "Profile-Directed Optimization of Event-Based
+// Programs" (PLDI 2002), section 2.
+//
+// The runtime provides the three components of the paper's general model:
+//
+//   - Events: named, user-defined stimuli identified by an ID. Events may
+//     be raised synchronously (handlers run to completion before the raise
+//     returns), asynchronously (handlers run later, from the event loop),
+//     or after a delay (timed events).
+//   - Handlers: sections of code bound to events. A handler receives a
+//     *Ctx carrying the raised event, its activation mode, and the
+//     marshaled argument record. Handlers may raise further events, halt
+//     processing of the current event, and yield.
+//   - Bindings: the registry mapping each event to an ordered list of
+//     handlers. Bindings are fully dynamic (Bind/Unbind at any time) and
+//     each event carries a version counter that changes whenever its
+//     binding list changes; the optimizer uses versions to guard
+//     super-handlers (paper section 3.3).
+//
+// The generic dispatch path intentionally performs the five overheads the
+// paper attributes to event systems: argument marshaling, registry lookup
+// under a lock, an indirect call per bound handler, per-handler argument
+// resolution (unmarshaling), and a state-maintenance lock around each
+// handler body. Optimized super-handlers installed through InstallFastPath
+// bypass all of them behind a cheap binding-version guard.
+//
+// The scheduler supports both a real monotonic clock and a deterministic
+// virtual clock; with a virtual clock, Drain advances time to the next
+// timer when the run queue is empty, which makes delayed events and
+// frame-pacing workloads reproducible in tests and benchmarks.
+package event

@@ -1,0 +1,182 @@
+package event
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ID identifies an event within a System. IDs are small dense integers
+// assigned by Define in increasing order, suitable for array indexing.
+type ID int32
+
+// NoID is returned by Lookup when an event name is unknown.
+const NoID ID = -1
+
+// Mode describes how an event activation was requested (paper section 2.2).
+type Mode uint8
+
+const (
+	// Sync activation runs all bound handlers to completion before the
+	// raise operation returns to the activator.
+	Sync Mode = iota
+	// Async activation enqueues the event; handlers run later from the
+	// event loop with no guarantee about when.
+	Async
+	// Delayed activation is a timed event: it behaves like Async but
+	// fires only after a specified delay.
+	Delayed
+)
+
+// String returns the conventional short name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case Sync:
+		return "sync"
+	case Async:
+		return "async"
+	case Delayed:
+		return "delayed"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Arg is a single named argument supplied to a raise or bind operation.
+// Arguments travel by name, as in Cactus, so the set and order of
+// arguments need not be known statically by either side.
+type Arg struct {
+	Name string
+	Val  any
+}
+
+// A returns an Arg; it exists to keep call sites short.
+func A(name string, val any) Arg { return Arg{Name: name, Val: val} }
+
+// Args is the marshaled argument record handed to handlers. The generic
+// dispatch path builds one per raise (the marshaling cost the paper
+// measures); handlers resolve their parameters from it by name (the
+// unmarshaling cost).
+type Args struct {
+	pairs []Arg
+}
+
+// MakeArgs marshals a caller-side argument list into an Args record.
+// The slice is copied so that the record remains stable even if the
+// caller mutates its slice afterwards.
+func MakeArgs(args []Arg) *Args {
+	a := &Args{pairs: make([]Arg, len(args))}
+	copy(a.pairs, args)
+	return a
+}
+
+// Len reports the number of marshaled arguments.
+func (a *Args) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.pairs)
+}
+
+// Lookup resolves a named argument. Resolution is a linear scan, which
+// models the name-directed unmarshaling performed by generic event
+// frameworks.
+func (a *Args) Lookup(name string) (any, bool) {
+	if a == nil {
+		return nil, false
+	}
+	for i := range a.pairs {
+		if a.pairs[i].Name == name {
+			return a.pairs[i].Val, true
+		}
+	}
+	return nil, false
+}
+
+// Int resolves a named argument as an int; it returns 0 if the argument
+// is absent or has a different type.
+func (a *Args) Int(name string) int {
+	v, ok := a.Lookup(name)
+	if !ok {
+		return 0
+	}
+	n, _ := v.(int)
+	return n
+}
+
+// Int64 resolves a named argument as an int64, accepting int as well.
+func (a *Args) Int64(name string) int64 {
+	v, ok := a.Lookup(name)
+	if !ok {
+		return 0
+	}
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	default:
+		return 0
+	}
+}
+
+// String resolves a named argument as a string ("" when absent).
+func (a *Args) String(name string) string {
+	v, ok := a.Lookup(name)
+	if !ok {
+		return ""
+	}
+	s, _ := v.(string)
+	return s
+}
+
+// Bytes resolves a named argument as a []byte (nil when absent).
+func (a *Args) Bytes(name string) []byte {
+	v, ok := a.Lookup(name)
+	if !ok {
+		return nil
+	}
+	b, _ := v.([]byte)
+	return b
+}
+
+// Bool resolves a named argument as a bool (false when absent).
+func (a *Args) Bool(name string) bool {
+	v, ok := a.Lookup(name)
+	if !ok {
+		return false
+	}
+	b, _ := v.(bool)
+	return b
+}
+
+// Names returns the argument names in marshal order. It is used by tests
+// and by the profiler's argument-shape analysis.
+func (a *Args) Names() []string {
+	if a == nil {
+		return nil
+	}
+	out := make([]string, len(a.pairs))
+	for i := range a.pairs {
+		out[i] = a.pairs[i].Name
+	}
+	return out
+}
+
+// Pairs returns a copy of the underlying name/value pairs.
+func (a *Args) Pairs() []Arg {
+	if a == nil {
+		return nil
+	}
+	out := make([]Arg, len(a.pairs))
+	copy(out, a.pairs)
+	return out
+}
+
+// Errors reported by registry operations.
+var (
+	ErrUnknownEvent   = errors.New("event: unknown event")
+	ErrDeletedEvent   = errors.New("event: event has been deleted")
+	ErrDuplicateEvent = errors.New("event: duplicate event name")
+	ErrStaleBinding   = errors.New("event: binding no longer present")
+	ErrMissingArg     = errors.New("event: required argument missing")
+)

@@ -1,0 +1,255 @@
+package event
+
+import "fmt"
+
+// Step is one merged handler invocation inside a super-handler. It keeps
+// the original event and handler names so instrumented executions of
+// optimized code produce traces comparable with the unoptimized program.
+type Step struct {
+	Event     ID
+	EventName string
+	Handler   string
+	Fn        HandlerFunc
+	BindArgs  *Args
+}
+
+// Segment groups the merged steps belonging to one event of a chain. A
+// super-handler for a single event has one segment; a chain or
+// subsumption super-handler has one segment per covered event (paper
+// Figs. 7-9). Version is the binding version of Event at optimization
+// time: the guard of section 3.3.
+//
+// If Fused is non-nil it replaces Steps: it is a single fused body,
+// typically compiled from the merged and optimized HIR of all the
+// segment's handlers, and is invoked once per activation.
+type Segment struct {
+	Event     ID
+	EventName string
+	Version   uint64
+	Steps     []Step
+	Fused     HandlerFunc
+	FusedName string
+	// FusedIR optionally records the IR behind Fused (an *hir.Function),
+	// kept opaque here; the code-size experiment reads it.
+	FusedIR any
+}
+
+// SuperHandler is an optimized dispatch route installed for one event.
+// When the event is raised and every guard passes, the merged code runs
+// instead of the generic marshal/lookup/indirect-call sequence. Nested
+// synchronous raises of covered events from inside the merged handlers
+// dispatch directly into their segment (subsumption, Fig. 9).
+//
+// Partitioned selects the extended organization of Fig. 14: the entry
+// guard alone gates the fast path, and each interior segment re-checks
+// its own guard at dispatch time, falling back to the original code for
+// just that event when its binding changed.
+type SuperHandler struct {
+	Entry       ID
+	Segments    []Segment
+	Partitioned bool
+
+	segOf map[ID]int  // covered event -> segment index
+	recs  []*eventRec // registry records, resolved at install (stable pointers)
+}
+
+// Covers reports whether the super-handler has a segment for ev.
+func (sh *SuperHandler) Covers(ev ID) bool {
+	_, ok := sh.segOf[ev]
+	return ok
+}
+
+// CoveredEvents returns the events of all segments in order.
+func (sh *SuperHandler) CoveredEvents() []ID {
+	out := make([]ID, len(sh.Segments))
+	for i := range sh.Segments {
+		out[i] = sh.Segments[i].Event
+	}
+	return out
+}
+
+// InstallFastPath installs sh as the fast path for its entry event,
+// replacing any previous fast path. The first segment must be the entry
+// event's own segment.
+func (s *System) InstallFastPath(sh *SuperHandler) error {
+	if len(sh.Segments) == 0 {
+		return fmt.Errorf("event: InstallFastPath: no segments")
+	}
+	if sh.Segments[0].Event != sh.Entry {
+		return fmt.Errorf("event: InstallFastPath: first segment is %d, entry is %d",
+			sh.Segments[0].Event, sh.Entry)
+	}
+	sh.segOf = make(map[ID]int, len(sh.Segments))
+	for i := range sh.Segments {
+		seg := &sh.Segments[i]
+		if _, dup := sh.segOf[seg.Event]; !dup {
+			sh.segOf[seg.Event] = i
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(sh.Entry)
+	if r == nil || r.deleted {
+		return ErrUnknownEvent
+	}
+	sh.recs = make([]*eventRec, len(sh.Segments))
+	for i := range sh.Segments {
+		sr := s.rec(sh.Segments[i].Event)
+		if sr == nil {
+			return ErrUnknownEvent
+		}
+		sh.recs[i] = sr
+	}
+	s.fast[sh.Entry] = sh
+	return nil
+}
+
+// RemoveFastPath uninstalls the fast path of ev, if any.
+func (s *System) RemoveFastPath(ev ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev >= 0 && int(ev) < len(s.fast) {
+		s.fast[ev] = nil
+	}
+}
+
+// FastPath returns the installed fast path of ev (nil if none).
+func (s *System) FastPath(ev ID) *SuperHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev < 0 || int(ev) >= len(s.fast) {
+		return nil
+	}
+	return s.fast[ev]
+}
+
+// versionsMatch checks the guards of all segments. Versions are read
+// from lock-free atomic mirrors: a deleted or rebound event has a bumped
+// version, so a stale pointer can only fail the comparison.
+func (sh *SuperHandler) versionsMatch() bool {
+	for i := range sh.Segments {
+		if sh.recs[i].ver.Load() != sh.Segments[i].Version {
+			return false
+		}
+	}
+	return true
+}
+
+// segMatches checks a single segment guard.
+func (sh *SuperHandler) segMatches(i int) bool {
+	return sh.recs[i].ver.Load() == sh.Segments[i].Version
+}
+
+// run executes the super-handler for one activation of its entry event.
+// It returns false (without side effects) when the guard fails and the
+// caller must take the generic path.
+func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer Tracer) bool {
+	if sh.Partitioned {
+		if !sh.segMatches(0) {
+			return false
+		}
+	} else if !sh.versionsMatch() {
+		return false
+	}
+	ce := &chainExec{sh: sh, s: s, tracer: tracer}
+	// One marshal-free argument view for the whole chain: the caller's
+	// slice is wrapped, not copied, and no per-handler resolution happens.
+	ce.runSegment(0, args, mode, depth)
+	return true
+}
+
+// chainExec is the live execution state of one super-handler activation.
+type chainExec struct {
+	sh     *SuperHandler
+	s      *System
+	tracer Tracer
+}
+
+// runSegment executes the steps (or fused body) of one segment. The raw
+// argument slice is wrapped in the context”s embedded record — no copy,
+// no extra allocation.
+func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
+	seg := &ce.sh.Segments[idx]
+	s := ce.s
+
+	// One state-maintenance lock round-trip per segment, instead of one
+	// per handler on the generic path.
+	s.stateLockTraffic()
+
+	ctx := &Ctx{
+		System: s,
+		Event:  seg.Event,
+		Name:   seg.EventName,
+		Mode:   mode,
+		depth:  depth,
+		chain:  ce,
+	}
+	ctx.argsVal.pairs = args
+	ctx.Args = &ctx.argsVal
+	if seg.Fused != nil {
+		ctx.Handler = seg.FusedName
+		if ce.tracer != nil {
+			ce.tracer.HandlerEnter(seg.Event, seg.EventName, seg.FusedName, depth)
+		}
+		s.stats.HandlersRun.Add(1)
+		seg.Fused(ctx)
+		if ce.tracer != nil {
+			ce.tracer.HandlerExit(seg.Event, seg.EventName, seg.FusedName, depth)
+		}
+		return
+	}
+	for i := range seg.Steps {
+		st := &seg.Steps[i]
+		ctx.Handler = st.Handler
+		ctx.BindArgs = st.BindArgs
+		if ce.tracer != nil {
+			ce.tracer.HandlerEnter(seg.Event, seg.EventName, st.Handler, depth)
+		}
+		s.stats.HandlersRun.Add(1)
+		st.Fn(ctx)
+		if ce.tracer != nil {
+			ce.tracer.HandlerExit(seg.Event, seg.EventName, st.Handler, depth)
+		}
+		if ctx.halted {
+			break
+		}
+	}
+}
+
+// dispatchNested handles a synchronous raise of ev from inside a merged
+// handler. If ev is covered by the chain, control transfers directly into
+// its segment (the subsumption of Fig. 9) after re-checking that
+// segment's guard; a stale guard falls back to the original code for just
+// that event (Fig. 14). It reports whether it handled the raise.
+func (ce *chainExec) dispatchNested(c *Ctx, ev ID, args []Arg) bool {
+	idx, ok := ce.sh.segOf[ev]
+	if !ok || idx == 0 {
+		// Not covered (or a cyclic raise of the entry): generic path.
+		return false
+	}
+	seg := &ce.sh.Segments[idx]
+	s := ce.s
+
+	s.stats.Raises.Add(1)
+	s.stats.SyncRaises.Add(1)
+	if ce.tracer != nil {
+		ce.tracer.Event(ev, seg.EventName, Sync, c.depth+1)
+	}
+
+	// The guard must be re-checked at dispatch time: a handler earlier in
+	// this very chain may have rebound ev.
+	if !ce.sh.segMatches(idx) {
+		s.stats.SegFallbacks.Add(1)
+		s.generic(s.mustRec(ev), ev, seg.EventName, Sync, args, c.depth+1, ce.tracer)
+		return true
+	}
+	ce.runSegment(idx, args, Sync, c.depth+1)
+	return true
+}
+
+// mustRec returns the registry record of a known-live event.
+func (s *System) mustRec(ev ID) *eventRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec(ev)
+}

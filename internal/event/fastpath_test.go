@@ -1,0 +1,287 @@
+package event
+
+import (
+	"fmt"
+	"testing"
+)
+
+// buildAB constructs a two-event system where A's second handler
+// synchronously raises B, mirroring the SegFromUser/Seg2Net nesting of
+// paper Fig. 8. It returns the system, the IDs, and a pointer to the
+// execution log.
+func buildAB() (*System, ID, ID, *[]string) {
+	s := New()
+	a := s.Define("A")
+	b := s.Define("B")
+	log := &[]string{}
+	s.Bind(a, "a1", func(*Ctx) { *log = append(*log, "a1") }, WithOrder(1))
+	s.Bind(a, "a2", func(c *Ctx) {
+		*log = append(*log, "a2-pre")
+		c.Raise(b, A("v", c.Args.Int("v")+1))
+		*log = append(*log, "a2-post")
+	}, WithOrder(2))
+	s.Bind(b, "b1", func(c *Ctx) { *log = append(*log, fmt.Sprintf("b1:%d", c.Args.Int("v"))) })
+	return s, a, b, log
+}
+
+// superFor builds a super-handler covering A (entry) and B (subsumed) from
+// the current bindings, the way the optimizer would.
+func superFor(s *System, a, b ID, partitioned bool) *SuperHandler {
+	mk := func(ev ID) Segment {
+		seg := Segment{Event: ev, EventName: s.EventName(ev), Version: s.Version(ev)}
+		for _, h := range s.Handlers(ev) {
+			seg.Steps = append(seg.Steps, Step{
+				Event: ev, EventName: seg.EventName,
+				Handler: h.Name, Fn: h.Fn, BindArgs: h.BindArgs,
+			})
+		}
+		return seg
+	}
+	return &SuperHandler{
+		Entry:       a,
+		Segments:    []Segment{mk(a), mk(b)},
+		Partitioned: partitioned,
+	}
+}
+
+func TestFastPathRunsAndPreservesOrder(t *testing.T) {
+	s, a, b, log := buildAB()
+	s.Raise(a, A("v", 1))
+	generic := append([]string(nil), *log...)
+	*log = (*log)[:0]
+
+	if err := s.InstallFastPath(superFor(s, a, b, false)); err != nil {
+		t.Fatalf("InstallFastPath: %v", err)
+	}
+	if s.FastPath(a) == nil {
+		t.Fatal("FastPath(a) not installed")
+	}
+	s.Raise(a, A("v", 1))
+	if len(*log) != len(generic) {
+		t.Fatalf("optimized log %v != generic %v", *log, generic)
+	}
+	for i := range generic {
+		if (*log)[i] != generic[i] {
+			t.Fatalf("optimized log %v != generic %v", *log, generic)
+		}
+	}
+	st := s.Stats()
+	if st.FastRuns.Load() != 1 {
+		t.Errorf("FastRuns = %d, want 1", st.FastRuns.Load())
+	}
+	// The nested raise of B must have been subsumed: only one generic
+	// dispatch happened in total (the pre-optimization raise counted 2).
+	if st.Generic.Load() != 2 {
+		t.Errorf("Generic = %d, want 2 (both from the unoptimized raise)", st.Generic.Load())
+	}
+}
+
+func TestFastPathGuardFallsBackAfterRebind(t *testing.T) {
+	s, a, b, log := buildAB()
+	if err := s.InstallFastPath(superFor(s, a, b, false)); err != nil {
+		t.Fatal(err)
+	}
+	// Rebinding B invalidates the (monolithic) super-handler entirely.
+	s.Bind(b, "b2", func(*Ctx) { *log = append(*log, "b2") })
+	s.Raise(a, A("v", 1))
+	st := s.Stats()
+	if st.Fallbacks.Load() != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks.Load())
+	}
+	if st.FastRuns.Load() != 0 {
+		t.Errorf("FastRuns = %d, want 0", st.FastRuns.Load())
+	}
+	// The new handler must have run (correctness under rebinding).
+	found := false
+	for _, l := range *log {
+		if l == "b2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("b2 did not run after rebinding; log = %v", *log)
+	}
+}
+
+func TestPartitionedFallbackOnlyDegradesChangedEvent(t *testing.T) {
+	s, a, b, log := buildAB()
+	if err := s.InstallFastPath(superFor(s, a, b, true)); err != nil {
+		t.Fatal(err)
+	}
+	s.Bind(b, "b2", func(*Ctx) { *log = append(*log, "b2") })
+	s.Raise(a, A("v", 1))
+	st := s.Stats()
+	// Entry guard still valid: the fast path runs...
+	if st.FastRuns.Load() != 1 {
+		t.Errorf("FastRuns = %d, want 1", st.FastRuns.Load())
+	}
+	// ...and only the B segment falls back (Fig. 14).
+	if st.SegFallbacks.Load() != 1 {
+		t.Errorf("SegFallbacks = %d, want 1", st.SegFallbacks.Load())
+	}
+	want := []string{"a1", "a2-pre", "b1:2", "b2", "a2-post"}
+	if len(*log) != len(want) {
+		t.Fatalf("log = %v, want %v", *log, want)
+	}
+	for i := range want {
+		if (*log)[i] != want[i] {
+			t.Fatalf("log = %v, want %v", *log, want)
+		}
+	}
+}
+
+func TestPartitionedEntryRebindFallsBack(t *testing.T) {
+	s, a, b, _ := buildAB()
+	if err := s.InstallFastPath(superFor(s, a, b, true)); err != nil {
+		t.Fatal(err)
+	}
+	s.Bind(a, "a3", func(*Ctx) {})
+	s.Raise(a, A("v", 1))
+	st := s.Stats()
+	if st.FastRuns.Load() != 0 || st.Fallbacks.Load() != 1 {
+		t.Errorf("FastRuns = %d, Fallbacks = %d", st.FastRuns.Load(), st.Fallbacks.Load())
+	}
+}
+
+func TestRebindInsideChainIsDetected(t *testing.T) {
+	// A handler early in the merged chain rebinds B; the chain must not
+	// run B's stale merged code.
+	s := New()
+	a := s.Define("A")
+	b := s.Define("B")
+	var log []string
+	var newBinding Binding
+	s.Bind(a, "a1", func(c *Ctx) {
+		log = append(log, "a1")
+		newBinding = c.System.Bind(b, "bNew", func(*Ctx) { log = append(log, "bNew") })
+		c.Raise(b)
+	})
+	s.Bind(b, "bOld", func(*Ctx) { log = append(log, "bOld") })
+	sh := superFor(s, a, b, true)
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	s.Raise(a)
+	_ = newBinding
+	want := []string{"a1", "bOld", "bNew"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if s.Stats().SegFallbacks.Load() != 1 {
+		t.Errorf("SegFallbacks = %d, want 1", s.Stats().SegFallbacks.Load())
+	}
+}
+
+func TestFusedSegmentRuns(t *testing.T) {
+	s := New()
+	a := s.Define("A")
+	n := 0
+	s.Bind(a, "h1", func(*Ctx) { n += 1 })
+	s.Bind(a, "h2", func(*Ctx) { n += 10 })
+	sh := &SuperHandler{
+		Entry: a,
+		Segments: []Segment{{
+			Event: a, EventName: "A", Version: s.Version(a),
+			Fused:     func(*Ctx) { n += 100 }, // replaces both handlers
+			FusedName: "super_A",
+		}},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	s.Raise(a)
+	if n != 100 {
+		t.Errorf("n = %d, want 100 (fused body only)", n)
+	}
+}
+
+func TestInstallFastPathValidation(t *testing.T) {
+	s := New()
+	a := s.Define("A")
+	if err := s.InstallFastPath(&SuperHandler{Entry: a}); err == nil {
+		t.Error("empty super-handler accepted")
+	}
+	bad := &SuperHandler{Entry: a, Segments: []Segment{{Event: ID(5)}}}
+	if err := s.InstallFastPath(bad); err == nil {
+		t.Error("entry/segment mismatch accepted")
+	}
+	gone := s.Define("gone")
+	s.Delete(gone)
+	if err := s.InstallFastPath(&SuperHandler{Entry: gone, Segments: []Segment{{Event: gone}}}); err != ErrUnknownEvent {
+		t.Errorf("install on deleted = %v", err)
+	}
+}
+
+func TestRemoveFastPath(t *testing.T) {
+	s, a, b, _ := buildAB()
+	s.InstallFastPath(superFor(s, a, b, false))
+	s.RemoveFastPath(a)
+	if s.FastPath(a) != nil {
+		t.Error("fast path still installed")
+	}
+	s.RemoveFastPath(ID(99)) // out of range: no panic
+	if s.FastPath(ID(99)) != nil {
+		t.Error("FastPath out of range should be nil")
+	}
+	s.Raise(a)
+	if s.Stats().FastRuns.Load() != 0 {
+		t.Error("removed fast path still ran")
+	}
+}
+
+func TestSuperHandlerCovers(t *testing.T) {
+	s, a, b, _ := buildAB()
+	sh := superFor(s, a, b, false)
+	s.InstallFastPath(sh)
+	if !sh.Covers(a) || !sh.Covers(b) {
+		t.Error("Covers should be true for both events")
+	}
+	if sh.Covers(ID(99)) {
+		t.Error("Covers(99) should be false")
+	}
+	evs := sh.CoveredEvents()
+	if len(evs) != 2 || evs[0] != a || evs[1] != b {
+		t.Errorf("CoveredEvents = %v", evs)
+	}
+}
+
+func TestHaltInsideFusedChainSegment(t *testing.T) {
+	s := New()
+	a := s.Define("A")
+	var ran []string
+	s.Bind(a, "h1", func(c *Ctx) { ran = append(ran, "h1"); c.Halt() }, WithOrder(1))
+	s.Bind(a, "h2", func(*Ctx) { ran = append(ran, "h2") }, WithOrder(2))
+	sh := superFor2(s, a)
+	s.InstallFastPath(sh)
+	s.Raise(a)
+	if len(ran) != 1 || ran[0] != "h1" {
+		t.Errorf("Halt not honored on fast path: %v", ran)
+	}
+}
+
+// superFor2 builds a single-event super-handler from current bindings.
+func superFor2(s *System, ev ID) *SuperHandler {
+	seg := Segment{Event: ev, EventName: s.EventName(ev), Version: s.Version(ev)}
+	for _, h := range s.Handlers(ev) {
+		seg.Steps = append(seg.Steps, Step{Event: ev, EventName: seg.EventName, Handler: h.Name, Fn: h.Fn, BindArgs: h.BindArgs})
+	}
+	return &SuperHandler{Entry: ev, Segments: []Segment{seg}}
+}
+
+func TestFastPathAsyncEntry(t *testing.T) {
+	s, a, b, log := buildAB()
+	s.InstallFastPath(superFor(s, a, b, false))
+	s.RaiseAsync(a, A("v", 3))
+	s.Drain()
+	if len(*log) == 0 {
+		t.Fatal("async fast-path activation did not run")
+	}
+	if s.Stats().FastRuns.Load() != 1 {
+		t.Errorf("FastRuns = %d", s.Stats().FastRuns.Load())
+	}
+}

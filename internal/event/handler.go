@@ -1,0 +1,130 @@
+package event
+
+// HandlerFunc is the code of a handler. Handlers receive a *Ctx describing
+// the activation; any values they need arrive in ctx.Args (dynamic, from
+// the raise operation) or ctx.BindArgs (static, fixed at bind time, as in
+// the Cactus bind operation).
+type HandlerFunc func(ctx *Ctx)
+
+// BindOption configures a Bind call.
+type BindOption func(*bound)
+
+// WithOrder sets the execution order of the handler relative to other
+// handlers bound to the same event. Lower orders run first; ties run in
+// bind sequence. Cactus exposes exactly this facility ("the order of event
+// handler execution can be specified if desired").
+func WithOrder(order int) BindOption {
+	return func(b *bound) { b.order = order }
+}
+
+// WithBindArgs attaches static arguments to the binding; they are visible
+// to the handler on every activation via ctx.BindArgs.
+func WithBindArgs(args ...Arg) BindOption {
+	return func(b *bound) { b.bindArgs = MakeArgs(args) }
+}
+
+// WithParams declares the named parameters the handler expects from the
+// raise operation. The generic dispatcher resolves each declared parameter
+// by name before invoking the handler — the per-handler unmarshaling cost
+// that handler merging eliminates.
+func WithParams(names ...string) BindOption {
+	return func(b *bound) { b.params = names }
+}
+
+// WithIR attaches an intermediate-representation body to the binding. The
+// event runtime treats it as opaque; the optimizer type-asserts it to an
+// *hir.Function to perform static merging and compiler optimizations.
+func WithIR(body any) BindOption {
+	return func(b *bound) { b.ir = body }
+}
+
+// Binding is the token returned by Bind, used to Unbind later.
+type Binding struct {
+	ev  ID
+	seq uint64
+}
+
+// Event reports which event the binding attaches to.
+func (b Binding) Event() ID { return b.ev }
+
+// bound is one handler binding in the registry.
+type bound struct {
+	name     string
+	fn       HandlerFunc
+	order    int
+	seq      uint64 // bind sequence, breaks order ties
+	params   []string
+	bindArgs *Args
+	ir       any
+}
+
+// HandlerInfo is a read-only view of one binding, exposed for the profiler
+// and optimizer.
+type HandlerInfo struct {
+	Name     string
+	Order    int
+	Params   []string
+	BindArgs *Args
+	IR       any
+	Fn       HandlerFunc
+}
+
+// Ctx carries one event activation through its handlers.
+type Ctx struct {
+	// System is the owning runtime.
+	System *System
+	// Event is the activated event and Name its registered name.
+	Event ID
+	Name  string
+	// Mode records how the event was activated.
+	Mode Mode
+	// Args is the marshaled dynamic argument record of the raise.
+	Args *Args
+	// BindArgs is the static argument record of the current handler's
+	// binding (nil if none were supplied).
+	BindArgs *Args
+	// Handler is the name of the currently executing handler.
+	Handler string
+
+	depth   int
+	halted  bool
+	chain   *chainExec // installed by a super-handler for subsumption
+	argsVal Args       // backing store for Args on the optimized path
+}
+
+// Raise synchronously activates another event from within a handler. The
+// nested event's handlers run to completion before Raise returns (paper
+// section 2.2, synchronous activation). If the current activation is
+// executing under a super-handler whose chain has subsumed ev, control
+// transfers directly into the merged continuation without the generic
+// marshal/lookup/indirect-call sequence.
+func (c *Ctx) Raise(ev ID, args ...Arg) {
+	if c.chain != nil && c.chain.dispatchNested(c, ev, args) {
+		return
+	}
+	c.System.raiseNested(c, ev, args)
+}
+
+// RaiseAsync asynchronously activates another event; it returns
+// immediately and the handlers run later from the event loop.
+func (c *Ctx) RaiseAsync(ev ID, args ...Arg) {
+	c.System.enqueue(ev, Async, args, 0)
+}
+
+// RaiseAfter schedules a timed activation of ev after delay d (in the
+// system's clock domain). The returned token can cancel it.
+func (c *Ctx) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
+	return c.System.RaiseAfter(d, ev, args...)
+}
+
+// Halt stops execution of the remaining handlers bound to the current
+// event (the Cactus "halting event execution" operation). Handlers of
+// enclosing activations are unaffected.
+func (c *Ctx) Halt() { c.halted = true }
+
+// Halted reports whether Halt has been called during this activation.
+func (c *Ctx) Halted() bool { return c.halted }
+
+// Depth reports the synchronous nesting depth of this activation; a
+// top-level raise has depth 0.
+func (c *Ctx) Depth() int { return c.depth }

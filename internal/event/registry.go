@@ -1,0 +1,219 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// eventRec is the registry entry for one event.
+type eventRec struct {
+	name     string
+	deleted  bool
+	version  uint64        // bumped on every bind/unbind/delete; guarded by System.mu
+	ver      atomic.Uint64 // mirrors version for lock-free guard checks
+	handlers []*bound
+	snapshot []HandlerInfo // cached read-only view, rebuilt lazily
+}
+
+func (r *eventRec) invalidate() {
+	r.version++
+	r.ver.Store(r.version)
+	r.snapshot = nil
+}
+
+// Define registers a new event and returns its ID. Event names are unique
+// within a System; Define panics on a duplicate name (programming error,
+// as in Cactus event creation).
+func (s *System) Define(name string) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byName[name]; ok {
+		panic(fmt.Sprintf("event: Define(%q): %v", name, ErrDuplicateEvent))
+	}
+	id := ID(len(s.events))
+	s.events = append(s.events, &eventRec{name: name})
+	s.fast = append(s.fast, nil)
+	s.byName[name] = id
+	return id
+}
+
+// DefineAll registers several events at once and returns their IDs in order.
+func (s *System) DefineAll(names ...string) []ID {
+	ids := make([]ID, len(names))
+	for i, n := range names {
+		ids[i] = s.Define(n)
+	}
+	return ids
+}
+
+// Lookup returns the ID of a named event, or NoID if it is unknown or has
+// been deleted.
+func (s *System) Lookup(name string) ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.byName[name]
+	if !ok {
+		return NoID
+	}
+	return id
+}
+
+// EventName returns the registered name of ev ("" for an invalid ID).
+func (s *System) EventName(ev ID) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.rec(ev); r != nil {
+		return r.name
+	}
+	return ""
+}
+
+// NumEvents reports how many events have been defined (including deleted
+// ones, whose IDs are never reused).
+func (s *System) NumEvents() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// EventIDs returns the IDs of all live (non-deleted) events.
+func (s *System) EventIDs() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ID, 0, len(s.events))
+	for i, r := range s.events {
+		if !r.deleted {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// Delete removes an event from the registry. Subsequent raises of ev are
+// errors; its ID is not reused. Deleting bumps the version so any
+// super-handler covering ev is invalidated.
+func (s *System) Delete(ev ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(ev)
+	if r == nil {
+		return ErrUnknownEvent
+	}
+	if r.deleted {
+		return ErrDeletedEvent
+	}
+	r.deleted = true
+	r.handlers = nil
+	r.invalidate()
+	delete(s.byName, r.name)
+	s.fast[ev] = nil
+	return nil
+}
+
+// rec returns the registry entry for ev, or nil. Caller holds s.mu.
+func (s *System) rec(ev ID) *eventRec {
+	if ev < 0 || int(ev) >= len(s.events) {
+		return nil
+	}
+	return s.events[ev]
+}
+
+// Bind attaches a handler to an event. name identifies the handler in
+// profiles and diagnostics. Handlers run in ascending WithOrder order,
+// ties broken by bind sequence. Bind panics on an unknown or deleted
+// event (programming error).
+func (s *System) Bind(ev ID, name string, fn HandlerFunc, opts ...BindOption) Binding {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(ev)
+	if r == nil || r.deleted {
+		panic(fmt.Sprintf("event: Bind(%d, %q): %v", ev, name, ErrUnknownEvent))
+	}
+	s.bindSeq++
+	b := &bound{name: name, fn: fn, seq: s.bindSeq}
+	for _, opt := range opts {
+		opt(b)
+	}
+	r.handlers = append(r.handlers, b)
+	sort.SliceStable(r.handlers, func(i, j int) bool {
+		if r.handlers[i].order != r.handlers[j].order {
+			return r.handlers[i].order < r.handlers[j].order
+		}
+		return r.handlers[i].seq < r.handlers[j].seq
+	})
+	r.invalidate()
+	return Binding{ev: ev, seq: b.seq}
+}
+
+// Unbind removes a previously established binding. It returns
+// ErrStaleBinding if the binding is no longer present.
+func (s *System) Unbind(b Binding) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(b.ev)
+	if r == nil {
+		return ErrUnknownEvent
+	}
+	for i, h := range r.handlers {
+		if h.seq == b.seq {
+			r.handlers = append(r.handlers[:i], r.handlers[i+1:]...)
+			r.invalidate()
+			return nil
+		}
+	}
+	return ErrStaleBinding
+}
+
+// Version returns the binding version of ev. The version changes whenever
+// the set or order of handlers bound to ev changes, or the event is
+// deleted; super-handler guards compare versions (paper section 3.3).
+func (s *System) Version(ev ID) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.rec(ev); r != nil {
+		return r.version
+	}
+	return ^uint64(0)
+}
+
+// HandlerCount reports the number of handlers currently bound to ev.
+func (s *System) HandlerCount(ev ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r := s.rec(ev); r != nil {
+		return len(r.handlers)
+	}
+	return 0
+}
+
+// Handlers returns a read-only snapshot of the bindings of ev in execution
+// order. The profiler and optimizer consume this view.
+func (s *System) Handlers(ev ID) []HandlerInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.rec(ev)
+	if r == nil {
+		return nil
+	}
+	return s.snapshotLocked(r)
+}
+
+// snapshotLocked returns (building if needed) the cached HandlerInfo view.
+// Caller holds s.mu.
+func (s *System) snapshotLocked(r *eventRec) []HandlerInfo {
+	if r.snapshot == nil && len(r.handlers) > 0 {
+		r.snapshot = make([]HandlerInfo, len(r.handlers))
+		for i, h := range r.handlers {
+			r.snapshot[i] = HandlerInfo{
+				Name:     h.name,
+				Order:    h.order,
+				Params:   h.params,
+				BindArgs: h.bindArgs,
+				IR:       h.ir,
+				Fn:       h.fn,
+			}
+		}
+	}
+	return r.snapshot
+}

@@ -1,0 +1,333 @@
+package event
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Duration is the unit of the system clock (an alias of time.Duration).
+type Duration = time.Duration
+
+// Clock supplies monotonic time to the scheduler.
+type Clock interface {
+	Now() Duration
+}
+
+// realClock reports monotonic time elapsed since its creation.
+type realClock struct{ start time.Time }
+
+// NewRealClock returns a Clock backed by the process monotonic clock.
+func NewRealClock() Clock { return realClock{start: time.Now()} }
+
+func (c realClock) Now() Duration { return time.Since(c.start) }
+
+// VirtualClock is a deterministic, manually advanced clock. With a
+// VirtualClock installed, Drain advances time to the next pending timer
+// when the run queue empties, so timed events fire reproducibly without
+// real sleeping.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now Duration
+}
+
+// NewVirtualClock returns a virtual clock starting at zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d (negative d is ignored).
+func (c *VirtualClock) Advance(d Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// advanceTo moves virtual time forward to t if t is in the future.
+func (c *VirtualClock) advanceTo(t Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Timer is the cancellation token of a delayed activation.
+type Timer struct{ e *timerEntry }
+
+// Cancel revokes the delayed activation if it has not fired yet; it
+// reports whether the cancellation took effect.
+func (t Timer) Cancel() bool {
+	if t.e == nil {
+		return false
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	if t.e.done {
+		return false
+	}
+	t.e.done = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t Timer) Pending() bool {
+	if t.e == nil {
+		return false
+	}
+	t.e.mu.Lock()
+	defer t.e.mu.Unlock()
+	return !t.e.done
+}
+
+type timerEntry struct {
+	mu   sync.Mutex
+	at   Duration
+	seq  uint64
+	ev   ID
+	args []Arg
+	done bool
+}
+
+type timerHeap []*timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)     { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)       { *h = append(*h, x.(*timerEntry)) }
+func (h *timerHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h timerHeap) peek() *timerEntry { return h[0] }
+
+// RaiseAfter schedules a timed activation of ev after delay d. Timed
+// events behave like asynchronous activations that become eligible once
+// the clock passes their deadline (paper section 2.2).
+func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
+	if d < 0 {
+		d = 0
+	}
+	s.qmu.Lock()
+	s.tseq++
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args)}
+	heap.Push(&s.timers, e)
+	s.qmu.Unlock()
+	s.nudge()
+	return Timer{e: e}
+}
+
+// enqueue appends an asynchronous activation to the run queue.
+func (s *System) enqueue(ev ID, mode Mode, args []Arg, _ Duration) {
+	s.qmu.Lock()
+	s.queue = append(s.queue, pending{ev: ev, mode: mode, args: cloneArgs(args)})
+	s.qmu.Unlock()
+	s.nudge()
+}
+
+// nudge wakes a blocked Run loop, if any.
+func (s *System) nudge() {
+	if s.wake == nil {
+		return
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+func cloneArgs(args []Arg) []Arg {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]Arg, len(args))
+	copy(out, args)
+	return out
+}
+
+// popRunnable removes and returns the next runnable activation: a queued
+// asynchronous activation, or a timer whose deadline has passed. The
+// second result reports whether anything was runnable.
+func (s *System) popRunnable() (pending, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	now := s.clock.Now()
+	// Due timers fire before queued events with respect to their deadline
+	// order, but queued events that were enqueued first still drain FIFO;
+	// we give precedence to due timers to honor their deadlines.
+	for len(s.timers) > 0 {
+		e := s.timers.peek()
+		e.mu.Lock()
+		if e.done {
+			e.mu.Unlock()
+			heap.Pop(&s.timers)
+			continue
+		}
+		if e.at <= now {
+			e.done = true
+			e.mu.Unlock()
+			heap.Pop(&s.timers)
+			return pending{ev: e.ev, mode: Delayed, args: e.args}, true
+		}
+		e.mu.Unlock()
+		break
+	}
+	if len(s.queue) > 0 {
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		return p, true
+	}
+	return pending{}, false
+}
+
+// nextDeadline returns the deadline of the earliest live timer, or false.
+func (s *System) nextDeadline() (Duration, bool) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for len(s.timers) > 0 {
+		e := s.timers.peek()
+		e.mu.Lock()
+		done := e.done
+		at := e.at
+		e.mu.Unlock()
+		if done {
+			heap.Pop(&s.timers)
+			continue
+		}
+		return at, true
+	}
+	return 0, false
+}
+
+// Step runs at most one queued or due activation; it reports whether one ran.
+func (s *System) Step() bool {
+	p, ok := s.popRunnable()
+	if !ok {
+		return false
+	}
+	s.runTop(p.ev, p.mode, p.args)
+	return true
+}
+
+// Drain runs queued asynchronous activations until none remain. With a
+// virtual clock it then advances time to the next pending timer and keeps
+// going until no queued work and no timers remain. It returns the number
+// of activations executed.
+func (s *System) Drain() int {
+	n := 0
+	for {
+		if s.Step() {
+			n++
+			continue
+		}
+		vc, ok := s.clock.(*VirtualClock)
+		if !ok {
+			return n
+		}
+		at, any := s.nextDeadline()
+		if !any {
+			return n
+		}
+		vc.advanceTo(at)
+	}
+}
+
+// DrainFor behaves like Drain but, under a virtual clock, never advances
+// time beyond limit; it is used to simulate a bounded run (for example, N
+// seconds of a frame-paced workload). It returns the number of
+// activations executed.
+func (s *System) DrainFor(limit Duration) int {
+	n := 0
+	for {
+		if s.Step() {
+			n++
+			continue
+		}
+		vc, ok := s.clock.(*VirtualClock)
+		if !ok {
+			return n
+		}
+		at, any := s.nextDeadline()
+		if !any || at > limit {
+			return n
+		}
+		vc.advanceTo(at)
+	}
+}
+
+// Run is the blocking event loop for real-clock systems: it executes
+// queued asynchronous activations as they arrive and timed activations
+// as they fall due, sleeping in between, until stop is closed. It
+// returns the number of activations executed. Synchronous raises from
+// other goroutines remain safe concurrently (handler execution is
+// serialized by the atomicity lock); use Drain instead under a virtual
+// clock.
+func (s *System) Run(stop <-chan struct{}) int {
+	n := 0
+	for {
+		for s.Step() {
+			n++
+		}
+		select {
+		case <-stop:
+			return n
+		default:
+		}
+		var timerC <-chan time.Time
+		if at, ok := s.nextDeadline(); ok {
+			wait := at - s.clock.Now()
+			if wait <= 0 {
+				continue
+			}
+			t := time.NewTimer(wait)
+			timerC = t.C
+			select {
+			case <-stop:
+				t.Stop()
+				return n
+			case <-s.wake:
+				t.Stop()
+			case <-timerC:
+			}
+			continue
+		}
+		select {
+		case <-stop:
+			return n
+		case <-s.wake:
+		}
+	}
+}
+
+// QueueLen reports the number of queued (not yet run) asynchronous
+// activations, excluding timers.
+func (s *System) QueueLen() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.queue)
+}
+
+// TimerCount reports the number of scheduled (uncanceled, unfired) timers.
+func (s *System) TimerCount() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	n := 0
+	for _, e := range s.timers {
+		e.mu.Lock()
+		if !e.done {
+			n++
+		}
+		e.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Tracer receives instrumentation callbacks from the runtime. The profile
+// package installs one to record event and handler traces (paper section
+// 3.1). Super-handlers emit the same callbacks for the handlers they run,
+// so traces of optimized and unoptimized executions are comparable.
+type Tracer interface {
+	// Event is called once per activation, before any handler runs.
+	Event(ev ID, name string, mode Mode, depth int)
+	// HandlerEnter/HandlerExit bracket each handler invocation.
+	HandlerEnter(ev ID, eventName, handler string, depth int)
+	HandlerExit(ev ID, eventName, handler string, depth int)
+}
+
+// Counters accumulates runtime statistics. All fields are updated with
+// atomic adds so they can be read while the system runs. They exist so
+// tests and benchmarks can verify which dispatch path executed and how
+// much generic-path work was avoided.
+type Counters struct {
+	Raises       atomic.Int64 // all activations (any mode)
+	SyncRaises   atomic.Int64
+	AsyncRaises  atomic.Int64
+	TimedRaises  atomic.Int64
+	Generic      atomic.Int64 // activations via the generic path
+	FastRuns     atomic.Int64 // activations via an installed fast path
+	Fallbacks    atomic.Int64 // fast-path guard failures
+	SegFallbacks atomic.Int64 // partitioned per-segment fallbacks (Fig. 14)
+	Indirect     atomic.Int64 // indirect handler calls on the generic path
+	Marshals     atomic.Int64 // argument records built
+	ArgResolves  atomic.Int64 // per-handler parameter resolutions
+	Locks        atomic.Int64 // state-maintenance lock acquisitions
+	HandlersRun  atomic.Int64 // total handler bodies executed (both paths)
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.Raises.Store(0)
+	c.SyncRaises.Store(0)
+	c.AsyncRaises.Store(0)
+	c.TimedRaises.Store(0)
+	c.Generic.Store(0)
+	c.FastRuns.Store(0)
+	c.Fallbacks.Store(0)
+	c.SegFallbacks.Store(0)
+	c.Indirect.Store(0)
+	c.Marshals.Store(0)
+	c.ArgResolves.Store(0)
+	c.Locks.Store(0)
+	c.HandlersRun.Store(0)
+}
+
+// System is an event runtime instance: registry, scheduler and clock.
+type System struct {
+	mu      sync.Mutex // guards registry state
+	events  []*eventRec
+	byName  map[string]ID
+	bindSeq uint64
+	fast    []*SuperHandler // per-event fast paths, indexed by ID
+
+	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
+	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
+
+	qmu    sync.Mutex // guards queue and timers
+	queue  []pending
+	timers timerHeap
+	tseq   uint64
+	wake   chan struct{} // nudges Run when work arrives
+
+	clock   Clock
+	tracer  Tracer
+	stats   Counters
+	haltErr func(error) // reporter for raise errors on async paths
+}
+
+// pending is one queued asynchronous or timed activation.
+type pending struct {
+	ev   ID
+	mode Mode
+	args []Arg
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithClock selects the clock; the default is a real monotonic clock.
+// Supply NewVirtualClock() for deterministic scheduling.
+func WithClock(c Clock) Option {
+	return func(s *System) { s.clock = c }
+}
+
+// WithErrorReporter installs a callback invoked when an asynchronous or
+// timed activation targets an unknown/deleted event. The default ignores
+// such activations (an event with no handlers is ignored per the model).
+func WithErrorReporter(f func(error)) Option {
+	return func(s *System) { s.haltErr = f }
+}
+
+// New creates an empty event system.
+func New(opts ...Option) *System {
+	s := &System{
+		byName: make(map[string]ID),
+		clock:  NewRealClock(),
+		wake:   make(chan struct{}, 1),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// SetTracer installs (or removes, with nil) the instrumentation hook.
+func (s *System) SetTracer(t Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+// TracerInstalled reports whether a tracer is active.
+func (s *System) TracerInstalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tracer != nil
+}
+
+// Stats exposes the runtime counters.
+func (s *System) Stats() *Counters { return &s.stats }
+
+// Clock returns the system clock.
+func (s *System) Clock() Clock { return s.clock }
+
+// Now returns the current time on the system clock.
+func (s *System) Now() Duration { return s.clock.Now() }

@@ -1,0 +1,64 @@
+package opt
+
+import (
+	"eventopt/internal/hir"
+)
+
+// CopyProp rewrites block-local uses of registers that are plain copies
+// (r2 = r5) to use the copy source directly, so DCE can delete the move.
+// Only copies whose source register is not redefined between the move and
+// the use are propagated.
+func CopyProp(fn *hir.Function) {
+	for bi := range fn.Blocks {
+		blk := &fn.Blocks[bi]
+		copyOf := make(map[hir.Reg]hir.Reg)
+		resolve := func(r hir.Reg) hir.Reg {
+			for i := 0; i < len(copyOf); i++ { // bounded chase
+				s, ok := copyOf[r]
+				if !ok {
+					return r
+				}
+				r = s
+			}
+			return r
+		}
+		invalidate := func(dst hir.Reg) {
+			delete(copyOf, dst)
+			for d, s := range copyOf {
+				if s == dst {
+					delete(copyOf, d)
+				}
+			}
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			// Rewrite uses first.
+			switch in.Op {
+			case hir.OpMov, hir.OpUn, hir.OpStore:
+				in.A = resolve(in.A)
+			case hir.OpBin:
+				in.A = resolve(in.A)
+				in.B = resolve(in.B)
+			case hir.OpCall, hir.OpCallFn, hir.OpRaise:
+				for i := range in.Args {
+					in.Args[i] = resolve(in.Args[i])
+				}
+			}
+			// Then record/invalidate definitions.
+			if in.HasDst() {
+				invalidate(in.Dst)
+				if in.Op == hir.OpMov && in.A != in.Dst {
+					copyOf[in.Dst] = in.A
+				}
+			}
+		}
+		switch blk.Term.Kind {
+		case hir.TermBranch:
+			blk.Term.Cond = resolve(blk.Term.Cond)
+		case hir.TermReturn:
+			if blk.Term.Ret != hir.NoReg {
+				blk.Term.Ret = resolve(blk.Term.Ret)
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package opt
+
+import (
+	"eventopt/internal/hir"
+)
+
+// Inline expands OpCallFn sites whose callees are known in info and no
+// larger than maxInstrs instructions (0 selects a default of 64). Callee
+// blocks are spliced into the caller with registers and block ids
+// renamed; positional parameters become moves from the call's argument
+// registers, and each callee return jumps to the continuation block,
+// assigning the call's destination register. Direct recursion is left
+// alone. The pass repeats until no inlinable call remains (bounded, so
+// mutual recursion terminates).
+func Inline(fn *hir.Function, info *Info, maxInstrs int) {
+	if maxInstrs <= 0 {
+		maxInstrs = 64
+	}
+	for round := 0; round < 8; round++ {
+		site, callee := findSite(fn, info, maxInstrs)
+		if site == nil {
+			return
+		}
+		expand(fn, site.block, site.index, callee)
+	}
+}
+
+type callSite struct {
+	block hir.BlockID
+	index int
+}
+
+func findSite(fn *hir.Function, info *Info, maxInstrs int) (*callSite, *hir.Function) {
+	for bi := range fn.Blocks {
+		for ii := range fn.Blocks[bi].Instrs {
+			in := &fn.Blocks[bi].Instrs[ii]
+			if in.Op != hir.OpCallFn {
+				continue
+			}
+			callee := info.fn(in.Sym)
+			if callee == nil || callee.Name == fn.Name || callee.NumInstrs() > maxInstrs {
+				continue
+			}
+			return &callSite{block: hir.BlockID(bi), index: ii}, callee
+		}
+	}
+	return nil, nil
+}
+
+// expand splices callee at the given call site.
+func expand(fn *hir.Function, b hir.BlockID, ii int, callee *hir.Function) {
+	call := fn.Blocks[b].Instrs[ii] // copy before mutation
+	regOff := hir.Reg(fn.NumRegs)
+	blockOff := hir.BlockID(len(fn.Blocks) + 1) // +1 for the continuation block
+	fn.NumRegs += callee.NumRegs
+
+	// Continuation block: instructions after the call + original term.
+	cont := hir.BlockID(len(fn.Blocks))
+	contBlk := hir.Block{
+		Instrs: append([]hir.Instr(nil), fn.Blocks[b].Instrs[ii+1:]...),
+		Term:   fn.Blocks[b].Term,
+	}
+	fn.Blocks = append(fn.Blocks, contBlk)
+
+	// Truncate the call block: keep instrs before the call, add parameter
+	// moves, then jump into the (renamed) callee entry.
+	head := append([]hir.Instr(nil), fn.Blocks[b].Instrs[:ii]...)
+	for p := 0; p < callee.NumParams; p++ {
+		var src hir.Instr
+		if p < len(call.Args) {
+			src = hir.Instr{Op: hir.OpMov, Dst: regOff + hir.Reg(p), A: call.Args[p]}
+		} else {
+			src = hir.Instr{Op: hir.OpConst, Dst: regOff + hir.Reg(p), Const: hir.None}
+		}
+		head = append(head, src)
+	}
+	fn.Blocks[b].Instrs = head
+	fn.Blocks[b].Term = hir.Term{Kind: hir.TermJump, To: blockOff}
+
+	// Splice renamed callee blocks.
+	clone := callee.Clone()
+	for ci := range clone.Blocks {
+		cb := clone.Blocks[ci]
+		for j := range cb.Instrs {
+			renameRegs(&cb.Instrs[j], regOff)
+		}
+		switch cb.Term.Kind {
+		case hir.TermJump:
+			cb.Term.To += blockOff
+		case hir.TermBranch:
+			cb.Term.Cond += regOff
+			cb.Term.To += blockOff
+			cb.Term.Else += blockOff
+		case hir.TermReturn:
+			// Return becomes: dst = ret (or None); jump cont.
+			if call.Dst != hir.NoReg {
+				if cb.Term.Ret != hir.NoReg {
+					cb.Instrs = append(cb.Instrs, hir.Instr{Op: hir.OpMov, Dst: call.Dst, A: cb.Term.Ret + regOff})
+				} else {
+					cb.Instrs = append(cb.Instrs, hir.Instr{Op: hir.OpConst, Dst: call.Dst, Const: hir.None})
+				}
+			}
+			cb.Term = hir.Term{Kind: hir.TermJump, To: cont}
+		}
+		fn.Blocks = append(fn.Blocks, cb)
+	}
+}
+
+func renameRegs(in *hir.Instr, off hir.Reg) {
+	bump := func(r hir.Reg) hir.Reg {
+		if r == hir.NoReg {
+			return r
+		}
+		return r + off
+	}
+	in.Dst = bump(in.Dst)
+	in.A = bump(in.A)
+	in.B = bump(in.B)
+	for i := range in.Args {
+		in.Args[i] = bump(in.Args[i])
+	}
+}

@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"eventopt/internal/hir"
+)
+
+// Peephole applies block-local algebraic simplifications to binary
+// operations with one constant operand: x+0, x-0, x*1, x/1, x|0, x^0,
+// x<<0, x>>0 become moves; x*0, x&0, x^x and x-x become the constant 0.
+//
+// Soundness note: arithmetic operators coerce their result to an
+// integer, while a move preserves the operand's kind (a bool stays a
+// bool). Identity rewrites to moves therefore require the variable
+// operand to be a *known integer*; a block-local kind inference tracks
+// that (constants, arithmetic results, Neg/BNot/Len). The rewrites to
+// constants are kind-safe unconditionally, since the operators produce
+// integer zero for every operand kind.
+func Peephole(fn *hir.Function) {
+	for bi := range fn.Blocks {
+		blk := &fn.Blocks[bi]
+		consts := make(map[hir.Reg]hir.Value)
+		intKind := make(map[hir.Reg]bool)
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			if in.Op == hir.OpBin {
+				simplifyBin(in, consts, intKind)
+			}
+			if !in.HasDst() {
+				continue
+			}
+			delete(consts, in.Dst)
+			delete(intKind, in.Dst)
+			switch in.Op {
+			case hir.OpConst:
+				consts[in.Dst] = in.Const
+				intKind[in.Dst] = in.Const.Kind == hir.KInt
+			case hir.OpMov:
+				intKind[in.Dst] = intKind[in.A]
+				if c, ok := consts[in.A]; ok {
+					consts[in.Dst] = c
+				}
+			case hir.OpBin:
+				switch in.Bin {
+				case hir.Eq, hir.Ne, hir.Lt, hir.Le, hir.Gt, hir.Ge:
+					// comparisons produce bools
+				case hir.Add:
+					// Add may concatenate strings or bytes
+				default:
+					intKind[in.Dst] = true
+				}
+			case hir.OpUn:
+				if in.Un == hir.Neg || in.Un == hir.BNot || in.Un == hir.Len {
+					intKind[in.Dst] = true
+				}
+			}
+		}
+	}
+}
+
+func simplifyBin(in *hir.Instr, consts map[hir.Reg]hir.Value, intKind map[hir.Reg]bool) {
+	aC, aOK := consts[in.A]
+	bC, bOK := consts[in.B]
+	isInt := func(v hir.Value, ok bool, want int64) bool {
+		return ok && v.Kind == hir.KInt && v.I == want
+	}
+	// mov rewrites only when the surviving operand is a known integer:
+	// the arithmetic result would be an integer, and the move must not
+	// resurrect a non-integer kind.
+	mov := func(src hir.Reg) {
+		if !intKind[src] {
+			return
+		}
+		*in = hir.Instr{Op: hir.OpMov, Dst: in.Dst, A: src}
+	}
+	konst := func(v hir.Value) {
+		*in = hir.Instr{Op: hir.OpConst, Dst: in.Dst, Const: v}
+	}
+	switch in.Bin {
+	case hir.Add:
+		// Add also concatenates strings/bytes; the int-kind requirement
+		// on the surviving operand (enforced by mov) covers that.
+		if isInt(bC, bOK, 0) {
+			mov(in.A)
+		} else if isInt(aC, aOK, 0) {
+			mov(in.B)
+		}
+	case hir.Sub:
+		if in.A == in.B {
+			konst(hir.IntVal(0))
+		} else if isInt(bC, bOK, 0) {
+			mov(in.A)
+		}
+	case hir.Mul:
+		switch {
+		case isInt(bC, bOK, 0) || isInt(aC, aOK, 0):
+			konst(hir.IntVal(0))
+		case isInt(bC, bOK, 1):
+			mov(in.A)
+		case isInt(aC, aOK, 1):
+			mov(in.B)
+		}
+	case hir.Div:
+		if isInt(bC, bOK, 1) {
+			mov(in.A)
+		}
+	case hir.Or, hir.Xor:
+		if in.Bin == hir.Xor && in.A == in.B {
+			konst(hir.IntVal(0))
+		} else if isInt(bC, bOK, 0) {
+			mov(in.A)
+		} else if isInt(aC, aOK, 0) {
+			mov(in.B)
+		}
+	case hir.And:
+		if isInt(bC, bOK, 0) || isInt(aC, aOK, 0) {
+			konst(hir.IntVal(0))
+		}
+	case hir.Shl, hir.Shr:
+		if isInt(bC, bOK, 0) {
+			mov(in.A)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package hir
+
+import "sort"
+
+// State is the named global store shared by the handlers of a component
+// (a micro-protocol's shared data structures in the paper's terms).
+// Handler execution is serialized by the event runtime, so State needs no
+// internal locking; the runtime models state-maintenance lock traffic
+// separately.
+type State struct {
+	cells map[string]Value
+}
+
+// NewState returns an empty store.
+func NewState() *State { return &State{cells: make(map[string]Value)} }
+
+// Get reads a cell (None when absent).
+func (s *State) Get(name string) Value {
+	if v, ok := s.cells[name]; ok {
+		return v
+	}
+	return None
+}
+
+// Set writes a cell.
+func (s *State) Set(name string, v Value) { s.cells[name] = v }
+
+// Len reports the number of populated cells.
+func (s *State) Len() int { return len(s.cells) }
+
+// Names returns the populated cell names, sorted.
+func (s *State) Names() []string {
+	out := make([]string, 0, len(s.cells))
+	for n := range s.cells {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot copies the store (byte-slice payloads are copied too), for
+// equivalence testing between optimized and unoptimized runs.
+func (s *State) Snapshot() map[string]Value {
+	out := make(map[string]Value, len(s.cells))
+	for n, v := range s.cells {
+		if v.Kind == KBytes {
+			v.B = append([]byte(nil), v.B...)
+		}
+		out[n] = v
+	}
+	return out
+}
+
+// EqualSnapshot reports whether the store matches a snapshot exactly.
+func (s *State) EqualSnapshot(snap map[string]Value) bool {
+	if len(s.cells) != len(snap) {
+		return false
+	}
+	for n, v := range s.cells {
+		w, ok := snap[n]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}

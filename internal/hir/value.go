@@ -1,0 +1,161 @@
+// Package hir defines a small handler intermediate representation: the
+// code form on which the paper's compiler optimizations (section 3.2.2 —
+// inlining, constant propagation, dead-code elimination, redundant-code
+// elimination) operate. The paper's authors edited C sources by hand; the
+// mechanical analog here is handlers written as HIR functions, which the
+// optimizer merges, splices raise sites into (subsumption), and cleans up
+// with the passes in package opt.
+//
+// HIR is a register machine over basic blocks. Registers are mutable and
+// function-scoped (not SSA); the dataflow passes handle re-assignment.
+// The representation is deliberately independent of the event runtime:
+// raises and halts surface as callbacks in the execution Env, so the same
+// code can run under an interpreter, be compiled to closures, or be
+// statically analyzed.
+package hir
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates HIR value kinds.
+type Kind uint8
+
+const (
+	// KNone is the absent value (a failed argument lookup).
+	KNone Kind = iota
+	KInt
+	KBool
+	KStr
+	KBytes
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KNone:
+		return "none"
+	case KInt:
+		return "int"
+	case KBool:
+		return "bool"
+	case KStr:
+		return "str"
+	case KBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is one HIR runtime value.
+type Value struct {
+	Kind Kind
+	I    int64 // Int payload; Bool as 0/1
+	S    string
+	B    []byte
+}
+
+// None is the absent value.
+var None = Value{Kind: KNone}
+
+// IntVal returns an int value.
+func IntVal(i int64) Value { return Value{Kind: KInt, I: i} }
+
+// BoolVal returns a bool value.
+func BoolVal(b bool) Value {
+	if b {
+		return Value{Kind: KBool, I: 1}
+	}
+	return Value{Kind: KBool}
+}
+
+// StrVal returns a string value.
+func StrVal(s string) Value { return Value{Kind: KStr, S: s} }
+
+// BytesVal returns a bytes value (the slice is not copied).
+func BytesVal(b []byte) Value { return Value{Kind: KBytes, B: b} }
+
+// Int reads the value as an integer (bools coerce to 0/1, others to 0).
+func (v Value) Int() int64 {
+	switch v.Kind {
+	case KInt, KBool:
+		return v.I
+	default:
+		return 0
+	}
+}
+
+// Bool reads the value as a boolean: ints are true when nonzero, strings
+// and byte slices when nonempty, None is false.
+func (v Value) Bool() bool {
+	switch v.Kind {
+	case KInt, KBool:
+		return v.I != 0
+	case KStr:
+		return v.S != ""
+	case KBytes:
+		return len(v.B) != 0
+	default:
+		return false
+	}
+}
+
+// Str reads the value as a string ("" unless it is one).
+func (v Value) Str() string { return v.S }
+
+// Bytes reads the value as a byte slice (nil unless it is one).
+func (v Value) Bytes() []byte { return v.B }
+
+// Equal compares two values structurally.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KNone:
+		return true
+	case KInt, KBool:
+		return v.I == w.I
+	case KStr:
+		return v.S == w.S
+	case KBytes:
+		return bytes.Equal(v.B, w.B)
+	default:
+		return false
+	}
+}
+
+// String renders the value for diagnostics and pass debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KNone:
+		return "none"
+	case KInt:
+		return strconv.FormatInt(v.I, 10)
+	case KBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case KStr:
+		return strconv.Quote(v.S)
+	case KBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.B))
+	default:
+		return "?"
+	}
+}
+
+// key returns a map-key form of the value for value numbering. Byte
+// slices hash by content.
+func (v Value) key() string {
+	switch v.Kind {
+	case KBytes:
+		return "b:" + string(v.B)
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,264 @@
+// Package hirrt bridges HIR handler bodies to the event runtime: it
+// adapts *hir.Function bodies into event.HandlerFunc values, converts
+// between runtime argument values and hir.Value, and groups the shared
+// execution context (global state, intrinsics, helper functions) of one
+// component into a Module. Applications written against HIR get the same
+// observable behavior whether their handlers run individually through the
+// generic dispatcher or merged inside a super-handler.
+package hirrt
+
+import (
+	"fmt"
+	"sync"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+	"eventopt/internal/hir/opt"
+)
+
+// ToValue converts a runtime argument value into an hir.Value. Unsupported
+// types map to None, mirroring a failed argument lookup.
+func ToValue(v any) hir.Value {
+	switch x := v.(type) {
+	case nil:
+		return hir.None
+	case int:
+		return hir.IntVal(int64(x))
+	case int64:
+		return hir.IntVal(x)
+	case bool:
+		return hir.BoolVal(x)
+	case string:
+		return hir.StrVal(x)
+	case []byte:
+		return hir.BytesVal(x)
+	case hir.Value:
+		return x
+	default:
+		return hir.None
+	}
+}
+
+// FromValue converts an hir.Value into a runtime argument value.
+func FromValue(v hir.Value) any {
+	switch v.Kind {
+	case hir.KInt:
+		return v.I
+	case hir.KBool:
+		return v.I != 0
+	case hir.KStr:
+		return v.S
+	case hir.KBytes:
+		return v.B
+	default:
+		return nil
+	}
+}
+
+// Module is the shared execution context of one event-based component
+// whose handlers are written in HIR: its global state cells, its host
+// intrinsics, its HIR helper functions, and the event system it runs on.
+type Module struct {
+	Sys     *event.System
+	Globals *hir.State
+
+	mu         sync.Mutex
+	intrinsics map[string]hir.Intrinsic
+	funcs      map[string]*hir.Function
+	evCache    map[string]event.ID
+}
+
+// NewModule creates an empty module over sys.
+func NewModule(sys *event.System) *Module {
+	return &Module{
+		Sys:        sys,
+		Globals:    hir.NewState(),
+		intrinsics: make(map[string]hir.Intrinsic),
+		funcs:      make(map[string]*hir.Function),
+		evCache:    make(map[string]event.ID),
+	}
+}
+
+// RegisterIntrinsic exposes a host function to HIR code. Pure intrinsics
+// are eligible for folding, CSE and DCE.
+func (m *Module) RegisterIntrinsic(name string, pure bool, fn func(args []hir.Value) hir.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.intrinsics[name] = hir.Intrinsic{Fn: fn, Pure: pure}
+}
+
+// RegisterFunc exposes an HIR helper function (OpCallFn target).
+func (m *Module) RegisterFunc(fn *hir.Function) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.funcs[fn.Name] = fn
+}
+
+// OptInfo exposes the module's interprocedural facts to the optimizer.
+func (m *Module) OptInfo() *opt.Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	info := &opt.Info{
+		Intrinsics: make(map[string]hir.Intrinsic, len(m.intrinsics)),
+		Funcs:      make(map[string]*hir.Function, len(m.funcs)),
+	}
+	for k, v := range m.intrinsics {
+		info.Intrinsics[k] = v
+	}
+	for k, v := range m.funcs {
+		info.Funcs[k] = v
+	}
+	return info
+}
+
+// eventID resolves (and caches) an event name.
+func (m *Module) eventID(name string) event.ID {
+	m.mu.Lock()
+	if id, ok := m.evCache[name]; ok {
+		m.mu.Unlock()
+		return id
+	}
+	m.mu.Unlock()
+	id := m.Sys.Lookup(name)
+	if id != event.NoID {
+		m.mu.Lock()
+		m.evCache[name] = id
+		m.mu.Unlock()
+	}
+	return id
+}
+
+// Env builds a fresh HIR execution environment for one activation
+// context. HandlerFunc builds a reusable variant; Env remains for tools
+// and tests that execute bodies ad hoc.
+func (m *Module) Env(ctx *event.Ctx) *hir.Env {
+	env, bind := m.newEnv()
+	bind(ctx)
+	return env
+}
+
+// newEnv constructs an Env whose context can be switched cheaply between
+// activations: the closures read the current *event.Ctx through an
+// indirection cell instead of capturing one. The returned setter swaps
+// the current context and returns the previous one, so reentrant
+// activations nest correctly.
+func (m *Module) newEnv() (*hir.Env, func(*event.Ctx) *event.Ctx) {
+	var cur *event.Ctx
+	raiseIDs := make(map[string]event.ID) // filled lazily; runs under the runtime's atomicity lock
+	env := &hir.Env{
+		Args: func(n string) (hir.Value, bool) {
+			v, ok := cur.Args.Lookup(n)
+			if !ok {
+				return hir.None, false
+			}
+			return ToValue(v), true
+		},
+		BindArgs: func(n string) (hir.Value, bool) {
+			v, ok := cur.BindArgs.Lookup(n)
+			if !ok {
+				return hir.None, false
+			}
+			return ToValue(v), true
+		},
+		Globals:    m.Globals,
+		Intrinsics: m.intrinsics,
+		Funcs:      m.funcs,
+		Raise: func(name string, async bool, delay int64, args []hir.NamedValue) {
+			id, ok := raiseIDs[name]
+			if !ok {
+				id = m.eventID(name)
+				raiseIDs[name] = id
+			}
+			if id == event.NoID {
+				return // unknown events are ignored, like the runtime does
+			}
+			eargs := make([]event.Arg, len(args))
+			for i, a := range args {
+				eargs[i] = event.Arg{Name: a.Name, Val: FromValue(a.Val)}
+			}
+			switch {
+			case delay > 0:
+				cur.RaiseAfter(event.Duration(delay), id, eargs...)
+			case async:
+				cur.RaiseAsync(id, eargs...)
+			default:
+				cur.Raise(id, eargs...)
+			}
+		},
+		Halt: func() { cur.Halt() },
+	}
+	return env, func(ctx *event.Ctx) *event.Ctx {
+		old := cur
+		cur = ctx
+		return old
+	}
+}
+
+// HandlerFunc adapts an HIR body into an event handler. The environment
+// and register file are reused across activations (handler execution is
+// serialized by the runtime's atomicity lock), so steady-state dispatch
+// does not allocate. Execution errors (which indicate bugs in the
+// handler code, such as division by zero) panic, matching how a native
+// handler bug would surface.
+func (m *Module) HandlerFunc(body *hir.Function) event.HandlerFunc {
+	env, setCtx := m.newEnv()
+	var scratch []hir.Value
+	busy := false
+	return func(ctx *event.Ctx) {
+		wasBusy := busy
+		oldCtx := setCtx(ctx)
+		var err error
+		if wasBusy {
+			// Reentrant activation (an event whose handlers transitively
+			// raise it again): fall back to a private register file.
+			_, err = hir.Exec(body, env)
+		} else {
+			busy = true
+			_, scratch, err = hir.ExecReuse(body, env, scratch)
+			busy = false
+		}
+		setCtx(oldCtx)
+		if err != nil {
+			panic(fmt.Sprintf("hirrt: handler %s: %v", body.Name, err))
+		}
+	}
+}
+
+// CompiledHandlerFunc adapts an HIR body through the closure compiler
+// (hir.Compile): intrinsics resolve at compile time and execution runs
+// through direct closure calls instead of the interpreter's switch. Like
+// HandlerFunc, the environment and register file are reused across
+// activations. Compilation fails fast on unresolved intrinsics or
+// helper functions.
+func (m *Module) CompiledHandlerFunc(body *hir.Function) (event.HandlerFunc, error) {
+	env, setCtx := m.newEnv()
+	comp, err := hir.Compile(body, env)
+	if err != nil {
+		return nil, err
+	}
+	var scratch []hir.Value
+	busy := false
+	return func(ctx *event.Ctx) {
+		wasBusy := busy
+		oldCtx := setCtx(ctx)
+		var err error
+		if wasBusy {
+			_, _, err = comp.Exec(nil)
+		} else {
+			busy = true
+			_, scratch, err = comp.Exec(scratch)
+			busy = false
+		}
+		setCtx(oldCtx)
+		if err != nil {
+			panic(fmt.Sprintf("hirrt: compiled handler %s: %v", body.Name, err))
+		}
+	}, nil
+}
+
+// Bind attaches an HIR handler to an event, recording the IR body on the
+// binding so the optimizer can merge and fuse it later.
+func (m *Module) Bind(ev event.ID, name string, body *hir.Function, opts ...event.BindOption) event.Binding {
+	opts = append(opts, event.WithIR(body))
+	return m.Sys.Bind(ev, name, m.HandlerFunc(body), opts...)
+}

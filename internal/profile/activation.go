@@ -1,0 +1,108 @@
+package profile
+
+import (
+	"fmt"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// RaiseRec records one event raised from inside a handler, in order.
+type RaiseRec struct {
+	Event event.ID
+	Mode  event.Mode
+}
+
+// HandlerRun is one handler invocation inside an activation.
+type HandlerRun struct {
+	Name   string
+	Raises []RaiseRec
+}
+
+// Activation is one reconstructed event activation: the event, how it was
+// raised, and the handlers that ran (present only for events with handler
+// profiling enabled).
+type Activation struct {
+	Event     event.ID
+	EventName string
+	Mode      event.Mode
+	Depth     int
+	Handlers  []HandlerRun
+}
+
+// BuildActivations reconstructs the activation forest of a trace. The
+// Depth fields recorded by the runtime make the reconstruction
+// unambiguous even when handler profiling is enabled only for a subset of
+// events: an entry at depth d always belongs to the activation frame at
+// stack height d.
+func BuildActivations(entries []trace.Entry) ([]Activation, error) {
+	type frame struct {
+		act  *Activation
+		open bool // a handler is currently open in this frame
+	}
+	var all []*Activation
+	var stack []*frame
+	for i, e := range entries {
+		switch e.Kind {
+		case trace.EventRaised:
+			if e.Depth > len(stack) {
+				return nil, fmt.Errorf("profile: entry %d: depth %d with stack %d", i, e.Depth, len(stack))
+			}
+			stack = stack[:e.Depth]
+			act := &Activation{Event: e.Event, EventName: e.EventName, Mode: e.Mode, Depth: e.Depth}
+			all = append(all, act)
+			// Attribute a nested synchronous raise to the handler that
+			// is open in the parent frame, if any.
+			if e.Depth > 0 && e.Mode == event.Sync {
+				p := stack[e.Depth-1]
+				if p.open && len(p.act.Handlers) > 0 {
+					h := &p.act.Handlers[len(p.act.Handlers)-1]
+					h.Raises = append(h.Raises, RaiseRec{Event: e.Event, Mode: e.Mode})
+				}
+			}
+			stack = append(stack, &frame{act: act})
+		case trace.HandlerEnter:
+			if e.Depth >= len(stack) {
+				return nil, fmt.Errorf("profile: entry %d: handler at depth %d with stack %d", i, e.Depth, len(stack))
+			}
+			stack = stack[:e.Depth+1]
+			f := stack[e.Depth]
+			if f.act.Event != e.Event {
+				return nil, fmt.Errorf("profile: entry %d: handler of event %d inside activation of %d", i, e.Event, f.act.Event)
+			}
+			f.act.Handlers = append(f.act.Handlers, HandlerRun{Name: e.Handler})
+			f.open = true
+		case trace.HandlerExit:
+			if e.Depth >= len(stack) {
+				return nil, fmt.Errorf("profile: entry %d: handler exit at depth %d with stack %d", i, e.Depth, len(stack))
+			}
+			stack = stack[:e.Depth+1]
+			stack[e.Depth].open = false
+		}
+	}
+	out := make([]Activation, len(all))
+	for i, a := range all {
+		out[i] = *a
+	}
+	return out, nil
+}
+
+// AsyncRaisesOf scans activations for asynchronous raises attributed to
+// handlers. Because asynchronous activations are dispatched later, their
+// trace entries appear at top level and carry no causal link; this helper
+// therefore reports only what can be inferred — it exists so callers can
+// see that the answer is empty, mirroring the paper's observation that
+// async successors carry no causality information.
+func AsyncRaisesOf(acts []Activation) []RaiseRec {
+	var out []RaiseRec
+	for _, a := range acts {
+		for _, h := range a.Handlers {
+			for _, r := range h.Raises {
+				if r.Mode != event.Sync {
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteDOT renders the event graph in Graphviz DOT form, using the visual
+// convention of paper Fig. 5: solid edges for synchronously activated
+// successors, dashed edges for asynchronous/timed ones, edge labels
+// carrying weights.
+func (g *EventGraph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n", strconv.Quote(title)); err != nil {
+		return err
+	}
+	for _, n := range g.Nodes() {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%s];\n", n, strconv.Quote(g.Name(n))); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		style := "solid"
+		if !e.Sync() {
+			style = "dashed"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d [label=\"%d\", style=%s];\n",
+			e.From, e.To, e.Weight, style); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// WriteDOT renders the handler graph in Graphviz DOT form, clustering
+// handler nodes by the event they belong to (the Fig. 8 view).
+func (g *HandlerGraph) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %s {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", strconv.Quote(title)); err != nil {
+		return err
+	}
+	ids := make(map[HandlerNode]int)
+	byEvent := make(map[string][]HandlerNode)
+	for i, n := range g.Nodes() {
+		ids[n] = i
+		byEvent[n.EventName] = append(byEvent[n.EventName], n)
+	}
+	events := make([]string, 0, len(byEvent))
+	for ev := range byEvent {
+		events = append(events, ev)
+	}
+	sort.Strings(events)
+	for ci, ev := range events {
+		if _, err := fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=%s;\n", ci, strconv.Quote(ev)); err != nil {
+			return err
+		}
+		for _, n := range byEvent[ev] {
+			if _, err := fmt.Fprintf(w, "    h%d [label=%s];\n", ids[n], strconv.Quote(n.Handler)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "  }"); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "  h%d -> h%d [label=\"%d\"];\n", ids[e.From], ids[e.To], e.Weight); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,375 @@
+// Package profile analyzes event traces into the structures the paper's
+// optimizer consumes (section 3.1): the event graph built by the
+// GraphBuilder algorithm (Fig. 4), its threshold-reduced form (Fig. 6),
+// event paths and event chains (section 3.2.1), and the handler graph with
+// the nesting information that drives subsumption (Figs. 8-9).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// EdgeKey identifies a directed edge between two events.
+type EdgeKey struct {
+	From, To event.ID
+}
+
+// Edge is one weighted edge of an event graph. Weight counts how many
+// times To immediately followed From in the trace. SyncWeight counts the
+// subset of those occurrences in which To was raised synchronously — only
+// those justify a causality inference (section 3.1: an asynchronous
+// successor "may not indicate causality").
+type Edge struct {
+	From, To   event.ID
+	Weight     int
+	SyncWeight int
+}
+
+// AsyncWeight counts occurrences where To was raised asynchronously or as
+// a timed event.
+func (e *Edge) AsyncWeight() int { return e.Weight - e.SyncWeight }
+
+// Sync reports whether every observed traversal of the edge activated To
+// synchronously.
+func (e *Edge) Sync() bool { return e.SyncWeight == e.Weight }
+
+// EventGraph summarizes the event sequences of a trace.
+type EventGraph struct {
+	names map[event.ID]string
+	edges map[EdgeKey]*Edge
+	succ  map[event.ID][]event.ID // sorted lazily on demand
+	pred  map[event.ID][]event.ID
+	dirty bool
+}
+
+// NewEventGraph returns an empty graph.
+func NewEventGraph() *EventGraph {
+	return &EventGraph{
+		names: make(map[event.ID]string),
+		edges: make(map[EdgeKey]*Edge),
+	}
+}
+
+// BuildEventGraph runs the GraphBuilder algorithm of Fig. 4 over the
+// EventRaised entries of a trace: for each adjacent pair (prev, cur) it
+// inserts or bumps the edge prev→cur; the mode of cur classifies the
+// traversal as synchronous or asynchronous.
+func BuildEventGraph(entries []trace.Entry) *EventGraph {
+	g := NewEventGraph()
+	first := true
+	var prev trace.Entry
+	for _, e := range entries {
+		if e.Kind != trace.EventRaised {
+			continue
+		}
+		g.names[e.Event] = e.EventName
+		if first {
+			prev, first = e, false
+			continue
+		}
+		g.addEdge(prev.Event, e.Event, e.Mode == event.Sync)
+		prev = e
+	}
+	return g
+}
+
+func (g *EventGraph) addEdge(from, to event.ID, sync bool) {
+	k := EdgeKey{From: from, To: to}
+	e := g.edges[k]
+	if e == nil {
+		e = &Edge{From: from, To: to}
+		g.edges[k] = e
+	}
+	e.Weight++
+	if sync {
+		e.SyncWeight++
+	}
+	g.dirty = true
+}
+
+// AddEdge inserts (or reinforces) an edge directly; it exists for tests
+// and for constructing graphs from external data. Node names must be
+// registered with SetName.
+func (g *EventGraph) AddEdge(from, to event.ID, weight, syncWeight int) {
+	if weight <= 0 {
+		return
+	}
+	k := EdgeKey{From: from, To: to}
+	e := g.edges[k]
+	if e == nil {
+		e = &Edge{From: from, To: to}
+		g.edges[k] = e
+	}
+	e.Weight += weight
+	e.SyncWeight += syncWeight
+	g.dirty = true
+}
+
+// SetName registers the display name of a node.
+func (g *EventGraph) SetName(ev event.ID, name string) {
+	g.names[ev] = name
+	g.dirty = true
+}
+
+// Name returns the display name of ev (its numeric form when unknown).
+func (g *EventGraph) Name(ev event.ID) string {
+	if n, ok := g.names[ev]; ok {
+		return n
+	}
+	return fmt.Sprintf("ev%d", ev)
+}
+
+// NumNodes reports the number of distinct events appearing in the graph
+// (as endpoint of at least one edge, or name-registered).
+func (g *EventGraph) NumNodes() int { return len(g.Nodes()) }
+
+// NumEdges reports the number of distinct edges.
+func (g *EventGraph) NumEdges() int { return len(g.edges) }
+
+// TotalWeight sums all edge weights; for a graph built from a trace it
+// equals len(events)-1.
+func (g *EventGraph) TotalWeight() int {
+	t := 0
+	for _, e := range g.edges {
+		t += e.Weight
+	}
+	return t
+}
+
+// Nodes returns all node IDs in ascending order.
+func (g *EventGraph) Nodes() []event.ID {
+	seen := make(map[event.ID]bool, len(g.names))
+	for ev := range g.names {
+		seen[ev] = true
+	}
+	for k := range g.edges {
+		seen[k.From] = true
+		seen[k.To] = true
+	}
+	out := make([]event.ID, 0, len(seen))
+	for ev := range seen {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeBetween returns the edge from→to, or nil.
+func (g *EventGraph) EdgeBetween(from, to event.ID) *Edge {
+	return g.edges[EdgeKey{From: from, To: to}]
+}
+
+// Edges returns all edges sorted by (From, To) for deterministic output.
+func (g *EventGraph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func (g *EventGraph) rebuildAdj() {
+	if !g.dirty && g.succ != nil {
+		return
+	}
+	g.succ = make(map[event.ID][]event.ID)
+	g.pred = make(map[event.ID][]event.ID)
+	for _, e := range g.Edges() {
+		g.succ[e.From] = append(g.succ[e.From], e.To)
+		g.pred[e.To] = append(g.pred[e.To], e.From)
+	}
+	g.dirty = false
+}
+
+// Successors returns the targets of all out-edges of ev, sorted.
+func (g *EventGraph) Successors(ev event.ID) []event.ID {
+	g.rebuildAdj()
+	return g.succ[ev]
+}
+
+// Predecessors returns the sources of all in-edges of ev, sorted.
+func (g *EventGraph) Predecessors(ev event.ID) []event.ID {
+	g.rebuildAdj()
+	return g.pred[ev]
+}
+
+// Reduce returns the reduced event graph for threshold t: the subgraph
+// containing exactly the edges of weight >= t (section 3.1 / Fig. 6).
+// Node names carry over; nodes left without edges disappear.
+func (g *EventGraph) Reduce(t int) *EventGraph {
+	r := NewEventGraph()
+	for k, e := range g.edges {
+		if e.Weight >= t {
+			r.edges[k] = &Edge{From: e.From, To: e.To, Weight: e.Weight, SyncWeight: e.SyncWeight}
+			r.names[e.From] = g.Name(e.From)
+			r.names[e.To] = g.Name(e.To)
+		}
+	}
+	r.dirty = true
+	return r
+}
+
+// Path is a sequence of events along graph edges.
+type Path []event.ID
+
+// String renders the path with node names from g.
+func (p Path) String(g *EventGraph) string {
+	parts := make([]string, len(p))
+	for i, ev := range p {
+		parts[i] = g.Name(ev)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// MinWeight returns the smallest edge weight along the path (0 if the
+// path has fewer than two nodes or uses a missing edge).
+func (g *EventGraph) MinWeight(p Path) int {
+	if len(p) < 2 {
+		return 0
+	}
+	min := 0
+	for i := 1; i < len(p); i++ {
+		e := g.EdgeBetween(p[i-1], p[i])
+		if e == nil {
+			return 0
+		}
+		if min == 0 || e.Weight < min {
+			min = e.Weight
+		}
+	}
+	return min
+}
+
+// Paths extracts event paths of weight t: maximal simple paths of the
+// graph reduced by t. Per section 3.1 the reduced graph is small, so a
+// bounded DFS enumerating maximal simple paths is adequate; maxPaths
+// bounds the enumeration defensively (<=0 means a default of 256).
+func (g *EventGraph) Paths(t, maxPaths int) []Path {
+	if maxPaths <= 0 {
+		maxPaths = 256
+	}
+	r := g.Reduce(t)
+	r.rebuildAdj()
+
+	// Roots: nodes with no in-edges in the reduced graph; if the whole
+	// graph is cyclic, fall back to every node.
+	var roots []event.ID
+	for _, n := range r.Nodes() {
+		if len(r.pred[n]) == 0 {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		roots = r.Nodes()
+	}
+
+	var paths []Path
+	seen := make(map[string]bool)
+	var cur Path
+	onPath := make(map[event.ID]bool)
+	var dfs func(n event.ID)
+	dfs = func(n event.ID) {
+		if len(paths) >= maxPaths {
+			return
+		}
+		cur = append(cur, n)
+		onPath[n] = true
+		extended := false
+		for _, nx := range r.succ[n] {
+			if onPath[nx] {
+				continue
+			}
+			extended = true
+			dfs(nx)
+		}
+		if !extended && len(cur) > 1 {
+			key := fmt.Sprint(cur)
+			if !seen[key] {
+				seen[key] = true
+				paths = append(paths, append(Path(nil), cur...))
+			}
+		}
+		onPath[n] = false
+		cur = cur[:len(cur)-1]
+	}
+	for _, root := range roots {
+		dfs(root)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		wi, wj := r.MinWeight(paths[i]), r.MinWeight(paths[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return paths[i].String(r) < paths[j].String(r)
+	})
+	return paths
+}
+
+// Chains extracts event chains per section 3.2.1: maximal paths
+// v1..vk such that every vertex except possibly vk has exactly one
+// successor edge, that edge is synchronous on every observed traversal,
+// and the edge into vk is synchronous. Chains denote event sequences
+// guaranteed to occur when the head occurs, so they are the unit of
+// cross-event handler merging. Asynchronous edges never participate.
+func (g *EventGraph) Chains() []Path {
+	g.rebuildAdj()
+
+	// next[v] = w iff v has exactly one successor edge and it is sync.
+	next := make(map[event.ID]event.ID)
+	for _, v := range g.Nodes() {
+		succ := g.succ[v]
+		if len(succ) != 1 {
+			continue
+		}
+		e := g.EdgeBetween(v, succ[0])
+		if e.Sync() {
+			next[v] = succ[0]
+		}
+	}
+
+	// Heads: vertices with a chain-successor that are not themselves the
+	// chain-successor of another vertex.
+	var heads []event.ID
+	for v := range next {
+		pred := false
+		for p, w := range next {
+			if w == v && p != v {
+				pred = true
+				break
+			}
+		}
+		if !pred {
+			heads = append(heads, v)
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+
+	var chains []Path
+	for _, h := range heads {
+		p := Path{h}
+		visited := map[event.ID]bool{h: true}
+		for {
+			w, ok := next[p[len(p)-1]]
+			if !ok || visited[w] {
+				break
+			}
+			p = append(p, w)
+			visited[w] = true
+		}
+		if len(p) >= 2 {
+			chains = append(chains, p)
+		}
+	}
+	return chains
+}

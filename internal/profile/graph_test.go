@@ -1,0 +1,334 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// evt builds an EventRaised entry.
+func evt(id event.ID, name string, mode event.Mode, depth int) trace.Entry {
+	return trace.Entry{Kind: trace.EventRaised, Event: id, EventName: name, Mode: mode, Depth: depth}
+}
+
+func TestBuildEventGraphFig4(t *testing.T) {
+	// Trace: A B A B C — edges A→B (2), B→A (1), B→C (1).
+	entries := []trace.Entry{
+		evt(0, "A", event.Sync, 0),
+		evt(1, "B", event.Sync, 0),
+		evt(0, "A", event.Sync, 0),
+		evt(1, "B", event.Sync, 0),
+		evt(2, "C", event.Async, 0),
+	}
+	g := BuildEventGraph(entries)
+	if g.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	ab := g.EdgeBetween(0, 1)
+	if ab == nil || ab.Weight != 2 || ab.SyncWeight != 2 || !ab.Sync() {
+		t.Errorf("A->B = %+v", ab)
+	}
+	bc := g.EdgeBetween(1, 2)
+	if bc == nil || bc.Weight != 1 || bc.SyncWeight != 0 || bc.Sync() || bc.AsyncWeight() != 1 {
+		t.Errorf("B->C = %+v", bc)
+	}
+	if g.EdgeBetween(2, 0) != nil {
+		t.Error("C->A should not exist")
+	}
+	if g.TotalWeight() != len(entries)-1 {
+		t.Errorf("TotalWeight = %d, want %d", g.TotalWeight(), len(entries)-1)
+	}
+	if g.Name(0) != "A" || g.Name(9) != "ev9" {
+		t.Errorf("names: %q, %q", g.Name(0), g.Name(9))
+	}
+}
+
+func TestGraphEmptyAndSingle(t *testing.T) {
+	if g := BuildEventGraph(nil); g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Error("empty trace should give empty graph")
+	}
+	g := BuildEventGraph([]trace.Entry{evt(0, "A", event.Sync, 0)})
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("single-event graph: nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGraphIgnoresHandlerEntries(t *testing.T) {
+	entries := []trace.Entry{
+		evt(0, "A", event.Sync, 0),
+		{Kind: trace.HandlerEnter, Event: 0, EventName: "A", Handler: "h", Depth: 0},
+		{Kind: trace.HandlerExit, Event: 0, EventName: "A", Handler: "h", Depth: 0},
+		evt(1, "B", event.Sync, 1),
+	}
+	g := BuildEventGraph(entries)
+	if g.NumEdges() != 1 || g.EdgeBetween(0, 1).Weight != 1 {
+		t.Errorf("graph = %+v", g.Edges())
+	}
+}
+
+func TestReduce(t *testing.T) {
+	g := NewEventGraph()
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.SetName(2, "C")
+	g.AddEdge(0, 1, 500, 500)
+	g.AddEdge(1, 2, 100, 100)
+	g.AddEdge(2, 0, 300, 0)
+	r := g.Reduce(300)
+	if r.NumEdges() != 2 {
+		t.Fatalf("reduced edges = %d", r.NumEdges())
+	}
+	if r.EdgeBetween(1, 2) != nil {
+		t.Error("below-threshold edge survived")
+	}
+	if r.EdgeBetween(0, 1) == nil || r.EdgeBetween(2, 0) == nil {
+		t.Error("above-threshold edges missing")
+	}
+	if r.Name(0) != "A" {
+		t.Error("names not carried over")
+	}
+	// Reduction must not mutate the original.
+	if g.NumEdges() != 3 {
+		t.Error("Reduce mutated the source graph")
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(2, 1, 1, 1)
+	if got := g.Successors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Successors(0) = %v", got)
+	}
+	if got := g.Predecessors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Predecessors(1) = %v", got)
+	}
+	if got := g.Successors(1); len(got) != 0 {
+		t.Errorf("Successors(1) = %v", got)
+	}
+}
+
+func TestPathsLinear(t *testing.T) {
+	// A→B→C hot, C→D cold: path extraction at t=10 gives A→B→C.
+	g := NewEventGraph()
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.SetName(2, "C")
+	g.SetName(3, "D")
+	g.AddEdge(0, 1, 50, 50)
+	g.AddEdge(1, 2, 40, 40)
+	g.AddEdge(2, 3, 2, 2)
+	paths := g.Paths(10, 0)
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if got := paths[0].String(g); got != "A -> B -> C" {
+		t.Errorf("path = %q", got)
+	}
+	if w := g.MinWeight(paths[0]); w != 40 {
+		t.Errorf("MinWeight = %d", w)
+	}
+}
+
+func TestPathsBranching(t *testing.T) {
+	// A→B, A→C both hot: two maximal paths.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 50, 50)
+	g.AddEdge(0, 2, 60, 60)
+	paths := g.Paths(10, 0)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	// Heavier-bottleneck path sorts first.
+	if paths[0][1] != 2 {
+		t.Errorf("first path = %v, want A->C first", paths[0])
+	}
+}
+
+func TestPathsCycleTerminates(t *testing.T) {
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 50, 50)
+	g.AddEdge(1, 0, 50, 50)
+	paths := g.Paths(10, 0)
+	if len(paths) == 0 {
+		t.Fatal("cyclic graph produced no paths")
+	}
+	for _, p := range paths {
+		if len(p) > 2 {
+			t.Errorf("path revisits nodes: %v", p)
+		}
+	}
+}
+
+func TestPathsMaxCap(t *testing.T) {
+	g := NewEventGraph()
+	// Fan-out of 6 from one root.
+	for i := 1; i <= 6; i++ {
+		g.AddEdge(0, event.ID(i), 10, 10)
+	}
+	paths := g.Paths(1, 3)
+	if len(paths) > 3 {
+		t.Errorf("cap not honored: %d paths", len(paths))
+	}
+}
+
+func TestMinWeightEdgeCases(t *testing.T) {
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 5, 5)
+	if g.MinWeight(Path{0}) != 0 {
+		t.Error("single-node path weight should be 0")
+	}
+	if g.MinWeight(Path{0, 2}) != 0 {
+		t.Error("missing-edge path weight should be 0")
+	}
+}
+
+func TestChainsBasic(t *testing.T) {
+	// A→B→C all sync, unique successors: one chain A,B,C.
+	g := NewEventGraph()
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.SetName(2, "C")
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 100, 100)
+	chains := g.Chains()
+	if len(chains) != 1 || chains[0].String(g) != "A -> B -> C" {
+		t.Fatalf("chains = %v", chains)
+	}
+}
+
+func TestChainsAsyncEdgeExcluded(t *testing.T) {
+	// B's successor edge is async: chain must stop at B.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 100, 0) // async
+	chains := g.Chains()
+	if len(chains) != 1 || len(chains[0]) != 2 || chains[0][0] != 0 || chains[0][1] != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+}
+
+func TestChainsBranchingBreaks(t *testing.T) {
+	// A has two successors: no chain can start at A.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(0, 2, 100, 100)
+	g.AddEdge(1, 3, 100, 100)
+	chains := g.Chains()
+	if len(chains) != 1 || chains[0][0] != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+}
+
+func TestChainsCycleTerminates(t *testing.T) {
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 10, 10)
+	g.AddEdge(1, 0, 10, 10)
+	chains := g.Chains()
+	for _, c := range chains {
+		if len(c) > 2 {
+			t.Errorf("cyclic chain too long: %v", c)
+		}
+	}
+}
+
+func TestChainsMixedSyncEdge(t *testing.T) {
+	// Edge observed both sync and async: not a guaranteed sequence.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 60)
+	if chains := g.Chains(); len(chains) != 0 {
+		t.Errorf("mixed edge produced chains: %v", chains)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := NewEventGraph()
+	g.SetName(0, "SegFromUser")
+	g.SetName(1, "Seg2Net")
+	g.AddEdge(0, 1, 391, 391)
+	g.AddEdge(1, 0, 10, 0)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "fig5"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "SegFromUser", "style=solid", "style=dashed", `label="391"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Property: sum of edge weights equals number of adjacent pairs, and
+// every reduced edge meets the threshold while no dropped edge does.
+func TestQuickGraphInvariants(t *testing.T) {
+	f := func(seq []uint8, tRaw uint8) bool {
+		entries := make([]trace.Entry, len(seq))
+		for i, v := range seq {
+			id := event.ID(v % 6)
+			entries[i] = evt(id, string(rune('A'+id)), event.Mode(v%2), 0)
+		}
+		g := BuildEventGraph(entries)
+		want := 0
+		if len(entries) > 1 {
+			want = len(entries) - 1
+		}
+		if g.TotalWeight() != want {
+			return false
+		}
+		threshold := int(tRaw%8) + 1
+		r := g.Reduce(threshold)
+		for _, e := range r.Edges() {
+			if e.Weight < threshold {
+				return false
+			}
+			orig := g.EdgeBetween(e.From, e.To)
+			if orig == nil || orig.Weight != e.Weight || orig.SyncWeight != e.SyncWeight {
+				return false
+			}
+		}
+		// Every original edge >= threshold must be present.
+		for _, e := range g.Edges() {
+			if e.Weight >= threshold && r.EdgeBetween(e.From, e.To) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every extracted path is a real path whose bottleneck weight
+// meets the threshold.
+func TestQuickPathsRespectThreshold(t *testing.T) {
+	f := func(seq []uint8) bool {
+		entries := make([]trace.Entry, len(seq))
+		for i, v := range seq {
+			id := event.ID(v % 5)
+			entries[i] = evt(id, string(rune('A'+id)), event.Sync, 0)
+		}
+		g := BuildEventGraph(entries)
+		const threshold = 3
+		for _, p := range g.Paths(threshold, 64) {
+			if len(p) < 2 {
+				return false
+			}
+			if g.MinWeight(p) < threshold {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"eventopt/internal/trace"
+)
+
+// HandlerNode identifies a handler qualified by the event it is bound to;
+// the same function bound to two events appears as two nodes, matching
+// the paper's handler-graph view (Fig. 8).
+type HandlerNode struct {
+	EventName string
+	Handler   string
+}
+
+// String renders the node as event/handler.
+func (n HandlerNode) String() string { return n.EventName + "/" + n.Handler }
+
+// HandlerEdge is a weighted edge of the handler graph.
+type HandlerEdge struct {
+	From, To HandlerNode
+	Weight   int
+}
+
+// HandlerGraph summarizes handler execution sequences, built from the
+// HandlerEnter entries of a trace with the same adjacency algorithm as
+// the event graph (section 3.1: "the profiling and graph construction for
+// handlers is carried out in the same way as before").
+type HandlerGraph struct {
+	edges map[[2]HandlerNode]*HandlerEdge
+}
+
+// BuildHandlerGraph constructs the handler graph of a trace.
+func BuildHandlerGraph(entries []trace.Entry) *HandlerGraph {
+	g := &HandlerGraph{edges: make(map[[2]HandlerNode]*HandlerEdge)}
+	first := true
+	var prev HandlerNode
+	for _, e := range entries {
+		if e.Kind != trace.HandlerEnter {
+			continue
+		}
+		cur := HandlerNode{EventName: e.EventName, Handler: e.Handler}
+		if first {
+			prev, first = cur, false
+			continue
+		}
+		k := [2]HandlerNode{prev, cur}
+		edge := g.edges[k]
+		if edge == nil {
+			edge = &HandlerEdge{From: prev, To: cur}
+			g.edges[k] = edge
+		}
+		edge.Weight++
+		prev = cur
+	}
+	return g
+}
+
+// NumEdges reports the number of distinct edges.
+func (g *HandlerGraph) NumEdges() int { return len(g.edges) }
+
+// EdgeBetween returns the edge from→to, or nil.
+func (g *HandlerGraph) EdgeBetween(from, to HandlerNode) *HandlerEdge {
+	return g.edges[[2]HandlerNode{from, to}]
+}
+
+// Edges returns all edges in deterministic order.
+func (g *HandlerGraph) Edges() []*HandlerEdge {
+	out := make([]*HandlerEdge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From.String() != b.From.String() {
+			return a.From.String() < b.From.String()
+		}
+		return a.To.String() < b.To.String()
+	})
+	return out
+}
+
+// Nodes returns all nodes in deterministic order.
+func (g *HandlerGraph) Nodes() []HandlerNode {
+	seen := make(map[HandlerNode]bool)
+	for k := range g.edges {
+		seen[k[0]] = true
+		seen[k[1]] = true
+	}
+	out := make([]HandlerNode, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ContiguousRuns reports, for each event, the weight of the heaviest
+// handler-to-handler edge within the event — a quick signal of events
+// whose multiple handlers always run as a block (merge candidates).
+func (g *HandlerGraph) ContiguousRuns() map[string]int {
+	out := make(map[string]int)
+	for _, e := range g.Edges() {
+		if e.From.EventName == e.To.EventName && e.Weight > out[e.From.EventName] {
+			out[e.From.EventName] = e.Weight
+		}
+	}
+	return out
+}
+
+// String renders an adjacency listing for diagnostics.
+func (g *HandlerGraph) String() string {
+	s := ""
+	for _, e := range g.Edges() {
+		s += fmt.Sprintf("%s -> %s [%d]\n", e.From, e.To, e.Weight)
+	}
+	return s
+}

@@ -1,0 +1,286 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// EventStats aggregates the handler-level observations for one event.
+type EventStats struct {
+	Event     event.ID
+	EventName string
+	// Count is the number of activations observed (with or without
+	// handler records).
+	Count int
+	// HandlerCount is the number of activations that carried handler
+	// records (handler profiling enabled).
+	HandlerCount int
+	// sequences maps an encoded handler sequence to its occurrence count.
+	sequences map[string]int
+	seqSample map[string][]string
+	// raises maps handler name -> encoded sync-raise pattern -> count.
+	raises       map[string]map[string]int
+	raisesSample map[string][]RaiseRec
+}
+
+// Profile is the result of analyzing a trace: the event graph plus
+// handler-level statistics.
+type Profile struct {
+	Entries     []trace.Entry
+	Graph       *EventGraph
+	Activations []Activation
+	stats       map[event.ID]*EventStats
+}
+
+// Analyze builds a Profile from raw trace entries. It never fails on an
+// empty trace; it returns an error only for structurally inconsistent
+// traces (which indicate recorder misuse).
+func Analyze(entries []trace.Entry) (*Profile, error) {
+	acts, err := BuildActivations(entries)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Entries:     entries,
+		Graph:       BuildEventGraph(entries),
+		Activations: acts,
+		stats:       make(map[event.ID]*EventStats),
+	}
+	for _, a := range acts {
+		st := p.stats[a.Event]
+		if st == nil {
+			st = &EventStats{
+				Event:        a.Event,
+				EventName:    a.EventName,
+				sequences:    make(map[string]int),
+				seqSample:    make(map[string][]string),
+				raises:       make(map[string]map[string]int),
+				raisesSample: make(map[string][]RaiseRec),
+			}
+			p.stats[a.Event] = st
+		}
+		st.Count++
+		if len(a.Handlers) == 0 {
+			continue
+		}
+		st.HandlerCount++
+		names := make([]string, len(a.Handlers))
+		for i, h := range a.Handlers {
+			names[i] = h.Name
+		}
+		key := strings.Join(names, "\x00")
+		st.sequences[key]++
+		st.seqSample[key] = names
+		for _, h := range a.Handlers {
+			var sync []RaiseRec
+			for _, r := range h.Raises {
+				if r.Mode == event.Sync {
+					sync = append(sync, r)
+				}
+			}
+			rkey := encodeRaises(sync)
+			m := st.raises[h.Name]
+			if m == nil {
+				m = make(map[string]int)
+				st.raises[h.Name] = m
+			}
+			m[rkey]++
+			st.raisesSample[h.Name+"\x00"+rkey] = sync
+		}
+	}
+	return p, nil
+}
+
+func encodeRaises(rs []RaiseRec) string {
+	var b strings.Builder
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%d/%d;", r.Event, r.Mode)
+	}
+	return b.String()
+}
+
+// Stats returns the aggregated statistics for ev (nil if never observed).
+func (p *Profile) Stats(ev event.ID) *EventStats { return p.stats[ev] }
+
+// Count reports how many activations of ev the trace contains.
+func (p *Profile) Count(ev event.ID) int {
+	if st := p.stats[ev]; st != nil {
+		return st.Count
+	}
+	return 0
+}
+
+// HotEvents returns the events with at least min activations, most
+// frequent first.
+func (p *Profile) HotEvents(min int) []event.ID {
+	var out []event.ID
+	for ev, st := range p.stats {
+		if st.Count >= min {
+			out = append(out, ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := p.stats[out[i]].Count, p.stats[out[j]].Count
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// StableHandlers reports the handler sequence of ev if every profiled
+// activation of ev executed the same sequence, along with true; otherwise
+// (no handler profiles, or divergent sequences) it reports nil, false.
+// A stable sequence is the precondition for building a super-handler from
+// profile data.
+func (p *Profile) StableHandlers(ev event.ID) ([]string, bool) {
+	st := p.stats[ev]
+	if st == nil || st.HandlerCount == 0 || len(st.sequences) != 1 {
+		return nil, false
+	}
+	for key := range st.sequences {
+		return st.seqSample[key], true
+	}
+	return nil, false
+}
+
+// StableSyncRaises reports the sequence of events that handler h of event
+// ev synchronously raised, if that sequence was identical on every
+// profiled run of the handler. It is the evidence subsumption needs: a
+// stable nested raise can be replaced by the inlined handler code of the
+// nested event (Figs. 8-9).
+func (p *Profile) StableSyncRaises(ev event.ID, handler string) ([]event.ID, bool) {
+	st := p.stats[ev]
+	if st == nil {
+		return nil, false
+	}
+	m := st.raises[handler]
+	if len(m) != 1 {
+		return nil, false
+	}
+	for key := range m {
+		rs := st.raisesSample[handler+"\x00"+key]
+		out := make([]event.ID, len(rs))
+		for i, r := range rs {
+			out[i] = r.Event
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// DominantSyncRaises reports the most frequent synchronous-raise pattern
+// of handler h of event ev together with its share of the handler's
+// profiled runs. It powers the paper's section 5 speculative extension:
+// when no pattern is universal (StableSyncRaises fails), the dominant
+// pattern — "event A is followed by B 90% of the time" — still marks
+// worthwhile chain extensions, because segment guards plus per-raise
+// dispatch keep the minority cases on the generic path.
+func (p *Profile) DominantSyncRaises(ev event.ID, handler string) ([]event.ID, float64, bool) {
+	st := p.stats[ev]
+	if st == nil {
+		return nil, 0, false
+	}
+	m := st.raises[handler]
+	if len(m) == 0 {
+		return nil, 0, false
+	}
+	total, best := 0, 0
+	bestKey := ""
+	for key, n := range m {
+		total += n
+		if n > best || (n == best && key < bestKey) {
+			best, bestKey = n, key
+		}
+	}
+	rs := st.raisesSample[handler+"\x00"+bestKey]
+	out := make([]event.ID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Event
+	}
+	return out, float64(best) / float64(total), true
+}
+
+// SyncRaiseShares reports, for handler h of event ev, the fraction of
+// its profiled runs in which it synchronously raised each event at least
+// once. This is the evidence behind the section 5 speculative extension
+// ("event A is followed by B 90% of the time"): events whose share meets
+// a threshold are worth covering speculatively, since a covered segment
+// costs nothing on the runs that do not raise it.
+func (p *Profile) SyncRaiseShares(ev event.ID, handler string) map[event.ID]float64 {
+	st := p.stats[ev]
+	if st == nil {
+		return nil
+	}
+	m := st.raises[handler]
+	if len(m) == 0 {
+		return nil
+	}
+	total := 0
+	counts := make(map[event.ID]int)
+	for key, n := range m {
+		total += n
+		seen := make(map[event.ID]bool)
+		for _, r := range st.raisesSample[handler+"\x00"+key] {
+			if !seen[r.Event] {
+				seen[r.Event] = true
+				counts[r.Event] += n
+			}
+		}
+	}
+	out := make(map[event.ID]float64, len(counts))
+	for x, n := range counts {
+		out[x] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// SequenceCounts returns, for diagnostics, the distinct handler sequences
+// of ev with their occurrence counts, most frequent first.
+func (p *Profile) SequenceCounts(ev event.ID) []SeqCount {
+	st := p.stats[ev]
+	if st == nil {
+		return nil
+	}
+	out := make([]SeqCount, 0, len(st.sequences))
+	for key, n := range st.sequences {
+		out = append(out, SeqCount{Handlers: st.seqSample[key], Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return strings.Join(out[i].Handlers, ",") < strings.Join(out[j].Handlers, ",")
+	})
+	return out
+}
+
+// SeqCount pairs a handler sequence with its occurrence count.
+type SeqCount struct {
+	Handlers []string
+	Count    int
+}
+
+// Summary renders a human-readable overview of the profile: events by
+// frequency with their stable handler sequences.
+func (p *Profile) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d trace entries, %d events, %d edges, %d activations\n",
+		len(p.Entries), p.Graph.NumNodes(), p.Graph.NumEdges(), len(p.Activations))
+	for _, ev := range p.HotEvents(1) {
+		st := p.stats[ev]
+		fmt.Fprintf(&b, "  %-24s x%-6d", st.EventName, st.Count)
+		if hs, ok := p.StableHandlers(ev); ok {
+			fmt.Fprintf(&b, " handlers: %s", strings.Join(hs, ", "))
+		} else if st.HandlerCount > 0 {
+			fmt.Fprintf(&b, " handlers: UNSTABLE (%d variants)", len(st.sequences))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// traceOf runs fn against a fresh traced system and returns the entries.
+func traceOf(t *testing.T, build func(s *event.System) func()) []trace.Entry {
+	t.Helper()
+	s := event.New()
+	run := build(s)
+	r := trace.NewRecorder()
+	r.EnableHandlerProfiling()
+	s.SetTracer(r)
+	run()
+	return r.Entries()
+}
+
+func TestBuildActivationsNested(t *testing.T) {
+	entries := traceOf(t, func(s *event.System) func() {
+		a := s.Define("A")
+		b := s.Define("B")
+		s.Bind(a, "a1", func(*event.Ctx) {}, event.WithOrder(1))
+		s.Bind(a, "a2", func(c *event.Ctx) { c.Raise(b) }, event.WithOrder(2))
+		s.Bind(b, "b1", func(*event.Ctx) {})
+		return func() { s.Raise(a) }
+	})
+	acts, err := BuildActivations(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 {
+		t.Fatalf("activations = %d, want 2", len(acts))
+	}
+	outer, inner := acts[0], acts[1]
+	if outer.EventName != "A" || inner.EventName != "B" {
+		t.Fatalf("order wrong: %s, %s", outer.EventName, inner.EventName)
+	}
+	if len(outer.Handlers) != 2 || outer.Handlers[0].Name != "a1" || outer.Handlers[1].Name != "a2" {
+		t.Fatalf("outer handlers = %+v", outer.Handlers)
+	}
+	// a2 synchronously raised B.
+	if len(outer.Handlers[1].Raises) != 1 || outer.Handlers[1].Raises[0].Event != inner.Event {
+		t.Errorf("a2 raises = %+v", outer.Handlers[1].Raises)
+	}
+	if len(outer.Handlers[0].Raises) != 0 {
+		t.Errorf("a1 raises = %+v", outer.Handlers[0].Raises)
+	}
+	if inner.Depth != 1 || outer.Depth != 0 {
+		t.Errorf("depths = %d, %d", outer.Depth, inner.Depth)
+	}
+}
+
+func TestBuildActivationsAsyncNotAttributed(t *testing.T) {
+	entries := traceOf(t, func(s *event.System) func() {
+		a := s.Define("A")
+		b := s.Define("B")
+		s.Bind(a, "a1", func(c *event.Ctx) { c.RaiseAsync(b) })
+		s.Bind(b, "b1", func(*event.Ctx) {})
+		return func() { s.Raise(a); s.Drain() }
+	})
+	acts, err := BuildActivations(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(acts) != 2 {
+		t.Fatalf("activations = %d", len(acts))
+	}
+	if len(acts[0].Handlers[0].Raises) != 0 {
+		t.Error("async raise wrongly attributed as causal")
+	}
+	if acts[1].Mode != event.Async {
+		t.Errorf("mode = %v", acts[1].Mode)
+	}
+	if rs := AsyncRaisesOf(acts); len(rs) != 0 {
+		t.Errorf("AsyncRaisesOf = %v", rs)
+	}
+}
+
+func TestBuildActivationsMalformed(t *testing.T) {
+	bad := [][]trace.Entry{
+		{{Kind: trace.EventRaised, Event: 0, EventName: "A", Depth: 3}},
+		{{Kind: trace.HandlerEnter, Event: 0, EventName: "A", Handler: "h", Depth: 0}},
+		{
+			{Kind: trace.EventRaised, Event: 0, EventName: "A", Depth: 0},
+			{Kind: trace.HandlerEnter, Event: 1, EventName: "B", Handler: "h", Depth: 0},
+		},
+		{{Kind: trace.HandlerExit, Event: 0, EventName: "A", Handler: "h", Depth: 0}},
+	}
+	for i, entries := range bad {
+		if _, err := BuildActivations(entries); err == nil {
+			t.Errorf("case %d: no error for malformed trace", i)
+		}
+	}
+}
+
+func TestAnalyzeStableHandlers(t *testing.T) {
+	entries := traceOf(t, func(s *event.System) func() {
+		a := s.Define("A")
+		s.Bind(a, "h1", func(*event.Ctx) {}, event.WithOrder(1))
+		s.Bind(a, "h2", func(*event.Ctx) {}, event.WithOrder(2))
+		return func() {
+			for i := 0; i < 5; i++ {
+				s.Raise(a)
+			}
+		}
+	})
+	p, err := Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count(0) != 5 {
+		t.Errorf("Count = %d", p.Count(0))
+	}
+	hs, ok := p.StableHandlers(0)
+	if !ok || len(hs) != 2 || hs[0] != "h1" || hs[1] != "h2" {
+		t.Errorf("StableHandlers = %v, %v", hs, ok)
+	}
+	if _, ok := p.StableHandlers(event.ID(9)); ok {
+		t.Error("unknown event should not be stable")
+	}
+	if st := p.Stats(0); st == nil || st.HandlerCount != 5 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if p.Stats(event.ID(9)) != nil {
+		t.Error("Stats of unknown should be nil")
+	}
+}
+
+func TestAnalyzeUnstableHandlers(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	var b event.Binding
+	bound := false
+	rebind := func() {
+		if bound {
+			s.Unbind(b)
+		} else {
+			b = s.Bind(a, "extra", func(*event.Ctx) {}, event.WithOrder(5))
+		}
+		bound = !bound
+	}
+	s.Bind(a, "h1", func(*event.Ctx) {}, event.WithOrder(1))
+	r := trace.NewRecorder()
+	r.EnableHandlerProfiling()
+	s.SetTracer(r)
+	s.Raise(a)
+	rebind()
+	s.Raise(a)
+	p, err := Analyze(r.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.StableHandlers(a); ok {
+		t.Error("divergent sequences reported stable")
+	}
+	seqs := p.SequenceCounts(a)
+	if len(seqs) != 2 {
+		t.Errorf("SequenceCounts = %+v", seqs)
+	}
+	if !strings.Contains(p.Summary(), "UNSTABLE") {
+		t.Error("Summary should flag instability")
+	}
+}
+
+func TestAnalyzeStableSyncRaises(t *testing.T) {
+	entries := traceOf(t, func(s *event.System) func() {
+		a := s.Define("A")
+		b := s.Define("B")
+		c := s.Define("C")
+		s.Bind(a, "driver", func(cx *event.Ctx) {
+			cx.Raise(b)
+			cx.Raise(c)
+		})
+		s.Bind(b, "bh", func(*event.Ctx) {})
+		s.Bind(c, "ch", func(*event.Ctx) {})
+		return func() {
+			for i := 0; i < 3; i++ {
+				s.Raise(a)
+			}
+		}
+	})
+	p, err := Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, ok := p.StableSyncRaises(0, "driver")
+	if !ok || len(rs) != 2 || rs[0] != 1 || rs[1] != 2 {
+		t.Errorf("StableSyncRaises = %v, %v", rs, ok)
+	}
+	if _, ok := p.StableSyncRaises(5, "x"); ok {
+		t.Error("unknown event stable raises")
+	}
+	if _, ok := p.StableSyncRaises(0, "nope"); ok {
+		t.Error("unknown handler stable raises")
+	}
+}
+
+func TestAnalyzeUnstableSyncRaises(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	b := s.Define("B")
+	n := 0
+	s.Bind(a, "driver", func(cx *event.Ctx) {
+		n++
+		if n%2 == 0 {
+			cx.Raise(b)
+		}
+	})
+	s.Bind(b, "bh", func(*event.Ctx) {})
+	r := trace.NewRecorder()
+	r.EnableHandlerProfiling()
+	s.SetTracer(r)
+	s.Raise(a)
+	s.Raise(a)
+	p, err := Analyze(r.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.StableSyncRaises(a, "driver"); ok {
+		t.Error("divergent raise pattern reported stable")
+	}
+}
+
+func TestHotEvents(t *testing.T) {
+	entries := []trace.Entry{
+		evt(0, "A", event.Sync, 0), evt(0, "A", event.Sync, 0), evt(0, "A", event.Sync, 0),
+		evt(1, "B", event.Sync, 0),
+	}
+	p, err := Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := p.HotEvents(2)
+	if len(hot) != 1 || hot[0] != 0 {
+		t.Errorf("HotEvents(2) = %v", hot)
+	}
+	all := p.HotEvents(1)
+	if len(all) != 2 || all[0] != 0 {
+		t.Errorf("HotEvents(1) = %v", all)
+	}
+}
+
+func TestHandlerGraph(t *testing.T) {
+	entries := traceOf(t, func(s *event.System) func() {
+		a := s.Define("A")
+		b := s.Define("B")
+		s.Bind(a, "a1", func(*event.Ctx) {}, event.WithOrder(1))
+		s.Bind(a, "a2", func(c *event.Ctx) { c.Raise(b) }, event.WithOrder(2))
+		s.Bind(b, "b1", func(*event.Ctx) {})
+		return func() { s.Raise(a); s.Raise(a) }
+	})
+	g := BuildHandlerGraph(entries)
+	a1 := HandlerNode{EventName: "A", Handler: "a1"}
+	a2 := HandlerNode{EventName: "A", Handler: "a2"}
+	b1 := HandlerNode{EventName: "B", Handler: "b1"}
+	if e := g.EdgeBetween(a1, a2); e == nil || e.Weight != 2 {
+		t.Errorf("a1->a2 = %+v", e)
+	}
+	if e := g.EdgeBetween(a2, b1); e == nil || e.Weight != 2 {
+		t.Errorf("a2->b1 = %+v", e)
+	}
+	// b1 back to a1 happens once (between the two raises).
+	if e := g.EdgeBetween(b1, a1); e == nil || e.Weight != 1 {
+		t.Errorf("b1->a1 = %+v", e)
+	}
+	if len(g.Nodes()) != 3 {
+		t.Errorf("nodes = %v", g.Nodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+	runs := g.ContiguousRuns()
+	if runs["A"] != 2 {
+		t.Errorf("ContiguousRuns[A] = %d", runs["A"])
+	}
+	if !strings.Contains(g.String(), "A/a1 -> A/a2 [2]") {
+		t.Errorf("String() = %q", g.String())
+	}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "handlers"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "cluster_0") {
+		t.Error("handler DOT missing clusters")
+	}
+}
+
+func TestHandlerGraphEmpty(t *testing.T) {
+	g := BuildHandlerGraph(nil)
+	if g.NumEdges() != 0 || len(g.Nodes()) != 0 {
+		t.Error("empty handler graph expected")
+	}
+}
+
+func TestAnalyzeEmptyTrace(t *testing.T) {
+	p, err := Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Graph.NumNodes() != 0 || len(p.Activations) != 0 {
+		t.Error("empty profile expected")
+	}
+	if !strings.Contains(p.Summary(), "0 trace entries") {
+		t.Errorf("Summary = %q", p.Summary())
+	}
+}

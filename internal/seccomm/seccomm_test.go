@@ -1,0 +1,323 @@
+package seccomm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"eventopt/internal/ciphers"
+	"eventopt/internal/core"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// paperConfig is the configuration the paper measured: coordinator plus
+// DES and XOR privacy.
+func paperConfig() Config {
+	return Config{
+		DESKey: []byte("8bytekey"),
+		XORKey: []byte{0x5A, 0xA5, 0x3C},
+		IV:     []byte("initvect"),
+	}
+}
+
+func TestPushPopRoundTrip(t *testing.T) {
+	a, b, err := Pair(paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	b.OnDeliver(func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+	msgs := [][]byte{[]byte("hello"), {}, bytes.Repeat([]byte{0xEE}, 1000)}
+	for _, m := range msgs {
+		a.Push(m)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("delivered %d, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Errorf("msg %d mismatch: %x vs %x", i, got[i], msgs[i])
+		}
+	}
+	if b.Errors != 0 {
+		t.Errorf("Errors = %d", b.Errors)
+	}
+}
+
+func TestWireIsActuallyEncrypted(t *testing.T) {
+	cfg := paperConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire []byte
+	a.OnSend(func(p []byte) { wire = append([]byte(nil), p...) })
+	msg := []byte("confidential payload....")
+	a.Push(msg)
+	if wire == nil {
+		t.Fatal("nothing sent")
+	}
+	if bytes.Contains(wire, msg[:8]) {
+		t.Error("plaintext visible on the wire")
+	}
+	if len(wire)%ciphers.DESBlockSize != 0 {
+		t.Errorf("wire length %d not block aligned", len(wire))
+	}
+}
+
+func TestConfigurationsCompose(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"des-only", Config{DESKey: []byte("8bytekey"), IV: []byte("initvect")}},
+		{"xor-only", Config{XORKey: []byte{1, 2, 3}}},
+		{"des+xor+mac", Config{DESKey: []byte("8bytekey"), IV: []byte("initvect"),
+			XORKey: []byte{9}, MACKey: []byte("mackey")}},
+		{"none", Config{}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, b, err := Pair(c.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []byte
+			b.OnDeliver(func(m []byte) { got = append([]byte(nil), m...) })
+			msg := []byte("the message body 123")
+			a.Push(msg)
+			if !bytes.Equal(got, msg) {
+				t.Fatalf("round trip failed: %x", got)
+			}
+		})
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	if _, err := New(Config{DESKey: []byte("8bytekey")}); err == nil {
+		t.Error("DES without IV accepted")
+	}
+	if _, err := New(Config{DESKey: []byte("short"), IV: []byte("initvect")}); err == nil {
+		t.Error("short DES key accepted")
+	}
+}
+
+func TestTamperedPacketCountsErrorAndDropsDelivery(t *testing.T) {
+	cfg := paperConfig()
+	cfg.MACKey = []byte("mk")
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt []byte
+	a.OnSend(func(p []byte) { pkt = append([]byte(nil), p...) })
+	delivered := 0
+	b.OnDeliver(func([]byte) { delivered++ })
+	a.Push([]byte("payload"))
+	pkt[0] ^= 0xFF
+	b.HandlePacket(pkt)
+	b.Sys.Drain() // popError is async
+	if delivered != 0 {
+		t.Error("tampered packet delivered")
+	}
+	if b.Errors == 0 {
+		t.Error("error not counted")
+	}
+}
+
+func TestPopChainOrderIsReversed(t *testing.T) {
+	// Push applies DES then XOR; a receiver that only undoes XOR then DES
+	// succeeds — proving the order. (Already covered implicitly; this
+	// checks the handler order explicitly.)
+	e, err := New(paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := e.Sys.Handlers(e.PushMsg)
+	if len(hs) != 2 || hs[0].Name != "des_encrypt" || hs[1].Name != "xor_encrypt" {
+		t.Errorf("push handlers = %+v", hs)
+	}
+	hs = e.Sys.Handlers(e.PopMsg)
+	if len(hs) != 2 || hs[0].Name != "xor_decrypt" || hs[1].Name != "des_decrypt" {
+		t.Errorf("pop handlers = %+v", hs)
+	}
+}
+
+// optimizeEndpoint profiles n pushes/pops and installs the plan.
+func optimizeEndpoint(t *testing.T, e *Endpoint, drive func(int), opts core.Options) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	e.Sys.SetTracer(rec)
+	drive(50)
+	e.Sys.SetTracer(nil)
+	prof, err := profile.Analyze(rec.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := core.Apply(e.Sys, prof, e.Mod, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizedEndpointEquivalence(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		name := "per-segment"
+		if full {
+			name = "full-fusion"
+		}
+		t.Run(name, func(t *testing.T) {
+			a, b, err := Pair(paperConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got [][]byte
+			b.OnDeliver(func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+
+			opts := core.DefaultOptions()
+			opts.FullFusion = full
+			if full {
+				opts.Partitioned = false
+			}
+			optimizeEndpoint(t, a, func(n int) {
+				for i := 0; i < n; i++ {
+					a.Push([]byte("profile message"))
+				}
+			}, opts)
+			optimizeEndpoint(t, b, func(n int) {
+				for i := 0; i < n; i++ {
+					b.HandlePacket(mustEncrypt(t, a, []byte("profile message")))
+				}
+			}, opts)
+
+			got = nil
+			a.Sys.Stats().Reset()
+			b.Sys.Stats().Reset()
+			msgs := [][]byte{[]byte("one"), []byte("two two"), bytes.Repeat([]byte{7}, 512)}
+			for _, m := range msgs {
+				a.Push(m)
+			}
+			if len(got) != len(msgs) {
+				t.Fatalf("delivered %d, want %d", len(got), len(msgs))
+			}
+			for i := range msgs {
+				if !bytes.Equal(got[i], msgs[i]) {
+					t.Errorf("msg %d corrupted through optimized chains", i)
+				}
+			}
+			if a.Sys.Stats().FastRuns.Load() == 0 || b.Sys.Stats().FastRuns.Load() == 0 {
+				t.Error("optimized endpoints did not use fast paths")
+			}
+		})
+	}
+}
+
+// mustEncrypt produces a wire packet by pushing through a and capturing it.
+func mustEncrypt(t *testing.T, a *Endpoint, msg []byte) []byte {
+	t.Helper()
+	old := a.send
+	var pkt []byte
+	a.send = func(p []byte) { pkt = append([]byte(nil), p...) }
+	a.Push(msg)
+	a.send = old
+	if pkt == nil {
+		t.Fatal("no packet produced")
+	}
+	return pkt
+}
+
+func TestOptimizedReducesGenericWork(t *testing.T) {
+	a, err := New(paperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.OnSend(func([]byte) {})
+	drive := func(n int) {
+		for i := 0; i < n; i++ {
+			a.Push([]byte("a message of reasonable length"))
+		}
+	}
+	a.Sys.Stats().Reset()
+	drive(100)
+	genericMarshals := a.Sys.Stats().Marshals.Load()
+
+	optimizeEndpoint(t, a, drive, core.DefaultOptions())
+	a.Sys.Stats().Reset()
+	drive(100)
+	if m := a.Sys.Stats().Marshals.Load(); m >= genericMarshals {
+		t.Errorf("marshals not reduced: %d vs %d", m, genericMarshals)
+	}
+	if a.Sys.Stats().FastRuns.Load() == 0 {
+		t.Error("no fast runs")
+	}
+}
+
+// Property: arbitrary messages survive the full configured stack,
+// optimized on both sides.
+func TestQuickOptimizedRoundTrip(t *testing.T) {
+	cfg := paperConfig()
+	cfg.MACKey = []byte("mac key")
+	a, b, err := Pair(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last []byte
+	okDeliver := false
+	b.OnDeliver(func(m []byte) { last = append([]byte(nil), m...); okDeliver = true })
+	optimizeEndpoint(t, a, func(n int) {
+		for i := 0; i < n; i++ {
+			a.Push([]byte("p"))
+		}
+	}, core.DefaultOptions())
+	optimizeEndpoint(t, b, func(n int) {
+		for i := 0; i < n; i++ {
+			b.HandlePacket(mustEncrypt(t, a, []byte("p")))
+		}
+	}, core.DefaultOptions())
+
+	f := func(msg []byte) bool {
+		okDeliver = false
+		a.Push(msg)
+		return okDeliver && bytes.Equal(last, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMismatchedKeysFailClosed(t *testing.T) {
+	// Sender and receiver with different DES keys: decryption yields
+	// garbage whose padding almost surely fails; with a MAC it always
+	// fails closed.
+	mk := func(deskey string) *Endpoint {
+		e, err := New(Config{
+			DESKey: []byte(deskey),
+			IV:     []byte("initvect"),
+			MACKey: []byte("shared-mac"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a := mk("keyAAAAA")
+	b := mk("keyBBBBB")
+	var pkt []byte
+	a.OnSend(func(p []byte) { pkt = append([]byte(nil), p...) })
+	delivered := 0
+	b.OnDeliver(func([]byte) { delivered++ })
+	a.Push([]byte("secret"))
+	b.HandlePacket(pkt)
+	b.Sys.Drain()
+	if delivered != 0 {
+		t.Error("cross-keyed packet delivered")
+	}
+	if b.Errors == 0 {
+		t.Error("error not counted")
+	}
+}

@@ -1,0 +1,217 @@
+package seccomm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"eventopt/internal/ciphers"
+	"eventopt/internal/core"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// serverKey is generated once; RSA keygen is the slow part of these tests.
+var (
+	serverKeyOnce sync.Once
+	serverKeyVal  *ciphers.RSAKey
+)
+
+func serverKey(t *testing.T) *ciphers.RSAKey {
+	t.Helper()
+	serverKeyOnce.Do(func() {
+		k, err := ciphers.GenerateRSA(512, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serverKeyVal = k
+	})
+	return serverKeyVal
+}
+
+// wire connects a client and server with direct callbacks.
+func wire(t *testing.T, cfg SessionConfig) (*Client, *Server) {
+	t.Helper()
+	key := serverKey(t)
+	srv, err := NewServer(key, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := NewClient(key.Public(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.OnSend(func(p []byte) { srv.HandlePacket(append([]byte(nil), p...)) })
+	srv.OnSend(func(p []byte) { cli.HandlePacket(append([]byte(nil), p...)) })
+	return cli, srv
+}
+
+func TestSessionValidation(t *testing.T) {
+	key := serverKey(t)
+	if _, err := NewServer(key.Public(), SessionConfig{}); err == nil {
+		t.Error("server accepted a public-only key")
+	}
+	if _, err := NewServer(nil, SessionConfig{}); err == nil {
+		t.Error("server accepted nil key")
+	}
+	if _, err := NewClient(nil, SessionConfig{}); err == nil {
+		t.Error("client accepted nil key")
+	}
+}
+
+func TestKeyMissBeforeSession(t *testing.T) {
+	_, srv := wire(t, SessionConfig{})
+	// Data before any key exchange: the keyMiss event fires (Fig. 2).
+	if err := srv.HandlePacket([]byte{pktData, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.KeyMisses != 1 {
+		t.Errorf("KeyMisses = %d", srv.KeyMisses)
+	}
+	if srv.Endpoint() != nil {
+		t.Error("endpoint exists without key exchange")
+	}
+	if err := srv.Push([]byte("x")); err == nil {
+		t.Error("push without session succeeded")
+	}
+}
+
+func TestClientKeyDistributionRoundTrip(t *testing.T) {
+	cfg := SessionConfig{
+		XORKey: []byte{0x17},
+		MACKey: []byte("session-mac"),
+		Rand:   rand.New(rand.NewSource(42)),
+	}
+	cli, srv := wire(t, cfg)
+	if err := cli.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Sessions != 1 {
+		t.Fatalf("Sessions = %d", srv.Sessions)
+	}
+	var atServer, atClient [][]byte
+	srv.OnDeliver(func(m []byte) { atServer = append(atServer, append([]byte(nil), m...)) })
+	cli.OnDeliver(func(m []byte) { atClient = append(atClient, append([]byte(nil), m...)) })
+
+	if err := cli.Push([]byte("client speaks")); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Push([]byte("server replies")); err != nil {
+		t.Fatal(err)
+	}
+	if len(atServer) != 1 || !bytes.Equal(atServer[0], []byte("client speaks")) {
+		t.Errorf("server got %q", atServer)
+	}
+	if len(atClient) != 1 || !bytes.Equal(atClient[0], []byte("server replies")) {
+		t.Errorf("client got %q", atClient)
+	}
+	if srv.KeyMisses != 0 {
+		t.Errorf("KeyMisses = %d", srv.KeyMisses)
+	}
+}
+
+func TestCorruptKeyExchangeHalts(t *testing.T) {
+	cfg := SessionConfig{Rand: rand.New(rand.NewSource(7))}
+	cli, srv := wire(t, cfg)
+	var captured []byte
+	cli.OnSend(func(p []byte) { captured = append([]byte(nil), p...) })
+	if err := cli.Open(); err != nil {
+		t.Fatal(err)
+	}
+	captured[10] ^= 0xFF
+	srv.HandlePacket(captured)
+	if srv.Sessions != 0 || srv.Endpoint() != nil {
+		t.Error("corrupt key exchange opened a session")
+	}
+	if err := srv.HandlePacket([]byte{0x77}); err == nil {
+		t.Error("unknown packet type accepted")
+	}
+	if err := srv.HandlePacket(nil); err == nil {
+		t.Error("empty packet accepted")
+	}
+}
+
+func TestRSAAuthenticityMicroProtocol(t *testing.T) {
+	key := serverKey(t)
+	sender, err := New(Config{SignKey: key, XORKey: []byte{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := New(Config{VerifyKey: key.Public(), XORKey: []byte{9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	receiver.OnDeliver(func(m []byte) { got = append([]byte(nil), m...) })
+	var pkt []byte
+	sender.OnSend(func(p []byte) { pkt = append([]byte(nil), p...) })
+	msg := []byte("signed and sealed")
+	sender.Push(msg)
+	receiver.HandlePacket(pkt)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+	if receiver.Errors != 0 {
+		t.Errorf("errors = %d", receiver.Errors)
+	}
+
+	// A forged packet fails verification and is not delivered.
+	forged := append([]byte(nil), pkt...)
+	forged[0] ^= 0x01
+	got = nil
+	receiver.HandlePacket(forged)
+	receiver.Sys.Drain()
+	if got != nil {
+		t.Error("forged packet delivered")
+	}
+	if receiver.Errors != 1 {
+		t.Errorf("errors = %d", receiver.Errors)
+	}
+
+	// A private SignKey is required.
+	if _, err := New(Config{SignKey: key.Public()}); err == nil {
+		t.Error("public-only SignKey accepted")
+	}
+}
+
+func TestSessionEndpointsOptimize(t *testing.T) {
+	cfg := SessionConfig{MACKey: []byte("m"), Rand: rand.New(rand.NewSource(3))}
+	cli, srv := wire(t, cfg)
+	if err := cli.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]byte
+	srv.OnDeliver(func(m []byte) { got = append(got, append([]byte(nil), m...)) })
+
+	// Profile and optimize the established client endpoint.
+	ep := cli.Endpoint()
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	ep.Sys.SetTracer(rec)
+	for i := 0; i < 50; i++ {
+		cli.Push([]byte("profile"))
+	}
+	ep.Sys.SetTracer(nil)
+	prof, err := profile.Analyze(rec.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.MergeAll = true
+	opts.FullFusion = true
+	opts.Partitioned = false
+	if _, _, err := core.Apply(ep.Sys, prof, ep.Mod, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	got = nil
+	ep.Sys.Stats().Reset()
+	cli.Push([]byte("over the optimized session"))
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("over the optimized session")) {
+		t.Fatalf("got %q", got)
+	}
+	if ep.Sys.Stats().FastRuns.Load() == 0 {
+		t.Error("optimized session endpoint took no fast path")
+	}
+}

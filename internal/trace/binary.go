@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"eventopt/internal/event"
+)
+
+// Binary trace format: long profiling runs produce large traces (one
+// entry per activation); the binary encoding interns event and handler
+// names in a string table and varint-packs the rest, typically 5-10x
+// smaller than the text form.
+//
+//	magic "EVTR" | version u8
+//	numStrings uvarint | numStrings x (len uvarint, bytes)
+//	numEntries uvarint | entries:
+//	   kind u8 | event uvarint | depth uvarint | nameIdx uvarint
+//	   | mode u8 (EventRaised)  OR  handlerIdx uvarint (H+/H-)
+
+var binaryMagic = [4]byte{'E', 'V', 'T', 'R'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes entries in the binary format.
+func WriteBinary(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(binaryVersion); err != nil {
+		return err
+	}
+
+	// Intern strings in first-seen order.
+	index := make(map[string]uint64)
+	var table []string
+	intern := func(s string) uint64 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint64(len(table))
+		index[s] = i
+		table = append(table, s)
+		return i
+	}
+	type packed struct {
+		kind             Kind
+		ev, depth        uint64
+		nameIdx, handIdx uint64
+		mode             event.Mode
+	}
+	ps := make([]packed, len(entries))
+	for i, e := range entries {
+		ps[i] = packed{
+			kind: e.Kind, ev: uint64(e.Event), depth: uint64(e.Depth),
+			nameIdx: intern(e.EventName), mode: e.Mode,
+		}
+		if e.Kind != EventRaised {
+			ps[i].handIdx = intern(e.Handler)
+		}
+	}
+
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := writeUvarint(uint64(len(table))); err != nil {
+		return err
+	}
+	for _, s := range table {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	if err := writeUvarint(uint64(len(ps))); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := bw.WriteByte(byte(p.kind)); err != nil {
+			return err
+		}
+		if err := writeUvarint(p.ev); err != nil {
+			return err
+		}
+		if err := writeUvarint(p.depth); err != nil {
+			return err
+		}
+		if err := writeUvarint(p.nameIdx); err != nil {
+			return err
+		}
+		if p.kind == EventRaised {
+			if err := bw.WriteByte(byte(p.mode)); err != nil {
+				return err
+			}
+		} else if err := writeUvarint(p.handIdx); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary trace.
+func ReadBinary(r io.Reader) ([]Entry, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: binary header: %w", err)
+	}
+	if [4]byte(magic[:4]) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
+	}
+	if magic[4] != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
+	}
+
+	nStr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxStrings = 1 << 24
+	if nStr > maxStrings {
+		return nil, fmt.Errorf("trace: implausible string count %d", nStr)
+	}
+	table := make([]string, nStr)
+	for i := range table {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if l > 1<<20 {
+			return nil, fmt.Errorf("trace: implausible string length %d", l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		table[i] = string(b)
+	}
+	str := func(idx uint64) (string, error) {
+		if idx >= uint64(len(table)) {
+			return "", fmt.Errorf("trace: string index %d out of range", idx)
+		}
+		return table[idx], nil
+	}
+
+	nEnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for i := uint64(0); i < nEnt; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		kind := Kind(kb)
+		if kind > HandlerExit {
+			return nil, fmt.Errorf("trace: entry %d: bad kind %d", i, kb)
+		}
+		ev, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		depth, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		nameIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		name, err := str(nameIdx)
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{Kind: kind, Event: event.ID(ev), EventName: name, Depth: int(depth)}
+		if kind == EventRaised {
+			mb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			e.Mode = event.Mode(mb)
+		} else {
+			hIdx, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if e.Handler, err = str(hIdx); err != nil {
+				return nil, err
+			}
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

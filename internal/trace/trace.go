@@ -1,0 +1,311 @@
+// Package trace records event and handler activity from an instrumented
+// event system (paper section 3.1). A Recorder implements event.Tracer;
+// installed on a System it logs one entry per event activation, indicating
+// the event raised and whether it was raised synchronously or
+// asynchronously, and — when handler profiling is enabled for an event —
+// one entry per handler invocation.
+//
+// Traces serialize to a line-oriented text format so profiling runs and
+// analysis can be separated (the paper's workflow: run the instrumented
+// program, then analyze off-line).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"eventopt/internal/event"
+)
+
+// Kind discriminates trace entries.
+type Kind uint8
+
+const (
+	// EventRaised records an event activation.
+	EventRaised Kind = iota
+	// HandlerEnter and HandlerExit bracket one handler invocation.
+	HandlerEnter
+	HandlerExit
+)
+
+// String returns the text-format tag of the kind.
+func (k Kind) String() string {
+	switch k {
+	case EventRaised:
+		return "E"
+	case HandlerEnter:
+		return "H+"
+	case HandlerExit:
+		return "H-"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Entry is one trace record.
+type Entry struct {
+	Kind      Kind
+	Event     event.ID
+	EventName string
+	Handler   string // empty unless Kind is HandlerEnter/HandlerExit
+	Mode      event.Mode
+	Depth     int
+}
+
+// Recorder accumulates trace entries. It is safe for concurrent use.
+//
+// By default only event activations are recorded (event-level profiling).
+// EnableHandlerProfiling turns on handler entries for a chosen set of
+// events — the paper's two-phase scheme, where handler instrumentation is
+// added only for events on hot paths.
+type Recorder struct {
+	mu          sync.Mutex
+	entries     []Entry
+	handlerEvs  map[event.ID]bool
+	allHandlers bool
+}
+
+// NewRecorder returns an empty recorder that logs events only.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// EnableHandlerProfiling turns on handler-level logging for the given
+// events. With no arguments it enables handler logging for every event.
+func (r *Recorder) EnableHandlerProfiling(evs ...event.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(evs) == 0 {
+		r.allHandlers = true
+		return
+	}
+	if r.handlerEvs == nil {
+		r.handlerEvs = make(map[event.ID]bool)
+	}
+	for _, ev := range evs {
+		r.handlerEvs[ev] = true
+	}
+}
+
+func (r *Recorder) wantsHandlers(ev event.ID) bool {
+	return r.allHandlers || r.handlerEvs[ev]
+}
+
+// Event implements event.Tracer.
+func (r *Recorder) Event(ev event.ID, name string, mode event.Mode, depth int) {
+	r.mu.Lock()
+	r.entries = append(r.entries, Entry{Kind: EventRaised, Event: ev, EventName: name, Mode: mode, Depth: depth})
+	r.mu.Unlock()
+}
+
+// HandlerEnter implements event.Tracer.
+func (r *Recorder) HandlerEnter(ev event.ID, eventName, handler string, depth int) {
+	r.mu.Lock()
+	if r.wantsHandlers(ev) {
+		r.entries = append(r.entries, Entry{Kind: HandlerEnter, Event: ev, EventName: eventName, Handler: handler, Depth: depth})
+	}
+	r.mu.Unlock()
+}
+
+// HandlerExit implements event.Tracer.
+func (r *Recorder) HandlerExit(ev event.ID, eventName, handler string, depth int) {
+	r.mu.Lock()
+	if r.wantsHandlers(ev) {
+		r.entries = append(r.entries, Entry{Kind: HandlerExit, Event: ev, EventName: eventName, Handler: handler, Depth: depth})
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of recorded entries.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Entries returns a copy of all recorded entries in order.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// Events returns only the EventRaised entries, in order.
+func (r *Recorder) Events() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Entry
+	for _, e := range r.entries {
+		if e.Kind == EventRaised {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset discards all recorded entries (profiling filters are kept).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.entries = nil
+	r.mu.Unlock()
+}
+
+// WriteTo serializes the trace in the text format. It returns the number
+// of bytes written.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	return WriteEntries(w, r.Entries())
+}
+
+// WriteEntries serializes entries in the text format:
+//
+//	E  <id> <mode> <depth> <eventName>
+//	H+ <id> <depth> <eventName> <handler>
+//	H- <id> <depth> <eventName> <handler>
+//
+// Names are quoted with strconv.Quote so arbitrary identifiers round-trip.
+func WriteEntries(w io.Writer, entries []Entry) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range entries {
+		var m int
+		var err error
+		switch e.Kind {
+		case EventRaised:
+			m, err = fmt.Fprintf(bw, "E %d %d %d %s\n", e.Event, e.Mode, e.Depth, strconv.Quote(e.EventName))
+		case HandlerEnter, HandlerExit:
+			m, err = fmt.Fprintf(bw, "%s %d %d %s %s\n", e.Kind, e.Event, e.Depth,
+				strconv.Quote(e.EventName), strconv.Quote(e.Handler))
+		default:
+			err = fmt.Errorf("trace: unknown entry kind %d", e.Kind)
+		}
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a text-format trace.
+func Read(rd io.Reader) ([]Entry, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		e, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(text string) (Entry, error) {
+	fields, err := splitQuoted(text)
+	if err != nil {
+		return Entry{}, err
+	}
+	if len(fields) < 4 {
+		return Entry{}, fmt.Errorf("short record %q", text)
+	}
+	var e Entry
+	switch fields[0] {
+	case "E":
+		if len(fields) != 5 {
+			return Entry{}, fmt.Errorf("E record needs 5 fields, got %d", len(fields))
+		}
+		e.Kind = EventRaised
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return Entry{}, err
+		}
+		mode, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Entry{}, err
+		}
+		depth, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Event, e.Mode, e.Depth, e.EventName = event.ID(id), event.Mode(mode), depth, fields[4]
+	case "H+", "H-":
+		if len(fields) != 5 {
+			return Entry{}, fmt.Errorf("H record needs 5 fields, got %d", len(fields))
+		}
+		if fields[0] == "H+" {
+			e.Kind = HandlerEnter
+		} else {
+			e.Kind = HandlerExit
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return Entry{}, err
+		}
+		depth, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return Entry{}, err
+		}
+		e.Event, e.Depth, e.EventName, e.Handler = event.ID(id), depth, fields[3], fields[4]
+	default:
+		return Entry{}, fmt.Errorf("unknown record tag %q", fields[0])
+	}
+	return e, nil
+}
+
+// splitQuoted splits a record line on spaces, unquoting quoted fields.
+func splitQuoted(text string) ([]string, error) {
+	var fields []string
+	for i := 0; i < len(text); {
+		for i < len(text) && text[i] == ' ' {
+			i++
+		}
+		if i >= len(text) {
+			break
+		}
+		if text[i] == '"' {
+			// Find the end of the quoted string, honoring escapes.
+			j := i + 1
+			for j < len(text) {
+				if text[j] == '\\' {
+					j += 2
+					continue
+				}
+				if text[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(text) {
+				return nil, fmt.Errorf("unterminated quote in %q", text)
+			}
+			s, err := strconv.Unquote(text[i : j+1])
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, s)
+			i = j + 1
+			continue
+		}
+		j := i
+		for j < len(text) && text[j] != ' ' {
+			j++
+		}
+		fields = append(fields, text[i:j])
+		i = j
+	}
+	return fields, nil
+}

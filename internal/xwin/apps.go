@@ -1,0 +1,333 @@
+package xwin
+
+import (
+	"fmt"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+)
+
+// --- Athena-style widgets ---
+
+// NewSimpleMenu creates an Athena SimpleMenu widget: a popup list of
+// entries with a notify callback fired on selection.
+func NewSimpleMenu(c *Client, name string, entries []string) *Widget {
+	w := c.NewWidget(name, "SimpleMenu", 0)
+	c.Mod.Globals.Set(name+".nentries", hir.IntVal(int64(len(entries))))
+	for i, e := range entries {
+		c.Mod.Globals.Set(fmt.Sprintf("%s.entry%d", name, i), hir.StrVal(e))
+	}
+	// Selecting an entry issues the menu's notify callback.
+	w.AddTranslation(ButtonRelease, 0, "notify")
+	w.AddAction("notify", func(w *Widget, ctx *event.Ctx) {
+		idx := ctx.Args.Int("y") / 16 // fixed entry height
+		if idx >= 0 && idx < len(entries) {
+			ctx.Raise(w.CallbackEvent("callback"), event.A("index", idx))
+		}
+	})
+	return w
+}
+
+// NewScrollbar creates an Athena Scrollbar widget of the given pixel
+// length with jumpProc/scrollProc callbacks, driven by the thumb-coords
+// and thumb-display actions on pointer motion.
+func NewScrollbar(c *Client, name string, length int) *Widget {
+	w := c.NewWidget(name, "Scrollbar", 0)
+	w.H = length
+	st := c.Mod.Globals
+	st.Set(name+".length", hir.IntVal(int64(length)))
+	st.Set(name+".thumb", hir.IntVal(int64(length/10)))
+	st.Set(name+".top", hir.IntVal(0))
+	return w
+}
+
+// NewLabel creates a Label widget that repaints its text on Expose.
+func NewLabel(c *Client, name, text string) *Widget {
+	w := c.NewWidget(name, "Label", 0)
+	c.Mod.Globals.Set(name+".text", hir.StrVal(text))
+
+	b := hir.NewBuilder("display-label", 0)
+	win := b.BindArg("win")
+	txt := b.Load(name + ".text")
+	wd := b.Call("text_width", txt)
+	zero := b.Int(0)
+	b.Call("paint", win, b.Const(hir.StrVal("label")), zero, zero, wd)
+	b.Return(hir.NoReg)
+	w.AddActionHIR("display-label", b.Fn())
+	w.AddTranslation(Expose, 0, "display-label")
+	return w
+}
+
+// NewCommand creates a Command (push button) widget with the classic
+// Athena set/notify/unset action trio and a "callback" callback list.
+func NewCommand(c *Client, name, label string) *Widget {
+	w := c.NewWidget(name, "Command", 0)
+	c.Mod.Globals.Set(name+".label", hir.StrVal(label))
+
+	set := hir.NewBuilder("set", 0)
+	win := set.BindArg("win")
+	one := set.Int(1)
+	set.Store(name+".set", one)
+	z := set.Int(0)
+	set.Call("paint", win, set.Const(hir.StrVal("highlight")), z, z, one)
+	set.Return(hir.NoReg)
+	w.AddActionHIR("set", set.Fn())
+
+	notify := hir.NewBuilder("notify", 0)
+	isSet := notify.Load(name + ".set")
+	fire := notify.NewBlock()
+	done := notify.NewBlock()
+	notify.SetBlock(hir.Entry)
+	notify.Branch(isSet, fire, done)
+	notify.SetBlock(fire)
+	notify.Raise(w.CallbackEventName("callback"), nil, nil)
+	notify.Jump(done)
+	notify.SetBlock(done)
+	notify.Return(hir.NoReg)
+	w.AddActionHIR("notify", notify.Fn())
+
+	unset := hir.NewBuilder("unset", 0)
+	win2 := unset.BindArg("win")
+	zz := unset.Int(0)
+	unset.Store(name+".set", zz)
+	unset.Call("paint", win2, unset.Const(hir.StrVal("unhighlight")), zz, zz, zz)
+	unset.Return(hir.NoReg)
+	w.AddActionHIR("unset", unset.Fn())
+
+	w.AddTranslation(ButtonPress, 0, "set")
+	w.AddTranslation(ButtonRelease, 0, "notify", "unset")
+	return w
+}
+
+// --- xterm ---
+
+// XTerm models the paper's xterm application: a VT100 text widget whose
+// CTRL+BUTTON translation triggers the Menu Popup — two action handlers
+// in sequence, the first initializing the SimpleMenu object, the second
+// constructing and displaying the menu and invoking two callbacks that
+// track mouse motion within it (section 4.3, "Popup").
+type XTerm struct {
+	Client *Client
+	VT     *Widget
+	Menu   *Widget
+	// PopupEvent is the runtime event behind CTRL+ButtonPress.
+	PopupEvent event.ID
+}
+
+// NewXTerm builds the application.
+func NewXTerm(opts ...event.Option) *XTerm {
+	c := NewClient("xterm", opts...)
+	x := &XTerm{Client: c}
+
+	x.VT = c.NewWidget("vt100", "VT100", KeyPress.Mask()|Expose.Mask())
+	x.Menu = NewSimpleMenu(c, "mainMenu", []string{
+		"Secure Keyboard", "Allow SendEvents", "Redraw Window", "Quit",
+	})
+
+	st := c.Mod.Globals
+	st.Set("vt100.chars", hir.IntVal(0))
+
+	// Typing: count and echo the character (plain event handler path).
+	ins := hir.NewBuilder("insert-char", 0)
+	win := ins.BindArg("win")
+	n := ins.Load("vt100.chars")
+	one := ins.Int(1)
+	n2 := ins.Bin(hir.Add, n, one)
+	ins.Store("vt100.chars", n2)
+	det := ins.Arg("detail")
+	zero := ins.Int(0)
+	ins.Call("paint", win, ins.Const(hir.StrVal("glyph")), n2, zero, det)
+	ins.Return(hir.NoReg)
+	x.VT.AddEventHandlerHIR("insert-char", ins.Fn(), KeyPress)
+
+	// Popup action 1: initialize the menu object (SimpleMenu specifics).
+	init := hir.NewBuilder("menu-init", 0)
+	mwin := init.Int(int64(x.Menu.ID))
+	ne := init.Load("mainMenu.nentries")
+	eh := init.Int(16)
+	h := init.Bin(hir.Mul, ne, eh)
+	init.Store("mainMenu.height", h)
+	z := init.Int(0)
+	init.Call("paint", mwin, init.Const(hir.StrVal("menu-clear")), z, z, h)
+	one2 := init.Int(1)
+	init.Store("mainMenu.inited", one2)
+	init.Return(hir.NoReg)
+	x.VT.AddActionHIR("menu-init", init.Fn())
+
+	// Popup action 2: construct and display the menu, then invoke the
+	// two motion-tracking callbacks.
+	disp := hir.NewBuilder("menu-display", 0)
+	mwin2 := disp.Int(int64(x.Menu.ID))
+	px := disp.Arg("x")
+	py := disp.Arg("y")
+	hh := disp.Load("mainMenu.height")
+	disp.Call("paint", mwin2, disp.Const(hir.StrVal("menu-show")), px, py, hh)
+	disp.Raise(x.Menu.CallbackEventName("track-enter"), []string{"x", "y"}, []hir.Reg{px, py})
+	disp.Raise(x.Menu.CallbackEventName("track-motion"), []string{"x", "y"}, []hir.Reg{px, py})
+	disp.Return(hir.NoReg)
+	x.VT.AddActionHIR("menu-display", disp.Fn())
+
+	// The two mouse-motion tracking callbacks.
+	te := hir.NewBuilder("cb_track_enter", 0)
+	cx := te.Arg("x")
+	cy := te.Arg("y")
+	te.Store("mainMenu.lastx", cx)
+	te.Store("mainMenu.lasty", cy)
+	te.Return(hir.NoReg)
+	x.Menu.AddCallbackHIR("track-enter", te.Fn())
+
+	tm := hir.NewBuilder("cb_track_motion", 0)
+	mx := tm.Load("mainMenu.lastx")
+	my := tm.Load("mainMenu.lasty")
+	ey := tm.Load("mainMenu.height")
+	inY := tm.Bin(hir.Lt, my, ey)
+	hl := tm.NewBlock()
+	out := tm.NewBlock()
+	tm.SetBlock(hir.Entry)
+	tm.Branch(inY, hl, out)
+	tm.SetBlock(hl)
+	sixteen := tm.Int(16)
+	idx := tm.Bin(hir.Div, my, sixteen)
+	tm.Store("mainMenu.highlight", idx)
+	mwin3 := tm.Int(int64(x.Menu.ID))
+	tm.Call("paint", mwin3, tm.Const(hir.StrVal("menu-highlight")), mx, my, idx)
+	tm.Jump(out)
+	tm.SetBlock(out)
+	tm.Return(hir.NoReg)
+	x.Menu.AddCallbackHIR("track-motion", tm.Fn())
+
+	// The translation table, in Xt syntax.
+	if err := x.VT.ParseTranslations("Ctrl<BtnDown>: menu-init() menu-display()"); err != nil {
+		panic(err) // static table: a parse failure is a programming error
+	}
+	x.PopupEvent = x.VT.ActionEvent(ButtonPress, ControlMask)
+	return x
+}
+
+// Popup dispatches the CTRL+button event that opens the menu.
+func (x *XTerm) Popup(px, py int) {
+	x.Client.Dispatch(XEvent{Type: ButtonPress, Window: x.VT.ID, X: px, Y: py, State: ControlMask, Detail: 1})
+}
+
+// Type dispatches one key press.
+func (x *XTerm) Type(keycode int) {
+	x.Client.Dispatch(XEvent{Type: KeyPress, Window: x.VT.ID, Detail: keycode})
+}
+
+// --- gvim ---
+
+// Gvim models the paper's gvim application: a text widget plus a
+// scrollbar whose pointer-motion translation runs the two Scroll action
+// handlers — the first obtaining the thumb coordinates from the
+// framework, the second displaying the new thumb position, each invoking
+// widget callbacks (section 4.3, "Scroll").
+type Gvim struct {
+	Client    *Client
+	Text      *Widget
+	Scrollbar *Widget
+	// ScrollEvent is the runtime event behind scrollbar motion.
+	ScrollEvent event.ID
+}
+
+// NewGvim builds the application.
+func NewGvim(opts ...event.Option) *Gvim {
+	c := NewClient("gvim", opts...)
+	g := &Gvim{Client: c}
+	g.Text = c.NewWidget("text", "Text", KeyPress.Mask()|Expose.Mask())
+	g.Scrollbar = NewScrollbar(c, "sb", 400)
+
+	st := c.Mod.Globals
+	st.Set("text.topline", hir.IntVal(0))
+	st.Set("text.lines", hir.IntVal(1000))
+
+	// Scroll action 1: compute the thumb position from the pointer.
+	co := hir.NewBuilder("thumb-coords", 0)
+	y := co.Arg("y")
+	length := co.Load("sb.length")
+	thumb := co.Load("sb.thumb")
+	// Clamp y into [0, length-thumb].
+	zero := co.Int(0)
+	neg := co.Bin(hir.Lt, y, zero)
+	clampLo := co.NewBlock()
+	checkHi := co.NewBlock()
+	co.SetBlock(hir.Entry)
+	co.Branch(neg, clampLo, checkHi)
+	co.SetBlock(clampLo)
+	z2 := co.Int(0)
+	co.Store("sb.top", z2)
+	co.Jump(checkHi) // harmless; checkHi re-stores when in range
+	co.SetBlock(checkHi)
+	maxTop := co.Bin(hir.Sub, length, thumb)
+	hi := co.Bin(hir.Gt, y, maxTop)
+	clampHi := co.NewBlock()
+	inRange := co.NewBlock()
+	done := co.NewBlock()
+	co.SetBlock(checkHi)
+	co.Branch(hi, clampHi, inRange)
+	co.SetBlock(clampHi)
+	co.Store("sb.top", maxTop)
+	co.Jump(done)
+	co.SetBlock(inRange)
+	lo := co.Bin(hir.Lt, y, zero)
+	skipStore := co.NewBlock()
+	doStore := co.NewBlock()
+	co.SetBlock(inRange)
+	co.Branch(lo, skipStore, doStore)
+	co.SetBlock(doStore)
+	co.Store("sb.top", y)
+	co.Jump(done)
+	co.SetBlock(skipStore)
+	co.Jump(done)
+	co.SetBlock(done)
+	// Notify the jump callback with the new line.
+	top := co.Load("sb.top")
+	lines := co.Load("text.lines")
+	scaled := co.Bin(hir.Mul, top, lines)
+	newline := co.Bin(hir.Div, scaled, length)
+	co.Raise(g.Scrollbar.CallbackEventName("jumpProc"), []string{"line"}, []hir.Reg{newline})
+	co.Return(hir.NoReg)
+	g.Scrollbar.AddActionHIR("thumb-coords", co.Fn())
+
+	// Scroll action 2: display the thumb at its new position.
+	dp := hir.NewBuilder("thumb-display", 0)
+	win := dp.BindArg("win")
+	top2 := dp.Load("sb.top")
+	th := dp.Load("sb.thumb")
+	zz := dp.Int(0)
+	dp.Call("paint", win, dp.Const(hir.StrVal("thumb")), zz, top2, th)
+	dp.Raise(g.Scrollbar.CallbackEventName("scrollProc"), []string{"top"}, []hir.Reg{top2})
+	dp.Return(hir.NoReg)
+	g.Scrollbar.AddActionHIR("thumb-display", dp.Fn())
+
+	// jumpProc: reposition the text view.
+	jp := hir.NewBuilder("cb_jumpProc", 0)
+	ln := jp.Arg("line")
+	jp.Store("text.topline", ln)
+	jp.Return(hir.NoReg)
+	g.Scrollbar.AddCallbackHIR("jumpProc", jp.Fn())
+
+	// scrollProc: repaint the visible text region.
+	sp := hir.NewBuilder("cb_scrollProc", 0)
+	twin := sp.Int(int64(g.Text.ID))
+	tl := sp.Load("text.topline")
+	z3 := sp.Int(0)
+	sp.Call("paint", twin, sp.Const(hir.StrVal("text-region")), z3, tl, z3)
+	sp.Return(hir.NoReg)
+	g.Scrollbar.AddCallbackHIR("scrollProc", sp.Fn())
+
+	if err := g.Scrollbar.ParseTranslations("Btn1<Motion>: thumb-coords() thumb-display()"); err != nil {
+		panic(err)
+	}
+	g.ScrollEvent = g.Scrollbar.ActionEvent(MotionNotify, Button1Mask)
+	return g
+}
+
+// Scroll dispatches one scrollbar drag event at pointer height y.
+func (g *Gvim) Scroll(y int) {
+	g.Client.Dispatch(XEvent{Type: MotionNotify, Window: g.Scrollbar.ID, Y: y, State: Button1Mask})
+}
+
+// TopLine reports the text widget's current top line.
+func (g *Gvim) TopLine() int64 {
+	return g.Client.Mod.Globals.Get("text.topline").Int()
+}

@@ -1,0 +1,201 @@
+package xwin
+
+import (
+	"strings"
+
+	"eventopt/internal/event"
+)
+
+// TextWidget is a multi-line text editing widget in the Athena Text
+// mold: a line buffer with an insertion cursor, driven by the classic
+// action procedures (insert-character, newline, delete-previous-
+// character, cursor movement) through the widget's translation table,
+// with a redisplay action painting the visible region. It exercises the
+// event-handler path with realistic per-keystroke work.
+type TextWidget struct {
+	*Widget
+
+	lines    []string
+	row, col int
+	topLine  int // first visible line
+	rows     int // visible line count
+
+	// Edits counts buffer-modifying actions (for tests and profiling).
+	Edits int
+}
+
+// NewText creates a text widget with the standard editing translations
+// installed:
+//
+//	<Key>:        insert-character() redisplay()
+//	Ctrl<Key>:    control-key() redisplay()   (m=newline, h=delete, f/b=move)
+//	<Expose>:     redisplay()
+//
+// Each keystroke runs two action handlers (edit + echo), the
+// multi-handler pattern section 4.3 calls a good merging candidate.
+func NewText(c *Client, name string, visibleRows int) *TextWidget {
+	if visibleRows <= 0 {
+		visibleRows = 24
+	}
+	t := &TextWidget{
+		Widget: c.NewWidget(name, "Text", 0),
+		lines:  []string{""},
+		rows:   visibleRows,
+	}
+	t.AddAction("insert-character", func(_ *Widget, ctx *event.Ctx) {
+		t.InsertRune(rune(ctx.Args.Int("detail")))
+	})
+	t.AddAction("control-key", func(_ *Widget, ctx *event.Ctx) {
+		switch ctx.Args.Int("detail") {
+		case 'm': // Ctrl-M: newline
+			t.Newline()
+		case 'h': // Ctrl-H: delete previous
+			t.DeletePrevious()
+		case 'f': // Ctrl-F: forward
+			t.Move(0, 1)
+		case 'b': // Ctrl-B: backward
+			t.Move(0, -1)
+		case 'n': // Ctrl-N: next line
+			t.Move(1, 0)
+		case 'p': // Ctrl-P: previous line
+			t.Move(-1, 0)
+		}
+	})
+	t.AddAction("redisplay", func(*Widget, *event.Ctx) { t.Redisplay() })
+	if err := t.ParseTranslations(`
+		Ctrl<Key>: control-key() redisplay()
+		<Key>:     insert-character() redisplay()
+		<Expose>:  redisplay()
+	`); err != nil {
+		panic(err) // static table
+	}
+	return t
+}
+
+// InsertRune inserts ch at the cursor.
+func (t *TextWidget) InsertRune(ch rune) {
+	line := t.lines[t.row]
+	t.lines[t.row] = line[:t.col] + string(ch) + line[t.col:]
+	t.col++
+	t.Edits++
+	t.paintLine(t.row)
+}
+
+// Newline splits the current line at the cursor.
+func (t *TextWidget) Newline() {
+	line := t.lines[t.row]
+	rest := line[t.col:]
+	t.lines[t.row] = line[:t.col]
+	t.lines = append(t.lines, "")
+	copy(t.lines[t.row+2:], t.lines[t.row+1:])
+	t.lines[t.row+1] = rest
+	t.row++
+	t.col = 0
+	t.Edits++
+	t.scrollIntoView()
+	t.Redisplay()
+}
+
+// DeletePrevious removes the character before the cursor, joining lines
+// across a leading-edge delete.
+func (t *TextWidget) DeletePrevious() {
+	if t.col > 0 {
+		line := t.lines[t.row]
+		t.lines[t.row] = line[:t.col-1] + line[t.col:]
+		t.col--
+		t.Edits++
+		t.paintLine(t.row)
+		return
+	}
+	if t.row == 0 {
+		return
+	}
+	prev := t.lines[t.row-1]
+	t.col = len(prev)
+	t.lines[t.row-1] = prev + t.lines[t.row]
+	t.lines = append(t.lines[:t.row], t.lines[t.row+1:]...)
+	t.row--
+	t.Edits++
+	t.Redisplay()
+}
+
+// Move shifts the cursor by rows/cols, clamped to the buffer.
+func (t *TextWidget) Move(dr, dc int) {
+	t.row += dr
+	if t.row < 0 {
+		t.row = 0
+	}
+	if t.row >= len(t.lines) {
+		t.row = len(t.lines) - 1
+	}
+	t.col += dc
+	if t.col < 0 {
+		t.col = 0
+	}
+	if t.col > len(t.lines[t.row]) {
+		t.col = len(t.lines[t.row])
+	}
+	t.scrollIntoView()
+}
+
+// ScrollTo makes the given line the top visible line (clamped); the
+// scrollbar's jumpProc drives this.
+func (t *TextWidget) ScrollTo(top int) {
+	if top < 0 {
+		top = 0
+	}
+	if top >= len(t.lines) {
+		top = len(t.lines) - 1
+	}
+	t.topLine = top
+	t.Redisplay()
+}
+
+func (t *TextWidget) scrollIntoView() {
+	if t.row < t.topLine {
+		t.topLine = t.row
+	}
+	if t.row >= t.topLine+t.rows {
+		t.topLine = t.row - t.rows + 1
+	}
+}
+
+// Redisplay repaints the visible region into the client's display list.
+func (t *TextWidget) Redisplay() {
+	end := t.topLine + t.rows
+	if end > len(t.lines) {
+		end = len(t.lines)
+	}
+	for i := t.topLine; i < end; i++ {
+		t.paintLine(i)
+	}
+	t.Client.Display.Paint(t.ID, "cursor", t.col, t.row, 0)
+}
+
+func (t *TextWidget) paintLine(i int) {
+	t.Client.Display.Paint(t.ID, "text-line", 0, i, len(t.lines[i]))
+}
+
+// Contents returns the buffer joined by newlines.
+func (t *TextWidget) Contents() string { return strings.Join(t.lines, "\n") }
+
+// Cursor reports the insertion position.
+func (t *TextWidget) Cursor() (row, col int) { return t.row, t.col }
+
+// LineCount reports the number of buffer lines.
+func (t *TextWidget) LineCount() int { return len(t.lines) }
+
+// TopLine reports the first visible line.
+func (t *TextWidget) TopLine() int { return t.topLine }
+
+// TypeString dispatches key events for each byte of s through the
+// client's event path (Ctrl-M for '\n').
+func (t *TextWidget) TypeString(s string) {
+	for _, ch := range s {
+		if ch == '\n' {
+			t.Client.Dispatch(XEvent{Type: KeyPress, Window: t.ID, State: ControlMask, Detail: 'm'})
+			continue
+		}
+		t.Client.Dispatch(XEvent{Type: KeyPress, Window: t.ID, Detail: int(ch)})
+	}
+}

@@ -1,0 +1,131 @@
+package xwin
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"eventopt/internal/core"
+)
+
+func TestTextTypingAndContents(t *testing.T) {
+	c := NewClient("ed")
+	txt := NewText(c, "buf", 10)
+	txt.TypeString("hello\nworld")
+	if got := txt.Contents(); got != "hello\nworld" {
+		t.Errorf("contents = %q", got)
+	}
+	if r, col := txt.Cursor(); r != 1 || col != 5 {
+		t.Errorf("cursor = %d,%d", r, col)
+	}
+	if txt.LineCount() != 2 {
+		t.Errorf("lines = %d", txt.LineCount())
+	}
+	if txt.Edits != 11 {
+		t.Errorf("edits = %d", txt.Edits)
+	}
+}
+
+func TestTextEditingActions(t *testing.T) {
+	c := NewClient("ed")
+	txt := NewText(c, "buf", 10)
+	txt.TypeString("abc")
+	// Ctrl-H deletes previous.
+	c.Dispatch(XEvent{Type: KeyPress, Window: txt.ID, State: ControlMask, Detail: 'h'})
+	if txt.Contents() != "ab" {
+		t.Errorf("after delete: %q", txt.Contents())
+	}
+	// Ctrl-B then insert in the middle.
+	c.Dispatch(XEvent{Type: KeyPress, Window: txt.ID, State: ControlMask, Detail: 'b'})
+	c.Dispatch(XEvent{Type: KeyPress, Window: txt.ID, Detail: 'X'})
+	if txt.Contents() != "aXb" {
+		t.Errorf("after middle insert: %q", txt.Contents())
+	}
+	// Join lines with a leading-edge delete.
+	txt.TypeString("\nzz")
+	txt.Move(1, -10) // clamp to start of the line
+	r, col := txt.Cursor()
+	if col != 0 {
+		t.Fatalf("cursor = %d,%d", r, col)
+	}
+	txt.DeletePrevious()
+	if txt.Contents() != "aXzzb" {
+		t.Errorf("after join: %q", txt.Contents())
+	}
+	// Delete at the very start is a no-op.
+	txt.Move(-10, -10)
+	before := txt.Contents()
+	txt.DeletePrevious()
+	if txt.Contents() != before {
+		t.Error("delete at origin changed the buffer")
+	}
+}
+
+func TestTextScrolling(t *testing.T) {
+	c := NewClient("ed")
+	txt := NewText(c, "buf", 3)
+	for i := 0; i < 10; i++ {
+		txt.TypeString("line\n")
+	}
+	// Cursor followed the typing past the window: view scrolled.
+	if txt.TopLine() == 0 {
+		t.Error("view did not follow the cursor")
+	}
+	txt.ScrollTo(0)
+	if txt.TopLine() != 0 {
+		t.Errorf("top = %d", txt.TopLine())
+	}
+	txt.ScrollTo(999)
+	if txt.TopLine() != txt.LineCount()-1 {
+		t.Errorf("clamped top = %d", txt.TopLine())
+	}
+	txt.ScrollTo(-5)
+	if txt.TopLine() != 0 {
+		t.Errorf("clamped low top = %d", txt.TopLine())
+	}
+}
+
+func TestTextOptimizedTypingEquivalence(t *testing.T) {
+	input := "profile directed\noptimization of\nevent based programs"
+	ref := NewText(NewClient("a"), "buf", 5)
+	ref.TypeString(input)
+
+	c := NewClient("b")
+	txt := NewText(c, "buf", 5)
+	optimizeClient(t, c, func(n int) {
+		for i := 0; i < n; i++ {
+			c.Dispatch(XEvent{Type: KeyPress, Window: txt.ID, Detail: 'x'})
+			c.Dispatch(XEvent{Type: KeyPress, Window: txt.ID, State: ControlMask, Detail: 'h'})
+		}
+	}, core.DefaultOptions())
+	c.Sys.Stats().Reset()
+	txt.TypeString(input)
+	if txt.Contents() != ref.Contents() {
+		t.Errorf("optimized buffer %q != %q", txt.Contents(), ref.Contents())
+	}
+	if c.Sys.Stats().FastRuns.Load() == 0 {
+		t.Error("typing did not use the fast path")
+	}
+}
+
+// Property: typing random printable text (with newlines) reproduces the
+// text, with the cursor at its end.
+func TestQuickTextTyping(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, ch := range raw {
+			switch {
+			case ch == '\n' || (ch >= ' ' && ch < 127):
+				b.WriteByte(ch)
+			}
+		}
+		input := b.String()
+		c := NewClient("q")
+		txt := NewText(c, "buf", 4)
+		txt.TypeString(input)
+		return txt.Contents() == input
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

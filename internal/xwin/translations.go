@@ -1,0 +1,99 @@
+package xwin
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseTranslations parses an Xt-style translation table and installs
+// each entry on the widget. The grammar is the practical subset the
+// paper's applications use:
+//
+//	line   := [modifier...] '<' event '>' ':' action+
+//	action := name '(' ')'
+//
+// as in the xterm fragment
+//
+//	Ctrl<BtnDown>: menu-init() menu-display()
+//	<Key>:         insert-char()
+//
+// Supported modifiers: Ctrl, Shift, Btn1 (pointer button held).
+// Supported event names: BtnDown, BtnUp, Key, KeyUp, Motion, Expose,
+// Enter, Leave, Focus, FocusOut — the subset maps onto the core X event
+// types. Lines may be separated by newlines; '!' or '#' starts a
+// comment line. Actions must be registered (AddAction/AddActionHIR)
+// before or after parsing; binding is re-resolved on registration.
+func (w *Widget) ParseTranslations(table string) error {
+	for ln, raw := range strings.Split(table, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := w.parseTranslationLine(line); err != nil {
+			return fmt.Errorf("xwin: translations line %d: %w", ln+1, err)
+		}
+	}
+	return nil
+}
+
+var translationEvents = map[string]EventType{
+	"BtnDown":  ButtonPress,
+	"BtnUp":    ButtonRelease,
+	"Key":      KeyPress,
+	"KeyDown":  KeyPress,
+	"KeyUp":    KeyRelease,
+	"Motion":   MotionNotify,
+	"Expose":   Expose,
+	"Enter":    EnterNotify,
+	"Leave":    LeaveNotify,
+	"Focus":    FocusIn,
+	"FocusOut": FocusOut,
+}
+
+var translationModifiers = map[string]uint32{
+	"Ctrl":  ControlMask,
+	"Shift": ShiftMask,
+	"Btn1":  Button1Mask,
+}
+
+func (w *Widget) parseTranslationLine(line string) error {
+	colon := strings.Index(line, ":")
+	if colon < 0 {
+		return fmt.Errorf("missing ':' in %q", line)
+	}
+	lhs := strings.TrimSpace(line[:colon])
+	rhs := strings.TrimSpace(line[colon+1:])
+
+	open := strings.Index(lhs, "<")
+	closeIdx := strings.Index(lhs, ">")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("missing <event> in %q", lhs)
+	}
+	var mods uint32
+	for _, tok := range strings.Fields(lhs[:open]) {
+		m, ok := translationModifiers[tok]
+		if !ok {
+			return fmt.Errorf("unknown modifier %q", tok)
+		}
+		mods |= m
+	}
+	evName := strings.TrimSpace(lhs[open+1 : closeIdx])
+	et, ok := translationEvents[evName]
+	if !ok {
+		return fmt.Errorf("unknown event %q", evName)
+	}
+
+	var actions []string
+	for _, tok := range strings.Fields(rhs) {
+		name, okA := strings.CutSuffix(tok, "()")
+		if !okA || name == "" {
+			return fmt.Errorf("malformed action %q (expected name())", tok)
+		}
+		actions = append(actions, name)
+	}
+	if len(actions) == 0 {
+		return fmt.Errorf("no actions in %q", line)
+	}
+	w.AddTranslation(et, mods, actions...)
+	return nil
+}

@@ -1,0 +1,264 @@
+package xwin
+
+import (
+	"fmt"
+	"sort"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+)
+
+// ActionProc is a native action procedure or event handler.
+type ActionProc func(w *Widget, ctx *event.Ctx)
+
+// Widget is the basic building block of an X client: a window with an
+// event mask, a translation table, action procedures, callbacks and
+// event handlers.
+type Widget struct {
+	Client *Client
+	ID     WindowID
+	Name   string
+	Class  string
+
+	mask         EventMask
+	translations map[transKey][]string // (type, modifiers) -> action names
+	actions      map[string]bool       // registered action names
+	actionEvents map[transKey]event.ID
+	ehEvents     map[EventType]event.ID
+	cbEvents     map[string]event.ID
+	pending      []pendingAction
+	boundActions map[event.ID]map[string]bool
+
+	// Geometry, used by scrollbar/menu code.
+	X, Y, W, H int
+}
+
+type transKey struct {
+	t    EventType
+	mods uint32
+}
+
+// NewWidget creates a widget with the given event mask.
+func (c *Client) NewWidget(name, class string, mask EventMask) *Widget {
+	w := &Widget{
+		Client: c, ID: c.nextWin, Name: name, Class: class, mask: mask,
+		translations: make(map[transKey][]string),
+		actions:      make(map[string]bool),
+		actionEvents: make(map[transKey]event.ID),
+		ehEvents:     make(map[EventType]event.ID),
+		cbEvents:     make(map[string]event.ID),
+		W:            100, H: 100,
+	}
+	c.nextWin++
+	c.widgets[w.ID] = w
+	return w
+}
+
+// Select widens the widget's event mask.
+func (w *Widget) Select(types ...EventType) {
+	for _, t := range types {
+		w.mask |= t.Mask()
+	}
+}
+
+// registerIntrinsics exposes painting and text metrics to HIR handlers.
+func (c *Client) registerIntrinsics() {
+	c.Mod.RegisterIntrinsic("paint", false, func(a []hir.Value) hir.Value {
+		c.Display.Paint(WindowID(a[0].Int()), a[1].Str(), int(a[2].Int()), int(a[3].Int()), int(a[4].Int()))
+		return hir.None
+	})
+	c.Mod.RegisterIntrinsic("text_width", true, func(a []hir.Value) hir.Value {
+		return hir.IntVal(int64(len(a[0].Str())) * 7) // fixed-width font metrics
+	})
+}
+
+// --- Event handlers (the most primitive mechanism) ---
+
+// AddEventHandler binds a native procedure to one or more event types;
+// it runs when any of them occurs on this widget.
+func (w *Widget) AddEventHandler(name string, fn ActionProc, types ...EventType) {
+	for _, t := range types {
+		w.Select(t)
+		id := w.eventHandlerEvent(t)
+		wid := w
+		w.Client.Sys.Bind(id, name, func(ctx *event.Ctx) { fn(wid, ctx) })
+	}
+}
+
+// AddEventHandlerHIR binds an HIR-bodied event handler.
+func (w *Widget) AddEventHandlerHIR(name string, body *hir.Function, types ...EventType) {
+	for _, t := range types {
+		w.Select(t)
+		id := w.eventHandlerEvent(t)
+		w.Client.Mod.Bind(id, name, body, event.WithBindArgs(event.A("win", int(w.ID))))
+	}
+}
+
+func (w *Widget) eventHandlerEvent(t EventType) event.ID {
+	if id, ok := w.ehEvents[t]; ok {
+		return id
+	}
+	id := w.Client.Sys.Define(fmt.Sprintf("%s.eh.%s", w.Name, t))
+	w.ehEvents[t] = id
+	return id
+}
+
+// --- Actions and translations ---
+
+// AddAction registers a native action procedure under a name (actions
+// have client-global names; here they are registered per widget, which
+// is how the Athena widgets use them).
+func (w *Widget) AddAction(name string, fn ActionProc) {
+	w.actions[name] = true
+	wid := w
+	w.bindActionHandler(name, func(ctx *event.Ctx) { fn(wid, ctx) }, nil)
+}
+
+// AddActionHIR registers an HIR action procedure.
+func (w *Widget) AddActionHIR(name string, body *hir.Function) {
+	w.actions[name] = true
+	w.bindActionHandler(name, nil, body)
+}
+
+type pendingAction struct {
+	name   string
+	native event.HandlerFunc
+	body   *hir.Function
+}
+
+// Actions must be bound to the translation's event after the translation
+// exists; keep them and bind lazily.
+func (w *Widget) bindActionHandler(name string, native event.HandlerFunc, body *hir.Function) {
+	w.pending = append(w.pending, pendingAction{name: name, native: native, body: body})
+	w.rebindTranslations()
+}
+
+// AddTranslation maps (event type, modifier state) to a sequence of
+// action names, like an Xt translation table entry
+// ("Ctrl<Btn1Down>: popup-menu()").
+func (w *Widget) AddTranslation(t EventType, mods uint32, actionNames ...string) {
+	w.Select(t)
+	key := transKey{t: t, mods: mods}
+	w.translations[key] = append([]string(nil), actionNames...)
+	if _, ok := w.actionEvents[key]; !ok {
+		name := fmt.Sprintf("%s.%s", w.Name, t)
+		if mods != 0 {
+			name = fmt.Sprintf("%s.mod%d", name, mods)
+		}
+		w.actionEvents[key] = w.Client.Sys.Define(name)
+	}
+	w.rebindTranslations()
+}
+
+// pending actions awaiting translation events.
+//
+// rebindTranslations (re)binds each translation's action sequence. It is
+// idempotent per (translation, action) pair.
+func (w *Widget) rebindTranslations() {
+	for key, names := range w.translations {
+		id, ok := w.actionEvents[key]
+		if !ok {
+			continue
+		}
+		bound := w.boundActions[id]
+		if bound == nil {
+			bound = make(map[string]bool)
+			if w.boundActions == nil {
+				w.boundActions = make(map[event.ID]map[string]bool)
+			}
+			w.boundActions[id] = bound
+		}
+		for order, name := range names {
+			if bound[name] {
+				continue
+			}
+			for _, p := range w.pending {
+				if p.name != name {
+					continue
+				}
+				if p.body != nil {
+					w.Client.Mod.Bind(id, name, p.body, event.WithOrder(order),
+						event.WithBindArgs(event.A("win", int(w.ID))))
+				} else {
+					w.Client.Sys.Bind(id, name, p.native, event.WithOrder(order))
+				}
+				bound[name] = true
+				break
+			}
+		}
+	}
+}
+
+// --- Callbacks ---
+
+// AddCallback appends fn to the callback list of name. Issuing the
+// callback executes all functions bound to the name.
+func (w *Widget) AddCallback(name string, fn ActionProc) {
+	id := w.CallbackEvent(name)
+	wid := w
+	n := fmt.Sprintf("cb_%s_%d", name, w.Client.Sys.HandlerCount(id))
+	w.Client.Sys.Bind(id, n, func(ctx *event.Ctx) { fn(wid, ctx) })
+}
+
+// AddCallbackHIR appends an HIR-bodied callback function.
+func (w *Widget) AddCallbackHIR(name string, body *hir.Function) {
+	id := w.CallbackEvent(name)
+	w.Client.Mod.Bind(id, body.Name, body, event.WithBindArgs(event.A("win", int(w.ID))))
+}
+
+// CallbackEvent resolves (defining on first use) the event behind a
+// callback name. Action handlers issue the callback by raising it.
+func (w *Widget) CallbackEvent(name string) event.ID {
+	if id, ok := w.cbEvents[name]; ok {
+		return id
+	}
+	id := w.Client.Sys.Define(w.CallbackEventName(name))
+	w.cbEvents[name] = id
+	return id
+}
+
+// CallbackEventName returns the runtime event name of a callback, for
+// HIR raise instructions.
+func (w *Widget) CallbackEventName(name string) string {
+	return fmt.Sprintf("%s.cb.%s", w.Name, name)
+}
+
+// ActionEvent returns the runtime event of a translation, for tests and
+// the benchmark harness (event.NoID when absent).
+func (w *Widget) ActionEvent(t EventType, mods uint32) event.ID {
+	if id, ok := w.actionEvents[transKey{t: t, mods: mods}]; ok {
+		return id
+	}
+	return event.NoID
+}
+
+// Translations lists the widget's translation entries, sorted, for
+// diagnostics.
+func (w *Widget) Translations() []string {
+	var out []string
+	for key, names := range w.translations {
+		out = append(out, fmt.Sprintf("%s/mod%d -> %v", key.t, key.mods, names))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// route maps an incoming X event to the runtime event that handles it:
+// the translation table first (exact modifier match, then the
+// modifier-free entry), then plain event handlers.
+func (w *Widget) route(ev XEvent) (event.ID, []event.Arg) {
+	args := []event.Arg{
+		event.A("win", int(ev.Window)), event.A("x", ev.X), event.A("y", ev.Y),
+		event.A("state", int(ev.State)), event.A("detail", ev.Detail),
+	}
+	if id, ok := w.actionEvents[transKey{t: ev.Type, mods: ev.State}]; ok {
+		return id, args
+	}
+	if id, ok := w.actionEvents[transKey{t: ev.Type, mods: 0}]; ok && ev.State == 0 {
+		return id, args
+	}
+	if id, ok := w.ehEvents[ev.Type]; ok {
+		return id, args
+	}
+	return event.NoID, nil
+}

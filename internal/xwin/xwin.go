@@ -1,0 +1,260 @@
+// Package xwin simulates the X Window system architecture of paper
+// section 2.3 closely enough to reproduce the section 4.3 experiments: an
+// X server delivering typed events to clients, clients composed of
+// widgets, and the three X handler mechanisms — event handlers bound to
+// event types through masks, callback functions bound to callback names,
+// and action procedures reached through per-widget translation tables.
+//
+// All three mechanisms map onto the general event model exactly as the
+// paper describes: each (widget, X event type) pair that the widget
+// selects becomes an event in the runtime, its action procedures are the
+// bound handlers, and issuing a callback name raises the callback's own
+// event, whose handlers are the registered callback functions. The
+// optimizer therefore applies unchanged: action handlers merge
+// (Fig. 13's Popup and Scroll rows), and "opening up" the callbacks —
+// the further step the paper mentions — is subsumption of the callback
+// raise.
+package xwin
+
+import (
+	"fmt"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hirrt"
+)
+
+// EventType enumerates the core X protocol event types (X11 numbers
+// events 2 through 34 — the "33 basic events" of the paper).
+type EventType uint8
+
+// The 33 core X event types.
+const (
+	KeyPress EventType = iota + 2
+	KeyRelease
+	ButtonPress
+	ButtonRelease
+	MotionNotify
+	EnterNotify
+	LeaveNotify
+	FocusIn
+	FocusOut
+	KeymapNotify
+	Expose
+	GraphicsExpose
+	NoExpose
+	VisibilityNotify
+	CreateNotify
+	DestroyNotify
+	UnmapNotify
+	MapNotify
+	MapRequest
+	ReparentNotify
+	ConfigureNotify
+	ConfigureRequest
+	GravityNotify
+	ResizeRequest
+	CirculateNotify
+	CirculateRequest
+	PropertyNotify
+	SelectionClear
+	SelectionRequest
+	SelectionNotify
+	ColormapNotify
+	ClientMessage
+	MappingNotify
+)
+
+const (
+	minEventType = KeyPress
+	maxEventType = MappingNotify
+	// NumEventTypes is the number of core X event types.
+	NumEventTypes = int(maxEventType-minEventType) + 1
+)
+
+var eventTypeNames = map[EventType]string{
+	KeyPress: "KeyPress", KeyRelease: "KeyRelease",
+	ButtonPress: "ButtonPress", ButtonRelease: "ButtonRelease",
+	MotionNotify: "MotionNotify", EnterNotify: "EnterNotify",
+	LeaveNotify: "LeaveNotify", FocusIn: "FocusIn", FocusOut: "FocusOut",
+	KeymapNotify: "KeymapNotify", Expose: "Expose",
+	GraphicsExpose: "GraphicsExpose", NoExpose: "NoExpose",
+	VisibilityNotify: "VisibilityNotify", CreateNotify: "CreateNotify",
+	DestroyNotify: "DestroyNotify", UnmapNotify: "UnmapNotify",
+	MapNotify: "MapNotify", MapRequest: "MapRequest",
+	ReparentNotify: "ReparentNotify", ConfigureNotify: "ConfigureNotify",
+	ConfigureRequest: "ConfigureRequest", GravityNotify: "GravityNotify",
+	ResizeRequest: "ResizeRequest", CirculateNotify: "CirculateNotify",
+	CirculateRequest: "CirculateRequest", PropertyNotify: "PropertyNotify",
+	SelectionClear: "SelectionClear", SelectionRequest: "SelectionRequest",
+	SelectionNotify: "SelectionNotify", ColormapNotify: "ColormapNotify",
+	ClientMessage: "ClientMessage", MappingNotify: "MappingNotify",
+}
+
+// String names the event type.
+func (t EventType) String() string {
+	if n, ok := eventTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("EventType(%d)", uint8(t))
+}
+
+// Mask returns the event-mask bit of the type.
+func (t EventType) Mask() EventMask {
+	if t < minEventType || t > maxEventType {
+		return 0
+	}
+	return 1 << (t - minEventType)
+}
+
+// EventMask selects which event types a widget receives ("X clients may
+// choose to respond to any of these based on event masks that are
+// specified at bind time").
+type EventMask uint64
+
+// Modifier state bits carried in an XEvent.
+const (
+	ShiftMask   = 1 << 0
+	ControlMask = 1 << 2
+	Button1Mask = 1 << 8
+)
+
+// WindowID identifies a widget's window within a client.
+type WindowID uint32
+
+// XEvent is "a packet of data sent by the server to the client". The
+// fields cover what the reproduced applications need.
+type XEvent struct {
+	Type   EventType
+	Window WindowID
+	X, Y   int
+	State  uint32 // modifier mask
+	Detail int    // button / keycode
+}
+
+// Server is the X server simulation: it owns displays' device state and
+// forwards events to connected clients. Events can arrive in any order;
+// each client queues them.
+type Server struct {
+	clients []*Client
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server { return &Server{} }
+
+// Connect attaches a client to the server.
+func (s *Server) Connect(c *Client) { s.clients = append(s.clients, c) }
+
+// Send routes one event to every client that has a window with a
+// matching ID (window IDs are client-scoped; the paper's single-display
+// setup has one client per application).
+func (s *Server) Send(ev XEvent) {
+	for _, c := range s.clients {
+		if c.lookupWidget(ev.Window) != nil {
+			c.Enqueue(ev)
+		}
+	}
+}
+
+// Client is an X client application: a widget tree over an event
+// runtime. The runtime's queue plays the role of the Xlib event queue,
+// and processing an X event is a synchronous activation, "similar to
+// synchronous activation in the general model".
+type Client struct {
+	Name string
+	Sys  *event.System
+	Mod  *hirrt.Module
+
+	widgets map[WindowID]*Widget
+	nextWin WindowID
+
+	// Display is the client's in-memory frame buffer: paint operations
+	// from widget handlers land here so handler work is observable.
+	Display *DisplayList
+
+	// DiscardedEvents counts events dropped because no widget selected
+	// them (mask mismatch or unknown window).
+	DiscardedEvents int
+}
+
+// NewClient creates a client with its own event runtime.
+func NewClient(name string, opts ...event.Option) *Client {
+	c := &Client{
+		Name:    name,
+		Sys:     event.New(opts...),
+		widgets: make(map[WindowID]*Widget),
+		nextWin: 1,
+		Display: NewDisplayList(),
+	}
+	c.Mod = hirrt.NewModule(c.Sys)
+	c.registerIntrinsics()
+	return c
+}
+
+func (c *Client) lookupWidget(w WindowID) *Widget { return c.widgets[w] }
+
+// Widgets returns all widgets of the client.
+func (c *Client) Widgets() []*Widget {
+	out := make([]*Widget, 0, len(c.widgets))
+	for _, w := range c.widgets {
+		out = append(out, w)
+	}
+	return out
+}
+
+// Enqueue adds an X event to the client's queue without processing it.
+func (c *Client) Enqueue(ev XEvent) {
+	w := c.lookupWidget(ev.Window)
+	if w == nil || w.mask&ev.Type.Mask() == 0 {
+		c.DiscardedEvents++
+		return
+	}
+	id, args := w.route(ev)
+	if id == event.NoID {
+		c.DiscardedEvents++
+		return
+	}
+	c.Sys.RaiseAsync(id, args...)
+}
+
+// Dispatch processes an X event synchronously, start to finish — the
+// client's event-loop body.
+func (c *Client) Dispatch(ev XEvent) {
+	w := c.lookupWidget(ev.Window)
+	if w == nil || w.mask&ev.Type.Mask() == 0 {
+		c.DiscardedEvents++
+		return
+	}
+	id, args := w.route(ev)
+	if id == event.NoID {
+		c.DiscardedEvents++
+		return
+	}
+	c.Sys.Raise(id, args...)
+}
+
+// Flush drains the client's queue (the "while XPending" loop).
+func (c *Client) Flush() int { return c.Sys.Drain() }
+
+// DisplayList records paint operations.
+type DisplayList struct {
+	Ops []PaintOp
+}
+
+// PaintOp is one recorded drawing command.
+type PaintOp struct {
+	Widget WindowID
+	Kind   string
+	X, Y   int
+	Arg    int
+}
+
+// NewDisplayList returns an empty display list.
+func NewDisplayList() *DisplayList { return &DisplayList{} }
+
+// Paint appends an operation.
+func (d *DisplayList) Paint(w WindowID, kind string, x, y, arg int) {
+	d.Ops = append(d.Ops, PaintOp{Widget: w, Kind: kind, X: x, Y: y, Arg: arg})
+}
+
+// Reset clears the list.
+func (d *DisplayList) Reset() { d.Ops = d.Ops[:0] }

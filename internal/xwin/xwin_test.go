@@ -1,0 +1,383 @@
+package xwin
+
+import (
+	"strings"
+	"testing"
+
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+func TestEventTypeBasics(t *testing.T) {
+	if NumEventTypes != 33 {
+		t.Errorf("NumEventTypes = %d, want 33", NumEventTypes)
+	}
+	if KeyPress.String() != "KeyPress" || MappingNotify.String() != "MappingNotify" {
+		t.Error("event type names")
+	}
+	if !strings.HasPrefix(EventType(99).String(), "EventType(") {
+		t.Error("unknown type formatting")
+	}
+	if KeyPress.Mask() == 0 || EventType(0).Mask() != 0 {
+		t.Error("masks")
+	}
+	seen := map[EventMask]bool{}
+	for ty := minEventType; ty <= maxEventType; ty++ {
+		m := ty.Mask()
+		if m == 0 || seen[m] {
+			t.Errorf("mask for %v not unique", ty)
+		}
+		seen[m] = true
+	}
+}
+
+func TestMaskFiltersEvents(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	ran := 0
+	w.AddEventHandler("h", func(*Widget, *event.Ctx) { ran++ }, KeyPress)
+	// KeyPress selected by AddEventHandler; ButtonPress is not.
+	c.Dispatch(XEvent{Type: KeyPress, Window: w.ID})
+	c.Dispatch(XEvent{Type: ButtonRelease, Window: w.ID})
+	if ran != 1 {
+		t.Errorf("ran = %d", ran)
+	}
+	if c.DiscardedEvents != 1 {
+		t.Errorf("discarded = %d", c.DiscardedEvents)
+	}
+	// Unknown window.
+	c.Dispatch(XEvent{Type: KeyPress, Window: 99})
+	if c.DiscardedEvents != 2 {
+		t.Errorf("discarded = %d", c.DiscardedEvents)
+	}
+}
+
+func TestEventHandlerBoundToMultipleTypes(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	ran := 0
+	w.AddEventHandler("h", func(*Widget, *event.Ctx) { ran++ }, EnterNotify, LeaveNotify)
+	c.Dispatch(XEvent{Type: EnterNotify, Window: w.ID})
+	c.Dispatch(XEvent{Type: LeaveNotify, Window: w.ID})
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2 (handler bound to both)", ran)
+	}
+}
+
+func TestQueueAndFlush(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	ran := 0
+	w.AddEventHandler("h", func(*Widget, *event.Ctx) { ran++ }, KeyPress)
+	srv := NewServer()
+	srv.Connect(c)
+	srv.Send(XEvent{Type: KeyPress, Window: w.ID})
+	srv.Send(XEvent{Type: KeyPress, Window: w.ID})
+	srv.Send(XEvent{Type: KeyPress, Window: 42}) // nobody's window
+	if ran != 0 {
+		t.Error("queued events ran eagerly")
+	}
+	if n := c.Flush(); n != 2 {
+		t.Errorf("Flush = %d", n)
+	}
+	if ran != 2 {
+		t.Errorf("ran = %d", ran)
+	}
+}
+
+func TestTranslationModifierMatching(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	var got []string
+	w.AddAction("plain", func(*Widget, *event.Ctx) { got = append(got, "plain") })
+	w.AddAction("ctrl", func(*Widget, *event.Ctx) { got = append(got, "ctrl") })
+	w.AddTranslation(ButtonPress, 0, "plain")
+	w.AddTranslation(ButtonPress, ControlMask, "ctrl")
+	c.Dispatch(XEvent{Type: ButtonPress, Window: w.ID})
+	c.Dispatch(XEvent{Type: ButtonPress, Window: w.ID, State: ControlMask})
+	c.Dispatch(XEvent{Type: ButtonPress, Window: w.ID, State: ShiftMask}) // no match
+	if len(got) != 2 || got[0] != "plain" || got[1] != "ctrl" {
+		t.Errorf("got = %v", got)
+	}
+	if c.DiscardedEvents != 1 {
+		t.Errorf("discarded = %d", c.DiscardedEvents)
+	}
+	if len(w.Translations()) != 2 {
+		t.Errorf("translations = %v", w.Translations())
+	}
+}
+
+func TestCallbackListSemantics(t *testing.T) {
+	// All functions bound to a callback name run when it is issued.
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	ran := 0
+	w.AddCallback("cb", func(*Widget, *event.Ctx) { ran++ })
+	w.AddCallback("cb", func(*Widget, *event.Ctx) { ran += 10 })
+	c.Sys.Raise(w.CallbackEvent("cb"))
+	if ran != 11 {
+		t.Errorf("ran = %d, want 11", ran)
+	}
+}
+
+func TestCommandWidgetBehavior(t *testing.T) {
+	c := NewClient("t")
+	btn := NewCommand(c, "ok", "OK")
+	fired := 0
+	btn.AddCallback("callback", func(*Widget, *event.Ctx) { fired++ })
+	// Release without press: not set, no callback.
+	c.Dispatch(XEvent{Type: ButtonRelease, Window: btn.ID})
+	if fired != 0 {
+		t.Error("notify fired without set")
+	}
+	c.Dispatch(XEvent{Type: ButtonPress, Window: btn.ID})
+	c.Dispatch(XEvent{Type: ButtonRelease, Window: btn.ID})
+	if fired != 1 {
+		t.Errorf("fired = %d", fired)
+	}
+	// unset ran after notify: set flag cleared.
+	if c.Mod.Globals.Get("ok.set").Int() != 0 {
+		t.Error("set flag not cleared")
+	}
+}
+
+func TestLabelPaintsOnExpose(t *testing.T) {
+	c := NewClient("t")
+	NewLabel(c, "lbl", "hello")
+	w := c.lookupWidget(1)
+	c.Dispatch(XEvent{Type: Expose, Window: w.ID})
+	if len(c.Display.Ops) != 1 || c.Display.Ops[0].Kind != "label" {
+		t.Fatalf("ops = %+v", c.Display.Ops)
+	}
+	if c.Display.Ops[0].Arg != 5*7 {
+		t.Errorf("text width = %d", c.Display.Ops[0].Arg)
+	}
+}
+
+func TestSimpleMenuSelection(t *testing.T) {
+	c := NewClient("t")
+	m := NewSimpleMenu(c, "menu", []string{"a", "b", "c"})
+	var picked []int
+	m.AddCallback("callback", func(_ *Widget, ctx *event.Ctx) {
+		picked = append(picked, ctx.Args.Int("index"))
+	})
+	c.Dispatch(XEvent{Type: ButtonRelease, Window: m.ID, Y: 20})  // entry 1
+	c.Dispatch(XEvent{Type: ButtonRelease, Window: m.ID, Y: 100}) // out of range
+	if len(picked) != 1 || picked[0] != 1 {
+		t.Errorf("picked = %v", picked)
+	}
+}
+
+func TestXTermPopupSequence(t *testing.T) {
+	x := NewXTerm()
+	x.Popup(30, 40)
+	st := x.Client.Mod.Globals
+	if st.Get("mainMenu.inited").Int() != 1 {
+		t.Error("menu-init did not run")
+	}
+	if st.Get("mainMenu.height").Int() != 4*16 {
+		t.Errorf("menu height = %d", st.Get("mainMenu.height").Int())
+	}
+	if st.Get("mainMenu.lastx").Int() != 30 || st.Get("mainMenu.lasty").Int() != 40 {
+		t.Error("track-enter callback did not record pointer")
+	}
+	if st.Get("mainMenu.highlight").Int() != 40/16 {
+		t.Errorf("highlight = %d", st.Get("mainMenu.highlight").Int())
+	}
+	// Display ops: menu-clear, menu-show, menu-highlight.
+	kinds := map[string]int{}
+	for _, op := range x.Client.Display.Ops {
+		kinds[op.Kind]++
+	}
+	for _, k := range []string{"menu-clear", "menu-show", "menu-highlight"} {
+		if kinds[k] != 1 {
+			t.Errorf("paint %s = %d", k, kinds[k])
+		}
+	}
+}
+
+func TestXTermTyping(t *testing.T) {
+	x := NewXTerm()
+	for i := 0; i < 5; i++ {
+		x.Type('a' + i)
+	}
+	if got := x.Client.Mod.Globals.Get("vt100.chars").Int(); got != 5 {
+		t.Errorf("chars = %d", got)
+	}
+}
+
+func TestGvimScrollSequence(t *testing.T) {
+	g := NewGvim()
+	g.Scroll(100)
+	// sb.length=400, thumb=40, text.lines=1000: top=100 -> line 250.
+	if got := g.TopLine(); got != 250 {
+		t.Errorf("topline = %d, want 250", got)
+	}
+	if top := g.Client.Mod.Globals.Get("sb.top").Int(); top != 100 {
+		t.Errorf("thumb top = %d", top)
+	}
+	// Clamping.
+	g.Scroll(-5)
+	if got := g.Client.Mod.Globals.Get("sb.top").Int(); got != 0 {
+		t.Errorf("clamped low top = %d", got)
+	}
+	g.Scroll(900)
+	if got := g.Client.Mod.Globals.Get("sb.top").Int(); got != 360 {
+		t.Errorf("clamped high top = %d", got)
+	}
+	// Paint: thumb + text-region per scroll.
+	kinds := map[string]int{}
+	for _, op := range g.Client.Display.Ops {
+		kinds[op.Kind]++
+	}
+	if kinds["thumb"] != 3 || kinds["text-region"] != 3 {
+		t.Errorf("paint ops = %v", kinds)
+	}
+}
+
+// optimizeClient profiles a driver and installs the plan over the
+// client's runtime.
+func optimizeClient(t *testing.T, c *Client, drive func(int), opts core.Options) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	c.Sys.SetTracer(rec)
+	drive(60)
+	c.Sys.SetTracer(nil)
+	prof, err := profile.Analyze(rec.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.MergeAll = true
+	if _, _, err := core.Apply(c.Sys, prof, c.Mod, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizedPopupEquivalence(t *testing.T) {
+	ref := NewXTerm()
+	ref.Popup(30, 40)
+	want := ref.Client.Mod.Globals.Snapshot()
+	wantOps := len(ref.Client.Display.Ops)
+
+	x := NewXTerm()
+	optimizeClient(t, x.Client, func(n int) {
+		for i := 0; i < n; i++ {
+			x.Popup(30, 40)
+		}
+	}, core.DefaultOptions())
+	x.Client.Display.Reset()
+	x.Client.Sys.Stats().Reset()
+	x.Popup(30, 40)
+	if !x.Client.Mod.Globals.EqualSnapshot(want) {
+		t.Errorf("state diverges:\nwant %v\ngot  %v", want, x.Client.Mod.Globals.Snapshot())
+	}
+	if len(x.Client.Display.Ops) != wantOps {
+		t.Errorf("paint ops = %d, want %d", len(x.Client.Display.Ops), wantOps)
+	}
+	if x.Client.Sys.Stats().FastRuns.Load() == 0 {
+		t.Error("popup did not use the fast path")
+	}
+}
+
+func TestOptimizedScrollEquivalence(t *testing.T) {
+	for _, full := range []bool{false, true} {
+		ref := NewGvim()
+		ref.Scroll(120)
+		want := ref.Client.Mod.Globals.Snapshot()
+
+		g := NewGvim()
+		opts := core.DefaultOptions()
+		opts.FullFusion = full
+		if full {
+			opts.Partitioned = false
+		}
+		optimizeClient(t, g.Client, func(n int) {
+			for i := 0; i < n; i++ {
+				g.Scroll(i * 3 % 360)
+			}
+		}, opts)
+		g.Client.Sys.Stats().Reset()
+		g.Scroll(120)
+		if !g.Client.Mod.Globals.EqualSnapshot(want) {
+			t.Errorf("full=%v: state diverges:\nwant %v\ngot  %v", full, want, g.Client.Mod.Globals.Snapshot())
+		}
+		if g.Client.Sys.Stats().FastRuns.Load() == 0 {
+			t.Errorf("full=%v: no fast runs", full)
+		}
+	}
+}
+
+func TestOptimizedScrollOpensUpCallbacks(t *testing.T) {
+	// With full fusion, the callback raises are spliced away: only the
+	// single Scroll activation is dispatched.
+	g := NewGvim()
+	opts := core.DefaultOptions()
+	opts.FullFusion = true
+	opts.Partitioned = false
+	optimizeClient(t, g.Client, func(n int) {
+		for i := 0; i < n; i++ {
+			g.Scroll(i % 360)
+		}
+	}, opts)
+	g.Client.Sys.Stats().Reset()
+	g.Scroll(50)
+	if got := g.Client.Sys.Stats().Raises.Load(); got != 1 {
+		t.Errorf("Raises = %d, want 1 (callbacks opened up)", got)
+	}
+}
+
+func TestParseTranslations(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	var ran []string
+	for _, name := range []string{"menu-init", "menu-display", "insert", "track"} {
+		n := name
+		w.AddAction(n, func(*Widget, *event.Ctx) { ran = append(ran, n) })
+	}
+	err := w.ParseTranslations(`
+		! xterm-style table
+		Ctrl<BtnDown>: menu-init() menu-display()
+		<Key>:         insert()
+		Btn1<Motion>:  track()
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Dispatch(XEvent{Type: ButtonPress, Window: w.ID, State: ControlMask})
+	c.Dispatch(XEvent{Type: KeyPress, Window: w.ID})
+	c.Dispatch(XEvent{Type: MotionNotify, Window: w.ID, State: Button1Mask})
+	want := []string{"menu-init", "menu-display", "insert", "track"}
+	if len(ran) != len(want) {
+		t.Fatalf("ran = %v", ran)
+	}
+	for i := range want {
+		if ran[i] != want[i] {
+			t.Fatalf("ran = %v, want %v", ran, want)
+		}
+	}
+}
+
+func TestParseTranslationsErrors(t *testing.T) {
+	c := NewClient("t")
+	w := c.NewWidget("w", "Core", 0)
+	bad := []string{
+		"no colon here",
+		"Ctrl BtnDown: act()",
+		"Weird<BtnDown>: act()",
+		"<Nonsense>: act()",
+		"<Key>: act",
+		"<Key>:",
+	}
+	for _, line := range bad {
+		if err := w.ParseTranslations(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+	// Comments and blanks are fine.
+	if err := w.ParseTranslations("# comment\n\n! another\n"); err != nil {
+		t.Errorf("comment-only table: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package eventopt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventopt/internal/core"
+	"eventopt/internal/profile"
+	"eventopt/internal/trace"
+)
+
+// TestOfflineWorkflow exercises the paper's actual workflow end to end:
+// run the instrumented program and persist the trace; later, in a
+// separate "session", reload the trace, analyze it off-line, build the
+// plan and install it — then verify the optimized program still behaves
+// identically.
+func TestOfflineWorkflow(t *testing.T) {
+	build := func() (*App, ID, *[]string) {
+		app := New()
+		req := app.Sys.Define("request")
+		audit := app.Sys.Define("audit")
+		log := &[]string{}
+		app.Sys.Bind(req, "stamp", func(c *Ctx) {
+			*log = append(*log, "stamp:"+c.Args.String("id"))
+		}, WithOrder(1), WithParams("id"))
+		app.Sys.Bind(req, "serve", func(c *Ctx) {
+			c.Raise(audit, A("id", c.Args.String("id")))
+		}, WithOrder(2))
+		app.Sys.Bind(audit, "sink", func(c *Ctx) {
+			*log = append(*log, "audit:"+c.Args.String("id"))
+		})
+		return app, req, log
+	}
+
+	// Session 1: instrumented run, trace persisted (binary format).
+	app1, req1, _ := build()
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	app1.Sys.SetTracer(rec)
+	for i := 0; i < 50; i++ {
+		app1.Sys.Raise(req1, A("id", "x"))
+	}
+	app1.Sys.SetTracer(nil)
+	path := filepath.Join(t.TempDir(), "run.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, rec.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session 2: fresh program, off-line analysis of the saved trace.
+	app2, req2, log2 := build()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.ReadBinary(rf)
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event IDs are stable across sessions because Define order is the
+	// program's own structure — the paper's per-configuration profiling
+	// assumption.
+	plan, _, err := core.Apply(app2.Sys, prof, app2.Mod, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) == 0 {
+		t.Fatalf("plan empty:\n%s", plan.Describe(app2.Sys))
+	}
+
+	// Reference behavior from an unoptimized twin.
+	ref, reqR, logR := build()
+	for _, id := range []string{"a", "b"} {
+		ref.Sys.Raise(reqR, A("id", id))
+	}
+
+	app2.Sys.Stats().Reset()
+	for _, id := range []string{"a", "b"} {
+		app2.Sys.Raise(req2, A("id", id))
+	}
+	if len(*log2) != len(*logR) {
+		t.Fatalf("logs differ: %v vs %v", *log2, *logR)
+	}
+	for i := range *logR {
+		if (*log2)[i] != (*logR)[i] {
+			t.Fatalf("logs differ at %d: %v vs %v", i, *log2, *logR)
+		}
+	}
+	if app2.Sys.Stats().FastRuns.Load() != 2 {
+		t.Errorf("FastRuns = %d", app2.Sys.Stats().FastRuns.Load())
+	}
+}
+
+// TestOfflineWorkflowTextFormat covers the same flow through the text
+// encoding, which survives hand inspection and editing.
+func TestOfflineWorkflowTextFormat(t *testing.T) {
+	app := New()
+	ev := app.Sys.Define("E")
+	app.Sys.Bind(ev, "h1", func(*Ctx) {}, WithOrder(1))
+	app.Sys.Bind(ev, "h2", func(*Ctx) {}, WithOrder(2))
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	app.Sys.SetTracer(rec)
+	for i := 0; i < 30; i++ {
+		app.Sys.Raise(ev)
+	}
+	app.Sys.SetTracer(nil)
+
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, rec.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := profile.Analyze(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs, ok := prof.StableHandlers(ev); !ok || len(hs) != 2 {
+		t.Errorf("handlers from reloaded trace: %v, %v", hs, ok)
+	}
+}
