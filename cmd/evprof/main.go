@@ -28,6 +28,7 @@ func main() {
 		reduced   = flag.Bool("reduced", true, "print the reduced graph, paths and chains (Fig. 6)")
 		handlers  = flag.Bool("handlers", false, "print the handler graph of the hot pair (Fig. 8)")
 		binaryOut = flag.Bool("binary", false, "write -save traces in the compact binary format")
+		stats     = flag.Bool("stats", false, "print the runtime counters (dispatch, faults, degradation) after the workload")
 	)
 	flag.Parse()
 
@@ -73,6 +74,14 @@ func main() {
 		if _, err := bench.RunFig8(os.Stdout, *dot); err != nil {
 			fatal(err)
 		}
+	}
+	if *stats {
+		_, p, err := bench.Fig5Workload()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("runtime counters (video player workload):")
+		fmt.Print(p.Sender.Sys.Stats().Summary())
 	}
 }
 

@@ -62,6 +62,30 @@ type (
 	Profile = profile.Profile
 	// Module groups the HIR execution context of one component.
 	Module = hirrt.Module
+	// FaultPolicy selects the runtime's response to handler panics.
+	FaultPolicy = event.FaultPolicy
+	// FaultConfig tunes panic isolation and the quarantine breaker.
+	FaultConfig = event.FaultConfig
+	// RetryConfig tunes async retry with backoff and dead-lettering.
+	RetryConfig = event.RetryConfig
+	// FaultInfo describes one recovered handler panic.
+	FaultInfo = event.FaultInfo
+	// OverflowPolicy selects bounded-queue overflow behavior.
+	OverflowPolicy = event.OverflowPolicy
+)
+
+// Fault policies (see event.FaultPolicy). Propagate is the default.
+const (
+	Propagate  = event.Propagate
+	Isolate    = event.Isolate
+	Quarantine = event.Quarantine
+)
+
+// Bounded-queue overflow policies (see event.OverflowPolicy).
+const (
+	DropOldest = event.DropOldest
+	DropNewest = event.DropNewest
+	RejectNew  = event.RejectNew
 )
 
 // BindOption configures a Bind call.
@@ -89,6 +113,25 @@ type SystemOption = event.Option
 // events fire by advancing simulated time in Drain).
 func WithVirtualClock() SystemOption {
 	return event.WithClock(event.NewVirtualClock())
+}
+
+// WithFaultConfig installs a supervision configuration: panic isolation
+// (Isolate) or isolation plus a per-binding quarantine circuit breaker
+// with backoff re-admission (Quarantine). With a policy set, a panic in
+// optimized code additionally auto-deoptimizes the faulting
+// super-handler and replays the activation through generic dispatch.
+func WithFaultConfig(cfg FaultConfig) SystemOption { return event.WithFaultConfig(cfg) }
+
+// WithFaultPolicy is WithFaultConfig with default tuning.
+func WithFaultPolicy(p FaultPolicy) SystemOption { return event.WithFaultPolicy(p) }
+
+// WithRetryConfig re-enqueues faulted asynchronous activations with
+// capped exponential backoff and dead-letters exhausted ones.
+func WithRetryConfig(cfg RetryConfig) SystemOption { return event.WithRetryConfig(cfg) }
+
+// WithQueueBound bounds the asynchronous run queue.
+func WithQueueBound(capacity int, policy OverflowPolicy) SystemOption {
+	return event.WithQueueBound(capacity, policy)
 }
 
 // App is one event-based application: a runtime plus its HIR module and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"eventopt/internal/event"
 	"eventopt/internal/hir"
@@ -11,17 +12,40 @@ import (
 )
 
 // Installed tracks the super-handlers a plan installed so they can be
-// removed again (reverting the system to fully generic dispatch).
+// removed again (reverting the system to fully generic dispatch). It
+// also learns, through the runtime's deopt hook, which entries were
+// auto-uninstalled because their optimized code faulted.
 type Installed struct {
 	sys    *event.System
 	Supers []*event.SuperHandler
+
+	mu      sync.Mutex
+	evicted []event.ID
 }
 
-// Uninstall removes every installed fast path.
+// Uninstall removes every installed fast path. Entries the runtime
+// already auto-deoptimized are left alone: the identity-aware removal
+// cannot clobber a newer super-handler installed in the meantime.
 func (ins *Installed) Uninstall() {
 	for _, sh := range ins.Supers {
-		ins.sys.RemoveFastPath(sh.Entry)
+		ins.sys.RemoveFastPathIf(sh)
 	}
+}
+
+// Evicted returns the entry events whose super-handlers the runtime
+// auto-deoptimized after a fault, in eviction order.
+func (ins *Installed) Evicted() []event.ID {
+	ins.mu.Lock()
+	defer ins.mu.Unlock()
+	return append([]event.ID(nil), ins.evicted...)
+}
+
+// noteDeopt is the per-super-handler hook the runtime invokes on
+// auto-deoptimization (fault in optimized code).
+func (ins *Installed) noteDeopt(sh *event.SuperHandler) {
+	ins.mu.Lock()
+	ins.evicted = append(ins.evicted, sh.Entry)
+	ins.mu.Unlock()
 }
 
 // Install builds and installs one super-handler per plan entry. mod may
@@ -35,6 +59,7 @@ func (p *Plan) Install(sys *event.System, mod *hirrt.Module) (*Installed, error)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", entry.EventName, err)
 		}
+		sh.OnDeopt = ins.noteDeopt
 		if err := sys.InstallFastPath(sh); err != nil {
 			return nil, fmt.Errorf("core: install %s: %w", entry.EventName, err)
 		}

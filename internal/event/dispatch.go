@@ -26,14 +26,23 @@ func (s *System) RaiseByName(name string, args ...Arg) error {
 // handlers run from a later Drain/Step call. Safe to call from handlers
 // and from other goroutines.
 func (s *System) RaiseAsync(ev ID, args ...Arg) {
-	s.enqueue(ev, Async, args, 0)
+	s.enqueue(ev, Async, args)
 }
 
 // runTop executes one top-level activation popped from the scheduler.
-func (s *System) runTop(ev ID, mode Mode, args []Arg) {
+// attempt counts prior executions of the same activation under the retry
+// policy; an activation that recovered at least one handler panic is
+// handed to the retry machinery once the atomicity lock is released.
+func (s *System) runTop(ev ID, mode Mode, args []Arg, attempt int) {
 	s.runMu.Lock()
-	defer s.runMu.Unlock()
+	s.fault.activationFaults = 0
 	_ = s.dispatch(ev, mode, args, 0)
+	faults := s.fault.activationFaults
+	s.fault.activationFaults = 0
+	s.runMu.Unlock()
+	if faults > 0 {
+		s.maybeRetry(ev, args, attempt)
+	}
 }
 
 // raiseNested executes a synchronous activation from inside a handler.
@@ -82,13 +91,30 @@ func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
 	}
 
 	if fast != nil {
-		if fast.run(s, mode, args, depth, tracer) {
-			s.stats.FastRuns.Add(1)
-			return nil
+		if s.policy() == Propagate {
+			if fast.run(s, mode, args, depth, tracer) {
+				s.stats.FastRuns.Add(1)
+				return nil
+			}
+			// Guard failed: drop back into the original unoptimized code
+			// (paper section 3.3).
+			s.stats.Fallbacks.Add(1)
+		} else {
+			ran, faulted := s.runFastSupervised(fast, mode, args, depth, tracer)
+			if ran {
+				s.stats.FastRuns.Add(1)
+				return nil
+			}
+			if faulted {
+				// The optimized code itself faulted: extend the paper's
+				// fallback from "guard failed" to "fast path panicked" —
+				// atomically uninstall the entry and replay the whole
+				// activation through the original unoptimized code.
+				s.deoptimize(fast)
+			} else {
+				s.stats.Fallbacks.Add(1)
+			}
 		}
-		// Guard failed: drop back into the original unoptimized code
-		// (paper section 3.3).
-		s.stats.Fallbacks.Add(1)
 	}
 	s.generic(r, ev, name, mode, args, depth, tracer)
 	return nil
@@ -115,9 +141,16 @@ func (s *System) generic(r *eventRec, ev ID, name string, mode Mode, args []Arg,
 		return // an event with no handlers is ignored
 	}
 
+	pol := s.policy()
 	ctx := &Ctx{System: s, Event: ev, Name: name, Mode: mode, Args: a, depth: depth}
 	for i := range hs {
 		h := &hs[i]
+
+		// Skip bindings the circuit breaker has quarantined. The atomic
+		// count keeps the healthy path free of map lookups.
+		if pol == Quarantine && s.fault.quarCount.Load() > 0 && s.skipQuarantined(ev, h.Name) {
+			continue
+		}
 
 		// (3) Per-handler parameter resolution (unmarshaling): resolve
 		// each declared parameter by name before the call.
@@ -140,7 +173,16 @@ func (s *System) generic(r *eventRec, ev ID, name string, mode Mode, args []Arg,
 		}
 		s.stats.Indirect.Add(1)
 		s.stats.HandlersRun.Add(1)
-		h.Fn(ctx)
+		if pol == Propagate {
+			h.Fn(ctx)
+		} else if pv, panicked := runProtected(h.Fn, ctx); panicked {
+			s.recordFault(FaultInfo{
+				Event: ev, EventName: name, Handler: h.Name,
+				Mode: mode, Depth: depth, PanicVal: pv,
+			}, tracer)
+		} else if pol == Quarantine && s.fault.tracked.Load() > 0 {
+			s.noteSuccess(ev, h.Name)
+		}
 		if tracer != nil {
 			tracer.HandlerExit(ev, name, h.Name, depth)
 		}

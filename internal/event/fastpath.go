@@ -49,6 +49,12 @@ type SuperHandler struct {
 	Segments    []Segment
 	Partitioned bool
 
+	// OnDeopt, when non-nil, is invoked after the runtime auto-uninstalls
+	// this super-handler because its optimized code panicked under an
+	// Isolate/Quarantine fault policy. The optimizer sets it so the
+	// installation handle learns which entries were evicted.
+	OnDeopt func(*SuperHandler)
+
 	segOf map[ID]int  // covered event -> segment index
 	recs  []*eventRec // registry records, resolved at install (stable pointers)
 }
@@ -113,6 +119,40 @@ func (s *System) RemoveFastPath(ev ID) {
 	}
 }
 
+// RemoveFastPathIf uninstalls sh only if it is still the installed fast
+// path of its entry, reporting whether it removed anything. A handle
+// that uninstalls a plan uses this so it cannot clobber a newer
+// super-handler installed after sh was auto-deoptimized.
+func (s *System) RemoveFastPathIf(sh *SuperHandler) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev := sh.Entry
+	if ev >= 0 && int(ev) < len(s.fast) && s.fast[ev] == sh {
+		s.fast[ev] = nil
+		return true
+	}
+	return false
+}
+
+// deoptimize atomically uninstalls a super-handler whose optimized code
+// faulted. The identity compare under the registry lock makes the
+// eviction idempotent. Caller then replays the activation generically.
+func (s *System) deoptimize(sh *SuperHandler) {
+	s.mu.Lock()
+	installed := sh.Entry >= 0 && int(sh.Entry) < len(s.fast) && s.fast[sh.Entry] == sh
+	if installed {
+		s.fast[sh.Entry] = nil
+	}
+	s.mu.Unlock()
+	if !installed {
+		return
+	}
+	s.stats.Deopts.Add(1)
+	if sh.OnDeopt != nil {
+		sh.OnDeopt(sh)
+	}
+}
+
 // FastPath returns the installed fast path of ev (nil if none).
 func (s *System) FastPath(ev ID) *SuperHandler {
 	s.mu.Lock()
@@ -151,7 +191,7 @@ func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer 
 	} else if !sh.versionsMatch() {
 		return false
 	}
-	ce := &chainExec{sh: sh, s: s, tracer: tracer}
+	ce := &chainExec{sh: sh, s: s, tracer: tracer, supervised: s.policy() != Propagate}
 	// One marshal-free argument view for the whole chain: the caller's
 	// slice is wrapped, not copied, and no per-handler resolution happens.
 	ce.runSegment(0, args, mode, depth)
@@ -160,9 +200,10 @@ func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer 
 
 // chainExec is the live execution state of one super-handler activation.
 type chainExec struct {
-	sh     *SuperHandler
-	s      *System
-	tracer Tracer
+	sh         *SuperHandler
+	s          *System
+	tracer     Tracer
+	supervised bool // record in-flight handler names for fault attribution
 }
 
 // runSegment executes the steps (or fused body) of one segment. The raw
@@ -188,6 +229,9 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 	ctx.Args = &ctx.argsVal
 	if seg.Fused != nil {
 		ctx.Handler = seg.FusedName
+		if ce.supervised {
+			s.noteCurrent(seg.Event, seg.EventName, seg.FusedName, depth)
+		}
 		if ce.tracer != nil {
 			ce.tracer.HandlerEnter(seg.Event, seg.EventName, seg.FusedName, depth)
 		}
@@ -202,6 +246,9 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		st := &seg.Steps[i]
 		ctx.Handler = st.Handler
 		ctx.BindArgs = st.BindArgs
+		if ce.supervised {
+			s.noteCurrent(seg.Event, seg.EventName, st.Handler, depth)
+		}
 		if ce.tracer != nil {
 			ce.tracer.HandlerEnter(seg.Event, seg.EventName, st.Handler, depth)
 		}

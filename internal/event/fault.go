@@ -1,0 +1,483 @@
+package event
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// FaultPolicy selects how the runtime treats a panic escaping a handler
+// body. The zero value preserves the historical behavior: the panic
+// propagates out of Raise/Drain/Run and the application decides.
+type FaultPolicy uint8
+
+const (
+	// Propagate lets handler panics unwind through the raise operation
+	// (the default; the atomicity lock is still released on the way out).
+	Propagate FaultPolicy = iota
+	// Isolate recovers the panic, records it as a Fault, and runs the
+	// remaining handlers of the activation.
+	Isolate
+	// Quarantine behaves like Isolate and additionally trips a
+	// per-binding circuit breaker: a handler whose consecutive-failure
+	// count reaches FailureThreshold is skipped by dispatch until a
+	// backoff window (scheduled through the timer heap, deterministic
+	// under VirtualClock) re-admits it.
+	Quarantine
+)
+
+// String returns the conventional name of the policy.
+func (p FaultPolicy) String() string {
+	switch p {
+	case Propagate:
+		return "propagate"
+	case Isolate:
+		return "isolate"
+	case Quarantine:
+		return "quarantine"
+	default:
+		return "FaultPolicy(?)"
+	}
+}
+
+// FaultInfo describes one recovered handler panic.
+type FaultInfo struct {
+	// Event and EventName identify the activation the handler ran under.
+	Event     ID
+	EventName string
+	// Handler is the name of the panicking handler (a fused super-handler
+	// body reports its fused name).
+	Handler string
+	// Mode and Depth locate the activation (Depth 0 is top level).
+	Mode  Mode
+	Depth int
+	// PanicVal is the recovered panic value.
+	PanicVal any
+	// Optimized reports that the panic originated inside an installed
+	// super-handler segment; the runtime responds by auto-deoptimizing
+	// the entry and replaying the activation through generic dispatch.
+	Optimized bool
+}
+
+// FaultTracer is an optional extension of Tracer: a tracer that also
+// implements it receives a callback for every recovered handler panic.
+type FaultTracer interface {
+	Fault(f FaultInfo)
+}
+
+// FaultConfig configures the supervision layer of a System.
+type FaultConfig struct {
+	// Policy selects the panic response (default Propagate).
+	Policy FaultPolicy
+	// FailureThreshold is the number of consecutive faults that
+	// quarantines a binding (Quarantine policy only; default 3).
+	FailureThreshold int
+	// Backoff is the first quarantine window (default 10ms). Each
+	// successive trip of the same binding doubles the window (scaled by
+	// BackoffFactor) up to MaxBackoff.
+	Backoff Duration
+	// BackoffFactor grows the window per successive trip (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps the quarantine window (default 1s).
+	MaxBackoff Duration
+	// OnFault, when non-nil, observes every recovered panic (called
+	// after the stats and tracer hooks, under the atomicity lock).
+	OnFault func(FaultInfo)
+}
+
+// RetryConfig configures re-execution of asynchronous activations that
+// fault under an Isolate or Quarantine policy. The zero value disables
+// retry.
+type RetryConfig struct {
+	// MaxAttempts is the total number of attempts per activation,
+	// including the first. 0 (or 1 with no DeadLetter) disables retry.
+	MaxAttempts int
+	// Backoff is the delay before the first retry (default 1ms); it
+	// grows by BackoffFactor (default 2) per attempt, capped at
+	// MaxBackoff (default 1s).
+	Backoff       Duration
+	BackoffFactor float64
+	MaxBackoff    Duration
+	// Jitter, in (0,1], randomizes each delay uniformly over
+	// [delay*(1-Jitter), delay]. The randomness is a deterministic
+	// sequence seeded by JitterSeed, so runs are reproducible.
+	Jitter     float64
+	JitterSeed int64
+	// DeadLetter names the event raised (asynchronously) when an
+	// activation exhausts its attempts. The dead-letter activation
+	// carries args "event" (the original event name) and "attempts",
+	// followed by the original arguments. Empty means none.
+	DeadLetter string
+}
+
+// OverflowPolicy selects what a bounded run queue does when full.
+type OverflowPolicy uint8
+
+const (
+	// DropOldest evicts the oldest queued activation to admit the new one.
+	DropOldest OverflowPolicy = iota
+	// DropNewest silently discards the incoming activation.
+	DropNewest
+	// RejectNew discards the incoming activation and reports
+	// ErrQueueFull through the error reporter.
+	RejectNew
+)
+
+// ErrQueueFull is reported (via WithErrorReporter) when a bounded run
+// queue rejects an activation under the RejectNew policy.
+var ErrQueueFull = errors.New("event: run queue full")
+
+// WithFaultConfig installs a supervision configuration at construction.
+func WithFaultConfig(cfg FaultConfig) Option {
+	return func(s *System) { s.SetFaultConfig(cfg) }
+}
+
+// WithFaultPolicy is shorthand for WithFaultConfig with default tuning.
+func WithFaultPolicy(p FaultPolicy) Option {
+	return func(s *System) { s.SetFaultConfig(FaultConfig{Policy: p}) }
+}
+
+// WithRetryConfig installs an async retry policy at construction.
+func WithRetryConfig(cfg RetryConfig) Option {
+	return func(s *System) { s.SetRetryConfig(cfg) }
+}
+
+// WithQueueBound bounds the asynchronous run queue to capacity entries
+// with the given overflow policy. Zero capacity means unbounded.
+func WithQueueBound(capacity int, policy OverflowPolicy) Option {
+	return func(s *System) { s.SetQueueBound(capacity, policy) }
+}
+
+// quarKey identifies a binding for failure accounting. Handler names are
+// unique per event in practice (they identify handlers in profiles), so
+// the pair is the binding's stable identity across snapshots.
+type quarKey struct {
+	ev      ID
+	handler string
+}
+
+// quarRec is the circuit-breaker state of one binding.
+type quarRec struct {
+	fails       int      // consecutive faults
+	trips       int      // completed quarantine episodes
+	backoff     Duration // window of the next trip
+	quarantined bool
+}
+
+// faultState groups the supervision state of a System.
+type faultState struct {
+	policy atomic.Int32 // FaultPolicy, read lock-free on the dispatch path
+
+	mu    sync.Mutex // guards cfg, retry, recs, rng
+	cfg   FaultConfig
+	retry RetryConfig
+	recs  map[quarKey]*quarRec
+	rng   uint64 // splitmix64 state for retry jitter
+
+	quarCount atomic.Int32 // bindings currently quarantined
+	tracked   atomic.Int32 // bindings with live failure records
+
+	// Current-activation bookkeeping. All handler execution is
+	// serialized by System.runMu, so these plain fields are guarded by
+	// it: curEvent/curName/curHandler/curDepth name the handler in
+	// flight on an optimized path (for fault attribution after a
+	// recover), and activationFaults counts recovered panics of the
+	// current top-level activation (consumed by the retry machinery).
+	curEvent         ID
+	curName          string
+	curHandler       string
+	curDepth         int
+	activationFaults int
+}
+
+// SetFaultConfig installs (or replaces) the supervision configuration.
+// Missing tuning fields receive defaults. Existing quarantine state is
+// kept; switching the policy back to Propagate stops both isolation and
+// quarantine checks.
+func (s *System) SetFaultConfig(cfg FaultConfig) {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * 1e6 // 10ms
+	}
+	if cfg.BackoffFactor < 1 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 1e9 // 1s
+	}
+	s.fault.mu.Lock()
+	s.fault.cfg = cfg
+	s.fault.mu.Unlock()
+	s.fault.policy.Store(int32(cfg.Policy))
+}
+
+// FaultPolicyInstalled returns the active fault policy.
+func (s *System) FaultPolicyInstalled() FaultPolicy {
+	return FaultPolicy(s.fault.policy.Load())
+}
+
+// SetRetryConfig installs (or replaces) the async retry policy.
+func (s *System) SetRetryConfig(cfg RetryConfig) {
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 1e6 // 1ms
+	}
+	if cfg.BackoffFactor < 1 {
+		cfg.BackoffFactor = 2
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 1e9 // 1s
+	}
+	s.fault.mu.Lock()
+	s.fault.retry = cfg
+	s.fault.rng = uint64(cfg.JitterSeed)
+	s.fault.mu.Unlock()
+}
+
+// SetQueueBound bounds (or, with capacity 0, unbounds) the run queue.
+func (s *System) SetQueueBound(capacity int, policy OverflowPolicy) {
+	s.qmu.Lock()
+	s.qcap = capacity
+	s.qpolicy = policy
+	s.qmu.Unlock()
+}
+
+// QuarantineCount reports how many bindings are currently quarantined.
+func (s *System) QuarantineCount() int { return int(s.fault.quarCount.Load()) }
+
+// IsQuarantined reports whether the named binding is currently skipped.
+func (s *System) IsQuarantined(ev ID, handler string) bool {
+	if s.fault.quarCount.Load() == 0 {
+		return false
+	}
+	s.fault.mu.Lock()
+	defer s.fault.mu.Unlock()
+	rec := s.fault.recs[quarKey{ev, handler}]
+	return rec != nil && rec.quarantined
+}
+
+// policy reads the fault policy lock-free (hot path).
+func (s *System) policy() FaultPolicy { return FaultPolicy(s.fault.policy.Load()) }
+
+// noteCurrent records the handler in flight for fault attribution.
+// Caller holds runMu (all handler execution does).
+func (s *System) noteCurrent(ev ID, name, handler string, depth int) {
+	s.fault.curEvent = ev
+	s.fault.curName = name
+	s.fault.curHandler = handler
+	s.fault.curDepth = depth
+}
+
+// runProtected invokes fn and converts a panic into a return value.
+func runProtected(fn HandlerFunc, ctx *Ctx) (pv any, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv, panicked = r, true
+		}
+	}()
+	fn(ctx)
+	return nil, false
+}
+
+// recordFault accounts one recovered handler panic: stats, the tracer
+// and config hooks, the per-activation retry counter and — for
+// unoptimized faults under the Quarantine policy — the circuit breaker.
+// Optimized faults skip quarantine accounting: the deopt replay runs the
+// same handlers generically and accounts for them there. Caller holds
+// runMu.
+func (s *System) recordFault(f FaultInfo, tracer Tracer) {
+	s.stats.PanicsRecovered.Add(1)
+	s.fault.activationFaults++
+	if ft, ok := tracer.(FaultTracer); ok && tracer != nil {
+		ft.Fault(f)
+	}
+	s.fault.mu.Lock()
+	onFault := s.fault.cfg.OnFault
+	s.fault.mu.Unlock()
+	if onFault != nil {
+		onFault(f)
+	}
+	if !f.Optimized && s.policy() == Quarantine {
+		s.noteFailure(f.Event, f.Handler)
+	}
+}
+
+// noteFailure advances the circuit breaker of one binding after a fault,
+// quarantining it when the consecutive-failure threshold is reached. The
+// re-admission is scheduled through the timer heap so it is deterministic
+// under VirtualClock.
+func (s *System) noteFailure(ev ID, handler string) {
+	key := quarKey{ev, handler}
+	s.fault.mu.Lock()
+	if s.fault.recs == nil {
+		s.fault.recs = make(map[quarKey]*quarRec)
+	}
+	rec := s.fault.recs[key]
+	if rec == nil {
+		rec = &quarRec{}
+		s.fault.recs[key] = rec
+		s.fault.tracked.Add(1)
+	}
+	rec.fails++
+	var window Duration
+	trip := !rec.quarantined && rec.fails >= s.fault.cfg.FailureThreshold
+	if trip {
+		rec.quarantined = true
+		rec.trips++
+		window = rec.backoff
+		if window <= 0 {
+			window = s.fault.cfg.Backoff
+		}
+		next := Duration(float64(window) * s.fault.cfg.BackoffFactor)
+		if next > s.fault.cfg.MaxBackoff {
+			next = s.fault.cfg.MaxBackoff
+		}
+		rec.backoff = next
+		s.fault.quarCount.Add(1)
+	}
+	s.fault.mu.Unlock()
+	if trip {
+		s.stats.Quarantines.Add(1)
+		s.scheduleInternal(window, func() { s.reinstate(key) })
+	}
+}
+
+// noteSuccess resets the failure record of a binding after a clean run.
+// A binding that recovers fully is forgotten (its backoff resets).
+func (s *System) noteSuccess(ev ID, handler string) {
+	key := quarKey{ev, handler}
+	s.fault.mu.Lock()
+	rec := s.fault.recs[key]
+	if rec != nil && !rec.quarantined {
+		delete(s.fault.recs, key)
+		s.fault.tracked.Add(-1)
+	}
+	s.fault.mu.Unlock()
+}
+
+// reinstate re-admits a quarantined binding (timer callback). The
+// breaker re-opens half-open: the failure count restarts one below the
+// threshold, so a single further fault re-quarantines with a grown
+// window, while a clean run clears the record entirely.
+func (s *System) reinstate(key quarKey) {
+	s.fault.mu.Lock()
+	rec := s.fault.recs[key]
+	ok := rec != nil && rec.quarantined
+	if ok {
+		rec.quarantined = false
+		rec.fails = s.fault.cfg.FailureThreshold - 1
+		s.fault.quarCount.Add(-1)
+	}
+	s.fault.mu.Unlock()
+	if ok {
+		s.stats.Reinstates.Add(1)
+	}
+}
+
+// skipQuarantined reports whether dispatch must skip this binding. Hot
+// path: callers check quarCount first, so the map is consulted only
+// while something is actually quarantined.
+func (s *System) skipQuarantined(ev ID, handler string) bool {
+	s.fault.mu.Lock()
+	rec := s.fault.recs[quarKey{ev, handler}]
+	skip := rec != nil && rec.quarantined
+	s.fault.mu.Unlock()
+	return skip
+}
+
+// runFastSupervised runs an installed super-handler under a recover
+// barrier. A panic anywhere in the chain (fused body, compiled body or
+// step) reports ran=false, faulted=true; the caller deoptimizes the
+// entry and replays the activation generically. A HandlerExit is emitted
+// for the in-flight handler so enter/exit stay balanced in traces.
+func (s *System) runFastSupervised(sh *SuperHandler, mode Mode, args []Arg, depth int, tracer Tracer) (ran, faulted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ran, faulted = false, true
+			f := FaultInfo{
+				Event:     s.fault.curEvent,
+				EventName: s.fault.curName,
+				Handler:   s.fault.curHandler,
+				Mode:      mode,
+				Depth:     s.fault.curDepth,
+				PanicVal:  r,
+				Optimized: true,
+			}
+			if tracer != nil {
+				tracer.HandlerExit(f.Event, f.EventName, f.Handler, f.Depth)
+			}
+			s.recordFault(f, tracer)
+		}
+	}()
+	return sh.run(s, mode, args, depth, tracer), false
+}
+
+// maybeRetry re-enqueues a faulted asynchronous activation with capped,
+// optionally jittered exponential backoff, dead-lettering it when the
+// attempt budget is exhausted. attempt is 0-based (the attempt that just
+// ran). Retry is at-least-once: handlers that succeeded before the fault
+// run again on the retried activation.
+func (s *System) maybeRetry(ev ID, args []Arg, attempt int) {
+	s.fault.mu.Lock()
+	rc := s.fault.retry
+	s.fault.mu.Unlock()
+	if rc.MaxAttempts <= 0 {
+		return
+	}
+	if attempt+1 >= rc.MaxAttempts {
+		s.deadLetter(ev, args, attempt+1, rc)
+		return
+	}
+	d := rc.Backoff
+	for i := 0; i < attempt; i++ {
+		d = Duration(float64(d) * rc.BackoffFactor)
+		if d >= rc.MaxBackoff {
+			d = rc.MaxBackoff
+			break
+		}
+	}
+	if rc.Jitter > 0 {
+		d = s.jitter(d, rc.Jitter)
+	}
+	s.stats.Retries.Add(1)
+	s.scheduleRetry(d, ev, args, attempt+1)
+}
+
+// deadLetter raises the configured dead-letter event for an exhausted
+// activation. The original arguments ride along after the metadata.
+func (s *System) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig) {
+	s.stats.DeadLetters.Add(1)
+	if rc.DeadLetter == "" {
+		return
+	}
+	dl := s.Lookup(rc.DeadLetter)
+	if dl == NoID || dl == ev {
+		return
+	}
+	meta := make([]Arg, 0, len(args)+2)
+	meta = append(meta, Arg{Name: "event", Val: s.EventName(ev)}, Arg{Name: "attempts", Val: attempts})
+	meta = append(meta, args...)
+	s.enqueue(dl, Async, meta)
+}
+
+// jitter draws a deterministic delay from [d*(1-frac), d].
+func (s *System) jitter(d Duration, frac float64) Duration {
+	if frac > 1 {
+		frac = 1
+	}
+	span := Duration(float64(d) * frac)
+	if span <= 0 {
+		return d
+	}
+	s.fault.mu.Lock()
+	s.fault.rng += 0x9E3779B97F4A7C15
+	z := s.fault.rng
+	s.fault.mu.Unlock()
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return d - span + Duration(z%uint64(span+1))
+}

@@ -1,0 +1,383 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+// faultRecorder is a Tracer that also records recovered faults.
+type faultRecorder struct {
+	faults []FaultInfo
+}
+
+func (r *faultRecorder) Event(ID, string, Mode, int)          {}
+func (r *faultRecorder) HandlerEnter(ID, string, string, int) {}
+func (r *faultRecorder) HandlerExit(ID, string, string, int)  {}
+func (r *faultRecorder) Fault(f FaultInfo)                    { r.faults = append(r.faults, f) }
+
+func TestFaultPolicyString(t *testing.T) {
+	cases := map[FaultPolicy]string{
+		Propagate: "propagate", Isolate: "isolate", Quarantine: "quarantine",
+		FaultPolicy(9): "FaultPolicy(?)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("FaultPolicy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestIsolateRecoversAndRunsRemainingHandlers(t *testing.T) {
+	s := New(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	var ran []string
+	s.Bind(ev, "first", func(*Ctx) { ran = append(ran, "first") }, WithOrder(1))
+	s.Bind(ev, "boom", func(*Ctx) { panic("injected") }, WithOrder(2))
+	s.Bind(ev, "last", func(*Ctx) { ran = append(ran, "last") }, WithOrder(3))
+
+	var hooked []FaultInfo
+	cfg := FaultConfig{Policy: Isolate, OnFault: func(f FaultInfo) { hooked = append(hooked, f) }}
+	s.SetFaultConfig(cfg)
+	rec := &faultRecorder{}
+	s.SetTracer(rec)
+
+	if err := s.Raise(ev, A("k", 1)); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	if len(ran) != 2 || ran[0] != "first" || ran[1] != "last" {
+		t.Fatalf("handlers after the fault did not run: %v", ran)
+	}
+	if got := s.Stats().PanicsRecovered.Load(); got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+	if len(rec.faults) != 1 || len(hooked) != 1 {
+		t.Fatalf("tracer faults = %d, OnFault calls = %d, want 1 and 1", len(rec.faults), len(hooked))
+	}
+	f := rec.faults[0]
+	if f.Event != ev || f.EventName != "E" || f.Handler != "boom" || f.Mode != Sync || f.Depth != 0 {
+		t.Errorf("FaultInfo = %+v", f)
+	}
+	if f.PanicVal != "injected" || f.Optimized {
+		t.Errorf("PanicVal = %v, Optimized = %v", f.PanicVal, f.Optimized)
+	}
+	// Isolation alone must not quarantine anything.
+	if s.QuarantineCount() != 0 || s.Stats().Quarantines.Load() != 0 {
+		t.Error("Isolate policy tripped the circuit breaker")
+	}
+}
+
+func TestPropagateRemainsDefault(t *testing.T) {
+	s := New()
+	if s.FaultPolicyInstalled() != Propagate {
+		t.Fatalf("default policy = %v", s.FaultPolicyInstalled())
+	}
+	ev := s.Define("E")
+	s.Bind(ev, "boom", func(*Ctx) { panic("bug") })
+	defer func() {
+		if recover() == nil {
+			t.Error("panic did not propagate under the default policy")
+		}
+	}()
+	s.Raise(ev)
+}
+
+func TestQuarantineTripSkipAndReinstate(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc), WithFaultConfig(FaultConfig{
+		Policy: Quarantine, FailureThreshold: 2, Backoff: 50 * Duration(1e6),
+	}))
+	ev := s.Define("E")
+	boom := true
+	faults, goods := 0, 0
+	s.Bind(ev, "flaky", func(*Ctx) {
+		if boom {
+			faults++
+			panic("flaky")
+		}
+		goods++
+	}, WithOrder(1))
+	healthy := 0
+	s.Bind(ev, "healthy", func(*Ctx) { healthy++ }, WithOrder(2))
+
+	// Two consecutive faults reach the threshold and trip the breaker.
+	s.Raise(ev)
+	if s.QuarantineCount() != 0 {
+		t.Fatal("quarantined below threshold")
+	}
+	s.Raise(ev)
+	if s.QuarantineCount() != 1 || !s.IsQuarantined(ev, "flaky") {
+		t.Fatal("threshold reached but binding not quarantined")
+	}
+	if got := s.Stats().Quarantines.Load(); got != 1 {
+		t.Errorf("Quarantines = %d, want 1", got)
+	}
+
+	// While quarantined the binding is skipped; the rest still run.
+	s.Raise(ev)
+	s.Raise(ev)
+	if faults != 2 {
+		t.Errorf("quarantined handler still ran: faults = %d", faults)
+	}
+	if healthy != 4 {
+		t.Errorf("healthy handler runs = %d, want 4", healthy)
+	}
+
+	// Drain advances the virtual clock to the re-admission timer.
+	s.Drain()
+	if s.IsQuarantined(ev, "flaky") || s.QuarantineCount() != 0 {
+		t.Fatal("binding not reinstated after the backoff window")
+	}
+	if got := s.Stats().Reinstates.Load(); got != 1 {
+		t.Errorf("Reinstates = %d, want 1", got)
+	}
+
+	// Half-open: one further fault re-trips immediately...
+	s.Raise(ev)
+	if s.QuarantineCount() != 1 {
+		t.Fatal("half-open breaker did not re-trip on the next fault")
+	}
+	if got := s.Stats().Quarantines.Load(); got != 2 {
+		t.Errorf("Quarantines = %d, want 2", got)
+	}
+
+	// ...with a grown window (factor 2: 50ms -> 100ms).
+	t0 := s.Now()
+	s.Drain()
+	if got := s.Now() - t0; got != 100*Duration(1e6) {
+		t.Errorf("second quarantine window = %v, want 100ms", got)
+	}
+
+	// A clean run after reinstatement clears the record entirely.
+	boom = false
+	s.Raise(ev)
+	if goods != 1 {
+		t.Fatalf("reinstated handler did not run: goods = %d", goods)
+	}
+	if n := s.fault.tracked.Load(); n != 0 {
+		t.Errorf("failure records tracked after clean run = %d, want 0", n)
+	}
+}
+
+func TestRetryWithBackoffThenDeadLetter(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc),
+		WithFaultPolicy(Isolate),
+		WithRetryConfig(RetryConfig{MaxAttempts: 3, Backoff: Duration(1e6), DeadLetter: "dead"}))
+	ev := s.Define("E")
+	dead := s.Define("dead")
+	attempts := 0
+	s.Bind(ev, "boom", func(*Ctx) { attempts++; panic("always") })
+	var dlArgs *Args
+	s.Bind(dead, "capture", func(c *Ctx) { dlArgs = c.Args })
+
+	s.RaiseAsync(ev, A("payload", 42))
+	s.Drain()
+
+	if attempts != 3 {
+		t.Errorf("attempts = %d, want 3", attempts)
+	}
+	if got := s.Stats().Retries.Load(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	if got := s.Stats().DeadLetters.Load(); got != 1 {
+		t.Errorf("DeadLetters = %d, want 1", got)
+	}
+	if dlArgs == nil {
+		t.Fatal("dead-letter event never ran")
+	}
+	if dlArgs.String("event") != "E" || dlArgs.Int("attempts") != 3 || dlArgs.Int("payload") != 42 {
+		t.Errorf("dead-letter args = %v", dlArgs.Pairs())
+	}
+}
+
+func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc),
+		WithFaultPolicy(Isolate),
+		WithRetryConfig(RetryConfig{MaxAttempts: 5, Backoff: Duration(1e6), DeadLetter: "dead"}))
+	ev := s.Define("E")
+	s.Define("dead")
+	calls := 0
+	s.Bind(ev, "flaky", func(*Ctx) {
+		calls++
+		if calls == 1 {
+			panic("first time only")
+		}
+	})
+	s.RaiseAsync(ev)
+	s.Drain()
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	if got := s.Stats().Retries.Load(); got != 1 {
+		t.Errorf("Retries = %d, want 1", got)
+	}
+	if got := s.Stats().DeadLetters.Load(); got != 0 {
+		t.Errorf("DeadLetters = %d, want 0", got)
+	}
+}
+
+func TestRetryJitterIsDeterministic(t *testing.T) {
+	run := func() Duration {
+		vc := NewVirtualClock()
+		s := New(WithClock(vc),
+			WithFaultPolicy(Isolate),
+			WithRetryConfig(RetryConfig{
+				MaxAttempts: 2, Backoff: Duration(1e6),
+				Jitter: 0.5, JitterSeed: 17,
+			}))
+		ev := s.Define("E")
+		s.Bind(ev, "boom", func(*Ctx) { panic("x") })
+		s.RaiseAsync(ev)
+		s.Drain()
+		return s.Now()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("jittered schedules differ across identical runs: %v vs %v", a, b)
+	}
+	if a <= 0 || a > Duration(1e6) {
+		t.Errorf("jittered delay %v outside (0, backoff]", a)
+	}
+}
+
+func TestQueueBoundPolicies(t *testing.T) {
+	setup := func(policy OverflowPolicy, rep func(error)) (*System, *[]int) {
+		opts := []Option{WithQueueBound(2, policy)}
+		if rep != nil {
+			opts = append(opts, WithErrorReporter(rep))
+		}
+		s := New(opts...)
+		ev := s.Define("E")
+		seen := &[]int{}
+		s.Bind(ev, "h", func(c *Ctx) { *seen = append(*seen, c.Args.Int("n")) })
+		for i := 1; i <= 3; i++ {
+			s.RaiseAsync(ev, A("n", i))
+		}
+		s.Drain()
+		return s, seen
+	}
+
+	s, seen := setup(DropOldest, nil)
+	if len(*seen) != 2 || (*seen)[0] != 2 || (*seen)[1] != 3 {
+		t.Errorf("DropOldest ran %v, want [2 3]", *seen)
+	}
+	if got := s.Stats().QueueDrops.Load(); got != 1 {
+		t.Errorf("DropOldest QueueDrops = %d, want 1", got)
+	}
+
+	s, seen = setup(DropNewest, nil)
+	if len(*seen) != 2 || (*seen)[0] != 1 || (*seen)[1] != 2 {
+		t.Errorf("DropNewest ran %v, want [1 2]", *seen)
+	}
+	if got := s.Stats().QueueDrops.Load(); got != 1 {
+		t.Errorf("DropNewest QueueDrops = %d, want 1", got)
+	}
+
+	var reported []error
+	s, seen = setup(RejectNew, func(err error) { reported = append(reported, err) })
+	if len(*seen) != 2 || (*seen)[0] != 1 || (*seen)[1] != 2 {
+		t.Errorf("RejectNew ran %v, want [1 2]", *seen)
+	}
+	if len(reported) != 1 || reported[0] != ErrQueueFull {
+		t.Errorf("RejectNew reported %v, want [ErrQueueFull]", reported)
+	}
+	if got := s.Stats().QueueDrops.Load(); got != 1 {
+		t.Errorf("RejectNew QueueDrops = %d, want 1", got)
+	}
+}
+
+func TestFastPathPanicDeoptimizesAndReplays(t *testing.T) {
+	s := New(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	var ran []string
+	s.Bind(ev, "ok", func(*Ctx) { ran = append(ran, "ok") }, WithOrder(1))
+	fastCalls := 0
+	s.Bind(ev, "boom", func(*Ctx) {
+		fastCalls++
+		if fastCalls == 1 {
+			panic("optimized bug") // fires only on the fast path's first run
+		}
+		ran = append(ran, "boom")
+	}, WithOrder(2))
+
+	sh := superForOne(s, ev)
+	var deopted []*SuperHandler
+	sh.OnDeopt = func(x *SuperHandler) { deopted = append(deopted, x) }
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatalf("InstallFastPath: %v", err)
+	}
+
+	if err := s.Raise(ev); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	// The panic must have evicted the fast path and replayed the whole
+	// activation generically (both handlers; at-least-once semantics).
+	if s.FastPath(ev) != nil {
+		t.Fatal("fast path still installed after the fault")
+	}
+	if len(deopted) != 1 || deopted[0] != sh {
+		t.Fatalf("OnDeopt calls = %v", deopted)
+	}
+	if got := s.Stats().Deopts.Load(); got != 1 {
+		t.Errorf("Deopts = %d, want 1", got)
+	}
+	if got := s.Stats().PanicsRecovered.Load(); got != 1 {
+		t.Errorf("PanicsRecovered = %d, want 1", got)
+	}
+	want := []string{"ok", "ok", "boom"} // fast attempt ran "ok", then generic replay ran both
+	if len(ran) != 3 || ran[0] != want[0] || ran[1] != want[1] || ran[2] != want[2] {
+		t.Errorf("ran = %v, want %v", ran, want)
+	}
+	// Dispatch continues generically afterwards.
+	if err := s.Raise(ev); err != nil {
+		t.Fatalf("Raise after deopt: %v", err)
+	}
+}
+
+func TestFastPathFaultAttribution(t *testing.T) {
+	s := New(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	s.Bind(ev, "boom", func(*Ctx) { panic("step bug") })
+	if err := s.InstallFastPath(superForOne(s, ev)); err != nil {
+		t.Fatalf("InstallFastPath: %v", err)
+	}
+	rec := &faultRecorder{}
+	s.SetTracer(rec)
+	s.Raise(ev)
+	if len(rec.faults) != 2 {
+		// One optimized fault plus the generic replay's isolated fault.
+		t.Fatalf("faults = %d, want 2: %+v", len(rec.faults), rec.faults)
+	}
+	if !rec.faults[0].Optimized || rec.faults[0].Handler != "boom" {
+		t.Errorf("optimized fault = %+v", rec.faults[0])
+	}
+	if rec.faults[1].Optimized {
+		t.Errorf("replay fault should be generic: %+v", rec.faults[1])
+	}
+}
+
+// superForOne builds a single-segment super-handler mirroring the current
+// bindings of ev (the shape the optimizer installs for a chain of one).
+func superForOne(s *System, ev ID) *SuperHandler {
+	seg := Segment{Event: ev, EventName: s.EventName(ev), Version: s.Version(ev)}
+	for _, h := range s.Handlers(ev) {
+		seg.Steps = append(seg.Steps, Step{
+			Event: ev, EventName: seg.EventName, Handler: h.Name, Fn: h.Fn, BindArgs: h.BindArgs,
+		})
+	}
+	return &SuperHandler{Entry: ev, Segments: []Segment{seg}}
+}
+
+func TestSummaryMentionsFaultCounters(t *testing.T) {
+	s := New(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	s.Bind(ev, "boom", func(*Ctx) { panic("x") })
+	s.Raise(ev)
+	sum := s.Stats().Summary()
+	for _, want := range []string{"1 recovered", "deopts", "queue drops"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary() missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -108,7 +108,7 @@ func (c *Ctx) Raise(ev ID, args ...Arg) {
 // RaiseAsync asynchronously activates another event; it returns
 // immediately and the handlers run later from the event loop.
 func (c *Ctx) RaiseAsync(ev ID, args ...Arg) {
-	c.System.enqueue(ev, Async, args, 0)
+	c.System.enqueue(ev, Async, args)
 }
 
 // RaiseAfter schedules a timed activation of ev after delay d (in the

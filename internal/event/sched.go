@@ -64,17 +64,24 @@ func (c *VirtualClock) advanceTo(t Duration) {
 type Timer struct{ e *timerEntry }
 
 // Cancel revokes the delayed activation if it has not fired yet; it
-// reports whether the cancellation took effect.
+// reports whether the cancellation took effect. Canceled entries are
+// compacted out of the timer heap eagerly once enough accumulate, so
+// mass cancellation does not pin memory until the deadlines pass.
 func (t Timer) Cancel() bool {
 	if t.e == nil {
 		return false
 	}
 	t.e.mu.Lock()
-	defer t.e.mu.Unlock()
 	if t.e.done {
+		t.e.mu.Unlock()
 		return false
 	}
 	t.e.done = true
+	owner := t.e.owner
+	t.e.mu.Unlock()
+	if owner != nil {
+		owner.noteTimerCanceled()
+	}
 	return true
 }
 
@@ -89,12 +96,15 @@ func (t Timer) Pending() bool {
 }
 
 type timerEntry struct {
-	mu   sync.Mutex
-	at   Duration
-	seq  uint64
-	ev   ID
-	args []Arg
-	done bool
+	mu      sync.Mutex
+	at      Duration
+	seq     uint64
+	ev      ID
+	args    []Arg
+	attempt int     // retry attempts already made (supervision layer)
+	fire    func()  // internal callback timer (quarantine re-admission)
+	owner   *System // for cancellation accounting; nil on internal timers
+	done    bool
 }
 
 type timerHeap []*timerEntry
@@ -120,30 +130,110 @@ func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
 	}
 	s.qmu.Lock()
 	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args)}
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args), owner: s}
 	heap.Push(&s.timers, e)
 	s.qmu.Unlock()
 	s.nudge()
 	return Timer{e: e}
 }
 
-// enqueue appends an asynchronous activation to the run queue.
-func (s *System) enqueue(ev ID, mode Mode, args []Arg, _ Duration) {
+// scheduleRetry re-arms a faulted asynchronous activation after its
+// backoff delay, carrying the attempt count forward. No cancellation
+// token escapes, so owner stays nil.
+func (s *System) scheduleRetry(d Duration, ev ID, args []Arg, attempt int) {
 	s.qmu.Lock()
+	s.tseq++
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args), attempt: attempt}
+	heap.Push(&s.timers, e)
+	s.qmu.Unlock()
+	s.nudge()
+}
+
+// scheduleInternal arms an internal callback timer (quarantine
+// re-admission). It rides the same heap as timed activations, so it is
+// deterministic under VirtualClock and fires from Step/Drain/Run.
+func (s *System) scheduleInternal(d Duration, fire func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.qmu.Lock()
+	s.tseq++
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, fire: fire}
+	heap.Push(&s.timers, e)
+	s.qmu.Unlock()
+	s.nudge()
+}
+
+// enqueue appends an asynchronous activation to the run queue, applying
+// the overflow policy when a queue bound is configured.
+func (s *System) enqueue(ev ID, mode Mode, args []Arg) {
+	s.qmu.Lock()
+	if s.qcap > 0 && len(s.queue) >= s.qcap {
+		pol := s.qpolicy
+		s.stats.QueueDrops.Add(1)
+		switch pol {
+		case DropOldest:
+			copy(s.queue, s.queue[1:])
+			s.queue[len(s.queue)-1] = pending{ev: ev, mode: mode, args: cloneArgs(args)}
+			s.qmu.Unlock()
+			s.nudge()
+		case DropNewest:
+			s.qmu.Unlock()
+		default: // RejectNew
+			s.qmu.Unlock()
+			s.report(ErrQueueFull)
+		}
+		return
+	}
 	s.queue = append(s.queue, pending{ev: ev, mode: mode, args: cloneArgs(args)})
 	s.qmu.Unlock()
 	s.nudge()
 }
 
-// nudge wakes a blocked Run loop, if any.
+// nudge wakes a blocked Run loop, if any. The wake channel is created
+// unconditionally at construction, so no nil check is needed (or safe:
+// a nil fast path would race with Run observing the channel).
 func (s *System) nudge() {
-	if s.wake == nil {
-		return
-	}
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
+}
+
+// noteTimerCanceled counts a cancellation and compacts the heap once
+// canceled entries outnumber live ones (and are worth the rebuild).
+func (s *System) noteTimerCanceled() {
+	s.qmu.Lock()
+	s.canceled++
+	if s.canceled >= 64 && s.canceled*2 >= len(s.timers) {
+		s.compactTimersLocked()
+	}
+	s.qmu.Unlock()
+}
+
+// compactTimersLocked rebuilds the heap without done entries. Caller
+// holds qmu.
+func (s *System) compactTimersLocked() {
+	kept := make(timerHeap, 0, len(s.timers)-s.canceled)
+	for _, e := range s.timers {
+		e.mu.Lock()
+		done := e.done
+		e.mu.Unlock()
+		if !done {
+			kept = append(kept, e)
+		}
+	}
+	s.timers = kept
+	heap.Init(&s.timers)
+	s.canceled = 0
+}
+
+// timerHeapLen reports the raw heap length, including canceled entries
+// not yet compacted (tests observe memory hygiene through it).
+func (s *System) timerHeapLen() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return len(s.timers)
 }
 
 func cloneArgs(args []Arg) []Arg {
@@ -171,13 +261,16 @@ func (s *System) popRunnable() (pending, bool) {
 		if e.done {
 			e.mu.Unlock()
 			heap.Pop(&s.timers)
+			if s.canceled > 0 {
+				s.canceled--
+			}
 			continue
 		}
 		if e.at <= now {
 			e.done = true
 			e.mu.Unlock()
 			heap.Pop(&s.timers)
-			return pending{ev: e.ev, mode: Delayed, args: e.args}, true
+			return pending{ev: e.ev, mode: Delayed, args: e.args, attempt: e.attempt, fire: e.fire}, true
 		}
 		e.mu.Unlock()
 		break
@@ -202,6 +295,9 @@ func (s *System) nextDeadline() (Duration, bool) {
 		e.mu.Unlock()
 		if done {
 			heap.Pop(&s.timers)
+			if s.canceled > 0 {
+				s.canceled--
+			}
 			continue
 		}
 		return at, true
@@ -209,13 +305,19 @@ func (s *System) nextDeadline() (Duration, bool) {
 	return 0, false
 }
 
-// Step runs at most one queued or due activation; it reports whether one ran.
+// Step runs at most one queued or due activation (or internal timer
+// callback, such as a quarantine re-admission); it reports whether one
+// ran.
 func (s *System) Step() bool {
 	p, ok := s.popRunnable()
 	if !ok {
 		return false
 	}
-	s.runTop(p.ev, p.mode, p.args)
+	if p.fire != nil {
+		p.fire()
+		return true
+	}
+	s.runTop(p.ev, p.mode, p.args, p.attempt)
 	return true
 }
 

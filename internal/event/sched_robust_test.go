@@ -1,0 +1,115 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentProducersWhileRunDrains hammers RaiseAsync and RaiseAfter
+// from many goroutines while Run drains (run under -race in CI). The wake
+// channel is created at construction, so producers never observe a nil
+// channel while Run selects on it.
+func TestConcurrentProducersWhileRunDrains(t *testing.T) {
+	s := New()
+	ev := s.Define("E")
+	var handled atomic.Int64
+	s.Bind(ev, "count", func(*Ctx) { handled.Add(1) })
+
+	const producers = 8
+	const perProducer = 200
+	stop := make(chan struct{})
+	done := make(chan int)
+	go func() { done <- s.Run(stop) }()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if i%4 == 0 {
+					s.RaiseAfter(Duration(10*1000), ev) // 10µs
+				} else {
+					s.RaiseAsync(ev)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	want := int64(producers * perProducer)
+	deadline := time.Now().Add(5 * time.Second)
+	for handled.Load() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+	// Run may exit between the last enqueue and its Step; sweep the rest.
+	s.Drain()
+	if got := handled.Load(); got != want {
+		t.Fatalf("handled %d of %d activations", got, want)
+	}
+}
+
+// TestTimerCancellationCompactsHeap cancels thousands of timers and
+// asserts the heap itself shrinks — canceled entries must not linger
+// until their (possibly distant) deadlines pop them.
+func TestTimerCancellationCompactsHeap(t *testing.T) {
+	s := New(WithClock(NewVirtualClock()))
+	ev := s.Define("E")
+	s.Bind(ev, "h", func(*Ctx) {})
+
+	const n = 4000
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, s.RaiseAfter(Duration(int64(i+1)*1e9), ev)) // far-future deadlines
+	}
+	if got := s.TimerCount(); got != n {
+		t.Fatalf("TimerCount = %d, want %d", got, n)
+	}
+	if got := s.timerHeapLen(); got != n {
+		t.Fatalf("timerHeapLen = %d, want %d", got, n)
+	}
+
+	// Cancel all but one.
+	for i := 0; i < n-1; i++ {
+		timers[i].Cancel()
+	}
+	if got := s.TimerCount(); got != 1 {
+		t.Fatalf("TimerCount after cancel = %d, want 1", got)
+	}
+	// Eager compaction must have dropped the canceled entries from the
+	// heap without waiting for their deadlines.
+	if got := s.timerHeapLen(); got > 64 {
+		t.Fatalf("timerHeapLen after cancel = %d, want <= 64 (compacted)", got)
+	}
+
+	// The surviving timer still fires at its deadline.
+	if ran := s.Drain(); ran != 1 {
+		t.Fatalf("Drain ran %d activations, want 1", ran)
+	}
+	if got := s.timerHeapLen(); got != 0 {
+		t.Fatalf("timerHeapLen after drain = %d, want 0", got)
+	}
+}
+
+// TestCancelAfterFireIsHarmless cancels timers that already popped; the
+// canceled counter must not go negative or trigger bogus compaction.
+func TestCancelAfterFireIsHarmless(t *testing.T) {
+	s := New(WithClock(NewVirtualClock()))
+	ev := s.Define("E")
+	ran := 0
+	s.Bind(ev, "h", func(*Ctx) { ran++ })
+	tm := s.RaiseAfter(Duration(1e6), ev)
+	s.Drain()
+	if ran != 1 {
+		t.Fatalf("timer did not fire: ran = %d", ran)
+	}
+	tm.Cancel() // no-op: already fired
+	tm.Cancel()
+	if got := s.TimerCount(); got != 0 {
+		t.Fatalf("TimerCount = %d, want 0", got)
+	}
+}

@@ -1,6 +1,8 @@
 package event
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -35,6 +37,16 @@ type Counters struct {
 	ArgResolves  atomic.Int64 // per-handler parameter resolutions
 	Locks        atomic.Int64 // state-maintenance lock acquisitions
 	HandlersRun  atomic.Int64 // total handler bodies executed (both paths)
+
+	// Supervision counters (fault.go). All zero under the default
+	// Propagate policy with an unbounded queue.
+	PanicsRecovered atomic.Int64 // handler panics recovered (Isolate/Quarantine)
+	Retries         atomic.Int64 // faulted async activations re-enqueued
+	Quarantines     atomic.Int64 // circuit-breaker trips
+	Reinstates      atomic.Int64 // quarantined bindings re-admitted
+	Deopts          atomic.Int64 // super-handlers auto-uninstalled after a fault
+	DeadLetters     atomic.Int64 // activations that exhausted their retry budget
+	QueueDrops      atomic.Int64 // activations dropped/rejected by a bounded queue
 }
 
 // Reset zeroes all counters.
@@ -52,6 +64,31 @@ func (c *Counters) Reset() {
 	c.ArgResolves.Store(0)
 	c.Locks.Store(0)
 	c.HandlersRun.Store(0)
+	c.PanicsRecovered.Store(0)
+	c.Retries.Store(0)
+	c.Quarantines.Store(0)
+	c.Reinstates.Store(0)
+	c.Deopts.Store(0)
+	c.DeadLetters.Store(0)
+	c.QueueDrops.Store(0)
+}
+
+// Summary renders the counters as a human-readable report (one line per
+// nonzero group); cmd/evprof prints it after a workload run.
+func (c *Counters) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "raises        %8d (sync %d, async %d, timed %d)\n",
+		c.Raises.Load(), c.SyncRaises.Load(), c.AsyncRaises.Load(), c.TimedRaises.Load())
+	fmt.Fprintf(&b, "dispatch      %8d generic, %d fast, %d fallbacks, %d seg-fallbacks\n",
+		c.Generic.Load(), c.FastRuns.Load(), c.Fallbacks.Load(), c.SegFallbacks.Load())
+	fmt.Fprintf(&b, "overheads     %8d indirect, %d marshals, %d arg-resolves, %d locks\n",
+		c.Indirect.Load(), c.Marshals.Load(), c.ArgResolves.Load(), c.Locks.Load())
+	fmt.Fprintf(&b, "handlers run  %8d\n", c.HandlersRun.Load())
+	fmt.Fprintf(&b, "faults        %8d recovered, %d retries, %d quarantines, %d reinstates\n",
+		c.PanicsRecovered.Load(), c.Retries.Load(), c.Quarantines.Load(), c.Reinstates.Load())
+	fmt.Fprintf(&b, "degradation   %8d deopts, %d dead-letters, %d queue drops\n",
+		c.Deopts.Load(), c.DeadLetters.Load(), c.QueueDrops.Load())
+	return b.String()
 }
 
 // System is an event runtime instance: registry, scheduler and clock.
@@ -65,23 +102,30 @@ type System struct {
 	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
 	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
 
-	qmu    sync.Mutex // guards queue and timers
-	queue  []pending
-	timers timerHeap
-	tseq   uint64
-	wake   chan struct{} // nudges Run when work arrives
+	qmu      sync.Mutex // guards queue, timers and the queue bound
+	queue    []pending
+	timers   timerHeap
+	tseq     uint64
+	canceled int            // canceled-but-unpopped timers (compaction trigger)
+	qcap     int            // run-queue capacity (0 = unbounded)
+	qpolicy  OverflowPolicy // applied when the bounded queue is full
+	wake     chan struct{}  // nudges Run when work arrives; never nil (made in New)
 
 	clock   Clock
 	tracer  Tracer
 	stats   Counters
+	fault   faultState  // supervision layer (fault.go)
 	haltErr func(error) // reporter for raise errors on async paths
 }
 
-// pending is one queued asynchronous or timed activation.
+// pending is one queued asynchronous or timed activation, or an internal
+// callback (fire non-nil) popped off the timer heap.
 type pending struct {
-	ev   ID
-	mode Mode
-	args []Arg
+	ev      ID
+	mode    Mode
+	args    []Arg
+	attempt int    // prior retry attempts of this activation
+	fire    func() // internal timer callback; runs instead of a dispatch
 }
 
 // Option configures a System.

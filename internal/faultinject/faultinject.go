@@ -1,0 +1,176 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// event runtime: it interposes panic (and error-value) injection on
+// handler and HIR-intrinsic call sites, either probabilistically (seeded,
+// reproducible) or on exact call ordinals. Chaos tests use it to run the
+// paper's workloads under crash scenarios — the crash/interleaving test
+// targets that stateless model checking of event-driven programs treats
+// as first class — and assert that the supervision layer keeps the
+// system live, quarantines converge, and optimized and unoptimized
+// dispatch degrade identically.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+)
+
+// Fault is the panic value of every injected fault, so tests and fault
+// hooks can distinguish injected crashes from real bugs.
+type Fault struct {
+	Site string // injection site name
+	Call int    // 1-based call ordinal at the site
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s (call %d)", f.Site, f.Call)
+}
+
+// Injector decides, per call site, whether to inject a fault. All
+// decisions derive from the seed and the per-site call ordinals, so a
+// run is reproducible bit-for-bit: same seed, same workload, same
+// faults. An Injector is safe for concurrent use.
+type Injector struct {
+	mu       sync.Mutex
+	rng      uint64
+	rate     float64
+	armed    bool
+	nth      map[string]map[int]bool // site -> call ordinals that fault
+	calls    map[string]int
+	injected int
+}
+
+// New returns an armed injector with no faults configured.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   uint64(seed)*0x9E3779B97F4A7C15 + 0x1234567,
+		armed: true,
+		nth:   make(map[string]map[int]bool),
+		calls: make(map[string]int),
+	}
+}
+
+// SetRate makes every call at every site fault independently with
+// probability p (0 disables probabilistic injection).
+func (in *Injector) SetRate(p float64) {
+	in.mu.Lock()
+	in.rate = p
+	in.mu.Unlock()
+}
+
+// FailOnCall makes the nth call (1-based) at site fault exactly once.
+func (in *Injector) FailOnCall(site string, nth int) {
+	in.mu.Lock()
+	if in.nth[site] == nil {
+		in.nth[site] = make(map[int]bool)
+	}
+	in.nth[site][nth] = true
+	in.mu.Unlock()
+}
+
+// Arm enables or disables injection without losing call counts.
+func (in *Injector) Arm(on bool) {
+	in.mu.Lock()
+	in.armed = on
+	in.mu.Unlock()
+}
+
+// Calls reports how many calls the site has seen.
+func (in *Injector) Calls(site string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[site]
+}
+
+// Injected reports the total number of faults injected so far.
+func (in *Injector) Injected() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.injected
+}
+
+// Check counts one call at site and panics with a *Fault when one is
+// due. Wrap (or call at the top of) any code path to make it a fault
+// site.
+func (in *Injector) Check(site string) {
+	in.mu.Lock()
+	in.calls[site]++
+	call := in.calls[site]
+	due := false
+	if in.armed {
+		if in.nth[site][call] {
+			due = true
+		} else if in.rate > 0 && in.randFloat() < in.rate {
+			due = true
+		}
+		if due {
+			in.injected++
+		}
+	}
+	in.mu.Unlock()
+	if due {
+		panic(&Fault{Site: site, Call: call})
+	}
+}
+
+// randFloat draws the next uniform [0,1) variate (splitmix64; caller
+// holds mu).
+func (in *Injector) randFloat() float64 {
+	in.rng += 0x9E3779B97F4A7C15
+	z := in.rng
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// Handler wraps an event handler as a fault site: each invocation first
+// consults the injector, then runs fn.
+func (in *Injector) Handler(site string, fn event.HandlerFunc) event.HandlerFunc {
+	return func(ctx *event.Ctx) {
+		in.Check(site)
+		fn(ctx)
+	}
+}
+
+// BindChaos binds a panic-only handler to ev that faults per the
+// injector's schedule and otherwise does nothing. Bound with a low order
+// it runs first, injecting faults into an existing workload's events
+// without touching its bindings.
+func (in *Injector) BindChaos(sys *event.System, ev event.ID, site string, order int) event.Binding {
+	return sys.Bind(ev, site, func(*event.Ctx) { in.Check(site) }, event.WithOrder(order))
+}
+
+// Intrinsic wraps an HIR intrinsic as a fault site (panic injection).
+// Purity is preserved so optimizer decisions do not change under test.
+func (in *Injector) Intrinsic(site string, base hir.Intrinsic) hir.Intrinsic {
+	return hir.Intrinsic{Pure: base.Pure, Fn: func(args []hir.Value) hir.Value {
+		in.Check(site)
+		return base.Fn(args)
+	}}
+}
+
+// IntrinsicErr wraps an HIR intrinsic with error-value injection: when a
+// fault is due the intrinsic returns errVal (typically hir.None, the
+// value a failed operation yields) instead of computing, exercising the
+// application's own error paths rather than the panic machinery.
+func (in *Injector) IntrinsicErr(site string, base hir.Intrinsic, errVal hir.Value) hir.Intrinsic {
+	return hir.Intrinsic{Pure: base.Pure, Fn: func(args []hir.Value) (out hir.Value) {
+		defer func() {
+			// Convert the injected panic into the error value; real
+			// panics from the base intrinsic keep propagating.
+			if r := recover(); r != nil {
+				if _, ok := r.(*Fault); !ok {
+					panic(r)
+				}
+				out = errVal
+			}
+		}()
+		in.Check(site)
+		return base.Fn(args)
+	}}
+}

@@ -1,0 +1,181 @@
+package faultinject_test
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/faultinject"
+	"eventopt/internal/hir"
+)
+
+func TestFailOnCallExact(t *testing.T) {
+	in := faultinject.New(1)
+	in.FailOnCall("site", 3)
+	for call := 1; call <= 5; call++ {
+		func() {
+			defer func() {
+				r := recover()
+				if call == 3 {
+					f, ok := r.(*faultinject.Fault)
+					if !ok || f.Site != "site" || f.Call != 3 {
+						t.Fatalf("call 3 recovered %v, want *Fault{site,3}", r)
+					}
+					if f.Error() == "" {
+						t.Error("Fault.Error() empty")
+					}
+					return
+				}
+				if r != nil {
+					t.Fatalf("call %d unexpectedly faulted: %v", call, r)
+				}
+			}()
+			in.Check("site")
+		}()
+	}
+	if in.Calls("site") != 5 || in.Injected() != 1 {
+		t.Errorf("Calls = %d, Injected = %d", in.Calls("site"), in.Injected())
+	}
+}
+
+func TestRateIsDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		in := faultinject.New(seed)
+		in.SetRate(0.1)
+		var faulted []int
+		for i := 1; i <= 500; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						faulted = append(faulted, i)
+					}
+				}()
+				in.Check("s")
+			}()
+		}
+		return faulted
+	}
+	a, b := run(42), run(42)
+	if len(a) == 0 {
+		t.Fatal("rate 0.1 over 500 calls injected nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different fault schedule: %v vs %v", a, b)
+		}
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical fault schedule")
+	}
+}
+
+func TestArmDisablesInjection(t *testing.T) {
+	in := faultinject.New(1)
+	in.FailOnCall("s", 1)
+	in.Arm(false)
+	defer func() {
+		if recover() != nil {
+			t.Error("disarmed injector faulted")
+		}
+	}()
+	in.Check("s")
+	if in.Calls("s") != 1 || in.Injected() != 0 {
+		t.Errorf("Calls = %d, Injected = %d", in.Calls("s"), in.Injected())
+	}
+	// Re-arming picks up where the counts left off: the scheduled ordinal
+	// has passed, so no fault fires.
+	in.Arm(true)
+	in.Check("s")
+	if in.Injected() != 0 {
+		t.Error("stale ordinal fired after re-arm")
+	}
+}
+
+func TestHandlerWrapperFaultsThenRuns(t *testing.T) {
+	s := event.New(event.WithFaultPolicy(event.Isolate))
+	ev := s.Define("E")
+	in := faultinject.New(1)
+	in.FailOnCall("h", 1)
+	ran := 0
+	s.Bind(ev, "h", in.Handler("h", func(*event.Ctx) { ran++ }))
+	s.Raise(ev)
+	s.Raise(ev)
+	if ran != 1 {
+		t.Errorf("body ran %d times, want 1 (first call faulted before it)", ran)
+	}
+	if got := s.Stats().PanicsRecovered.Load(); got != 1 {
+		t.Errorf("PanicsRecovered = %d", got)
+	}
+}
+
+func TestBindChaosInjectsWithoutTouchingBindings(t *testing.T) {
+	s := event.New(event.WithFaultPolicy(event.Isolate))
+	ev := s.Define("E")
+	ran := 0
+	s.Bind(ev, "app", func(*event.Ctx) { ran++ }, event.WithOrder(10))
+	in := faultinject.New(1)
+	in.FailOnCall("chaos", 2)
+	in.BindChaos(s, ev, "chaos", -100)
+	s.Raise(ev)
+	s.Raise(ev) // chaos handler faults first; app handler still runs
+	s.Raise(ev)
+	if ran != 3 {
+		t.Errorf("app handler ran %d times, want 3", ran)
+	}
+	if got := s.Stats().PanicsRecovered.Load(); got != 1 {
+		t.Errorf("PanicsRecovered = %d", got)
+	}
+}
+
+func TestIntrinsicWrappersPreservePurityAndInject(t *testing.T) {
+	in := faultinject.New(1)
+	base := hir.Intrinsic{Pure: true, Fn: func(a []hir.Value) hir.Value { return a[0] }}
+
+	wrapped := in.Intrinsic("p", base)
+	if !wrapped.Pure {
+		t.Error("Intrinsic dropped purity")
+	}
+	if got := wrapped.Fn([]hir.Value{hir.IntVal(7)}); got.I != 7 {
+		t.Errorf("pass-through = %v", got)
+	}
+	in.FailOnCall("p", 2)
+	func() {
+		defer func() {
+			if _, ok := recover().(*faultinject.Fault); !ok {
+				t.Error("Intrinsic did not panic with *Fault")
+			}
+		}()
+		wrapped.Fn([]hir.Value{hir.IntVal(7)})
+	}()
+
+	errWrapped := in.IntrinsicErr("q", base, hir.None)
+	in.FailOnCall("q", 1)
+	if got := errWrapped.Fn([]hir.Value{hir.IntVal(3)}); got.Kind != hir.None.Kind {
+		t.Errorf("IntrinsicErr fault returned %v, want None", got)
+	}
+	if got := errWrapped.Fn([]hir.Value{hir.IntVal(3)}); got.I != 3 {
+		t.Errorf("IntrinsicErr pass-through = %v", got)
+	}
+
+	// Non-injected panics from the base intrinsic keep propagating.
+	bomb := hir.Intrinsic{Fn: func([]hir.Value) hir.Value { panic("real bug") }}
+	errBomb := in.IntrinsicErr("r", bomb, hir.None)
+	defer func() {
+		if recover() != "real bug" {
+			t.Error("IntrinsicErr swallowed a non-injected panic")
+		}
+	}()
+	errBomb.Fn(nil)
+}

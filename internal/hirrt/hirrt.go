@@ -94,6 +94,24 @@ func (m *Module) RegisterFunc(fn *hir.Function) {
 	m.funcs[fn.Name] = fn
 }
 
+// WrapIntrinsic replaces a registered intrinsic with wrap(old), reporting
+// whether the name existed. Interpreter-executed handlers (including
+// fused bodies already installed) observe the wrapper immediately, since
+// they resolve intrinsics through the module map at execution time;
+// closure-compiled bodies resolve at compile time, so wrap before
+// optimizing when those must be covered. The fault-injection harness
+// uses this to interpose panic/error injection on intrinsic call sites.
+func (m *Module) WrapIntrinsic(name string, wrap func(hir.Intrinsic) hir.Intrinsic) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	in, ok := m.intrinsics[name]
+	if !ok {
+		return false
+	}
+	m.intrinsics[name] = wrap(in)
+	return true
+}
+
 // OptInfo exposes the module's interprocedural facts to the optimizer.
 func (m *Module) OptInfo() *opt.Info {
 	m.mu.Lock()
@@ -207,6 +225,14 @@ func (m *Module) HandlerFunc(body *hir.Function) event.HandlerFunc {
 	return func(ctx *event.Ctx) {
 		wasBusy := busy
 		oldCtx := setCtx(ctx)
+		// Restore under defer: a panic out of the body (an intrinsic bug,
+		// or injected fault) must not leave the busy flag stuck or the
+		// context cell pointing at a dead activation — the runtime's
+		// supervision layer recovers such panics and keeps dispatching.
+		defer func() {
+			setCtx(oldCtx)
+			busy = wasBusy
+		}()
 		var err error
 		if wasBusy {
 			// Reentrant activation (an event whose handlers transitively
@@ -215,9 +241,7 @@ func (m *Module) HandlerFunc(body *hir.Function) event.HandlerFunc {
 		} else {
 			busy = true
 			_, scratch, err = hir.ExecReuse(body, env, scratch)
-			busy = false
 		}
-		setCtx(oldCtx)
 		if err != nil {
 			panic(fmt.Sprintf("hirrt: handler %s: %v", body.Name, err))
 		}
@@ -241,15 +265,17 @@ func (m *Module) CompiledHandlerFunc(body *hir.Function) (event.HandlerFunc, err
 	return func(ctx *event.Ctx) {
 		wasBusy := busy
 		oldCtx := setCtx(ctx)
+		defer func() { // panic-safe restore, as in HandlerFunc
+			setCtx(oldCtx)
+			busy = wasBusy
+		}()
 		var err error
 		if wasBusy {
 			_, _, err = comp.Exec(nil)
 		} else {
 			busy = true
 			_, scratch, err = comp.Exec(scratch)
-			busy = false
 		}
-		setCtx(oldCtx)
 		if err != nil {
 			panic(fmt.Sprintf("hirrt: compiled handler %s: %v", body.Name, err))
 		}
