@@ -34,14 +34,21 @@ func (s *System) RaiseAsync(ev ID, args ...Arg) {
 // policy; an activation that recovered at least one handler panic is
 // handed to the retry machinery once the atomicity lock is released.
 func (s *System) runTop(ev ID, mode Mode, args []Arg, attempt int) {
-	s.runMu.Lock()
-	s.fault.activationFaults = 0
-	_ = s.dispatch(ev, mode, args, 0)
-	faults := s.fault.activationFaults
-	s.fault.activationFaults = 0
-	s.runMu.Unlock()
+	var faults int
+	func() {
+		// The unlock must be deferred: under the Propagate policy (or for
+		// a non-handler panic, e.g. a panicking tracer) a panic unwinds
+		// through here, and a caller that recovers it must find the
+		// atomicity lock released.
+		s.runMu.Lock()
+		defer s.runMu.Unlock()
+		s.fault.activationFaults = 0
+		_ = s.dispatch(ev, mode, args, 0)
+		faults = s.fault.activationFaults
+		s.fault.activationFaults = 0
+	}()
 	if faults > 0 {
-		s.maybeRetry(ev, args, attempt)
+		s.maybeRetry(ev, mode, args, attempt)
 	}
 }
 
@@ -100,7 +107,7 @@ func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
 			// (paper section 3.3).
 			s.stats.Fallbacks.Add(1)
 		} else {
-			ran, faulted := s.runFastSupervised(fast, mode, args, depth, tracer)
+			ran, faulted := s.runFastSupervised(fast, ev, name, mode, args, depth, tracer)
 			if ran {
 				s.stats.FastRuns.Add(1)
 				return nil

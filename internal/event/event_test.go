@@ -747,6 +747,40 @@ func TestHandlerPanicLeavesSystemUsable(t *testing.T) {
 	}
 }
 
+func TestAsyncHandlerPanicReleasesAtomicityLock(t *testing.T) {
+	// Under the default Propagate policy a panic in an asynchronous
+	// activation unwinds out of Drain; a caller that recovers it must
+	// find the atomicity lock released, or the system deadlocks.
+	s := New()
+	ev := s.Define("E")
+	boom := true
+	s.Bind(ev, "h", func(*Ctx) {
+		if boom {
+			panic("async handler bug")
+		}
+	})
+	s.RaiseAsync(ev)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate out of Drain")
+			}
+		}()
+		s.Drain()
+	}()
+	boom = false
+	done := make(chan error, 1)
+	go func() { done <- s.Raise(ev) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Raise after recovered Drain panic: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("atomicity lock still held after a recovered Drain panic")
+	}
+}
+
 func TestManyEventsScale(t *testing.T) {
 	// A registry with a thousand events stays correct and responsive.
 	s := New()

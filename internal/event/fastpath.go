@@ -240,6 +240,9 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		if ce.tracer != nil {
 			ce.tracer.HandlerExit(seg.Event, seg.EventName, seg.FusedName, depth)
 		}
+		if ce.supervised {
+			s.clearCurrentHandler()
+		}
 		return
 	}
 	for i := range seg.Steps {
@@ -256,6 +259,9 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		st.Fn(ctx)
 		if ce.tracer != nil {
 			ce.tracer.HandlerExit(seg.Event, seg.EventName, st.Handler, depth)
+		}
+		if ce.supervised {
+			s.clearCurrentHandler()
 		}
 		if ctx.halted {
 			break
@@ -288,9 +294,14 @@ func (ce *chainExec) dispatchNested(c *Ctx, ev ID, args []Arg) bool {
 	if !ce.sh.segMatches(idx) {
 		s.stats.SegFallbacks.Add(1)
 		s.generic(s.mustRec(ev), ev, seg.EventName, Sync, args, c.depth+1, ce.tracer)
-		return true
+	} else {
+		ce.runSegment(idx, args, Sync, c.depth+1)
 	}
-	ce.runSegment(idx, args, Sync, c.depth+1)
+	if ce.supervised {
+		// The caller's handler body resumes: restore its attribution so a
+		// panic after the nested raise is not pinned on the nested segment.
+		s.noteCurrent(c.Event, c.Name, c.Handler, c.depth)
+	}
 	return true
 }
 

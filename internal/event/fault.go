@@ -269,6 +269,13 @@ func (s *System) noteCurrent(ev ID, name, handler string, depth int) {
 	s.fault.curDepth = depth
 }
 
+// clearCurrentHandler marks that no handler body is in flight (between
+// steps of a chain, or after one exits cleanly), so a later panic outside
+// any handler is not pinned on the last one that ran. Caller holds runMu.
+func (s *System) clearCurrentHandler() {
+	s.fault.curHandler = ""
+}
+
 // runProtected invokes fn and converts a panic into a return value.
 func runProtected(fn HandlerFunc, ctx *Ctx) (pv any, panicked bool) {
 	defer func() {
@@ -389,9 +396,16 @@ func (s *System) skipQuarantined(ev ID, handler string) bool {
 // runFastSupervised runs an installed super-handler under a recover
 // barrier. A panic anywhere in the chain (fused body, compiled body or
 // step) reports ran=false, faulted=true; the caller deoptimizes the
-// entry and replays the activation generically. A HandlerExit is emitted
-// for the in-flight handler so enter/exit stay balanced in traces.
-func (s *System) runFastSupervised(sh *SuperHandler, mode Mode, args []Arg, depth int, tracer Tracer) (ran, faulted bool) {
+// entry and replays the activation generically. When a handler body was
+// in flight, a balancing HandlerExit is emitted so enter/exit stay paired
+// in traces; a panic outside any handler (guard evaluation, argument-view
+// setup) is attributed to the activation's entry event with no handler
+// and emits no exit.
+func (s *System) runFastSupervised(sh *SuperHandler, ev ID, name string, mode Mode, args []Arg, depth int, tracer Tracer) (ran, faulted bool) {
+	// Reset the attribution state before entering the chain, so a panic
+	// raised before any segment body starts cannot be pinned on the stale
+	// handler of a previous activation.
+	s.noteCurrent(ev, name, "", depth)
 	defer func() {
 		if r := recover(); r != nil {
 			ran, faulted = false, true
@@ -404,7 +418,7 @@ func (s *System) runFastSupervised(sh *SuperHandler, mode Mode, args []Arg, dept
 				PanicVal:  r,
 				Optimized: true,
 			}
-			if tracer != nil {
+			if tracer != nil && f.Handler != "" {
 				tracer.HandlerExit(f.Event, f.EventName, f.Handler, f.Depth)
 			}
 			s.recordFault(f, tracer)
@@ -418,7 +432,7 @@ func (s *System) runFastSupervised(sh *SuperHandler, mode Mode, args []Arg, dept
 // attempt budget is exhausted. attempt is 0-based (the attempt that just
 // ran). Retry is at-least-once: handlers that succeeded before the fault
 // run again on the retried activation.
-func (s *System) maybeRetry(ev ID, args []Arg, attempt int) {
+func (s *System) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 	s.fault.mu.Lock()
 	rc := s.fault.retry
 	s.fault.mu.Unlock()
@@ -441,7 +455,7 @@ func (s *System) maybeRetry(ev ID, args []Arg, attempt int) {
 		d = s.jitter(d, rc.Jitter)
 	}
 	s.stats.Retries.Add(1)
-	s.scheduleRetry(d, ev, args, attempt+1)
+	s.scheduleRetry(d, ev, mode, args, attempt+1)
 }
 
 // deadLetter raises the configured dead-letter event for an exhausted

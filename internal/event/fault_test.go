@@ -217,6 +217,45 @@ func TestRetrySucceedsOnSecondAttempt(t *testing.T) {
 	}
 }
 
+func TestRetryReplaysWithOriginalMode(t *testing.T) {
+	// A retried activation must replay with the mode it was raised in:
+	// handlers that branch on ctx.Mode behave identically on every
+	// attempt, and the per-mode raise counters classify retries correctly.
+	run := func(raise func(s *System, ev ID)) (modes []Mode, s *System) {
+		vc := NewVirtualClock()
+		s = New(WithClock(vc), WithFaultPolicy(Isolate),
+			WithRetryConfig(RetryConfig{MaxAttempts: 2, Backoff: Duration(1e6)}))
+		ev := s.Define("E")
+		calls := 0
+		s.Bind(ev, "flaky", func(c *Ctx) {
+			modes = append(modes, c.Mode)
+			calls++
+			if calls == 1 {
+				panic("first attempt only")
+			}
+		})
+		raise(s, ev)
+		s.Drain()
+		return modes, s
+	}
+
+	modes, s := run(func(s *System, ev ID) { s.RaiseAsync(ev) })
+	if len(modes) != 2 || modes[0] != Async || modes[1] != Async {
+		t.Errorf("async retry modes = %v, want [async async]", modes)
+	}
+	if a, d := s.Stats().AsyncRaises.Load(), s.Stats().TimedRaises.Load(); a != 2 || d != 0 {
+		t.Errorf("AsyncRaises = %d, TimedRaises = %d, want 2 and 0", a, d)
+	}
+
+	modes, s = run(func(s *System, ev ID) { s.RaiseAfter(Duration(1e6), ev) })
+	if len(modes) != 2 || modes[0] != Delayed || modes[1] != Delayed {
+		t.Errorf("delayed retry modes = %v, want [delayed delayed]", modes)
+	}
+	if a, d := s.Stats().AsyncRaises.Load(), s.Stats().TimedRaises.Load(); a != 0 || d != 2 {
+		t.Errorf("AsyncRaises = %d, TimedRaises = %d, want 0 and 2", a, d)
+	}
+}
+
 func TestRetryJitterIsDeterministic(t *testing.T) {
 	run := func() Duration {
 		vc := NewVirtualClock()
@@ -354,6 +393,65 @@ func TestFastPathFaultAttribution(t *testing.T) {
 	}
 	if rec.faults[1].Optimized {
 		t.Errorf("replay fault should be generic: %+v", rec.faults[1])
+	}
+}
+
+// traceRecorder records handler enter/exit pairs in addition to faults.
+type traceRecorder struct {
+	faultRecorder
+	enters, exits []string
+}
+
+func (r *traceRecorder) HandlerEnter(_ ID, _ string, h string, _ int) {
+	r.enters = append(r.enters, h)
+}
+func (r *traceRecorder) HandlerExit(_ ID, _ string, h string, _ int) {
+	r.exits = append(r.exits, h)
+}
+
+func TestFastPathPreHandlerFaultAttribution(t *testing.T) {
+	s := New(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	ran := 0
+	s.Bind(ev, "good", func(*Ctx) { ran++ })
+
+	// Simulate stale bookkeeping left by an earlier activation.
+	s.fault.curEvent, s.fault.curName = ID(99), "stale-event"
+	s.fault.curHandler, s.fault.curDepth = "stale-handler", 7
+
+	// A super-handler installed without resolved registry records panics
+	// during guard evaluation, before any segment body starts — a
+	// stand-in for any pre-handler fault in the chain.
+	sh := &SuperHandler{Entry: ev, Segments: []Segment{{Event: ev, EventName: "E"}}}
+	s.mu.Lock()
+	s.fast[ev] = sh
+	s.mu.Unlock()
+
+	rec := &traceRecorder{}
+	s.SetTracer(rec)
+	if err := s.Raise(ev); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+
+	if len(rec.faults) != 1 {
+		t.Fatalf("faults = %d, want 1: %+v", len(rec.faults), rec.faults)
+	}
+	f := rec.faults[0]
+	// The fault belongs to this activation's entry event with no handler
+	// in flight — not to the stale handler of the previous activation.
+	if f.Event != ev || f.EventName != "E" || f.Handler != "" || f.Depth != 0 || !f.Optimized {
+		t.Errorf("FaultInfo = %+v", f)
+	}
+	// No handler was entered on the fast path, so no balancing exit may
+	// be emitted; the generic replay's pairs keep the trace balanced.
+	if len(rec.enters) != len(rec.exits) {
+		t.Errorf("unbalanced trace: enters = %v, exits = %v", rec.enters, rec.exits)
+	}
+	if ran != 1 {
+		t.Errorf("generic replay ran the handler %d times, want 1", ran)
+	}
+	if s.FastPath(ev) != nil {
+		t.Error("faulting fast path not deoptimized")
 	}
 }
 

@@ -100,6 +100,7 @@ type timerEntry struct {
 	at      Duration
 	seq     uint64
 	ev      ID
+	mode    Mode // mode the activation replays with (Delayed for RaiseAfter)
 	args    []Arg
 	attempt int     // retry attempts already made (supervision layer)
 	fire    func()  // internal callback timer (quarantine re-admission)
@@ -130,20 +131,21 @@ func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
 	}
 	s.qmu.Lock()
 	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args), owner: s}
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, mode: Delayed, args: cloneArgs(args), owner: s}
 	heap.Push(&s.timers, e)
 	s.qmu.Unlock()
 	s.nudge()
 	return Timer{e: e}
 }
 
-// scheduleRetry re-arms a faulted asynchronous activation after its
-// backoff delay, carrying the attempt count forward. No cancellation
+// scheduleRetry re-arms a faulted activation after its backoff delay,
+// carrying the attempt count and the original mode forward, so a retried
+// RaiseAsync activation replays with ctx.Mode == Async. No cancellation
 // token escapes, so owner stays nil.
-func (s *System) scheduleRetry(d Duration, ev ID, args []Arg, attempt int) {
+func (s *System) scheduleRetry(d Duration, ev ID, mode Mode, args []Arg, attempt int) {
 	s.qmu.Lock()
 	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, args: cloneArgs(args), attempt: attempt}
+	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, mode: mode, args: cloneArgs(args), attempt: attempt}
 	heap.Push(&s.timers, e)
 	s.qmu.Unlock()
 	s.nudge()
@@ -270,7 +272,7 @@ func (s *System) popRunnable() (pending, bool) {
 			e.done = true
 			e.mu.Unlock()
 			heap.Pop(&s.timers)
-			return pending{ev: e.ev, mode: Delayed, args: e.args, attempt: e.attempt, fire: e.fire}, true
+			return pending{ev: e.ev, mode: e.mode, args: e.args, attempt: e.attempt, fire: e.fire}, true
 		}
 		e.mu.Unlock()
 		break
