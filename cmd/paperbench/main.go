@@ -16,16 +16,18 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "reduced iteration counts")
-		overhead = flag.Bool("overhead", true, "include the overhead-share measurement")
-		codesize = flag.Bool("codesize", true, "include the code-size measurement")
-		dot      = flag.Bool("dot", false, "emit DOT for the graphs")
+		quick        = flag.Bool("quick", false, "reduced iteration counts")
+		overhead     = flag.Bool("overhead", true, "include the overhead-share measurement")
+		codesize     = flag.Bool("codesize", true, "include the code-size measurement")
+		dot          = flag.Bool("dot", false, "emit DOT for the graphs")
+		parallel     = flag.Bool("parallel", false, "include the multi-domain throughput benchmark")
+		parallelJSON = flag.String("parallel-json", "", "write the parallel benchmark report to this file (implies -parallel)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames := 400, 2000, 1000, 1000, 400
+	frames, iters, msgs, xiters, ohFrames, praises := 400, 2000, 1000, 1000, 400, 400000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames = 120, 400, 200, 250, 150
+		frames, iters, msgs, xiters, ohFrames, praises = 120, 400, 200, 250, 150, 60000
 	}
 
 	step := func(name string, f func() error) {
@@ -46,5 +48,22 @@ func main() {
 	}
 	if *codesize {
 		step("codesize", func() error { return bench.RunCodeSize(os.Stdout) })
+	}
+	if *parallel || *parallelJSON != "" {
+		step("parallel", func() error {
+			rep, err := bench.RunParallel(os.Stdout, praises)
+			if err != nil {
+				return err
+			}
+			if *parallelJSON == "" {
+				return nil
+			}
+			f, err := os.Create(*parallelJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return rep.WriteJSON(f)
+		})
 	}
 }

@@ -1,0 +1,123 @@
+package eventopt
+
+import (
+	"bytes"
+	"testing"
+
+	"eventopt/internal/ctp"
+	"eventopt/internal/event"
+	"eventopt/internal/seccomm"
+	"eventopt/internal/trace"
+	"eventopt/internal/video"
+)
+
+// seccommTrace runs the SecComm push/pop workload under full
+// instrumentation and returns the serialized text trace plus the final
+// counter snapshot.
+func seccommTrace(t *testing.T, opts ...SystemOption) ([]byte, event.StatsSnapshot) {
+	t.Helper()
+	cfg := seccomm.Config{
+		DESKey: []byte("8bytekey"),
+		XORKey: []byte{0x5A, 0xA5, 0x3C},
+		IV:     []byte("initvect"),
+	}
+	e, err := seccomm.New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	e.Sys.SetTracer(rec)
+	var pkt []byte
+	e.OnSend(func(p []byte) { pkt = append(pkt[:0], p...) })
+	msg := []byte("determinism probe payload")
+	for i := 0; i < 20; i++ {
+		e.Push(msg)
+		e.HandlePacket(append([]byte(nil), pkt...))
+	}
+	e.Sys.SetTracer(nil)
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, rec.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), e.Sys.Stats().Snapshot()
+}
+
+// videoTrace runs the video player workload and serializes its trace.
+func videoTrace(t *testing.T, opts ...event.Option) ([]byte, event.StatsSnapshot) {
+	t.Helper()
+	p, err := video.NewPlayer(ctp.DefaultConfig(), 30, 1024, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := p.Trace(50)
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), p.Sender.Sys.Stats().Snapshot()
+}
+
+// TestSingleDomainDeterminism asserts that the sharded runtime with one
+// domain is byte-for-byte the historical serialized runtime on the
+// paper's workloads: the default system and an explicit WithDomains(1)
+// produce identical traces and identical counters, and repeated runs are
+// identical to themselves (no nondeterminism crept in with the
+// lock-free registry).
+func TestSingleDomainDeterminism(t *testing.T) {
+	defTrace, defStats := seccommTrace(t)
+	oneTrace, oneStats := seccommTrace(t, WithDomains(1))
+	if !bytes.Equal(defTrace, oneTrace) {
+		t.Errorf("seccomm: WithDomains(1) trace differs from default (%d vs %d bytes)",
+			len(oneTrace), len(defTrace))
+	}
+	if defStats != oneStats {
+		t.Errorf("seccomm: stats differ:\ndefault %+v\ndomains1 %+v", defStats, oneStats)
+	}
+	againTrace, againStats := seccommTrace(t)
+	if !bytes.Equal(defTrace, againTrace) {
+		t.Error("seccomm: repeated default run is not deterministic")
+	}
+	if defStats != againStats {
+		t.Error("seccomm: repeated default run changed the counters")
+	}
+	if len(defTrace) == 0 || defStats.Raises == 0 {
+		t.Fatal("seccomm workload recorded nothing")
+	}
+
+	vDef, vDefStats := videoTrace(t)
+	vOne, vOneStats := videoTrace(t, event.WithDomains(1))
+	if !bytes.Equal(vDef, vOne) {
+		t.Errorf("video: WithDomains(1) trace differs from default (%d vs %d bytes)",
+			len(vOne), len(vDef))
+	}
+	if vDefStats != vOneStats {
+		t.Errorf("video: stats differ:\ndefault %+v\ndomains1 %+v", vDefStats, vOneStats)
+	}
+	if len(vDef) == 0 || vDefStats.Raises == 0 {
+		t.Fatal("video workload recorded nothing")
+	}
+}
+
+// TestSingleDomainTraceFormatUnchanged pins the text format of
+// single-domain traces: no trailing domain field may appear, so trace
+// files from the pre-sharding runtime and this one stay interchangeable.
+func TestSingleDomainTraceFormatUnchanged(t *testing.T) {
+	raw, _ := seccommTrace(t)
+	entries, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Read back: %v", err)
+	}
+	for _, e := range entries {
+		if e.Domain != 0 {
+			t.Fatalf("single-domain trace carries domain %d: %+v", e.Domain, e)
+		}
+	}
+	var again bytes.Buffer
+	if _, err := trace.WriteEntries(&again, entries); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, again.Bytes()) {
+		t.Error("trace does not round-trip byte-identically")
+	}
+}

@@ -129,10 +129,18 @@ func WithFaultPolicy(p FaultPolicy) SystemOption { return event.WithFaultPolicy(
 // capped exponential backoff and dead-letters exhausted ones.
 func WithRetryConfig(cfg RetryConfig) SystemOption { return event.WithRetryConfig(cfg) }
 
-// WithQueueBound bounds the asynchronous run queue.
+// WithQueueBound bounds the asynchronous run queue (per domain).
 func WithQueueBound(capacity int, policy OverflowPolicy) SystemOption {
 	return event.WithQueueBound(capacity, policy)
 }
+
+// WithDomains shards the runtime into n event domains. Each domain owns
+// its own run queue, timer heap, atomicity lock and quarantine state;
+// events spread over domains by ID hash unless pinned with
+// System.PinEvent. The default single domain preserves the fully
+// deterministic serialized runtime; with n > 1, activations of events in
+// different domains execute in parallel under System.Run.
+func WithDomains(n int) SystemOption { return event.WithDomains(n) }
 
 // App is one event-based application: a runtime plus its HIR module and
 // an optional live profiling session.

@@ -53,16 +53,44 @@ func main() {
 		app.Sys.Raise(request, eventopt.A("user", "bob"))
 	}
 	app.Sys.Raise(request, eventopt.A("user", "")) // halted by auth
-	st := app.Sys.Stats()
+	st := app.Sys.Stats().Snapshot()               // one coherent read of every counter
 	fmt.Printf("served=%d logged=%d\n", served, lines)
-	fmt.Printf("fast-path runs: %d, generic dispatches: %d, marshals: %d\n",
-		st.FastRuns.Load(), st.Generic.Load(), st.Marshals.Load())
+	fmt.Printf("fast-path runs: %d, generic dispatches: %d, marshals: %d (fast share %.0f%%)\n",
+		st.FastRuns, st.Generic, st.Marshals, 100*st.FastShare())
 
 	// 4. Dynamic rebinding is safe: the guard detects it and falls back.
 	app.Sys.Bind(logEv, "audit", func(*eventopt.Ctx) {})
 	app.Sys.Raise(request, eventopt.A("user", "carol"))
 	fmt.Printf("after rebinding log: segment fallbacks = %d (correctness preserved)\n",
-		st.SegFallbacks.Load())
+		app.Sys.Stats().SegFallbacks.Load())
 
 	handle.Uninstall()
+
+	// 5. Scaling out: shard the runtime into event domains. Each domain
+	// owns its own run queue, timers and atomicity lock, so activations of
+	// events in different domains dispatch in parallel while the registry
+	// stays lock-free. One domain (the default) is the fully deterministic
+	// serialized runtime used above.
+	sharded := eventopt.New(eventopt.WithDomains(4))
+	reqs := make([]eventopt.ID, 4)
+	hits := make([]int, 4)
+	for i := range reqs {
+		i := i
+		reqs[i] = sharded.Sys.Define(fmt.Sprintf("request%d", i))
+		sharded.Sys.Bind(reqs[i], "serve", func(*eventopt.Ctx) { hits[i]++ })
+	}
+	done := make(chan struct{}, len(reqs))
+	for _, ev := range reqs {
+		go func(ev eventopt.ID) { // distinct domains: these raises run in parallel
+			for i := 0; i < 1000; i++ {
+				sharded.Sys.Raise(ev)
+			}
+			done <- struct{}{}
+		}(ev)
+	}
+	for range reqs {
+		<-done
+	}
+	fmt.Printf("sharded over %d domains: hits=%v, raises=%d\n",
+		sharded.Sys.NumDomains(), hits, sharded.Sys.Stats().Raises.Load())
 }

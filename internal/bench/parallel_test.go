@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunParallelReportShape(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := RunParallel(&out, 4000)
+	if err != nil {
+		t.Fatalf("RunParallel: %v", err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	}
+	wantDomains := []int{1, 2, 4, 8}
+	for i, row := range rep.Rows {
+		if row.Domains != wantDomains[i] {
+			t.Errorf("row %d domains = %d, want %d", i, row.Domains, wantDomains[i])
+		}
+		if row.Goroutines != row.Domains {
+			t.Errorf("row %d goroutines = %d, want %d", i, row.Goroutines, row.Domains)
+		}
+		if row.ContendedRPS <= 0 || row.ShardedRPS <= 0 {
+			t.Errorf("row %d throughput not positive: %+v", i, row)
+		}
+		if row.Speedup <= 0 {
+			t.Errorf("row %d speedup not positive: %+v", i, row)
+		}
+	}
+	if !strings.Contains(out.String(), "Parallel dispatch throughput") {
+		t.Error("table header missing from output")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back ParallelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.CPUs != rep.CPUs {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}

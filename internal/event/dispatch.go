@@ -6,11 +6,13 @@ package event
 // silently ignored, per the general model.
 //
 // Raise must not be called from inside a handler (use Ctx.Raise there);
-// handler execution is atomic and Raise takes the atomicity lock.
+// handler execution is atomic per domain and Raise takes the owning
+// domain's atomicity lock.
 func (s *System) Raise(ev ID, args ...Arg) error {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
-	return s.dispatch(ev, Sync, args, 0)
+	d := s.domainOf(ev)
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	return s.dispatch(d, ev, Sync, args, 0)
 }
 
 // RaiseByName is Raise keyed by event name.
@@ -22,40 +24,45 @@ func (s *System) RaiseByName(name string, args ...Arg) error {
 	return s.Raise(ev, args...)
 }
 
-// RaiseAsync asynchronously activates ev: the activation is queued and its
-// handlers run from a later Drain/Step call. Safe to call from handlers
-// and from other goroutines.
+// RaiseAsync asynchronously activates ev: the activation is queued on
+// the event's owning domain and its handlers run from a later
+// Drain/Step/Run call. Safe to call from handlers and from other
+// goroutines; cross-domain raises hand off through the target domain's
+// queue.
 func (s *System) RaiseAsync(ev ID, args ...Arg) {
 	s.enqueue(ev, Async, args)
 }
 
-// runTop executes one top-level activation popped from the scheduler.
-// attempt counts prior executions of the same activation under the retry
-// policy; an activation that recovered at least one handler panic is
-// handed to the retry machinery once the atomicity lock is released.
-func (s *System) runTop(ev ID, mode Mode, args []Arg, attempt int) {
+// runTop executes one top-level activation popped from the domain's
+// scheduler. attempt counts prior executions of the same activation
+// under the retry policy; an activation that recovered at least one
+// handler panic is handed to the retry machinery once the atomicity
+// lock is released.
+func (d *Domain) runTop(ev ID, mode Mode, args []Arg, attempt int) {
 	var faults int
 	func() {
 		// The unlock must be deferred: under the Propagate policy (or for
 		// a non-handler panic, e.g. a panicking tracer) a panic unwinds
 		// through here, and a caller that recovers it must find the
 		// atomicity lock released.
-		s.runMu.Lock()
-		defer s.runMu.Unlock()
-		s.fault.activationFaults = 0
-		_ = s.dispatch(ev, mode, args, 0)
-		faults = s.fault.activationFaults
-		s.fault.activationFaults = 0
+		d.runMu.Lock()
+		defer d.runMu.Unlock()
+		d.fault.activationFaults = 0
+		_ = d.sys.dispatch(d, ev, mode, args, 0)
+		faults = d.fault.activationFaults
+		d.fault.activationFaults = 0
 	}()
 	if faults > 0 {
-		s.maybeRetry(ev, mode, args, attempt)
+		d.maybeRetry(ev, mode, args, attempt)
 	}
 }
 
 // raiseNested executes a synchronous activation from inside a handler.
-// The atomicity lock is already held by the enclosing top-level dispatch.
+// The atomicity lock of the caller's domain is already held by the
+// enclosing top-level dispatch; the nested activation runs inline in
+// that domain regardless of the event's own affinity.
 func (s *System) raiseNested(parent *Ctx, ev ID, args []Arg) {
-	if err := s.dispatch(ev, Sync, args, parent.depth+1); err != nil {
+	if err := s.dispatch(parent.dom, ev, Sync, args, parent.depth+1); err != nil {
 		s.report(err)
 	}
 }
@@ -66,23 +73,23 @@ func (s *System) report(err error) {
 	}
 }
 
-// dispatch routes one activation of ev: through the installed fast path if
-// one is present and its guard passes, otherwise through the generic path.
-func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
-	s.mu.Lock()
-	r := s.rec(ev)
+// dispatch routes one activation of ev executing on domain d: through
+// the installed fast path if one is present and its guard passes,
+// otherwise through the generic path. All registry reads — record,
+// binding snapshot, fast path, tracer — are single atomic loads; no
+// lock is taken (the paper's §2.2 registry-lock overhead survives only
+// as the modeled per-handler state-maintenance lock).
+func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+	r := s.recLF(ev)
 	if r == nil {
-		s.mu.Unlock()
 		return ErrUnknownEvent
 	}
-	if r.deleted {
-		s.mu.Unlock()
+	snap := r.snap.Load()
+	if snap.deleted {
 		return ErrDeletedEvent
 	}
-	name := r.name
-	tracer := s.tracer
-	fast := s.fast[ev]
-	s.mu.Unlock()
+	tracer := s.tracer()
+	fast := r.fast.Load()
 
 	s.stats.Raises.Add(1)
 	switch mode {
@@ -94,12 +101,12 @@ func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
 		s.stats.TimedRaises.Add(1)
 	}
 	if tracer != nil {
-		tracer.Event(ev, name, mode, depth)
+		tracer.Event(ev, snap.name, mode, depth, d.idx)
 	}
 
 	if fast != nil {
 		if s.policy() == Propagate {
-			if fast.run(s, mode, args, depth, tracer) {
+			if fast.run(d, mode, args, depth, tracer) {
 				s.stats.FastRuns.Add(1)
 				return nil
 			}
@@ -107,7 +114,7 @@ func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
 			// (paper section 3.3).
 			s.stats.Fallbacks.Add(1)
 		} else {
-			ran, faulted := s.runFastSupervised(fast, ev, name, mode, args, depth, tracer)
+			ran, faulted := d.runFastSupervised(fast, ev, snap.name, mode, args, depth, tracer)
 			if ran {
 				s.stats.FastRuns.Add(1)
 				return nil
@@ -118,44 +125,48 @@ func (s *System) dispatch(ev ID, mode Mode, args []Arg, depth int) error {
 				// atomically uninstall the entry and replay the whole
 				// activation through the original unoptimized code.
 				s.deoptimize(fast)
+				// Replay against the freshest snapshot: the faulting chain
+				// may have rebound events before panicking.
+				snap = r.snap.Load()
 			} else {
 				s.stats.Fallbacks.Add(1)
 			}
 		}
 	}
-	s.generic(r, ev, name, mode, args, depth, tracer)
+	d.generic(snap, ev, mode, args, depth, tracer)
 	return nil
 }
 
 // generic is the unoptimized dispatch path. It deliberately performs the
 // five overheads the paper attributes to event frameworks: argument
-// marshaling, registry lookup under a lock, an indirect call per handler,
-// per-handler parameter resolution, and a state-maintenance lock
-// acquisition around each handler body.
-func (s *System) generic(r *eventRec, ev ID, name string, mode Mode, args []Arg, depth int, tracer Tracer) {
+// marshaling, registry snapshot resolution, an indirect call per
+// handler, per-handler parameter resolution, and a state-maintenance
+// lock acquisition around each handler body.
+func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, depth int, tracer Tracer) {
+	s := d.sys
 	s.stats.Generic.Add(1)
 
 	// (1) Marshal the caller's arguments into a generic record.
 	a := MakeArgs(args)
 	s.stats.Marshals.Add(1)
 
-	// (2) Registry lookup: snapshot the handler list under the lock, so
-	// rebinding from inside a handler affects only later activations.
-	s.mu.Lock()
-	hs := s.snapshotLocked(r)
-	s.mu.Unlock()
+	// (2) Registry lookup: the immutable published snapshot replaces the
+	// historical under-lock copy, so rebinding from inside a handler
+	// affects only later activations.
+	hs := snap.handlers
 	if len(hs) == 0 {
 		return // an event with no handlers is ignored
 	}
+	name := snap.name
 
 	pol := s.policy()
-	ctx := &Ctx{System: s, Event: ev, Name: name, Mode: mode, Args: a, depth: depth}
+	ctx := &Ctx{System: s, Event: ev, Name: name, Mode: mode, Args: a, depth: depth, dom: d}
 	for i := range hs {
 		h := &hs[i]
 
 		// Skip bindings the circuit breaker has quarantined. The atomic
 		// count keeps the healthy path free of map lookups.
-		if pol == Quarantine && s.fault.quarCount.Load() > 0 && s.skipQuarantined(ev, h.Name) {
+		if pol == Quarantine && d.fault.quarCount.Load() > 0 && d.skipQuarantined(ev, h.Name) {
 			continue
 		}
 
@@ -163,35 +174,37 @@ func (s *System) generic(r *eventRec, ev ID, name string, mode Mode, args []Arg,
 		// each declared parameter by name before the call.
 		for _, p := range h.Params {
 			a.Lookup(p)
-			s.stats.ArgResolves.Add(1)
+		}
+		if n := len(h.Params); n > 0 {
+			s.stats.ArgResolves.Add(int64(n))
 		}
 
 		// (4) State maintenance: pay for one lock round-trip per handler
-		// body. The lock is released immediately because the runMu
-		// atomicity lock already serializes handlers; what we model here
-		// is the locking traffic the paper counts as overhead.
-		s.stateLockTraffic()
+		// body. The lock is released immediately because the domain's
+		// runMu atomicity lock already serializes handlers; what we model
+		// here is the locking traffic the paper counts as overhead.
+		d.stateLockTraffic()
 
 		// (5) Indirect call through the function pointer in the binding.
 		ctx.Handler = h.Name
 		ctx.BindArgs = h.BindArgs
 		if tracer != nil {
-			tracer.HandlerEnter(ev, name, h.Name, depth)
+			tracer.HandlerEnter(ev, name, h.Name, depth, d.idx)
 		}
 		s.stats.Indirect.Add(1)
 		s.stats.HandlersRun.Add(1)
 		if pol == Propagate {
 			h.Fn(ctx)
 		} else if pv, panicked := runProtected(h.Fn, ctx); panicked {
-			s.recordFault(FaultInfo{
+			d.recordFault(FaultInfo{
 				Event: ev, EventName: name, Handler: h.Name,
-				Mode: mode, Depth: depth, PanicVal: pv,
+				Mode: mode, Depth: depth, Domain: d.idx, PanicVal: pv,
 			}, tracer)
-		} else if pol == Quarantine && s.fault.tracked.Load() > 0 {
-			s.noteSuccess(ev, h.Name)
+		} else if pol == Quarantine && d.fault.tracked.Load() > 0 {
+			d.noteSuccess(ev, h.Name)
 		}
 		if tracer != nil {
-			tracer.HandlerExit(ev, name, h.Name, depth)
+			tracer.HandlerExit(ev, name, h.Name, depth, d.idx)
 		}
 		if ctx.halted {
 			break
@@ -199,10 +212,11 @@ func (s *System) generic(r *eventRec, ev ID, name string, mode Mode, args []Arg,
 	}
 }
 
-// stateLockTraffic pays one state-maintenance lock round-trip.
-func (s *System) stateLockTraffic() {
-	s.stats.Locks.Add(1)
-	s.stateMu.Lock()
+// stateLockTraffic pays one state-maintenance lock round-trip on the
+// executing domain's lock.
+func (d *Domain) stateLockTraffic() {
+	d.sys.stats.Locks.Add(1)
+	d.stateMu.Lock()
 	//lint:ignore SA2001 intentional: models per-handler lock traffic only
-	s.stateMu.Unlock()
+	d.stateMu.Unlock()
 }

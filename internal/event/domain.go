@@ -1,0 +1,285 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Domain is one scheduling shard of a System. Each domain owns a run
+// queue, a timer heap, a handler atomicity lock and a fault supervisor,
+// so activations of events that live in different domains proceed
+// concurrently: the only state they share is the lock-free registry,
+// the (atomic) counters and the shared supervision configuration.
+//
+// Within a domain the historical execution model is unchanged — one
+// activation at a time, handlers atomic with respect to each other.
+// Across domains there is no ordering or atomicity guarantee; a
+// synchronous raise of an event pinned to another domain executes
+// inline in the caller's domain (affinity governs top-level and
+// asynchronous routing, not nested synchronous calls, which would
+// otherwise deadlock).
+type Domain struct {
+	sys *System
+	idx int
+
+	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
+	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
+
+	qmu      sync.Mutex // guards queue, timers and the queue bound
+	queue    []pending
+	timers   timerHeap
+	tseq     uint64
+	canceled int            // canceled-but-unpopped timers (compaction trigger)
+	qcap     int            // run-queue capacity (0 = unbounded)
+	qpolicy  OverflowPolicy // applied when the bounded queue is full
+	wake     chan struct{}  // nudges run loops when work arrives; never nil
+
+	fault domainFault // per-domain quarantine + activation bookkeeping (fault.go)
+}
+
+func newDomain(s *System, idx int) *Domain {
+	return &Domain{sys: s, idx: idx, wake: make(chan struct{}, 1)}
+}
+
+// Index reports the domain's position in the system's shard set.
+func (d *Domain) Index() int { return d.idx }
+
+// NumDomains reports how many event domains the system was created with.
+func (s *System) NumDomains() int { return len(s.domains) }
+
+// domainOf returns the domain owning ev. Unknown events route to domain
+// 0, whose dispatch reports the error.
+func (s *System) domainOf(ev ID) *Domain {
+	if len(s.domains) == 1 {
+		return s.domains[0]
+	}
+	if r := s.recLF(ev); r != nil {
+		return s.domains[r.dom.Load()]
+	}
+	return s.domains[0]
+}
+
+// EventDomain reports the domain index ev is assigned to (-1 for an
+// unknown event).
+func (s *System) EventDomain(ev ID) int {
+	if r := s.recLF(ev); r != nil {
+		return int(r.dom.Load())
+	}
+	return -1
+}
+
+// PinEvent overrides the hash affinity of ev, assigning it to domain
+// dom. Pin events before raising them: an activation already queued or
+// running stays in the domain that admitted it. PinEvent returns
+// ErrUnknownEvent for an undefined event and an error for an
+// out-of-range domain.
+func (s *System) PinEvent(ev ID, dom int) error {
+	if dom < 0 || dom >= len(s.domains) {
+		return fmt.Errorf("event: PinEvent: domain %d out of range [0,%d)", dom, len(s.domains))
+	}
+	r := s.recLF(ev)
+	if r == nil {
+		return ErrUnknownEvent
+	}
+	r.dom.Store(int32(dom))
+	return nil
+}
+
+// Step runs at most one queued or due activation (or internal timer
+// callback, such as a quarantine re-admission) across all domains, in
+// domain order; it reports whether one ran.
+func (s *System) Step() bool {
+	for _, d := range s.domains {
+		if d.step() {
+			return true
+		}
+	}
+	return false
+}
+
+// step runs at most one runnable activation of this domain.
+func (d *Domain) step() bool {
+	p, ok := d.popRunnable()
+	if !ok {
+		return false
+	}
+	if p.fire != nil {
+		p.fire()
+		return true
+	}
+	d.runTop(p.ev, p.mode, p.args, p.attempt)
+	return true
+}
+
+// earliestDeadline returns the earliest live timer deadline across all
+// domains, or false when no timers are pending.
+func (s *System) earliestDeadline() (Duration, bool) {
+	var best Duration
+	any := false
+	for _, d := range s.domains {
+		if at, ok := d.nextDeadline(); ok && (!any || at < best) {
+			best, any = at, true
+		}
+	}
+	return best, any
+}
+
+// Drain runs queued asynchronous activations until none remain in any
+// domain. With a virtual clock it then advances time to the next pending
+// timer and keeps going until no queued work and no timers remain. It
+// returns the number of activations executed. Drain pumps all domains
+// from the calling goroutine in domain order, so it is deterministic;
+// use Run for parallel multi-domain execution under a real clock.
+func (s *System) Drain() int {
+	n := 0
+	for {
+		if s.Step() {
+			n++
+			continue
+		}
+		vc, ok := s.clock.(*VirtualClock)
+		if !ok {
+			return n
+		}
+		at, any := s.earliestDeadline()
+		if !any {
+			return n
+		}
+		vc.advanceTo(at)
+	}
+}
+
+// DrainFor behaves like Drain but, under a virtual clock, never advances
+// time beyond limit; it is used to simulate a bounded run (for example, N
+// seconds of a frame-paced workload). It returns the number of
+// activations executed.
+func (s *System) DrainFor(limit Duration) int {
+	n := 0
+	for {
+		if s.Step() {
+			n++
+			continue
+		}
+		vc, ok := s.clock.(*VirtualClock)
+		if !ok {
+			return n
+		}
+		at, any := s.earliestDeadline()
+		if !any || at > limit {
+			return n
+		}
+		vc.advanceTo(at)
+	}
+}
+
+// Run is the blocking event loop for real-clock systems: it executes
+// queued asynchronous activations as they arrive and timed activations
+// as they fall due, sleeping in between, until stop is closed. It
+// returns the number of activations executed. With one domain the loop
+// runs on the calling goroutine as before; with N domains, one loop per
+// domain runs in parallel and Run returns the total once all stop.
+// Synchronous raises from other goroutines remain safe concurrently
+// (handler execution is serialized per domain by its atomicity lock);
+// use Drain instead under a virtual clock.
+func (s *System) Run(stop <-chan struct{}) int {
+	if len(s.domains) == 1 {
+		return s.domains[0].run(stop)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int, len(s.domains))
+	for i, d := range s.domains {
+		wg.Add(1)
+		go func(i int, d *Domain) {
+			defer wg.Done()
+			counts[i] = d.run(stop)
+		}(i, d)
+	}
+	wg.Wait()
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// run is one domain's blocking event loop.
+func (d *Domain) run(stop <-chan struct{}) int {
+	n := 0
+	for {
+		for d.step() {
+			n++
+		}
+		select {
+		case <-stop:
+			return n
+		default:
+		}
+		var timerC <-chan time.Time
+		if at, ok := d.nextDeadline(); ok {
+			wait := at - d.sys.clock.Now()
+			if wait <= 0 {
+				continue
+			}
+			t := time.NewTimer(wait)
+			timerC = t.C
+			select {
+			case <-stop:
+				t.Stop()
+				return n
+			case <-d.wake:
+				t.Stop()
+			case <-timerC:
+			}
+			continue
+		}
+		select {
+		case <-stop:
+			return n
+		case <-d.wake:
+		}
+	}
+}
+
+// QueueLen reports the number of queued (not yet run) asynchronous
+// activations across all domains, excluding timers.
+func (s *System) QueueLen() int {
+	n := 0
+	for _, d := range s.domains {
+		d.qmu.Lock()
+		n += len(d.queue)
+		d.qmu.Unlock()
+	}
+	return n
+}
+
+// TimerCount reports the number of scheduled (uncanceled, unfired)
+// timers across all domains.
+func (s *System) TimerCount() int {
+	n := 0
+	for _, d := range s.domains {
+		d.qmu.Lock()
+		for _, e := range d.timers {
+			e.mu.Lock()
+			if !e.done {
+				n++
+			}
+			e.mu.Unlock()
+		}
+		d.qmu.Unlock()
+	}
+	return n
+}
+
+// timerHeapLen reports the raw heap length across domains, including
+// canceled entries not yet compacted (tests observe memory hygiene
+// through it).
+func (s *System) timerHeapLen() int {
+	n := 0
+	for _, d := range s.domains {
+		d.qmu.Lock()
+		n += len(d.timers)
+		d.qmu.Unlock()
+	}
+	return n
+}

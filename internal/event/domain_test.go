@@ -1,0 +1,308 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultSingleDomain(t *testing.T) {
+	s := New()
+	if n := s.NumDomains(); n != 1 {
+		t.Fatalf("NumDomains = %d, want 1", n)
+	}
+	ev := s.Define("E")
+	if d := s.EventDomain(ev); d != 0 {
+		t.Errorf("EventDomain = %d, want 0", d)
+	}
+	if d := s.EventDomain(ID(99)); d != -1 {
+		t.Errorf("EventDomain(unknown) = %d, want -1", d)
+	}
+}
+
+func TestDomainAffinityHashAndPin(t *testing.T) {
+	s := New(WithDomains(4))
+	if n := s.NumDomains(); n != 4 {
+		t.Fatalf("NumDomains = %d, want 4", n)
+	}
+	ids := s.DefineAll("a", "b", "c", "d", "e")
+	for i, ev := range ids {
+		if got := s.EventDomain(ev); got != i%4 {
+			t.Errorf("EventDomain(%d) = %d, want %d", ev, got, i%4)
+		}
+	}
+	if err := s.PinEvent(ids[0], 3); err != nil {
+		t.Fatalf("PinEvent: %v", err)
+	}
+	if got := s.EventDomain(ids[0]); got != 3 {
+		t.Errorf("EventDomain after pin = %d, want 3", got)
+	}
+	if err := s.PinEvent(ids[0], 4); err == nil {
+		t.Error("PinEvent out of range did not error")
+	}
+	if err := s.PinEvent(ID(99), 0); err != ErrUnknownEvent {
+		t.Errorf("PinEvent unknown = %v, want ErrUnknownEvent", err)
+	}
+}
+
+func TestCrossDomainAsyncHandoff(t *testing.T) {
+	s := New(WithDomains(4), WithClock(NewVirtualClock()))
+	src := s.Define("src") // domain 0
+	dst := s.Define("dst") // domain 1
+	if s.EventDomain(src) == s.EventDomain(dst) {
+		t.Fatal("test needs events in different domains")
+	}
+	var order []string
+	s.Bind(src, "produce", func(c *Ctx) {
+		order = append(order, "produce")
+		c.RaiseAsync(dst, A("k", 1))
+	})
+	s.Bind(dst, "consume", func(c *Ctx) {
+		order = append(order, "consume")
+		if c.Domain() != 1 {
+			t.Errorf("consume ran on domain %d, want 1", c.Domain())
+		}
+	})
+	if err := s.Raise(src); err != nil {
+		t.Fatalf("Raise: %v", err)
+	}
+	s.Drain()
+	if len(order) != 2 || order[0] != "produce" || order[1] != "consume" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCrossDomainTimersDrainDeterministically(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithDomains(4), WithClock(vc))
+	evs := s.DefineAll("t0", "t1", "t2", "t3")
+	var mu sync.Mutex
+	var fired []string
+	for i, ev := range evs {
+		name := s.EventName(ev)
+		_ = i
+		s.Bind(ev, "h", func(*Ctx) {
+			mu.Lock()
+			fired = append(fired, name)
+			mu.Unlock()
+		})
+	}
+	// Deadlines force cross-domain ordering: t3 first, t0 last.
+	s.RaiseAfter(Duration(4e6), evs[0])
+	s.RaiseAfter(Duration(3e6), evs[1])
+	s.RaiseAfter(Duration(2e6), evs[2])
+	s.RaiseAfter(Duration(1e6), evs[3])
+	if n := s.Drain(); n != 4 {
+		t.Fatalf("Drain ran %d, want 4", n)
+	}
+	want := []string{"t3", "t2", "t1", "t0"}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", fired, want)
+		}
+	}
+	if s.TimerCount() != 0 || s.QueueLen() != 0 {
+		t.Errorf("residual work: timers %d queue %d", s.TimerCount(), s.QueueLen())
+	}
+}
+
+// TestConcurrentRaiseAcrossDomains drives synchronous raises of distinct
+// events from many goroutines in parallel: with 4 domains the atomicity
+// locks are distinct, so all raises proceed; the shared counters must
+// still add up exactly.
+func TestConcurrentRaiseAcrossDomains(t *testing.T) {
+	s := New(WithDomains(4))
+	evs := s.DefineAll("a", "b", "c", "d")
+	var runs atomic.Int64
+	for _, ev := range evs {
+		s.Bind(ev, "h", func(*Ctx) { runs.Add(1) })
+	}
+	const perEvent = 500
+	var wg sync.WaitGroup
+	for _, ev := range evs {
+		wg.Add(1)
+		go func(ev ID) {
+			defer wg.Done()
+			for i := 0; i < perEvent; i++ {
+				if err := s.Raise(ev); err != nil {
+					t.Errorf("Raise: %v", err)
+					return
+				}
+			}
+		}(ev)
+	}
+	wg.Wait()
+	want := int64(len(evs) * perEvent)
+	if got := runs.Load(); got != want {
+		t.Errorf("handlers ran %d times, want %d", got, want)
+	}
+	if got := s.Stats().Raises.Load(); got != want {
+		t.Errorf("Raises = %d, want %d", got, want)
+	}
+	if got := s.Stats().HandlersRun.Load(); got != want {
+		t.Errorf("HandlersRun = %d, want %d", got, want)
+	}
+}
+
+// TestConcurrentBindRaiseHammer rebinds and unbinds handlers while four
+// domains raise the same events from many goroutines, with a fast path
+// installed and removed concurrently. Run under -race this exercises the
+// snapshot publish discipline: every dispatch must observe a coherent
+// (version, handler list) pair and never crash, and the permanent
+// handler must run on every activation.
+func TestConcurrentBindRaiseHammer(t *testing.T) {
+	s := New(WithDomains(4))
+	evs := s.DefineAll("h0", "h1", "h2", "h3")
+	var permanent atomic.Int64
+	for _, ev := range evs {
+		s.Bind(ev, "keep", func(*Ctx) { permanent.Add(1) }, WithOrder(-1))
+	}
+
+	const (
+		raisers   = 8
+		perRaiser = 300
+		churns    = 200
+	)
+	var wg sync.WaitGroup
+
+	// Churner goroutines: bind/unbind an extra handler and install/remove
+	// a fast path, republishing snapshots the whole time.
+	for _, ev := range evs {
+		wg.Add(1)
+		go func(ev ID) {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				b := s.Bind(ev, "extra", func(*Ctx) {})
+				sh := superForOne(s, ev)
+				if err := s.InstallFastPath(sh); err != nil {
+					t.Errorf("InstallFastPath: %v", err)
+					return
+				}
+				if err := s.Unbind(b); err != nil {
+					t.Errorf("Unbind: %v", err)
+					return
+				}
+				s.RemoveFastPath(ev)
+			}
+		}(ev)
+	}
+
+	// Raiser goroutines: synchronous and asynchronous raises, spread over
+	// all events (and so over all domains).
+	for g := 0; g < raisers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				ev := evs[(g+i)%len(evs)]
+				if i%4 == 0 {
+					s.RaiseAsync(ev)
+				} else if err := s.Raise(ev); err != nil {
+					t.Errorf("Raise: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Drain()
+
+	want := int64(raisers * perRaiser)
+	if got := permanent.Load(); got != want {
+		t.Errorf("permanent handler ran %d times, want %d", got, want)
+	}
+	// All churn completed: every event is back to one handler, no fast path.
+	for _, ev := range evs {
+		if n := s.HandlerCount(ev); n != 1 {
+			t.Errorf("HandlerCount(%d) = %d, want 1", ev, n)
+		}
+		if s.FastPath(ev) != nil {
+			t.Errorf("fast path of %d still installed", ev)
+		}
+	}
+}
+
+// TestConcurrentQuarantineIsPerDomain trips the circuit breaker of a
+// binding in one domain and verifies the accounting is attributed to that
+// domain alone.
+func TestConcurrentQuarantineIsPerDomain(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithDomains(2), WithClock(vc),
+		WithFaultConfig(FaultConfig{Policy: Quarantine, FailureThreshold: 2}))
+	good := s.Define("good") // domain 0
+	bad := s.Define("bad")   // domain 1
+	s.Bind(good, "ok", func(*Ctx) {})
+	s.Bind(bad, "boom", func(*Ctx) { panic("injected") })
+
+	for i := 0; i < 2; i++ {
+		if err := s.Raise(bad); err != nil {
+			t.Fatalf("Raise: %v", err)
+		}
+	}
+	if got := s.DomainQuarantineCount(1); got != 1 {
+		t.Errorf("DomainQuarantineCount(1) = %d, want 1", got)
+	}
+	if got := s.DomainQuarantineCount(0); got != 0 {
+		t.Errorf("DomainQuarantineCount(0) = %d, want 0", got)
+	}
+	if got := s.QuarantineCount(); got != 1 {
+		t.Errorf("QuarantineCount = %d, want 1", got)
+	}
+	if !s.IsQuarantined(bad, "boom") {
+		t.Error("IsQuarantined(bad, boom) = false")
+	}
+	// The healthy domain is unaffected.
+	if err := s.Raise(good); err != nil {
+		t.Fatalf("Raise(good): %v", err)
+	}
+	// Re-admission rides domain 1's timer heap deterministically.
+	s.Drain()
+	if got := s.QuarantineCount(); got != 0 {
+		t.Errorf("QuarantineCount after drain = %d, want 0", got)
+	}
+	if got := s.Stats().Reinstates.Load(); got != 1 {
+		t.Errorf("Reinstates = %d, want 1", got)
+	}
+}
+
+// TestConcurrentStatsSnapshotCoherent reads snapshots while counters move
+// and checks internal consistency of each snapshot's derived values.
+func TestConcurrentStatsSnapshotCoherent(t *testing.T) {
+	s := New(WithDomains(2))
+	evs := s.DefineAll("x", "y")
+	for _, ev := range evs {
+		s.Bind(ev, "h", func(*Ctx) {})
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, ev := range evs {
+		wg.Add(1)
+		go func(ev ID) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Raise(ev)
+				}
+			}
+		}(ev)
+	}
+	for i := 0; i < 200; i++ {
+		snap := s.Stats().Snapshot()
+		if share := snap.FastShare(); share < 0 || share > 1 {
+			t.Fatalf("FastShare = %v out of range", share)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Quiescent: every cross-counter invariant holds exactly.
+	snap := s.Stats().Snapshot()
+	if snap.SyncRaises != snap.Raises {
+		t.Errorf("quiescent snapshot: sync %d != raises %d", snap.SyncRaises, snap.Raises)
+	}
+	if snap.HandlersRun != snap.Raises {
+		t.Errorf("quiescent snapshot: handlers %d != raises %d", snap.HandlersRun, snap.Raises)
+	}
+}

@@ -76,7 +76,10 @@ func (sh *SuperHandler) CoveredEvents() []ID {
 
 // InstallFastPath installs sh as the fast path for its entry event,
 // replacing any previous fast path. The first segment must be the entry
-// event's own segment.
+// event's own segment. Installation follows the publish discipline:
+// segment records resolve under the registry write lock, then the
+// super-handler pointer is stored atomically, so concurrent raises on
+// any domain either see the whole installed fast path or none of it.
 func (s *System) InstallFastPath(sh *SuperHandler) error {
 	if len(sh.Segments) == 0 {
 		return fmt.Errorf("event: InstallFastPath: no segments")
@@ -106,16 +109,14 @@ func (s *System) InstallFastPath(sh *SuperHandler) error {
 		}
 		sh.recs[i] = sr
 	}
-	s.fast[sh.Entry] = sh
+	r.fast.Store(sh)
 	return nil
 }
 
 // RemoveFastPath uninstalls the fast path of ev, if any.
 func (s *System) RemoveFastPath(ev ID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ev >= 0 && int(ev) < len(s.fast) {
-		s.fast[ev] = nil
+	if r := s.recLF(ev); r != nil {
+		r.fast.Store(nil)
 	}
 }
 
@@ -124,27 +125,16 @@ func (s *System) RemoveFastPath(ev ID) {
 // that uninstalls a plan uses this so it cannot clobber a newer
 // super-handler installed after sh was auto-deoptimized.
 func (s *System) RemoveFastPathIf(sh *SuperHandler) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ev := sh.Entry
-	if ev >= 0 && int(ev) < len(s.fast) && s.fast[ev] == sh {
-		s.fast[ev] = nil
-		return true
-	}
-	return false
+	r := s.recLF(sh.Entry)
+	return r != nil && r.fast.CompareAndSwap(sh, nil)
 }
 
 // deoptimize atomically uninstalls a super-handler whose optimized code
-// faulted. The identity compare under the registry lock makes the
-// eviction idempotent. Caller then replays the activation generically.
+// faulted. The compare-and-swap makes the eviction idempotent across
+// domains. Caller then replays the activation generically.
 func (s *System) deoptimize(sh *SuperHandler) {
-	s.mu.Lock()
-	installed := sh.Entry >= 0 && int(sh.Entry) < len(s.fast) && s.fast[sh.Entry] == sh
-	if installed {
-		s.fast[sh.Entry] = nil
-	}
-	s.mu.Unlock()
-	if !installed {
+	r := s.recLF(sh.Entry)
+	if r == nil || !r.fast.CompareAndSwap(sh, nil) {
 		return
 	}
 	s.stats.Deopts.Add(1)
@@ -155,16 +145,14 @@ func (s *System) deoptimize(sh *SuperHandler) {
 
 // FastPath returns the installed fast path of ev (nil if none).
 func (s *System) FastPath(ev ID) *SuperHandler {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if ev < 0 || int(ev) >= len(s.fast) {
-		return nil
+	if r := s.recLF(ev); r != nil {
+		return r.fast.Load()
 	}
-	return s.fast[ev]
+	return nil
 }
 
 // versionsMatch checks the guards of all segments. Versions are read
-// from lock-free atomic mirrors: a deleted or rebound event has a bumped
+// from the lock-free atomics: a deleted or rebound event has a bumped
 // version, so a stale pointer can only fail the comparison.
 func (sh *SuperHandler) versionsMatch() bool {
 	for i := range sh.Segments {
@@ -180,10 +168,10 @@ func (sh *SuperHandler) segMatches(i int) bool {
 	return sh.recs[i].ver.Load() == sh.Segments[i].Version
 }
 
-// run executes the super-handler for one activation of its entry event.
-// It returns false (without side effects) when the guard fails and the
-// caller must take the generic path.
-func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer Tracer) bool {
+// run executes the super-handler for one activation of its entry event
+// on domain d. It returns false (without side effects) when the guard
+// fails and the caller must take the generic path.
+func (sh *SuperHandler) run(d *Domain, mode Mode, args []Arg, depth int, tracer Tracer) bool {
 	if sh.Partitioned {
 		if !sh.segMatches(0) {
 			return false
@@ -191,7 +179,7 @@ func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer 
 	} else if !sh.versionsMatch() {
 		return false
 	}
-	ce := &chainExec{sh: sh, s: s, tracer: tracer, supervised: s.policy() != Propagate}
+	ce := &chainExec{sh: sh, d: d, tracer: tracer, supervised: d.sys.policy() != Propagate}
 	// One marshal-free argument view for the whole chain: the caller's
 	// slice is wrapped, not copied, and no per-handler resolution happens.
 	ce.runSegment(0, args, mode, depth)
@@ -201,21 +189,22 @@ func (sh *SuperHandler) run(s *System, mode Mode, args []Arg, depth int, tracer 
 // chainExec is the live execution state of one super-handler activation.
 type chainExec struct {
 	sh         *SuperHandler
-	s          *System
+	d          *Domain
 	tracer     Tracer
 	supervised bool // record in-flight handler names for fault attribution
 }
 
 // runSegment executes the steps (or fused body) of one segment. The raw
-// argument slice is wrapped in the context”s embedded record — no copy,
+// argument slice is wrapped in the context's embedded record — no copy,
 // no extra allocation.
 func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 	seg := &ce.sh.Segments[idx]
-	s := ce.s
+	d := ce.d
+	s := d.sys
 
 	// One state-maintenance lock round-trip per segment, instead of one
 	// per handler on the generic path.
-	s.stateLockTraffic()
+	d.stateLockTraffic()
 
 	ctx := &Ctx{
 		System: s,
@@ -224,24 +213,25 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		Mode:   mode,
 		depth:  depth,
 		chain:  ce,
+		dom:    d,
 	}
 	ctx.argsVal.pairs = args
 	ctx.Args = &ctx.argsVal
 	if seg.Fused != nil {
 		ctx.Handler = seg.FusedName
 		if ce.supervised {
-			s.noteCurrent(seg.Event, seg.EventName, seg.FusedName, depth)
+			d.noteCurrent(seg.Event, seg.EventName, seg.FusedName, depth)
 		}
 		if ce.tracer != nil {
-			ce.tracer.HandlerEnter(seg.Event, seg.EventName, seg.FusedName, depth)
+			ce.tracer.HandlerEnter(seg.Event, seg.EventName, seg.FusedName, depth, d.idx)
 		}
 		s.stats.HandlersRun.Add(1)
 		seg.Fused(ctx)
 		if ce.tracer != nil {
-			ce.tracer.HandlerExit(seg.Event, seg.EventName, seg.FusedName, depth)
+			ce.tracer.HandlerExit(seg.Event, seg.EventName, seg.FusedName, depth, d.idx)
 		}
 		if ce.supervised {
-			s.clearCurrentHandler()
+			d.clearCurrentHandler()
 		}
 		return
 	}
@@ -250,18 +240,18 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		ctx.Handler = st.Handler
 		ctx.BindArgs = st.BindArgs
 		if ce.supervised {
-			s.noteCurrent(seg.Event, seg.EventName, st.Handler, depth)
+			d.noteCurrent(seg.Event, seg.EventName, st.Handler, depth)
 		}
 		if ce.tracer != nil {
-			ce.tracer.HandlerEnter(seg.Event, seg.EventName, st.Handler, depth)
+			ce.tracer.HandlerEnter(seg.Event, seg.EventName, st.Handler, depth, d.idx)
 		}
 		s.stats.HandlersRun.Add(1)
 		st.Fn(ctx)
 		if ce.tracer != nil {
-			ce.tracer.HandlerExit(seg.Event, seg.EventName, st.Handler, depth)
+			ce.tracer.HandlerExit(seg.Event, seg.EventName, st.Handler, depth, d.idx)
 		}
 		if ce.supervised {
-			s.clearCurrentHandler()
+			d.clearCurrentHandler()
 		}
 		if ctx.halted {
 			break
@@ -281,33 +271,27 @@ func (ce *chainExec) dispatchNested(c *Ctx, ev ID, args []Arg) bool {
 		return false
 	}
 	seg := &ce.sh.Segments[idx]
-	s := ce.s
+	d := ce.d
+	s := d.sys
 
 	s.stats.Raises.Add(1)
 	s.stats.SyncRaises.Add(1)
 	if ce.tracer != nil {
-		ce.tracer.Event(ev, seg.EventName, Sync, c.depth+1)
+		ce.tracer.Event(ev, seg.EventName, Sync, c.depth+1, d.idx)
 	}
 
 	// The guard must be re-checked at dispatch time: a handler earlier in
 	// this very chain may have rebound ev.
 	if !ce.sh.segMatches(idx) {
 		s.stats.SegFallbacks.Add(1)
-		s.generic(s.mustRec(ev), ev, seg.EventName, Sync, args, c.depth+1, ce.tracer)
+		d.generic(ce.sh.recs[idx].snap.Load(), ev, Sync, args, c.depth+1, ce.tracer)
 	} else {
 		ce.runSegment(idx, args, Sync, c.depth+1)
 	}
 	if ce.supervised {
 		// The caller's handler body resumes: restore its attribution so a
 		// panic after the nested raise is not pinned on the nested segment.
-		s.noteCurrent(c.Event, c.Name, c.Handler, c.depth)
+		d.noteCurrent(c.Event, c.Name, c.Handler, c.depth)
 	}
 	return true
-}
-
-// mustRec returns the registry record of a known-live event.
-func (s *System) mustRec(ev ID) *eventRec {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.rec(ev)
 }

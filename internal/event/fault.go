@@ -51,6 +51,9 @@ type FaultInfo struct {
 	// Mode and Depth locate the activation (Depth 0 is top level).
 	Mode  Mode
 	Depth int
+	// Domain is the index of the event domain the activation ran on
+	// (always 0 on a single-domain system).
+	Domain int
 	// PanicVal is the recovered panic value.
 	PanicVal any
 	// Optimized reports that the panic originated inside an installed
@@ -81,7 +84,9 @@ type FaultConfig struct {
 	// MaxBackoff caps the quarantine window (default 1s).
 	MaxBackoff Duration
 	// OnFault, when non-nil, observes every recovered panic (called
-	// after the stats and tracer hooks, under the atomicity lock).
+	// after the stats and tracer hooks, under the atomicity lock of the
+	// faulting domain; with multiple domains it may be called
+	// concurrently).
 	OnFault func(FaultInfo)
 }
 
@@ -142,8 +147,8 @@ func WithRetryConfig(cfg RetryConfig) Option {
 	return func(s *System) { s.SetRetryConfig(cfg) }
 }
 
-// WithQueueBound bounds the asynchronous run queue to capacity entries
-// with the given overflow policy. Zero capacity means unbounded.
+// WithQueueBound bounds each domain's asynchronous run queue to capacity
+// entries with the given overflow policy. Zero capacity means unbounded.
 func WithQueueBound(capacity int, policy OverflowPolicy) Option {
 	return func(s *System) { s.SetQueueBound(capacity, policy) }
 }
@@ -164,21 +169,31 @@ type quarRec struct {
 	quarantined bool
 }
 
-// faultState groups the supervision state of a System.
-type faultState struct {
+// faultShared is the supervision configuration shared by all domains of
+// a System: the policy (read lock-free on every dispatch), the fault and
+// retry tuning, and the jitter RNG.
+type faultShared struct {
 	policy atomic.Int32 // FaultPolicy, read lock-free on the dispatch path
 
-	mu    sync.Mutex // guards cfg, retry, recs, rng
+	mu    sync.Mutex // guards cfg, retry, rng
 	cfg   FaultConfig
 	retry RetryConfig
-	recs  map[quarKey]*quarRec
 	rng   uint64 // splitmix64 state for retry jitter
+}
 
-	quarCount atomic.Int32 // bindings currently quarantined
+// domainFault is the per-domain half of the supervision state: each
+// domain runs its own circuit breakers and activation bookkeeping, so
+// one domain quarantining a binding never contends with (or affects)
+// dispatch on another.
+type domainFault struct {
+	mu   sync.Mutex // guards recs
+	recs map[quarKey]*quarRec
+
+	quarCount atomic.Int32 // bindings currently quarantined in this domain
 	tracked   atomic.Int32 // bindings with live failure records
 
-	// Current-activation bookkeeping. All handler execution is
-	// serialized by System.runMu, so these plain fields are guarded by
+	// Current-activation bookkeeping. All handler execution in a domain
+	// is serialized by its runMu, so these plain fields are guarded by
 	// it: curEvent/curName/curHandler/curDepth name the handler in
 	// flight on an optimized path (for fault attribution after a
 	// recover), and activationFaults counts recovered panics of the
@@ -235,45 +250,74 @@ func (s *System) SetRetryConfig(cfg RetryConfig) {
 	s.fault.mu.Unlock()
 }
 
-// SetQueueBound bounds (or, with capacity 0, unbounds) the run queue.
+// SetQueueBound bounds (or, with capacity 0, unbounds) the run queue of
+// every domain. The capacity applies per domain. When called from a
+// construction Option the domains do not exist yet; New re-applies the
+// remembered setting after creating them.
 func (s *System) SetQueueBound(capacity int, policy OverflowPolicy) {
-	s.qmu.Lock()
-	s.qcap = capacity
-	s.qpolicy = policy
-	s.qmu.Unlock()
+	s.wantQcap, s.wantQpolicy = capacity, policy
+	for _, d := range s.domains {
+		d.qmu.Lock()
+		d.qcap = capacity
+		d.qpolicy = policy
+		d.qmu.Unlock()
+	}
 }
 
-// QuarantineCount reports how many bindings are currently quarantined.
-func (s *System) QuarantineCount() int { return int(s.fault.quarCount.Load()) }
-
-// IsQuarantined reports whether the named binding is currently skipped.
-func (s *System) IsQuarantined(ev ID, handler string) bool {
-	if s.fault.quarCount.Load() == 0 {
-		return false
+// QuarantineCount reports how many bindings are currently quarantined,
+// summed over all domains.
+func (s *System) QuarantineCount() int {
+	n := 0
+	for _, d := range s.domains {
+		n += int(d.fault.quarCount.Load())
 	}
-	s.fault.mu.Lock()
-	defer s.fault.mu.Unlock()
-	rec := s.fault.recs[quarKey{ev, handler}]
-	return rec != nil && rec.quarantined
+	return n
+}
+
+// DomainQuarantineCount reports how many bindings domain dom currently
+// quarantines (0 for an out-of-range index).
+func (s *System) DomainQuarantineCount(dom int) int {
+	if dom < 0 || dom >= len(s.domains) {
+		return 0
+	}
+	return int(s.domains[dom].fault.quarCount.Load())
+}
+
+// IsQuarantined reports whether the named binding is currently skipped
+// in any domain.
+func (s *System) IsQuarantined(ev ID, handler string) bool {
+	for _, d := range s.domains {
+		if d.fault.quarCount.Load() == 0 {
+			continue
+		}
+		d.fault.mu.Lock()
+		rec := d.fault.recs[quarKey{ev, handler}]
+		quar := rec != nil && rec.quarantined
+		d.fault.mu.Unlock()
+		if quar {
+			return true
+		}
+	}
+	return false
 }
 
 // policy reads the fault policy lock-free (hot path).
 func (s *System) policy() FaultPolicy { return FaultPolicy(s.fault.policy.Load()) }
 
 // noteCurrent records the handler in flight for fault attribution.
-// Caller holds runMu (all handler execution does).
-func (s *System) noteCurrent(ev ID, name, handler string, depth int) {
-	s.fault.curEvent = ev
-	s.fault.curName = name
-	s.fault.curHandler = handler
-	s.fault.curDepth = depth
+// Caller holds this domain's runMu (all handler execution does).
+func (d *Domain) noteCurrent(ev ID, name, handler string, depth int) {
+	d.fault.curEvent = ev
+	d.fault.curName = name
+	d.fault.curHandler = handler
+	d.fault.curDepth = depth
 }
 
 // clearCurrentHandler marks that no handler body is in flight (between
 // steps of a chain, or after one exits cleanly), so a later panic outside
 // any handler is not pinned on the last one that ran. Caller holds runMu.
-func (s *System) clearCurrentHandler() {
-	s.fault.curHandler = ""
+func (d *Domain) clearCurrentHandler() {
+	d.fault.curHandler = ""
 }
 
 // runProtected invokes fn and converts a panic into a return value.
@@ -289,13 +333,14 @@ func runProtected(fn HandlerFunc, ctx *Ctx) (pv any, panicked bool) {
 
 // recordFault accounts one recovered handler panic: stats, the tracer
 // and config hooks, the per-activation retry counter and — for
-// unoptimized faults under the Quarantine policy — the circuit breaker.
-// Optimized faults skip quarantine accounting: the deopt replay runs the
-// same handlers generically and accounts for them there. Caller holds
-// runMu.
-func (s *System) recordFault(f FaultInfo, tracer Tracer) {
+// unoptimized faults under the Quarantine policy — this domain's circuit
+// breaker. Optimized faults skip quarantine accounting: the deopt replay
+// runs the same handlers generically and accounts for them there. Caller
+// holds this domain's runMu.
+func (d *Domain) recordFault(f FaultInfo, tracer Tracer) {
+	s := d.sys
 	s.stats.PanicsRecovered.Add(1)
-	s.fault.activationFaults++
+	d.fault.activationFaults++
 	if ft, ok := tracer.(FaultTracer); ok && tracer != nil {
 		ft.Fault(f)
 	}
@@ -306,77 +351,90 @@ func (s *System) recordFault(f FaultInfo, tracer Tracer) {
 		onFault(f)
 	}
 	if !f.Optimized && s.policy() == Quarantine {
-		s.noteFailure(f.Event, f.Handler)
+		d.noteFailure(f.Event, f.Handler)
 	}
 }
 
 // noteFailure advances the circuit breaker of one binding after a fault,
 // quarantining it when the consecutive-failure threshold is reached. The
-// re-admission is scheduled through the timer heap so it is deterministic
-// under VirtualClock.
-func (s *System) noteFailure(ev ID, handler string) {
+// re-admission is scheduled through this domain's timer heap so it is
+// deterministic under VirtualClock.
+func (d *Domain) noteFailure(ev ID, handler string) {
+	s := d.sys
 	key := quarKey{ev, handler}
 	s.fault.mu.Lock()
-	if s.fault.recs == nil {
-		s.fault.recs = make(map[quarKey]*quarRec)
+	threshold := s.fault.cfg.FailureThreshold
+	firstWindow := s.fault.cfg.Backoff
+	factor := s.fault.cfg.BackoffFactor
+	maxWindow := s.fault.cfg.MaxBackoff
+	s.fault.mu.Unlock()
+
+	d.fault.mu.Lock()
+	if d.fault.recs == nil {
+		d.fault.recs = make(map[quarKey]*quarRec)
 	}
-	rec := s.fault.recs[key]
+	rec := d.fault.recs[key]
 	if rec == nil {
 		rec = &quarRec{}
-		s.fault.recs[key] = rec
-		s.fault.tracked.Add(1)
+		d.fault.recs[key] = rec
+		d.fault.tracked.Add(1)
 	}
 	rec.fails++
 	var window Duration
-	trip := !rec.quarantined && rec.fails >= s.fault.cfg.FailureThreshold
+	trip := !rec.quarantined && rec.fails >= threshold
 	if trip {
 		rec.quarantined = true
 		rec.trips++
 		window = rec.backoff
 		if window <= 0 {
-			window = s.fault.cfg.Backoff
+			window = firstWindow
 		}
-		next := Duration(float64(window) * s.fault.cfg.BackoffFactor)
-		if next > s.fault.cfg.MaxBackoff {
-			next = s.fault.cfg.MaxBackoff
+		next := Duration(float64(window) * factor)
+		if next > maxWindow {
+			next = maxWindow
 		}
 		rec.backoff = next
-		s.fault.quarCount.Add(1)
+		d.fault.quarCount.Add(1)
 	}
-	s.fault.mu.Unlock()
+	d.fault.mu.Unlock()
 	if trip {
 		s.stats.Quarantines.Add(1)
-		s.scheduleInternal(window, func() { s.reinstate(key) })
+		d.scheduleInternal(window, func() { d.reinstate(key) })
 	}
 }
 
 // noteSuccess resets the failure record of a binding after a clean run.
 // A binding that recovers fully is forgotten (its backoff resets).
-func (s *System) noteSuccess(ev ID, handler string) {
+func (d *Domain) noteSuccess(ev ID, handler string) {
 	key := quarKey{ev, handler}
-	s.fault.mu.Lock()
-	rec := s.fault.recs[key]
+	d.fault.mu.Lock()
+	rec := d.fault.recs[key]
 	if rec != nil && !rec.quarantined {
-		delete(s.fault.recs, key)
-		s.fault.tracked.Add(-1)
+		delete(d.fault.recs, key)
+		d.fault.tracked.Add(-1)
 	}
-	s.fault.mu.Unlock()
+	d.fault.mu.Unlock()
 }
 
 // reinstate re-admits a quarantined binding (timer callback). The
 // breaker re-opens half-open: the failure count restarts one below the
 // threshold, so a single further fault re-quarantines with a grown
 // window, while a clean run clears the record entirely.
-func (s *System) reinstate(key quarKey) {
+func (d *Domain) reinstate(key quarKey) {
+	s := d.sys
 	s.fault.mu.Lock()
-	rec := s.fault.recs[key]
+	threshold := s.fault.cfg.FailureThreshold
+	s.fault.mu.Unlock()
+
+	d.fault.mu.Lock()
+	rec := d.fault.recs[key]
 	ok := rec != nil && rec.quarantined
 	if ok {
 		rec.quarantined = false
-		rec.fails = s.fault.cfg.FailureThreshold - 1
-		s.fault.quarCount.Add(-1)
+		rec.fails = threshold - 1
+		d.fault.quarCount.Add(-1)
 	}
-	s.fault.mu.Unlock()
+	d.fault.mu.Unlock()
 	if ok {
 		s.stats.Reinstates.Add(1)
 	}
@@ -384,12 +442,12 @@ func (s *System) reinstate(key quarKey) {
 
 // skipQuarantined reports whether dispatch must skip this binding. Hot
 // path: callers check quarCount first, so the map is consulted only
-// while something is actually quarantined.
-func (s *System) skipQuarantined(ev ID, handler string) bool {
-	s.fault.mu.Lock()
-	rec := s.fault.recs[quarKey{ev, handler}]
+// while something is actually quarantined in this domain.
+func (d *Domain) skipQuarantined(ev ID, handler string) bool {
+	d.fault.mu.Lock()
+	rec := d.fault.recs[quarKey{ev, handler}]
 	skip := rec != nil && rec.quarantined
-	s.fault.mu.Unlock()
+	d.fault.mu.Unlock()
 	return skip
 }
 
@@ -401,38 +459,40 @@ func (s *System) skipQuarantined(ev ID, handler string) bool {
 // in traces; a panic outside any handler (guard evaluation, argument-view
 // setup) is attributed to the activation's entry event with no handler
 // and emits no exit.
-func (s *System) runFastSupervised(sh *SuperHandler, ev ID, name string, mode Mode, args []Arg, depth int, tracer Tracer) (ran, faulted bool) {
+func (d *Domain) runFastSupervised(sh *SuperHandler, ev ID, name string, mode Mode, args []Arg, depth int, tracer Tracer) (ran, faulted bool) {
 	// Reset the attribution state before entering the chain, so a panic
 	// raised before any segment body starts cannot be pinned on the stale
 	// handler of a previous activation.
-	s.noteCurrent(ev, name, "", depth)
+	d.noteCurrent(ev, name, "", depth)
 	defer func() {
 		if r := recover(); r != nil {
 			ran, faulted = false, true
 			f := FaultInfo{
-				Event:     s.fault.curEvent,
-				EventName: s.fault.curName,
-				Handler:   s.fault.curHandler,
+				Event:     d.fault.curEvent,
+				EventName: d.fault.curName,
+				Handler:   d.fault.curHandler,
 				Mode:      mode,
-				Depth:     s.fault.curDepth,
+				Depth:     d.fault.curDepth,
+				Domain:    d.idx,
 				PanicVal:  r,
 				Optimized: true,
 			}
 			if tracer != nil && f.Handler != "" {
-				tracer.HandlerExit(f.Event, f.EventName, f.Handler, f.Depth)
+				tracer.HandlerExit(f.Event, f.EventName, f.Handler, f.Depth, d.idx)
 			}
-			s.recordFault(f, tracer)
+			d.recordFault(f, tracer)
 		}
 	}()
-	return sh.run(s, mode, args, depth, tracer), false
+	return sh.run(d, mode, args, depth, tracer), false
 }
 
 // maybeRetry re-enqueues a faulted asynchronous activation with capped,
 // optionally jittered exponential backoff, dead-lettering it when the
 // attempt budget is exhausted. attempt is 0-based (the attempt that just
 // ran). Retry is at-least-once: handlers that succeeded before the fault
-// run again on the retried activation.
-func (s *System) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
+// run again on the retried activation, in this same domain.
+func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
+	s := d.sys
 	s.fault.mu.Lock()
 	rc := s.fault.retry
 	s.fault.mu.Unlock()
@@ -443,19 +503,19 @@ func (s *System) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 		s.deadLetter(ev, args, attempt+1, rc)
 		return
 	}
-	d := rc.Backoff
+	delay := rc.Backoff
 	for i := 0; i < attempt; i++ {
-		d = Duration(float64(d) * rc.BackoffFactor)
-		if d >= rc.MaxBackoff {
-			d = rc.MaxBackoff
+		delay = Duration(float64(delay) * rc.BackoffFactor)
+		if delay >= rc.MaxBackoff {
+			delay = rc.MaxBackoff
 			break
 		}
 	}
 	if rc.Jitter > 0 {
-		d = s.jitter(d, rc.Jitter)
+		delay = s.jitter(delay, rc.Jitter)
 	}
 	s.stats.Retries.Add(1)
-	s.scheduleRetry(d, ev, mode, args, attempt+1)
+	d.scheduleRetry(delay, ev, mode, args, attempt+1)
 }
 
 // deadLetter raises the configured dead-letter event for an exhausted

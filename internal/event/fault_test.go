@@ -10,10 +10,10 @@ type faultRecorder struct {
 	faults []FaultInfo
 }
 
-func (r *faultRecorder) Event(ID, string, Mode, int)          {}
-func (r *faultRecorder) HandlerEnter(ID, string, string, int) {}
-func (r *faultRecorder) HandlerExit(ID, string, string, int)  {}
-func (r *faultRecorder) Fault(f FaultInfo)                    { r.faults = append(r.faults, f) }
+func (r *faultRecorder) Event(ID, string, Mode, int, int)          {}
+func (r *faultRecorder) HandlerEnter(ID, string, string, int, int) {}
+func (r *faultRecorder) HandlerExit(ID, string, string, int, int)  {}
+func (r *faultRecorder) Fault(f FaultInfo)                         { r.faults = append(r.faults, f) }
 
 func TestFaultPolicyString(t *testing.T) {
 	cases := map[FaultPolicy]string{
@@ -153,7 +153,7 @@ func TestQuarantineTripSkipAndReinstate(t *testing.T) {
 	if goods != 1 {
 		t.Fatalf("reinstated handler did not run: goods = %d", goods)
 	}
-	if n := s.fault.tracked.Load(); n != 0 {
+	if n := s.domains[0].fault.tracked.Load(); n != 0 {
 		t.Errorf("failure records tracked after clean run = %d, want 0", n)
 	}
 }
@@ -402,10 +402,10 @@ type traceRecorder struct {
 	enters, exits []string
 }
 
-func (r *traceRecorder) HandlerEnter(_ ID, _ string, h string, _ int) {
+func (r *traceRecorder) HandlerEnter(_ ID, _ string, h string, _, _ int) {
 	r.enters = append(r.enters, h)
 }
-func (r *traceRecorder) HandlerExit(_ ID, _ string, h string, _ int) {
+func (r *traceRecorder) HandlerExit(_ ID, _ string, h string, _, _ int) {
 	r.exits = append(r.exits, h)
 }
 
@@ -416,16 +416,15 @@ func TestFastPathPreHandlerFaultAttribution(t *testing.T) {
 	s.Bind(ev, "good", func(*Ctx) { ran++ })
 
 	// Simulate stale bookkeeping left by an earlier activation.
-	s.fault.curEvent, s.fault.curName = ID(99), "stale-event"
-	s.fault.curHandler, s.fault.curDepth = "stale-handler", 7
+	d0 := s.domains[0]
+	d0.fault.curEvent, d0.fault.curName = ID(99), "stale-event"
+	d0.fault.curHandler, d0.fault.curDepth = "stale-handler", 7
 
 	// A super-handler installed without resolved registry records panics
 	// during guard evaluation, before any segment body starts — a
 	// stand-in for any pre-handler fault in the chain.
 	sh := &SuperHandler{Entry: ev, Segments: []Segment{{Event: ev, EventName: "E"}}}
-	s.mu.Lock()
-	s.fast[ev] = sh
-	s.mu.Unlock()
+	s.recLF(ev).fast.Store(sh)
 
 	rec := &traceRecorder{}
 	s.SetTracer(rec)

@@ -89,7 +89,16 @@ type Ctx struct {
 	depth   int
 	halted  bool
 	chain   *chainExec // installed by a super-handler for subsumption
+	dom     *Domain    // domain executing this activation
 	argsVal Args       // backing store for Args on the optimized path
+}
+
+// Domain reports the index of the event domain executing this activation.
+func (c *Ctx) Domain() int {
+	if c.dom == nil {
+		return 0
+	}
+	return c.dom.idx
 }
 
 // Raise synchronously activates another event from within a handler. The

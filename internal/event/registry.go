@@ -6,20 +6,54 @@ import (
 	"sync/atomic"
 )
 
-// eventRec is the registry entry for one event.
-type eventRec struct {
+// bindingSnapshot is the immutable, lock-free read view of one event. A
+// new snapshot is published (copy-on-write) by every mutation of the
+// event's registry entry — bind, unbind, delete — so the dispatch path
+// reads a coherent (name, version, handler list) triple with a single
+// atomic load and never takes System.mu.
+type bindingSnapshot struct {
 	name     string
 	deleted  bool
-	version  uint64        // bumped on every bind/unbind/delete; guarded by System.mu
-	ver      atomic.Uint64 // mirrors version for lock-free guard checks
-	handlers []*bound
-	snapshot []HandlerInfo // cached read-only view, rebuilt lazily
+	version  uint64        // the value of eventRec.ver when published
+	handlers []HandlerInfo // execution order; never mutated after publish
 }
 
-func (r *eventRec) invalidate() {
-	r.version++
-	r.ver.Store(r.version)
-	r.snapshot = nil
+// eventRec is the registry entry for one event. The mutable source of
+// truth (handlers, deleted) is guarded by System.mu on the write side;
+// readers go through the published snapshot and the atomic fields only.
+type eventRec struct {
+	name     string
+	deleted  bool     // write-side flag; readers use snap.deleted
+	handlers []*bound // write-side handler list; readers use snap.handlers
+
+	ver  atomic.Uint64                   // binding version: the single source of truth for guards
+	snap atomic.Pointer[bindingSnapshot] // current published read view
+	fast atomic.Pointer[SuperHandler]    // installed fast path (nil if none)
+	dom  atomic.Int32                    // owning domain index (affinity)
+}
+
+// publish rebuilds and atomically installs the read snapshot after a
+// registry mutation, bumping the version first so a guard that loaded
+// the old version cannot match the new snapshot. Caller holds System.mu.
+func (r *eventRec) publish(bump bool) {
+	if bump {
+		r.ver.Add(1)
+	}
+	s := &bindingSnapshot{name: r.name, deleted: r.deleted, version: r.ver.Load()}
+	if n := len(r.handlers); n > 0 {
+		s.handlers = make([]HandlerInfo, n)
+		for i, h := range r.handlers {
+			s.handlers[i] = HandlerInfo{
+				Name:     h.name,
+				Order:    h.order,
+				Params:   h.params,
+				BindArgs: h.bindArgs,
+				IR:       h.ir,
+				Fn:       h.fn,
+			}
+		}
+	}
+	r.snap.Store(s)
 }
 
 // Define registers a new event and returns its ID. Event names are unique
@@ -32,10 +66,31 @@ func (s *System) Define(name string) ID {
 		panic(fmt.Sprintf("event: Define(%q): %v", name, ErrDuplicateEvent))
 	}
 	id := ID(len(s.events))
-	s.events = append(s.events, &eventRec{name: name})
-	s.fast = append(s.fast, nil)
+	r := &eventRec{name: name}
+	r.dom.Store(int32(int(id) % len(s.domains)))
+	r.publish(false)
+	s.events = append(s.events, r)
 	s.byName[name] = id
+	s.publishTableLocked()
 	return id
+}
+
+// publishTableLocked installs a fresh copy of the event table for
+// lock-free ID lookups. Caller holds s.mu.
+func (s *System) publishTableLocked() {
+	tab := make([]*eventRec, len(s.events))
+	copy(tab, s.events)
+	s.table.Store(&tab)
+}
+
+// recLF resolves ev to its registry record without locking (the raise
+// path). It returns nil for IDs never defined.
+func (s *System) recLF(ev ID) *eventRec {
+	tab := s.table.Load()
+	if tab == nil || ev < 0 || int(ev) >= len(*tab) {
+		return nil
+	}
+	return (*tab)[ev]
 }
 
 // DefineAll registers several events at once and returns their IDs in order.
@@ -61,9 +116,7 @@ func (s *System) Lookup(name string) ID {
 
 // EventName returns the registered name of ev ("" for an invalid ID).
 func (s *System) EventName(ev ID) string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r := s.rec(ev); r != nil {
+	if r := s.recLF(ev); r != nil {
 		return r.name
 	}
 	return ""
@@ -72,18 +125,22 @@ func (s *System) EventName(ev ID) string {
 // NumEvents reports how many events have been defined (including deleted
 // ones, whose IDs are never reused).
 func (s *System) NumEvents() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.events)
+	tab := s.table.Load()
+	if tab == nil {
+		return 0
+	}
+	return len(*tab)
 }
 
 // EventIDs returns the IDs of all live (non-deleted) events.
 func (s *System) EventIDs() []ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]ID, 0, len(s.events))
-	for i, r := range s.events {
-		if !r.deleted {
+	tab := s.table.Load()
+	if tab == nil {
+		return nil
+	}
+	out := make([]ID, 0, len(*tab))
+	for i, r := range *tab {
+		if !r.snap.Load().deleted {
 			out = append(out, ID(i))
 		}
 	}
@@ -105,9 +162,9 @@ func (s *System) Delete(ev ID) error {
 	}
 	r.deleted = true
 	r.handlers = nil
-	r.invalidate()
+	r.publish(true)
 	delete(s.byName, r.name)
-	s.fast[ev] = nil
+	r.fast.Store(nil)
 	return nil
 }
 
@@ -122,7 +179,8 @@ func (s *System) rec(ev ID) *eventRec {
 // Bind attaches a handler to an event. name identifies the handler in
 // profiles and diagnostics. Handlers run in ascending WithOrder order,
 // ties broken by bind sequence. Bind panics on an unknown or deleted
-// event (programming error).
+// event (programming error). The new handler list is published as a
+// fresh snapshot; in-flight activations keep the view they loaded.
 func (s *System) Bind(ev ID, name string, fn HandlerFunc, opts ...BindOption) Binding {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -142,7 +200,7 @@ func (s *System) Bind(ev ID, name string, fn HandlerFunc, opts ...BindOption) Bi
 		}
 		return r.handlers[i].seq < r.handlers[j].seq
 	})
-	r.invalidate()
+	r.publish(true)
 	return Binding{ev: ev, seq: b.seq}
 }
 
@@ -158,7 +216,7 @@ func (s *System) Unbind(b Binding) error {
 	for i, h := range r.handlers {
 		if h.seq == b.seq {
 			r.handlers = append(r.handlers[:i], r.handlers[i+1:]...)
-			r.invalidate()
+			r.publish(true)
 			return nil
 		}
 	}
@@ -168,52 +226,29 @@ func (s *System) Unbind(b Binding) error {
 // Version returns the binding version of ev. The version changes whenever
 // the set or order of handlers bound to ev changes, or the event is
 // deleted; super-handler guards compare versions (paper section 3.3).
+// The read is lock-free.
 func (s *System) Version(ev ID) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r := s.rec(ev); r != nil {
-		return r.version
+	if r := s.recLF(ev); r != nil {
+		return r.ver.Load()
 	}
 	return ^uint64(0)
 }
 
 // HandlerCount reports the number of handlers currently bound to ev.
 func (s *System) HandlerCount(ev ID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r := s.rec(ev); r != nil {
-		return len(r.handlers)
+	if r := s.recLF(ev); r != nil {
+		return len(r.snap.Load().handlers)
 	}
 	return 0
 }
 
 // Handlers returns a read-only snapshot of the bindings of ev in execution
-// order. The profiler and optimizer consume this view.
+// order. The profiler and optimizer consume this view; callers must not
+// mutate it (the slice is shared with the dispatch path).
 func (s *System) Handlers(ev ID) []HandlerInfo {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.rec(ev)
+	r := s.recLF(ev)
 	if r == nil {
 		return nil
 	}
-	return s.snapshotLocked(r)
-}
-
-// snapshotLocked returns (building if needed) the cached HandlerInfo view.
-// Caller holds s.mu.
-func (s *System) snapshotLocked(r *eventRec) []HandlerInfo {
-	if r.snapshot == nil && len(r.handlers) > 0 {
-		r.snapshot = make([]HandlerInfo, len(r.handlers))
-		for i, h := range r.handlers {
-			r.snapshot[i] = HandlerInfo{
-				Name:     h.name,
-				Order:    h.order,
-				Params:   h.params,
-				BindArgs: h.bindArgs,
-				IR:       h.ir,
-				Fn:       h.fn,
-			}
-		}
-	}
-	return r.snapshot
+	return r.snap.Load().handlers
 }

@@ -65,8 +65,9 @@ type Timer struct{ e *timerEntry }
 
 // Cancel revokes the delayed activation if it has not fired yet; it
 // reports whether the cancellation took effect. Canceled entries are
-// compacted out of the timer heap eagerly once enough accumulate, so
-// mass cancellation does not pin memory until the deadlines pass.
+// compacted out of the owning domain's timer heap eagerly once enough
+// accumulate, so mass cancellation does not pin memory until the
+// deadlines pass.
 func (t Timer) Cancel() bool {
 	if t.e == nil {
 		return false
@@ -104,7 +105,7 @@ type timerEntry struct {
 	args    []Arg
 	attempt int     // retry attempts already made (supervision layer)
 	fire    func()  // internal callback timer (quarantine re-admission)
-	owner   *System // for cancellation accounting; nil on internal timers
+	owner   *Domain // for cancellation accounting; nil on internal timers
 	done    bool
 }
 
@@ -122,102 +123,113 @@ func (h *timerHeap) Push(x any)       { *h = append(*h, x.(*timerEntry)) }
 func (h *timerHeap) Pop() any         { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 func (h timerHeap) peek() *timerEntry { return h[0] }
 
-// RaiseAfter schedules a timed activation of ev after delay d. Timed
-// events behave like asynchronous activations that become eligible once
-// the clock passes their deadline (paper section 2.2).
+// RaiseAfter schedules a timed activation of ev after delay d on the
+// event's owning domain. Timed events behave like asynchronous
+// activations that become eligible once the clock passes their deadline
+// (paper section 2.2).
 func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
 	if d < 0 {
 		d = 0
 	}
-	s.qmu.Lock()
-	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, mode: Delayed, args: cloneArgs(args), owner: s}
-	heap.Push(&s.timers, e)
-	s.qmu.Unlock()
-	s.nudge()
+	dom := s.domainOf(ev)
+	dom.qmu.Lock()
+	dom.tseq++
+	e := &timerEntry{at: s.clock.Now() + d, seq: dom.tseq, ev: ev, mode: Delayed, args: cloneArgs(args), owner: dom}
+	heap.Push(&dom.timers, e)
+	dom.qmu.Unlock()
+	dom.nudge()
 	return Timer{e: e}
 }
 
-// scheduleRetry re-arms a faulted activation after its backoff delay,
-// carrying the attempt count and the original mode forward, so a retried
-// RaiseAsync activation replays with ctx.Mode == Async. No cancellation
-// token escapes, so owner stays nil.
-func (s *System) scheduleRetry(d Duration, ev ID, mode Mode, args []Arg, attempt int) {
-	s.qmu.Lock()
-	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, ev: ev, mode: mode, args: cloneArgs(args), attempt: attempt}
-	heap.Push(&s.timers, e)
-	s.qmu.Unlock()
-	s.nudge()
+// scheduleRetry re-arms a faulted activation after its backoff delay on
+// this domain, carrying the attempt count and the original mode forward,
+// so a retried RaiseAsync activation replays with ctx.Mode == Async. No
+// cancellation token escapes, so owner stays nil.
+func (d *Domain) scheduleRetry(delay Duration, ev ID, mode Mode, args []Arg, attempt int) {
+	d.qmu.Lock()
+	d.tseq++
+	e := &timerEntry{at: d.sys.clock.Now() + delay, seq: d.tseq, ev: ev, mode: mode, args: cloneArgs(args), attempt: attempt}
+	heap.Push(&d.timers, e)
+	d.qmu.Unlock()
+	d.nudge()
 }
 
 // scheduleInternal arms an internal callback timer (quarantine
-// re-admission). It rides the same heap as timed activations, so it is
-// deterministic under VirtualClock and fires from Step/Drain/Run.
-func (s *System) scheduleInternal(d Duration, fire func()) {
-	if d < 0 {
-		d = 0
+// re-admission) on this domain. It rides the same heap as timed
+// activations, so it is deterministic under VirtualClock and fires from
+// Step/Drain/Run.
+func (d *Domain) scheduleInternal(delay Duration, fire func()) {
+	if delay < 0 {
+		delay = 0
 	}
-	s.qmu.Lock()
-	s.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: s.tseq, fire: fire}
-	heap.Push(&s.timers, e)
-	s.qmu.Unlock()
-	s.nudge()
+	d.qmu.Lock()
+	d.tseq++
+	e := &timerEntry{at: d.sys.clock.Now() + delay, seq: d.tseq, fire: fire}
+	heap.Push(&d.timers, e)
+	d.qmu.Unlock()
+	d.nudge()
 }
 
-// enqueue appends an asynchronous activation to the run queue, applying
-// the overflow policy when a queue bound is configured.
+// enqueue routes an asynchronous activation to the event's owning
+// domain. The per-domain queue under its own lock is the MPSC handoff:
+// any goroutine (or any other domain's handler) may produce, only the
+// owning domain consumes.
 func (s *System) enqueue(ev ID, mode Mode, args []Arg) {
-	s.qmu.Lock()
-	if s.qcap > 0 && len(s.queue) >= s.qcap {
-		pol := s.qpolicy
-		s.stats.QueueDrops.Add(1)
+	s.domainOf(ev).enqueue(ev, mode, args)
+}
+
+// enqueue appends an asynchronous activation to the domain's run queue,
+// applying the overflow policy when a queue bound is configured.
+func (d *Domain) enqueue(ev ID, mode Mode, args []Arg) {
+	d.qmu.Lock()
+	if d.qcap > 0 && len(d.queue) >= d.qcap {
+		pol := d.qpolicy
+		d.sys.stats.QueueDrops.Add(1)
 		switch pol {
 		case DropOldest:
-			copy(s.queue, s.queue[1:])
-			s.queue[len(s.queue)-1] = pending{ev: ev, mode: mode, args: cloneArgs(args)}
-			s.qmu.Unlock()
-			s.nudge()
+			copy(d.queue, d.queue[1:])
+			d.queue[len(d.queue)-1] = pending{ev: ev, mode: mode, args: cloneArgs(args)}
+			d.qmu.Unlock()
+			d.nudge()
 		case DropNewest:
-			s.qmu.Unlock()
+			d.qmu.Unlock()
 		default: // RejectNew
-			s.qmu.Unlock()
-			s.report(ErrQueueFull)
+			d.qmu.Unlock()
+			d.sys.report(ErrQueueFull)
 		}
 		return
 	}
-	s.queue = append(s.queue, pending{ev: ev, mode: mode, args: cloneArgs(args)})
-	s.qmu.Unlock()
-	s.nudge()
+	d.queue = append(d.queue, pending{ev: ev, mode: mode, args: cloneArgs(args)})
+	d.qmu.Unlock()
+	d.nudge()
 }
 
-// nudge wakes a blocked Run loop, if any. The wake channel is created
-// unconditionally at construction, so no nil check is needed (or safe:
-// a nil fast path would race with Run observing the channel).
-func (s *System) nudge() {
+// nudge wakes this domain's blocked run loop, if any. The wake channel
+// is created unconditionally at construction, so no nil check is needed
+// (or safe: a nil fast path would race with run observing the channel).
+func (d *Domain) nudge() {
 	select {
-	case s.wake <- struct{}{}:
+	case d.wake <- struct{}{}:
 	default:
 	}
 }
 
 // noteTimerCanceled counts a cancellation and compacts the heap once
 // canceled entries outnumber live ones (and are worth the rebuild).
-func (s *System) noteTimerCanceled() {
-	s.qmu.Lock()
-	s.canceled++
-	if s.canceled >= 64 && s.canceled*2 >= len(s.timers) {
-		s.compactTimersLocked()
+func (d *Domain) noteTimerCanceled() {
+	d.qmu.Lock()
+	d.canceled++
+	if d.canceled >= 64 && d.canceled*2 >= len(d.timers) {
+		d.compactTimersLocked()
 	}
-	s.qmu.Unlock()
+	d.qmu.Unlock()
 }
 
 // compactTimersLocked rebuilds the heap without done entries. Caller
 // holds qmu.
-func (s *System) compactTimersLocked() {
-	kept := make(timerHeap, 0, len(s.timers)-s.canceled)
-	for _, e := range s.timers {
+func (d *Domain) compactTimersLocked() {
+	kept := make(timerHeap, 0, len(d.timers)-d.canceled)
+	for _, e := range d.timers {
 		e.mu.Lock()
 		done := e.done
 		e.mu.Unlock()
@@ -225,17 +237,9 @@ func (s *System) compactTimersLocked() {
 			kept = append(kept, e)
 		}
 	}
-	s.timers = kept
-	heap.Init(&s.timers)
-	s.canceled = 0
-}
-
-// timerHeapLen reports the raw heap length, including canceled entries
-// not yet compacted (tests observe memory hygiene through it).
-func (s *System) timerHeapLen() int {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	return len(s.timers)
+	d.timers = kept
+	heap.Init(&d.timers)
+	d.canceled = 0
 }
 
 func cloneArgs(args []Arg) []Arg {
@@ -247,191 +251,63 @@ func cloneArgs(args []Arg) []Arg {
 	return out
 }
 
-// popRunnable removes and returns the next runnable activation: a queued
-// asynchronous activation, or a timer whose deadline has passed. The
-// second result reports whether anything was runnable.
-func (s *System) popRunnable() (pending, bool) {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	now := s.clock.Now()
+// popRunnable removes and returns the next runnable activation of this
+// domain: a queued asynchronous activation, or a timer whose deadline
+// has passed. The second result reports whether anything was runnable.
+func (d *Domain) popRunnable() (pending, bool) {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	now := d.sys.clock.Now()
 	// Due timers fire before queued events with respect to their deadline
 	// order, but queued events that were enqueued first still drain FIFO;
 	// we give precedence to due timers to honor their deadlines.
-	for len(s.timers) > 0 {
-		e := s.timers.peek()
+	for len(d.timers) > 0 {
+		e := d.timers.peek()
 		e.mu.Lock()
 		if e.done {
 			e.mu.Unlock()
-			heap.Pop(&s.timers)
-			if s.canceled > 0 {
-				s.canceled--
+			heap.Pop(&d.timers)
+			if d.canceled > 0 {
+				d.canceled--
 			}
 			continue
 		}
 		if e.at <= now {
 			e.done = true
 			e.mu.Unlock()
-			heap.Pop(&s.timers)
+			heap.Pop(&d.timers)
 			return pending{ev: e.ev, mode: e.mode, args: e.args, attempt: e.attempt, fire: e.fire}, true
 		}
 		e.mu.Unlock()
 		break
 	}
-	if len(s.queue) > 0 {
-		p := s.queue[0]
-		s.queue = s.queue[1:]
+	if len(d.queue) > 0 {
+		p := d.queue[0]
+		d.queue = d.queue[1:]
 		return p, true
 	}
 	return pending{}, false
 }
 
-// nextDeadline returns the deadline of the earliest live timer, or false.
-func (s *System) nextDeadline() (Duration, bool) {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	for len(s.timers) > 0 {
-		e := s.timers.peek()
+// nextDeadline returns the deadline of the earliest live timer of this
+// domain, or false.
+func (d *Domain) nextDeadline() (Duration, bool) {
+	d.qmu.Lock()
+	defer d.qmu.Unlock()
+	for len(d.timers) > 0 {
+		e := d.timers.peek()
 		e.mu.Lock()
 		done := e.done
 		at := e.at
 		e.mu.Unlock()
 		if done {
-			heap.Pop(&s.timers)
-			if s.canceled > 0 {
-				s.canceled--
+			heap.Pop(&d.timers)
+			if d.canceled > 0 {
+				d.canceled--
 			}
 			continue
 		}
 		return at, true
 	}
 	return 0, false
-}
-
-// Step runs at most one queued or due activation (or internal timer
-// callback, such as a quarantine re-admission); it reports whether one
-// ran.
-func (s *System) Step() bool {
-	p, ok := s.popRunnable()
-	if !ok {
-		return false
-	}
-	if p.fire != nil {
-		p.fire()
-		return true
-	}
-	s.runTop(p.ev, p.mode, p.args, p.attempt)
-	return true
-}
-
-// Drain runs queued asynchronous activations until none remain. With a
-// virtual clock it then advances time to the next pending timer and keeps
-// going until no queued work and no timers remain. It returns the number
-// of activations executed.
-func (s *System) Drain() int {
-	n := 0
-	for {
-		if s.Step() {
-			n++
-			continue
-		}
-		vc, ok := s.clock.(*VirtualClock)
-		if !ok {
-			return n
-		}
-		at, any := s.nextDeadline()
-		if !any {
-			return n
-		}
-		vc.advanceTo(at)
-	}
-}
-
-// DrainFor behaves like Drain but, under a virtual clock, never advances
-// time beyond limit; it is used to simulate a bounded run (for example, N
-// seconds of a frame-paced workload). It returns the number of
-// activations executed.
-func (s *System) DrainFor(limit Duration) int {
-	n := 0
-	for {
-		if s.Step() {
-			n++
-			continue
-		}
-		vc, ok := s.clock.(*VirtualClock)
-		if !ok {
-			return n
-		}
-		at, any := s.nextDeadline()
-		if !any || at > limit {
-			return n
-		}
-		vc.advanceTo(at)
-	}
-}
-
-// Run is the blocking event loop for real-clock systems: it executes
-// queued asynchronous activations as they arrive and timed activations
-// as they fall due, sleeping in between, until stop is closed. It
-// returns the number of activations executed. Synchronous raises from
-// other goroutines remain safe concurrently (handler execution is
-// serialized by the atomicity lock); use Drain instead under a virtual
-// clock.
-func (s *System) Run(stop <-chan struct{}) int {
-	n := 0
-	for {
-		for s.Step() {
-			n++
-		}
-		select {
-		case <-stop:
-			return n
-		default:
-		}
-		var timerC <-chan time.Time
-		if at, ok := s.nextDeadline(); ok {
-			wait := at - s.clock.Now()
-			if wait <= 0 {
-				continue
-			}
-			t := time.NewTimer(wait)
-			timerC = t.C
-			select {
-			case <-stop:
-				t.Stop()
-				return n
-			case <-s.wake:
-				t.Stop()
-			case <-timerC:
-			}
-			continue
-		}
-		select {
-		case <-stop:
-			return n
-		case <-s.wake:
-		}
-	}
-}
-
-// QueueLen reports the number of queued (not yet run) asynchronous
-// activations, excluding timers.
-func (s *System) QueueLen() int {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	return len(s.queue)
-}
-
-// TimerCount reports the number of scheduled (uncanceled, unfired) timers.
-func (s *System) TimerCount() int {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	n := 0
-	for _, e := range s.timers {
-		e.mu.Lock()
-		if !e.done {
-			n++
-		}
-		e.mu.Unlock()
-	}
-	return n
 }

@@ -11,12 +11,17 @@ import (
 // package installs one to record event and handler traces (paper section
 // 3.1). Super-handlers emit the same callbacks for the handlers they run,
 // so traces of optimized and unoptimized executions are comparable.
+//
+// dom identifies the event domain executing the activation (always 0 on a
+// single-domain system). Callbacks from different domains may arrive
+// concurrently; within one domain they are serialized by that domain's
+// atomicity lock.
 type Tracer interface {
 	// Event is called once per activation, before any handler runs.
-	Event(ev ID, name string, mode Mode, depth int)
+	Event(ev ID, name string, mode Mode, depth, dom int)
 	// HandlerEnter/HandlerExit bracket each handler invocation.
-	HandlerEnter(ev ID, eventName, handler string, depth int)
-	HandlerExit(ev ID, eventName, handler string, depth int)
+	HandlerEnter(ev ID, eventName, handler string, depth, dom int)
+	HandlerExit(ev ID, eventName, handler string, depth, dom int)
 }
 
 // Counters accumulates runtime statistics. All fields are updated with
@@ -73,50 +78,112 @@ func (c *Counters) Reset() {
 	c.QueueDrops.Store(0)
 }
 
-// Summary renders the counters as a human-readable report (one line per
-// nonzero group); cmd/evprof prints it after a workload run.
-func (c *Counters) Summary() string {
+// StatsSnapshot is a coherent copy of the counters: every atomic is
+// loaded exactly once, so derived quantities (fast-path share, fallback
+// rate) are internally consistent even when taken mid-load. Derived
+// lines in Summary and the -stats reports of the tools are computed
+// from one snapshot, never from repeated live loads.
+type StatsSnapshot struct {
+	Raises, SyncRaises, AsyncRaises, TimedRaises     int64
+	Generic, FastRuns, Fallbacks, SegFallbacks       int64
+	Indirect, Marshals, ArgResolves, Locks           int64
+	HandlersRun                                      int64
+	PanicsRecovered, Retries, Quarantines            int64
+	Reinstates, Deopts, DeadLetters, QueueDrops      int64
+}
+
+// Snapshot loads every counter once and returns the copies.
+func (c *Counters) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Raises:          c.Raises.Load(),
+		SyncRaises:      c.SyncRaises.Load(),
+		AsyncRaises:     c.AsyncRaises.Load(),
+		TimedRaises:     c.TimedRaises.Load(),
+		Generic:         c.Generic.Load(),
+		FastRuns:        c.FastRuns.Load(),
+		Fallbacks:       c.Fallbacks.Load(),
+		SegFallbacks:    c.SegFallbacks.Load(),
+		Indirect:        c.Indirect.Load(),
+		Marshals:        c.Marshals.Load(),
+		ArgResolves:     c.ArgResolves.Load(),
+		Locks:           c.Locks.Load(),
+		HandlersRun:     c.HandlersRun.Load(),
+		PanicsRecovered: c.PanicsRecovered.Load(),
+		Retries:         c.Retries.Load(),
+		Quarantines:     c.Quarantines.Load(),
+		Reinstates:      c.Reinstates.Load(),
+		Deopts:          c.Deopts.Load(),
+		DeadLetters:     c.DeadLetters.Load(),
+		QueueDrops:      c.QueueDrops.Load(),
+	}
+}
+
+// FastShare is the fraction of dispatched activations that took an
+// installed fast path, in [0,1]; it reports 0 when nothing dispatched.
+func (s StatsSnapshot) FastShare() float64 {
+	total := s.Generic + s.FastRuns
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FastRuns) / float64(total)
+}
+
+// Summary renders the snapshot as a human-readable report.
+func (s StatsSnapshot) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "raises        %8d (sync %d, async %d, timed %d)\n",
-		c.Raises.Load(), c.SyncRaises.Load(), c.AsyncRaises.Load(), c.TimedRaises.Load())
-	fmt.Fprintf(&b, "dispatch      %8d generic, %d fast, %d fallbacks, %d seg-fallbacks\n",
-		c.Generic.Load(), c.FastRuns.Load(), c.Fallbacks.Load(), c.SegFallbacks.Load())
+		s.Raises, s.SyncRaises, s.AsyncRaises, s.TimedRaises)
+	fmt.Fprintf(&b, "dispatch      %8d generic, %d fast, %d fallbacks, %d seg-fallbacks (fast share %.1f%%)\n",
+		s.Generic, s.FastRuns, s.Fallbacks, s.SegFallbacks, 100*s.FastShare())
 	fmt.Fprintf(&b, "overheads     %8d indirect, %d marshals, %d arg-resolves, %d locks\n",
-		c.Indirect.Load(), c.Marshals.Load(), c.ArgResolves.Load(), c.Locks.Load())
-	fmt.Fprintf(&b, "handlers run  %8d\n", c.HandlersRun.Load())
+		s.Indirect, s.Marshals, s.ArgResolves, s.Locks)
+	fmt.Fprintf(&b, "handlers run  %8d\n", s.HandlersRun)
 	fmt.Fprintf(&b, "faults        %8d recovered, %d retries, %d quarantines, %d reinstates\n",
-		c.PanicsRecovered.Load(), c.Retries.Load(), c.Quarantines.Load(), c.Reinstates.Load())
+		s.PanicsRecovered, s.Retries, s.Quarantines, s.Reinstates)
 	fmt.Fprintf(&b, "degradation   %8d deopts, %d dead-letters, %d queue drops\n",
-		c.Deopts.Load(), c.DeadLetters.Load(), c.QueueDrops.Load())
+		s.Deopts, s.DeadLetters, s.QueueDrops)
 	return b.String()
 }
 
-// System is an event runtime instance: registry, scheduler and clock.
+// Summary renders the counters as a human-readable report (one line per
+// group); cmd/evprof prints it after a workload run. The counters are
+// snapshotted once so the derived fast-path share cannot mix values from
+// different instants mid-load.
+func (c *Counters) Summary() string {
+	return c.Snapshot().Summary()
+}
+
+// System is an event runtime instance: registry, clock, and one or more
+// event domains. A domain is an independent scheduling shard — run
+// queue, timer heap, atomicity lock and fault supervisor — and events
+// are assigned to domains by affinity (hash of the ID by default,
+// explicit via PinEvent). With the default single domain the system
+// behaves exactly like the historical serialized runtime; with N>1
+// domains, activations of events in different domains execute
+// concurrently while the registry stays lock-free for readers.
 type System struct {
-	mu      sync.Mutex // guards registry state
+	mu      sync.Mutex // guards registry writes (the publish side)
 	events  []*eventRec
 	byName  map[string]ID
 	bindSeq uint64
-	fast    []*SuperHandler // per-event fast paths, indexed by ID
 
-	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
-	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
+	table atomic.Pointer[[]*eventRec] // lock-free ID -> record table
 
-	qmu      sync.Mutex // guards queue, timers and the queue bound
-	queue    []pending
-	timers   timerHeap
-	tseq     uint64
-	canceled int            // canceled-but-unpopped timers (compaction trigger)
-	qcap     int            // run-queue capacity (0 = unbounded)
-	qpolicy  OverflowPolicy // applied when the bounded queue is full
-	wake     chan struct{}  // nudges Run when work arrives; never nil (made in New)
+	domains []*Domain
 
 	clock   Clock
-	tracer  Tracer
+	trc     atomic.Pointer[tracerRef]
 	stats   Counters
-	fault   faultState  // supervision layer (fault.go)
+	fault   faultShared // shared supervision config (fault.go)
 	haltErr func(error) // reporter for raise errors on async paths
+
+	wantDomains int            // WithDomains value, consumed by New
+	wantQcap    int            // queue bound remembered for domain creation
+	wantQpolicy OverflowPolicy // overflow policy remembered for domain creation
 }
+
+// tracerRef boxes the installed Tracer so it can swap atomically.
+type tracerRef struct{ t Tracer }
 
 // pending is one queued asynchronous or timed activation, or an internal
 // callback (fire non-nil) popped off the timer heap.
@@ -144,34 +211,59 @@ func WithErrorReporter(f func(error)) Option {
 	return func(s *System) { s.haltErr = f }
 }
 
+// WithDomains shards the system into n event domains (n < 1 is treated
+// as 1). Each domain owns its run queue, timer heap, atomicity lock and
+// quarantine state; events are spread over domains by ID hash unless
+// pinned. The default is one domain, which preserves the fully
+// serialized, deterministic behavior of the historical runtime.
+func WithDomains(n int) Option {
+	return func(s *System) { s.wantDomains = n }
+}
+
 // New creates an empty event system.
 func New(opts ...Option) *System {
 	s := &System{
 		byName: make(map[string]ID),
 		clock:  NewRealClock(),
-		wake:   make(chan struct{}, 1),
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	n := s.wantDomains
+	if n < 1 {
+		n = 1
+	}
+	s.domains = make([]*Domain, n)
+	for i := range s.domains {
+		s.domains[i] = newDomain(s, i)
+	}
+	if s.wantQcap > 0 {
+		s.SetQueueBound(s.wantQcap, s.wantQpolicy)
 	}
 	return s
 }
 
 // SetTracer installs (or removes, with nil) the instrumentation hook.
 func (s *System) SetTracer(t Tracer) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tracer = t
+	if t == nil {
+		s.trc.Store(nil)
+		return
+	}
+	s.trc.Store(&tracerRef{t: t})
+}
+
+// tracer returns the installed Tracer (nil if none), lock-free.
+func (s *System) tracer() Tracer {
+	if ref := s.trc.Load(); ref != nil {
+		return ref.t
+	}
+	return nil
 }
 
 // TracerInstalled reports whether a tracer is active.
-func (s *System) TracerInstalled() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.tracer != nil
-}
+func (s *System) TracerInstalled() bool { return s.tracer() != nil }
 
-// Stats exposes the runtime counters.
+// Stats exposes the runtime counters (shared across all domains).
 func (s *System) Stats() *Counters { return &s.stats }
 
 // Clock returns the system clock.

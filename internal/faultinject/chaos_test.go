@@ -264,6 +264,112 @@ func TestSeccommSurvivingTraceMatchesGenericDispatch(t *testing.T) {
 	}
 }
 
+// runSeccommTwoDomainChaos drives one sharded chaos run: SecComm split
+// over two event domains (push chain pinned to domain 0, pop chain to
+// domain 1), a chaos handler panicking on every call in each chain, and
+// threshold-1 Quarantine supervision. It returns the outcome counters.
+func runSeccommTwoDomainChaos(t *testing.T, seed int64, msgs int) (sent, delivered int, injected int, st event.StatsSnapshot) {
+	t.Helper()
+	e, err := seccomm.New(seccommConfig(),
+		event.WithDomains(2),
+		event.WithClock(event.NewVirtualClock()),
+		event.WithFaultConfig(event.FaultConfig{
+			Policy:           event.Quarantine,
+			FailureThreshold: 1,
+			Backoff:          50 * event.Duration(1e6),
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit affinity: the whole push chain enters through msgFromUser
+	// (domain 0), the pop chain through msgFromNet (domain 1). Nested
+	// raises run inline, so each chain's faults land in its own domain.
+	if err := e.Sys.PinEvent(e.MsgFromUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Sys.PinEvent(e.MsgFromNet, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultinject.New(seed)
+	inj.SetRate(1) // every chaos-handler call panics until quarantined
+	inj.BindChaos(e.Sys, e.PushMsg, "push-chaos", -100)
+	inj.BindChaos(e.Sys, e.PopMsg, "pop-chaos", -100)
+
+	var wire [][]byte
+	e.OnSend(func(p []byte) { sent++; wire = append(wire, append([]byte(nil), p...)) })
+	e.OnDeliver(func([]byte) { delivered++ })
+
+	for i := 0; i < msgs; i++ {
+		e.Push([]byte(fmt.Sprintf("sharded chaos %03d", i)))
+	}
+
+	// Per-domain quarantine state: exactly one binding tripped per domain
+	// side so far (the virtual clock has not advanced, so no re-admission
+	// can have raced the assertion).
+	if got := e.Sys.DomainQuarantineCount(0); got != 1 {
+		t.Errorf("DomainQuarantineCount(0) = %d, want 1", got)
+	}
+	if got := e.Sys.DomainQuarantineCount(1); got != 0 {
+		t.Errorf("DomainQuarantineCount(1) = %d before pops, want 0", got)
+	}
+	if !e.Sys.IsQuarantined(e.PushMsg, "push-chaos") {
+		t.Error("push-chaos not quarantined")
+	}
+
+	for _, p := range wire {
+		e.HandlePacket(p)
+	}
+	if got := e.Sys.DomainQuarantineCount(1); got != 1 {
+		t.Errorf("DomainQuarantineCount(1) = %d, want 1", got)
+	}
+	if got := e.Sys.QuarantineCount(); got != 2 {
+		t.Errorf("QuarantineCount = %d, want 2", got)
+	}
+
+	// Advancing virtual time re-admits both breakers through their own
+	// domains' timer heaps; the chaos handlers immediately fault again and
+	// re-quarantine, so Drain converges with the bindings parked.
+	e.Sys.Drain()
+	injected = inj.Injected()
+	return sent, delivered, injected, e.Sys.Stats().Snapshot()
+}
+
+func TestSeccommTwoDomainChaosQuarantinePerDomain(t *testing.T) {
+	msgs := 200
+	if testing.Short() {
+		msgs = 50
+	}
+	sent, delivered, injected, st := runSeccommTwoDomainChaos(t, 42, msgs)
+
+	// Liveness: the chaos handlers are skipped once quarantined; every
+	// message still crossed the wire and decoded.
+	if sent != msgs {
+		t.Errorf("sent %d of %d", sent, msgs)
+	}
+	if delivered != msgs {
+		t.Errorf("delivered %d of %d", delivered, msgs)
+	}
+	if injected == 0 {
+		t.Fatal("nothing injected")
+	}
+	if st.PanicsRecovered != int64(injected) {
+		t.Errorf("PanicsRecovered = %d, injected = %d", st.PanicsRecovered, injected)
+	}
+	if st.Quarantines < 2 {
+		t.Errorf("Quarantines = %d, want >= 2 (one per domain)", st.Quarantines)
+	}
+
+	// Determinism: the sharded run is still fully reproducible — domains
+	// only parallelize independent work, the per-domain schedules are
+	// unchanged.
+	sent2, delivered2, injected2, st2 := runSeccommTwoDomainChaos(t, 42, msgs)
+	if sent2 != sent || delivered2 != delivered || injected2 != injected || st2 != st {
+		t.Errorf("same seed diverged:\n  run1 sent %d delivered %d injected %d %+v\n  run2 sent %d delivered %d injected %d %+v",
+			sent, delivered, injected, st, sent2, delivered2, injected2, st2)
+	}
+}
+
 func TestVideoPlayerChaosLivenessAndDeterminism(t *testing.T) {
 	frames := 150
 	if testing.Short() {

@@ -19,10 +19,14 @@ import (
 //	numEntries uvarint | entries:
 //	   kind u8 | event uvarint | depth uvarint | nameIdx uvarint
 //	   | mode u8 (EventRaised)  OR  handlerIdx uvarint (H+/H-)
+//	   | domain uvarint (version >= 2)
+//
+// Version 2 appends the event-domain index to each entry; version 1
+// traces (no domain field) still read back with Domain 0.
 
 var binaryMagic = [4]byte{'E', 'V', 'T', 'R'}
 
-const binaryVersion = 1
+const binaryVersion = 2
 
 // WriteBinary serializes entries in the binary format.
 func WriteBinary(w io.Writer, entries []Entry) error {
@@ -51,12 +55,13 @@ func WriteBinary(w io.Writer, entries []Entry) error {
 		ev, depth        uint64
 		nameIdx, handIdx uint64
 		mode             event.Mode
+		dom              uint64
 	}
 	ps := make([]packed, len(entries))
 	for i, e := range entries {
 		ps[i] = packed{
 			kind: e.Kind, ev: uint64(e.Event), depth: uint64(e.Depth),
-			nameIdx: intern(e.EventName), mode: e.Mode,
+			nameIdx: intern(e.EventName), mode: e.Mode, dom: uint64(e.Domain),
 		}
 		if e.Kind != EventRaised {
 			ps[i].handIdx = intern(e.Handler)
@@ -103,6 +108,9 @@ func WriteBinary(w io.Writer, entries []Entry) error {
 		} else if err := writeUvarint(p.handIdx); err != nil {
 			return err
 		}
+		if err := writeUvarint(p.dom); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -117,8 +125,9 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 	if [4]byte(magic[:4]) != binaryMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
 	}
-	if magic[4] != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", magic[4])
+	version := magic[4]
+	if version < 1 || version > binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
 
 	nStr, err := binary.ReadUvarint(br)
@@ -196,6 +205,13 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 			if e.Handler, err = str(hIdx); err != nil {
 				return nil, err
 			}
+		}
+		if version >= 2 {
+			dom, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			e.Domain = int(dom)
 		}
 		entries = append(entries, e)
 	}

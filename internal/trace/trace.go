@@ -8,12 +8,21 @@
 // Traces serialize to a line-oriented text format so profiling runs and
 // analysis can be separated (the paper's workflow: run the instrumented
 // program, then analyze off-line).
+//
+// On a multi-domain system the Recorder keeps one buffer per event
+// domain: callbacks from different domains never contend on one lock, and
+// Entries returns the deterministic merge — the per-domain streams
+// concatenated in domain order. Because each domain serializes its own
+// activations, every per-domain stream is internally ordered, so two runs
+// that execute the same per-domain work produce identical merged traces
+// regardless of cross-domain interleaving.
 package trace
 
 import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -54,17 +63,25 @@ type Entry struct {
 	Handler   string // empty unless Kind is HandlerEnter/HandlerExit
 	Mode      event.Mode
 	Depth     int
+	Domain    int // event domain that executed the activation (0 on single-domain systems)
 }
 
-// Recorder accumulates trace entries. It is safe for concurrent use.
+// domBuf is the entry buffer of one event domain.
+type domBuf struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Recorder accumulates trace entries. It is safe for concurrent use; with
+// a multi-domain system each domain appends to its own buffer.
 //
 // By default only event activations are recorded (event-level profiling).
 // EnableHandlerProfiling turns on handler entries for a chosen set of
 // events — the paper's two-phase scheme, where handler instrumentation is
 // added only for events on hot paths.
 type Recorder struct {
-	mu          sync.Mutex
-	entries     []Entry
+	mu          sync.RWMutex // guards doms growth and the profiling filters
+	doms        []*domBuf
 	handlerEvs  map[event.ID]bool
 	allHandlers bool
 }
@@ -90,56 +107,124 @@ func (r *Recorder) EnableHandlerProfiling(evs ...event.ID) {
 }
 
 func (r *Recorder) wantsHandlers(ev event.ID) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.allHandlers || r.handlerEvs[ev]
 }
 
-// Event implements event.Tracer.
-func (r *Recorder) Event(ev event.ID, name string, mode event.Mode, depth int) {
+// buf returns the buffer of domain dom, growing the set on first use.
+func (r *Recorder) buf(dom int) *domBuf {
+	if dom < 0 {
+		dom = 0
+	}
+	r.mu.RLock()
+	if dom < len(r.doms) {
+		b := r.doms[dom]
+		r.mu.RUnlock()
+		return b
+	}
+	r.mu.RUnlock()
 	r.mu.Lock()
-	r.entries = append(r.entries, Entry{Kind: EventRaised, Event: ev, EventName: name, Mode: mode, Depth: depth})
+	for len(r.doms) <= dom {
+		r.doms = append(r.doms, &domBuf{})
+	}
+	b := r.doms[dom]
 	r.mu.Unlock()
+	return b
+}
+
+// Event implements event.Tracer.
+func (r *Recorder) Event(ev event.ID, name string, mode event.Mode, depth, dom int) {
+	b := r.buf(dom)
+	b.mu.Lock()
+	b.entries = append(b.entries, Entry{Kind: EventRaised, Event: ev, EventName: name, Mode: mode, Depth: depth, Domain: dom})
+	b.mu.Unlock()
 }
 
 // HandlerEnter implements event.Tracer.
-func (r *Recorder) HandlerEnter(ev event.ID, eventName, handler string, depth int) {
-	r.mu.Lock()
-	if r.wantsHandlers(ev) {
-		r.entries = append(r.entries, Entry{Kind: HandlerEnter, Event: ev, EventName: eventName, Handler: handler, Depth: depth})
+func (r *Recorder) HandlerEnter(ev event.ID, eventName, handler string, depth, dom int) {
+	if !r.wantsHandlers(ev) {
+		return
 	}
-	r.mu.Unlock()
+	b := r.buf(dom)
+	b.mu.Lock()
+	b.entries = append(b.entries, Entry{Kind: HandlerEnter, Event: ev, EventName: eventName, Handler: handler, Depth: depth, Domain: dom})
+	b.mu.Unlock()
 }
 
 // HandlerExit implements event.Tracer.
-func (r *Recorder) HandlerExit(ev event.ID, eventName, handler string, depth int) {
-	r.mu.Lock()
-	if r.wantsHandlers(ev) {
-		r.entries = append(r.entries, Entry{Kind: HandlerExit, Event: ev, EventName: eventName, Handler: handler, Depth: depth})
+func (r *Recorder) HandlerExit(ev event.ID, eventName, handler string, depth, dom int) {
+	if !r.wantsHandlers(ev) {
+		return
 	}
-	r.mu.Unlock()
+	b := r.buf(dom)
+	b.mu.Lock()
+	b.entries = append(b.entries, Entry{Kind: HandlerExit, Event: ev, EventName: eventName, Handler: handler, Depth: depth, Domain: dom})
+	b.mu.Unlock()
 }
 
-// Len reports the number of recorded entries.
-func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.entries)
-}
-
-// Entries returns a copy of all recorded entries in order.
-func (r *Recorder) Entries() []Entry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Entry, len(r.entries))
-	copy(out, r.entries)
+// bufs returns a stable copy of the per-domain buffer set.
+func (r *Recorder) bufs() []*domBuf {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*domBuf, len(r.doms))
+	copy(out, r.doms)
 	return out
 }
 
-// Events returns only the EventRaised entries, in order.
+// Len reports the number of recorded entries across all domains.
+func (r *Recorder) Len() int {
+	n := 0
+	for _, b := range r.bufs() {
+		b.mu.Lock()
+		n += len(b.entries)
+		b.mu.Unlock()
+	}
+	return n
+}
+
+// Entries returns a copy of all recorded entries: the per-domain streams
+// concatenated in domain order (the deterministic merge). On a
+// single-domain system this is exactly the recording order.
+func (r *Recorder) Entries() []Entry {
+	bufs := r.bufs()
+	n := 0
+	for _, b := range bufs {
+		b.mu.Lock()
+		n += len(b.entries)
+		b.mu.Unlock()
+	}
+	out := make([]Entry, 0, n)
+	for _, b := range bufs {
+		b.mu.Lock()
+		out = append(out, b.entries...)
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// DomainEntries returns a copy of the entries recorded by domain dom (nil
+// when that domain recorded nothing).
+func (r *Recorder) DomainEntries(dom int) []Entry {
+	bufs := r.bufs()
+	if dom < 0 || dom >= len(bufs) {
+		return nil
+	}
+	b := bufs[dom]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.entries) == 0 {
+		return nil
+	}
+	out := make([]Entry, len(b.entries))
+	copy(out, b.entries)
+	return out
+}
+
+// Events returns only the EventRaised entries, in merged order.
 func (r *Recorder) Events() []Entry {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var out []Entry
-	for _, e := range r.entries {
+	for _, e := range r.Entries() {
 		if e.Kind == EventRaised {
 			out = append(out, e)
 		}
@@ -149,9 +234,23 @@ func (r *Recorder) Events() []Entry {
 
 // Reset discards all recorded entries (profiling filters are kept).
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	r.entries = nil
-	r.mu.Unlock()
+	for _, b := range r.bufs() {
+		b.mu.Lock()
+		b.entries = nil
+		b.mu.Unlock()
+	}
+}
+
+// MergeDomains reorders entries into the canonical merged order: grouped
+// by domain (ascending), preserving the relative order within each
+// domain. Recorder.Entries already returns this order; MergeDomains
+// canonicalizes traces that were concatenated from separate per-domain
+// files or filtered out of order.
+func MergeDomains(entries []Entry) []Entry {
+	out := make([]Entry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Domain < out[j].Domain })
+	return out
 }
 
 // WriteTo serializes the trace in the text format. It returns the number
@@ -162,11 +261,13 @@ func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
 
 // WriteEntries serializes entries in the text format:
 //
-//	E  <id> <mode> <depth> <eventName>
-//	H+ <id> <depth> <eventName> <handler>
-//	H- <id> <depth> <eventName> <handler>
+//	E  <id> <mode> <depth> <eventName> [domain]
+//	H+ <id> <depth> <eventName> <handler> [domain]
+//	H- <id> <depth> <eventName> <handler> [domain]
 //
 // Names are quoted with strconv.Quote so arbitrary identifiers round-trip.
+// The trailing domain field is written only when nonzero, so traces from
+// single-domain systems are byte-identical to the historical format.
 func WriteEntries(w io.Writer, entries []Entry) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -175,10 +276,19 @@ func WriteEntries(w io.Writer, entries []Entry) (int64, error) {
 		var err error
 		switch e.Kind {
 		case EventRaised:
-			m, err = fmt.Fprintf(bw, "E %d %d %d %s\n", e.Event, e.Mode, e.Depth, strconv.Quote(e.EventName))
+			if e.Domain != 0 {
+				m, err = fmt.Fprintf(bw, "E %d %d %d %s %d\n", e.Event, e.Mode, e.Depth, strconv.Quote(e.EventName), e.Domain)
+			} else {
+				m, err = fmt.Fprintf(bw, "E %d %d %d %s\n", e.Event, e.Mode, e.Depth, strconv.Quote(e.EventName))
+			}
 		case HandlerEnter, HandlerExit:
-			m, err = fmt.Fprintf(bw, "%s %d %d %s %s\n", e.Kind, e.Event, e.Depth,
-				strconv.Quote(e.EventName), strconv.Quote(e.Handler))
+			if e.Domain != 0 {
+				m, err = fmt.Fprintf(bw, "%s %d %d %s %s %d\n", e.Kind, e.Event, e.Depth,
+					strconv.Quote(e.EventName), strconv.Quote(e.Handler), e.Domain)
+			} else {
+				m, err = fmt.Fprintf(bw, "%s %d %d %s %s\n", e.Kind, e.Event, e.Depth,
+					strconv.Quote(e.EventName), strconv.Quote(e.Handler))
+			}
 		default:
 			err = fmt.Errorf("trace: unknown entry kind %d", e.Kind)
 		}
@@ -225,8 +335,8 @@ func parseLine(text string) (Entry, error) {
 	var e Entry
 	switch fields[0] {
 	case "E":
-		if len(fields) != 5 {
-			return Entry{}, fmt.Errorf("E record needs 5 fields, got %d", len(fields))
+		if len(fields) != 5 && len(fields) != 6 {
+			return Entry{}, fmt.Errorf("E record needs 5 or 6 fields, got %d", len(fields))
 		}
 		e.Kind = EventRaised
 		id, err := strconv.Atoi(fields[1])
@@ -242,9 +352,14 @@ func parseLine(text string) (Entry, error) {
 			return Entry{}, err
 		}
 		e.Event, e.Mode, e.Depth, e.EventName = event.ID(id), event.Mode(mode), depth, fields[4]
+		if len(fields) == 6 {
+			if e.Domain, err = strconv.Atoi(fields[5]); err != nil {
+				return Entry{}, err
+			}
+		}
 	case "H+", "H-":
-		if len(fields) != 5 {
-			return Entry{}, fmt.Errorf("H record needs 5 fields, got %d", len(fields))
+		if len(fields) != 5 && len(fields) != 6 {
+			return Entry{}, fmt.Errorf("H record needs 5 or 6 fields, got %d", len(fields))
 		}
 		if fields[0] == "H+" {
 			e.Kind = HandlerEnter
@@ -260,6 +375,11 @@ func parseLine(text string) (Entry, error) {
 			return Entry{}, err
 		}
 		e.Event, e.Depth, e.EventName, e.Handler = event.ID(id), depth, fields[3], fields[4]
+		if len(fields) == 6 {
+			if e.Domain, err = strconv.Atoi(fields[5]); err != nil {
+				return Entry{}, err
+			}
+		}
 	default:
 		return Entry{}, fmt.Errorf("unknown record tag %q", fields[0])
 	}

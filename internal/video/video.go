@@ -47,12 +47,14 @@ type Player struct {
 }
 
 // NewPlayer builds a player with its own CTP instance on a virtual clock.
-func NewPlayer(cfg ctp.Config, frameRate, frameSize int) (*Player, error) {
+// Extra event options (fault policies, domain sharding) pass through to
+// the underlying runtime after the clock.
+func NewPlayer(cfg ctp.Config, frameRate, frameSize int, opts ...event.Option) (*Player, error) {
 	if frameRate <= 0 || frameSize < 0 {
 		return nil, fmt.Errorf("video: invalid rate %d / size %d", frameRate, frameSize)
 	}
 	clock := event.NewVirtualClock()
-	s, err := ctp.New(cfg, event.WithClock(clock))
+	s, err := ctp.New(cfg, append([]event.Option{event.WithClock(clock)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
