@@ -63,6 +63,7 @@ func benchFrames(b *testing.B, p *video.Player) {
 	s.Start()
 	interval := event.Duration(40e6) // 25 fps
 	base := s.Sys.Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.SendFrame(frame, i%10 == 0)
@@ -84,6 +85,7 @@ func benchEvent(b *testing.B, p *video.Player, name string) {
 	s := p.Sender
 	seg := make([]byte, 900)
 	seq := s.Seq() + 1e6
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		switch name {
@@ -150,6 +152,7 @@ func benchSecComm(b *testing.B, size int, optimize, pop bool) {
 		}, opts)
 	}
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if pop {
@@ -191,6 +194,7 @@ func itoa(n int) string {
 
 func BenchmarkFig13ScrollOrig(b *testing.B) {
 	g := xwin.NewGvim()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Scroll(i * 7 % 360)
@@ -206,6 +210,7 @@ func BenchmarkFig13ScrollOpt(b *testing.B) {
 			g.Scroll(i * 3 % 360)
 		}
 	}, opts)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.Scroll(i * 7 % 360)
@@ -214,6 +219,7 @@ func BenchmarkFig13ScrollOpt(b *testing.B) {
 
 func BenchmarkFig13PopupOrig(b *testing.B) {
 	x := xwin.NewXTerm()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x.Popup(30, i%60)
@@ -232,6 +238,7 @@ func BenchmarkFig13PopupOpt(b *testing.B) {
 			x.Popup(30, i%60)
 		}
 	}, opts)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		x.Popup(30, i%60)
@@ -361,6 +368,7 @@ func BenchmarkRebindFallback(b *testing.B) {
 	}
 	// Invalidate the entry guard.
 	app.Sys.Bind(aEv, "late", func(*Ctx) {}, WithOrder(9))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		app.Sys.Raise(aEv, A("n", i))
@@ -376,6 +384,7 @@ func BenchmarkDESBlock(b *testing.B) {
 	}
 	var in, out [8]byte
 	b.SetBytes(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d.EncryptBlock(out[:], in[:])
@@ -385,6 +394,7 @@ func BenchmarkDESBlock(b *testing.B) {
 func BenchmarkMD5_1K(b *testing.B) {
 	msg := make([]byte, 1024)
 	b.SetBytes(1024)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ciphers.MD5(msg)
@@ -399,6 +409,7 @@ func BenchmarkGraphBuilder(b *testing.B) {
 		entries[i] = trace.Entry{Kind: trace.EventRaised, Event: id,
 			EventName: "E", Mode: event.Mode(i % 2), Depth: 0}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		profile.BuildEventGraph(entries)
@@ -428,6 +439,7 @@ func BenchmarkHIRInterp(b *testing.B) {
 	fn := hb.Fn()
 	env := &hir.Env{Globals: hir.NewState()}
 	var scratch []hir.Value
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, scratch, _ = hir.ExecReuse(fn, env, scratch)
@@ -460,6 +472,7 @@ func BenchmarkHIRCompiled(b *testing.B) {
 		b.Fatal(err)
 	}
 	var scratch []hir.Value
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, scratch, _ = comp.Exec(scratch)
@@ -481,6 +494,7 @@ func BenchmarkTracingOverhead(b *testing.B) {
 				rec.EnableHandlerProfiling()
 				app.Sys.SetTracer(rec)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				app.Sys.Raise(aEv, A("n", i))
@@ -500,6 +514,7 @@ func BenchmarkTraceEncoding(b *testing.B) {
 			EventName: "Event" + itoa(int(id)), Handler: "handler"})
 	}
 	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var buf bytes.Buffer
 			if _, err := trace.WriteEntries(&buf, entries); err != nil {
@@ -509,6 +524,7 @@ func BenchmarkTraceEncoding(b *testing.B) {
 		}
 	})
 	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var buf bytes.Buffer
 			if err := trace.WriteBinary(&buf, entries); err != nil {

@@ -22,12 +22,14 @@ func main() {
 		dot          = flag.Bool("dot", false, "emit DOT for the graphs")
 		parallel     = flag.Bool("parallel", false, "include the multi-domain throughput benchmark")
 		parallelJSON = flag.String("parallel-json", "", "write the parallel benchmark report to this file (implies -parallel)")
+		allocs       = flag.Bool("allocs", false, "include the hot-path allocation gate")
+		allocsJSON   = flag.String("allocs-json", "", "write the allocation report to this file (implies -allocs)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises := 400, 2000, 1000, 1000, 400, 400000
+	frames, iters, msgs, xiters, ohFrames, praises, aops := 400, 2000, 1000, 1000, 400, 400000, 20000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises = 120, 400, 200, 250, 150, 60000
+		frames, iters, msgs, xiters, ohFrames, praises, aops = 120, 400, 200, 250, 150, 60000, 5000
 	}
 
 	step := func(name string, f func() error) {
@@ -64,6 +66,22 @@ func main() {
 			}
 			defer f.Close()
 			return rep.WriteJSON(f)
+		})
+	}
+	if *allocs || *allocsJSON != "" {
+		step("allocs", func() error {
+			rep, gateErr := bench.RunAllocs(os.Stdout, aops)
+			if *allocsJSON != "" && rep != nil {
+				f, err := os.Create(*allocsJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
 		})
 	}
 }

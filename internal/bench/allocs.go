@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// AllocRow is one line of the hot-path allocation table: a steady-state
+// dispatch scenario with its measured allocations and time per raise.
+type AllocRow struct {
+	Scenario    string  `json:"scenario"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	Budget      float64 `json:"budget_allocs_per_op"` // gate: AllocsPerOp must not exceed it
+}
+
+// AllocReport is the serializable result of RunAllocs (uploaded by CI as
+// BENCH_allocs.json).
+type AllocReport struct {
+	CPUs int        `json:"cpus"`
+	Ops  int        `json:"ops_per_scenario"`
+	Rows []AllocRow `json:"rows"`
+}
+
+// WriteJSON serializes the report (indented, trailing newline).
+func (r *AllocReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+var allocSink int
+
+// allocScenario is one measured dispatch configuration.
+type allocScenario struct {
+	name   string
+	budget float64
+	op     func() // one steady-state raise (system prebuilt, args hoisted)
+}
+
+// allocScenarios builds the measured systems. Argument slices are hoisted
+// so the measurement charges the dispatcher, not caller-side boxing.
+func allocScenarios() []allocScenario {
+	args := []event.Arg{{Name: "n", Val: 7}, {Name: "s", Val: "x"}}
+	handler := func(ctx *event.Ctx) { allocSink += ctx.Args.Int("n") }
+
+	generic := event.New()
+	gev := generic.Define("hot")
+	generic.Bind(gev, "h", handler, event.WithParams("n", "s"))
+
+	fast := event.New()
+	fev := fast.Define("hot")
+	fast.Bind(fev, "h", handler, event.WithParams("n", "s"))
+	sh := &event.SuperHandler{
+		Entry: fev,
+		Segments: []event.Segment{{
+			Event: fev, EventName: "hot", Version: fast.Version(fev),
+			Steps: []event.Step{{Event: fev, EventName: "hot", Handler: "h", Fn: handler}},
+		}},
+	}
+	if err := fast.InstallFastPath(sh); err != nil {
+		panic(err)
+	}
+
+	async := event.New()
+	aev := async.Define("hot")
+	async.Bind(aev, "h", handler)
+
+	traced := event.New()
+	tev := traced.Define("hot")
+	traced.Bind(tev, "h", handler)
+	traced.SetTracer(trace.NewRecorder())
+
+	return []allocScenario{
+		{"sync-generic", 0, func() { _ = generic.Raise(gev, args...) }},
+		{"sync-fastpath", 0, func() { _ = fast.Raise(fev, args...) }},
+		{"async-raise+step", 1, func() { async.RaiseAsync(aev, args...); async.Step() }},
+		{"traced-sync", 0.5, func() { _ = traced.Raise(tev, args...) }},
+	}
+}
+
+// RunAllocs measures allocations and time per raise on the hot dispatch
+// paths and fails if any scenario exceeds its allocation budget — the
+// same gate TestAllocRegression applies in the test suite, reproduced
+// here so CI archives the measured numbers next to the throughput report.
+func RunAllocs(w io.Writer, ops int) (*AllocReport, error) {
+	rep := &AllocReport{CPUs: runtime.NumCPU(), Ops: ops}
+	header(w, "Hot-path allocations (steady state, args hoisted)")
+	fmt.Fprintf(w, "%-18s %12s %12s %8s\n", "Scenario", "allocs/op", "ns/op", "budget")
+	var exceeded []string
+	for _, sc := range allocScenarios() {
+		sc.op() // warm pools, scratch slots, trace chunks
+		allocs := testing.AllocsPerRun(ops, sc.op)
+		runtime.GC()
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			sc.op()
+		}
+		ns := float64(time.Since(t0).Nanoseconds()) / float64(ops)
+		row := AllocRow{Scenario: sc.name, AllocsPerOp: allocs, NsPerOp: ns, Budget: sc.budget}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Fprintf(w, "%-18s %12.2f %12.1f %8.1f\n", row.Scenario, row.AllocsPerOp, row.NsPerOp, row.Budget)
+		if allocs > sc.budget {
+			exceeded = append(exceeded, fmt.Sprintf("%s: %.2f allocs/op > budget %.1f", sc.name, allocs, sc.budget))
+		}
+	}
+	if len(exceeded) > 0 {
+		return rep, fmt.Errorf("allocation budget exceeded: %v", exceeded)
+	}
+	return rep, nil
+}

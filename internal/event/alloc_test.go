@@ -1,0 +1,124 @@
+package event
+
+import (
+	"testing"
+)
+
+// TestAllocRegression is the allocation gate of the zero-allocation hot
+// raise path: a steady-state synchronous raise (generic or optimized,
+// with up to inlineArgs arguments, untraced) allocates nothing, and an
+// asynchronous raise-plus-step allocates at most one object per
+// activation. A regression here means some dispatch layer started
+// retaining or reallocating per-activation state.
+func TestAllocRegression(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+
+	// The args slices are hoisted outside the measured loops: building a
+	// variadic []Arg at the call site is the caller's stack allocation
+	// (or, for large values, the caller's boxing), not the dispatcher's.
+	args := []Arg{{Name: "n", Val: 7}, {Name: "s", Val: "x"}}
+
+	t.Run("SyncGeneric", func(t *testing.T) {
+		s := New()
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") }, WithParams("n", "s"))
+		if err := s.Raise(ev, args...); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(ev, args...)
+		}); got != 0 {
+			t.Errorf("sync generic raise: %.1f allocs/op, want 0", got)
+		}
+	})
+
+	t.Run("SyncFastPath", func(t *testing.T) {
+		s := New()
+		ev := s.Define("hot")
+		sink := 0
+		fn := func(ctx *Ctx) { sink += ctx.Args.Int("n") }
+		s.Bind(ev, "h", fn, WithParams("n", "s"))
+		sh := &SuperHandler{
+			Entry: ev,
+			Segments: []Segment{{
+				Event: ev, EventName: "hot", Version: s.Version(ev),
+				Steps: []Step{{Event: ev, EventName: "hot", Handler: "h", Fn: fn}},
+			}},
+		}
+		if err := s.InstallFastPath(sh); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Raise(ev, args...); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(ev, args...)
+		}); got != 0 {
+			t.Errorf("sync fast-path raise: %.1f allocs/op, want 0", got)
+		}
+		if n := s.Stats().FastRuns.Load(); n == 0 {
+			t.Fatal("fast path never ran; the gate measured the wrong path")
+		}
+	})
+
+	t.Run("AsyncRaiseStep", func(t *testing.T) {
+		s := New()
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.RaiseAsync(ev, args...)
+		s.Step()
+		if got := testing.AllocsPerRun(200, func() {
+			s.RaiseAsync(ev, args...)
+			s.Step()
+		}); got > 1 {
+			t.Errorf("async raise+step: %.1f allocs/op, want <= 1", got)
+		}
+	})
+
+	t.Run("TracedSyncDispatch", func(t *testing.T) {
+		// With a tracer installed the dispatcher takes the traced path;
+		// the event-runtime side of it must still allocate nothing (the
+		// recording side's amortization is gated in the trace package).
+		s := New()
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.SetTracer(countingTracer{})
+		if got := testing.AllocsPerRun(2000, func() {
+			_ = s.Raise(ev, args...)
+		}); got > 0 {
+			t.Errorf("traced sync raise: %.1f allocs/op, want 0 amortized", got)
+		}
+	})
+
+	t.Run("NestedSyncRaise", func(t *testing.T) {
+		// Nested synchronous raises run in per-depth scratch slots; after
+		// the slot stack has grown once, re-dispatch allocates nothing.
+		s := New()
+		outer := s.Define("outer")
+		inner := s.Define("inner")
+		sink := 0
+		s.Bind(inner, "hi", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.Bind(outer, "ho", func(ctx *Ctx) { ctx.Raise(inner, args...) })
+		if err := s.Raise(outer); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(outer)
+		}); got != 0 {
+			t.Errorf("nested sync raise: %.1f allocs/op, want 0", got)
+		}
+	})
+}
+
+// countingTracer is a minimal no-op Tracer: it turns tracing on so the
+// dispatcher takes the traced path, without recording anything itself.
+type countingTracer struct{}
+
+func (countingTracer) Event(ID, string, Mode, int, int)          {}
+func (countingTracer) HandlerEnter(ID, string, string, int, int) {}
+func (countingTracer) HandlerExit(ID, string, string, int, int)  {}

@@ -33,12 +33,14 @@ func (s *System) RaiseAsync(ev ID, args ...Arg) {
 	s.enqueue(ev, Async, args)
 }
 
-// runTop executes one top-level activation popped from the domain's
-// scheduler. attempt counts prior executions of the same activation
-// under the retry policy; an activation that recovered at least one
-// handler panic is handed to the retry machinery once the atomicity
-// lock is released.
-func (d *Domain) runTop(ev ID, mode Mode, args []Arg, attempt int) {
+// runTop executes one top-level activation record popped from the
+// domain's scheduler and releases it afterwards. a.attempt counts prior
+// executions of the same activation under the retry policy; an
+// activation that recovered at least one handler panic is handed to the
+// retry machinery once the atomicity lock is released. The retry path
+// clones the record's arguments into its timer entry, so the release
+// never exposes aliased storage.
+func (d *Domain) runTop(a *activation) {
 	var faults int
 	func() {
 		// The unlock must be deferred: under the Propagate policy (or for
@@ -48,13 +50,14 @@ func (d *Domain) runTop(ev ID, mode Mode, args []Arg, attempt int) {
 		d.runMu.Lock()
 		defer d.runMu.Unlock()
 		d.fault.activationFaults = 0
-		_ = d.sys.dispatch(d, ev, mode, args, 0)
+		_ = d.sys.dispatch(d, a.ev, a.mode, a.args(), 0)
 		faults = d.fault.activationFaults
 		d.fault.activationFaults = 0
 	}()
 	if faults > 0 {
-		d.maybeRetry(ev, mode, args, attempt)
+		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt)
 	}
+	d.sys.putAct(a)
 }
 
 // raiseNested executes a synchronous activation from inside a handler.
@@ -146,8 +149,15 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 	s := d.sys
 	s.stats.Generic.Add(1)
 
-	// (1) Marshal the caller's arguments into a generic record.
-	a := MakeArgs(args)
+	// (1) Marshal the caller's arguments into the generic record embedded
+	// in this depth's scratch context. The copy is the marshal the paper
+	// prices; the storage is recycled per domain and depth, so the
+	// steady-state raise performs it without allocating.
+	slot := d.slot(depth)
+	ctx := &slot.ctx
+	*ctx = Ctx{System: s, Event: ev, Name: snap.name, Mode: mode, depth: depth, dom: d}
+	ctx.setArgs(args)
+	a := ctx.Args
 	s.stats.Marshals.Add(1)
 
 	// (2) Registry lookup: the immutable published snapshot replaces the
@@ -160,7 +170,6 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 	name := snap.name
 
 	pol := s.policy()
-	ctx := &Ctx{System: s, Event: ev, Name: name, Mode: mode, Args: a, depth: depth, dom: d}
 	for i := range hs {
 		h := &hs[i]
 

@@ -26,8 +26,8 @@ type Domain struct {
 	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
 	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
 
-	qmu      sync.Mutex // guards queue, timers and the queue bound
-	queue    []pending
+	qmu      sync.Mutex // guards q, timers and the queue bound
+	q        actRing    // run queue: pooled activation records in a ring
 	timers   timerHeap
 	tseq     uint64
 	canceled int            // canceled-but-unpopped timers (compaction trigger)
@@ -35,7 +35,30 @@ type Domain struct {
 	qpolicy  OverflowPolicy // applied when the bounded queue is full
 	wake     chan struct{}  // nudges run loops when work arrives; never nil
 
+	slots []*dispatchSlot // depth-indexed dispatch scratch, guarded by runMu
+
 	fault domainFault // per-domain quarantine + activation bookkeeping (fault.go)
+}
+
+// dispatchSlot is the dispatch scratch of one synchronous nesting depth
+// on one domain: a reusable handler context (with its inline argument
+// record) and a reusable super-handler execution state. Handler
+// execution in a domain is serialized by runMu and at most one
+// activation is live per depth, so steady-state dispatch — generic or
+// optimized — allocates nothing.
+type dispatchSlot struct {
+	ctx Ctx
+	ce  chainExec
+}
+
+// slot returns the scratch of nesting depth, growing the stack on first
+// use (amortized; deep recursions reuse their slots thereafter). Caller
+// holds runMu.
+func (d *Domain) slot(depth int) *dispatchSlot {
+	for depth >= len(d.slots) {
+		d.slots = append(d.slots, new(dispatchSlot))
+	}
+	return d.slots[depth]
 }
 
 func newDomain(s *System, idx int) *Domain {
@@ -100,15 +123,17 @@ func (s *System) Step() bool {
 
 // step runs at most one runnable activation of this domain.
 func (d *Domain) step() bool {
-	p, ok := d.popRunnable()
-	if !ok {
+	a := d.popRunnable()
+	if a == nil {
 		return false
 	}
-	if p.fire != nil {
-		p.fire()
+	if a.fire != nil {
+		fire := a.fire
+		d.sys.putAct(a)
+		fire()
 		return true
 	}
-	d.runTop(p.ev, p.mode, p.args, p.attempt)
+	d.runTop(a)
 	return true
 }
 
@@ -247,7 +272,7 @@ func (s *System) QueueLen() int {
 	n := 0
 	for _, d := range s.domains {
 		d.qmu.Lock()
-		n += len(d.queue)
+		n += d.q.len()
 		d.qmu.Unlock()
 	}
 	return n

@@ -179,9 +179,11 @@ func (sh *SuperHandler) run(d *Domain, mode Mode, args []Arg, depth int, tracer 
 	} else if !sh.versionsMatch() {
 		return false
 	}
-	ce := &chainExec{sh: sh, d: d, tracer: tracer, supervised: d.sys.policy() != Propagate}
-	// One marshal-free argument view for the whole chain: the caller's
-	// slice is wrapped, not copied, and no per-handler resolution happens.
+	// The execution state lives in this depth's dispatch scratch: one
+	// argument view is built for the whole chain (no per-handler record
+	// or resolution) and nothing on the steady-state path allocates.
+	ce := &d.slot(depth).ce
+	*ce = chainExec{sh: sh, d: d, tracer: tracer, supervised: d.sys.policy() != Propagate}
 	ce.runSegment(0, args, mode, depth)
 	return true
 }
@@ -194,9 +196,10 @@ type chainExec struct {
 	supervised bool // record in-flight handler names for fault attribution
 }
 
-// runSegment executes the steps (or fused body) of one segment. The raw
-// argument slice is wrapped in the context's embedded record — no copy,
-// no extra allocation.
+// runSegment executes the steps (or fused body) of one segment. The
+// arguments are copied into the inline record of this depth's scratch
+// context (cloned past inlineArgs), so the caller's slice is never
+// retained and the steady-state segment run does not allocate.
 func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 	seg := &ce.sh.Segments[idx]
 	d := ce.d
@@ -206,7 +209,8 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 	// per handler on the generic path.
 	d.stateLockTraffic()
 
-	ctx := &Ctx{
+	ctx := &d.slot(depth).ctx
+	*ctx = Ctx{
 		System: s,
 		Event:  seg.Event,
 		Name:   seg.EventName,
@@ -215,8 +219,7 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		chain:  ce,
 		dom:    d,
 	}
-	ctx.argsVal.pairs = args
-	ctx.Args = &ctx.argsVal
+	ctx.setArgs(args)
 	if seg.Fused != nil {
 		ctx.Handler = seg.FusedName
 		if ce.supervised {

@@ -70,6 +70,11 @@ type HandlerInfo struct {
 }
 
 // Ctx carries one event activation through its handlers.
+//
+// Contexts (and the Args records they expose) are per-domain scratch,
+// recycled across activations at the same nesting depth: a handler may
+// use them freely during its invocation but must not retain *Ctx or
+// *Args past its return — copy values (or Args.Pairs) out instead.
 type Ctx struct {
 	// System is the owning runtime.
 	System *System
@@ -88,9 +93,24 @@ type Ctx struct {
 
 	depth   int
 	halted  bool
-	chain   *chainExec // installed by a super-handler for subsumption
-	dom     *Domain    // domain executing this activation
-	argsVal Args       // backing store for Args on the optimized path
+	chain   *chainExec      // installed by a super-handler for subsumption
+	dom     *Domain         // domain executing this activation
+	argsVal Args            // backing store for Args (both dispatch paths)
+	argsBuf [inlineArgs]Arg // inline storage behind argsVal; spills past it
+}
+
+// setArgs marshals the raise arguments into the context's embedded
+// record: inline up to inlineArgs, a fresh clone beyond. The incoming
+// slice is never retained, so a caller's variadic argument slice stays
+// on its stack and a raise with few arguments does not allocate.
+func (c *Ctx) setArgs(args []Arg) {
+	if len(args) <= inlineArgs {
+		n := copy(c.argsBuf[:], args)
+		c.argsVal.pairs = c.argsBuf[:n]
+	} else {
+		c.argsVal.pairs = cloneArgs(args)
+	}
+	c.Args = &c.argsVal
 }
 
 // Domain reports the index of the event domain executing this activation.

@@ -1,0 +1,147 @@
+package event
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// poolWorkloadResult captures everything a pooled-dispatch bug could
+// corrupt: the argument values every handler observed (in execution
+// order) and the full stats snapshot.
+type poolWorkloadResult struct {
+	log   []string
+	stats StatsSnapshot
+}
+
+// runPoolWorkload drives one deterministic randomized workload through a
+// supervised system and records what its handlers saw. The workload is a
+// stress mix for activation-record reuse: sync and async raises, timed
+// raises, argument lists that spill past the inline record, panicking
+// handlers under the Quarantine policy (exercising retries, quarantine
+// trips and reinstatement replays), dead-letter events that adopt the
+// exhausted activation's arguments, and in-handler RaiseAsync while the
+// parent's record is still live.
+func runPoolWorkload(t *testing.T, seed int64, noPool bool) poolWorkloadResult {
+	t.Helper()
+	vc := NewVirtualClock()
+	s := New(
+		WithClock(vc),
+		WithFaultConfig(FaultConfig{Policy: Quarantine, FailureThreshold: 2, Backoff: 5 * time.Millisecond}),
+		WithRetryConfig(RetryConfig{
+			MaxAttempts: 3, Backoff: time.Millisecond,
+			Jitter: 0.5, JitterSeed: seed,
+			DeadLetter: "dead",
+		}),
+	)
+	s.noPool = noPool
+
+	var log []string
+	evA := s.Define("a")
+	evB := s.Define("b")
+	evC := s.Define("c")
+	evDead := s.Define("dead")
+
+	s.Bind(evA, "ha", func(ctx *Ctx) {
+		n := ctx.Args.Int("n")
+		log = append(log, fmt.Sprintf("a n=%d s=%s mode=%s", n, ctx.Args.String("s"), ctx.Mode))
+		if n%3 == 0 {
+			// Raise while the parent activation's pooled record is live: a
+			// dispatcher that aliased recycled storage would corrupt one of
+			// the two argument sets.
+			ctx.RaiseAsync(evB, Arg{Name: "n", Val: n + 1}, Arg{Name: "s", Val: "from-a"})
+		}
+		if n%4 == 1 {
+			// Nested sync raise with a spilled (>inlineArgs) argument list.
+			ctx.Raise(evC,
+				Arg{Name: "p", Val: n}, Arg{Name: "q", Val: n + 1}, Arg{Name: "r", Val: n + 2},
+				Arg{Name: "u", Val: n + 3}, Arg{Name: "v", Val: n + 4})
+		}
+		if n%7 == 3 {
+			panic("boom a")
+		}
+	}, WithParams("n", "s"))
+
+	s.Bind(evB, "hb", func(ctx *Ctx) {
+		n := ctx.Args.Int("n")
+		log = append(log, fmt.Sprintf("b n=%d s=%s mode=%s", n, ctx.Args.String("s"), ctx.Mode))
+		if n%5 == 2 {
+			// Deterministic in the arguments: every retry of this activation
+			// fails too, so it marches through the attempt budget into the
+			// dead-letter event.
+			panic("boom b")
+		}
+	}, WithParams("n"))
+
+	s.Bind(evC, "hc", func(ctx *Ctx) {
+		log = append(log, fmt.Sprintf("c p=%d q=%d r=%d u=%d v=%d",
+			ctx.Args.Int("p"), ctx.Args.Int("q"), ctx.Args.Int("r"),
+			ctx.Args.Int("u"), ctx.Args.Int("v")))
+	})
+
+	s.Bind(evDead, "hdead", func(ctx *Ctx) {
+		log = append(log, fmt.Sprintf("dead ev=%s attempts=%d n=%d",
+			ctx.Args.String("event"), ctx.Args.Int("attempts"), ctx.Args.Int("n")))
+	})
+
+	rng := rand.New(rand.NewSource(seed))
+	evs := []ID{evA, evB}
+	for op := 0; op < 300; op++ {
+		ev := evs[rng.Intn(len(evs))]
+		n := rng.Intn(40)
+		args := []Arg{{Name: "n", Val: n}, {Name: "s", Val: "top"}}
+		switch rng.Intn(6) {
+		case 0:
+			_ = s.Raise(ev, args...)
+		case 1, 2:
+			s.RaiseAsync(ev, args...)
+		case 3:
+			s.RaiseAfter(Duration(rng.Intn(4))*time.Millisecond, ev, args...)
+		case 4:
+			for i := 0; i < rng.Intn(5); i++ {
+				s.Step()
+			}
+		case 5:
+			vc.Advance(Duration(rng.Intn(3)) * time.Millisecond)
+		}
+	}
+	// Settle everything: queued work, retry backoffs, quarantine
+	// reinstatement timers, dead letters raised by exhausted retries.
+	s.Drain()
+	return poolWorkloadResult{log: log, stats: s.stats.Snapshot()}
+}
+
+// TestPoolReuseSafetyProperty runs identical randomized supervised
+// workloads on a pooled system and on a pooling-disabled oracle (every
+// activation record freshly allocated, so reuse bugs cannot exist there)
+// and requires identical handler observations and identical stats. Any
+// aliasing of a recycled activation record — by a retry, a dead letter,
+// a quarantine replay, or an in-handler RaiseAsync — diverges the logs.
+func TestPoolReuseSafetyProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		got := runPoolWorkload(t, seed, false)
+		want := runPoolWorkload(t, seed, true)
+		if len(got.log) != len(want.log) {
+			t.Fatalf("seed %d: pooled run logged %d observations, oracle %d",
+				seed, len(got.log), len(want.log))
+		}
+		for i := range got.log {
+			if got.log[i] != want.log[i] {
+				t.Fatalf("seed %d: observation %d diverged:\npooled: %s\noracle: %s",
+					seed, i, got.log[i], want.log[i])
+			}
+		}
+		if got.stats != want.stats {
+			t.Errorf("seed %d: stats diverged:\npooled: %+v\noracle: %+v", seed, got.stats, want.stats)
+		}
+		// The property is vacuous unless the reuse-hostile machinery
+		// actually ran: retries, dead letters, quarantine trips and
+		// recovered panics must all have occurred.
+		st := got.stats
+		if st.PanicsRecovered == 0 || st.Retries == 0 || st.DeadLetters == 0 || st.Quarantines == 0 {
+			t.Errorf("seed %d: workload too tame (panics=%d retries=%d deadletters=%d quarantines=%d)",
+				seed, st.PanicsRecovered, st.Retries, st.DeadLetters, st.Quarantines)
+		}
+	}
+}

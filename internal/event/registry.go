@@ -72,6 +72,7 @@ func (s *System) Define(name string) ID {
 	s.events = append(s.events, r)
 	s.byName[name] = id
 	s.publishTableLocked()
+	s.publishNamesLocked()
 	return id
 }
 
@@ -81,6 +82,17 @@ func (s *System) publishTableLocked() {
 	tab := make([]*eventRec, len(s.events))
 	copy(tab, s.events)
 	s.table.Store(&tab)
+}
+
+// publishNamesLocked installs a fresh copy of the name table for
+// lock-free name lookups, so RaiseByName joins the lock-free read path
+// instead of resolving under the registry lock. Caller holds s.mu.
+func (s *System) publishNamesLocked() {
+	tab := make(map[string]ID, len(s.byName))
+	for n, id := range s.byName {
+		tab[n] = id
+	}
+	s.names.Store(&tab)
 }
 
 // recLF resolves ev to its registry record without locking (the raise
@@ -103,11 +115,14 @@ func (s *System) DefineAll(names ...string) []ID {
 }
 
 // Lookup returns the ID of a named event, or NoID if it is unknown or has
-// been deleted.
+// been deleted. The read is a single atomic load of the published name
+// table — no lock — so name-keyed raises ride the lock-free read path.
 func (s *System) Lookup(name string) ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	id, ok := s.byName[name]
+	tab := s.names.Load()
+	if tab == nil {
+		return NoID
+	}
+	id, ok := (*tab)[name]
 	if !ok {
 		return NoID
 	}
@@ -164,6 +179,7 @@ func (s *System) Delete(ev ID) error {
 	r.handlers = nil
 	r.publish(true)
 	delete(s.byName, r.name)
+	s.publishNamesLocked()
 	r.fast.Store(nil)
 	return nil
 }

@@ -1,0 +1,58 @@
+package event
+
+// actRing is a power-of-two ring buffer of activation records: the run
+// queue of one domain. Producers on any goroutine push under the
+// domain's qmu (the MPSC handoff), the owning domain alone pops. Unlike
+// the historical append/re-slice queue, steady-state push/pop moves no
+// memory and allocates nothing; an unbounded ring grows by doubling
+// (amortized O(1)), and a bounded queue never grows past its bound's
+// power-of-two ceiling.
+type actRing struct {
+	buf  []*activation // len(buf) is a power of two; nil until first push
+	head uint64        // next pop position
+	tail uint64        // next push position
+}
+
+const ringMinCap = 16
+
+// len reports the number of queued records.
+func (r *actRing) len() int { return int(r.tail - r.head) }
+
+// push appends a record, growing the ring when full.
+func (r *actRing) push(a *activation) {
+	if int(r.tail-r.head) == len(r.buf) {
+		r.grow()
+	}
+	r.buf[r.tail&uint64(len(r.buf)-1)] = a
+	r.tail++
+}
+
+// pop removes and returns the oldest record (nil when empty). The slot
+// is cleared so the ring does not pin released records.
+func (r *actRing) pop() *activation {
+	if r.head == r.tail {
+		return nil
+	}
+	i := r.head & uint64(len(r.buf)-1)
+	a := r.buf[i]
+	r.buf[i] = nil
+	r.head++
+	return a
+}
+
+// grow doubles the ring, unwrapping the live window to the front.
+func (r *actRing) grow() {
+	n := len(r.buf) * 2
+	if n < ringMinCap {
+		n = ringMinCap
+	}
+	buf := make([]*activation, n)
+	live := int(r.tail - r.head)
+	mask := uint64(len(r.buf) - 1)
+	for i := 0; i < live; i++ {
+		buf[i] = r.buf[(r.head+uint64(i))&mask]
+	}
+	r.buf = buf
+	r.head = 0
+	r.tail = uint64(live)
+}

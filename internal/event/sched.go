@@ -171,35 +171,44 @@ func (d *Domain) scheduleInternal(delay Duration, fire func()) {
 }
 
 // enqueue routes an asynchronous activation to the event's owning
-// domain. The per-domain queue under its own lock is the MPSC handoff:
+// domain. The per-domain ring under its own lock is the MPSC handoff:
 // any goroutine (or any other domain's handler) may produce, only the
 // owning domain consumes.
 func (s *System) enqueue(ev ID, mode Mode, args []Arg) {
-	s.domainOf(ev).enqueue(ev, mode, args)
+	d := s.domainOf(ev)
+	a := s.getAct()
+	a.ev, a.mode = ev, mode
+	a.setArgs(args)
+	d.enqueueAct(a)
 }
 
-// enqueue appends an asynchronous activation to the domain's run queue,
-// applying the overflow policy when a queue bound is configured.
-func (d *Domain) enqueue(ev ID, mode Mode, args []Arg) {
+// enqueueAct pushes a ready activation record onto the domain's run
+// queue, applying the overflow policy when a queue bound is configured.
+// The domain takes ownership of the record; records the policy drops are
+// released back to the pool here.
+func (d *Domain) enqueueAct(a *activation) {
 	d.qmu.Lock()
-	if d.qcap > 0 && len(d.queue) >= d.qcap {
+	if d.qcap > 0 && d.q.len() >= d.qcap {
 		pol := d.qpolicy
 		d.sys.stats.QueueDrops.Add(1)
 		switch pol {
 		case DropOldest:
-			copy(d.queue, d.queue[1:])
-			d.queue[len(d.queue)-1] = pending{ev: ev, mode: mode, args: cloneArgs(args)}
+			old := d.q.pop()
+			d.q.push(a)
 			d.qmu.Unlock()
+			d.sys.putAct(old)
 			d.nudge()
 		case DropNewest:
 			d.qmu.Unlock()
+			d.sys.putAct(a)
 		default: // RejectNew
 			d.qmu.Unlock()
+			d.sys.putAct(a)
 			d.sys.report(ErrQueueFull)
 		}
 		return
 	}
-	d.queue = append(d.queue, pending{ev: ev, mode: mode, args: cloneArgs(args)})
+	d.q.push(a)
 	d.qmu.Unlock()
 	d.nudge()
 }
@@ -253,8 +262,11 @@ func cloneArgs(args []Arg) []Arg {
 
 // popRunnable removes and returns the next runnable activation of this
 // domain: a queued asynchronous activation, or a timer whose deadline
-// has passed. The second result reports whether anything was runnable.
-func (d *Domain) popRunnable() (pending, bool) {
+// has passed (nil when nothing is runnable). A due timer entry is
+// drained into a pooled activation record — the entry's cloned argument
+// slice transfers ownership, so the pop reallocates nothing — and the
+// caller owns the returned record.
+func (d *Domain) popRunnable() *activation {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
 	now := d.sys.clock.Now()
@@ -276,17 +288,16 @@ func (d *Domain) popRunnable() (pending, bool) {
 			e.done = true
 			e.mu.Unlock()
 			heap.Pop(&d.timers)
-			return pending{ev: e.ev, mode: e.mode, args: e.args, attempt: e.attempt, fire: e.fire}, true
+			a := d.sys.getAct()
+			a.ev, a.mode, a.attempt, a.fire = e.ev, e.mode, e.attempt, e.fire
+			a.adoptArgs(e.args)
+			e.args = nil
+			return a
 		}
 		e.mu.Unlock()
 		break
 	}
-	if len(d.queue) > 0 {
-		p := d.queue[0]
-		d.queue = d.queue[1:]
-		return p, true
-	}
-	return pending{}, false
+	return d.q.pop()
 }
 
 // nextDeadline returns the deadline of the earliest live timer of this

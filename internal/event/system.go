@@ -84,12 +84,12 @@ func (c *Counters) Reset() {
 // lines in Summary and the -stats reports of the tools are computed
 // from one snapshot, never from repeated live loads.
 type StatsSnapshot struct {
-	Raises, SyncRaises, AsyncRaises, TimedRaises     int64
-	Generic, FastRuns, Fallbacks, SegFallbacks       int64
-	Indirect, Marshals, ArgResolves, Locks           int64
-	HandlersRun                                      int64
-	PanicsRecovered, Retries, Quarantines            int64
-	Reinstates, Deopts, DeadLetters, QueueDrops      int64
+	Raises, SyncRaises, AsyncRaises, TimedRaises int64
+	Generic, FastRuns, Fallbacks, SegFallbacks   int64
+	Indirect, Marshals, ArgResolves, Locks       int64
+	HandlersRun                                  int64
+	PanicsRecovered, Retries, Quarantines        int64
+	Reinstates, Deopts, DeadLetters, QueueDrops  int64
 }
 
 // Snapshot loads every counter once and returns the copies.
@@ -167,7 +167,10 @@ type System struct {
 	byName  map[string]ID
 	bindSeq uint64
 
-	table atomic.Pointer[[]*eventRec] // lock-free ID -> record table
+	table atomic.Pointer[[]*eventRec]   // lock-free ID -> record table
+	names atomic.Pointer[map[string]ID] // lock-free name -> ID table
+
+	noPool bool // test hook: disable activation pooling (oracle runs)
 
 	domains []*Domain
 
@@ -184,16 +187,6 @@ type System struct {
 
 // tracerRef boxes the installed Tracer so it can swap atomically.
 type tracerRef struct{ t Tracer }
-
-// pending is one queued asynchronous or timed activation, or an internal
-// callback (fire non-nil) popped off the timer heap.
-type pending struct {
-	ev      ID
-	mode    Mode
-	args    []Arg
-	attempt int    // prior retry attempts of this activation
-	fire    func() // internal timer callback; runs instead of a dispatch
-}
 
 // Option configures a System.
 type Option func(*System)

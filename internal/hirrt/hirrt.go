@@ -163,6 +163,7 @@ func (m *Module) Env(ctx *event.Ctx) *hir.Env {
 func (m *Module) newEnv() (*hir.Env, func(*event.Ctx) *event.Ctx) {
 	var cur *event.Ctx
 	raiseIDs := make(map[string]event.ID) // filled lazily; runs under the runtime's atomicity lock
+	var eargs []event.Arg                 // scratch argument record, reused across raises
 	env := &hir.Env{
 		Args: func(n string) (hir.Value, bool) {
 			v, ok := cur.Args.Lookup(n)
@@ -190,9 +191,13 @@ func (m *Module) newEnv() (*hir.Env, func(*event.Ctx) *event.Ctx) {
 			if id == event.NoID {
 				return // unknown events are ignored, like the runtime does
 			}
-			eargs := make([]event.Arg, len(args))
-			for i, a := range args {
-				eargs[i] = event.Arg{Name: a.Name, Val: FromValue(a.Val)}
+			// Every raise entry point marshals its arguments before any
+			// handler runs (inline copy, clone, or timer-entry clone), so
+			// one scratch record serves all raises from this environment,
+			// including reentrant ones.
+			eargs = eargs[:0]
+			for _, a := range args {
+				eargs = append(eargs, event.Arg{Name: a.Name, Val: FromValue(a.Val)})
 			}
 			switch {
 			case delay > 0:
@@ -220,28 +225,27 @@ func (m *Module) newEnv() (*hir.Env, func(*event.Ctx) *event.Ctx) {
 // handler bug would surface.
 func (m *Module) HandlerFunc(body *hir.Function) event.HandlerFunc {
 	env, setCtx := m.newEnv()
-	var scratch []hir.Value
-	busy := false
+	var scratch [][]hir.Value // one register file per live nesting depth
+	depth := 0
 	return func(ctx *event.Ctx) {
-		wasBusy := busy
+		d := depth
+		depth++
 		oldCtx := setCtx(ctx)
 		// Restore under defer: a panic out of the body (an intrinsic bug,
-		// or injected fault) must not leave the busy flag stuck or the
+		// or injected fault) must not leave the depth counter stuck or the
 		// context cell pointing at a dead activation — the runtime's
 		// supervision layer recovers such panics and keeps dispatching.
 		defer func() {
 			setCtx(oldCtx)
-			busy = wasBusy
+			depth = d
 		}()
-		var err error
-		if wasBusy {
-			// Reentrant activation (an event whose handlers transitively
-			// raise it again): fall back to a private register file.
-			_, err = hir.Exec(body, env)
-		} else {
-			busy = true
-			_, scratch, err = hir.ExecReuse(body, env, scratch)
+		if d == len(scratch) {
+			// First activation at this depth: the reentrant register file
+			// is allocated once and reused by every later reentry.
+			scratch = append(scratch, nil)
 		}
+		var err error
+		_, scratch[d], err = hir.ExecReuse(body, env, scratch[d])
 		if err != nil {
 			panic(fmt.Sprintf("hirrt: handler %s: %v", body.Name, err))
 		}
@@ -260,22 +264,21 @@ func (m *Module) CompiledHandlerFunc(body *hir.Function) (event.HandlerFunc, err
 	if err != nil {
 		return nil, err
 	}
-	var scratch []hir.Value
-	busy := false
+	var scratch [][]hir.Value // one register file per live nesting depth
+	depth := 0
 	return func(ctx *event.Ctx) {
-		wasBusy := busy
+		d := depth
+		depth++
 		oldCtx := setCtx(ctx)
 		defer func() { // panic-safe restore, as in HandlerFunc
 			setCtx(oldCtx)
-			busy = wasBusy
+			depth = d
 		}()
-		var err error
-		if wasBusy {
-			_, _, err = comp.Exec(nil)
-		} else {
-			busy = true
-			_, scratch, err = comp.Exec(scratch)
+		if d == len(scratch) {
+			scratch = append(scratch, nil)
 		}
+		var err error
+		_, scratch[d], err = comp.Exec(scratch[d])
 		if err != nil {
 			panic(fmt.Sprintf("hirrt: compiled handler %s: %v", body.Name, err))
 		}

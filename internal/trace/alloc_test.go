@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+)
+
+// TestRecorderAllocAmortized gates the arena behavior of the recording
+// buffers: once a domain's first chunk exists and the hot names are
+// interned, recording an entry allocates nothing except one fresh chunk
+// per 1024 entries — O(1) amortized, never an append-doubling copy.
+func TestRecorderAllocAmortized(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	r := NewRecorder()
+	r.EnableHandlerProfiling()
+	r.Event(1, "hot", event.Sync, 0, 0)
+	r.HandlerEnter(1, "hot", "h", 0, 0)
+	r.HandlerExit(1, "hot", "h", 0, 0)
+	if got := testing.AllocsPerRun(5000, func() {
+		r.Event(1, "hot", event.Sync, 0, 0)
+		r.HandlerEnter(1, "hot", "h", 0, 0)
+		r.HandlerExit(1, "hot", "h", 0, 0)
+	}); got > 0 {
+		t.Errorf("traced record loop: %.2f allocs/op, want 0 amortized", got)
+	}
+	if n := r.Len(); n < 15000 {
+		t.Fatalf("recorded %d entries; the gate measured the wrong path", n)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package trace
+
+// raceEnabled reports whether the race detector instruments this build.
+const raceEnabled = false

@@ -66,10 +66,62 @@ type Entry struct {
 	Domain    int // event domain that executed the activation (0 on single-domain systems)
 }
 
-// domBuf is the entry buffer of one event domain.
+// chunkShift sizes the arena chunks: 1<<chunkShift entries apiece.
+const chunkShift = 10
+
+// domBuf is the entry arena of one event domain: fixed-size chunks that
+// are never copied on growth, so a traced hot loop allocates O(1)
+// amortized (one chunk per 1<<chunkShift entries) instead of paying
+// append-doubling copies per raise. Event and handler names are interned
+// at record time, so a long trace references each distinct name once.
 type domBuf struct {
-	mu      sync.Mutex
-	entries []Entry
+	mu     sync.Mutex
+	chunks []*[1 << chunkShift]Entry
+	n      int               // total entries recorded
+	names  map[string]string // record-time intern table
+}
+
+// intern canonicalizes a name. Hot-loop names arrive as the same string
+// header every time (they come from a published registry snapshot), so
+// the map hit allocates nothing; a first-seen name inserts once.
+func (b *domBuf) intern(s string) string {
+	if s == "" {
+		return ""
+	}
+	if t, ok := b.names[s]; ok {
+		return t
+	}
+	if b.names == nil {
+		b.names = make(map[string]string)
+	}
+	b.names[s] = s
+	return s
+}
+
+// append records one entry into the arena. Caller holds b.mu.
+func (b *domBuf) append(e Entry) {
+	ci := b.n >> chunkShift
+	if ci == len(b.chunks) {
+		b.chunks = append(b.chunks, new([1 << chunkShift]Entry))
+	}
+	b.chunks[ci][b.n&(1<<chunkShift-1)] = e
+	b.n++
+}
+
+// snapshot copies the recorded entries into dst and returns it.
+func (b *domBuf) snapshot(dst []Entry) []Entry {
+	for i, c := range b.chunks {
+		lo := i << chunkShift
+		if lo >= b.n {
+			break
+		}
+		hi := b.n - lo
+		if hi > 1<<chunkShift {
+			hi = 1 << chunkShift
+		}
+		dst = append(dst, c[:hi]...)
+	}
+	return dst
 }
 
 // Recorder accumulates trace entries. It is safe for concurrent use; with
@@ -137,7 +189,7 @@ func (r *Recorder) buf(dom int) *domBuf {
 func (r *Recorder) Event(ev event.ID, name string, mode event.Mode, depth, dom int) {
 	b := r.buf(dom)
 	b.mu.Lock()
-	b.entries = append(b.entries, Entry{Kind: EventRaised, Event: ev, EventName: name, Mode: mode, Depth: depth, Domain: dom})
+	b.append(Entry{Kind: EventRaised, Event: ev, EventName: b.intern(name), Mode: mode, Depth: depth, Domain: dom})
 	b.mu.Unlock()
 }
 
@@ -148,7 +200,7 @@ func (r *Recorder) HandlerEnter(ev event.ID, eventName, handler string, depth, d
 	}
 	b := r.buf(dom)
 	b.mu.Lock()
-	b.entries = append(b.entries, Entry{Kind: HandlerEnter, Event: ev, EventName: eventName, Handler: handler, Depth: depth, Domain: dom})
+	b.append(Entry{Kind: HandlerEnter, Event: ev, EventName: b.intern(eventName), Handler: b.intern(handler), Depth: depth, Domain: dom})
 	b.mu.Unlock()
 }
 
@@ -159,7 +211,7 @@ func (r *Recorder) HandlerExit(ev event.ID, eventName, handler string, depth, do
 	}
 	b := r.buf(dom)
 	b.mu.Lock()
-	b.entries = append(b.entries, Entry{Kind: HandlerExit, Event: ev, EventName: eventName, Handler: handler, Depth: depth, Domain: dom})
+	b.append(Entry{Kind: HandlerExit, Event: ev, EventName: b.intern(eventName), Handler: b.intern(handler), Depth: depth, Domain: dom})
 	b.mu.Unlock()
 }
 
@@ -177,7 +229,7 @@ func (r *Recorder) Len() int {
 	n := 0
 	for _, b := range r.bufs() {
 		b.mu.Lock()
-		n += len(b.entries)
+		n += b.n
 		b.mu.Unlock()
 	}
 	return n
@@ -191,13 +243,13 @@ func (r *Recorder) Entries() []Entry {
 	n := 0
 	for _, b := range bufs {
 		b.mu.Lock()
-		n += len(b.entries)
+		n += b.n
 		b.mu.Unlock()
 	}
 	out := make([]Entry, 0, n)
 	for _, b := range bufs {
 		b.mu.Lock()
-		out = append(out, b.entries...)
+		out = b.snapshot(out)
 		b.mu.Unlock()
 	}
 	return out
@@ -213,12 +265,10 @@ func (r *Recorder) DomainEntries(dom int) []Entry {
 	b := bufs[dom]
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.entries) == 0 {
+	if b.n == 0 {
 		return nil
 	}
-	out := make([]Entry, len(b.entries))
-	copy(out, b.entries)
-	return out
+	return b.snapshot(make([]Entry, 0, b.n))
 }
 
 // Events returns only the EventRaised entries, in merged order.
@@ -236,7 +286,7 @@ func (r *Recorder) Events() []Entry {
 func (r *Recorder) Reset() {
 	for _, b := range r.bufs() {
 		b.mu.Lock()
-		b.entries = nil
+		b.chunks, b.n = nil, 0
 		b.mu.Unlock()
 	}
 }
