@@ -4,7 +4,9 @@
 // event paths and chains — optionally as Graphviz DOT.
 //
 // It can also analyze a previously saved trace file (-trace), decoupling
-// profiling runs from analysis as in the paper's off-line workflow.
+// profiling runs from analysis as in the paper's off-line workflow, or
+// query a running system's live telemetry endpoint (-live URL) for the
+// continuously profiled counterpart of the same tables.
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"eventopt/internal/bench"
+	"eventopt/internal/liveview"
 	"eventopt/internal/profile"
 	"eventopt/internal/trace"
 )
@@ -29,8 +32,21 @@ func main() {
 		handlers  = flag.Bool("handlers", false, "print the handler graph of the hot pair (Fig. 8)")
 		binaryOut = flag.Bool("binary", false, "write -save traces in the compact binary format")
 		stats     = flag.Bool("stats", false, "print the runtime counters (dispatch, faults, degradation) after the workload")
+		live      = flag.String("live", "", "fetch and print the live per-event telemetry of a running system (base URL of its httpdebug endpoint)")
 	)
 	flag.Parse()
+
+	if *live != "" {
+		doc, err := liveview.Fetch(*live)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("live telemetry from %s (timed 1/%d sampled, counts scaled):\n\n", *live, doc.TimeSampleEvery)
+		if err := liveview.Render(os.Stdout, doc, liveview.SortCount, false); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *traceFile != "" {
 		analyzeFile(*traceFile, *threshold, *dot)
@@ -81,7 +97,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("runtime counters (video player workload):")
-		fmt.Print(p.Sender.Sys.Stats().Summary())
+		fmt.Print(p.Sender.Sys.StatsSummary())
 	}
 }
 

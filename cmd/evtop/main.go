@@ -1,0 +1,59 @@
+// Command evtop is a top-style viewer for a live event system: it polls
+// the /events endpoint served by telemetry/httpdebug and redraws a
+// per-event table of activation counts, latency quantiles and queue
+// delay. Run the system with WithTelemetry and an httpdebug server (see
+// examples/monitor), then:
+//
+//	evtop -url http://localhost:6060
+//
+// Flags select the poll interval, the sort column and single-shot mode
+// for scripting (-once prints one table without clearing the screen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"eventopt/internal/liveview"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:6060", "base URL of the telemetry endpoint")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print one table and exit (no screen clearing)")
+		sortKey  = flag.String("sort", liveview.SortCount, "sort column: count, mean, p99 or max")
+		merged   = flag.Bool("merged", false, "merge per-domain cells into one row per event")
+	)
+	flag.Parse()
+
+	switch *sortKey {
+	case liveview.SortCount, liveview.SortMean, liveview.SortP99, liveview.SortMax:
+	default:
+		fmt.Fprintf(os.Stderr, "evtop: unknown sort key %q\n", *sortKey)
+		os.Exit(2)
+	}
+
+	for {
+		doc, err := liveview.Fetch(*url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evtop:", err)
+			os.Exit(1)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Printf("evtop — %s — %s (timed 1/%d sampled, counts scaled)\n\n",
+			*url, time.Now().Format("15:04:05"), doc.TimeSampleEvery)
+		if err := liveview.Render(os.Stdout, doc, *sortKey, *merged); err != nil {
+			fmt.Fprintln(os.Stderr, "evtop:", err)
+			os.Exit(1)
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

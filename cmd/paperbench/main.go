@@ -24,12 +24,14 @@ func main() {
 		parallelJSON = flag.String("parallel-json", "", "write the parallel benchmark report to this file (implies -parallel)")
 		allocs       = flag.Bool("allocs", false, "include the hot-path allocation gate")
 		allocsJSON   = flag.String("allocs-json", "", "write the allocation report to this file (implies -allocs)")
+		telem        = flag.Bool("telemetry", false, "include the telemetry overhead gate")
+		telemJSON    = flag.String("telemetry-json", "", "write the telemetry overhead report to this file (implies -telemetry)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops := 400, 2000, 1000, 1000, 400, 400000, 20000
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops = 120, 400, 200, 250, 150, 60000, 5000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops = 120, 400, 200, 250, 150, 60000, 5000, 50000
 	}
 
 	step := func(name string, f func() error) {
@@ -73,6 +75,26 @@ func main() {
 			rep, gateErr := bench.RunAllocs(os.Stdout, aops)
 			if *allocsJSON != "" && rep != nil {
 				f, err := os.Create(*allocsJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *telem || *telemJSON != "" {
+		step("telemetry", func() error {
+			// The telemetry delta is single-digit nanoseconds, so this gate
+			// needs far more iterations than the allocation gate to measure
+			// it above timer noise; each raise is ~150ns, so even the full
+			// count finishes in well under a second.
+			rep, gateErr := bench.RunTelemetry(os.Stdout, tops)
+			if *telemJSON != "" && rep != nil {
+				f, err := os.Create(*telemJSON)
 				if err != nil {
 					return err
 				}

@@ -32,11 +32,15 @@ package eventopt
 
 import (
 	"errors"
+	"io"
+	"net/http"
 
 	"eventopt/internal/core"
 	"eventopt/internal/event"
 	"eventopt/internal/hirrt"
 	"eventopt/internal/profile"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/telemetry/httpdebug"
 	"eventopt/internal/trace"
 )
 
@@ -72,6 +76,14 @@ type (
 	FaultInfo = event.FaultInfo
 	// OverflowPolicy selects bounded-queue overflow behavior.
 	OverflowPolicy = event.OverflowPolicy
+	// TelemetryConfig tunes the live telemetry layer (see WithTelemetry).
+	TelemetryConfig = telemetry.Config
+	// FlightDump is one automatic flight-recorder capture.
+	FlightDump = telemetry.FlightDump
+	// FlightRecord is one activation in the flight recorder.
+	FlightRecord = telemetry.FlightRecord
+	// EventTelemetry is the histogram snapshot of one (event, domain) cell.
+	EventTelemetry = telemetry.EventSnapshot
 )
 
 // Fault policies (see event.FaultPolicy). Propagate is the default.
@@ -134,6 +146,14 @@ func WithQueueBound(capacity int, policy OverflowPolicy) SystemOption {
 	return event.WithQueueBound(capacity, policy)
 }
 
+// WithTelemetry enables the live observability layer: per-event latency
+// and queue-delay histograms, a per-domain flight recorder dumped
+// automatically on quarantine trips and dead-letters, and a sampled
+// continuous event-graph feed that keeps System.Telemetry().Graph()
+// current without a separate profiling run. The zero TelemetryConfig
+// selects the defaults; the record paths stay allocation-free.
+func WithTelemetry(cfg TelemetryConfig) SystemOption { return event.WithTelemetry(cfg) }
+
 // WithDomains shards the runtime into n event domains. Each domain owns
 // its own run queue, timer heap, atomicity lock and quarantine state;
 // events spread over domains by ID hash unless pinned with
@@ -182,6 +202,34 @@ func (a *App) StopProfiling() (*Profile, error) {
 // Optimize plans super-handlers from a profile and installs them.
 func (a *App) Optimize(prof *Profile, opts Options) (*Plan, *Installed, error) {
 	return core.Apply(a.Sys, prof, a.Mod, opts)
+}
+
+// DebugHandler returns the HTTP observability surface of the app:
+// /metrics (counters + telemetry snapshots), /events (per-event
+// histogram document, the evtop feed), /graph (live sampled event graph
+// as Graphviz DOT, ?threshold= reduces), /flightrecorder (automatic
+// flight dumps), /trace (Chrome trace-event JSON of the current
+// profiling recording) and /debug/pprof. Mount it on a mux or serve it
+// directly:
+//
+//	go http.ListenAndServe("localhost:6060", app.DebugHandler())
+//
+// The handler captures the profiling recorder active at call time, so
+// call it after StartProfiling when /trace should serve the recording;
+// telemetry endpoints require WithTelemetry (404 otherwise) while
+// /metrics always serves the runtime counters.
+func (a *App) DebugHandler() http.Handler { return httpdebug.New(a.Sys, a.rec) }
+
+// WriteChromeTrace exports the in-progress profiling recording as
+// Chrome trace-event JSON (loadable in chrome://tracing or Perfetto):
+// one timeline per event domain, a complete-duration slice per
+// activation with nested handler slices when handler profiling is on.
+// It snapshots the recorder between StartProfiling and StopProfiling.
+func (a *App) WriteChromeTrace(w io.Writer) error {
+	if a.rec == nil {
+		return ErrNotProfiling
+	}
+	return trace.WriteChrome(w, a.rec.Entries())
 }
 
 // ProfileTwoPhase implements the paper's two-phase profiling workflow

@@ -1,0 +1,156 @@
+// Monitor: live observability of a running event system. A small
+// request pipeline (request -> validate/handle -> log, plus a timed
+// housekeeping tick and an occasionally panicking handler under
+// quarantine supervision) runs under WithTelemetry while an httpdebug
+// server exposes /metrics, /events, /graph, /flightrecorder and pprof.
+//
+// By default the program drives a burst of load, prints the evtop-style
+// table and the quarantine flight dump, and exits — so it doubles as a
+// smoke test. With -serve it keeps the load generator and the HTTP
+// endpoint running for interactive use:
+//
+//	go run ./examples/monitor -serve &
+//	go run ./cmd/evtop -url http://localhost:6060
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"eventopt"
+	"eventopt/internal/liveview"
+	"eventopt/internal/telemetry/httpdebug"
+)
+
+func main() {
+	var (
+		serve = flag.Bool("serve", false, "keep serving telemetry after the initial burst")
+		addr  = flag.String("addr", "localhost:6060", "telemetry listen address (-serve only)")
+	)
+	flag.Parse()
+
+	app := eventopt.New(
+		eventopt.WithTelemetry(eventopt.TelemetryConfig{SampleEvery: 1, TimeSampleEvery: 1}),
+		eventopt.WithFaultConfig(eventopt.FaultConfig{
+			Policy:           eventopt.Quarantine,
+			FailureThreshold: 3,
+		}),
+	)
+	sys := app.Sys
+
+	request := sys.Define("request")
+	logEv := sys.Define("log")
+	tick := sys.Define("tick")
+
+	served := 0
+	sys.Bind(request, "validate", func(c *eventopt.Ctx) {
+		if c.Args.Int("size") <= 0 {
+			c.Halt()
+		}
+	}, eventopt.WithOrder(1), eventopt.WithParams("size"))
+	sys.Bind(request, "handle", func(c *eventopt.Ctx) {
+		served++
+		busy(c.Args.Int("size"))
+		c.Raise(logEv)
+	}, eventopt.WithOrder(2), eventopt.WithParams("size"))
+	sys.Bind(logEv, "sink", func(c *eventopt.Ctx) {})
+	sys.Bind(tick, "flaky", func(c *eventopt.Ctx) {
+		// A housekeeping job that corrupts its state on the tenth tick
+		// and panics on every run after that: three consecutive faults
+		// trip the quarantine breaker, which dumps the flight recorder.
+		if c.Args.Int("n") >= 10 {
+			panic("housekeeping corrupted state")
+		}
+	}, eventopt.WithParams("n"))
+
+	rng := rand.New(rand.NewSource(1))
+	burst := func(n int) {
+		for i := 0; i < n; i++ {
+			_ = sys.Raise(request, eventopt.A("size", 1+rng.Intn(64)))
+			if i%10 == 9 {
+				_ = sys.Raise(tick, eventopt.A("n", i/10))
+			}
+		}
+	}
+	burst(500)
+
+	srv := httpdebug.New(sys, nil)
+
+	if *serve {
+		go func() {
+			for {
+				burst(50)
+				time.Sleep(100 * time.Millisecond)
+			}
+		}()
+		fmt.Printf("serving telemetry on http://%s (try evtop -url http://%s)\n", *addr, *addr)
+		if err := http.ListenAndServe(*addr, srv); err != nil {
+			fmt.Fprintln(os.Stderr, "monitor:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// One-shot mode: query our own handler the way evtop would and show
+	// what the operator sees.
+	ln := httptestListen(srv)
+	defer ln.close()
+
+	doc, err := liveview.Fetch(ln.url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("per-event telemetry after %d served requests:\n\n", served)
+	if err := liveview.Render(os.Stdout, doc, liveview.SortCount, false); err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+
+	if d := sys.Telemetry().LastDump(); d != nil {
+		fmt.Printf("\nflight recorder dumped (%s): %d records, newest:\n", d.Reason, len(d.Records))
+		for _, r := range d.Records[max(0, len(d.Records)-3):] {
+			outcome := "ok"
+			if r.Outcome != 0 {
+				outcome = "FAULT: " + r.Cause
+			}
+			fmt.Printf("  seq %-4d %-10s %8.2fus  %s\n", r.Seq, r.Name, float64(r.Duration)/1e3, outcome)
+		}
+	}
+}
+
+// busy burns a little CPU proportional to the request size, so the
+// latency histogram has structure.
+func busy(n int) {
+	acc := 0
+	for i := 0; i < n*20; i++ {
+		acc += i * i
+	}
+	_ = acc
+}
+
+// httptestListen serves the handler on an ephemeral localhost port, so
+// the one-shot mode exercises the same HTTP path evtop uses.
+type listener struct {
+	url   string
+	close func()
+}
+
+func httptestListen(h http.Handler) *listener {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monitor:", err)
+		os.Exit(1)
+	}
+	s := &http.Server{Handler: h}
+	go s.Serve(ln)
+	return &listener{
+		url:   "http://" + ln.Addr().String(),
+		close: func() { s.Close() },
+	}
+}

@@ -28,6 +28,12 @@ type activation struct {
 	attempt int    // prior retry attempts of this activation
 	fire    func() // internal timer callback; runs instead of a dispatch
 
+	// enqAt stamps the enqueue time when telemetry is enabled (enqSet
+	// gates validity); the scheduler pop turns it into a queue-delay
+	// observation. Pool zeroing clears both.
+	enqAt  Duration
+	enqSet bool
+
 	nargs   int
 	spilled bool
 	inline  [inlineArgs]Arg

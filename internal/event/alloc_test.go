@@ -2,6 +2,8 @@ package event
 
 import (
 	"testing"
+
+	"eventopt/internal/telemetry"
 )
 
 // TestAllocRegression is the allocation gate of the zero-allocation hot
@@ -92,6 +94,68 @@ func TestAllocRegression(t *testing.T) {
 			_ = s.Raise(ev, args...)
 		}); got > 0 {
 			t.Errorf("traced sync raise: %.1f allocs/op, want 0 amortized", got)
+		}
+	})
+
+	t.Run("TelemetrySyncGeneric", func(t *testing.T) {
+		// The telemetry record paths (histograms, graph feed, flight
+		// recorder) must stay off the heap: a sync raise with the full
+		// observability layer enabled still allocates nothing.
+		// TimeSampleEvery 1 forces every raise through the fully timed
+		// path, so the gate covers the worst case, not the sampled-out one.
+		s := New(WithTelemetry(telemetry.Config{TimeSampleEvery: 1}))
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") }, WithParams("n", "s"))
+		if err := s.Raise(ev, args...); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(ev, args...)
+		}); got != 0 {
+			t.Errorf("telemetry sync generic raise: %.1f allocs/op, want 0", got)
+		}
+		if rows := s.Telemetry().Events(); len(rows) == 0 || rows[0].Latency.Count == 0 {
+			t.Fatal("telemetry recorded nothing; the gate measured the wrong path")
+		}
+	})
+
+	t.Run("TelemetryNestedSyncRaise", func(t *testing.T) {
+		// Nested raises feed the graph sampler and per-event histograms;
+		// SampleEvery 1 exercises the edge-bump path on every pair.
+		s := New(WithTelemetry(telemetry.Config{SampleEvery: 1, TimeSampleEvery: 1}))
+		outer := s.Define("outer")
+		inner := s.Define("inner")
+		sink := 0
+		s.Bind(inner, "hi", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.Bind(outer, "ho", func(ctx *Ctx) { ctx.Raise(inner, args...) })
+		if err := s.Raise(outer); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(outer)
+		}); got != 0 {
+			t.Errorf("telemetry nested sync raise: %.1f allocs/op, want 0", got)
+		}
+		if g := s.Telemetry().Graph(); len(g.Edges) == 0 {
+			t.Fatal("graph feed recorded no edges; the gate measured the wrong path")
+		}
+	})
+
+	t.Run("TelemetryAsyncRaiseStep", func(t *testing.T) {
+		// The queue-delay stamp and scheduler-pop record must not push the
+		// async path past its one-object budget.
+		s := New(WithTelemetry(telemetry.Config{}))
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.RaiseAsync(ev, args...)
+		s.Step()
+		if got := testing.AllocsPerRun(200, func() {
+			s.RaiseAsync(ev, args...)
+			s.Step()
+		}); got > 1 {
+			t.Errorf("telemetry async raise+step: %.1f allocs/op, want <= 1", got)
 		}
 	})
 

@@ -12,6 +12,7 @@ func (s *System) Raise(ev ID, args ...Arg) error {
 	d := s.domainOf(ev)
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
+	d.telAttempt = 0
 	return s.dispatch(d, ev, Sync, args, 0)
 }
 
@@ -50,6 +51,7 @@ func (d *Domain) runTop(a *activation) {
 		d.runMu.Lock()
 		defer d.runMu.Unlock()
 		d.fault.activationFaults = 0
+		d.telAttempt = a.attempt
 		_ = d.sys.dispatch(d, a.ev, a.mode, a.args(), 0)
 		faults = d.fault.activationFaults
 		d.fault.activationFaults = 0
@@ -76,13 +78,22 @@ func (s *System) report(err error) {
 	}
 }
 
-// dispatch routes one activation of ev executing on domain d: through
+// dispatch routes one activation through the core dispatcher, detouring
+// through the telemetry wrapper when the observability layer is enabled.
+func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+	if tel := s.tel; tel != nil {
+		return s.dispatchTimed(tel, d, ev, mode, args, depth)
+	}
+	return s.dispatchCore(d, ev, mode, args, depth)
+}
+
+// dispatchCore routes one activation of ev executing on domain d: through
 // the installed fast path if one is present and its guard passes,
 // otherwise through the generic path. All registry reads — record,
 // binding snapshot, fast path, tracer — are single atomic loads; no
 // lock is taken (the paper's §2.2 registry-lock overhead survives only
 // as the modeled per-handler state-maintenance lock).
-func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+func (s *System) dispatchCore(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
 	r := s.recLF(ev)
 	if r == nil {
 		return ErrUnknownEvent
@@ -94,14 +105,14 @@ func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) er
 	tracer := s.tracer()
 	fast := r.fast.Load()
 
-	s.stats.Raises.Add(1)
+	d.stats.Raises.Add(1)
 	switch mode {
 	case Sync:
-		s.stats.SyncRaises.Add(1)
+		d.stats.SyncRaises.Add(1)
 	case Async:
-		s.stats.AsyncRaises.Add(1)
+		d.stats.AsyncRaises.Add(1)
 	case Delayed:
-		s.stats.TimedRaises.Add(1)
+		d.stats.TimedRaises.Add(1)
 	}
 	if tracer != nil {
 		tracer.Event(ev, snap.name, mode, depth, d.idx)
@@ -110,16 +121,16 @@ func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) er
 	if fast != nil {
 		if s.policy() == Propagate {
 			if fast.run(d, mode, args, depth, tracer) {
-				s.stats.FastRuns.Add(1)
+				d.stats.FastRuns.Add(1)
 				return nil
 			}
 			// Guard failed: drop back into the original unoptimized code
 			// (paper section 3.3).
-			s.stats.Fallbacks.Add(1)
+			d.stats.Fallbacks.Add(1)
 		} else {
 			ran, faulted := d.runFastSupervised(fast, ev, snap.name, mode, args, depth, tracer)
 			if ran {
-				s.stats.FastRuns.Add(1)
+				d.stats.FastRuns.Add(1)
 				return nil
 			}
 			if faulted {
@@ -127,12 +138,12 @@ func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) er
 				// fallback from "guard failed" to "fast path panicked" —
 				// atomically uninstall the entry and replay the whole
 				// activation through the original unoptimized code.
-				s.deoptimize(fast)
+				s.deoptimize(d, fast)
 				// Replay against the freshest snapshot: the faulting chain
 				// may have rebound events before panicking.
 				snap = r.snap.Load()
 			} else {
-				s.stats.Fallbacks.Add(1)
+				d.stats.Fallbacks.Add(1)
 			}
 		}
 	}
@@ -147,7 +158,7 @@ func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) er
 // lock acquisition around each handler body.
 func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, depth int, tracer Tracer) {
 	s := d.sys
-	s.stats.Generic.Add(1)
+	d.stats.Generic.Add(1)
 
 	// (1) Marshal the caller's arguments into the generic record embedded
 	// in this depth's scratch context. The copy is the marshal the paper
@@ -158,7 +169,7 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 	*ctx = Ctx{System: s, Event: ev, Name: snap.name, Mode: mode, depth: depth, dom: d}
 	ctx.setArgs(args)
 	a := ctx.Args
-	s.stats.Marshals.Add(1)
+	d.stats.Marshals.Add(1)
 
 	// (2) Registry lookup: the immutable published snapshot replaces the
 	// historical under-lock copy, so rebinding from inside a handler
@@ -185,7 +196,7 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 			a.Lookup(p)
 		}
 		if n := len(h.Params); n > 0 {
-			s.stats.ArgResolves.Add(int64(n))
+			d.stats.ArgResolves.Add(int64(n))
 		}
 
 		// (4) State maintenance: pay for one lock round-trip per handler
@@ -200,8 +211,8 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 		if tracer != nil {
 			tracer.HandlerEnter(ev, name, h.Name, depth, d.idx)
 		}
-		s.stats.Indirect.Add(1)
-		s.stats.HandlersRun.Add(1)
+		d.stats.Indirect.Add(1)
+		d.stats.HandlersRun.Add(1)
 		if pol == Propagate {
 			h.Fn(ctx)
 		} else if pv, panicked := runProtected(h.Fn, ctx); panicked {
@@ -224,7 +235,7 @@ func (d *Domain) generic(snap *bindingSnapshot, ev ID, mode Mode, args []Arg, de
 // stateLockTraffic pays one state-maintenance lock round-trip on the
 // executing domain's lock.
 func (d *Domain) stateLockTraffic() {
-	d.sys.stats.Locks.Add(1)
+	d.stats.Locks.Add(1)
 	d.stateMu.Lock()
 	//lint:ignore SA2001 intentional: models per-handler lock traffic only
 	d.stateMu.Unlock()

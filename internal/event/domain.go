@@ -37,7 +37,15 @@ type Domain struct {
 
 	slots []*dispatchSlot // depth-indexed dispatch scratch, guarded by runMu
 
+	stats Counters    // this domain's share of the runtime counters
 	fault domainFault // per-domain quarantine + activation bookkeeping (fault.go)
+
+	// Telemetry bookkeeping of the current top-level activation, guarded
+	// by runMu: the retry attempt it replays with (for its flight record)
+	// and a flight-dump reason a fault requested mid-activation, performed
+	// once the activation's own record has been appended.
+	telAttempt    int
+	telDumpReason string
 }
 
 // dispatchSlot is the dispatch scratch of one synchronous nesting depth

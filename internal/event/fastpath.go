@@ -130,14 +130,15 @@ func (s *System) RemoveFastPathIf(sh *SuperHandler) bool {
 }
 
 // deoptimize atomically uninstalls a super-handler whose optimized code
-// faulted. The compare-and-swap makes the eviction idempotent across
-// domains. Caller then replays the activation generically.
-func (s *System) deoptimize(sh *SuperHandler) {
+// faulted on domain d. The compare-and-swap makes the eviction idempotent
+// across domains (the counter credits the domain that won the race).
+// Caller then replays the activation generically.
+func (s *System) deoptimize(d *Domain, sh *SuperHandler) {
 	r := s.recLF(sh.Entry)
 	if r == nil || !r.fast.CompareAndSwap(sh, nil) {
 		return
 	}
-	s.stats.Deopts.Add(1)
+	d.stats.Deopts.Add(1)
 	if sh.OnDeopt != nil {
 		sh.OnDeopt(sh)
 	}
@@ -228,7 +229,7 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		if ce.tracer != nil {
 			ce.tracer.HandlerEnter(seg.Event, seg.EventName, seg.FusedName, depth, d.idx)
 		}
-		s.stats.HandlersRun.Add(1)
+		d.stats.HandlersRun.Add(1)
 		seg.Fused(ctx)
 		if ce.tracer != nil {
 			ce.tracer.HandlerExit(seg.Event, seg.EventName, seg.FusedName, depth, d.idx)
@@ -248,7 +249,7 @@ func (ce *chainExec) runSegment(idx int, args []Arg, mode Mode, depth int) {
 		if ce.tracer != nil {
 			ce.tracer.HandlerEnter(seg.Event, seg.EventName, st.Handler, depth, d.idx)
 		}
-		s.stats.HandlersRun.Add(1)
+		d.stats.HandlersRun.Add(1)
 		st.Fn(ctx)
 		if ce.tracer != nil {
 			ce.tracer.HandlerExit(seg.Event, seg.EventName, st.Handler, depth, d.idx)
@@ -277,19 +278,30 @@ func (ce *chainExec) dispatchNested(c *Ctx, ev ID, args []Arg) bool {
 	d := ce.d
 	s := d.sys
 
-	s.stats.Raises.Add(1)
-	s.stats.SyncRaises.Add(1)
+	d.stats.Raises.Add(1)
+	d.stats.SyncRaises.Add(1)
 	if ce.tracer != nil {
 		ce.tracer.Event(ev, seg.EventName, Sync, c.depth+1, d.idx)
+	}
+	tel := s.tel
+	var telStart Duration
+	telSampled := false
+	if tel != nil {
+		if telSampled = tel.RecordDispatch(d.idx, int32(ev), true); telSampled {
+			telStart = s.clock.Now()
+		}
 	}
 
 	// The guard must be re-checked at dispatch time: a handler earlier in
 	// this very chain may have rebound ev.
 	if !ce.sh.segMatches(idx) {
-		s.stats.SegFallbacks.Add(1)
+		d.stats.SegFallbacks.Add(1)
 		d.generic(ce.sh.recs[idx].snap.Load(), ev, Sync, args, c.depth+1, ce.tracer)
 	} else {
 		ce.runSegment(idx, args, Sync, c.depth+1)
+	}
+	if telSampled {
+		tel.RecordLatency(d.idx, int32(ev), int64(s.clock.Now()-telStart))
 	}
 	if ce.supervised {
 		// The caller's handler body resumes: restore its attribution so a

@@ -203,6 +203,7 @@ type domainFault struct {
 	curHandler       string
 	curDepth         int
 	activationFaults int
+	lastCause        *string // first recovered panic of the current activation (telemetry)
 }
 
 // SetFaultConfig installs (or replaces) the supervision configuration.
@@ -339,8 +340,9 @@ func runProtected(fn HandlerFunc, ctx *Ctx) (pv any, panicked bool) {
 // holds this domain's runMu.
 func (d *Domain) recordFault(f FaultInfo, tracer Tracer) {
 	s := d.sys
-	s.stats.PanicsRecovered.Add(1)
+	d.stats.PanicsRecovered.Add(1)
 	d.fault.activationFaults++
+	d.noteFaultCause(f.PanicVal)
 	if ft, ok := tracer.(FaultTracer); ok && tracer != nil {
 		ft.Fault(f)
 	}
@@ -398,7 +400,8 @@ func (d *Domain) noteFailure(ev ID, handler string) {
 	}
 	d.fault.mu.Unlock()
 	if trip {
-		s.stats.Quarantines.Add(1)
+		d.stats.Quarantines.Add(1)
+		d.requestFlightDump("quarantine: " + s.EventName(ev) + "/" + handler)
 		d.scheduleInternal(window, func() { d.reinstate(key) })
 	}
 }
@@ -436,7 +439,7 @@ func (d *Domain) reinstate(key quarKey) {
 	}
 	d.fault.mu.Unlock()
 	if ok {
-		s.stats.Reinstates.Add(1)
+		d.stats.Reinstates.Add(1)
 	}
 }
 
@@ -500,7 +503,7 @@ func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 		return
 	}
 	if attempt+1 >= rc.MaxAttempts {
-		s.deadLetter(ev, args, attempt+1, rc)
+		d.deadLetter(ev, args, attempt+1, rc)
 		return
 	}
 	delay := rc.Backoff
@@ -514,14 +517,22 @@ func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 	if rc.Jitter > 0 {
 		delay = s.jitter(delay, rc.Jitter)
 	}
-	s.stats.Retries.Add(1)
+	d.stats.Retries.Add(1)
 	d.scheduleRetry(delay, ev, mode, args, attempt+1)
 }
 
 // deadLetter raises the configured dead-letter event for an exhausted
-// activation. The original arguments ride along after the metadata.
-func (s *System) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig) {
-	s.stats.DeadLetters.Add(1)
+// activation and captures this domain's flight ring for post-mortem (the
+// exhausted activation is already in the ring — runTop releases the
+// atomicity lock, and with it the activation's flight record, before the
+// retry decision runs). The original arguments ride along after the
+// metadata.
+func (d *Domain) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig) {
+	s := d.sys
+	d.stats.DeadLetters.Add(1)
+	if tel := s.tel; tel != nil {
+		tel.DumpFlight(d.idx, "dead-letter: "+s.EventName(ev))
+	}
 	if rc.DeadLetter == "" {
 		return
 	}

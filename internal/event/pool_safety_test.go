@@ -109,7 +109,7 @@ func runPoolWorkload(t *testing.T, seed int64, noPool bool) poolWorkloadResult {
 	// Settle everything: queued work, retry backoffs, quarantine
 	// reinstatement timers, dead letters raised by exhausted retries.
 	s.Drain()
-	return poolWorkloadResult{log: log, stats: s.stats.Snapshot()}
+	return poolWorkloadResult{log: log, stats: s.StatsAggregate()}
 }
 
 // TestPoolReuseSafetyProperty runs identical randomized supervised

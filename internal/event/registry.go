@@ -73,6 +73,10 @@ func (s *System) Define(name string) ID {
 	s.byName[name] = id
 	s.publishTableLocked()
 	s.publishNamesLocked()
+	if s.tel != nil {
+		// Pre-grow the telemetry tables so its record paths never allocate.
+		s.tel.DefineEvent(int32(id), name)
+	}
 	return id
 }
 

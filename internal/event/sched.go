@@ -179,6 +179,9 @@ func (s *System) enqueue(ev ID, mode Mode, args []Arg) {
 	a := s.getAct()
 	a.ev, a.mode = ev, mode
 	a.setArgs(args)
+	if s.tel != nil {
+		a.enqAt, a.enqSet = s.clock.Now(), true
+	}
 	d.enqueueAct(a)
 }
 
@@ -190,7 +193,7 @@ func (d *Domain) enqueueAct(a *activation) {
 	d.qmu.Lock()
 	if d.qcap > 0 && d.q.len() >= d.qcap {
 		pol := d.qpolicy
-		d.sys.stats.QueueDrops.Add(1)
+		d.stats.QueueDrops.Add(1)
 		switch pol {
 		case DropOldest:
 			old := d.q.pop()
@@ -292,12 +295,22 @@ func (d *Domain) popRunnable() *activation {
 			a.ev, a.mode, a.attempt, a.fire = e.ev, e.mode, e.attempt, e.fire
 			a.adoptArgs(e.args)
 			e.args = nil
+			if tel := d.sys.tel; tel != nil && a.fire == nil {
+				// A timer's queue delay is the time past its deadline.
+				tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-e.at))
+			}
 			return a
 		}
 		e.mu.Unlock()
 		break
 	}
-	return d.q.pop()
+	a := d.q.pop()
+	if a != nil && a.enqSet {
+		if tel := d.sys.tel; tel != nil {
+			tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-a.enqAt))
+		}
+	}
+	return a
 }
 
 // nextDeadline returns the deadline of the earliest live timer of this

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"eventopt/internal/telemetry"
 )
 
 // Tracer receives instrumentation callbacks from the runtime. The profile
@@ -52,6 +54,13 @@ type Counters struct {
 	Deopts          atomic.Int64 // super-handlers auto-uninstalled after a fault
 	DeadLetters     atomic.Int64 // activations that exhausted their retry budget
 	QueueDrops      atomic.Int64 // activations dropped/rejected by a bounded queue
+}
+
+// addTo accumulates c's current values into the snapshot (each atomic is
+// loaded once). Aggregation across domains goes through snapshots so the
+// per-domain counters stay the only live state.
+func (c *Counters) addTo(s *StatsSnapshot) {
+	s.add(c.Snapshot())
 }
 
 // Reset zeroes all counters.
@@ -118,6 +127,30 @@ func (c *Counters) Snapshot() StatsSnapshot {
 	}
 }
 
+// add accumulates o into s field by field.
+func (s *StatsSnapshot) add(o StatsSnapshot) {
+	s.Raises += o.Raises
+	s.SyncRaises += o.SyncRaises
+	s.AsyncRaises += o.AsyncRaises
+	s.TimedRaises += o.TimedRaises
+	s.Generic += o.Generic
+	s.FastRuns += o.FastRuns
+	s.Fallbacks += o.Fallbacks
+	s.SegFallbacks += o.SegFallbacks
+	s.Indirect += o.Indirect
+	s.Marshals += o.Marshals
+	s.ArgResolves += o.ArgResolves
+	s.Locks += o.Locks
+	s.HandlersRun += o.HandlersRun
+	s.PanicsRecovered += o.PanicsRecovered
+	s.Retries += o.Retries
+	s.Quarantines += o.Quarantines
+	s.Reinstates += o.Reinstates
+	s.Deopts += o.Deopts
+	s.DeadLetters += o.DeadLetters
+	s.QueueDrops += o.QueueDrops
+}
+
 // FastShare is the fraction of dispatched activations that took an
 // installed fast path, in [0,1]; it reports 0 when nothing dispatched.
 func (s StatsSnapshot) FastShare() float64 {
@@ -176,13 +209,16 @@ type System struct {
 
 	clock   Clock
 	trc     atomic.Pointer[tracerRef]
-	stats   Counters
 	fault   faultShared // shared supervision config (fault.go)
 	haltErr func(error) // reporter for raise errors on async paths
+
+	tel *telemetry.Telemetry // live observability layer; nil unless enabled
 
 	wantDomains int            // WithDomains value, consumed by New
 	wantQcap    int            // queue bound remembered for domain creation
 	wantQpolicy OverflowPolicy // overflow policy remembered for domain creation
+	wantTel     bool           // WithTelemetry requested, consumed by New
+	wantTelCfg  telemetry.Config
 }
 
 // tracerRef boxes the installed Tracer so it can swap atomically.
@@ -233,6 +269,9 @@ func New(opts ...Option) *System {
 	if s.wantQcap > 0 {
 		s.SetQueueBound(s.wantQcap, s.wantQpolicy)
 	}
+	if s.wantTel {
+		s.tel = telemetry.New(n, s.wantTelCfg)
+	}
 	return s
 }
 
@@ -256,8 +295,85 @@ func (s *System) tracer() Tracer {
 // TracerInstalled reports whether a tracer is active.
 func (s *System) TracerInstalled() bool { return s.tracer() != nil }
 
-// Stats exposes the runtime counters (shared across all domains).
-func (s *System) Stats() *Counters { return &s.stats }
+// Stats exposes the runtime counters. Counters are kept per domain (each
+// domain increments only its own set, so sharded dispatch never contends
+// on a shared counter cache line); on a single-domain system Stats
+// returns that domain's live counters, preserving the historical
+// behavior (including Stats().Reset()). On a multi-domain system it
+// returns a freshly aggregated copy — read-only in effect; use
+// ResetStats to zero a sharded system and DomainStats for one shard.
+func (s *System) Stats() *Counters {
+	if len(s.domains) == 1 {
+		return &s.domains[0].stats
+	}
+	agg := &Counters{}
+	snap := s.StatsAggregate()
+	agg.Raises.Store(snap.Raises)
+	agg.SyncRaises.Store(snap.SyncRaises)
+	agg.AsyncRaises.Store(snap.AsyncRaises)
+	agg.TimedRaises.Store(snap.TimedRaises)
+	agg.Generic.Store(snap.Generic)
+	agg.FastRuns.Store(snap.FastRuns)
+	agg.Fallbacks.Store(snap.Fallbacks)
+	agg.SegFallbacks.Store(snap.SegFallbacks)
+	agg.Indirect.Store(snap.Indirect)
+	agg.Marshals.Store(snap.Marshals)
+	agg.ArgResolves.Store(snap.ArgResolves)
+	agg.Locks.Store(snap.Locks)
+	agg.HandlersRun.Store(snap.HandlersRun)
+	agg.PanicsRecovered.Store(snap.PanicsRecovered)
+	agg.Retries.Store(snap.Retries)
+	agg.Quarantines.Store(snap.Quarantines)
+	agg.Reinstates.Store(snap.Reinstates)
+	agg.Deopts.Store(snap.Deopts)
+	agg.DeadLetters.Store(snap.DeadLetters)
+	agg.QueueDrops.Store(snap.QueueDrops)
+	return agg
+}
+
+// StatsAggregate returns one snapshot summed over all domains.
+func (s *System) StatsAggregate() StatsSnapshot {
+	var snap StatsSnapshot
+	for _, d := range s.domains {
+		d.stats.addTo(&snap)
+	}
+	return snap
+}
+
+// DomainStats returns the counter snapshot of one domain (zero for an
+// out-of-range index).
+func (s *System) DomainStats(dom int) StatsSnapshot {
+	if dom < 0 || dom >= len(s.domains) {
+		return StatsSnapshot{}
+	}
+	return s.domains[dom].stats.Snapshot()
+}
+
+// ResetStats zeroes the counters of every domain.
+func (s *System) ResetStats() {
+	for _, d := range s.domains {
+		d.stats.Reset()
+	}
+}
+
+// StatsSummary renders the aggregate counter report and, on a sharded
+// system, a per-domain breakdown line for each domain (domains were the
+// main blind spot of the flat Summary).
+func (s *System) StatsSummary() string {
+	agg := s.StatsAggregate()
+	if len(s.domains) == 1 {
+		return agg.Summary()
+	}
+	var b strings.Builder
+	b.WriteString(agg.Summary())
+	for i, d := range s.domains {
+		ds := d.stats.Snapshot()
+		fmt.Fprintf(&b, "domain %-2d     %8d raises (sync %d, async %d, timed %d), %d generic, %d fast, %d handlers, %d faults, %d quarantines, %d drops\n",
+			i, ds.Raises, ds.SyncRaises, ds.AsyncRaises, ds.TimedRaises,
+			ds.Generic, ds.FastRuns, ds.HandlersRun, ds.PanicsRecovered, ds.Quarantines, ds.QueueDrops)
+	}
+	return b.String()
+}
 
 // Clock returns the system clock.
 func (s *System) Clock() Clock { return s.clock }

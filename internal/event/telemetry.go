@@ -1,0 +1,107 @@
+package event
+
+import (
+	"fmt"
+
+	"eventopt/internal/telemetry"
+)
+
+// WithTelemetry enables the live observability layer at construction:
+// per-event/per-domain latency and queue-delay histograms, a per-domain
+// flight recorder dumped automatically on quarantine trips and
+// dead-letters, and the sampled continuous event-graph feed. The zero
+// Config selects the defaults. Telemetry must be chosen at construction
+// so every domain's state exists before the first raise; the record
+// paths are allocation-free, so the zero-allocation dispatch gates hold
+// with telemetry enabled.
+func WithTelemetry(cfg telemetry.Config) Option {
+	return func(s *System) { s.wantTel, s.wantTelCfg = true, cfg }
+}
+
+// Telemetry returns the live telemetry instance (nil unless the system
+// was built with WithTelemetry).
+func (s *System) Telemetry() *telemetry.Telemetry { return s.tel }
+
+// TelemetryEnabled reports whether the telemetry layer is active.
+func (s *System) TelemetryEnabled() bool { return s.tel != nil }
+
+// dispatchTimed is the telemetry-instrumented dispatch wrapper: it feeds
+// the continuous graph and — for activations selected by the hashed
+// 1-in-TimeSampleEvery draw — times the activation into the event's
+// latency histogram and, at top level, appends a flight-recorder record
+// with the activation's outcome. Faulted activations are recorded in the
+// flight ring regardless of the draw (with Duration 0 when unsampled),
+// and any dump the activation's faults requested is taken last, so the
+// ring already contains the faulted activation when it is captured. The
+// unsampled path costs two scalar counter bumps and a hash — that is
+// what keeps the telemetry overhead gate under its budget.
+//
+// The timing brackets are straight-line rather than deferred: under the
+// Propagate policy a handler panic unwinds through the raise and that
+// activation goes unrecorded, which is acceptable — the flight recorder
+// earns its keep under supervision, where panics are recovered.
+func (s *System) dispatchTimed(tel *telemetry.Telemetry, d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+	sampled := tel.RecordDispatch(d.idx, int32(ev), mode == Sync)
+	if depth > 0 {
+		if !sampled {
+			return s.dispatchCore(d, ev, mode, args, depth)
+		}
+		start := s.clock.Now()
+		err := s.dispatchCore(d, ev, mode, args, depth)
+		tel.RecordLatency(d.idx, int32(ev), int64(s.clock.Now()-start))
+		return err
+	}
+	df := &d.fault
+	faultsBefore := df.activationFaults
+	if df.lastCause != nil { // conditional: skip the write barrier on the common path
+		df.lastCause = nil
+	}
+	var start Duration
+	if sampled {
+		start = s.clock.Now()
+	}
+	err := s.dispatchCore(d, ev, mode, args, depth)
+	faulted := df.activationFaults > faultsBefore
+	if sampled || faulted {
+		end := s.clock.Now()
+		var dur int64
+		if sampled {
+			dur = int64(end - start)
+			tel.RecordLatency(d.idx, int32(ev), dur)
+		}
+		outcome := telemetry.OutcomeOK
+		var cause *string
+		if faulted {
+			outcome = telemetry.OutcomeFault
+			cause = df.lastCause
+		}
+		tel.RecordActivation(d.idx, int32(ev), uint8(mode), outcome, d.telAttempt, dur, int64(end), cause)
+	}
+	if d.telDumpReason != "" {
+		reason := d.telDumpReason
+		d.telDumpReason = ""
+		tel.DumpFlight(d.idx, reason)
+	}
+	return err
+}
+
+// noteFaultCause retains the first recovered panic of the current
+// top-level activation for the flight recorder. Fault path only; the
+// formatting allocation is acceptable there. Caller holds runMu.
+func (d *Domain) noteFaultCause(pv any) {
+	if d.sys.tel == nil || d.fault.lastCause != nil {
+		return
+	}
+	c := fmt.Sprint(pv)
+	d.fault.lastCause = &c
+}
+
+// requestFlightDump asks the current top-level activation to dump this
+// domain's flight ring once its own record has been appended (so the
+// dump contains the activation that triggered it). Caller holds runMu.
+func (d *Domain) requestFlightDump(reason string) {
+	if d.sys.tel == nil || d.telDumpReason != "" {
+		return
+	}
+	d.telDumpReason = reason
+}

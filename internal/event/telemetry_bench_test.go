@@ -1,0 +1,36 @@
+package event
+
+import (
+	"testing"
+
+	"eventopt/internal/telemetry"
+)
+
+// The telemetry benchmarks separate the layer's always-on cost (graph
+// feed + sampling draw, paid by every raise) from the amortized cost of
+// a sampled activation (clock reads + histogram + flight record):
+//
+//	RaiseOff        baseline, no telemetry
+//	RaiseTel        default config — what the CI overhead gate measures
+//	RaiseTelNever   sampling periods maxed out: pure always-on cost
+//	RaiseTelAlways  every raise fully timed: worst case
+func benchRaise(b *testing.B, opts ...Option) {
+	args := []Arg{{Name: "n", Val: 7}, {Name: "s", Val: "x"}}
+	s := New(opts...)
+	ev := s.Define("hot")
+	sink := 0
+	s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") }, WithParams("n", "s"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Raise(ev, args...)
+	}
+}
+
+func BenchmarkRaiseOff(b *testing.B) { benchRaise(b) }
+func BenchmarkRaiseTel(b *testing.B) { benchRaise(b, WithTelemetry(telemetry.Config{})) }
+func BenchmarkRaiseTelNever(b *testing.B) {
+	benchRaise(b, WithTelemetry(telemetry.Config{SampleEvery: 1 << 30, TimeSampleEvery: 1 << 30}))
+}
+func BenchmarkRaiseTelAlways(b *testing.B) {
+	benchRaise(b, WithTelemetry(telemetry.Config{SampleEvery: 1, TimeSampleEvery: 1}))
+}

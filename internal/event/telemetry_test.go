@@ -1,0 +1,206 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eventopt/internal/telemetry"
+)
+
+func TestTelemetryHistogramsAndQueueDelay(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc), WithTelemetry(telemetry.Config{TimeSampleEvery: 1}))
+	ev := s.Define("work")
+	s.Bind(ev, "h", func(ctx *Ctx) { vc.Advance(3 * time.Millisecond) })
+
+	for i := 0; i < 10; i++ {
+		if err := s.Raise(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RaiseAsync(ev)
+	vc.Advance(5 * time.Millisecond) // the activation waits in the queue
+	s.Drain()
+	s.RaiseAfter(2*time.Millisecond, ev)
+	vc.Advance(9 * time.Millisecond) // fires 7ms past its deadline
+	s.Drain()
+
+	rows := s.Telemetry().Events()
+	if len(rows) != 1 {
+		t.Fatalf("Events() rows = %d, want 1: %+v", len(rows), rows)
+	}
+	r := rows[0]
+	if r.Name != "work" || r.Domain != 0 {
+		t.Fatalf("unexpected row: %+v", r)
+	}
+	if r.Latency.Count != 12 {
+		t.Fatalf("latency count = %d, want 12", r.Latency.Count)
+	}
+	// Every activation advanced the virtual clock by 3ms.
+	if mean := r.Latency.Mean(); mean < float64(2*time.Millisecond) || mean > float64(4*time.Millisecond) {
+		t.Fatalf("latency mean = %v, want ~3ms", time.Duration(mean))
+	}
+	if r.QueueDelay.Count != 2 {
+		t.Fatalf("queue-delay count = %d, want 2 (one async, one timed)", r.QueueDelay.Count)
+	}
+	if r.QueueDelay.Max < int64(5*time.Millisecond) {
+		t.Fatalf("queue-delay max = %v, want >= 5ms", time.Duration(r.QueueDelay.Max))
+	}
+
+	// Flight recorder saw every top-level activation, in order, all OK.
+	recs := s.Telemetry().FlightRecords(0)
+	if len(recs) != 12 {
+		t.Fatalf("flight records = %d, want 12", len(recs))
+	}
+	for _, fr := range recs {
+		if fr.Outcome != telemetry.OutcomeOK || fr.Name != "work" {
+			t.Fatalf("unexpected flight record: %+v", fr)
+		}
+	}
+	if recs[10].Mode != uint8(Async) || recs[11].Mode != uint8(Delayed) {
+		t.Fatalf("flight modes = %d,%d, want async,delayed", recs[10].Mode, recs[11].Mode)
+	}
+}
+
+func TestTelemetryFlightDumpOnQuarantine(t *testing.T) {
+	vc := NewVirtualClock()
+	// Default sampling: faulted activations must reach the flight ring
+	// even when the timing draw skips them.
+	s := New(WithClock(vc),
+		WithTelemetry(telemetry.Config{}),
+		WithFaultConfig(FaultConfig{Policy: Quarantine, FailureThreshold: 2}))
+	ev := s.Define("boom")
+	calls := 0
+	s.Bind(ev, "bad", func(ctx *Ctx) {
+		calls++
+		panic("kaput")
+	})
+	if err := s.Raise(ev); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Telemetry().LastDump(); d != nil {
+		t.Fatalf("dump before the threshold: %+v", d)
+	}
+	if err := s.Raise(ev); err != nil { // second fault trips the breaker
+		t.Fatal(err)
+	}
+	d := s.Telemetry().LastDump()
+	if d == nil {
+		t.Fatal("quarantine trip produced no flight dump")
+	}
+	if !strings.Contains(d.Reason, "quarantine") || !strings.Contains(d.Reason, "boom/bad") {
+		t.Fatalf("dump reason = %q", d.Reason)
+	}
+	// The dump must contain the activation that tripped the breaker, as
+	// its newest record, marked faulted with the panic cause.
+	if len(d.Records) != 2 {
+		t.Fatalf("dump has %d records, want 2", len(d.Records))
+	}
+	last := d.Records[len(d.Records)-1]
+	if last.Outcome != telemetry.OutcomeFault || !strings.Contains(last.Cause, "kaput") {
+		t.Fatalf("newest dumped record = %+v, want faulted with cause kaput", last)
+	}
+}
+
+func TestTelemetryFlightDumpOnDeadLetter(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc),
+		WithTelemetry(telemetry.Config{}),
+		WithFaultPolicy(Isolate),
+		WithRetryConfig(RetryConfig{MaxAttempts: 2, DeadLetter: "dead"}))
+	dead := s.Define("dead")
+	ev := s.Define("flaky")
+	var deadArgs []Arg
+	s.Bind(dead, "sink", func(ctx *Ctx) { deadArgs = ctx.Args.Pairs() })
+	s.Bind(ev, "bad", func(ctx *Ctx) { panic("always") })
+	s.RaiseAsync(ev)
+	s.Drain()
+	d := s.Telemetry().LastDump()
+	if d == nil || !strings.Contains(d.Reason, "dead-letter: flaky") {
+		t.Fatalf("dead-letter dump = %+v", d)
+	}
+	if len(deadArgs) == 0 {
+		t.Fatal("dead-letter event never ran")
+	}
+	// The exhausted attempt is in the dumped ring with its retry count.
+	found := false
+	for _, r := range d.Records {
+		if r.Name == "flaky" && r.Attempt == 1 && r.Outcome == telemetry.OutcomeFault {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dump lacks the exhausted retry attempt: %+v", d.Records)
+	}
+}
+
+func TestPerDomainStats(t *testing.T) {
+	s := New(WithDomains(2))
+	a := s.Define("a")
+	b := s.Define("b")
+	if err := s.PinEvent(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PinEvent(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Bind(a, "ha", func(ctx *Ctx) {})
+	s.Bind(b, "hb", func(ctx *Ctx) {})
+	for i := 0; i < 3; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Raise(b); err != nil {
+		t.Fatal(err)
+	}
+
+	d0, d1 := s.DomainStats(0), s.DomainStats(1)
+	if d0.Raises != 3 || d1.Raises != 1 {
+		t.Fatalf("per-domain raises = %d/%d, want 3/1", d0.Raises, d1.Raises)
+	}
+	agg := s.StatsAggregate()
+	if agg.Raises != 4 || agg.HandlersRun != 4 {
+		t.Fatalf("aggregate = %+v, want 4 raises, 4 handlers", agg)
+	}
+	if got := s.Stats().Raises.Load(); got != 4 {
+		t.Fatalf("Stats().Raises = %d, want aggregated 4", got)
+	}
+	sum := s.StatsSummary()
+	if !strings.Contains(sum, "domain 0") || !strings.Contains(sum, "domain 1") {
+		t.Fatalf("StatsSummary lacks per-domain breakdown:\n%s", sum)
+	}
+	if !strings.Contains(sum, "raises               4") {
+		t.Fatalf("StatsSummary aggregate header wrong:\n%s", sum)
+	}
+
+	s.ResetStats()
+	if agg := s.StatsAggregate(); agg.Raises != 0 {
+		t.Fatalf("ResetStats left %d raises", agg.Raises)
+	}
+
+	// Out-of-range domain stats are zero, not a panic.
+	if ds := s.DomainStats(99); ds.Raises != 0 {
+		t.Fatal("out-of-range DomainStats not zero")
+	}
+}
+
+func TestStatsSingleDomainBackCompat(t *testing.T) {
+	s := New()
+	ev := s.Define("e")
+	s.Bind(ev, "h", func(ctx *Ctx) {})
+	_ = s.Raise(ev)
+	c := s.Stats()
+	if c.Raises.Load() != 1 {
+		t.Fatal("live counter missing the raise")
+	}
+	c.Reset() // historical idiom: reset through the returned pointer
+	_ = s.Raise(ev)
+	if got := s.Stats().Raises.Load(); got != 1 {
+		t.Fatalf("after Reset + raise, Raises = %d, want 1", got)
+	}
+	if s.StatsSummary() != s.Stats().Summary() {
+		t.Fatal("single-domain StatsSummary must equal the flat Summary")
+	}
+}

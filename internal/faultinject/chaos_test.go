@@ -11,6 +11,8 @@ package faultinject_test
 import (
 	"bytes"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 
 	"eventopt/internal/core"
@@ -20,6 +22,7 @@ import (
 	"eventopt/internal/hir"
 	"eventopt/internal/profile"
 	"eventopt/internal/seccomm"
+	"eventopt/internal/telemetry"
 	"eventopt/internal/trace"
 	"eventopt/internal/video"
 )
@@ -413,5 +416,102 @@ func TestVideoPlayerChaosLivenessAndDeterminism(t *testing.T) {
 		res2.Delivered != res.Delivered || res2.Stats != res.Stats {
 		t.Errorf("same seed diverged:\n  run1 %+v (inj %d)\n  run2 %+v (inj %d)",
 			res.Stats, injected, res2.Stats, injected2)
+	}
+}
+
+// TestSeccommChaosFlightRecorderDump verifies the flight recorder under
+// injected faults: a chaos handler on the push chain faults three times
+// in a row, the quarantine breaker trips, and the automatic dump must
+// contain the faulting activation — correctly attributed, marked
+// faulted, with the injected panic as its cause — while concurrent
+// snapshot readers hammer the ring for the race detector.
+func TestSeccommChaosFlightRecorderDump(t *testing.T) {
+	pushes := 400
+	if testing.Short() {
+		pushes = 120
+	}
+	e, err := seccomm.New(seccommConfig(),
+		event.WithClock(event.NewVirtualClock()),
+		event.WithTelemetry(telemetry.Config{FlightSize: 64}),
+		event.WithFaultConfig(event.FaultConfig{
+			Policy:           event.Quarantine,
+			FailureThreshold: 3,
+			Backoff:          50 * event.Duration(1e6),
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(7)
+	inj.BindChaos(e.Sys, e.MsgFromUser, "push-chaos", 99)
+	// Three consecutive faults starting mid-run trip the breaker.
+	inj.FailOnCall("push-chaos", 50)
+	inj.FailOnCall("push-chaos", 51)
+	inj.FailOnCall("push-chaos", 52)
+
+	tel := e.Sys.Telemetry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range tel.FlightRecords(0) {
+					if r.Outcome == telemetry.OutcomeFault && r.Cause == "" {
+						panic("faulted flight record without a cause")
+					}
+				}
+				tel.Graph()
+				tel.Events()
+			}
+		}()
+	}
+
+	for i := 0; i < pushes; i++ {
+		e.Push([]byte(fmt.Sprintf("chaos message %04d", i)))
+		e.Sys.Drain()
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := inj.Injected(); got != 3 {
+		t.Fatalf("injected %d faults, want 3", got)
+	}
+	d := tel.LastDump()
+	if d == nil {
+		t.Fatal("quarantine trip produced no flight dump")
+	}
+	if !strings.Contains(d.Reason, "quarantine") || !strings.Contains(d.Reason, "push-chaos") {
+		t.Fatalf("dump reason = %q, want quarantine of push-chaos", d.Reason)
+	}
+	if d.Domain != 0 || len(d.Records) == 0 {
+		t.Fatalf("unexpected dump shape: domain %d, %d records", d.Domain, len(d.Records))
+	}
+	// The newest record in the dump is the activation that tripped the
+	// breaker: the faulted msgFromUser raise with the injected cause.
+	last := d.Records[len(d.Records)-1]
+	if last.Outcome != telemetry.OutcomeFault {
+		t.Fatalf("newest dumped record not faulted: %+v", last)
+	}
+	if !strings.Contains(last.Cause, "faultinject") || !strings.Contains(last.Cause, "push-chaos") {
+		t.Fatalf("dumped cause = %q, want the injected fault", last.Cause)
+	}
+	if e.Sys.EventName(event.ID(last.Event)) != last.Name {
+		t.Fatalf("record name %q does not match event %d", last.Name, last.Event)
+	}
+	faulted := 0
+	for _, r := range d.Records {
+		if r.Outcome == telemetry.OutcomeFault {
+			faulted++
+		}
+	}
+	// All three consecutive faults landed inside the 64-record window.
+	if faulted != 3 {
+		t.Fatalf("dump contains %d faulted records, want 3", faulted)
 	}
 }

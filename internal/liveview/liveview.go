@@ -1,0 +1,121 @@
+// Package liveview is the shared client side of the live telemetry
+// endpoint: it fetches the /events document served by telemetry/httpdebug
+// and renders the per-event table that evtop displays and evprof -live
+// prints. Keeping it in one package guarantees the two tools agree on
+// the wire format and the column semantics.
+package liveview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"eventopt/internal/telemetry"
+)
+
+// EventsDoc mirrors httpdebug's /events response.
+type EventsDoc struct {
+	TimeSampleEvery int                       `json:"time_sample_every"`
+	Events          []telemetry.EventSnapshot `json:"events"`
+	Merged          []telemetry.EventSnapshot `json:"merged"`
+}
+
+// Fetch retrieves the /events document from a telemetry HTTP endpoint.
+// base is the server root (e.g. "http://localhost:6060"); a path is kept
+// as given so a full ".../events" URL also works.
+func Fetch(base string) (*EventsDoc, error) {
+	url := base
+	if !strings.HasSuffix(url, "/events") {
+		url = strings.TrimRight(url, "/") + "/events"
+	}
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var doc EventsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: decoding: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// Sort keys accepted by Render.
+const (
+	SortCount = "count"
+	SortMean  = "mean"
+	SortP99   = "p99"
+	SortMax   = "max"
+)
+
+// Render writes the top-style per-event table. merged selects the
+// cross-domain rows (one per event) instead of per-domain cells. Counts
+// are scaled by the server's timed-path sampling period, so they
+// estimate true activation counts.
+func Render(w io.Writer, doc *EventsDoc, sortKey string, merged bool) error {
+	rows := doc.Events
+	if merged {
+		rows = doc.Merged
+	}
+	rows = append([]telemetry.EventSnapshot(nil), rows...)
+	key := func(r telemetry.EventSnapshot) float64 {
+		switch sortKey {
+		case SortMean:
+			return r.Latency.Mean()
+		case SortP99:
+			return float64(r.Latency.Quantile(0.99))
+		case SortMax:
+			return float64(r.Latency.Max)
+		default:
+			return float64(r.Latency.Count)
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return key(rows[i]) > key(rows[j]) })
+
+	scale := int64(doc.TimeSampleEvery)
+	if scale < 1 {
+		scale = 1
+	}
+	fmt.Fprintf(w, "%-20s %4s %10s %9s %9s %9s %9s %9s\n",
+		"EVENT", "DOM", "COUNT", "MEAN", "P50", "P99", "MAX", "QDELAY99")
+	for _, r := range rows {
+		dom := fmt.Sprintf("%d", r.Domain)
+		if r.Domain < 0 {
+			dom = "*"
+		}
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", r.Event)
+		}
+		qd := "-"
+		if r.QueueDelay.Count > 0 {
+			qd = us(float64(r.QueueDelay.Quantile(0.99)))
+		}
+		fmt.Fprintf(w, "%-20s %4s %10d %9s %9s %9s %9s %9s\n",
+			name, dom,
+			r.Latency.Count*scale,
+			us(r.Latency.Mean()),
+			us(float64(r.Latency.Quantile(0.50))),
+			us(float64(r.Latency.Quantile(0.99))),
+			us(float64(r.Latency.Max)),
+			qd)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "(no telemetry recorded yet)")
+	}
+	return nil
+}
+
+// us renders nanoseconds as microseconds with two decimals.
+func us(ns float64) string {
+	return fmt.Sprintf("%.2fus", ns/1e3)
+}

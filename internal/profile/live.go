@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+)
+
+// FromTelemetry reconstructs an EventGraph from the live telemetry
+// layer's sampled graph feed, so the paper's offline analyses — Reduce,
+// Paths, Chains, WriteDOT — run unchanged against a running system
+// instead of a recorded trace. Edge weights are scaled by the feed's
+// sampling period, so they estimate true traversal counts and a
+// threshold tuned on offline profiles carries over.
+func FromTelemetry(gs telemetry.GraphSnapshot) *EventGraph {
+	g := NewEventGraph()
+	scale := gs.SampleEvery
+	if scale < 1 {
+		scale = 1
+	}
+	for _, e := range gs.Edges {
+		g.AddEdge(event.ID(e.From), event.ID(e.To), int(e.Weight)*scale, int(e.SyncWeight)*scale)
+		if e.FromName != "" {
+			g.SetName(event.ID(e.From), e.FromName)
+		}
+		if e.ToName != "" {
+			g.SetName(event.ID(e.To), e.ToName)
+		}
+	}
+	return g
+}
+
+// HotPath is one hot event chain extracted from the live graph.
+type HotPath struct {
+	Events []event.ID `json:"events"`
+	Names  []string   `json:"names"`
+	Weight int        `json:"weight"` // minimum edge weight along the path (scaled)
+}
+
+// HotPaths answers the continuous-profiling query: the maximal paths of
+// the threshold-reduced live event graph, hottest first. threshold is
+// the paper's reduction threshold t applied to the scaled weights; pass
+// 0 to keep every sampled edge. maxPaths caps the result (<= 0 means 16).
+func HotPaths(gs telemetry.GraphSnapshot, threshold, maxPaths int) []HotPath {
+	if maxPaths <= 0 {
+		maxPaths = 16
+	}
+	g := FromTelemetry(gs)
+	reduced := g.Reduce(threshold)
+	paths := reduced.Paths(threshold, maxPaths)
+	out := make([]HotPath, 0, len(paths))
+	for _, p := range paths {
+		hp := HotPath{Events: p, Weight: reduced.MinWeight(p)}
+		hp.Names = make([]string, len(p))
+		for i, ev := range p {
+			hp.Names[i] = g.Name(ev)
+		}
+		out = append(out, hp)
+	}
+	// Paths already orders deterministically; sort hottest first while
+	// keeping that order for ties.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Weight > out[j-1].Weight; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package profile
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+)
+
+// TestLiveGraphMatchesOffline drives the same workload through the live
+// sampled feed (SampleEvery 1) and the offline GraphBuilder idiom and
+// requires the same hot structure: continuous profiling replaces the
+// separate trace run without changing what the analyses see.
+func TestLiveGraphMatchesOffline(t *testing.T) {
+	s := event.New(event.WithTelemetry(telemetry.Config{SampleEvery: 1}))
+	a := s.Define("a")
+	b := s.Define("b")
+	c := s.Define("c")
+	s.Bind(a, "ha", func(ctx *event.Ctx) { ctx.Raise(b) })
+	s.Bind(b, "hb", func(ctx *event.Ctx) { ctx.Raise(c) })
+	s.Bind(c, "hc", func(ctx *event.Ctx) {})
+	for i := 0; i < 50; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g := FromTelemetry(s.Telemetry().Graph())
+	if g.NumNodes() < 3 {
+		t.Fatalf("live graph has %d nodes, want >= 3", g.NumNodes())
+	}
+	eAB := g.EdgeBetween(a, b)
+	if eAB == nil || eAB.Weight != 50 {
+		t.Fatalf("a->b edge = %+v, want weight 50", eAB)
+	}
+	if !eAB.Sync() {
+		t.Fatal("a->b must be fully synchronous")
+	}
+	if name := g.Name(b); name != "b" {
+		t.Fatalf("node b named %q", name)
+	}
+
+	hot := HotPaths(s.Telemetry().Graph(), 10, 4)
+	if len(hot) == 0 {
+		t.Fatal("no hot paths found")
+	}
+	top := hot[0]
+	if len(top.Events) < 3 || top.Events[0] != a || top.Events[len(top.Events)-1] != c {
+		t.Fatalf("top hot path = %+v, want a..c", top)
+	}
+	if top.Weight < 49 {
+		t.Fatalf("top hot path weight = %d, want ~50", top.Weight)
+	}
+}
+
+// TestHotPathsScalesSampledWeights verifies the SampleEvery scaling: a
+// feed sampled 1-in-4 must report edge weights comparable to the true
+// traversal counts, so offline-tuned thresholds keep working.
+func TestHotPathsScalesSampledWeights(t *testing.T) {
+	s := event.New(event.WithTelemetry(telemetry.Config{SampleEvery: 4}))
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "ha", func(ctx *event.Ctx) { ctx.Raise(b) })
+	s.Bind(b, "hb", func(ctx *event.Ctx) {})
+	for i := 0; i < 400; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := FromTelemetry(s.Telemetry().Graph())
+	e := g.EdgeBetween(a, b)
+	if e == nil {
+		t.Fatal("a->b edge missing from sampled feed")
+	}
+	// 400 a->b pairs sampled 1-in-4 and scaled by 4: within 25% of truth.
+	if e.Weight < 300 || e.Weight > 500 {
+		t.Fatalf("scaled a->b weight = %d, want ~400", e.Weight)
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFlightChrome writes flight-recorder records as Chrome trace-event
+// JSON (the {"traceEvents": [...]} wrapper understood by Perfetto and
+// chrome://tracing). Each record becomes one complete ("X") event on the
+// tid of its domain, placed by its real completion time and duration;
+// faulted activations carry the cause in args.
+func WriteFlightChrome(w io.Writer, records []FlightRecord) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	for i, r := range records {
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("event-%d", r.Event)
+		}
+		startUs := float64(r.End-r.Duration) / 1e3
+		durUs := float64(r.Duration) / 1e3
+		sep := ""
+		if i > 0 {
+			sep = ","
+		}
+		outcome := "ok"
+		if r.Outcome == OutcomeFault {
+			outcome = "fault"
+		}
+		_, err := fmt.Fprintf(w,
+			`%s{"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":0,"tid":%d,"args":{"seq":%d,"mode":%d,"attempt":%d,"outcome":%q`,
+			sep, name, startUs, durUs, r.Domain, r.Seq, r.Mode, r.Attempt, outcome)
+		if err != nil {
+			return err
+		}
+		if r.Cause != "" {
+			if _, err := fmt.Fprintf(w, `,"cause":%q`, r.Cause); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "}}"); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}")
+	return err
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"sync/atomic"
+)
+
+// Activation outcomes recorded in the flight recorder.
+const (
+	OutcomeOK    uint8 = 0 // every handler of the activation completed
+	OutcomeFault uint8 = 1 // at least one handler panic was recovered
+)
+
+// FlightRecord is one completed top-level activation as seen by the
+// flight recorder: what ran, where, how it ended and how long it took.
+type FlightRecord struct {
+	Seq      uint64 `json:"seq"` // global per-domain sequence number (monotonic)
+	Event    int32  `json:"event"`
+	Name     string `json:"name"`
+	Mode     uint8  `json:"mode"` // event.Mode numeric value (0 sync, 1 async, 2 delayed)
+	Domain   int    `json:"domain"`
+	Outcome  uint8  `json:"outcome"`
+	Attempt  int    `json:"attempt"`         // prior retry attempts of the activation
+	Duration int64  `json:"dur_ns"`          // activation latency in nanoseconds
+	End      int64  `json:"end_ns"`          // completion time on the system clock (ns)
+	Cause    string `json:"cause,omitempty"` // first recovered panic, "" when OutcomeOK
+}
+
+// flightSlot is one ring cell. Every field is atomic so the single
+// per-domain writer and any number of snapshot readers stay race-free
+// without a lock; seq doubles as the torn-read detector (a reader
+// accepts a cell only when seq reads the same expected value before and
+// after copying the payload). The small scalar fields (event, mode,
+// outcome, attempt) are packed into one word so a record costs four
+// atomic stores plus seq bracketing, not eight — atomic stores are the
+// bulk of the sampled-activation cost the overhead gate bounds.
+type flightSlot struct {
+	seq   atomic.Uint64 // record sequence + 1; 0 = never written
+	meta  atomic.Uint64 // packMeta: event | mode | outcome | attempt
+	dur   atomic.Int64
+	end   atomic.Int64
+	cause atomic.Pointer[string]
+}
+
+// packMeta packs the per-record scalars into one word:
+// bits 0-31 event ID, 32-39 mode, 40-47 outcome, 48-63 attempt (capped).
+func packMeta(ev int32, mode, outcome uint8, attempt int) uint64 {
+	if attempt < 0 {
+		attempt = 0
+	}
+	if attempt > 0xFFFF {
+		attempt = 0xFFFF
+	}
+	return uint64(uint32(ev)) | uint64(mode)<<32 | uint64(outcome)<<40 | uint64(attempt)<<48
+}
+
+func unpackMeta(m uint64) (ev int32, mode, outcome uint8, attempt int) {
+	return int32(uint32(m)), uint8(m >> 32), uint8(m >> 40), int(m >> 48)
+}
+
+// flightRing is a bounded single-writer multi-reader ring of the last N
+// activation records of one domain. The writer (the domain's dispatch
+// path, serialized by the domain's atomicity lock) never blocks and
+// never allocates; readers copy slots optimistically and discard the
+// ones the writer was overwriting mid-copy.
+type flightRing struct {
+	mask  uint64
+	head  atomic.Uint64 // next sequence number to write
+	slots []flightSlot
+}
+
+func (r *flightRing) init(size int) {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	r.slots = make([]flightSlot, n)
+	r.mask = uint64(n - 1)
+}
+
+// record appends one activation record. Single writer per ring.
+func (r *flightRing) record(ev int32, mode, outcome uint8, attempt int, dur, end int64, cause *string) {
+	seq := r.head.Load()
+	s := &r.slots[seq&r.mask]
+	s.seq.Store(0) // invalidate while the payload is in flux
+	s.meta.Store(packMeta(ev, mode, outcome, attempt))
+	s.dur.Store(dur)
+	s.end.Store(end)
+	s.cause.Store(cause)
+	s.seq.Store(seq + 1)
+	r.head.Store(seq + 1)
+}
+
+// snapshot copies the ring's valid records, oldest first.
+func (r *flightRing) snapshot(dom int, name func(int32) string) []FlightRecord {
+	head := r.head.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if head > n {
+		start = head - n
+	}
+	out := make([]FlightRecord, 0, head-start)
+	for seq := start; seq < head; seq++ {
+		s := &r.slots[seq&r.mask]
+		want := seq + 1
+		if s.seq.Load() != want {
+			continue // overwritten (or mid-write): the record is gone
+		}
+		ev, mode, outcome, attempt := unpackMeta(s.meta.Load())
+		rec := FlightRecord{
+			Seq:      seq,
+			Event:    ev,
+			Mode:     mode,
+			Domain:   dom,
+			Outcome:  outcome,
+			Attempt:  attempt,
+			Duration: s.dur.Load(),
+			End:      s.end.Load(),
+		}
+		if c := s.cause.Load(); c != nil {
+			rec.Cause = *c
+		}
+		if s.seq.Load() != want {
+			continue // torn: the writer lapped us during the copy
+		}
+		rec.Name = name(rec.Event)
+		out = append(out, rec)
+	}
+	return out
+}
+
+// RecordActivation appends one completed top-level activation to domain
+// dom's flight ring. cause is nil for clean activations; a non-nil cause
+// carries the first recovered panic of the activation. The call is
+// allocation-free; it must be made from the domain's serialized dispatch
+// path (single writer per ring).
+func (t *Telemetry) RecordActivation(dom int, ev int32, mode, outcome uint8, attempt int, durNs, endNs int64, cause *string) {
+	if dom < 0 || dom >= len(t.doms) {
+		return
+	}
+	t.doms[dom].flight.record(ev, mode, outcome, attempt, durNs, endNs, cause)
+}
+
+// FlightRecords returns a copy of domain dom's ring, oldest record
+// first. Safe to call concurrently with recording.
+func (t *Telemetry) FlightRecords(dom int) []FlightRecord {
+	if dom < 0 || dom >= len(t.doms) {
+		return nil
+	}
+	return t.doms[dom].flight.snapshot(dom, t.EventName)
+}
+
+// FlightDump is one automatic post-mortem capture: the flight ring of
+// the domain on which a quarantine trip or dead-letter occurred, taken
+// at the moment of the trigger.
+type FlightDump struct {
+	Reason  string         `json:"reason"` // e.g. "quarantine: MsgFromUser/push-chaos"
+	Domain  int            `json:"domain"`
+	Seq     int64          `json:"seq"` // dump ordinal (1-based)
+	Records []FlightRecord `json:"records"`
+}
+
+// DumpFlight captures domain dom's ring under the given reason, stores
+// it as the last dump and invokes the OnDump hook. The runtime calls it
+// on quarantine trips and dead-letters; applications may also call it
+// directly (e.g. from a watchdog).
+func (t *Telemetry) DumpFlight(dom int, reason string) *FlightDump {
+	d := &FlightDump{
+		Reason:  reason,
+		Domain:  dom,
+		Seq:     t.dumps.Add(1),
+		Records: t.FlightRecords(dom),
+	}
+	t.lastDump.Store(d)
+	if t.cfg.OnDump != nil {
+		t.cfg.OnDump(d)
+	}
+	return d
+}
+
+// LastDump returns the most recent automatic dump (nil if none yet).
+func (t *Telemetry) LastDump() *FlightDump { return t.lastDump.Load() }
+
+// DumpCount reports how many dumps have been taken.
+func (t *Telemetry) DumpCount() int64 { return t.dumps.Load() }

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// edgeKey identifies one directed edge of the live event graph.
+type edgeKey struct {
+	from, to int32
+}
+
+// edgeCounter holds the sampled traversal counts of one edge. The map
+// holding the counters is copy-on-write: once an edge exists its
+// counter pointer never changes, so bumps are plain atomic adds.
+type edgeCounter struct {
+	weight     atomic.Int64
+	syncWeight atomic.Int64
+}
+
+// RecordEdge feeds one event occurrence of domain dom into the sampled
+// continuous graph feed. It mirrors the offline GraphBuilder: adjacent
+// events of one domain's stream form an edge, sync dispatches also bump
+// the edge's sync weight. Only every SampleEvery-th pair is counted;
+// the rest of the call is two scalar writes. Must be called from the
+// domain's serialized dispatch path.
+func (t *Telemetry) RecordEdge(dom int, ev int32, sync bool) {
+	if dom < 0 || dom >= len(t.doms) {
+		return
+	}
+	t.recordEdge(t.doms[dom], ev, sync)
+}
+
+func (t *Telemetry) recordEdge(d *domainTel, ev int32, sync bool) {
+	prev, had := d.prev, d.hasPrev
+	d.prev, d.hasPrev = ev, true
+	if !had {
+		return
+	}
+	d.tick++
+	// Hash the tick before the 1-in-N draw: a plain stride aliases with
+	// periodic event streams (a strict a,b,a,b loop would put every
+	// sampled tick on the same edge and hide the other), while the mixed
+	// counter keeps the draw deterministic per run. The threshold compare
+	// (h <= MaxUint64/N) avoids a division on the unsampled path.
+	h := d.tick * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	if h > t.edgeLimit {
+		return
+	}
+	t.bumpEdge(prev, ev, sync)
+}
+
+// RecordDispatch is the fused dispatch-path entry: it feeds the graph
+// sampler with one event occurrence and draws the timed-path sampling
+// decision, sharing one bounds check and one domain load. This is what
+// the runtime calls on every dispatch; the split
+// RecordEdge/SampleTimed pair remains for callers that need only one
+// half. Must be called from the domain's serialized dispatch path.
+func (t *Telemetry) RecordDispatch(dom int, ev int32, sync bool) (timed bool) {
+	if dom < 0 || dom >= len(t.doms) {
+		return false
+	}
+	d := t.doms[dom]
+	t.recordEdge(d, ev, sync)
+	d.ttick++
+	h := d.ttick * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h <= t.timedLimit
+}
+
+func (t *Telemetry) bumpEdge(from, to int32, sync bool) {
+	k := edgeKey{from, to}
+	m := t.edges.Load()
+	c := (*m)[k]
+	if c == nil {
+		// New edge: copy-on-write insertion under the growth mutex.
+		t.mu.Lock()
+		m = t.edges.Load()
+		if c = (*m)[k]; c == nil {
+			grown := make(map[edgeKey]*edgeCounter, len(*m)+1)
+			for ek, ec := range *m {
+				grown[ek] = ec
+			}
+			c = &edgeCounter{}
+			grown[k] = c
+			t.edges.Store(&grown)
+		}
+		t.mu.Unlock()
+	}
+	c.weight.Add(1)
+	if sync {
+		c.syncWeight.Add(1)
+	}
+}
+
+// GraphEdge is one edge of the live event graph snapshot. Weights are
+// raw sampled counts; multiply by SampleEvery for an estimate of the
+// true traversal count.
+type GraphEdge struct {
+	From       int32  `json:"from"`
+	To         int32  `json:"to"`
+	FromName   string `json:"from_name"`
+	ToName     string `json:"to_name"`
+	Weight     int64  `json:"weight"`
+	SyncWeight int64  `json:"sync_weight"`
+}
+
+// GraphSnapshot is a point-in-time copy of the live event graph.
+type GraphSnapshot struct {
+	SampleEvery int         `json:"sample_every"`
+	Edges       []GraphEdge `json:"edges"`
+}
+
+// Graph snapshots the live event graph, edges sorted by weight
+// descending (ties by from, then to).
+func (t *Telemetry) Graph() GraphSnapshot {
+	m := t.edges.Load()
+	gs := GraphSnapshot{SampleEvery: t.cfg.SampleEvery}
+	gs.Edges = make([]GraphEdge, 0, len(*m))
+	for k, c := range *m {
+		w := c.weight.Load()
+		if w == 0 {
+			continue
+		}
+		gs.Edges = append(gs.Edges, GraphEdge{
+			From: k.from, To: k.to,
+			FromName: t.EventName(k.from), ToName: t.EventName(k.to),
+			Weight: w, SyncWeight: c.syncWeight.Load(),
+		})
+	}
+	sort.Slice(gs.Edges, func(i, j int) bool {
+		a, b := gs.Edges[i], gs.Edges[j]
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return gs
+}

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {1 << 47, NumBuckets - 1}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Every value must fall strictly below its bucket's bound (except in
+	// the unbounded last bucket).
+	for v := int64(0); v < 1<<20; v = v*3 + 1 {
+		b := bucketOf(v)
+		if b < NumBuckets-1 && v >= BucketBound(b) {
+			t.Fatalf("value %d in bucket %d >= bound %d", v, b, BucketBound(b))
+		}
+	}
+}
+
+// TestHistogramMergeAcrossDomains is the merge property test: recording
+// a random stream sharded over D per-domain histograms and merging the
+// snapshots must equal, bucket for bucket, the histogram produced by a
+// single shared recorder fed the same stream.
+func TestHistogramMergeAcrossDomains(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		const domains = 4
+		var sharded [domains]Histogram
+		var single Histogram
+		for i := 0; i < 20000; i++ {
+			// Mix magnitudes: sub-µs, µs, ms and occasional outliers.
+			v := rng.Int63n(1 << uint(1+rng.Intn(40)))
+			sharded[rng.Intn(domains)].Record(v)
+			single.Record(v)
+		}
+		var merged HistSnapshot
+		for d := range sharded {
+			merged.Merge(sharded[d].Snapshot())
+		}
+		want := single.Snapshot()
+		if merged != want {
+			t.Fatalf("seed %d: merged sharded snapshot differs from single recorder\nmerged: %+v\nwant:   %+v", seed, merged, want)
+		}
+		if merged.Count != 20000 {
+			t.Fatalf("seed %d: merged count = %d, want 20000", seed, merged.Count)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	var max int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		if v > max {
+			max = v
+		}
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	prev := int64(0)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		b := s.Quantile(q)
+		if b < prev {
+			t.Fatalf("Quantile(%g) = %d < previous %d", q, b, prev)
+		}
+		prev = b
+	}
+	// The quantile upper bound overestimates by at most the bucket width.
+	if p100 := s.Quantile(1); p100 < max || p100 > 2*max {
+		t.Fatalf("Quantile(1) = %d not in [max, 2*max] for max %d", p100, max)
+	}
+	if s.Max != max {
+		t.Fatalf("Max = %d, want %d", s.Max, max)
+	}
+	if mean := s.Mean(); mean <= 0 || mean > float64(max) {
+		t.Fatalf("Mean = %f out of range", mean)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var s HistSnapshot
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot must report zero mean and quantiles")
+	}
+}

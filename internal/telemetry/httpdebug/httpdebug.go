@@ -1,0 +1,177 @@
+// Package httpdebug serves the live telemetry of an event system over
+// HTTP for interactive inspection (evtop, curl) and trace capture:
+//
+//	/metrics         expvar-style JSON: counters, per-domain breakdown, event histograms
+//	/events          per-event telemetry rows (latency + queue-delay histograms)
+//	/graph           the live event graph as Graphviz DOT (?threshold=N prunes edges)
+//	/flightrecorder  per-domain flight-recorder contents and the last automatic dump
+//	/trace           Chrome trace-event JSON of the attached trace recorder
+//	/debug/pprof/    the standard Go profiling endpoints
+//
+// The handler only reads lock-free snapshots, so it is safe to serve
+// from a production system while events are dispatching.
+package httpdebug
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/trace"
+)
+
+// Server exposes one event system (and optionally one trace recorder)
+// over HTTP. Zero value is not usable; construct with New.
+type Server struct {
+	sys *event.System
+	rec *trace.Recorder
+	mux *http.ServeMux
+}
+
+// New builds the debug handler for sys. rec may be nil; then /trace
+// reports 404. The telemetry endpoints degrade gracefully when sys was
+// built without WithTelemetry (empty rows, 404 for the flight recorder).
+func New(sys *event.System, rec *trace.Recorder) *Server {
+	s := &Server{sys: sys, rec: rec, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.metrics)
+	s.mux.HandleFunc("/events", s.events)
+	s.mux.HandleFunc("/graph", s.graph)
+	s.mux.HandleFunc("/flightrecorder", s.flight)
+	s.mux.HandleFunc("/trace", s.trace)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Metrics is the /metrics document: aggregate counters, the per-domain
+// counter breakdown and the per-event telemetry rows.
+type Metrics struct {
+	Domains     int                       `json:"domains"`
+	Stats       event.StatsSnapshot       `json:"stats"`
+	DomainStats []event.StatsSnapshot     `json:"domain_stats,omitempty"`
+	Telemetry   bool                      `json:"telemetry_enabled"`
+	SampleEvery int                       `json:"sample_every,omitempty"`
+	TimedEvery  int                       `json:"time_sample_every,omitempty"`
+	Events      []telemetry.EventSnapshot `json:"events,omitempty"`
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	m := Metrics{
+		Domains: s.sys.NumDomains(),
+		Stats:   s.sys.StatsAggregate(),
+	}
+	if m.Domains > 1 {
+		for d := 0; d < m.Domains; d++ {
+			m.DomainStats = append(m.DomainStats, s.sys.DomainStats(d))
+		}
+	}
+	if tel := s.sys.Telemetry(); tel != nil {
+		m.Telemetry = true
+		m.SampleEvery = tel.SampleEvery()
+		m.TimedEvery = tel.TimeSampleEvery()
+		m.Events = tel.Events()
+	}
+	writeJSON(w, m)
+}
+
+// EventsDoc is the /events document.
+type EventsDoc struct {
+	TimeSampleEvery int                       `json:"time_sample_every"`
+	Events          []telemetry.EventSnapshot `json:"events"`
+	Merged          []telemetry.EventSnapshot `json:"merged"`
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	tel := s.sys.Telemetry()
+	if tel == nil {
+		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
+		return
+	}
+	rows := tel.Events()
+	writeJSON(w, EventsDoc{
+		TimeSampleEvery: tel.TimeSampleEvery(),
+		Events:          rows,
+		Merged:          telemetry.MergeEvents(rows),
+	})
+}
+
+func (s *Server) graph(w http.ResponseWriter, r *http.Request) {
+	tel := s.sys.Telemetry()
+	if tel == nil {
+		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
+		return
+	}
+	threshold := 0
+	if v := r.URL.Query().Get("threshold"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "threshold must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		threshold = n
+	}
+	g := profile.FromTelemetry(tel.Graph())
+	if threshold > 0 {
+		g = g.Reduce(threshold)
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+	if err := g.WriteDOT(w, "live event graph"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// FlightDoc is the /flightrecorder document.
+type FlightDoc struct {
+	Dumps    int64                      `json:"dumps"`
+	LastDump *telemetry.FlightDump      `json:"last_dump,omitempty"`
+	Domains  [][]telemetry.FlightRecord `json:"domains"`
+}
+
+func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
+	tel := s.sys.Telemetry()
+	if tel == nil {
+		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
+		return
+	}
+	doc := FlightDoc{Dumps: tel.DumpCount(), LastDump: tel.LastDump()}
+	for d := 0; d < tel.NumDomains(); d++ {
+		recs := tel.FlightRecords(d)
+		if recs == nil {
+			recs = []telemetry.FlightRecord{}
+		}
+		doc.Domains = append(doc.Domains, recs)
+	}
+	writeJSON(w, doc)
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	if s.rec == nil {
+		http.Error(w, "no trace recorder attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="eventopt-trace.json"`)
+	if err := trace.WriteChrome(w, s.rec.Entries()); err != nil {
+		// Headers are gone; the client sees a truncated body. Log-equivalent:
+		fmt.Fprintf(w, "\n/* export error: %v */", err)
+	}
+}

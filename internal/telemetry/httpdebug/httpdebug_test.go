@@ -1,0 +1,147 @@
+package httpdebug
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/trace"
+)
+
+func newServer(t *testing.T) (*Server, *event.System) {
+	t.Helper()
+	s := event.New(event.WithTelemetry(telemetry.Config{SampleEvery: 1, TimeSampleEvery: 1}))
+	rec := trace.NewRecorder()
+	s.SetTracer(rec)
+	a := s.Define("req")
+	b := s.Define("resp")
+	s.Bind(a, "ha", func(ctx *event.Ctx) { ctx.Raise(b) })
+	s.Bind(b, "hb", func(ctx *event.Ctx) {})
+	for i := 0; i < 20; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(s, rec), s
+}
+
+func get(t *testing.T, srv *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+	return w
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	w := get(t, srv, "/metrics")
+	if w.Code != 200 {
+		t.Fatalf("/metrics -> %d: %s", w.Code, w.Body)
+	}
+	var m Metrics
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("invalid /metrics JSON: %v", err)
+	}
+	if !m.Telemetry || m.Domains != 1 {
+		t.Fatalf("unexpected metrics header: %+v", m)
+	}
+	// 20 top-level raises plus 20 nested req->resp raises.
+	if m.Stats.Raises != 40 || m.Stats.HandlersRun != 40 {
+		t.Fatalf("stats = %+v, want 40 raises / 40 handlers", m.Stats)
+	}
+	if len(m.Events) == 0 || m.Events[0].Latency.Count == 0 {
+		t.Fatalf("metrics carry no event telemetry: %+v", m.Events)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	var doc EventsDoc
+	w := get(t, srv, "/events")
+	if w.Code != 200 {
+		t.Fatalf("/events -> %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TimeSampleEvery != 1 || len(doc.Events) != 2 || len(doc.Merged) != 2 {
+		t.Fatalf("unexpected /events doc: every=%d events=%d merged=%d",
+			doc.TimeSampleEvery, len(doc.Events), len(doc.Merged))
+	}
+	if doc.Merged[0].Domain != -1 {
+		t.Fatalf("merged rows must have domain -1: %+v", doc.Merged[0])
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	srv, _ := newServer(t)
+	w := get(t, srv, "/graph")
+	if w.Code != 200 {
+		t.Fatalf("/graph -> %d: %s", w.Code, w.Body)
+	}
+	dot := w.Body.String()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "req") || !strings.Contains(dot, "resp") {
+		t.Fatalf("DOT output missing graph structure:\n%s", dot)
+	}
+	// A threshold above every weight prunes all edges but stays valid DOT.
+	w = get(t, srv, "/graph?threshold=10000")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "digraph") {
+		t.Fatalf("/graph?threshold -> %d:\n%s", w.Code, w.Body)
+	}
+	if w := get(t, srv, "/graph?threshold=bogus"); w.Code != 400 {
+		t.Fatalf("bogus threshold -> %d, want 400", w.Code)
+	}
+}
+
+func TestFlightAndTraceEndpoints(t *testing.T) {
+	srv, _ := newServer(t)
+	w := get(t, srv, "/flightrecorder")
+	if w.Code != 200 {
+		t.Fatalf("/flightrecorder -> %d", w.Code)
+	}
+	var doc FlightDoc
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Domains) != 1 || len(doc.Domains[0]) != 20 {
+		t.Fatalf("flight doc has %d domains / %d records, want 1/20",
+			len(doc.Domains), len(doc.Domains[0]))
+	}
+
+	w = get(t, srv, "/trace")
+	if w.Code != 200 {
+		t.Fatalf("/trace -> %d", w.Code)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("/trace is not valid trace-event JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("/trace exported no events")
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv, _ := newServer(t)
+	if w := get(t, srv, "/debug/pprof/"); w.Code != 200 {
+		t.Fatalf("/debug/pprof/ -> %d", w.Code)
+	}
+}
+
+func TestDisabledTelemetry(t *testing.T) {
+	s := event.New() // no telemetry, no recorder
+	srv := New(s, nil)
+	if w := get(t, srv, "/metrics"); w.Code != 200 {
+		t.Fatalf("/metrics without telemetry -> %d, want 200 (counters still served)", w.Code)
+	}
+	for _, path := range []string{"/events", "/graph", "/flightrecorder", "/trace"} {
+		if w := get(t, srv, path); w.Code != 404 {
+			t.Fatalf("%s without telemetry -> %d, want 404", path, w.Code)
+		}
+	}
+}

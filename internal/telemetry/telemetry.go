@@ -1,0 +1,283 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes the telemetry layer. The zero value selects the defaults.
+type Config struct {
+	// FlightSize is the per-domain flight-recorder capacity in records
+	// (rounded up to a power of two; default 256, minimum 16).
+	FlightSize int
+	// SampleEvery is the sampling period of the continuous event-graph
+	// feed: on average one in SampleEvery adjacent event pairs of a
+	// domain's stream bumps its edge counter (default 16; 1 records every
+	// pair, matching the paper's offline GraphBuilder exactly). The draw
+	// hashes a per-domain pair counter, so it is deterministic per run
+	// but does not alias with periodic event streams. Reported edge
+	// weights are raw sampled counts; multiply by SampleEvery to estimate
+	// true traversal counts.
+	SampleEvery int
+	// TimeSampleEvery is the sampling period of the timed path: on
+	// average one in TimeSampleEvery top-level activations is fully
+	// timed — two clock reads, a latency-histogram record and a flight-
+	// recorder record (default 64; 1 times every activation). Faulted
+	// activations are always appended to the flight ring so quarantine
+	// and dead-letter dumps capture them, but their Duration is 0 unless
+	// the activation was also sampled. The draw hashes a per-domain
+	// counter, so it does not alias with periodic workloads. Histogram
+	// counts are sampled counts; multiply by TimeSampleEvery to estimate
+	// true activation counts (means and quantiles need no scaling).
+	TimeSampleEvery int
+	// OnDump, when non-nil, observes every automatic flight-recorder
+	// dump (quarantine trip, dead-letter). It is called synchronously
+	// from the faulting domain; keep it fast.
+	OnDump func(*FlightDump)
+}
+
+func (c Config) withDefaults() Config {
+	if c.FlightSize <= 0 {
+		c.FlightSize = 256
+	}
+	if c.FlightSize < 16 {
+		c.FlightSize = 16
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 16
+	}
+	if c.TimeSampleEvery <= 0 {
+		c.TimeSampleEvery = 64
+	}
+	return c
+}
+
+// eventHists is the histogram pair of one (event, domain) cell.
+type eventHists struct {
+	lat  Histogram // activation latency (dispatch entry to completion)
+	qdel Histogram // queue delay (enqueue/due time to pop)
+}
+
+// domainTel is the per-domain half of the telemetry state. The mutable
+// scalar fields (prev, hasPrev, tick) belong to the continuous graph
+// feed and are written only from record calls made under the owning
+// domain's atomicity serialization, so they need no further locking.
+type domainTel struct {
+	hists  atomic.Pointer[[]*eventHists] // indexed by event ID; copy-on-write growth
+	flight flightRing
+
+	prev    int32
+	hasPrev bool
+	tick    uint64
+	ttick   uint64 // timed-path sampling counter (separate stream from tick)
+}
+
+func (d *domainTel) hist(ev int32) *eventHists {
+	tab := d.hists.Load()
+	if tab == nil || ev < 0 || int(ev) >= len(*tab) {
+		return nil
+	}
+	return (*tab)[ev]
+}
+
+// Telemetry is the live observability state of one event runtime: one
+// domainTel per event domain plus the shared name table, edge map and
+// last-dump slot. All record methods are allocation-free in steady
+// state; growth happens in DefineEvent and on first sighting of a new
+// graph edge.
+type Telemetry struct {
+	cfg  Config
+	doms []*domainTel
+
+	// Sampling thresholds: a hashed counter h samples its tick when
+	// h <= limit, with limit = MaxUint64/N. A threshold compare costs a
+	// predictable branch where a modulo draw costs a hardware division —
+	// the difference is visible on the sub-150ns raise path.
+	edgeLimit  uint64
+	timedLimit uint64
+
+	mu    sync.Mutex               // guards growth: names, hist tables, edges
+	names atomic.Pointer[[]string] // event ID -> name
+	edges atomic.Pointer[map[edgeKey]*edgeCounter]
+
+	lastDump atomic.Pointer[FlightDump]
+	dumps    atomic.Int64 // total automatic dumps taken
+}
+
+// New creates a telemetry instance for a runtime with the given number
+// of event domains.
+func New(domains int, cfg Config) *Telemetry {
+	if domains < 1 {
+		domains = 1
+	}
+	t := &Telemetry{cfg: cfg.withDefaults()}
+	t.edgeLimit = ^uint64(0) / uint64(t.cfg.SampleEvery)
+	t.timedLimit = ^uint64(0) / uint64(t.cfg.TimeSampleEvery)
+	t.doms = make([]*domainTel, domains)
+	for i := range t.doms {
+		t.doms[i] = &domainTel{}
+		t.doms[i].flight.init(t.cfg.FlightSize)
+	}
+	empty := make(map[edgeKey]*edgeCounter)
+	t.edges.Store(&empty)
+	return t
+}
+
+// NumDomains reports how many domains the instance covers.
+func (t *Telemetry) NumDomains() int { return len(t.doms) }
+
+// SampleEvery reports the graph-feed sampling period in effect.
+func (t *Telemetry) SampleEvery() int { return t.cfg.SampleEvery }
+
+// TimeSampleEvery reports the timed-path sampling period in effect.
+func (t *Telemetry) TimeSampleEvery() int { return t.cfg.TimeSampleEvery }
+
+// SampleTimed draws the timed-path sampling decision for one top-level
+// activation of domain dom: true on average once per TimeSampleEvery
+// calls. Like the graph feed it hashes a per-domain counter, so the
+// draw is deterministic per run but does not alias with periodic
+// workloads. Must be called from the domain's serialized dispatch path.
+func (t *Telemetry) SampleTimed(dom int) bool {
+	if dom < 0 || dom >= len(t.doms) {
+		return false
+	}
+	d := t.doms[dom]
+	d.ttick++
+	h := d.ttick * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h <= t.timedLimit
+}
+
+// DefineEvent registers an event with its display name and pre-grows
+// every domain's histogram table to cover it, so the record paths never
+// allocate. The runtime calls it from System.Define.
+func (t *Telemetry) DefineEvent(ev int32, name string) {
+	if ev < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var names []string
+	if p := t.names.Load(); p != nil {
+		names = *p
+	}
+	grown := make([]string, len(names))
+	copy(grown, names)
+	for int(ev) >= len(grown) {
+		grown = append(grown, "")
+	}
+	grown[ev] = name
+	t.names.Store(&grown)
+
+	for _, d := range t.doms {
+		var tab []*eventHists
+		if p := d.hists.Load(); p != nil {
+			tab = *p
+		}
+		nt := make([]*eventHists, len(tab))
+		copy(nt, tab)
+		for int(ev) >= len(nt) {
+			nt = append(nt, &eventHists{})
+		}
+		d.hists.Store(&nt)
+	}
+}
+
+// EventName resolves a registered event name ("" when unknown).
+func (t *Telemetry) EventName(ev int32) string {
+	p := t.names.Load()
+	if p == nil || ev < 0 || int(ev) >= len(*p) {
+		return ""
+	}
+	return (*p)[ev]
+}
+
+// RecordLatency records one activation latency (nanoseconds) of ev on
+// domain dom. Unknown events and out-of-range domains are dropped.
+func (t *Telemetry) RecordLatency(dom int, ev int32, ns int64) {
+	if dom < 0 || dom >= len(t.doms) {
+		return
+	}
+	if h := t.doms[dom].hist(ev); h != nil {
+		h.lat.Record(ns)
+	}
+}
+
+// RecordQueueDelay records the time (nanoseconds) an asynchronous or
+// timed activation of ev spent between becoming runnable and being
+// popped by domain dom's scheduler.
+func (t *Telemetry) RecordQueueDelay(dom int, ev int32, ns int64) {
+	if dom < 0 || dom >= len(t.doms) {
+		return
+	}
+	if h := t.doms[dom].hist(ev); h != nil {
+		h.qdel.Record(ns)
+	}
+}
+
+// EventSnapshot is the telemetry of one (event, domain) cell — or, after
+// MergeEvents, of one event across all domains (Domain == -1).
+type EventSnapshot struct {
+	Event      int32        `json:"event"`
+	Name       string       `json:"name"`
+	Domain     int          `json:"domain"` // -1 when merged across domains
+	Latency    HistSnapshot `json:"latency"`
+	QueueDelay HistSnapshot `json:"queue_delay"`
+}
+
+// Events returns a snapshot row for every (event, domain) cell that has
+// recorded at least one observation, ordered by (event, domain).
+func (t *Telemetry) Events() []EventSnapshot {
+	var out []EventSnapshot
+	for di, d := range t.doms {
+		tab := d.hists.Load()
+		if tab == nil {
+			continue
+		}
+		for ev, h := range *tab {
+			if h == nil {
+				continue
+			}
+			lat, qd := h.lat.Snapshot(), h.qdel.Snapshot()
+			if lat.Count == 0 && qd.Count == 0 {
+				continue
+			}
+			out = append(out, EventSnapshot{
+				Event: int32(ev), Name: t.EventName(int32(ev)), Domain: di,
+				Latency: lat, QueueDelay: qd,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Event != out[j].Event {
+			return out[i].Event < out[j].Event
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}
+
+// MergeEvents folds per-domain rows into one row per event (Domain -1),
+// merging the histograms. The input order is irrelevant; the output is
+// sorted by event ID.
+func MergeEvents(rows []EventSnapshot) []EventSnapshot {
+	byEvent := make(map[int32]*EventSnapshot)
+	for _, r := range rows {
+		m := byEvent[r.Event]
+		if m == nil {
+			c := r
+			c.Domain = -1
+			byEvent[r.Event] = &c
+			continue
+		}
+		m.Latency.Merge(r.Latency)
+		m.QueueDelay.Merge(r.QueueDelay)
+	}
+	out := make([]EventSnapshot, 0, len(byEvent))
+	for _, m := range byEvent {
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Event < out[j].Event })
+	return out
+}

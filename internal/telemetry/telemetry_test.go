@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventsAndMerge(t *testing.T) {
+	tel := New(2, Config{})
+	tel.DefineEvent(0, "a")
+	tel.DefineEvent(1, "b")
+	tel.RecordLatency(0, 0, 100)
+	tel.RecordLatency(0, 0, 200)
+	tel.RecordLatency(1, 0, 300)
+	tel.RecordQueueDelay(1, 1, 50)
+	// Out-of-range records must be dropped, not panic.
+	tel.RecordLatency(5, 0, 1)
+	tel.RecordLatency(0, 99, 1)
+
+	rows := tel.Events()
+	if len(rows) != 3 {
+		t.Fatalf("Events() returned %d rows, want 3: %+v", len(rows), rows)
+	}
+	if rows[0].Event != 0 || rows[0].Domain != 0 || rows[0].Latency.Count != 2 {
+		t.Fatalf("unexpected first row: %+v", rows[0])
+	}
+	if rows[0].Name != "a" {
+		t.Fatalf("row name = %q, want a", rows[0].Name)
+	}
+
+	merged := MergeEvents(rows)
+	if len(merged) != 2 {
+		t.Fatalf("MergeEvents returned %d rows, want 2", len(merged))
+	}
+	if merged[0].Event != 0 || merged[0].Domain != -1 || merged[0].Latency.Count != 3 {
+		t.Fatalf("unexpected merged row: %+v", merged[0])
+	}
+	if merged[0].Latency.Sum != 600 {
+		t.Fatalf("merged latency sum = %d, want 600", merged[0].Latency.Sum)
+	}
+}
+
+func TestFlightRingWrapAndSnapshot(t *testing.T) {
+	tel := New(1, Config{FlightSize: 16})
+	tel.DefineEvent(3, "msg")
+	for i := 0; i < 40; i++ {
+		outcome := OutcomeOK
+		if i%7 == 0 {
+			outcome = OutcomeFault
+		}
+		tel.RecordActivation(0, 3, 1, outcome, 0, int64(10+i), int64(1000+i), nil)
+	}
+	recs := tel.FlightRecords(0)
+	if len(recs) != 16 {
+		t.Fatalf("snapshot has %d records, want 16 (ring capacity)", len(recs))
+	}
+	for i, r := range recs {
+		wantSeq := uint64(24 + i)
+		if r.Seq != wantSeq {
+			t.Fatalf("record %d has seq %d, want %d", i, r.Seq, wantSeq)
+		}
+		if r.Event != 3 || r.Name != "msg" || r.Domain != 0 {
+			t.Fatalf("record %d mislabeled: %+v", i, r)
+		}
+		if r.Duration != int64(10+r.Seq) {
+			t.Fatalf("record %d duration %d, want %d", i, r.Duration, 10+r.Seq)
+		}
+	}
+}
+
+func TestFlightDump(t *testing.T) {
+	var seen *FlightDump
+	tel := New(2, Config{OnDump: func(d *FlightDump) { seen = d }})
+	tel.DefineEvent(0, "boom")
+	cause := "kaput"
+	tel.RecordActivation(1, 0, 0, OutcomeFault, 2, 500, 9000, &cause)
+	d := tel.DumpFlight(1, "quarantine: boom/h")
+	if seen != d {
+		t.Fatal("OnDump hook did not observe the dump")
+	}
+	if tel.LastDump() != d || tel.DumpCount() != 1 {
+		t.Fatal("LastDump/DumpCount disagree with the dump just taken")
+	}
+	if d.Domain != 1 || len(d.Records) != 1 {
+		t.Fatalf("unexpected dump: %+v", d)
+	}
+	r := d.Records[0]
+	if r.Outcome != OutcomeFault || r.Cause != "kaput" || r.Attempt != 2 {
+		t.Fatalf("unexpected dump record: %+v", r)
+	}
+}
+
+// TestFlightRingConcurrentReaders hammers one writer against snapshot
+// readers; under -race this verifies the all-atomic slot protocol.
+func TestFlightRingConcurrentReaders(t *testing.T) {
+	tel := New(1, Config{FlightSize: 32})
+	tel.DefineEvent(0, "e")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, r := range tel.FlightRecords(0) {
+					// A torn read would show a duration inconsistent with
+					// the record's sequence number.
+					if r.Duration != int64(r.Seq) {
+						panic("torn flight record")
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200000; i++ {
+		tel.RecordActivation(0, 0, 0, OutcomeOK, 0, int64(i), int64(i), nil)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGraphFeedSampling(t *testing.T) {
+	tel := New(1, Config{SampleEvery: 1})
+	tel.DefineEvent(0, "a")
+	tel.DefineEvent(1, "b")
+	for i := 0; i < 10; i++ {
+		tel.RecordEdge(0, 0, true)
+		tel.RecordEdge(0, 1, false)
+	}
+	g := tel.Graph()
+	if len(g.Edges) != 2 {
+		t.Fatalf("graph has %d edges, want 2: %+v", len(g.Edges), g.Edges)
+	}
+	// a->b happens 10 times, b->a 9 (no wraparound before the first a).
+	if g.Edges[0].FromName != "a" || g.Edges[0].ToName != "b" || g.Edges[0].Weight != 10 {
+		t.Fatalf("unexpected top edge: %+v", g.Edges[0])
+	}
+	if g.Edges[1].Weight != 9 {
+		t.Fatalf("unexpected second edge: %+v", g.Edges[1])
+	}
+	// The sync flag follows the destination event's dispatch mode: b was
+	// always raised async (a->b sync weight 0), a always sync.
+	if g.Edges[0].SyncWeight != 0 || g.Edges[1].SyncWeight != 9 {
+		t.Fatalf("sync weights = %d/%d, want 0/9", g.Edges[0].SyncWeight, g.Edges[1].SyncWeight)
+	}
+
+	// The 1-in-N draw is hashed, not strided: over a strictly periodic
+	// a,b,a,b stream both edges must still be sampled, at roughly 1/N.
+	sampled := New(1, Config{SampleEvery: 4})
+	for i := 0; i < 401; i++ {
+		sampled.RecordEdge(0, int32(i%2), true)
+	}
+	edges := sampled.Graph().Edges
+	if len(edges) != 2 {
+		t.Fatalf("sampled feed saw %d edges, want 2 (stride aliasing?): %+v", len(edges), edges)
+	}
+	total := edges[0].Weight + edges[1].Weight
+	if total < 60 || total > 140 {
+		t.Fatalf("sampled feed recorded %d of 400 pairs, want ~100", total)
+	}
+}
+
+func TestSampleTimed(t *testing.T) {
+	// TimeSampleEvery 1 (and out-of-range domains) are the edge cases;
+	// the default draw must land near 1-in-N without striding.
+	every := New(1, Config{TimeSampleEvery: 1})
+	for i := 0; i < 100; i++ {
+		if !every.SampleTimed(0) {
+			t.Fatal("TimeSampleEvery 1 must sample every activation")
+		}
+	}
+	if every.SampleTimed(9) {
+		t.Fatal("out-of-range domain sampled")
+	}
+
+	tel := New(1, Config{TimeSampleEvery: 8})
+	hits := 0
+	for i := 0; i < 8000; i++ {
+		if tel.SampleTimed(0) {
+			hits++
+		}
+	}
+	if hits < 600 || hits > 1400 {
+		t.Fatalf("1-in-8 draw sampled %d of 8000, want ~1000", hits)
+	}
+}
+
+func TestWriteFlightChrome(t *testing.T) {
+	cause := "boom"
+	recs := []FlightRecord{
+		{Seq: 1, Event: 0, Name: "a", Mode: 0, Domain: 0, Outcome: OutcomeOK, Duration: 1500, End: 10000},
+		{Seq: 2, Event: 1, Name: "b", Mode: 1, Domain: 1, Outcome: OutcomeFault, Duration: 700, End: 12000, Cause: cause},
+	}
+	var buf bytes.Buffer
+	if err := WriteFlightChrome(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid trace-event JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("exported %d events, want 2", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "X" || doc.TraceEvents[0]["name"] != "a" {
+		t.Fatalf("unexpected first event: %+v", doc.TraceEvents[0])
+	}
+	if !strings.Contains(buf.String(), `"cause":"boom"`) {
+		t.Fatal("fault cause missing from export")
+	}
+}

@@ -23,6 +23,13 @@ import (
 //
 // Version 2 appends the event-domain index to each entry; version 1
 // traces (no domain field) still read back with Domain 0.
+//
+// Extension records: a kind byte above HandlerExit introduces a record
+// this reader version does not know. Such records are self-framing —
+// the kind byte is followed by a uvarint payload length and that many
+// payload bytes — and ReadBinary skips them, so v2 readers tolerate
+// traces carrying future telemetry record types. Writers of new record
+// kinds must use this framing (and must not renumber the core kinds).
 
 var binaryMagic = [4]byte{'E', 'V', 'T', 'R'}
 
@@ -172,7 +179,18 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 		}
 		kind := Kind(kb)
 		if kind > HandlerExit {
-			return nil, fmt.Errorf("trace: entry %d: bad kind %d", i, kb)
+			// Unknown extension record: self-framing, skip its payload.
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: entry %d: extension kind %d: %w", i, kb, err)
+			}
+			if l > 1<<24 {
+				return nil, fmt.Errorf("trace: entry %d: implausible extension payload %d", i, l)
+			}
+			if _, err := io.CopyN(io.Discard, br, int64(l)); err != nil {
+				return nil, fmt.Errorf("trace: entry %d: extension payload: %w", i, err)
+			}
+			continue
 		}
 		ev, err := binary.ReadUvarint(br)
 		if err != nil {

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"eventopt/internal/event"
+)
+
+// TestReadBinarySkipsUnknownKinds verifies the extension-record
+// convention: a v2 reader must skip self-framed records with kind bytes
+// it does not know (future telemetry records) and still decode the
+// known entries around them.
+func TestReadBinarySkipsUnknownKinds(t *testing.T) {
+	var buf bytes.Buffer
+	uv := func(v uint64) {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+	}
+	buf.Write(binaryMagic[:])
+	buf.WriteByte(binaryVersion)
+	// String table: "ping", "h".
+	uv(2)
+	uv(4)
+	buf.WriteString("ping")
+	uv(1)
+	buf.WriteString("h")
+	// Three framed records, the middle one an unknown extension kind.
+	uv(3)
+	// E 5 ping mode=1 depth=0 dom=2
+	buf.WriteByte(byte(EventRaised))
+	uv(5) // event
+	uv(0) // depth
+	uv(0) // nameIdx
+	buf.WriteByte(1)
+	uv(2) // domain
+	// Unknown kind 9: uvarint payload length + payload.
+	buf.WriteByte(9)
+	uv(6)
+	buf.WriteString("future")
+	// H+ 5 ping/h depth=0 dom=2
+	buf.WriteByte(byte(HandlerEnter))
+	uv(5)
+	uv(0)
+	uv(0)
+	uv(1) // handlerIdx
+	uv(2)
+
+	entries, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("reader rejected a trace with an extension record: %v", err)
+	}
+	want := []Entry{
+		{Kind: EventRaised, Event: event.ID(5), EventName: "ping", Mode: event.Mode(1), Domain: 2},
+		{Kind: HandlerEnter, Event: event.ID(5), EventName: "ping", Handler: "h", Domain: 2},
+	}
+	if len(entries) != len(want) {
+		t.Fatalf("decoded %d entries, want %d: %+v", len(entries), len(want), entries)
+	}
+	for i := range want {
+		if entries[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, entries[i], want[i])
+		}
+	}
+
+	// A truncated extension payload must still be an error, not a hang or
+	// silent success.
+	var short bytes.Buffer
+	short.Write(binaryMagic[:])
+	short.WriteByte(binaryVersion)
+	short.WriteByte(0) // empty string table
+	short.WriteByte(1) // one entry
+	short.WriteByte(9) // unknown kind
+	short.WriteByte(50)
+	short.WriteString("only-a-few-bytes")
+	if _, err := ReadBinary(&short); err == nil {
+		t.Fatal("truncated extension payload accepted")
+	}
+}

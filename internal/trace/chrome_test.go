@@ -1,0 +1,93 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"eventopt/internal/seccomm"
+	"eventopt/internal/trace"
+)
+
+// TestWriteChromeSeccomm is the acceptance gate for the Chrome exporter:
+// the trace of a seccomm run must export as valid trace-event JSON (the
+// format Perfetto loads), with every handler "B" matched by an "E" on
+// the same synthetic thread.
+func TestWriteChromeSeccomm(t *testing.T) {
+	a, b, err := seccomm.Pair(seccomm.Config{
+		XORKey: []byte("k3y"),
+		MACKey: []byte("mac-key"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	a.Sys.SetTracer(rec)
+	b.Sys.SetTracer(rec)
+	var got [][]byte
+	b.OnDeliver(func(msg []byte) { got = append(got, append([]byte(nil), msg...)) })
+	for i := 0; i < 5; i++ {
+		a.Push([]byte("hello perfetto"))
+	}
+	if len(got) != 5 {
+		t.Fatalf("delivered %d messages, want 5", len(got))
+	}
+	entries := rec.Entries()
+	if len(entries) == 0 {
+		t.Fatal("recorder captured nothing")
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteChrome(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export contains no events")
+	}
+	open := map[int][]string{} // per-tid stack of open B events
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+		switch e.Ph {
+		case "B":
+			open[e.Tid] = append(open[e.Tid], e.Name)
+		case "E":
+			stack := open[e.Tid]
+			if len(stack) == 0 {
+				t.Fatalf("unbalanced E %q on tid %d", e.Name, e.Tid)
+			}
+			if top := stack[len(stack)-1]; top != e.Name {
+				t.Fatalf("E %q closes B %q on tid %d", e.Name, top, e.Tid)
+			}
+			open[e.Tid] = stack[:len(stack)-1]
+		case "i", "M":
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	for tid, stack := range open {
+		if len(stack) != 0 {
+			t.Fatalf("tid %d left %d unclosed B events: %v", tid, len(stack), stack)
+		}
+	}
+	if counts["B"] == 0 || counts["B"] != counts["E"] {
+		t.Fatalf("B/E counts %d/%d, want equal and nonzero", counts["B"], counts["E"])
+	}
+	if counts["i"] == 0 {
+		t.Fatal("no instant (EventRaised) records in the export")
+	}
+}
