@@ -1,0 +1,88 @@
+package eventopt
+
+import (
+	"bytes"
+	"testing"
+
+	"eventopt/internal/adaptive"
+	"eventopt/internal/ctp"
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/trace"
+	"eventopt/internal/video"
+)
+
+// neverPromote is a promote threshold no real workload reaches: the
+// controller observes and plans but can never install anything.
+const neverPromote = 1e18
+
+// TestAdaptiveControllerDeterminismGuard pins the satellite guarantee of
+// the adaptive optimizer: a controller that never promotes leaves the
+// paper workloads byte-for-byte untouched. The SecComm and video-player
+// traces produced with telemetry enabled and a controller ticking
+// between workload iterations must be identical to the seed
+// configuration's traces (no telemetry, no controller), and the runtime
+// counters must match exactly.
+func TestAdaptiveControllerDeterminismGuard(t *testing.T) {
+	everyDispatch := TelemetryConfig{SampleEvery: 1, TimeSampleEvery: 1}
+
+	// SecComm: controller ticks interleaved with the push/pop loop.
+	base, baseStats := seccommTrace(t)
+	var ctl *adaptive.Controller
+	guard, guardStats := seccommTraceHooked(t, func(sys *event.System) func() {
+		c, err := adaptive.New(sys, nil, adaptive.Policy{PromoteThreshold: neverPromote})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl = c
+		return func() { c.Tick() }
+	}, WithTelemetry(everyDispatch))
+	if !bytes.Equal(base, guard) {
+		t.Errorf("seccomm: trace with idle adaptive controller differs from seed (%d vs %d bytes)",
+			len(guard), len(base))
+	}
+	if baseStats != guardStats {
+		t.Errorf("seccomm: stats differ:\nseed    %+v\nguarded %+v", baseStats, guardStats)
+	}
+	if len(base) == 0 || baseStats.Raises == 0 {
+		t.Fatal("seccomm workload recorded nothing")
+	}
+	if got := ctl.InstalledEntries(); len(got) != 0 {
+		t.Fatalf("controller promoted %v despite the unreachable threshold", got)
+	}
+	if snap := ctl.Snapshot(); snap.Tick == 0 {
+		t.Fatal("controller never ticked; the guard exercised nothing")
+	}
+	ctl.Close()
+
+	// Video player: the controller ticks against the full hot profile
+	// after the run — the threshold gate alone must keep it inert.
+	vBase, vBaseStats := videoTrace(t)
+	p, err := video.NewPlayer(ctp.DefaultConfig(), 30, 1024,
+		event.WithTelemetry(telemetry.Config{SampleEvery: 1, TimeSampleEvery: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := adaptive.New(p.Sender.Sys, nil, adaptive.Policy{PromoteThreshold: neverPromote})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vc.Close()
+	entries := p.Trace(50)
+	vc.Tick()
+	vc.Tick()
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(vBase, buf.Bytes()) {
+		t.Errorf("video: trace with idle adaptive controller differs from seed (%d vs %d bytes)",
+			buf.Len(), len(vBase))
+	}
+	if vStats := p.Sender.Sys.Stats().Snapshot(); vStats != vBaseStats {
+		t.Errorf("video: stats differ:\nseed    %+v\nguarded %+v", vBaseStats, vStats)
+	}
+	if got := vc.InstalledEntries(); len(got) != 0 {
+		t.Fatalf("video controller promoted %v despite the unreachable threshold", got)
+	}
+}

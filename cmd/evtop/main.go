@@ -8,6 +8,9 @@
 //
 // Flags select the poll interval, the sort column and single-shot mode
 // for scripting (-once prints one table without clearing the screen).
+// When the server runs the adaptive optimizer, an optimizer pane below
+// the table shows the installed super-handlers and the controller's
+// promote/demote/deopt counters (-no-optimizer hides it).
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 		once     = flag.Bool("once", false, "print one table and exit (no screen clearing)")
 		sortKey  = flag.String("sort", liveview.SortCount, "sort column: count, mean, p99 or max")
 		merged   = flag.Bool("merged", false, "merge per-domain cells into one row per event")
+		noOpt    = flag.Bool("no-optimizer", false, "hide the adaptive-optimizer pane")
 	)
 	flag.Parse()
 
@@ -50,6 +54,13 @@ func main() {
 		if err := liveview.Render(os.Stdout, doc, *sortKey, *merged); err != nil {
 			fmt.Fprintln(os.Stderr, "evtop:", err)
 			os.Exit(1)
+		}
+		if !*noOpt {
+			// Older servers lack /optimizer; skip the pane quietly then.
+			if snap, err := liveview.FetchOptimizer(*url); err == nil {
+				fmt.Println()
+				_ = liveview.RenderOptimizer(os.Stdout, snap)
+			}
 		}
 		if *once {
 			return

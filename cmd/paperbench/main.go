@@ -26,12 +26,14 @@ func main() {
 		allocsJSON   = flag.String("allocs-json", "", "write the allocation report to this file (implies -allocs)")
 		telem        = flag.Bool("telemetry", false, "include the telemetry overhead gate")
 		telemJSON    = flag.String("telemetry-json", "", "write the telemetry overhead report to this file (implies -telemetry)")
+		adapt        = flag.Bool("adaptive", false, "include the adaptive optimizer convergence gate")
+		adaptJSON    = flag.String("adaptive-json", "", "write the adaptive convergence report to this file (implies -adaptive)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops, tops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops, tops = 120, 400, 200, 250, 150, 60000, 5000, 50000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000
 	}
 
 	step := func(name string, f func() error) {
@@ -95,6 +97,22 @@ func main() {
 			rep, gateErr := bench.RunTelemetry(os.Stdout, tops)
 			if *telemJSON != "" && rep != nil {
 				f, err := os.Create(*telemJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *adapt || *adaptJSON != "" {
+		step("adaptive", func() error {
+			rep, gateErr := bench.RunAdaptive(os.Stdout, adops)
+			if *adaptJSON != "" && rep != nil {
+				f, err := os.Create(*adaptJSON)
 				if err != nil {
 					return err
 				}

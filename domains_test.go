@@ -16,6 +16,15 @@ import (
 // counter snapshot.
 func seccommTrace(t *testing.T, opts ...SystemOption) ([]byte, event.StatsSnapshot) {
 	t.Helper()
+	return seccommTraceHooked(t, nil, opts...)
+}
+
+// seccommTraceHooked is seccommTrace with an optional hook: attach is
+// called with the constructed system before the workload and may return
+// a function to run between workload iterations (the adaptive
+// determinism guard uses it to interleave controller ticks).
+func seccommTraceHooked(t *testing.T, attach func(*event.System) func(), opts ...SystemOption) ([]byte, event.StatsSnapshot) {
+	t.Helper()
 	cfg := seccomm.Config{
 		DESKey: []byte("8bytekey"),
 		XORKey: []byte{0x5A, 0xA5, 0x3C},
@@ -24,6 +33,10 @@ func seccommTrace(t *testing.T, opts ...SystemOption) ([]byte, event.StatsSnapsh
 	e, err := seccomm.New(cfg, opts...)
 	if err != nil {
 		t.Fatal(err)
+	}
+	var between func()
+	if attach != nil {
+		between = attach(e.Sys)
 	}
 	rec := trace.NewRecorder()
 	rec.EnableHandlerProfiling()
@@ -34,6 +47,9 @@ func seccommTrace(t *testing.T, opts ...SystemOption) ([]byte, event.StatsSnapsh
 	for i := 0; i < 20; i++ {
 		e.Push(msg)
 		e.HandlePacket(append([]byte(nil), pkt...))
+		if between != nil {
+			between()
+		}
 	}
 	e.Sys.SetTracer(nil)
 	var buf bytes.Buffer

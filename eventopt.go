@@ -35,6 +35,7 @@ import (
 	"io"
 	"net/http"
 
+	"eventopt/internal/adaptive"
 	"eventopt/internal/core"
 	"eventopt/internal/event"
 	"eventopt/internal/hirrt"
@@ -84,6 +85,13 @@ type (
 	FlightRecord = telemetry.FlightRecord
 	// EventTelemetry is the histogram snapshot of one (event, domain) cell.
 	EventTelemetry = telemetry.EventSnapshot
+	// AdaptivePolicy tunes the adaptive online optimizer (see
+	// WithAdaptiveOptimizer). The zero value selects sensible defaults.
+	AdaptivePolicy = adaptive.Policy
+	// AdaptiveController is the running adaptive optimizer of one App.
+	AdaptiveController = adaptive.Controller
+	// OptimizerSnapshot is the adaptive controller's published state.
+	OptimizerSnapshot = telemetry.OptimizerSnapshot
 )
 
 // Fault policies (see event.FaultPolicy). Propagate is the default.
@@ -154,6 +162,19 @@ func WithQueueBound(capacity int, policy OverflowPolicy) SystemOption {
 // selects the defaults; the record paths stay allocation-free.
 func WithTelemetry(cfg TelemetryConfig) SystemOption { return event.WithTelemetry(cfg) }
 
+// WithAdaptiveOptimizer attaches the closed-loop adaptive optimizer:
+// a background controller that periodically lifts the live telemetry
+// graph into the offline planning machinery (reduce, hot paths, chain
+// subsumption), installs super-handlers for the currently-hot events,
+// and demotes them when the workload shifts. It implies WithTelemetry;
+// New starts the controller's background loop, and App.Adaptive exposes
+// it (Stop/Uninstall/Close, manual Tick for tests). The offline
+// profile→optimize workflow (StartProfiling / Optimize) remains the
+// paper-faithful path; the adaptive layer reuses it online.
+func WithAdaptiveOptimizer(p AdaptivePolicy) SystemOption {
+	return event.WithAdaptiveOptimizer(p)
+}
+
 // WithDomains shards the runtime into n event domains. Each domain owns
 // its own run queue, timer heap, atomicity lock and quarantine state;
 // events spread over domains by ID hash unless pinned with
@@ -168,13 +189,37 @@ type App struct {
 	Sys *System
 	Mod *Module
 
-	rec *trace.Recorder
+	rec      *trace.Recorder
+	adaptive *AdaptiveController
 }
 
-// New creates an application with a fresh runtime.
+// New creates an application with a fresh runtime. When the runtime was
+// configured with WithAdaptiveOptimizer, the adaptive controller is
+// created here (the facade owns the HIR module it fuses against) and its
+// background loop started.
 func New(opts ...SystemOption) *App {
 	sys := event.New(opts...)
-	return &App{Sys: sys, Mod: hirrt.NewModule(sys)}
+	app := &App{Sys: sys, Mod: hirrt.NewModule(sys)}
+	if pol, ok := sys.AdaptivePolicy().(adaptive.Policy); ok {
+		// New cannot fail here: WithAdaptiveOptimizer implied telemetry.
+		if c, err := adaptive.Start(sys, app.Mod, pol); err == nil {
+			app.adaptive = c
+		}
+	}
+	return app
+}
+
+// Adaptive returns the running adaptive controller, or nil when the app
+// was built without WithAdaptiveOptimizer.
+func (a *App) Adaptive() *AdaptiveController { return a.adaptive }
+
+// Close stops background machinery: the adaptive controller's loop is
+// halted and its installs evicted. Apps without adaptive optimization
+// need no Close.
+func (a *App) Close() {
+	if a.adaptive != nil {
+		a.adaptive.Close()
+	}
 }
 
 // StartProfiling begins recording events and handler activity (the

@@ -1,0 +1,111 @@
+// Adaptive: the closed-loop optimizer discovering a shifting hot set
+// online. Two request pipelines with identical shapes — checkout and
+// search, each a head event whose last handler synchronously raises a
+// logging tail — take turns being hot. No profiling run, no explicit
+// Optimize call: the app is built with WithAdaptiveOptimizer, and the
+// controller lifts the live telemetry graph into the planner, installs
+// a super-handler for whichever pipeline is currently hot, and swaps it
+// when the traffic rotates.
+//
+// The controller normally ticks on its own background interval; the
+// walkthrough calls Tick directly between batches so the output is
+// deterministic and each decision is visible as it happens.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"eventopt"
+	"eventopt/internal/liveview"
+)
+
+func main() {
+	app := eventopt.New(
+		eventopt.WithTelemetry(eventopt.TelemetryConfig{SampleEvery: 1, TimeSampleEvery: 64}),
+		eventopt.WithAdaptiveOptimizer(eventopt.AdaptivePolicy{
+			// One batch of 500 raises pushes a family's smoothed rate to
+			// ~200/tick; demotion follows at a quarter of that. The short
+			// cooldown keeps the demo responsive.
+			PromoteThreshold: 150,
+			CooldownTicks:    1,
+		}),
+	)
+	defer app.Close()
+	sys := app.Sys
+
+	type pipeline struct {
+		name string
+		head eventopt.ID
+	}
+	mkPipeline := func(name string) pipeline {
+		head := sys.Define(name)
+		tail := sys.Define(name + ".log")
+		sys.Bind(head, "auth", func(c *eventopt.Ctx) {}, eventopt.WithOrder(0))
+		sys.Bind(head, "serve", func(c *eventopt.Ctx) {}, eventopt.WithOrder(1))
+		sys.Bind(head, "audit", func(c *eventopt.Ctx) { c.Raise(tail) }, eventopt.WithOrder(2))
+		sys.Bind(tail, "sink", func(c *eventopt.Ctx) {})
+		return pipeline{name: name, head: head}
+	}
+	checkout := mkPipeline("checkout")
+	search := mkPipeline("search")
+
+	ctl := app.Adaptive()
+	show := func(phase string) {
+		fmt.Printf("\n== %s ==\n", phase)
+		if err := liveview.RenderOptimizer(os.Stdout, ctl.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptive:", err)
+			os.Exit(1)
+		}
+		for _, p := range []pipeline{checkout, search} {
+			state := "generic dispatch"
+			if sys.FastPath(p.head) != nil {
+				state = "super-handler installed"
+			}
+			fmt.Printf("  %-10s %s\n", p.name, state)
+		}
+	}
+	batch := func(p pipeline, n int) {
+		for i := 0; i < n; i++ {
+			if err := sys.Raise(p.head); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptive:", err)
+				os.Exit(1)
+			}
+		}
+		ctl.Tick()
+	}
+
+	show("cold start: nothing hot, nothing installed")
+
+	// Phase 1: checkout traffic dominates. After a batch and a control
+	// tick the checkout chain crosses the promote threshold.
+	for i := 0; i < 3; i++ {
+		batch(checkout, 500)
+	}
+	show("phase 1: checkout hot -> promoted online")
+
+	// Phase 2: traffic rotates to search. The controller promotes search
+	// on the first tick that sees it hot; checkout stays installed while
+	// its smoothed rate decays through the hysteresis band (promote at
+	// 150, demote only below a quarter of that — no flapping at the
+	// boundary) and is evicted a few ticks later.
+	for i := 0; i < 6; i++ {
+		batch(search, 500)
+	}
+	show("phase 2: traffic rotated -> search promoted, stale checkout demoted")
+
+	// The offline workflow (StartProfiling / Optimize) still exists and
+	// is unchanged — the controller reuses its planner; Close reverts
+	// every adaptive install.
+	app.Close()
+	fmt.Println()
+	fmt.Println("after Close: all adaptive installs evicted")
+	for _, p := range []pipeline{checkout, search} {
+		if sys.FastPath(p.head) != nil {
+			fmt.Fprintf(os.Stderr, "adaptive: %s still optimized after Close\n", p.name)
+			os.Exit(1)
+		}
+	}
+}

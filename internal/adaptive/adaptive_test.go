@@ -1,0 +1,354 @@
+package adaptive
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+)
+
+// everyEdge is a telemetry config that samples every dispatch, so
+// controller tests see exact traffic instead of a 1-in-16 draw.
+func everyEdge() telemetry.Config {
+	return telemetry.Config{SampleEvery: 1, TimeSampleEvery: 1}
+}
+
+// chainSys builds a system with a hot two-event chain: A has two
+// handlers, the second synchronously raises B; B has one handler.
+func chainSys(t *testing.T, opts ...event.Option) (*event.System, event.ID, event.ID) {
+	t.Helper()
+	opts = append([]event.Option{event.WithTelemetry(everyEdge())}, opts...)
+	s := event.New(opts...)
+	a := s.Define("A")
+	b := s.Define("B")
+	s.Bind(a, "a1", func(*event.Ctx) {}, event.WithOrder(1))
+	s.Bind(a, "a2", func(c *event.Ctx) { c.Raise(b) }, event.WithOrder(2))
+	s.Bind(b, "b1", func(*event.Ctx) {})
+	return s, a, b
+}
+
+func hammer(s *event.System, ev event.ID, n int) {
+	for i := 0; i < n; i++ {
+		s.RaiseAsync(ev)
+	}
+	s.Drain()
+}
+
+func TestNewRequiresTelemetry(t *testing.T) {
+	if _, err := New(event.New(), nil, Policy{}); err == nil {
+		t.Fatal("New accepted a system without telemetry")
+	}
+}
+
+func TestEmptyTelemetryTickIsNoop(t *testing.T) {
+	s, _, _ := chainSys(t)
+	c, err := New(s, nil, Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tick() // nothing sampled yet: must plan a no-op, not misbehave
+	snap := c.Snapshot()
+	if snap == nil || snap.EmptyTicks != 1 || len(snap.Installed) != 0 {
+		t.Fatalf("first idle tick: %+v", snap)
+	}
+	if snap.Promotions != 0 {
+		t.Fatalf("idle tick promoted: %+v", snap)
+	}
+}
+
+func TestPromotesHotChain(t *testing.T) {
+	s, a, _ := chainSys(t)
+	c, err := New(s, nil, Policy{PromoteThreshold: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+
+	if s.FastPath(a) == nil {
+		t.Fatal("hot entry A not promoted")
+	}
+	got := c.InstalledEntries()
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("InstalledEntries = %v, want [A]", got)
+	}
+	snap := c.Snapshot()
+	if snap.Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1", snap.Promotions)
+	}
+	// The chain evidence comes from the graph alone (no handler-level
+	// records in a live profile): A's super-handler must subsume B.
+	if len(snap.Installed) != 1 || len(snap.Installed[0].Chain) != 2 {
+		t.Fatalf("installed plan = %+v, want chain [A B]", snap.Installed)
+	}
+	// Dispatch through the promoted fast path stays correct.
+	before := s.Stats().FastRuns.Load()
+	hammer(s, a, 10)
+	if s.Stats().FastRuns.Load() == before {
+		t.Fatal("promoted super-handler never ran")
+	}
+}
+
+func TestHysteresisThenDemotion(t *testing.T) {
+	s, a, _ := chainSys(t)
+	c, err := New(s, nil, Policy{PromoteThreshold: 50, CooldownTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("not promoted")
+	}
+
+	// Traffic stops. The EWMA decays through the hysteresis band first:
+	// the install must survive the next tick (rate ~48 is between the
+	// demote threshold 12.5 and the promote threshold 50).
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("demoted inside the hysteresis band")
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if s.FastPath(a) != nil {
+		t.Fatal("cold entry still installed after decay")
+	}
+	if snap := c.Snapshot(); snap.Demotions < 1 {
+		t.Fatalf("Demotions = %d, want >= 1", snap.Demotions)
+	}
+}
+
+func TestPhaseShiftRotatesInstalls(t *testing.T) {
+	s := event.New(event.WithTelemetry(everyEdge()))
+	a := s.Define("A")
+	cEv := s.Define("C")
+	s.Bind(a, "a1", func(*event.Ctx) {}, event.WithOrder(1))
+	s.Bind(a, "a2", func(*event.Ctx) {}, event.WithOrder(2))
+	s.Bind(cEv, "c1", func(*event.Ctx) {}, event.WithOrder(1))
+	s.Bind(cEv, "c2", func(*event.Ctx) {}, event.WithOrder(2))
+
+	c, err := New(s, nil, Policy{PromoteThreshold: 50, MinGainNs: -1, CooldownTicks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("phase 1: A not promoted")
+	}
+	// One idle tick decays A just out of the hot set (rate ~48, inside
+	// the hysteresis band) without demoting it.
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("A demoted inside the hysteresis band")
+	}
+
+	// The hot set rotates: A is silent, C takes over. A's smoothed rate
+	// is still far above the demotion threshold and inside its cooldown,
+	// but the overlap between plan {C} and installs {A} is zero — a phase
+	// shift must demote A and promote C in the same tick.
+	hammer(s, cEv, 400)
+	c.Tick()
+	snap := c.Snapshot()
+	if snap.PhaseShifts < 1 {
+		t.Fatalf("PhaseShifts = %d, want >= 1", snap.PhaseShifts)
+	}
+	if s.FastPath(a) != nil {
+		t.Fatal("stale install survived the phase shift")
+	}
+	if s.FastPath(cEv) == nil {
+		t.Fatal("new hot set not promoted on the phase shift")
+	}
+}
+
+func TestGainGateBlocksCheapPromotions(t *testing.T) {
+	s, a, _ := chainSys(t)
+	c, err := New(s, nil, Policy{PromoteThreshold: 50, MinGainNs: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) != nil {
+		t.Fatal("promotion cleared an impossible gain bar")
+	}
+	if snap := c.Snapshot(); snap.GainSkips < 1 {
+		t.Fatalf("GainSkips = %d, want >= 1", snap.GainSkips)
+	}
+}
+
+func TestMaxPlansCap(t *testing.T) {
+	s := event.New(event.WithTelemetry(everyEdge()))
+	evs := make([]event.ID, 3)
+	for i, name := range []string{"E0", "E1", "E2"} {
+		ev := s.Define(name)
+		s.Bind(ev, "h1", func(*event.Ctx) {}, event.WithOrder(1))
+		s.Bind(ev, "h2", func(*event.Ctx) {}, event.WithOrder(2))
+		evs[i] = ev
+	}
+	c, err := New(s, nil, Policy{PromoteThreshold: 20, MinGainNs: -1, MaxPlans: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		for i := 0; i < 200; i++ {
+			s.RaiseAsync(ev)
+		}
+	}
+	s.Drain()
+	c.Tick()
+	if got := len(c.InstalledEntries()); got != 1 {
+		t.Fatalf("installed %d plans, cap is 1", got)
+	}
+	if snap := c.Snapshot(); snap.LimitSkips < 1 {
+		t.Fatalf("LimitSkips = %d, want >= 1", snap.LimitSkips)
+	}
+}
+
+func TestManualInstallIsNeverClobbered(t *testing.T) {
+	s, a, _ := chainSys(t)
+	manual := &event.SuperHandler{
+		Entry: a,
+		Segments: []event.Segment{{
+			Event: a, EventName: "A", Version: s.Version(a),
+			Steps: []event.Step{{Event: a, EventName: "A", Handler: "m", Fn: func(*event.Ctx) {}}},
+		}},
+	}
+	if err := s.InstallFastPath(manual); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(s, nil, Policy{PromoteThreshold: 50, MinGainNs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) != manual {
+		t.Fatal("controller replaced a manual install")
+	}
+	if len(c.InstalledEntries()) != 0 {
+		t.Fatal("controller claims ownership of the manual install")
+	}
+	c.Uninstall() // must not evict what it does not own
+	if s.FastPath(a) != manual {
+		t.Fatal("Uninstall evicted a manual install")
+	}
+}
+
+func TestRebindTriggersReplan(t *testing.T) {
+	s, a, _ := chainSys(t)
+	c, err := New(s, nil, Policy{PromoteThreshold: 50, MinGainNs: -1, CooldownTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	old := s.FastPath(a)
+	if old == nil {
+		t.Fatal("not promoted")
+	}
+
+	// A new binding bumps A's version: the installed guards go stale and
+	// every raise falls back to generic dispatch. The controller must
+	// rebuild against current bindings, not evict.
+	var extra atomic.Int64
+	s.Bind(a, "a3", func(*event.Ctx) { extra.Add(1) }, event.WithOrder(3))
+	hammer(s, a, 200) // keep it hot (and past the replan cooldown)
+	c.Tick()
+	c.Tick()
+	cur := s.FastPath(a)
+	if cur == nil {
+		t.Fatal("stale install evicted instead of replanned")
+	}
+	if cur == old {
+		t.Fatal("stale install not rebuilt")
+	}
+	if snap := c.Snapshot(); snap.Replans < 1 {
+		t.Fatalf("Replans = %d, want >= 1", snap.Replans)
+	}
+	extra.Store(0)
+	hammer(s, a, 5)
+	if extra.Load() != 5 {
+		t.Fatalf("rebuilt super-handler missed the new binding: ran %d/5", extra.Load())
+	}
+}
+
+func TestFaultDeoptBarsRepromotionUntilCooldown(t *testing.T) {
+	var armed, boomRuns atomic.Int64
+	s := event.New(
+		event.WithTelemetry(everyEdge()),
+		event.WithFaultPolicy(event.Isolate),
+	)
+	a := s.Define("A")
+	s.Bind(a, "ok", func(*event.Ctx) {}, event.WithOrder(1))
+	s.Bind(a, "boom", func(*event.Ctx) {
+		if armed.Load() == 1 && boomRuns.Add(1) == 1 {
+			panic("optimized bug")
+		}
+	}, event.WithOrder(2))
+
+	c, err := New(s, nil, Policy{
+		PromoteThreshold: 50, MinGainNs: -1,
+		CooldownTicks: 1, DeoptCooldownTicks: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("not promoted")
+	}
+
+	// A panic inside the adaptive super-handler: the supervisor evicts it
+	// (auto-deopt) and replays generically; the controller must count the
+	// deopt and refuse to re-promote until the deopt cooldown expires.
+	armed.Store(1)
+	hammer(s, a, 1)
+	if s.FastPath(a) != nil {
+		t.Fatal("faulting super-handler not auto-deoptimized")
+	}
+	armed.Store(0)
+
+	hammer(s, a, 200)
+	c.Tick() // tick 2: reaps the deopt, cooldown until tick 2+4
+	snap := c.Snapshot()
+	if snap.Deopts != 1 {
+		t.Fatalf("Deopts = %d, want 1", snap.Deopts)
+	}
+	for i := 0; i < 3; i++ { // ticks 3..5: still inside the deopt cooldown
+		hammer(s, a, 200)
+		c.Tick()
+		if s.FastPath(a) != nil {
+			t.Fatalf("re-promoted during deopt cooldown (tick %d)", 3+i)
+		}
+	}
+	hammer(s, a, 200)
+	c.Tick() // tick 6 >= 2+4: eligible again
+	if s.FastPath(a) == nil {
+		t.Fatal("never re-promoted after the deopt cooldown")
+	}
+}
+
+func TestCloseStopsAndUninstalls(t *testing.T) {
+	s, a, _ := chainSys(t)
+	c, err := Start(s, nil, Policy{PromoteThreshold: 50, MinGainNs: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hammer(s, a, 200)
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("not promoted")
+	}
+	c.Close()
+	if s.FastPath(a) != nil {
+		t.Fatal("Close left an adaptive install behind")
+	}
+	if snap := c.Snapshot(); snap.Running {
+		t.Fatal("snapshot still reports a running loop after Close")
+	}
+	c.Close() // idempotent
+}

@@ -1,0 +1,42 @@
+package adaptive
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+)
+
+// TestIdleControllerAllocFree is the adaptive layer's allocation gate:
+// attaching a controller must not change the dispatch path's allocation
+// behavior. With the controller created (telemetry on, nothing promoted
+// yet) a steady-state synchronous generic raise stays at 0 allocs/op —
+// the controller only ever touches the dispatch path through the same
+// atomic fast-path pointer the offline installer uses, never per-raise.
+func TestIdleControllerAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	s := event.New(event.WithTelemetry(telemetry.Config{}))
+	ev := s.Define("hot")
+	sink := 0
+	args := []event.Arg{{Name: "n", Val: 7}}
+	s.Bind(ev, "h", func(ctx *event.Ctx) { sink += ctx.Args.Int("n") }, event.WithParams("n"))
+
+	c, err := New(s, nil, Policy{PromoteThreshold: 1e18}) // never promotes
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Tick() // one idle control-loop pass, as a background loop would run
+	if err := s.Raise(ev, args...); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		_ = s.Raise(ev, args...)
+	}); got != 0 {
+		t.Errorf("sync generic raise with idle controller: %.1f allocs/op, want 0", got)
+	}
+	if len(c.InstalledEntries()) != 0 {
+		t.Fatal("idle controller installed something; the gate measured the wrong path")
+	}
+}

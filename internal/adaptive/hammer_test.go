@@ -1,0 +1,216 @@
+package adaptive
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/faultinject"
+)
+
+// TestAdaptiveChurnHammer races the controller's promote/demote/replace
+// churn against raisers, binder churn, manual fast-path removal and
+// probabilistically injected faults across two event domains. Run it
+// with -race: it exists to prove the install/evict path has no window in
+// which a raise can observe a torn fast-path state. The only functional
+// invariant asserted is at-least-once execution of the permanent
+// handlers (fault replays may legitimately run them more than once).
+func TestAdaptiveChurnHammer(t *testing.T) {
+	inj := faultinject.New(7)
+	inj.SetRate(0.002)
+
+	s := event.New(
+		event.WithTelemetry(everyEdge()),
+		event.WithDomains(2),
+		event.WithFaultPolicy(event.Quarantine),
+	)
+	names := []string{"w0", "w1", "w2", "w3"}
+	evs := make([]event.ID, len(names))
+	var permanent atomic.Int64
+	for i, n := range names {
+		ev := s.Define(n)
+		evs[i] = ev
+		if err := s.PinEvent(ev, i/2); err != nil { // w0,w1 -> dom 0; w2,w3 -> dom 1
+			t.Fatal(err)
+		}
+	}
+	for i, ev := range evs {
+		s.Bind(ev, "keep", func(*event.Ctx) { permanent.Add(1) }, event.WithOrder(-1))
+		// Second handler: a fault site that also chains to the next event
+		// synchronously (within its own domain), so the controller sees
+		// subsumable chains.
+		next := evs[(i+1)%len(evs)]
+		sameDomain := i/2 == ((i+1)%len(evs))/2
+		s.Bind(ev, "work", inj.Handler(names[i], func(c *event.Ctx) {
+			if sameDomain && c.Depth() < 2 {
+				c.Raise(next)
+			}
+		}), event.WithOrder(1))
+	}
+
+	c, err := New(s, nil, Policy{
+		PromoteThreshold: 2, MinGainNs: -1,
+		CooldownTicks: 1, DeoptCooldownTicks: 1, MaxPlans: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		raisers   = 6
+		perRaiser = 400
+		churns    = 150
+		ticks     = 250
+	)
+	var wg sync.WaitGroup
+
+	// The controller churns installs in its own goroutine the whole time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			c.Tick()
+		}
+	}()
+
+	// Binder churn bumps binding versions (staling adaptive guards) and
+	// occasionally rips out whatever fast path is installed, racing the
+	// controller's own CAS publication.
+	for _, ev := range evs {
+		wg.Add(1)
+		go func(ev event.ID) {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				b := s.Bind(ev, "extra", func(*event.Ctx) {})
+				if i%8 == 0 {
+					s.RemoveFastPath(ev)
+				}
+				if err := s.Unbind(b); err != nil {
+					t.Errorf("Unbind: %v", err)
+					return
+				}
+			}
+		}(ev)
+	}
+
+	for g := 0; g < raisers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				ev := evs[(g+i)%len(evs)]
+				if i%4 == 0 {
+					s.RaiseAsync(ev)
+				} else if err := s.Raise(ev); err != nil {
+					t.Errorf("Raise: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	s.Drain()
+	c.Close()
+
+	want := int64(raisers * perRaiser)
+	if got := permanent.Load(); got < want {
+		t.Errorf("permanent handlers ran %d times, want >= %d", got, want)
+	}
+	for _, ev := range evs {
+		if s.FastPath(ev) != nil {
+			t.Errorf("fast path of %d survived Close", ev)
+		}
+	}
+	// The system is still fully functional after all the churn.
+	before := permanent.Load()
+	if err := s.Raise(evs[0]); err != nil {
+		t.Fatalf("Raise after churn: %v", err)
+	}
+	if permanent.Load() == before {
+		t.Error("permanent handler dead after churn")
+	}
+}
+
+// TestAdaptiveQuarantineDeoptChaosHammer drives the full degradation
+// ladder deterministically with exact-ordinal fault injection: promote →
+// fault in the adaptive super-handler → supervisor auto-deopts and
+// replays → controller reaps the eviction and honors the deopt cooldown
+// → re-promotes → a second fault round deopts again. The injected
+// ordinals are fixed, so the run is reproducible bit-for-bit.
+func TestAdaptiveQuarantineDeoptChaosHammer(t *testing.T) {
+	const site = "chaos"
+	inj := faultinject.New(42)
+
+	var okRuns atomic.Int64
+	s := event.New(
+		event.WithTelemetry(everyEdge()),
+		event.WithFaultPolicy(event.Quarantine),
+	)
+	a := s.Define("A")
+	s.Bind(a, "ok", func(*event.Ctx) { okRuns.Add(1) }, event.WithOrder(1))
+	s.Bind(a, "flaky", inj.Handler(site, func(*event.Ctx) {}), event.WithOrder(2))
+
+	c, err := New(s, nil, Policy{
+		PromoteThreshold: 20, MinGainNs: -1,
+		CooldownTicks: 1, DeoptCooldownTicks: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hammer(s, a, 100)
+	c.Tick()
+	if s.FastPath(a) == nil {
+		t.Fatal("not promoted")
+	}
+
+	// Round 1: the next call at the site faults inside the optimized
+	// chain; the replay (next ordinal) succeeds.
+	inj.FailOnCall(site, inj.Calls(site)+1)
+	hammer(s, a, 1)
+	if s.FastPath(a) != nil {
+		t.Fatal("faulting adaptive install not auto-deoptimized")
+	}
+	if got := s.Stats().Deopts.Load(); got != 1 {
+		t.Fatalf("runtime Deopts = %d, want 1", got)
+	}
+
+	hammer(s, a, 100)
+	c.Tick() // tick 2: reap; cooldown until tick 5
+	if snap := c.Snapshot(); snap.Deopts != 1 {
+		t.Fatalf("controller Deopts = %d, want 1", snap.Deopts)
+	}
+	for i := 0; i < 2; i++ { // ticks 3,4: barred
+		hammer(s, a, 100)
+		c.Tick()
+		if s.FastPath(a) != nil {
+			t.Fatal("re-promoted inside the deopt cooldown")
+		}
+	}
+	hammer(s, a, 100)
+	c.Tick() // tick 5: eligible again
+	if s.FastPath(a) == nil {
+		t.Fatal("never re-promoted after the deopt cooldown")
+	}
+
+	// Round 2: the fresh install faults as well; the ladder repeats.
+	inj.FailOnCall(site, inj.Calls(site)+1)
+	hammer(s, a, 1)
+	if s.FastPath(a) != nil {
+		t.Fatal("second faulting install not auto-deoptimized")
+	}
+	c.Tick()
+	if snap := c.Snapshot(); snap.Deopts != 2 {
+		t.Fatalf("controller Deopts = %d, want 2", snap.Deopts)
+	}
+	if inj.Injected() != 2 {
+		t.Fatalf("injected %d faults, want 2", inj.Injected())
+	}
+	// At-least-once held throughout: the stable handler saw every raise
+	// (plus the two fault replays).
+	if got := okRuns.Load(); got < 402 {
+		t.Fatalf("ok handler ran %d times, want >= 402", got)
+	}
+}

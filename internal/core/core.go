@@ -30,6 +30,15 @@ type Options struct {
 	// Subsume extends super-handlers across nested synchronous raises
 	// observed stably in the profile (Figs. 8-9).
 	Subsume bool
+	// GraphChains extends chains from the event graph alone when the
+	// profile carries no handler-level evidence for an event: a candidate
+	// is extended along the reduced graph's event chains (section 3.2.1 —
+	// maximal paths whose every traversal was synchronous and whose
+	// interior vertices have a single successor). Live profiles lifted
+	// from the telemetry graph feed have exactly this shape: edge weights
+	// but no per-handler raise records; GraphChains is what lets the
+	// adaptive optimizer subsume chains online.
+	GraphChains bool
 	// Speculative additionally extends chains along *dominant* raise
 	// patterns — "A is followed by B 90% of the time" (section 5) —
 	// with SpeculativeShare as the minimum observed share. Minority
@@ -176,10 +185,29 @@ func BuildPlan(sys *event.System, prof *profile.Profile, opts Options) (*Plan, e
 		}
 	}
 
+	// Graph-only chain evidence for GraphChains: event chains of the
+	// reduced graph, keyed by head (computed once, used as fallback for
+	// candidates without handler-level raise records).
+	var graphChain map[event.ID][]event.ID
+	if opts.GraphChains && opts.Subsume {
+		graphChain = make(map[event.ID][]event.ID)
+		for _, c := range reduced.Chains() {
+			graphChain[c[0]] = c
+		}
+	}
+
 	plan := &Plan{opts: opts}
 	for _, ev := range candidates {
 		entry := PlanEntry{Event: ev, EventName: sys.EventName(ev), Reason: reasons[ev]}
 		entry.Chain = chainFor(sys, prof, ev, opts)
+		if len(entry.Chain) == 1 && graphChain != nil {
+			if c, ok := graphChain[ev]; ok {
+				entry.Chain = capGraphChain(sys, c, opts.MaxChainLen)
+				if len(entry.Chain) > 1 {
+					entry.Reason += " + graph chain"
+				}
+			}
+		}
 		// A super-handler pays for itself only when it merges something:
 		// several handlers on the entry event, or a chain to subsume. A
 		// single-handler, chain-less event keeps generic dispatch (the
@@ -190,6 +218,67 @@ func BuildPlan(sys *event.System, prof *profile.Profile, opts Options) (*Plan, e
 		plan.Entries = append(plan.Entries, entry)
 	}
 	return plan, nil
+}
+
+// capGraphChain trims a graph-derived chain to the covered prefix the
+// installer can build: events must still exist with at least one handler
+// bound, and the chain is capped at maxLen. The chain breaks at the
+// first uncoverable event — subsumption must not skip over an event
+// whose activation sits between the others in program order.
+func capGraphChain(sys *event.System, c []event.ID, maxLen int) []event.ID {
+	out := make([]event.ID, 0, len(c))
+	for _, ev := range c {
+		if len(out) >= maxLen {
+			break
+		}
+		if len(out) > 0 && sys.HandlerCount(ev) == 0 {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// Diff compares the plan against the currently-installed super-handlers
+// (entry event -> covered chain) and splits it into the incremental
+// actions an online optimizer applies: entries to install fresh, entries
+// whose installed chain no longer matches the plan (replace in place),
+// and installed entries the plan no longer wants (evict). Order is
+// deterministic: install/replan follow plan order, evictions ascend by
+// event ID. Hysteresis, cooldowns and gain gating are the caller's
+// policy — Diff is the pure set comparison.
+func (p *Plan) Diff(installed map[event.ID][]event.ID) (install, replan []PlanEntry, evict []event.ID) {
+	planned := make(map[event.ID]bool, len(p.Entries))
+	for _, e := range p.Entries {
+		planned[e.Event] = true
+		cur, ok := installed[e.Event]
+		if !ok {
+			install = append(install, e)
+			continue
+		}
+		if !sameChain(cur, e.Chain) {
+			replan = append(replan, e)
+		}
+	}
+	for ev := range installed {
+		if !planned[ev] {
+			evict = append(evict, ev)
+		}
+	}
+	sort.Slice(evict, func(i, j int) bool { return evict[i] < evict[j] })
+	return install, replan, evict
+}
+
+func sameChain(a, b []event.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // chainFor computes the events covered by the super-handler rooted at ev:

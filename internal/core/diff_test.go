@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+)
+
+// liveStyleProfile builds the shape the adaptive controller feeds the
+// planner: an event graph with weights but no handler-level records.
+func liveStyleProfile(edges ...[4]int) *profile.Profile {
+	g := profile.NewEventGraph()
+	for _, e := range edges {
+		g.AddEdge(event.ID(e[0]), event.ID(e[1]), e[2], e[3])
+	}
+	return profile.GraphProfile(g)
+}
+
+// TestGraphChainsExtendsFromGraphAlone: with no handler raise records,
+// Subsume alone cannot extend a chain — GraphChains must pick it up from
+// the reduced graph's fully-synchronous event chains.
+func TestGraphChainsExtendsFromGraphAlone(t *testing.T) {
+	s := event.New()
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "h1", func(*event.Ctx) {})
+	s.Bind(a, "h2", func(*event.Ctx) {})
+	s.Bind(b, "h", func(*event.Ctx) {})
+
+	prof := liveStyleProfile([4]int{int(a), int(b), 100, 100})
+
+	// Without GraphChains the entry covers only itself.
+	plan, err := BuildPlan(s, prof, Options{Threshold: 10, Subsume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 1 || len(plan.Entries[0].Chain) != 1 {
+		t.Fatalf("without GraphChains: %+v", plan.Entries)
+	}
+
+	// With it, the a->b sync chain is subsumed.
+	plan, err = BuildPlan(s, prof, Options{Threshold: 10, Subsume: true, GraphChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) != 1 {
+		t.Fatalf("entries = %+v", plan.Entries)
+	}
+	e := plan.Entries[0]
+	if len(e.Chain) != 2 || e.Chain[0] != a || e.Chain[1] != b {
+		t.Fatalf("chain = %v, want [a b]", e.Chain)
+	}
+
+	// An async edge (sync weight below total) must NOT chain.
+	prof = liveStyleProfile([4]int{int(a), int(b), 100, 60})
+	plan, err = BuildPlan(s, prof, Options{Threshold: 10, Subsume: true, GraphChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries[0].Chain) != 1 {
+		t.Fatalf("async edge chained: %v", plan.Entries[0].Chain)
+	}
+}
+
+// TestCapGraphChainBreaksAtUncoverableEvent: a graph chain must stop at
+// the first event with no bound handlers (subsumption cannot skip over
+// an activation) and respect MaxChainLen.
+func TestCapGraphChainBreaksAtUncoverableEvent(t *testing.T) {
+	s := event.New()
+	a := s.Define("a")
+	b := s.Define("b") // no handlers: chain must break here
+	c := s.Define("c")
+	s.Bind(a, "h1", func(*event.Ctx) {})
+	s.Bind(a, "h2", func(*event.Ctx) {})
+	s.Bind(c, "h", func(*event.Ctx) {})
+
+	got := capGraphChain(s, []event.ID{a, b, c}, 16)
+	if len(got) != 1 || got[0] != a {
+		t.Fatalf("capGraphChain = %v, want [a]", got)
+	}
+
+	s.Bind(b, "h", func(*event.Ctx) {})
+	got = capGraphChain(s, []event.ID{a, b, c}, 2)
+	if len(got) != 2 || got[1] != b {
+		t.Fatalf("capGraphChain maxLen=2 = %v, want [a b]", got)
+	}
+}
+
+// TestPlanDiff covers the three incremental actions of the online
+// optimizer: fresh install, in-place replace on a chain change, evict.
+func TestPlanDiff(t *testing.T) {
+	p := &Plan{Entries: []PlanEntry{
+		{Event: 1, Chain: []event.ID{1, 2}},
+		{Event: 3, Chain: []event.ID{3}},
+		{Event: 5, Chain: []event.ID{5, 6}},
+	}}
+	installed := map[event.ID][]event.ID{
+		1: {1, 2},  // unchanged: no action
+		3: {3, 4},  // chain shrank: replace
+		7: {7},     // no longer planned: evict
+		9: {9, 10}, // no longer planned: evict
+	}
+	install, replan, evict := p.Diff(installed)
+	if len(install) != 1 || install[0].Event != 5 {
+		t.Fatalf("install = %+v, want [5]", install)
+	}
+	if len(replan) != 1 || replan[0].Event != 3 {
+		t.Fatalf("replan = %+v, want [3]", replan)
+	}
+	if len(evict) != 2 || evict[0] != 7 || evict[1] != 9 {
+		t.Fatalf("evict = %v, want [7 9]", evict)
+	}
+
+	// Empty plan evicts everything; empty install state installs everything.
+	_, _, evict = (&Plan{}).Diff(installed)
+	if len(evict) != 4 {
+		t.Fatalf("empty plan evicts %d, want 4", len(evict))
+	}
+	install, replan, evict = p.Diff(nil)
+	if len(install) != 3 || len(replan) != 0 || len(evict) != 0 {
+		t.Fatalf("nil installed: install=%d replan=%d evict=%d", len(install), len(replan), len(evict))
+	}
+}

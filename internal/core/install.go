@@ -82,6 +82,15 @@ func Apply(sys *event.System, prof *profile.Profile, mod *hirrt.Module, opts Opt
 	return plan, ins, nil
 }
 
+// BuildSuper constructs (without installing) the super-handler for one
+// plan entry from the system's current bindings. The adaptive optimizer
+// uses it to build each promotion individually and publish it through
+// the runtime's compare-and-swap install, instead of the all-or-nothing
+// Plan.Install path.
+func BuildSuper(sys *event.System, mod *hirrt.Module, entry PlanEntry, opts Options) (*event.SuperHandler, error) {
+	return buildSuper(sys, mod, entry, opts)
+}
+
 // fusedHandler picks the execution backend for a fused body: the closure
 // compiler when requested, otherwise the interpreter.
 func fusedHandler(mod *hirrt.Module, body *hir.Function, opts Options) (event.HandlerFunc, error) {

@@ -1,0 +1,18 @@
+package event
+
+// WithAdaptiveOptimizer records an adaptive-optimizer policy for the
+// system under construction. The runtime itself does not interpret the
+// policy — it only carries the opaque value from the option to the layer
+// that starts the controller (internal/adaptive, via the eventopt
+// facade), which keeps the runtime free of an upward import. Because the
+// controller plans from the live telemetry graph, requesting an adaptive
+// optimizer implies WithTelemetry with default tuning when telemetry was
+// not configured explicitly.
+func WithAdaptiveOptimizer(policy any) Option {
+	return func(s *System) { s.wantAdaptive = policy }
+}
+
+// AdaptivePolicy returns the policy recorded by WithAdaptiveOptimizer
+// (nil when none was requested). The eventopt facade consumes it after
+// construction to start the controller.
+func (s *System) AdaptivePolicy() any { return s.wantAdaptive }

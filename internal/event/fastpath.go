@@ -81,11 +81,33 @@ func (sh *SuperHandler) CoveredEvents() []ID {
 // super-handler pointer is stored atomically, so concurrent raises on
 // any domain either see the whole installed fast path or none of it.
 func (s *System) InstallFastPath(sh *SuperHandler) error {
+	_, err := s.installFastPath(sh, nil, false)
+	return err
+}
+
+// ReplaceFastPath installs sh only if the entry's current fast path is
+// exactly old (nil meaning "no fast path installed"). It reports whether
+// the swap happened; false with a nil error means another installation
+// won the race. This is the churn-safe primitive of the adaptive
+// optimizer: a controller that planned against an observed state cannot
+// clobber a super-handler someone else (a manual Optimize call, another
+// controller tick, the fault supervisor's eviction) installed in the
+// meantime, and a replan replaces its own previous install atomically —
+// raises observe either the old fast path or the new one, never a
+// generic window in between.
+func (s *System) ReplaceFastPath(old, sh *SuperHandler) (bool, error) {
+	return s.installFastPath(sh, old, true)
+}
+
+// installFastPath resolves sh's segment records under the registry lock
+// and publishes it, either unconditionally or by compare-and-swap
+// against old.
+func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) (bool, error) {
 	if len(sh.Segments) == 0 {
-		return fmt.Errorf("event: InstallFastPath: no segments")
+		return false, fmt.Errorf("event: InstallFastPath: no segments")
 	}
 	if sh.Segments[0].Event != sh.Entry {
-		return fmt.Errorf("event: InstallFastPath: first segment is %d, entry is %d",
+		return false, fmt.Errorf("event: InstallFastPath: first segment is %d, entry is %d",
 			sh.Segments[0].Event, sh.Entry)
 	}
 	sh.segOf = make(map[ID]int, len(sh.Segments))
@@ -99,18 +121,21 @@ func (s *System) InstallFastPath(sh *SuperHandler) error {
 	defer s.mu.Unlock()
 	r := s.rec(sh.Entry)
 	if r == nil || r.deleted {
-		return ErrUnknownEvent
+		return false, ErrUnknownEvent
 	}
 	sh.recs = make([]*eventRec, len(sh.Segments))
 	for i := range sh.Segments {
 		sr := s.rec(sh.Segments[i].Event)
 		if sr == nil {
-			return ErrUnknownEvent
+			return false, ErrUnknownEvent
 		}
 		sh.recs[i] = sr
 	}
+	if cas {
+		return r.fast.CompareAndSwap(old, sh), nil
+	}
 	r.fast.Store(sh)
-	return nil
+	return true, nil
 }
 
 // RemoveFastPath uninstalls the fast path of ev, if any.

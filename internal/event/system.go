@@ -214,11 +214,12 @@ type System struct {
 
 	tel *telemetry.Telemetry // live observability layer; nil unless enabled
 
-	wantDomains int            // WithDomains value, consumed by New
-	wantQcap    int            // queue bound remembered for domain creation
-	wantQpolicy OverflowPolicy // overflow policy remembered for domain creation
-	wantTel     bool           // WithTelemetry requested, consumed by New
-	wantTelCfg  telemetry.Config
+	wantDomains  int            // WithDomains value, consumed by New
+	wantQcap     int            // queue bound remembered for domain creation
+	wantQpolicy  OverflowPolicy // overflow policy remembered for domain creation
+	wantTel      bool           // WithTelemetry requested, consumed by New
+	wantTelCfg   telemetry.Config
+	wantAdaptive any // WithAdaptiveOptimizer policy, consumed by the facade
 }
 
 // tracerRef boxes the installed Tracer so it can swap atomically.
@@ -268,6 +269,10 @@ func New(opts ...Option) *System {
 	}
 	if s.wantQcap > 0 {
 		s.SetQueueBound(s.wantQcap, s.wantQpolicy)
+	}
+	if s.wantAdaptive != nil {
+		// The adaptive controller plans from the live telemetry graph.
+		s.wantTel = true
 	}
 	if s.wantTel {
 		s.tel = telemetry.New(n, s.wantTelCfg)

@@ -119,3 +119,67 @@ func Render(w io.Writer, doc *EventsDoc, sortKey string, merged bool) error {
 func us(ns float64) string {
 	return fmt.Sprintf("%.2fus", ns/1e3)
 }
+
+// FetchOptimizer retrieves the /optimizer document (the adaptive
+// controller's published state). Servers predating the endpoint return
+// an error; callers typically skip the pane then.
+func FetchOptimizer(base string) (*telemetry.OptimizerSnapshot, error) {
+	url := base
+	if !strings.HasSuffix(url, "/optimizer") {
+		url = strings.TrimRight(url, "/") + "/optimizer"
+	}
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var snap telemetry.OptimizerSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%s: decoding: %w", url, err)
+	}
+	return &snap, nil
+}
+
+// RenderOptimizer writes the adaptive-optimizer pane: the controller's
+// decision counters and one row per installed super-handler. A nil or
+// disabled snapshot renders a single status line, so evtop can always
+// show the pane.
+func RenderOptimizer(w io.Writer, snap *telemetry.OptimizerSnapshot) error {
+	if snap == nil || !snap.Enabled {
+		fmt.Fprintln(w, "optimizer: off")
+		return nil
+	}
+	state := "manual"
+	if snap.Running {
+		state = fmt.Sprintf("every %.0fms", snap.IntervalMs)
+	}
+	fmt.Fprintf(w, "optimizer: on (%s) tick=%d thresholds=%.0f/%.0f\n",
+		state, snap.Tick, snap.PromoteThreshold, snap.DemoteThreshold)
+	fmt.Fprintf(w, "  promote=%d demote=%d replan=%d deopt=%d phase-shift=%d skip(cool/gain/cap)=%d/%d/%d\n",
+		snap.Promotions, snap.Demotions, snap.Replans, snap.Deopts, snap.PhaseShifts,
+		snap.CooldownSkips, snap.GainSkips, snap.LimitSkips)
+	if len(snap.Installed) == 0 {
+		fmt.Fprintln(w, "  (no super-handlers installed)")
+		return nil
+	}
+	fmt.Fprintf(w, "  %-20s %-30s %8s %10s %12s %7s\n",
+		"ENTRY", "CHAIN", "HANDLERS", "SCORE", "EST.GAIN", "REPLANS")
+	for _, p := range snap.Installed {
+		name := p.EntryName
+		if name == "" {
+			name = fmt.Sprintf("#%d", p.Entry)
+		}
+		chain := strings.Join(p.Chain, ">")
+		if chain == "" {
+			chain = name
+		}
+		fmt.Fprintf(w, "  %-20s %-30s %8d %10.1f %12s %7d\n",
+			name, chain, p.Handlers, p.Score, us(p.GainNs), p.Replans)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package liveview
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/telemetry/httpdebug"
+)
+
+// TestOptimizerPaneRoundTrip serves a published optimizer snapshot
+// through the real httpdebug handler and renders the evtop pane from it:
+// the wire format and the pane must stay in agreement.
+func TestOptimizerPaneRoundTrip(t *testing.T) {
+	s := event.New(event.WithTelemetry(telemetry.Config{}))
+	s.Telemetry().PublishOptimizer(&telemetry.OptimizerSnapshot{
+		Enabled: true, Running: true, Tick: 12, IntervalMs: 200,
+		PromoteThreshold: 64, DemoteThreshold: 16,
+		Promotions: 3, Demotions: 1, Deopts: 1,
+		Installed: []telemetry.OptimizerPlan{{
+			Entry: 0, EntryName: "req", Chain: []string{"req", "resp"},
+			Handlers: 3, Score: 80, GainNs: 2000, Replans: 1,
+		}},
+	})
+	srv := httptest.NewServer(httpdebug.New(s, nil))
+	defer srv.Close()
+
+	snap, err := FetchOptimizer(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.Tick != 12 || len(snap.Installed) != 1 {
+		t.Fatalf("fetched snapshot = %+v", snap)
+	}
+
+	var b strings.Builder
+	if err := RenderOptimizer(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"optimizer: on", "tick=12", "promote=3", "deopt=1", "req>resp"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pane lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Disabled snapshot renders the off line, not a panic.
+	var off strings.Builder
+	if err := RenderOptimizer(&off, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(off.String(), "optimizer: off") {
+		t.Fatalf("nil snapshot pane = %q", off.String())
+	}
+}

@@ -11,6 +11,13 @@ import (
 // instead of a recorded trace. Edge weights are scaled by the feed's
 // sampling period, so they estimate true traversal counts and a
 // threshold tuned on offline profiles carries over.
+// FromTelemetry tolerates empty and partial snapshots: a feed that has
+// sampled nothing yet yields an empty graph (every downstream analysis —
+// Reduce, Paths, HotPaths, BuildPlan — treats that as "nothing hot"), and
+// malformed rows (non-positive weights, negative IDs, a sync count
+// exceeding the total) are dropped or clamped rather than poisoning the
+// graph. An adaptive controller's first tick therefore plans a no-op
+// instead of misbehaving.
 func FromTelemetry(gs telemetry.GraphSnapshot) *EventGraph {
 	g := NewEventGraph()
 	scale := gs.SampleEvery
@@ -18,7 +25,17 @@ func FromTelemetry(gs telemetry.GraphSnapshot) *EventGraph {
 		scale = 1
 	}
 	for _, e := range gs.Edges {
-		g.AddEdge(event.ID(e.From), event.ID(e.To), int(e.Weight)*scale, int(e.SyncWeight)*scale)
+		if e.From < 0 || e.To < 0 || e.Weight <= 0 {
+			continue
+		}
+		sw := e.SyncWeight
+		if sw < 0 {
+			sw = 0
+		}
+		if sw > e.Weight {
+			sw = e.Weight
+		}
+		g.AddEdge(event.ID(e.From), event.ID(e.To), int(e.Weight)*scale, int(sw)*scale)
 		if e.FromName != "" {
 			g.SetName(event.ID(e.From), e.FromName)
 		}
@@ -27,6 +44,42 @@ func FromTelemetry(gs telemetry.GraphSnapshot) *EventGraph {
 		}
 	}
 	return g
+}
+
+// GraphProfile wraps an event graph in a Profile so the planner
+// (core.BuildPlan) can consume continuous-profiling data. Activation
+// counts are estimated from incident edge weights (an event occurred at
+// least as often as its heavier side of in- and out-traversals); there
+// are no handler-level records, so handler queries report nothing stable
+// and chain extension must come from the graph (Options.GraphChains).
+func GraphProfile(g *EventGraph) *Profile {
+	if g == nil {
+		g = NewEventGraph()
+	}
+	p := &Profile{Graph: g, stats: make(map[event.ID]*EventStats)}
+	in := make(map[event.ID]int)
+	out := make(map[event.ID]int)
+	for _, e := range g.Edges() {
+		in[e.To] += e.Weight
+		out[e.From] += e.Weight
+	}
+	for _, ev := range g.Nodes() {
+		n := in[ev]
+		if out[ev] > n {
+			n = out[ev]
+		}
+		if n <= 0 {
+			continue
+		}
+		p.stats[ev] = &EventStats{Event: ev, EventName: g.Name(ev), Count: n}
+	}
+	return p
+}
+
+// LiveProfile lifts a telemetry graph snapshot directly into a Profile:
+// FromTelemetry followed by GraphProfile.
+func LiveProfile(gs telemetry.GraphSnapshot) *Profile {
+	return GraphProfile(FromTelemetry(gs))
 }
 
 // HotPath is one hot event chain extracted from the live graph.

@@ -77,3 +77,67 @@ func TestHotPathsScalesSampledWeights(t *testing.T) {
 		t.Fatalf("scaled a->b weight = %d, want ~400", e.Weight)
 	}
 }
+
+// TestFromTelemetryTolerantOfEmptyAndPartial is the adaptive-controller
+// regression: the first ticks of a live optimizer see an empty (or
+// half-filled, or malformed) snapshot, and the whole analysis pipeline
+// must degrade to "nothing hot" instead of planning garbage.
+func TestFromTelemetryTolerantOfEmptyAndPartial(t *testing.T) {
+	// Fully empty snapshot (telemetry attached, nothing sampled yet).
+	g := FromTelemetry(telemetry.GraphSnapshot{})
+	if g.NumNodes() != 0 || len(g.Edges()) != 0 {
+		t.Fatalf("empty snapshot produced %d nodes", g.NumNodes())
+	}
+	if hp := HotPaths(telemetry.GraphSnapshot{}, 0, 4); len(hp) != 0 {
+		t.Fatalf("empty snapshot produced hot paths: %+v", hp)
+	}
+	p := GraphProfile(g)
+	if got := p.HotEvents(1); len(got) != 0 {
+		t.Fatalf("empty profile reports hot events: %v", got)
+	}
+
+	// Malformed rows: negative IDs and non-positive weights are dropped,
+	// a sync count exceeding the total is clamped, valid rows survive.
+	gs := telemetry.GraphSnapshot{
+		SampleEvery: 2,
+		Edges: []telemetry.GraphEdge{
+			{From: -1, To: 1, Weight: 9},                // negative ID: dropped
+			{From: 0, To: 1, Weight: 0},                 // zero weight: dropped
+			{From: 1, To: 2, Weight: -3},                // negative weight: dropped
+			{From: 3, To: 4, Weight: 5, SyncWeight: 50}, // sync > total: clamped
+		},
+	}
+	g = FromTelemetry(gs)
+	if len(g.Edges()) != 1 {
+		t.Fatalf("partial snapshot kept %d edges, want 1", len(g.Edges()))
+	}
+	e := g.EdgeBetween(3, 4)
+	if e == nil || e.Weight != 10 || e.SyncWeight != 10 {
+		t.Fatalf("clamped edge = %+v, want weight 10 sync 10", e)
+	}
+	if !e.Sync() {
+		t.Fatal("clamped edge must read as fully synchronous")
+	}
+
+	// GraphProfile estimates activation counts from incident weights.
+	p = GraphProfile(g)
+	if c := p.Count(3); c != 10 {
+		t.Fatalf("Count(3) = %d, want 10", c)
+	}
+	if c := p.Count(4); c != 10 {
+		t.Fatalf("Count(4) = %d, want 10", c)
+	}
+	// Live profiles carry no handler-level records: handler queries must
+	// report "unknown", not fabricate stability.
+	if _, ok := p.StableHandlers(3); ok {
+		t.Fatal("live profile fabricated stable handlers")
+	}
+	if _, ok := p.StableSyncRaises(3, "h"); ok {
+		t.Fatal("live profile fabricated stable raises")
+	}
+
+	// LiveProfile is the one-call composition.
+	if lp := LiveProfile(gs); lp.Count(3) != 10 {
+		t.Fatalf("LiveProfile Count(3) = %d", lp.Count(3))
+	}
+}

@@ -5,6 +5,7 @@
 //	/events          per-event telemetry rows (latency + queue-delay histograms)
 //	/graph           the live event graph as Graphviz DOT (?threshold=N prunes edges)
 //	/flightrecorder  per-domain flight-recorder contents and the last automatic dump
+//	/optimizer       adaptive-optimizer state: installed plans, decision counters
 //	/trace           Chrome trace-event JSON of the attached trace recorder
 //	/debug/pprof/    the standard Go profiling endpoints
 //
@@ -42,6 +43,7 @@ func New(sys *event.System, rec *trace.Recorder) *Server {
 	s.mux.HandleFunc("/events", s.events)
 	s.mux.HandleFunc("/graph", s.graph)
 	s.mux.HandleFunc("/flightrecorder", s.flight)
+	s.mux.HandleFunc("/optimizer", s.optimizer)
 	s.mux.HandleFunc("/trace", s.trace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -161,6 +163,23 @@ func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
 		doc.Domains = append(doc.Domains, recs)
 	}
 	writeJSON(w, doc)
+}
+
+// optimizer serves the adaptive controller's published state. Without
+// telemetry it is 404 like the other telemetry endpoints; with telemetry
+// but no controller it serves {"enabled": false} so dashboards can poll
+// it unconditionally.
+func (s *Server) optimizer(w http.ResponseWriter, r *http.Request) {
+	tel := s.sys.Telemetry()
+	if tel == nil {
+		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
+		return
+	}
+	snap := tel.Optimizer()
+	if snap == nil {
+		snap = &telemetry.OptimizerSnapshot{}
+	}
+	writeJSON(w, snap)
 }
 
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {

@@ -139,9 +139,50 @@ func TestDisabledTelemetry(t *testing.T) {
 	if w := get(t, srv, "/metrics"); w.Code != 200 {
 		t.Fatalf("/metrics without telemetry -> %d, want 200 (counters still served)", w.Code)
 	}
-	for _, path := range []string{"/events", "/graph", "/flightrecorder", "/trace"} {
+	for _, path := range []string{"/events", "/graph", "/flightrecorder", "/optimizer", "/trace"} {
 		if w := get(t, srv, path); w.Code != 404 {
 			t.Fatalf("%s without telemetry -> %d, want 404", path, w.Code)
 		}
+	}
+}
+
+func TestOptimizerEndpoint(t *testing.T) {
+	srv, s := newServer(t)
+
+	// Telemetry on but no controller attached: pollable, disabled.
+	w := get(t, srv, "/optimizer")
+	if w.Code != 200 {
+		t.Fatalf("/optimizer -> %d: %s", w.Code, w.Body)
+	}
+	var snap telemetry.OptimizerSnapshot
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid /optimizer JSON: %v", err)
+	}
+	if snap.Enabled {
+		t.Fatalf("no controller attached but enabled: %+v", snap)
+	}
+
+	// A published snapshot (what the adaptive controller emits per tick)
+	// is served verbatim.
+	s.Telemetry().PublishOptimizer(&telemetry.OptimizerSnapshot{
+		Enabled: true, Running: true, Tick: 7, Promotions: 2,
+		Installed: []telemetry.OptimizerPlan{{
+			Entry: 0, EntryName: "req", Chain: []string{"req", "resp"},
+			Handlers: 2, Score: 64, GainNs: 1500,
+		}},
+	})
+	w = get(t, srv, "/optimizer")
+	if w.Code != 200 {
+		t.Fatalf("/optimizer -> %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Enabled || snap.Tick != 7 || snap.Promotions != 2 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	if len(snap.Installed) != 1 || snap.Installed[0].EntryName != "req" ||
+		len(snap.Installed[0].Chain) != 2 {
+		t.Fatalf("installed plans = %+v", snap.Installed)
 	}
 }

@@ -103,6 +103,8 @@ type Telemetry struct {
 
 	lastDump atomic.Pointer[FlightDump]
 	dumps    atomic.Int64 // total automatic dumps taken
+
+	optimizer atomic.Pointer[OptimizerSnapshot] // adaptive controller state (optimizer.go)
 }
 
 // New creates a telemetry instance for a runtime with the given number
