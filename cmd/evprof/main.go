@@ -7,9 +7,17 @@
 // profiling runs from analysis as in the paper's off-line workflow, or
 // query a running system's live telemetry endpoint (-live URL) for the
 // continuously profiled counterpart of the same tables.
+//
+// With -check it validates instead of analyzing: a saved trace (text or
+// binary) is run through the consistency checker (balanced enter/exit
+// nesting, per-domain monotonic sequencing, publish discipline), and a
+// flight-dump JSON file through the flight-recorder invariants. The exit
+// status is non-zero when any violation is found, so CI can gate on
+// golden traces staying coherent.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,6 +26,7 @@ import (
 	"eventopt/internal/bench"
 	"eventopt/internal/liveview"
 	"eventopt/internal/profile"
+	"eventopt/internal/telemetry"
 	"eventopt/internal/trace"
 )
 
@@ -33,8 +42,17 @@ func main() {
 		binaryOut = flag.Bool("binary", false, "write -save traces in the compact binary format")
 		stats     = flag.Bool("stats", false, "print the runtime counters (dispatch, faults, degradation) after the workload")
 		live      = flag.String("live", "", "fetch and print the live per-event telemetry of a running system (base URL of its httpdebug endpoint)")
+		check     = flag.Bool("check", false, "validate -trace (trace file or flight-dump JSON) for consistency instead of analyzing it; exit 1 on violations")
+		workload  = flag.String("workload", "videoplayer", "workload behind -save and -check without -trace: videoplayer or seccomm")
 	)
 	flag.Parse()
+
+	if *check {
+		if err := runCheck(*traceFile, *workload); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *live != "" {
 		doc, err := liveview.Fetch(*live)
@@ -54,7 +72,7 @@ func main() {
 	}
 
 	if *saveTrace != "" {
-		entries, _, err := bench.Fig5Workload()
+		entries, err := workloadEntries(*workload)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +161,95 @@ func analyzeFile(path string, threshold int, dot bool) {
 		if err := g.WriteDOT(os.Stdout, "trace"); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// workloadEntries generates the named workload's trace.
+func workloadEntries(name string) ([]trace.Entry, error) {
+	switch name {
+	case "videoplayer":
+		entries, _, err := bench.Fig5Workload()
+		return entries, err
+	case "seccomm":
+		entries, _, err := bench.SecCommWorkload()
+		return entries, err
+	}
+	return nil, fmt.Errorf("unknown workload %q (want videoplayer or seccomm)", name)
+}
+
+// runCheck validates either a saved file (trace or flight-dump JSON) or,
+// with no -trace, a freshly generated workload trace. It prints one line
+// per violation and fails when any is found.
+func runCheck(path, workload string) error {
+	var problems []string
+	var n int
+	var what string
+	if path == "" {
+		entries, err := workloadEntries(workload)
+		if err != nil {
+			return err
+		}
+		n, what = len(entries), workload+" workload trace"
+		for _, v := range trace.Check(entries) {
+			problems = append(problems, v.String())
+		}
+	} else {
+		var err error
+		n, what, problems, err = checkFile(path)
+		if err != nil {
+			return err
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "evprof: check:", p)
+		}
+		return fmt.Errorf("%s: %d violations in %d records", what, len(problems), n)
+	}
+	fmt.Printf("check ok: %s, %d records, 0 violations\n", what, n)
+	return nil
+}
+
+// checkFile sniffs the file format — binary trace (EVTR magic),
+// flight-dump JSON ('{'), or text trace — and runs the matching checker.
+func checkFile(path string) (n int, what string, problems []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer f.Close()
+	var head [4]byte
+	hn, _ := io.ReadFull(f, head[:])
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, "", nil, err
+	}
+	switch {
+	case hn == 4 && string(head[:]) == "EVTR":
+		entries, err := trace.ReadBinary(f)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		what = path + " (binary trace)"
+		for _, v := range trace.Check(entries) {
+			problems = append(problems, v.String())
+		}
+		return len(entries), what, problems, nil
+	case hn > 0 && (head[0] == '{' || head[0] == '['):
+		var dump telemetry.FlightDump
+		if err := json.NewDecoder(f).Decode(&dump); err != nil {
+			return 0, "", nil, fmt.Errorf("%s: not a flight dump: %w", path, err)
+		}
+		return len(dump.Records), path + " (flight dump)", dump.Validate(), nil
+	default:
+		entries, err := trace.Read(f)
+		if err != nil {
+			return 0, "", nil, err
+		}
+		what = path + " (text trace)"
+		for _, v := range trace.Check(entries) {
+			problems = append(problems, v.String())
+		}
+		return len(entries), what, problems, nil
 	}
 }
 

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eventopt/internal/bench"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/trace"
+)
+
+func writeTrace(t *testing.T, name string, entries []trace.Entry, binary bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary {
+		err = trace.WriteBinary(f, entries)
+	} else {
+		_, err = trace.WriteEntries(f, entries)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckGoldenSecCommTrace(t *testing.T) {
+	entries, _, err := bench.SecCommWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seccomm workload produced no trace")
+	}
+	for _, binary := range []bool{false, true} {
+		path := writeTrace(t, "golden", entries, binary)
+		n, _, problems, err := checkFile(path)
+		if err != nil {
+			t.Fatalf("checkFile(binary=%v): %v", binary, err)
+		}
+		if len(problems) != 0 {
+			t.Errorf("golden trace (binary=%v) has violations: %v", binary, problems)
+		}
+		if n != len(entries) {
+			t.Errorf("checked %d records, wrote %d", n, len(entries))
+		}
+	}
+}
+
+func TestCheckRejectsCorruptedTrace(t *testing.T) {
+	entries, _, err := bench.SecCommWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-corrupt the trace: drop the first HandlerExit, leaving its
+	// frame open forever — the checker must flag the imbalance.
+	exit := -1
+	for i, e := range entries {
+		if e.Kind == trace.HandlerExit {
+			exit = i
+			break
+		}
+	}
+	if exit < 0 {
+		t.Fatal("workload trace has no handler exits")
+	}
+	corrupted := append(append([]trace.Entry(nil), entries[:exit]...), entries[exit+1:]...)
+	path := writeTrace(t, "corrupt", corrupted, true)
+	_, _, problems, err := checkFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) == 0 {
+		t.Fatal("corrupted trace passed the checker")
+	}
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "nest-balance") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations lack nest-balance: %v", problems)
+	}
+}
+
+func TestCheckFlightDump(t *testing.T) {
+	dump := telemetry.FlightDump{
+		Reason: "quarantine: E/h",
+		Domain: 1,
+		Seq:    1,
+		Records: []telemetry.FlightRecord{
+			{Seq: 10, Event: 3, Name: "E", Domain: 1, Outcome: telemetry.OutcomeOK, Duration: 5, End: 100},
+			{Seq: 11, Event: 3, Name: "E", Domain: 1, Outcome: telemetry.OutcomeFault, Cause: "boom", Duration: 7, End: 130},
+		},
+	}
+	write := func(d telemetry.FlightDump) string {
+		path := filepath.Join(t.TempDir(), "dump.json")
+		data, err := json.Marshal(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	n, _, problems, err := checkFile(write(dump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 || n != 2 {
+		t.Errorf("valid dump: n=%d problems=%v", n, problems)
+	}
+
+	// Corrupt it three ways: regressed seq, fault without cause, record
+	// from the wrong domain.
+	bad := dump
+	bad.Records = append([]telemetry.FlightRecord(nil), dump.Records...)
+	bad.Records[1].Seq = 9
+	bad.Records[1].Cause = ""
+	bad.Records[1].Domain = 0
+	_, _, problems, err = checkFile(write(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Errorf("corrupted dump: problems = %v, want 3", problems)
+	}
+}
+
+func TestWorkloadEntriesUnknown(t *testing.T) {
+	if _, err := workloadEntries("no-such-workload"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	entries, err := workloadEntries("seccomm")
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("seccomm workload: %d entries, err %v", len(entries), err)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"eventopt/internal/event"
 	"eventopt/internal/faultinject"
+	"eventopt/internal/testutil"
 )
 
 // TestAdaptiveChurnHammer races the controller's promote/demote/replace
@@ -57,12 +58,10 @@ func TestAdaptiveChurnHammer(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	const (
-		raisers   = 6
-		perRaiser = 400
-		churns    = 150
-		ticks     = 250
-	)
+	const raisers = 6
+	perRaiser := testutil.ScaleN(400)
+	churns := testutil.ScaleN(150)
+	ticks := testutil.ScaleN(250)
 	var wg sync.WaitGroup
 
 	// The controller churns installs in its own goroutine the whole time.

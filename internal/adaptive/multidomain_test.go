@@ -1,0 +1,172 @@
+package adaptive
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/faultinject"
+)
+
+// TestTwoDomainDeadLetterQuarantineDeopt walks the full degradation
+// ladder across two domains at once: an adaptive install in domain 0
+// faults and auto-deoptimizes while domain 1's install keeps running; a
+// persistently failing binding in domain 0 is retried (replaying its
+// whole activation), quarantined, and finally dead-lettered into domain
+// 1; the retry that lands after the quarantine trips completes cleanly
+// because dispatch skips the quarantined binding. All fault accounting
+// must stay attributed to domain 0, and the controller must re-promote
+// the deoptimized entry after its cooldown.
+func TestTwoDomainDeadLetterQuarantineDeopt(t *testing.T) {
+	const site = "chaos-d0"
+	inj := faultinject.New(faultinject.SeedFromEnv(5))
+
+	vc := event.NewVirtualClock()
+	s := event.New(
+		event.WithTelemetry(everyEdge()),
+		event.WithDomains(2),
+		event.WithClock(vc),
+		event.WithFaultConfig(event.FaultConfig{
+			Policy: event.Quarantine, FailureThreshold: 2, Backoff: event.Duration(50e6),
+		}),
+		event.WithRetryConfig(event.RetryConfig{
+			MaxAttempts: 2, Backoff: event.Duration(1e6), DeadLetter: "dead",
+		}),
+	)
+	hotA := s.Define("hotA")
+	flaky := s.Define("flaky")
+	hotB := s.Define("hotB")
+	dead := s.Define("dead")
+	for ev, dom := range map[event.ID]int{hotA: 0, flaky: 0, hotB: 1, dead: 1} {
+		if err := s.PinEvent(ev, dom); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var okA, okB, flakyKeep atomic.Int64
+	s.Bind(hotA, "ok", func(*event.Ctx) { okA.Add(1) }, event.WithOrder(1))
+	s.Bind(hotA, "work", inj.Handler(site, func(*event.Ctx) {}), event.WithOrder(2))
+	s.Bind(hotB, "ok", func(*event.Ctx) { okB.Add(1) }, event.WithOrder(1))
+	s.Bind(hotB, "fin", func(*event.Ctx) {}, event.WithOrder(2))
+	s.Bind(flaky, "keep", func(*event.Ctx) { flakyKeep.Add(1) }, event.WithOrder(-1))
+	s.Bind(flaky, "boom", func(*event.Ctx) { panic("always") }, event.WithOrder(1))
+	var deadGot []string
+	var deadDomain int
+	s.Bind(dead, "capture", func(c *event.Ctx) {
+		deadGot = append(deadGot, c.Args.String("event"))
+		deadDomain = c.Domain()
+	})
+
+	c, err := New(s, nil, Policy{
+		PromoteThreshold: 20, MinGainNs: -1,
+		CooldownTicks: 1, DeoptCooldownTicks: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both domains promote independently.
+	hammer(s, hotA, 100)
+	hammer(s, hotB, 100)
+	c.Tick()
+	if s.FastPath(hotA) == nil || s.FastPath(hotB) == nil {
+		t.Fatalf("not promoted: FastPath(hotA)=%v FastPath(hotB)=%v",
+			s.FastPath(hotA) != nil, s.FastPath(hotB) != nil)
+	}
+
+	// A fault inside domain 0's optimized chain deoptimizes that entry
+	// alone; the activation replays generically (at-least-once).
+	okBefore := okA.Load()
+	inj.FailOnCall(site, inj.Calls(site)+1)
+	hammer(s, hotA, 1)
+	if s.FastPath(hotA) != nil {
+		t.Fatal("faulting install in domain 0 not auto-deoptimized")
+	}
+	if s.FastPath(hotB) == nil {
+		t.Fatal("deopt in domain 0 tore down domain 1's install")
+	}
+	if got := s.Stats().Deopts.Load(); got != 1 {
+		t.Fatalf("Deopts = %d, want 1", got)
+	}
+	if okA.Load() <= okBefore {
+		t.Error("deopt replay dropped the stable handler's run")
+	}
+	retriesAfterDeopt := s.Stats().Retries.Load()
+
+	// One async raise of the always-failing binding drives the whole
+	// ladder: attempt 1 faults and is retried; the retry replays the full
+	// activation, faults again, trips the breaker, and exhausts the
+	// budget, dead-lettering into domain 1. DrainFor stops short of the
+	// 50ms re-admission window so the quarantine is still observable.
+	s.RaiseAsync(flaky, event.A("job", 7))
+	s.DrainFor(vc.Now() + event.Duration(10e6))
+
+	if got := flakyKeep.Load(); got != 2 {
+		t.Errorf("keep handler ran %d times, want 2 (both attempts replay it)", got)
+	}
+	if got := s.Stats().Retries.Load() - retriesAfterDeopt; got != 1 {
+		t.Errorf("flaky activation retried %d times, want 1", got)
+	}
+	if got := s.Stats().DeadLetters.Load(); got != 1 {
+		t.Errorf("DeadLetters = %d, want 1", got)
+	}
+	if len(deadGot) != 1 || deadGot[0] != "flaky" {
+		t.Fatalf("dead-letter events = %v, want [flaky]", deadGot)
+	}
+	if deadDomain != 1 {
+		t.Errorf("dead-letter handler ran in domain %d, want 1", deadDomain)
+	}
+	if !s.IsQuarantined(flaky, "boom") {
+		t.Error("boom not quarantined after two failures")
+	}
+	if got := s.DomainQuarantineCount(0); got != 1 {
+		t.Errorf("DomainQuarantineCount(0) = %d, want 1", got)
+	}
+	if got := s.DomainQuarantineCount(1); got != 0 {
+		t.Errorf("DomainQuarantineCount(1) = %d, want 0 (fault leaked across domains)", got)
+	}
+
+	// Draining through the window re-admits the binding half-open.
+	s.Drain()
+	if got := s.Stats().Reinstates.Load(); got != 1 {
+		t.Errorf("Reinstates = %d, want 1", got)
+	}
+	if s.QuarantineCount() != 0 {
+		t.Error("quarantine survived its backoff window")
+	}
+
+	// Half-open: the very next fault re-trips, and this time the retry
+	// lands while the binding is quarantined — the replay skips it and
+	// completes cleanly, so no second dead-letter is cut.
+	s.RaiseAsync(flaky)
+	s.DrainFor(vc.Now() + event.Duration(10e6))
+	if got := s.Stats().Quarantines.Load(); got != 2 {
+		t.Errorf("Quarantines = %d, want 2 (half-open re-trip)", got)
+	}
+	if got := s.Stats().DeadLetters.Load(); got != 1 {
+		t.Errorf("DeadLetters after quarantined retry = %d, want still 1", got)
+	}
+
+	// The controller reaps domain 0's eviction, honors the cooldown, and
+	// re-promotes; domain 1 keeps its own traffic, so its install stays.
+	hammer(s, hotA, 100)
+	hammer(s, hotB, 100)
+	c.Tick() // reap the deopt; cooldown bars this tick
+	if snap := c.Snapshot(); snap.Deopts != 1 {
+		t.Fatalf("controller Deopts = %d, want 1", snap.Deopts)
+	}
+	hammer(s, hotA, 100)
+	hammer(s, hotB, 100)
+	c.Tick()
+	if s.FastPath(hotA) == nil {
+		t.Fatal("domain 0 never re-promoted after the deopt cooldown")
+	}
+	if s.FastPath(hotB) == nil {
+		t.Fatal("domain 1's install lost during domain 0's recovery")
+	}
+	okBBefore := okB.Load()
+	hammer(s, hotB, 1)
+	if okB.Load() != okBBefore+1 {
+		t.Error("domain 1 not functional after domain 0's ladder")
+	}
+}

@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"fmt"
+
+	"eventopt/internal/seccomm"
+	"eventopt/internal/trace"
+)
+
+// SecCommWorkload runs the SecComm push and pop portions under full
+// instrumentation (handler profiling on) and returns the trace together
+// with the endpoint, mirroring Fig5Workload for the paper's other
+// application. The packet fed to the pop side is produced by the same
+// endpoint, so ciphertexts round-trip.
+func SecCommWorkload() ([]trace.Entry, *seccomm.Endpoint, error) {
+	e, _, err := secCommPair(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	msg := make([]byte, 256)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	var pkt []byte
+	e.OnSend(func(p []byte) { pkt = append([]byte(nil), p...) })
+	e.Push(msg)
+	if pkt == nil {
+		return nil, nil, fmt.Errorf("bench: seccomm push produced no packet")
+	}
+
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	e.Sys.SetTracer(rec)
+	for i := 0; i < 100; i++ {
+		e.Push(msg)
+		e.HandlePacket(pkt)
+	}
+	e.Sys.SetTracer(nil)
+	e.OnSend(nil)
+	return rec.Entries(), e, nil
+}

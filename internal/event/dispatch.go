@@ -122,6 +122,9 @@ func (s *System) dispatchCore(d *Domain, ev ID, mode Mode, args []Arg, depth int
 		if s.policy() == Propagate {
 			if fast.run(d, mode, args, depth, tracer) {
 				d.stats.FastRuns.Add(1)
+				if h := s.sched; h != nil {
+					h.Sched(SchedFastEntry, d.idx, ev, fast.Segments[0].Version)
+				}
 				return nil
 			}
 			// Guard failed: drop back into the original unoptimized code
@@ -131,6 +134,9 @@ func (s *System) dispatchCore(d *Domain, ev ID, mode Mode, args []Arg, depth int
 			ran, faulted := d.runFastSupervised(fast, ev, snap.name, mode, args, depth, tracer)
 			if ran {
 				d.stats.FastRuns.Add(1)
+				if h := s.sched; h != nil {
+					h.Sched(SchedFastEntry, d.idx, ev, fast.Segments[0].Version)
+				}
 				return nil
 			}
 			if faulted {

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"eventopt/internal/testutil"
 )
 
 func TestDefaultSingleDomain(t *testing.T) {
@@ -117,7 +119,7 @@ func TestConcurrentRaiseAcrossDomains(t *testing.T) {
 	for _, ev := range evs {
 		s.Bind(ev, "h", func(*Ctx) { runs.Add(1) })
 	}
-	const perEvent = 500
+	perEvent := testutil.ScaleN(500)
 	var wg sync.WaitGroup
 	for _, ev := range evs {
 		wg.Add(1)
@@ -158,11 +160,9 @@ func TestConcurrentBindRaiseHammer(t *testing.T) {
 		s.Bind(ev, "keep", func(*Ctx) { permanent.Add(1) }, WithOrder(-1))
 	}
 
-	const (
-		raisers   = 8
-		perRaiser = 300
-		churns    = 200
-	)
+	const raisers = 8
+	perRaiser := testutil.ScaleN(300)
+	churns := testutil.ScaleN(200)
 	var wg sync.WaitGroup
 
 	// Churner goroutines: bind/unbind an extra handler and install/remove

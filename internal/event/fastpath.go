@@ -132,9 +132,18 @@ func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) 
 		sh.recs[i] = sr
 	}
 	if cas {
-		return r.fast.CompareAndSwap(old, sh), nil
+		swapped := r.fast.CompareAndSwap(old, sh)
+		if swapped {
+			if h := s.sched; h != nil {
+				h.Sched(SchedInstall, int(r.dom.Load()), sh.Entry, sh.Segments[0].Version)
+			}
+		}
+		return swapped, nil
 	}
 	r.fast.Store(sh)
+	if h := s.sched; h != nil {
+		h.Sched(SchedInstall, int(r.dom.Load()), sh.Entry, sh.Segments[0].Version)
+	}
 	return true, nil
 }
 
@@ -142,6 +151,9 @@ func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) 
 func (s *System) RemoveFastPath(ev ID) {
 	if r := s.recLF(ev); r != nil {
 		r.fast.Store(nil)
+		if h := s.sched; h != nil {
+			h.Sched(SchedRemove, int(r.dom.Load()), ev, 0)
+		}
 	}
 }
 
@@ -151,7 +163,13 @@ func (s *System) RemoveFastPath(ev ID) {
 // super-handler installed after sh was auto-deoptimized.
 func (s *System) RemoveFastPathIf(sh *SuperHandler) bool {
 	r := s.recLF(sh.Entry)
-	return r != nil && r.fast.CompareAndSwap(sh, nil)
+	if r == nil || !r.fast.CompareAndSwap(sh, nil) {
+		return false
+	}
+	if h := s.sched; h != nil {
+		h.Sched(SchedRemove, int(r.dom.Load()), sh.Entry, 0)
+	}
+	return true
 }
 
 // deoptimize atomically uninstalls a super-handler whose optimized code
@@ -164,6 +182,9 @@ func (s *System) deoptimize(d *Domain, sh *SuperHandler) {
 		return
 	}
 	d.stats.Deopts.Add(1)
+	if h := s.sched; h != nil {
+		h.Sched(SchedRemove, d.idx, sh.Entry, 0)
+	}
 	if sh.OnDeopt != nil {
 		sh.OnDeopt(sh)
 	}

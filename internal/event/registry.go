@@ -185,6 +185,9 @@ func (s *System) Delete(ev ID) error {
 	delete(s.byName, r.name)
 	s.publishNamesLocked()
 	r.fast.Store(nil)
+	if h := s.sched; h != nil {
+		h.Sched(SchedPublish, int(r.dom.Load()), ev, r.ver.Load())
+	}
 	return nil
 }
 
@@ -221,6 +224,9 @@ func (s *System) Bind(ev ID, name string, fn HandlerFunc, opts ...BindOption) Bi
 		return r.handlers[i].seq < r.handlers[j].seq
 	})
 	r.publish(true)
+	if h := s.sched; h != nil {
+		h.Sched(SchedPublish, int(r.dom.Load()), ev, r.ver.Load())
+	}
 	return Binding{ev: ev, seq: b.seq}
 }
 
@@ -237,6 +243,9 @@ func (s *System) Unbind(b Binding) error {
 		if h.seq == b.seq {
 			r.handlers = append(r.handlers[:i], r.handlers[i+1:]...)
 			r.publish(true)
+			if hk := s.sched; hk != nil {
+				hk.Sched(SchedPublish, int(r.dom.Load()), b.ev, r.ver.Load())
+			}
 			return nil
 		}
 	}

@@ -200,6 +200,9 @@ func (d *Domain) enqueueAct(a *activation) {
 			d.q.push(a)
 			d.qmu.Unlock()
 			d.sys.putAct(old)
+			if h := d.sys.sched; h != nil {
+				h.Sched(SchedEnqueue, d.idx, a.ev, 0)
+			}
 			d.nudge()
 		case DropNewest:
 			d.qmu.Unlock()
@@ -213,6 +216,9 @@ func (d *Domain) enqueueAct(a *activation) {
 	}
 	d.q.push(a)
 	d.qmu.Unlock()
+	if h := d.sys.sched; h != nil {
+		h.Sched(SchedEnqueue, d.idx, a.ev, 0)
+	}
 	d.nudge()
 }
 
@@ -281,10 +287,7 @@ func (d *Domain) popRunnable() *activation {
 		e.mu.Lock()
 		if e.done {
 			e.mu.Unlock()
-			heap.Pop(&d.timers)
-			if d.canceled > 0 {
-				d.canceled--
-			}
+			d.dropDoneTimerLocked()
 			continue
 		}
 		if e.at <= now {
@@ -299,18 +302,35 @@ func (d *Domain) popRunnable() *activation {
 				// A timer's queue delay is the time past its deadline.
 				tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-e.at))
 			}
+			if h := d.sys.sched; h != nil {
+				h.Sched(SchedTimerFire, d.idx, a.ev, 0)
+			}
 			return a
 		}
 		e.mu.Unlock()
 		break
 	}
 	a := d.q.pop()
-	if a != nil && a.enqSet {
-		if tel := d.sys.tel; tel != nil {
-			tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-a.enqAt))
+	if a != nil {
+		if a.enqSet {
+			if tel := d.sys.tel; tel != nil {
+				tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-a.enqAt))
+			}
+		}
+		if h := d.sys.sched; h != nil {
+			h.Sched(SchedPop, d.idx, a.ev, 0)
 		}
 	}
 	return a
+}
+
+// dropDoneTimerLocked pops the (done) heap top and credits the
+// compaction counter. Caller holds qmu.
+func (d *Domain) dropDoneTimerLocked() {
+	heap.Pop(&d.timers)
+	if d.canceled > 0 {
+		d.canceled--
+	}
 }
 
 // nextDeadline returns the deadline of the earliest live timer of this
@@ -325,10 +345,7 @@ func (d *Domain) nextDeadline() (Duration, bool) {
 		at := e.at
 		e.mu.Unlock()
 		if done {
-			heap.Pop(&d.timers)
-			if d.canceled > 0 {
-				d.canceled--
-			}
+			d.dropDoneTimerLocked()
 			continue
 		}
 		return at, true

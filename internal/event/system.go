@@ -208,6 +208,7 @@ type System struct {
 	domains []*Domain
 
 	clock   Clock
+	sched   SchedHook // scheduling observer seam; nil in production
 	trc     atomic.Pointer[tracerRef]
 	fault   faultShared // shared supervision config (fault.go)
 	haltErr func(error) // reporter for raise errors on async paths

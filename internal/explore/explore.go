@@ -1,0 +1,736 @@
+// Package explore is a DPOR-lite stateless model checker for the event
+// runtime: it takes control of every scheduling decision of a
+// multi-domain System — which thread issues its next operation, which
+// domain pops its next activation, when the virtual clock advances to
+// the next timer deadline — and enumerates interleavings of small
+// seeded workloads. For every complete schedule it asserts that the
+// optimized execution is indistinguishable from the generic one
+// (per-domain event sequences, a stats projection, and the scenario's
+// observable outcome), and that both executions satisfy the trace
+// consistency rules (trace.Check) and the scheduling happens-before
+// rules (trace.CheckSched).
+//
+// The state space is pruned two ways, both optional:
+//
+//   - Sleep sets over a conservative static independence relation:
+//     operations whose declared footprints (domains touched, registry
+//     use) are disjoint commute, so only one order is explored.
+//   - Bounded preemption: a schedule may switch away from a runner that
+//     is still enabled at most PreemptionBound times; within the budget
+//     exploration is exhaustive, beyond it the previous runner
+//     continues (the classic bounded-search fallback).
+//
+// Exploration is stateless: backtracking re-executes the schedule
+// prefix on a fresh instance, so scenarios must build deterministically
+// (fixed seeds, virtual clocks).
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"time"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// ChoiceKind discriminates scheduling choices.
+type ChoiceKind uint8
+
+const (
+	// OpChoice runs the next operation of thread Idx.
+	OpChoice ChoiceKind = iota
+	// StepChoice runs one activation of domain Idx.
+	StepChoice
+	// ClockChoice advances the virtual clock to the next timer deadline.
+	// It is enabled only when no domain has runnable work.
+	ClockChoice
+)
+
+// Choice is one scheduling decision.
+type Choice struct {
+	Kind ChoiceKind
+	Idx  int
+}
+
+func (c Choice) String() string {
+	switch c.Kind {
+	case OpChoice:
+		return fmt.Sprintf("op:%d", c.Idx)
+	case StepChoice:
+		return fmt.Sprintf("step:%d", c.Idx)
+	case ClockChoice:
+		return "clock"
+	default:
+		return fmt.Sprintf("Choice(%d,%d)", c.Kind, c.Idx)
+	}
+}
+
+// FormatSchedule renders a schedule compactly for failure reports.
+func FormatSchedule(s []Choice) string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Footprint is the static may-touch set of an operation, used for the
+// independence relation: two choices are independent when neither
+// touches the registry and their domain masks are disjoint. The zero
+// value means "touches everything" (always dependent) — the safe
+// default for operations that were not annotated.
+type Footprint struct {
+	Doms uint64 // bitmask of event domains the operation may touch
+	Reg  bool   // may mutate the registry (bind/unbind/install/remove)
+}
+
+// TouchAll is the maximally conservative footprint.
+var TouchAll = Footprint{Doms: ^uint64(0), Reg: true}
+
+// Dom returns a footprint touching exactly the given domains.
+func Dom(doms ...int) Footprint {
+	var f Footprint
+	for _, d := range doms {
+		f.Doms |= 1 << uint(d)
+	}
+	return f
+}
+
+func (f Footprint) orZero() Footprint {
+	if f.Doms == 0 && !f.Reg {
+		return TouchAll
+	}
+	return f
+}
+
+func independent(a, b Footprint) bool {
+	if a.Reg || b.Reg {
+		return false
+	}
+	return a.Doms&b.Doms == 0
+}
+
+// Op is one schedulable operation of a scenario thread.
+type Op struct {
+	Name string
+	Run  func(*Instance)
+	// FP declares what the operation may touch; the zero value is
+	// conservative (dependent with everything).
+	FP Footprint
+}
+
+// Thread is an ordered operation sequence; the explorer interleaves
+// threads at operation granularity.
+type Thread struct {
+	Name string
+	Ops  []Op
+}
+
+// Instance is one built copy of a scenario, optimized or generic.
+type Instance struct {
+	Sys     *event.System
+	Clock   *event.VirtualClock
+	Threads []Thread
+	// Observe returns the application-visible outcome (delivered
+	// payloads, dead-letter sets, app counters); compared with
+	// reflect.DeepEqual across the optimized and generic runs.
+	Observe func() any
+
+	next []int // per-thread program counter
+}
+
+// Scenario describes one explorable workload.
+type Scenario struct {
+	Name string
+	// Build constructs a fresh deterministic instance. optimized selects
+	// the variant; hook, when non-nil, must be installed on the System
+	// (event.WithSchedHook) so the explorer can validate the scheduling
+	// log. Build runs once per explored schedule — keep it fast and
+	// cache anything expensive (profiles) across calls.
+	Build func(optimized bool, hook event.SchedHook) (*Instance, error)
+	// Horizon bounds virtual time: the clock never advances past it, so
+	// scenarios with self-rearming timers terminate. 0 means run all
+	// timers to quiescence.
+	Horizon event.Duration
+	// StepFP returns the footprint of one scheduler step of a domain.
+	// nil means conservative (every step dependent with everything).
+	StepFP func(dom int) Footprint
+	// CompareStats projects a stats snapshot to the fields that must
+	// match between optimized and generic runs. nil selects the default
+	// projection: activation counts, retries, dead-letters and queue
+	// drops (dispatch-route and fault-bookkeeping counters necessarily
+	// differ between the two variants).
+	CompareStats func(event.StatsSnapshot) any
+	// SkipSchedCheck disables the trace.CheckSched validation — only
+	// for scenarios that deliberately violate the install rules (the
+	// seeded-bug sensitivity test).
+	SkipSchedCheck bool
+}
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxSchedules caps complete schedules (default 2000).
+	MaxSchedules int
+	// MaxSteps caps choices per schedule (default 2000); schedules cut
+	// by the cap count as Truncated and skip the equivalence check.
+	MaxSteps int
+	// PreemptionBound caps switches away from a still-enabled runner
+	// per schedule; negative means unbounded (the default).
+	PreemptionBound int
+	// Timeout caps wall-clock time; 0 means none.
+	Timeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSchedules <= 0 {
+		o.MaxSchedules = 2000
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2000
+	}
+	return o
+}
+
+// Failure is one schedule on which optimized and generic executions
+// diverged (or a consistency rule failed).
+type Failure struct {
+	Schedule []Choice
+	Seed     int64 // random-walk seed that produced it (0 for DFS)
+	Reason   string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s\n  schedule: %s", f.Reason, FormatSchedule(f.Schedule))
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Scenario  string
+	Schedules int // complete schedules explored and checked
+	Truncated int // schedules cut by MaxSteps (unchecked)
+	Pruned    int // alternatives skipped by sleep sets
+	HitCap    bool
+	Failures  []Failure
+}
+
+// sleeper is one sleep-set member with the footprint it had when added.
+type sleeper struct {
+	c  Choice
+	fp Footprint
+}
+
+// decision records one scheduling decision point of an executed run.
+type decision struct {
+	choice  Choice
+	enabled []Choice
+	fps     []Footprint
+	sleep   []sleeper // sleep set at this state (branch suffix only)
+	preempt int       // preemptions spent before this decision
+	prev    Choice    // previous runner (thread/domain); Idx<0 when none
+}
+
+// pending is one unexplored DFS branch: a schedule prefix plus the
+// sleep set of the state the prefix leads to.
+type pending struct {
+	prefix []Choice
+	sleep  []sleeper
+}
+
+type runOutcome uint8
+
+const (
+	runCompleted runOutcome = iota
+	runTruncated
+	runSleepBlocked
+)
+
+// runData is the full record of one executed optimized run.
+type runData struct {
+	outcome   runOutcome
+	decisions []decision
+	inst      *Instance
+	rec       *trace.Recorder
+	sched     *trace.SchedRecorder
+}
+
+func (r *runData) schedule() []Choice {
+	out := make([]Choice, len(r.decisions))
+	for i, d := range r.decisions {
+		out[i] = d.choice
+	}
+	return out
+}
+
+// enabled computes the enabled choices of the current state.
+func (sc *Scenario) enabled(inst *Instance) ([]Choice, []Footprint) {
+	var cs []Choice
+	var fps []Footprint
+	for t := range inst.Threads {
+		if inst.next[t] < len(inst.Threads[t].Ops) {
+			cs = append(cs, Choice{OpChoice, t})
+			fps = append(fps, inst.Threads[t].Ops[inst.next[t]].FP.orZero())
+		}
+	}
+	anyRunnable := false
+	for d := 0; d < inst.Sys.NumDomains(); d++ {
+		if inst.Sys.DomainRunnable(d) {
+			anyRunnable = true
+			cs = append(cs, Choice{StepChoice, d})
+			if sc.StepFP != nil {
+				fps = append(fps, sc.StepFP(d).orZero())
+			} else {
+				fps = append(fps, TouchAll)
+			}
+		}
+	}
+	if !anyRunnable {
+		if at, ok := inst.Sys.NextDeadline(); ok && (sc.Horizon == 0 || at <= sc.Horizon) {
+			cs = append(cs, Choice{ClockChoice, 0})
+			fps = append(fps, TouchAll)
+		}
+	}
+	return cs, fps
+}
+
+// execute applies one choice to the instance.
+func execute(inst *Instance, c Choice) {
+	switch c.Kind {
+	case OpChoice:
+		op := inst.Threads[c.Idx].Ops[inst.next[c.Idx]]
+		inst.next[c.Idx]++
+		op.Run(inst)
+	case StepChoice:
+		inst.Sys.StepDomain(c.Idx)
+	case ClockChoice:
+		if at, ok := inst.Sys.NextDeadline(); ok {
+			if delta := at - inst.Clock.Now(); delta > 0 {
+				inst.Clock.Advance(delta)
+			}
+		}
+	}
+}
+
+func indexOf(cs []Choice, c Choice) int {
+	for i, x := range cs {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func inSleep(sleep []sleeper, c Choice) bool {
+	for _, s := range sleep {
+		if s.c == c {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeFiltered returns the sleep members independent of the executed
+// choice (dependent members "wake up" and leave the set).
+func wakeFiltered(sleep []sleeper, fp Footprint) []sleeper {
+	var out []sleeper
+	for _, s := range sleep {
+		if independent(s.fp, fp) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// isRunner reports whether the choice names a schedulable runner
+// (thread or domain) for preemption accounting.
+func isRunner(c Choice) bool { return c.Kind == OpChoice || c.Kind == StepChoice }
+
+// isPreemption reports whether picking next at a state counts against
+// the preemption budget: the previous runner is still enabled but a
+// different runner is chosen. Clock advances never count.
+func isPreemption(prev Choice, enabled []Choice, next Choice) bool {
+	if prev.Idx < 0 || !isRunner(next) || next == prev {
+		return false
+	}
+	return indexOf(enabled, prev) >= 0
+}
+
+// chooser picks the next choice at a free (post-prefix) decision.
+// Returning ok=false aborts the run as sleep-blocked.
+type chooser func(enabled []Choice, fps []Footprint, sleep []sleeper, prev Choice, preempt int) (Choice, bool)
+
+// dfsChooser is the default continuation policy: keep the previous
+// runner when allowed (it spends no preemption budget), otherwise the
+// first enabled choice outside the sleep set that respects the bound.
+func dfsChooser(bound int) chooser {
+	return func(enabled []Choice, fps []Footprint, sleep []sleeper, prev Choice, preempt int) (Choice, bool) {
+		if prev.Idx >= 0 && indexOf(enabled, prev) >= 0 && !inSleep(sleep, prev) {
+			return prev, true
+		}
+		for _, c := range enabled {
+			if inSleep(sleep, c) {
+				continue
+			}
+			if bound >= 0 && isPreemption(prev, enabled, c) && preempt >= bound {
+				continue
+			}
+			return c, true
+		}
+		// Everything enabled is asleep (redundant branch) or over budget:
+		// fall back to any enabled choice over budget rather than wedge —
+		// but if all are asleep, the branch is redundant and aborts.
+		for _, c := range enabled {
+			if !inSleep(sleep, c) {
+				return c, true
+			}
+		}
+		return Choice{}, false
+	}
+}
+
+// runOne builds a fresh optimized instance, replays the pending prefix
+// exactly, then continues with pick until the schedule completes (no
+// enabled choices), truncates (MaxSteps) or sleep-blocks.
+func runOne(sc *Scenario, p pending, opts Options, pick chooser) (*runData, error) {
+	sched := trace.NewSchedRecorder()
+	inst, err := sc.Build(true, sched)
+	if err != nil {
+		return nil, fmt.Errorf("explore: %s: build optimized: %w", sc.Name, err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	inst.Sys.SetTracer(rec)
+	inst.next = make([]int, len(inst.Threads))
+
+	rd := &runData{inst: inst, rec: rec, sched: sched}
+	prev := Choice{Idx: -1}
+	preempt := 0
+	sleep := p.sleep
+
+	for step := 0; ; step++ {
+		enabled, fps := sc.enabled(inst)
+		if len(enabled) == 0 {
+			rd.outcome = runCompleted
+			return rd, nil
+		}
+		if step >= opts.MaxSteps {
+			rd.outcome = runTruncated
+			return rd, nil
+		}
+		var c Choice
+		inPrefix := step < len(p.prefix)
+		if inPrefix {
+			c = p.prefix[step]
+			if indexOf(enabled, c) < 0 {
+				return nil, fmt.Errorf("explore: %s: replay divergence at step %d: %v not enabled in %v (scenario not deterministic?)",
+					sc.Name, step, c, enabled)
+			}
+		} else {
+			var ok bool
+			c, ok = pick(enabled, fps, sleep, prev, preempt)
+			if !ok {
+				rd.outcome = runSleepBlocked
+				return rd, nil
+			}
+		}
+		d := decision{choice: c, enabled: enabled, fps: fps, preempt: preempt, prev: prev}
+		if !inPrefix {
+			d.sleep = sleep
+		}
+		rd.decisions = append(rd.decisions, d)
+
+		if isPreemption(prev, enabled, c) {
+			preempt++
+		}
+		if isRunner(c) {
+			prev = c
+		}
+		cfp := d.fps[indexOf(enabled, c)]
+		if inPrefix {
+			// The prefix's final sleep set was computed when the branch was
+			// pushed; nothing to track until the free suffix starts.
+			if step == len(p.prefix)-1 {
+				sleep = p.sleep
+			}
+		} else {
+			sleep = wakeFiltered(sleep, cfp)
+		}
+		execute(inst, c)
+	}
+}
+
+// settle runs an instance to quiescence within the scenario horizon.
+func settle(sc *Scenario, inst *Instance) {
+	// Run any unconsumed thread operations first (tolerant-replay path).
+	for t := range inst.Threads {
+		for inst.next[t] < len(inst.Threads[t].Ops) {
+			op := inst.Threads[t].Ops[inst.next[t]]
+			inst.next[t]++
+			op.Run(inst)
+		}
+	}
+	if sc.Horizon > 0 {
+		inst.Sys.DrainFor(sc.Horizon)
+		return
+	}
+	inst.Sys.Drain()
+}
+
+// replayGeneric executes the recorded schedule on a fresh generic
+// instance, tolerantly: a choice that is not enabled there (a retry
+// timer that never armed, a step of an already-idle domain) is skipped.
+// The instance is then settled to quiescence.
+func replayGeneric(sc *Scenario, schedule []Choice) (*Instance, *trace.Recorder, error) {
+	inst, err := sc.Build(false, nil)
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: %s: build generic: %w", sc.Name, err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	inst.Sys.SetTracer(rec)
+	inst.next = make([]int, len(inst.Threads))
+	for _, c := range schedule {
+		switch c.Kind {
+		case OpChoice:
+			if c.Idx < len(inst.Threads) && inst.next[c.Idx] < len(inst.Threads[c.Idx].Ops) {
+				execute(inst, c)
+			}
+		case StepChoice:
+			if inst.Sys.DomainRunnable(c.Idx) {
+				execute(inst, c)
+			}
+		case ClockChoice:
+			if at, ok := inst.Sys.NextDeadline(); ok && (sc.Horizon == 0 || at <= sc.Horizon) {
+				if delta := at - inst.Clock.Now(); delta > 0 {
+					inst.Clock.Advance(delta)
+				}
+			}
+		}
+	}
+	settle(sc, inst)
+	return inst, rec, nil
+}
+
+// eventSeq projects the per-domain EventRaised sequences out of a trace.
+// Handler entries are excluded deliberately: fused super-handler bodies
+// and deopt replays change which handler names appear, but the event
+// activation sequence each domain executes must be identical.
+func eventSeq(entries []trace.Entry) map[int][]trace.Entry {
+	out := make(map[int][]trace.Entry)
+	for _, e := range entries {
+		if e.Kind != trace.EventRaised {
+			continue
+		}
+		out[e.Domain] = append(out[e.Domain], trace.Entry{
+			Kind: e.Kind, Event: e.Event, EventName: e.EventName,
+			Mode: e.Mode, Depth: e.Depth, Domain: e.Domain,
+		})
+	}
+	return out
+}
+
+// defaultStatsProj is the lax stats projection: counters whose values
+// the two dispatch routes must agree on. Route counters (Generic,
+// FastRuns, HandlersRun) and fault bookkeeping that the deopt-replay
+// path accounts differently (PanicsRecovered, Quarantines) are
+// excluded by design.
+func defaultStatsProj(s event.StatsSnapshot) any {
+	return struct {
+		Raises, Sync, Async, Timed       int64
+		Retries, DeadLetters, QueueDrops int64
+	}{s.Raises, s.SyncRaises, s.AsyncRaises, s.TimedRaises,
+		s.Retries, s.DeadLetters, s.QueueDrops}
+}
+
+// checkEquivalence runs the generic twin of a completed optimized run
+// and compares the two; it returns a failure description or "".
+func checkEquivalence(sc *Scenario, rd *runData) (string, error) {
+	if vs := trace.Check(rd.rec.Entries()); len(vs) > 0 {
+		return fmt.Sprintf("optimized trace inconsistent: %v", vs[0]), nil
+	}
+	if !sc.SkipSchedCheck {
+		if vs := trace.CheckSched(rd.sched.Events()); len(vs) > 0 {
+			return fmt.Sprintf("scheduling log inconsistent: %v", vs[0]), nil
+		}
+	}
+	schedule := rd.schedule()
+	gen, genRec, err := replayGeneric(sc, schedule)
+	if err != nil {
+		return "", err
+	}
+	if vs := trace.Check(genRec.Entries()); len(vs) > 0 {
+		return fmt.Sprintf("generic trace inconsistent: %v", vs[0]), nil
+	}
+
+	optSeq := eventSeq(rd.rec.Entries())
+	genSeq := eventSeq(genRec.Entries())
+	for dom, os := range optSeq {
+		gs := genSeq[dom]
+		if !reflect.DeepEqual(os, gs) {
+			return fmt.Sprintf("domain %d event sequences diverge: optimized %s vs generic %s",
+				dom, describeSeq(os), describeSeq(gs)), nil
+		}
+	}
+	for dom, gs := range genSeq {
+		if _, ok := optSeq[dom]; !ok && len(gs) > 0 {
+			return fmt.Sprintf("domain %d raised events only generically: %s", dom, describeSeq(gs)), nil
+		}
+	}
+
+	proj := sc.CompareStats
+	if proj == nil {
+		proj = defaultStatsProj
+	}
+	optStats := proj(rd.inst.Sys.StatsAggregate())
+	genStats := proj(gen.Sys.StatsAggregate())
+	if !reflect.DeepEqual(optStats, genStats) {
+		return fmt.Sprintf("stats diverge: optimized %+v vs generic %+v", optStats, genStats), nil
+	}
+
+	if rd.inst.Observe != nil && gen.Observe != nil {
+		oo, og := rd.inst.Observe(), gen.Observe()
+		if !reflect.DeepEqual(oo, og) {
+			return fmt.Sprintf("observations diverge: optimized %+v vs generic %+v", oo, og), nil
+		}
+	}
+	return "", nil
+}
+
+func describeSeq(es []trace.Entry) string {
+	if len(es) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, 0, len(es))
+	for i, e := range es {
+		if i >= 12 {
+			parts = append(parts, fmt.Sprintf("…+%d", len(es)-i))
+			break
+		}
+		parts = append(parts, fmt.Sprintf("%s@%d", e.EventName, e.Depth))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Explore enumerates schedules of the scenario depth-first and checks
+// optimized ≡ generic on every complete one.
+func Explore(sc Scenario, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{Scenario: sc.Name}
+	var deadline time.Time
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	pick := dfsChooser(opts.PreemptionBound)
+	stack := []pending{{}}
+
+	for len(stack) > 0 {
+		if res.Schedules >= opts.MaxSchedules {
+			res.HitCap = true
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			res.HitCap = true
+			break
+		}
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		rd, err := runOne(&sc, p, opts, pick)
+		if err != nil {
+			return res, err
+		}
+		if rd.outcome == runSleepBlocked {
+			res.Pruned++
+			continue
+		}
+		if rd.outcome == runTruncated {
+			res.Truncated++
+		} else {
+			res.Schedules++
+			reason, err := checkEquivalence(&sc, rd)
+			if err != nil {
+				return res, err
+			}
+			if reason != "" {
+				res.Failures = append(res.Failures, Failure{Schedule: rd.schedule(), Reason: reason})
+			}
+		}
+
+		// Branch: push every admissible alternative of every free
+		// decision of the executed suffix, deepest last so the DFS stays
+		// depth-first (LIFO stack).
+		schedule := rd.schedule()
+		for i := len(p.prefix); i < len(rd.decisions); i++ {
+			d := rd.decisions[i]
+			ci := indexOf(d.enabled, d.choice)
+			priors := []sleeper{{d.choice, d.fps[ci]}}
+			for j, a := range d.enabled {
+				if a == d.choice {
+					continue
+				}
+				if inSleep(d.sleep, a) {
+					res.Pruned++
+					continue
+				}
+				if opts.PreemptionBound >= 0 && isPreemption(d.prev, d.enabled, a) && d.preempt >= opts.PreemptionBound {
+					continue
+				}
+				childSleep := wakeFiltered(append(append([]sleeper{}, d.sleep...), priors...), d.fps[j])
+				prefix := make([]Choice, i+1)
+				copy(prefix, schedule[:i])
+				prefix[i] = a
+				stack = append(stack, pending{prefix: prefix, sleep: childSleep})
+				priors = append(priors, sleeper{a, d.fps[j]})
+			}
+		}
+	}
+	return res, nil
+}
+
+// RandomWalk samples n schedules uniformly at random from the seeded
+// source and checks optimized ≡ generic on each; failures carry the
+// seed so they replay exactly (run RandomWalk again with the same seed,
+// or ReplaySchedule with the reported schedule).
+func RandomWalk(sc Scenario, opts Options, seed int64, n int) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{Scenario: sc.Name}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pick := func(enabled []Choice, fps []Footprint, sleep []sleeper, prev Choice, preempt int) (Choice, bool) {
+			return enabled[rng.Intn(len(enabled))], true
+		}
+		rd, err := runOne(&sc, pending{}, opts, pick)
+		if err != nil {
+			return res, err
+		}
+		if rd.outcome == runTruncated {
+			res.Truncated++
+			continue
+		}
+		res.Schedules++
+		reason, err := checkEquivalence(&sc, rd)
+		if err != nil {
+			return res, err
+		}
+		if reason != "" {
+			res.Failures = append(res.Failures, Failure{Schedule: rd.schedule(), Seed: seed, Reason: reason})
+		}
+	}
+	return res, nil
+}
+
+// ReplaySchedule re-executes one recorded schedule (from a Failure) and
+// returns the failure reason, or "" if the run now passes.
+func ReplaySchedule(sc Scenario, schedule []Choice) (string, error) {
+	opts := Options{}.withDefaults()
+	rd, err := runOne(&sc, pending{prefix: schedule}, opts, dfsChooser(-1))
+	if err != nil {
+		return "", err
+	}
+	if rd.outcome != runCompleted {
+		return fmt.Sprintf("replay did not complete (outcome %d)", rd.outcome), nil
+	}
+	return checkEquivalence(&sc, rd)
+}

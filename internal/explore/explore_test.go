@@ -1,0 +1,198 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// failReport renders the first few failures of a result for t.Fatalf.
+func failReport(r Result) string {
+	var b strings.Builder
+	for i, f := range r.Failures {
+		if i >= 3 {
+			b.WriteString("…\n")
+			break
+		}
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// boundedOpts is the CI exploration mode of the ISSUE: preemption bound
+// 2 with a schedule cap and a per-scenario time cap.
+func boundedOpts(maxSchedules int) Options {
+	return Options{
+		MaxSchedules:    maxSchedules,
+		PreemptionBound: 2,
+		Timeout:         90 * time.Second,
+	}
+}
+
+func exploreScenario(t *testing.T, sc Scenario, opts Options, wantSchedules int) Result {
+	t.Helper()
+	res, err := Explore(sc, opts)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	t.Logf("%s: %d schedules (%d truncated, %d pruned, cap=%v)",
+		sc.Name, res.Schedules, res.Truncated, res.Pruned, res.HitCap)
+	if len(res.Failures) > 0 {
+		t.Fatalf("%s: %d failing schedules:\n%s", sc.Name, len(res.Failures), failReport(res))
+	}
+	if res.Schedules < wantSchedules {
+		t.Fatalf("%s: explored %d schedules, want >= %d", sc.Name, res.Schedules, wantSchedules)
+	}
+	return res
+}
+
+func TestExploreSeccomm(t *testing.T) {
+	sc, err := SeccommScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exploreScenario(t, sc, boundedOpts(1200), 1000)
+}
+
+func TestExploreVideoPlayer(t *testing.T) {
+	sc, err := VideoPlayerScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exploreScenario(t, sc, boundedOpts(1200), 1000)
+}
+
+func TestExploreRebindChurn(t *testing.T) {
+	exploreScenario(t, RebindChurnScenario(), boundedOpts(1200), 1000)
+}
+
+func TestExploreQuarantineLadder(t *testing.T) {
+	exploreScenario(t, QuarantineLadderScenario(), boundedOpts(1200), 1000)
+}
+
+// TestExploreFindsSeededBug is the harness sensitivity check: a
+// deliberately stale super-handler body must produce failing schedules
+// (raise after install) AND passing ones (raises drained first), and a
+// reported failure must replay.
+func TestExploreFindsSeededBug(t *testing.T) {
+	sc := SeededBugScenario()
+	res, err := Explore(sc, Options{MaxSchedules: 400, PreemptionBound: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("seeded-bug: %d schedules, %d failures", res.Schedules, len(res.Failures))
+	if len(res.Failures) == 0 {
+		t.Fatal("seeded ordering bug not detected by exploration")
+	}
+	if len(res.Failures) == res.Schedules {
+		t.Fatal("every schedule failed: divergence is not order-sensitive")
+	}
+	f := res.Failures[0]
+	if !strings.Contains(f.Reason, "diverge") {
+		t.Errorf("failure reason %q does not mention divergence", f.Reason)
+	}
+	reason, err := ReplaySchedule(sc, f.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reason == "" {
+		t.Errorf("failing schedule %s passed on replay", FormatSchedule(f.Schedule))
+	}
+}
+
+// TestExploreRandomWalk smoke-checks the randomized mode on the cheap
+// scenarios; failures would carry the seed for replay.
+func TestExploreRandomWalk(t *testing.T) {
+	sc := QuarantineLadderScenario()
+	res, err := RandomWalk(sc, Options{}, 42, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedules == 0 {
+		t.Fatal("random walk completed no schedules")
+	}
+	if len(res.Failures) > 0 {
+		t.Fatalf("random walk failures:\n%s", failReport(res))
+	}
+}
+
+// TestOptimizedVariantsTakeFastPaths guards against the equivalence
+// check silently comparing generic against generic: each optimized
+// build, run straight through, must actually execute fast-path
+// dispatches.
+func TestOptimizedVariantsTakeFastPaths(t *testing.T) {
+	seccomm, err := SeccommScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	video, err := VideoPlayerScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []Scenario{seccomm, video, QuarantineLadderScenario()} {
+		t.Run(sc.Name, func(t *testing.T) {
+			inst, err := sc.Build(true, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst.next = make([]int, len(inst.Threads))
+			settle(&sc, inst)
+			if fr := inst.Sys.StatsAggregate().FastRuns; fr == 0 {
+				t.Errorf("%s: optimized build ran 0 fast-path dispatches", sc.Name)
+			}
+		})
+	}
+}
+
+// TestExploreReplayDeterminism re-runs one explicit schedule twice and
+// requires identical traces — the property the whole DFS rests on.
+func TestExploreReplayDeterminism(t *testing.T) {
+	sc := QuarantineLadderScenario()
+	run := func() []trace.Entry {
+		hook := trace.NewSchedRecorder()
+		inst, err := sc.Build(true, hook)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		rec.EnableHandlerProfiling()
+		inst.Sys.SetTracer(rec)
+		inst.next = make([]int, len(inst.Threads))
+		settle(&sc, inst)
+		return rec.Entries()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("trace lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFootprintIndependence pins the independence relation the sleep
+// sets rely on.
+func TestFootprintIndependence(t *testing.T) {
+	if !independent(Dom(0), Dom(1)) {
+		t.Error("disjoint domains not independent")
+	}
+	if independent(Dom(0), Dom(0, 1)) {
+		t.Error("overlapping domains independent")
+	}
+	if independent(Footprint{Doms: 1, Reg: true}, Dom(1)) {
+		t.Error("registry op independent of anything")
+	}
+	if independent(Footprint{}.orZero(), Dom(1)) {
+		t.Error("zero footprint must be conservative")
+	}
+	var zeroHook event.SchedHook
+	if zeroHook != nil {
+		t.Error("nil hook sanity")
+	}
+}

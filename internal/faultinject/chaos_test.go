@@ -121,7 +121,8 @@ func TestSeccommChaosQuarantineConvergence(t *testing.T) {
 	if testing.Short() {
 		pushes = 400
 	}
-	o := runSeccommChaos(t, 42, pushes)
+	seed := faultinject.Seed(t, 42)
+	o := runSeccommChaos(t, seed, pushes)
 
 	// Liveness: every push made it to the wire despite the faults (a
 	// quarantined privacy stage degrades the message, it does not drop it).
@@ -153,12 +154,12 @@ func TestSeccommChaosQuarantineConvergence(t *testing.T) {
 	}
 
 	// Determinism: an identical run produces the identical outcome.
-	if o2 := runSeccommChaos(t, 42, pushes); o2 != o {
+	if o2 := runSeccommChaos(t, seed, pushes); o2 != o {
 		t.Errorf("same seed diverged:\n  run1 %+v\n  run2 %+v", o, o2)
 	}
 	// And a different seed drives a genuinely different schedule.
-	if o3 := runSeccommChaos(t, 7, pushes); o3.injected == o.injected && o3.quarantines == o.quarantines {
-		t.Logf("note: seeds 42 and 7 coincided on %d injections", o.injected)
+	if o3 := runSeccommChaos(t, seed+7, pushes); o3.injected == o.injected && o3.quarantines == o.quarantines {
+		t.Logf("note: seeds %d and %d coincided on %d injections", seed, seed+7, o.injected)
 	}
 }
 
@@ -343,7 +344,8 @@ func TestSeccommTwoDomainChaosQuarantinePerDomain(t *testing.T) {
 	if testing.Short() {
 		msgs = 50
 	}
-	sent, delivered, injected, st := runSeccommTwoDomainChaos(t, 42, msgs)
+	seed := faultinject.Seed(t, 42)
+	sent, delivered, injected, st := runSeccommTwoDomainChaos(t, seed, msgs)
 
 	// Liveness: the chaos handlers are skipped once quarantined; every
 	// message still crossed the wire and decoded.
@@ -366,7 +368,7 @@ func TestSeccommTwoDomainChaosQuarantinePerDomain(t *testing.T) {
 	// Determinism: the sharded run is still fully reproducible — domains
 	// only parallelize independent work, the per-domain schedules are
 	// unchanged.
-	sent2, delivered2, injected2, st2 := runSeccommTwoDomainChaos(t, 42, msgs)
+	sent2, delivered2, injected2, st2 := runSeccommTwoDomainChaos(t, seed, msgs)
 	if sent2 != sent || delivered2 != delivered || injected2 != injected || st2 != st {
 		t.Errorf("same seed diverged:\n  run1 sent %d delivered %d injected %d %+v\n  run2 sent %d delivered %d injected %d %+v",
 			sent, delivered, injected, st, sent2, delivered2, injected2, st2)
@@ -393,8 +395,9 @@ func TestVideoPlayerChaosLivenessAndDeterminism(t *testing.T) {
 		return res, inj.Injected(), p.Sender.Sys.Stats().PanicsRecovered.Load()
 	}
 
-	baseline, _, _ := run(0, 11)
-	res, injected, recovered := run(0.02, 11)
+	seed := faultinject.Seed(t, 11)
+	baseline, _, _ := run(0, seed)
+	res, injected, recovered := run(0.02, seed)
 	if injected == 0 {
 		t.Fatal("no faults injected; raise the rate or change the seed")
 	}
@@ -411,7 +414,7 @@ func TestVideoPlayerChaosLivenessAndDeterminism(t *testing.T) {
 		t.Errorf("FramesSent = %d, want %d", res.Stats.FramesSent, frames)
 	}
 
-	res2, injected2, recovered2 := run(0.02, 11)
+	res2, injected2, recovered2 := run(0.02, seed)
 	if injected2 != injected || recovered2 != recovered ||
 		res2.Delivered != res.Delivered || res2.Stats != res.Stats {
 		t.Errorf("same seed diverged:\n  run1 %+v (inj %d)\n  run2 %+v (inj %d)",

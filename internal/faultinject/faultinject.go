@@ -11,6 +11,9 @@ package faultinject
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 
 	"eventopt/internal/event"
@@ -50,6 +53,51 @@ func New(seed int64) *Injector {
 		nth:   make(map[string]map[int]bool),
 		calls: make(map[string]int),
 	}
+}
+
+// NewRand returns an armed injector whose fault stream derives from the
+// caller's RNG: tests that already thread one seeded *rand.Rand through
+// their fixtures plumb it here too, so one logged seed replays the whole
+// run — workload randomness and injected faults together.
+func NewRand(rng *rand.Rand) *Injector {
+	return New(rng.Int63())
+}
+
+// SeedEnv is the environment variable that overrides chaos seeds, so a
+// failure logged from CI replays locally with the exact fault schedule:
+//
+//	EVENTOPT_CHAOS_SEED=<seed> go test ./internal/faultinject/
+const SeedEnv = "EVENTOPT_CHAOS_SEED"
+
+// SeedFromEnv returns the chaos seed: the value of EVENTOPT_CHAOS_SEED
+// when set and parseable, otherwise def.
+func SeedFromEnv(def int64) int64 {
+	if v := os.Getenv(SeedEnv); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return s
+		}
+	}
+	return def
+}
+
+// TB is the subset of *testing.T the seed helper needs.
+type TB interface {
+	Failed() bool
+	Logf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Seed resolves the chaos seed for one test (SeedFromEnv) and registers
+// a cleanup that, if the test failed, logs the replay command line —
+// every chaos failure comes with the seed that reproduces it.
+func Seed(t TB, def int64) int64 {
+	seed := SeedFromEnv(def)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("faultinject: replay this failure with %s=%d", SeedEnv, seed)
+		}
+	})
+	return seed
 }
 
 // SetRate makes every call at every site fault independently with

@@ -1,6 +1,10 @@
 package faultinject_test
 
 import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 
 	"eventopt/internal/event"
@@ -178,4 +182,86 @@ func TestIntrinsicWrappersPreservePurityAndInject(t *testing.T) {
 		}
 	}()
 	errBomb.Fn(nil)
+}
+
+func TestNewRandDerivesFromCallerRNG(t *testing.T) {
+	// Same caller RNG state -> identical fault schedules; the injector
+	// consumes exactly one draw, so the caller's stream stays aligned.
+	faults := func(seed int64) (pattern []int, next int64) {
+		rng := rand.New(rand.NewSource(seed))
+		in := faultinject.NewRand(rng)
+		in.SetRate(0.2)
+		for call := 0; call < 50; call++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						pattern = append(pattern, call)
+					}
+				}()
+				in.Check("site")
+			}()
+		}
+		return pattern, rng.Int63()
+	}
+	p1, n1 := faults(99)
+	p2, n2 := faults(99)
+	if !reflect.DeepEqual(p1, p2) || n1 != n2 {
+		t.Errorf("same RNG diverged: %v vs %v (next %d vs %d)", p1, p2, n1, n2)
+	}
+	if len(p1) == 0 {
+		t.Fatal("rate 0.2 over 50 calls injected nothing")
+	}
+	p3, _ := faults(100)
+	if reflect.DeepEqual(p1, p3) {
+		t.Log("note: seeds 99 and 100 coincided")
+	}
+}
+
+func TestSeedFromEnvOverride(t *testing.T) {
+	t.Setenv(faultinject.SeedEnv, "1234")
+	if got := faultinject.SeedFromEnv(42); got != 1234 {
+		t.Errorf("SeedFromEnv = %d, want 1234", got)
+	}
+	t.Setenv(faultinject.SeedEnv, "not-a-number")
+	if got := faultinject.SeedFromEnv(42); got != 42 {
+		t.Errorf("SeedFromEnv with junk = %d, want default 42", got)
+	}
+	t.Setenv(faultinject.SeedEnv, "")
+	if got := faultinject.SeedFromEnv(42); got != 42 {
+		t.Errorf("SeedFromEnv unset = %d, want default 42", got)
+	}
+}
+
+// fakeTB captures the Seed helper's failure-time logging.
+type fakeTB struct {
+	failed bool
+	logs   []string
+	clean  []func()
+}
+
+func (f *fakeTB) Failed() bool                      { return f.failed }
+func (f *fakeTB) Logf(format string, args ...any)   { f.logs = append(f.logs, fmt.Sprintf(format, args...)) }
+func (f *fakeTB) Cleanup(fn func())                 { f.clean = append(f.clean, fn) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.clean) - 1; i >= 0; i-- {
+		f.clean[i]()
+	}
+}
+
+func TestSeedLogsOnFailureOnly(t *testing.T) {
+	ok := &fakeTB{}
+	if got := faultinject.Seed(ok, 42); got != 42 {
+		t.Fatalf("Seed = %d, want 42", got)
+	}
+	ok.runCleanups()
+	if len(ok.logs) != 0 {
+		t.Errorf("passing test logged: %v", ok.logs)
+	}
+
+	bad := &fakeTB{failed: true}
+	faultinject.Seed(bad, 42)
+	bad.runCleanups()
+	if len(bad.logs) != 1 || !strings.Contains(bad.logs[0], "EVENTOPT_CHAOS_SEED=42") {
+		t.Errorf("failing test logs = %v, want replay line with the seed", bad.logs)
+	}
 }

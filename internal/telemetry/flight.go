@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"sync/atomic"
 )
 
@@ -179,6 +180,56 @@ func (t *Telemetry) DumpFlight(dom int, reason string) *FlightDump {
 
 // LastDump returns the most recent automatic dump (nil if none yet).
 func (t *Telemetry) LastDump() *FlightDump { return t.lastDump.Load() }
+
+// Validate checks a flight dump's internal consistency and returns one
+// message per violated invariant (nil when the dump is coherent). The
+// invariants mirror what the single-writer ring guarantees: sequence
+// numbers strictly increase, every record belongs to the dump's domain,
+// outcomes are one of the defined codes, a fault outcome carries its
+// cause (and a clean one doesn't), and durations are non-negative with
+// non-decreasing completion times. evprof -check applies it to saved
+// post-mortem dumps.
+func (d *FlightDump) Validate() []string {
+	var out []string
+	bad := func(format string, args ...any) { out = append(out, fmt.Sprintf(format, args...)) }
+	if d == nil {
+		return []string{"nil dump"}
+	}
+	if d.Reason == "" {
+		bad("dump has no reason")
+	}
+	if d.Seq < 1 {
+		bad("dump ordinal %d, want >= 1", d.Seq)
+	}
+	var lastSeq uint64
+	var lastEnd int64
+	for i, r := range d.Records {
+		if i > 0 && r.Seq <= lastSeq {
+			bad("record %d: seq %d not greater than previous %d", i, r.Seq, lastSeq)
+		}
+		lastSeq = r.Seq
+		if r.Domain != d.Domain {
+			bad("record %d: domain %d, dump is of domain %d", i, r.Domain, d.Domain)
+		}
+		if r.Outcome != OutcomeOK && r.Outcome != OutcomeFault {
+			bad("record %d: unknown outcome %d", i, r.Outcome)
+		}
+		if r.Outcome == OutcomeFault && r.Cause == "" {
+			bad("record %d: fault outcome with no cause", i)
+		}
+		if r.Outcome == OutcomeOK && r.Cause != "" {
+			bad("record %d: clean outcome with cause %q", i, r.Cause)
+		}
+		if r.Duration < 0 {
+			bad("record %d: negative duration %d", i, r.Duration)
+		}
+		if i > 0 && r.End < lastEnd {
+			bad("record %d: completion time %d before previous %d", i, r.End, lastEnd)
+		}
+		lastEnd = r.End
+	}
+	return out
+}
 
 // DumpCount reports how many dumps have been taken.
 func (t *Telemetry) DumpCount() int64 { return t.dumps.Load() }

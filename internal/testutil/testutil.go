@@ -1,0 +1,39 @@
+// Package testutil holds small helpers shared by the repo's test
+// suites. It must not import any eventopt package (tests in internal
+// packages import it, so anything else risks an import cycle).
+package testutil
+
+import (
+	"os"
+	"strconv"
+)
+
+// HammerScaleEnv scales the iteration counts of the -race hammer tests:
+// a positive float multiplier applied to every baseline count. Local
+// runs can set 0.1 for a quick pass; CI pins it to 1 so the checked-in
+// baselines stay the thorough ones.
+const HammerScaleEnv = "EVENTOPT_HAMMER_SCALE"
+
+// HammerScale returns the configured multiplier, or 1 when the variable
+// is unset, unparseable or non-positive.
+func HammerScale() float64 {
+	v := os.Getenv(HammerScaleEnv)
+	if v == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil || f <= 0 {
+		return 1
+	}
+	return f
+}
+
+// ScaleN applies HammerScale to a baseline iteration count, never
+// returning less than 1.
+func ScaleN(n int) int {
+	scaled := int(float64(n)*HammerScale() + 0.5)
+	if scaled < 1 {
+		return 1
+	}
+	return scaled
+}

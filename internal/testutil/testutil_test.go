@@ -1,0 +1,28 @@
+package testutil
+
+import "testing"
+
+func TestScaleN(t *testing.T) {
+	cases := []struct {
+		env  string
+		n    int
+		want int
+	}{
+		{"", 300, 300},
+		{"1", 300, 300},
+		{"0.1", 300, 30},
+		{"2", 150, 300},
+		{"0.001", 300, 1}, // floor at 1 iteration
+		{"garbage", 300, 300},
+		{"-3", 300, 300},
+		{"0", 300, 300},
+	}
+	for _, tc := range cases {
+		t.Run(tc.env, func(t *testing.T) {
+			t.Setenv(HammerScaleEnv, tc.env)
+			if got := ScaleN(tc.n); got != tc.want {
+				t.Errorf("ScaleN(%d) with %q = %d, want %d", tc.n, tc.env, got, tc.want)
+			}
+		})
+	}
+}

@@ -3,11 +3,18 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"eventopt/internal/event"
 )
+
+// ErrTruncated reports a binary trace that ends mid-stream: inside the
+// header, the string table or an entry record. Callers distinguish a
+// cut-off capture (errors.Is(err, ErrTruncated)) from structural
+// corruption such as a bad magic or an out-of-range string index.
+var ErrTruncated = errors.New("truncated binary trace")
 
 // Binary trace format: long profiling runs produce large traces (one
 // entry per activation); the binary encoding interns event and handler
@@ -122,12 +129,23 @@ func WriteBinary(w io.Writer, entries []Entry) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a binary trace.
+// truncErr converts the raw io errors of a mid-stream read into
+// ErrTruncated, keeping the position description; other errors pass
+// through with the same context.
+func truncErr(what string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("trace: %w: %s", ErrTruncated, what)
+	}
+	return fmt.Errorf("trace: %s: %w", what, err)
+}
+
+// ReadBinary parses a binary trace. A stream that ends mid-record
+// returns an error wrapping ErrTruncated.
 func ReadBinary(r io.Reader) ([]Entry, error) {
 	br := bufio.NewReader(r)
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: binary header: %w", err)
+		return nil, truncErr("binary header", err)
 	}
 	if [4]byte(magic[:4]) != binaryMagic {
 		return nil, fmt.Errorf("trace: bad magic %q", magic[:4])
@@ -139,7 +157,7 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 
 	nStr, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, truncErr("string count", err)
 	}
 	const maxStrings = 1 << 24
 	if nStr > maxStrings {
@@ -149,14 +167,14 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 	for i := range table {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, truncErr(fmt.Sprintf("string %d length", i), err)
 		}
 		if l > 1<<20 {
 			return nil, fmt.Errorf("trace: implausible string length %d", l)
 		}
 		b := make([]byte, l)
 		if _, err := io.ReadFull(br, b); err != nil {
-			return nil, err
+			return nil, truncErr(fmt.Sprintf("string %d body", i), err)
 		}
 		table[i] = string(b)
 	}
@@ -169,40 +187,41 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 
 	nEnt, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return nil, truncErr("entry count", err)
 	}
 	var entries []Entry
 	for i := uint64(0); i < nEnt; i++ {
+		at := func(field string) string { return fmt.Sprintf("entry %d %s", i, field) }
 		kb, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, truncErr(at("kind"), err)
 		}
 		kind := Kind(kb)
 		if kind > HandlerExit {
 			// Unknown extension record: self-framing, skip its payload.
 			l, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, fmt.Errorf("trace: entry %d: extension kind %d: %w", i, kb, err)
+				return nil, truncErr(at(fmt.Sprintf("extension kind %d length", kb)), err)
 			}
 			if l > 1<<24 {
 				return nil, fmt.Errorf("trace: entry %d: implausible extension payload %d", i, l)
 			}
 			if _, err := io.CopyN(io.Discard, br, int64(l)); err != nil {
-				return nil, fmt.Errorf("trace: entry %d: extension payload: %w", i, err)
+				return nil, truncErr(at("extension payload"), err)
 			}
 			continue
 		}
 		ev, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, truncErr(at("event id"), err)
 		}
 		depth, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, truncErr(at("depth"), err)
 		}
 		nameIdx, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return nil, truncErr(at("name index"), err)
 		}
 		name, err := str(nameIdx)
 		if err != nil {
@@ -212,13 +231,13 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 		if kind == EventRaised {
 			mb, err := br.ReadByte()
 			if err != nil {
-				return nil, err
+				return nil, truncErr(at("mode"), err)
 			}
 			e.Mode = event.Mode(mb)
 		} else {
 			hIdx, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, truncErr(at("handler index"), err)
 			}
 			if e.Handler, err = str(hIdx); err != nil {
 				return nil, err
@@ -227,7 +246,7 @@ func ReadBinary(r io.Reader) ([]Entry, error) {
 		if version >= 2 {
 			dom, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return nil, truncErr(at("domain"), err)
 			}
 			e.Domain = int(dom)
 		}
