@@ -43,12 +43,13 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the runtime counters (dispatch, faults, degradation) after the workload")
 		live      = flag.String("live", "", "fetch and print the live per-event telemetry of a running system (base URL of its httpdebug endpoint)")
 		check     = flag.Bool("check", false, "validate -trace (trace file or flight-dump JSON) for consistency instead of analyzing it; exit 1 on violations")
-		workload  = flag.String("workload", "videoplayer", "workload behind -save and -check without -trace: videoplayer or seccomm")
+		workload  = flag.String("workload", "videoplayer", "workload behind -save and -check without -trace: videoplayer, seccomm or batchpipe")
+		batch     = flag.Int("batch", 0, "drain the workload in batches of up to this many activations per queue-lock acquisition (0: unbatched; batchpipe defaults to 8)")
 	)
 	flag.Parse()
 
 	if *check {
-		if err := runCheck(*traceFile, *workload); err != nil {
+		if err := runCheck(*traceFile, *workload, *batch); err != nil {
 			fatal(err)
 		}
 		return
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	if *saveTrace != "" {
-		entries, err := workloadEntries(*workload)
+		entries, err := workloadEntries(*workload, *batch)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,8 +165,10 @@ func analyzeFile(path string, threshold int, dot bool) {
 	}
 }
 
-// workloadEntries generates the named workload's trace.
-func workloadEntries(name string) ([]trace.Entry, error) {
+// workloadEntries generates the named workload's trace. batch > 1 makes
+// the batchpipe workload drain in batches of that size (the other
+// workloads pace their drains internally and ignore it).
+func workloadEntries(name string, batch int) ([]trace.Entry, error) {
 	switch name {
 	case "videoplayer":
 		entries, _, err := bench.Fig5Workload()
@@ -173,19 +176,22 @@ func workloadEntries(name string) ([]trace.Entry, error) {
 	case "seccomm":
 		entries, _, err := bench.SecCommWorkload()
 		return entries, err
+	case "batchpipe":
+		entries, _, err := bench.BatchPipeWorkload(batch)
+		return entries, err
 	}
-	return nil, fmt.Errorf("unknown workload %q (want videoplayer or seccomm)", name)
+	return nil, fmt.Errorf("unknown workload %q (want videoplayer, seccomm or batchpipe)", name)
 }
 
 // runCheck validates either a saved file (trace or flight-dump JSON) or,
 // with no -trace, a freshly generated workload trace. It prints one line
 // per violation and fails when any is found.
-func runCheck(path, workload string) error {
+func runCheck(path, workload string, batch int) error {
 	var problems []string
 	var n int
 	var what string
 	if path == "" {
-		entries, err := workloadEntries(workload)
+		entries, err := workloadEntries(workload, batch)
 		if err != nil {
 			return err
 		}

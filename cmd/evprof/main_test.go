@@ -140,11 +140,21 @@ func TestCheckFlightDump(t *testing.T) {
 }
 
 func TestWorkloadEntriesUnknown(t *testing.T) {
-	if _, err := workloadEntries("no-such-workload"); err == nil {
+	if _, err := workloadEntries("no-such-workload", 0); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	entries, err := workloadEntries("seccomm")
+	entries, err := workloadEntries("seccomm", 0)
 	if err != nil || len(entries) == 0 {
 		t.Fatalf("seccomm workload: %d entries, err %v", len(entries), err)
+	}
+}
+
+func TestBatchpipeWorkloadChecksClean(t *testing.T) {
+	entries, err := workloadEntries("batchpipe", 4)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("batchpipe workload: %d entries, err %v", len(entries), err)
+	}
+	if vs := trace.Check(entries); len(vs) != 0 {
+		t.Fatalf("batched/coalesced golden trace flagged: %v", vs)
 	}
 }

@@ -28,12 +28,14 @@ func main() {
 		telemJSON    = flag.String("telemetry-json", "", "write the telemetry overhead report to this file (implies -telemetry)")
 		adapt        = flag.Bool("adaptive", false, "include the adaptive optimizer convergence gate")
 		adaptJSON    = flag.String("adaptive-json", "", "write the adaptive convergence report to this file (implies -adaptive)")
+		batch        = flag.Bool("batch", false, "include the batched-drain and async-chain-merging gate")
+		batchJSON    = flag.String("batch-json", "", "write the batch benchmark report to this file (implies -batch)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000
 	}
 
 	step := func(name string, f func() error) {
@@ -113,6 +115,22 @@ func main() {
 			rep, gateErr := bench.RunAdaptive(os.Stdout, adops)
 			if *adaptJSON != "" && rep != nil {
 				f, err := os.Create(*adaptJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *batch || *batchJSON != "" {
+		step("batch", func() error {
+			rep, gateErr := bench.RunBatch(os.Stdout, bevents)
+			if *batchJSON != "" && rep != nil {
+				f, err := os.Create(*batchJSON)
 				if err != nil {
 					return err
 				}

@@ -183,6 +183,13 @@ func WithAdaptiveOptimizer(p AdaptivePolicy) SystemOption {
 // different domains execute in parallel under System.Run.
 func WithDomains(n int) SystemOption { return event.WithDomains(n) }
 
+// WithBatchDrain makes domain run loops (System.Run and
+// System.DrainBatched) pop up to k runnable activations per queue-lock
+// acquisition, hoisting fast-path guard resolution across consecutive
+// activations of the same event. Step and Drain stay strictly
+// single-step. k < 2 leaves draining unbatched.
+func WithBatchDrain(k int) SystemOption { return event.WithBatchDrain(k) }
+
 // App is one event-based application: a runtime plus its HIR module and
 // an optional live profiling session.
 type App struct {

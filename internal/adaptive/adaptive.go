@@ -138,6 +138,7 @@ func (p Policy) withDefaults() Policy {
 		p.Opts = core.Options{
 			Subsume:     true,
 			GraphChains: true,
+			AsyncChains: true,
 			FuseHIR:     true,
 			Partitioned: true,
 			MaxChainLen: 8,

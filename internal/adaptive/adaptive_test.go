@@ -70,17 +70,29 @@ func TestPromotesHotChain(t *testing.T) {
 		t.Fatal("hot entry A not promoted")
 	}
 	got := c.InstalledEntries()
-	if len(got) != 1 || got[0] != a {
-		t.Fatalf("InstalledEntries = %v, want [A]", got)
+	if len(got) == 0 || got[0] != a {
+		t.Fatalf("InstalledEntries = %v, want A first", got)
 	}
 	snap := c.Snapshot()
-	if snap.Promotions != 1 {
-		t.Fatalf("Promotions = %d, want 1", snap.Promotions)
+	if snap.Promotions != int64(len(got)) {
+		t.Fatalf("Promotions = %d, want %d", snap.Promotions, len(got))
 	}
 	// The chain evidence comes from the graph alone (no handler-level
-	// records in a live profile): A's super-handler must subsume B.
-	if len(snap.Installed) != 1 || len(snap.Installed[0].Chain) != 2 {
-		t.Fatalf("installed plan = %+v, want chain [A B]", snap.Installed)
+	// records in a live profile): A's super-handler must subsume B. With
+	// AsyncChains on by default, the controller additionally speculates
+	// on B's async-dominant adjacency (after B the domain nearly always
+	// runs A next — the paper's §5 criterion), so B may carry its own
+	// [B ~> A] plan; A's synchronous chain must survive regardless.
+	var aChain []string
+	for _, inst := range snap.Installed {
+		if inst.Entry == int32(a) {
+			aChain = inst.Chain
+		} else if len(inst.Chain) < 2 || inst.Chain[0] != "B" || inst.Chain[1] != "A" {
+			t.Fatalf("unexpected speculative plan %+v", inst)
+		}
+	}
+	if len(aChain) != 2 || aChain[0] != "A" || aChain[1] != "B" {
+		t.Fatalf("installed plans = %+v, want A's chain [A B]", snap.Installed)
 	}
 	// Dispatch through the promoted fast path stays correct.
 	before := s.Stats().FastRuns.Load()

@@ -1,0 +1,149 @@
+package adaptive
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+	"eventopt/internal/testutil"
+)
+
+// TestAdaptiveCoalesceChurnHammer races rebind storms and fast-path
+// replacement against coalesced asynchronous raises on a live batched
+// run loop. The head handler async-raises tail, the installed plan marks
+// tail as an async-entry segment, so every raise is a potential
+// continuation capture racing: the controller's promote/evict churn, a
+// binder staling the segment guard, manual RemoveFastPath/re-Apply, and
+// the batched drain's remainder accounting. Run with -race. Invariant:
+// exactly-once execution — under Propagate with no faults, every head
+// raise runs the head handler once and its interior raise runs the tail
+// handler once, whether it travelled as a continuation, a fallback
+// enqueue, or a post-rebind generic dispatch.
+func TestAdaptiveCoalesceChurnHammer(t *testing.T) {
+	s := event.New(
+		event.WithTelemetry(everyEdge()),
+		event.WithBatchDrain(8),
+	)
+	head := s.Define("head")
+	tail := s.Define("tail")
+	var headRuns, tailRuns atomic.Int64
+	s.Bind(head, "hh", func(ctx *event.Ctx) {
+		headRuns.Add(1)
+		ctx.RaiseAsync(tail)
+	}, event.WithOrder(-1))
+	s.Bind(tail, "ht", func(*event.Ctx) { tailRuns.Add(1) }, event.WithOrder(-1))
+
+	// A static async-dominant profile: head ~> tail, never synchronous.
+	g := profile.NewEventGraph()
+	g.AddEdge(head, tail, 1000, 0)
+	prof := profile.GraphProfile(g)
+	applyOpts := core.Options{Threshold: 1, Subsume: true, GraphChains: true,
+		AsyncChains: true, MaxChainLen: 4}
+	if _, _, err := core.Apply(s, prof, nil, applyOpts); err != nil {
+		t.Fatal(err)
+	}
+	if s.FastPath(head) == nil {
+		t.Fatal("async-merged plan not installed")
+	}
+
+	// The controller churns its own (async-chain-default) plans from live
+	// telemetry concurrently with the manual Apply churn below.
+	c, err := New(s, nil, Policy{
+		PromoteThreshold: 2, MinGainNs: -1,
+		CooldownTicks: 1, DeoptCooldownTicks: 1, MaxPlans: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	ranCh := make(chan int, 1)
+	go func() { ranCh <- s.Run(stop) }()
+
+	const raisers = 4
+	perRaiser := testutil.ScaleN(500)
+	churns := testutil.ScaleN(120)
+	ticks := testutil.ScaleN(200)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < ticks; i++ {
+			c.Tick()
+		}
+	}()
+
+	// Binder churn stales the tail segment guard (forcing run-time
+	// fallbacks of pending continuations) and flips the fast path in and
+	// out under the raisers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < churns; i++ {
+			b := s.Bind(tail, "extra", func(*event.Ctx) {})
+			switch i % 6 {
+			case 0:
+				s.RemoveFastPath(head)
+			case 3:
+				core.Apply(s, prof, nil, applyOpts) // may lose races; ignored
+			}
+			if err := s.Unbind(b); err != nil {
+				t.Errorf("Unbind: %v", err)
+				return
+			}
+		}
+	}()
+
+	for gi := 0; gi < raisers; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perRaiser; i++ {
+				if (gi+i)%2 == 0 {
+					s.RaiseAsync(head)
+				} else if err := s.Raise(head); err != nil {
+					t.Errorf("Raise: %v", err)
+					return
+				}
+			}
+		}(gi)
+	}
+
+	wg.Wait()
+	c.Close()
+	close(stop)
+	<-ranCh
+	s.Drain() // anything raised between the loop's last pop and its exit
+
+	// Deterministic finale: a fresh install on an idle queue must
+	// coalesce, proving the capture path survived the churn.
+	if s.FastPath(head) != nil {
+		s.RemoveFastPath(head)
+	}
+	if _, _, err := core.Apply(s, prof, nil, applyOpts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(head); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+
+	want := int64(raisers*perRaiser) + 1
+	if got := headRuns.Load(); got != want {
+		t.Errorf("head handler ran %d times, want %d", got, want)
+	}
+	if h, tl := headRuns.Load(), tailRuns.Load(); h != tl {
+		t.Errorf("interior raise not exactly-once: headRuns=%d tailRuns=%d", h, tl)
+	}
+	st := s.StatsAggregate()
+	if st.Coalesced == 0 {
+		t.Error("no raise coalesced across the whole run")
+	}
+	if got := st.Raises; got < 2*want {
+		t.Errorf("Raises = %d, want >= %d (head + interior tail each)", got, 2*want)
+	}
+}

@@ -3,6 +3,9 @@ package bench
 import (
 	"fmt"
 
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
 	"eventopt/internal/seccomm"
 	"eventopt/internal/trace"
 )
@@ -38,4 +41,56 @@ func SecCommWorkload() ([]trace.Entry, *seccomm.Endpoint, error) {
 	e.Sys.SetTracer(nil)
 	e.OnSend(nil)
 	return rec.Entries(), e, nil
+}
+
+// BatchPipeWorkload runs the async-merged pipeline workload under full
+// instrumentation, draining through DrainBatched(k): a head ~> tail
+// chain planned with AsyncChains, driven by a mix of synchronous raises
+// (which coalesce the interior raise when the queue is idle) and
+// asynchronous bursts (whose interior raises fall back behind the batch
+// remainder). The returned trace is the golden input for checking that
+// batched drains and coalesced continuations keep every structural
+// trace invariant (evprof -check -workload batchpipe -batch K).
+func BatchPipeWorkload(k int) ([]trace.Entry, *event.System, error) {
+	if k < 2 {
+		k = 8
+	}
+	s := event.New()
+	head := s.Define("head")
+	tail := s.Define("tail")
+	s.Bind(head, "stage", func(ctx *event.Ctx) { ctx.RaiseAsync(tail) })
+	s.Bind(tail, "sink", func(*event.Ctx) {})
+
+	g := profile.NewEventGraph()
+	g.SetName(head, "head")
+	g.SetName(tail, "tail")
+	g.AddEdge(head, tail, 1000, 0)
+	_, _, err := core.Apply(s, profile.GraphProfile(g), nil, core.Options{
+		Threshold: 1, Subsume: true, GraphChains: true, AsyncChains: true, MaxChainLen: 4,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	s.SetTracer(rec)
+	for i := 0; i < 60; i++ {
+		if i%3 == 0 {
+			if err := s.Raise(head); err != nil {
+				return nil, nil, err
+			}
+		} else {
+			s.RaiseAsync(head)
+		}
+		if i%10 == 9 {
+			s.DrainBatched(k)
+		}
+	}
+	s.DrainBatched(k)
+	s.SetTracer(nil)
+	if st := s.StatsAggregate(); st.Coalesced == 0 {
+		return nil, nil, fmt.Errorf("bench: batchpipe workload never coalesced a raise")
+	}
+	return rec.Entries(), s, nil
 }

@@ -39,6 +39,16 @@ type Options struct {
 	// but no per-handler raise records; GraphChains is what lets the
 	// adaptive optimizer subsume chains online.
 	GraphChains bool
+	// AsyncChains extends chains across *asynchronous* edges when the
+	// successor overwhelmingly follows the producer (at least AsyncShare
+	// of its incoming weight): the paper's §5 future work. The resulting
+	// segments are marked async-entry, and the runtime speculatively
+	// coalesces their raise into an inline continuation when the target
+	// domain's queue permits, falling back to a real enqueue otherwise
+	// (event/coalesce.go). Requires Subsume.
+	AsyncChains bool
+	// AsyncShare is the dominance threshold for async links (0 selects 0.9).
+	AsyncShare float64
 	// Speculative additionally extends chains along *dominant* raise
 	// patterns — "A is followed by B 90% of the time" (section 5) —
 	// with SpeculativeShare as the minimum observed share. Minority
@@ -109,7 +119,27 @@ type PlanEntry struct {
 	Event     event.ID
 	EventName string
 	Chain     []event.ID
-	Reason    string
+	// Async marks, per chain position, whether the link *into* that event
+	// is asynchronous in the profile (Async[0] is always false). Async
+	// positions become async-entry segments. len(Async) == len(Chain);
+	// a nil Async means an all-synchronous chain.
+	Async  []bool
+	Reason string
+}
+
+// asyncAt reports whether the link into chain position i is async.
+func (e *PlanEntry) asyncAt(i int) bool {
+	return i < len(e.Async) && e.Async[i]
+}
+
+// hasAsync reports whether any chain link is asynchronous.
+func (e *PlanEntry) hasAsync() bool {
+	for _, a := range e.Async {
+		if a {
+			return true
+		}
+	}
+	return false
 }
 
 // Plan is the set of super-handlers the optimizer intends to install.
@@ -129,6 +159,9 @@ func (p *Plan) Describe(sys *event.System) string {
 		names := make([]string, len(e.Chain))
 		for i, ev := range e.Chain {
 			names[i] = sys.EventName(ev)
+			if e.asyncAt(i) {
+				names[i] = "~" + names[i] // async link into this event
+			}
 		}
 		fmt.Fprintf(&b, "  %-20s chain=[%s] (%s)\n", e.EventName, strings.Join(names, " "), e.Reason)
 	}
@@ -187,25 +220,62 @@ func BuildPlan(sys *event.System, prof *profile.Profile, opts Options) (*Plan, e
 
 	// Graph-only chain evidence for GraphChains: event chains of the
 	// reduced graph, keyed by head (computed once, used as fallback for
-	// candidates without handler-level raise records).
-	var graphChain map[event.ID][]event.ID
+	// candidates without handler-level raise records). With AsyncChains
+	// the chains may cross async-dominant edges, carrying a per-link mode
+	// mask.
+	var graphChain map[event.ID]profile.Chain
 	if opts.GraphChains && opts.Subsume {
-		graphChain = make(map[event.ID][]event.ID)
-		for _, c := range reduced.Chains() {
-			graphChain[c[0]] = c
+		graphChain = make(map[event.ID]profile.Chain)
+		if opts.AsyncChains {
+			for _, c := range reduced.ChainsAsync(opts.AsyncShare) {
+				graphChain[c.Events[0]] = c
+			}
+		} else {
+			for _, c := range reduced.Chains() {
+				graphChain[c[0]] = profile.Chain{Events: c, Async: make([]bool, len(c))}
+			}
 		}
+	}
+
+	// Async-dominant single-successor links of the reduced graph, used to
+	// extend handler-evidence chains (which only see synchronous raises)
+	// across an asynchronous tail.
+	var asyncNext map[event.ID]event.ID
+	if opts.AsyncChains && opts.Subsume {
+		asyncNext = asyncDominantNext(reduced, opts.AsyncShare)
 	}
 
 	plan := &Plan{opts: opts}
 	for _, ev := range candidates {
 		entry := PlanEntry{Event: ev, EventName: sys.EventName(ev), Reason: reasons[ev]}
 		entry.Chain = chainFor(sys, prof, ev, opts)
+		entry.Async = make([]bool, len(entry.Chain))
 		if len(entry.Chain) == 1 && graphChain != nil {
 			if c, ok := graphChain[ev]; ok {
-				entry.Chain = capGraphChain(sys, c, opts.MaxChainLen)
+				entry.Chain, entry.Async = capGraphChain(sys, c, opts.MaxChainLen)
 				if len(entry.Chain) > 1 {
 					entry.Reason += " + graph chain"
 				}
+			}
+		}
+		if asyncNext != nil {
+			visited := make(map[event.ID]bool, len(entry.Chain))
+			for _, x := range entry.Chain {
+				visited[x] = true
+			}
+			extended := false
+			for len(entry.Chain) < opts.MaxChainLen {
+				w, ok := asyncNext[entry.Chain[len(entry.Chain)-1]]
+				if !ok || visited[w] || sys.HandlerCount(w) == 0 {
+					break
+				}
+				entry.Chain = append(entry.Chain, w)
+				entry.Async = append(entry.Async, true)
+				visited[w] = true
+				extended = true
+			}
+			if extended {
+				entry.Reason += " + async tail"
 			}
 		}
 		// A super-handler pays for itself only when it merges something:
@@ -220,14 +290,43 @@ func BuildPlan(sys *event.System, prof *profile.Profile, opts Options) (*Plan, e
 	return plan, nil
 }
 
+// asyncDominantNext computes the async-dominant single-successor links
+// of a (reduced) graph: v -> w where w is v's only successor, the edge
+// has asynchronous traversals, and it carries at least share of w's
+// total incoming weight — the same dominance rule ChainsAsync applies.
+func asyncDominantNext(g *profile.EventGraph, share float64) map[event.ID]event.ID {
+	if share <= 0 {
+		share = 0.9
+	}
+	out := make(map[event.ID][]*profile.Edge)
+	in := make(map[event.ID]int)
+	for _, e := range g.Edges() {
+		out[e.From] = append(out[e.From], e)
+		in[e.To] += e.Weight
+	}
+	next := make(map[event.ID]event.ID)
+	for v, es := range out {
+		if len(es) != 1 || es[0].Sync() {
+			continue
+		}
+		e := es[0]
+		if float64(e.Weight) >= share*float64(in[e.To]) {
+			next[v] = e.To
+		}
+	}
+	return next
+}
+
 // capGraphChain trims a graph-derived chain to the covered prefix the
 // installer can build: events must still exist with at least one handler
 // bound, and the chain is capped at maxLen. The chain breaks at the
 // first uncoverable event — subsumption must not skip over an event
-// whose activation sits between the others in program order.
-func capGraphChain(sys *event.System, c []event.ID, maxLen int) []event.ID {
-	out := make([]event.ID, 0, len(c))
-	for _, ev := range c {
+// whose activation sits between the others in program order. The async
+// link mask is trimmed in lockstep.
+func capGraphChain(sys *event.System, c profile.Chain, maxLen int) ([]event.ID, []bool) {
+	out := make([]event.ID, 0, len(c.Events))
+	mask := make([]bool, 0, len(c.Events))
+	for i, ev := range c.Events {
 		if len(out) >= maxLen {
 			break
 		}
@@ -235,8 +334,13 @@ func capGraphChain(sys *event.System, c []event.ID, maxLen int) []event.ID {
 			break
 		}
 		out = append(out, ev)
+		if i < len(c.Async) {
+			mask = append(mask, c.Async[i])
+		} else {
+			mask = append(mask, false)
+		}
 	}
-	return out
+	return out, mask
 }
 
 // Diff compares the plan against the currently-installed super-handlers

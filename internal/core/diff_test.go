@@ -63,6 +63,93 @@ func TestGraphChainsExtendsFromGraphAlone(t *testing.T) {
 	}
 }
 
+// TestAsyncChainsPlansAsyncTail: with AsyncChains, the planner extends
+// chains across async-dominant single-successor edges — both when the
+// whole chain comes from the graph and when an async tail extends a
+// handler-evidence chain — and the per-link mask marks the async links
+// so the installer builds async-entry segments.
+func TestAsyncChainsPlansAsyncTail(t *testing.T) {
+	s := event.New()
+	a := s.Define("a")
+	b := s.Define("b")
+	c := s.Define("c")
+	s.Bind(a, "h1", func(*event.Ctx) {})
+	s.Bind(a, "h2", func(*event.Ctx) {})
+	s.Bind(b, "h", func(*event.Ctx) {})
+	s.Bind(c, "h", func(*event.Ctx) {})
+
+	// a -> b sync, b ~> c async-dominant.
+	prof := liveStyleProfile(
+		[4]int{int(a), int(b), 100, 100},
+		[4]int{int(b), int(c), 100, 0},
+	)
+
+	// Without AsyncChains the chain stops at the async edge.
+	plan, err := BuildPlan(s, prof, Options{Threshold: 10, Subsume: true, GraphChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := plan.Entries[0]; len(e.Chain) != 2 || e.hasAsync() {
+		t.Fatalf("without AsyncChains: chain=%v async=%v", e.Chain, e.Async)
+	}
+
+	// With it, the chain crosses and the mask marks the crossed link.
+	plan, err = BuildPlan(s, prof, Options{Threshold: 10, Subsume: true, GraphChains: true, AsyncChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := plan.Entries[0]
+	if len(e.Chain) != 3 || e.Chain[2] != c {
+		t.Fatalf("with AsyncChains: chain=%v, want [a b c]", e.Chain)
+	}
+	if len(e.Async) != 3 || e.Async[0] || e.Async[1] || !e.Async[2] {
+		t.Fatalf("async mask = %v, want [false false true]", e.Async)
+	}
+
+	// The installed super-handler carries the mask as AsyncEntry flags.
+	ins, err := plan.Install(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Uninstall()
+	segs := ins.Supers[0].Segments
+	if len(segs) != 3 || segs[0].AsyncEntry || segs[1].AsyncEntry || !segs[2].AsyncEntry {
+		t.Fatalf("segment AsyncEntry flags wrong: %+v", segs)
+	}
+}
+
+// TestAsyncChainsRespectsDominance: an async edge whose target has other
+// heavy producers is not crossed even under AsyncChains.
+func TestAsyncChainsRespectsDominance(t *testing.T) {
+	s := event.New()
+	a := s.Define("a")
+	b := s.Define("b")
+	c := s.Define("c")
+	d := s.Define("d")
+	s.Bind(a, "h1", func(*event.Ctx) {})
+	s.Bind(a, "h2", func(*event.Ctx) {})
+	s.Bind(b, "h", func(*event.Ctx) {})
+	s.Bind(c, "h", func(*event.Ctx) {})
+	s.Bind(d, "h", func(*event.Ctx) {})
+
+	prof := liveStyleProfile(
+		[4]int{int(a), int(b), 100, 100},
+		[4]int{int(b), int(c), 100, 0}, // async, but…
+		[4]int{int(d), int(c), 100, 0}, // …c is fed equally by d
+	)
+	plan, err := BuildPlan(s, prof, Options{Threshold: 10, Subsume: true, GraphChains: true, AsyncChains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range plan.Entries {
+		for i, ev := range e.Chain {
+			if ev == c && e.asyncAt(i) {
+				t.Fatalf("non-dominant async edge crossed: %+v", e)
+			}
+		}
+	}
+}
+
 // TestCapGraphChainBreaksAtUncoverableEvent: a graph chain must stop at
 // the first event with no bound handlers (subsumption cannot skip over
 // an activation) and respect MaxChainLen.
@@ -75,15 +162,21 @@ func TestCapGraphChainBreaksAtUncoverableEvent(t *testing.T) {
 	s.Bind(a, "h2", func(*event.Ctx) {})
 	s.Bind(c, "h", func(*event.Ctx) {})
 
-	got := capGraphChain(s, []event.ID{a, b, c}, 16)
+	got, mask := capGraphChain(s, profile.Chain{Events: []event.ID{a, b, c}}, 16)
 	if len(got) != 1 || got[0] != a {
 		t.Fatalf("capGraphChain = %v, want [a]", got)
 	}
+	if len(mask) != len(got) {
+		t.Fatalf("mask length %d != chain length %d", len(mask), len(got))
+	}
 
 	s.Bind(b, "h", func(*event.Ctx) {})
-	got = capGraphChain(s, []event.ID{a, b, c}, 2)
+	got, mask = capGraphChain(s, profile.Chain{Events: []event.ID{a, b, c}, Async: []bool{false, true, false}}, 2)
 	if len(got) != 2 || got[1] != b {
 		t.Fatalf("capGraphChain maxLen=2 = %v, want [a b]", got)
+	}
+	if len(mask) != 2 || mask[0] || !mask[1] {
+		t.Fatalf("capGraphChain mask = %v, want [false true]", mask)
 	}
 }
 

@@ -111,9 +111,9 @@ func buildSuper(sys *event.System, mod *hirrt.Module, entry PlanEntry, opts Opti
 	merged := make(map[string]*hir.Function, len(entry.Chain)) // event name -> merged body
 	allIR := true
 
-	for _, ev := range entry.Chain {
+	for i, ev := range entry.Chain {
 		name := sys.EventName(ev)
-		seg := event.Segment{Event: ev, EventName: name, Version: sys.Version(ev)}
+		seg := event.Segment{Event: ev, EventName: name, Version: sys.Version(ev), AsyncEntry: entry.asyncAt(i)}
 		handlers := sys.Handlers(ev)
 		if len(handlers) == 0 {
 			return nil, fmt.Errorf("event %s has no handlers", name)
@@ -142,7 +142,7 @@ func buildSuper(sys *event.System, mod *hirrt.Module, entry PlanEntry, opts Opti
 
 	if opts.FuseHIR && mod != nil {
 		info := mod.OptInfo()
-		if opts.FullFusion && allIR {
+		if opts.FullFusion && allIR && !entry.hasAsync() {
 			// Static subsumption: splice every covered synchronous raise
 			// into the entry body, then optimize the whole chain as one
 			// function. Interior segments keep their steps only as the

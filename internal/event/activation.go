@@ -34,6 +34,14 @@ type activation struct {
 	enqAt  Duration
 	enqSet bool
 
+	// csh/cidx carry the continuation hint of a coalesced asynchronous
+	// raise: the super-handler and segment index the raise should execute
+	// through directly instead of the generic route (coalesce.go). Both
+	// are best-effort — the segment guard is re-checked when the
+	// continuation runs — and pool zeroing clears them.
+	csh  *SuperHandler
+	cidx int
+
 	nargs   int
 	spilled bool
 	inline  [inlineArgs]Arg

@@ -81,6 +81,69 @@ func TestAllocRegression(t *testing.T) {
 		}
 	})
 
+	t.Run("BatchedDrain", func(t *testing.T) {
+		// The batched drain loop — popRunnableBatch into the reusable
+		// batch buffer, hoisted resolution across the batch — must add
+		// nothing to the async path's budget: once the ring, pool and
+		// batch buffer have grown, a raise burst plus DrainBatched is
+		// allocation-free.
+		s := New()
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		for i := 0; i < 8; i++ {
+			s.RaiseAsync(ev, args...)
+		}
+		s.DrainBatched(8)
+		if got := testing.AllocsPerRun(200, func() {
+			for i := 0; i < 8; i++ {
+				s.RaiseAsync(ev, args...)
+			}
+			s.DrainBatched(8)
+		}); got != 0 {
+			t.Errorf("batched drain of 8: %.1f allocs/op, want 0", got)
+		}
+	})
+
+	t.Run("CoalescedAsyncRaise", func(t *testing.T) {
+		// A speculatively coalesced async raise (capture + continuation
+		// step) stays within the async path's one-object budget; steady
+		// state it reuses the pooled record and the continuation slice.
+		s := New()
+		head := s.Define("head")
+		tail := s.Define("tail")
+		sink := 0
+		headFn := func(ctx *Ctx) { ctx.RaiseAsync(tail, args...) }
+		tailFn := func(ctx *Ctx) { sink += ctx.Args.Int("n") }
+		s.Bind(head, "hh", headFn)
+		s.Bind(tail, "ht", tailFn)
+		sh := &SuperHandler{
+			Entry: head,
+			Segments: []Segment{
+				{Event: head, EventName: "head", Version: s.Version(head),
+					Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+				{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+					Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+			},
+		}
+		if err := s.InstallFastPath(sh); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Raise(head); err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(head)
+			s.Step()
+		}); got > 1 {
+			t.Errorf("coalesced raise+step: %.1f allocs/op, want <= 1", got)
+		}
+		if n := s.Stats().Coalesced.Load(); n == 0 {
+			t.Fatal("nothing coalesced; the gate measured the wrong path")
+		}
+	})
+
 	t.Run("TracedSyncDispatch", func(t *testing.T) {
 		// With a tracer installed the dispatcher takes the traced path;
 		// the event-runtime side of it must still allocate nothing (the

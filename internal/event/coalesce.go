@@ -1,0 +1,154 @@
+package event
+
+import "eventopt/internal/telemetry"
+
+// Speculative coalescing of asynchronous chain raises (the paper's §5
+// future work): when a merged handler asynchronously raises an event
+// that is a covered async-entry segment of its own super-handler, and
+// the target is this same domain with nothing ahead of it in line, the
+// raise is captured as a pending *continuation* instead of travelling
+// the enqueue/wake/pop route. The continuation still runs as its own
+// top-level activation — handler atomicity, tracing depth and the
+// serialized-activation discipline are unchanged — but it executes
+// directly through the merged segment, skipping the generic
+// marshal/lookup/indirect-call sequence and the queue handoff.
+//
+// The capture guard (all under one queue-lock hold, so the decision is
+// atomic against producers):
+//
+//   - the raised event has a covered, non-entry segment marked
+//     AsyncEntry by the planner;
+//   - the segment's event is owned by the raising domain (a cross-domain
+//     pin must hand off through the owner's queue);
+//   - the segment guard (binding version) currently matches;
+//   - the domain's run queue is empty, no batched-drain remainder is in
+//     flight, and no timer is due — otherwise the continuation would
+//     overtake work that the generic schedule runs first.
+//
+// Any guard failure falls back to a real enqueue, so the observable
+// order equals the generic one: a captured continuation is exactly what
+// the generic queue head would have been, and later enqueues land
+// behind it on both routes. The guard is re-checked when the
+// continuation runs; a rebind that raced the pending continuation drops
+// it into the original unoptimized code for just that event (the same
+// per-segment fallback as Fig. 14).
+
+// dispatchNestedAsync attempts to coalesce an asynchronous raise of ev
+// from inside a merged handler. It reports whether it consumed the
+// raise (captured a continuation or fell back to enqueueing itself);
+// false means the caller must take the normal enqueue path.
+func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
+	sh := ce.sh
+	idx, ok := sh.segOf[ev]
+	if !ok || idx == 0 || !sh.Segments[idx].AsyncEntry {
+		return false
+	}
+	d := ce.d
+	s := d.sys
+	if int(sh.recs[idx].dom.Load()) != d.idx {
+		// Cross-domain pin: the owning domain alone consumes its queue.
+		d.stats.CoalesceFallbacks.Add(1)
+		return false
+	}
+	if !sh.segMatches(idx) {
+		// Already-stale segment guard: not worth capturing.
+		d.stats.CoalesceFallbacks.Add(1)
+		return false
+	}
+	a := s.getAct()
+	a.ev, a.mode = ev, Async
+	a.setArgs(args)
+	d.qmu.Lock()
+	if d.q.len() > 0 || d.batchRem.Load() > 0 || d.dueTimerLocked(s.clock.Now()) {
+		// Pending work would be overtaken (or a bounded queue is under
+		// pressure): fall back to a real enqueue behind it. batchRem covers
+		// activations a batched drain has popped but not yet run — they are
+		// no longer in the queue, yet still ahead of this raise in program
+		// order, so the raise must land behind them.
+		d.qmu.Unlock()
+		d.stats.CoalesceFallbacks.Add(1)
+		if s.tel != nil {
+			a.enqAt, a.enqSet = s.clock.Now(), true
+		}
+		d.enqueueAct(a)
+		return true
+	}
+	a.csh, a.cidx = sh, idx
+	d.cont = append(d.cont, a)
+	d.qmu.Unlock()
+	d.stats.Coalesced.Add(1)
+	if h := s.sched; h != nil {
+		h.Sched(SchedCoalesce, d.idx, ev, sh.Segments[idx].Version)
+	}
+	// A sync Raise from outside the run loop can coalesce while the
+	// domain's loop is parked; wake it like an enqueue would.
+	d.nudge()
+	return true
+}
+
+// runCont executes one pending coalesced continuation popped from the
+// scheduler. Under the Propagate policy it dispatches directly through
+// the captured segment; under supervision it takes the full top-level
+// route so retry, quarantine and deopt-replay behave exactly as for an
+// enqueued activation.
+func (d *Domain) runCont(a *activation) {
+	s := d.sys
+	if s.policy() != Propagate {
+		d.runTop(a)
+		return
+	}
+	sh, idx := a.csh, a.cidx
+	func() {
+		// Deferred unlock for the same reason as runTop: a Propagate-policy
+		// panic unwinds through here.
+		d.runMu.Lock()
+		defer d.runMu.Unlock()
+		d.telAttempt = 0
+		s.dispatchSeg(d, sh, idx, a.ev, a.args())
+	}()
+	s.putAct(a)
+}
+
+// dispatchSeg is the direct dispatch route of a coalesced continuation:
+// a top-level asynchronous activation of a covered event, executed
+// through its super-handler segment instead of the generic path. Caller
+// holds runMu and the policy is Propagate. The segment guard is
+// re-checked here; a mismatch falls back to the original code.
+func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args []Arg) {
+	tel := s.tel
+	var start Duration
+	sampled := false
+	if tel != nil {
+		if sampled = tel.RecordDispatch(d.idx, int32(ev), false); sampled {
+			start = s.clock.Now()
+		}
+	}
+	snap := sh.recs[idx].snap.Load()
+	if snap.deleted {
+		// Matches the generic async route: the dispatch error of a deleted
+		// event is discarded before any counter moves.
+		return
+	}
+	tracer := s.tracer()
+	d.stats.Raises.Add(1)
+	d.stats.AsyncRaises.Add(1)
+	if tracer != nil {
+		tracer.Event(ev, snap.name, Async, 0, d.idx)
+	}
+	if !sh.segMatches(idx) {
+		// A rebind raced the pending continuation.
+		d.stats.SegFallbacks.Add(1)
+		d.generic(snap, ev, Async, args, 0, tracer)
+	} else {
+		d.stats.FastRuns.Add(1)
+		ce := &d.slot(0).ce
+		*ce = chainExec{sh: sh, d: d, tracer: tracer, supervised: false}
+		ce.runSegment(idx, args, Async, 0)
+	}
+	if sampled {
+		end := s.clock.Now()
+		dur := int64(end - start)
+		tel.RecordLatency(d.idx, int32(ev), dur)
+		tel.RecordActivation(d.idx, int32(ev), uint8(Async), telemetry.OutcomeOK, 0, dur, int64(end), nil)
+	}
+}

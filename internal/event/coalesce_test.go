@@ -1,0 +1,319 @@
+package event
+
+import (
+	"testing"
+)
+
+// pipelineSH installs a two-segment super-handler head -> ~tail on s:
+// the head handler asynchronously raises tail, and the tail segment is
+// marked AsyncEntry so that raise is a coalescing candidate. It returns
+// the two event IDs and a pointer to the tail run counter.
+func pipelineSH(t *testing.T, s *System) (head, tail ID, tailRuns *int) {
+	t.Helper()
+	head = s.Define("head")
+	tail = s.Define("tail")
+	runs := new(int)
+	headFn := func(ctx *Ctx) { ctx.RaiseAsync(tail, A("n", ctx.Args.Int("n"))) }
+	tailFn := func(ctx *Ctx) { *runs += ctx.Args.Int("n") }
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	sh := &SuperHandler{
+		Entry: head,
+		Segments: []Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	return head, tail, runs
+}
+
+// TestCoalesceCapturesAndRuns: with an idle queue, the interior async
+// raise is captured as a continuation (no enqueue) and a later Step runs
+// it through the merged segment.
+func TestCoalesceCapturesAndRuns(t *testing.T) {
+	s := New()
+	head, _, tailRuns := pipelineSH(t, s)
+	if err := s.Raise(head, A("n", 5)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsAggregate()
+	if st.Coalesced != 1 {
+		t.Fatalf("Coalesced = %d, want 1", st.Coalesced)
+	}
+	if *tailRuns != 0 {
+		t.Fatal("continuation ran inside the raising activation; must be a separate top-level step")
+	}
+	if !s.Step() {
+		t.Fatal("captured continuation not runnable via Step")
+	}
+	if *tailRuns != 5 {
+		t.Fatalf("tail handler saw n=%d, want 5", *tailRuns)
+	}
+	st = s.StatsAggregate()
+	if st.FastRuns != 2 {
+		t.Fatalf("FastRuns = %d, want 2 (entry + continuation segment)", st.FastRuns)
+	}
+	if st.AsyncRaises != 1 || st.Raises != 2 {
+		t.Fatalf("raise counters off: %+v", st)
+	}
+}
+
+// TestCoalesceFallbackQueueNotEmpty: pending queued work blocks the
+// capture — the raise is demoted to a real enqueue behind it, and the
+// delivery order matches the generic FIFO.
+func TestCoalesceFallbackQueueNotEmpty(t *testing.T) {
+	s := New()
+	var order []string
+	head := s.Define("head")
+	tail := s.Define("tail")
+	other := s.Define("other")
+	headFn := func(ctx *Ctx) { ctx.RaiseAsync(tail) }
+	tailFn := func(*Ctx) { order = append(order, "tail") }
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	s.Bind(other, "ho", func(*Ctx) { order = append(order, "other") })
+	sh := &SuperHandler{
+		Entry: head,
+		Segments: []Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+
+	s.RaiseAsync(other) // sits in the queue when head's raise happens
+	if err := s.Raise(head); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsAggregate()
+	if st.Coalesced != 0 || st.CoalesceFallbacks != 1 {
+		t.Fatalf("want pure fallback, got Coalesced=%d CoalesceFallbacks=%d",
+			st.Coalesced, st.CoalesceFallbacks)
+	}
+	s.Drain()
+	if len(order) != 2 || order[0] != "other" || order[1] != "tail" {
+		t.Fatalf("fallback broke FIFO order: %v", order)
+	}
+}
+
+// TestCoalesceFallbackDueTimer: a timer at or past its deadline also
+// blocks the capture — the continuation must not overtake it.
+func TestCoalesceFallbackDueTimer(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc))
+	head, _, tailRuns := pipelineSH(t, s)
+	tick := s.Define("tick")
+	ticks := 0
+	s.Bind(tick, "ht", func(*Ctx) { ticks++ })
+	s.RaiseAfter(0, tick) // due immediately
+	if err := s.Raise(head, A("n", 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsAggregate()
+	if st.Coalesced != 0 || st.CoalesceFallbacks != 1 {
+		t.Fatalf("due timer did not force fallback: Coalesced=%d Fallbacks=%d",
+			st.Coalesced, st.CoalesceFallbacks)
+	}
+	s.Drain()
+	if ticks != 1 || *tailRuns != 2 {
+		t.Fatalf("drain incomplete: ticks=%d tailRuns=%d", ticks, *tailRuns)
+	}
+}
+
+// TestCoalesceFallbackCrossDomain: an async-entry segment pinned to a
+// different domain must hand off through that domain's queue.
+func TestCoalesceFallbackCrossDomain(t *testing.T) {
+	s := New(WithDomains(2))
+	head, _, tailRuns := pipelineSH(t, s) // IDs alternate: head on domain 0, tail on domain 1
+	if err := s.Raise(head, A("n", 4)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsAggregate()
+	if st.Coalesced != 0 || st.CoalesceFallbacks != 1 {
+		t.Fatalf("cross-domain raise not demoted: Coalesced=%d Fallbacks=%d",
+			st.Coalesced, st.CoalesceFallbacks)
+	}
+	s.Drain()
+	if *tailRuns != 4 {
+		t.Fatalf("tail handler saw n=%d, want 4", *tailRuns)
+	}
+}
+
+// TestCoalesceRebindBetweenCaptureAndRun: a rebind racing the pending
+// continuation trips the segment guard at run time; the continuation
+// falls back to generic dispatch against the fresh snapshot, so the
+// newly bound handler runs.
+func TestCoalesceRebindBetweenCaptureAndRun(t *testing.T) {
+	s := New()
+	head, tail, tailRuns := pipelineSH(t, s)
+	if err := s.Raise(head, A("n", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StatsAggregate().Coalesced; got != 1 {
+		t.Fatalf("Coalesced = %d, want 1", got)
+	}
+	fresh := 0
+	s.Bind(tail, "late", func(*Ctx) { fresh++ }) // bumps tail's version
+	if !s.Step() {
+		t.Fatal("continuation not runnable")
+	}
+	st := s.StatsAggregate()
+	if st.SegFallbacks == 0 {
+		t.Fatal("stale continuation did not take the segment fallback")
+	}
+	if *tailRuns != 1 || fresh != 1 {
+		t.Fatalf("generic fallback ran wrong bindings: tailRuns=%d fresh=%d", *tailRuns, fresh)
+	}
+}
+
+// TestCoalesceSupervisedRetries: under a supervision policy, a captured
+// continuation takes the full top-level route, so a panicking tail
+// handler still reaches the retry machinery.
+func TestCoalesceSupervisedRetries(t *testing.T) {
+	vc := NewVirtualClock()
+	s := New(WithClock(vc),
+		WithFaultConfig(FaultConfig{Policy: Isolate}),
+		WithRetryConfig(RetryConfig{MaxAttempts: 2, Backoff: 1e6}))
+	head := s.Define("head")
+	tail := s.Define("tail")
+	attempts := 0
+	headFn := func(ctx *Ctx) { ctx.RaiseAsync(tail) }
+	tailFn := func(*Ctx) {
+		attempts++
+		if attempts == 1 {
+			panic("first attempt fails")
+		}
+	}
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	sh := &SuperHandler{
+		Entry: head,
+		Segments: []Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(head); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.StatsAggregate().Coalesced; got != 1 {
+		t.Fatalf("Coalesced = %d, want 1", got)
+	}
+	s.Drain() // runs the continuation; the failed attempt arms a retry timer
+	s.Drain() // advances the virtual clock to the retry deadline
+	if attempts != 2 {
+		t.Fatalf("tail ran %d times, want 2 (original + retry)", attempts)
+	}
+	if got := s.StatsAggregate().Retries; got != 1 {
+		t.Fatalf("Retries = %d, want 1", got)
+	}
+}
+
+// TestBatchedDrainRemainderBlocksCoalesce: activations a batched drain
+// has popped but not yet run are no longer visible in the queue, yet a
+// coalesced continuation must not overtake them. With three heads popped
+// in one batch, each head's interior raise must land behind the batch
+// remainder, reproducing the unbatched FIFO h1 h2 h3 t1 t2 t3.
+func TestBatchedDrainRemainderBlocksCoalesce(t *testing.T) {
+	s := New()
+	var order []string
+	head := s.Define("head")
+	tail := s.Define("tail")
+	headFn := func(ctx *Ctx) {
+		order = append(order, "h")
+		ctx.RaiseAsync(tail)
+	}
+	tailFn := func(*Ctx) { order = append(order, "t") }
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	sh := &SuperHandler{
+		Entry: head,
+		Segments: []Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		s.RaiseAsync(head)
+	}
+	s.DrainBatched(8) // all three heads pop in one batch
+	want := []string{"h", "h", "h", "t", "t", "t"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (continuation overtook batch remainder)", order, want)
+		}
+	}
+	// h1 and h2 must have demoted their raises (batch remainder ahead),
+	// h3's raise sees t1/t2 queued so it demotes too: three fallbacks.
+	st := s.StatsAggregate()
+	if st.CoalesceFallbacks != 3 || st.Coalesced != 0 {
+		t.Fatalf("want 3 fallbacks 0 coalesces, got Fallbacks=%d Coalesced=%d",
+			st.CoalesceFallbacks, st.Coalesced)
+	}
+
+	// A lone head popped as the whole batch has no remainder: its raise
+	// coalesces and the continuation runs inside the same drain.
+	order = order[:0]
+	s.RaiseAsync(head)
+	s.DrainBatched(8)
+	if len(order) != 2 || order[0] != "h" || order[1] != "t" {
+		t.Fatalf("singleton batch order = %v, want [h t]", order)
+	}
+	if got := s.StatsAggregate().Coalesced; got != 1 {
+		t.Fatalf("singleton batch Coalesced = %d, want 1", got)
+	}
+}
+
+// TestDrainBatchedEquivalent: the batched drain runs exactly the work a
+// step-by-step drain would, including continuations and timers.
+func TestDrainBatchedEquivalent(t *testing.T) {
+	run := func(batched bool) (int, int64) {
+		vc := NewVirtualClock()
+		s := New(WithClock(vc))
+		head, _, tailRuns := pipelineSH(t, s)
+		tick := s.Define("tick")
+		s.Bind(tick, "ht", func(*Ctx) { *tailRuns += 100 })
+		for i := 0; i < 5; i++ {
+			s.RaiseAsync(head, A("n", 1))
+		}
+		s.RaiseAfter(3e6, tick)
+		var n int
+		if batched {
+			n = s.DrainBatched(4)
+		} else {
+			n = s.Drain()
+		}
+		return n, int64(*tailRuns)
+	}
+	nStep, sumStep := run(false)
+	nBatch, sumBatch := run(true)
+	if nStep != nBatch || sumStep != sumBatch {
+		t.Fatalf("batched drain diverges: ran %d (sum %d) vs step %d (sum %d)",
+			nBatch, sumBatch, nStep, sumStep)
+	}
+	if sumStep != 105 {
+		t.Fatalf("workload sum = %d, want 105", sumStep)
+	}
+}

@@ -62,6 +62,27 @@ func (d *Domain) runTop(a *activation) {
 	d.sys.putAct(a)
 }
 
+// runTopResolved is runTop with the registry resolution supplied by the
+// caller — the batched drain loop hoists it across consecutive
+// activations of the same event (domain.go runBatch). Telemetry-enabled
+// systems never take this route (the timed wrapper re-resolves).
+func (d *Domain) runTopResolved(a *activation, r *eventRec, snap *bindingSnapshot, fast *SuperHandler) {
+	var faults int
+	func() {
+		d.runMu.Lock()
+		defer d.runMu.Unlock()
+		d.fault.activationFaults = 0
+		d.telAttempt = a.attempt
+		_ = d.sys.dispatchResolved(d, a.ev, a.mode, a.args(), 0, r, snap, fast)
+		faults = d.fault.activationFaults
+		d.fault.activationFaults = 0
+	}()
+	if faults > 0 {
+		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt)
+	}
+	d.sys.putAct(a)
+}
+
 // raiseNested executes a synchronous activation from inside a handler.
 // The atomicity lock of the caller's domain is already held by the
 // enclosing top-level dispatch; the nested activation runs inline in
@@ -98,12 +119,17 @@ func (s *System) dispatchCore(d *Domain, ev ID, mode Mode, args []Arg, depth int
 	if r == nil {
 		return ErrUnknownEvent
 	}
-	snap := r.snap.Load()
+	return s.dispatchResolved(d, ev, mode, args, depth, r, r.snap.Load(), r.fast.Load())
+}
+
+// dispatchResolved is dispatchCore past registry resolution. The batched
+// drain loop calls it directly with a resolution hoisted across the
+// batch (domain.go runBatch); the guards below still run per activation.
+func (s *System) dispatchResolved(d *Domain, ev ID, mode Mode, args []Arg, depth int, r *eventRec, snap *bindingSnapshot, fast *SuperHandler) error {
 	if snap.deleted {
 		return ErrDeletedEvent
 	}
 	tracer := s.tracer()
-	fast := r.fast.Load()
 
 	d.stats.Raises.Add(1)
 	switch mode {

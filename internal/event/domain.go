@@ -3,6 +3,7 @@ package event
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,7 +27,7 @@ type Domain struct {
 	runMu   sync.Mutex // handler atomicity lock, held across a top-level activation
 	stateMu sync.Mutex // per-handler state-maintenance lock (cost model)
 
-	qmu      sync.Mutex // guards q, timers and the queue bound
+	qmu      sync.Mutex // guards q, timers, cont and the queue bound
 	q        actRing    // run queue: pooled activation records in a ring
 	timers   timerHeap
 	tseq     uint64
@@ -34,6 +35,26 @@ type Domain struct {
 	qcap     int            // run-queue capacity (0 = unbounded)
 	qpolicy  OverflowPolicy // applied when the bounded queue is full
 	wake     chan struct{}  // nudges run loops when work arrives; never nil
+
+	// cont holds coalesced asynchronous raises pending on this domain
+	// (coalesce.go): continuations captured instead of enqueued, drained
+	// before the run queue (they stand for what would have been the queue
+	// head, which the coalesce guard proved empty). contHead indexes the
+	// next pending entry; the slice is reset when it empties.
+	cont     []*activation
+	contHead int
+
+	batchK   int           // drain batch size for run/DrainBatched (<=1: unbatched)
+	batchBuf []*activation // reusable batch scratch of the owning drain loop
+
+	// batchRem counts batch-popped activations not yet executed by the
+	// drain loop. They are no longer in the queue but are logically ahead
+	// of any new raise, so the coalesce guard treats batchRem > 0 exactly
+	// like a non-empty queue — otherwise a continuation captured mid-batch
+	// would overtake the batch remainder, breaking FIFO equivalence with
+	// the unbatched drain. Written by the owning drain loop (and under qmu
+	// at batch-pop time); read atomically by the guard.
+	batchRem atomic.Int32
 
 	slots []*dispatchSlot // depth-indexed dispatch scratch, guarded by runMu
 
@@ -141,6 +162,10 @@ func (d *Domain) step() bool {
 		fire()
 		return true
 	}
+	if a.csh != nil {
+		d.runCont(a)
+		return true
+	}
 	d.runTop(a)
 	return true
 }
@@ -236,12 +261,25 @@ func (s *System) Run(stop <-chan struct{}) int {
 	return n
 }
 
-// run is one domain's blocking event loop.
+// run is one domain's blocking event loop. With a batch size configured
+// (WithBatchDrain) it pulls up to K activations per queue-lock
+// acquisition and per wakeup instead of one.
 func (d *Domain) run(stop <-chan struct{}) int {
 	n := 0
+	batch := d.batchScratch()
 	for {
-		for d.step() {
-			n++
+		if batch == nil {
+			for d.step() {
+				n++
+			}
+		} else {
+			for {
+				m := d.popRunnableBatch(batch)
+				if m == 0 {
+					break
+				}
+				n += d.runBatch(batch[:m])
+			}
 		}
 		select {
 		case <-stop:
@@ -271,6 +309,121 @@ func (d *Domain) run(stop <-chan struct{}) int {
 			return n
 		case <-d.wake:
 		}
+	}
+}
+
+// batchScratch returns the domain's reusable batch buffer sized to its
+// configured batch K, or nil when batching is off. Only the single
+// drain loop that owns the domain (run, or a DrainBatched pump) may use
+// it — the same exclusivity Drain and Run already require.
+func (d *Domain) batchScratch() []*activation {
+	k := d.batchK
+	if k <= 1 {
+		return nil
+	}
+	if cap(d.batchBuf) < k {
+		d.batchBuf = make([]*activation, k)
+	}
+	return d.batchBuf[:k]
+}
+
+// runBatch executes a popped batch in order and returns how many
+// activations ran. The registry resolution (record, binding snapshot,
+// fast path) is hoisted across the batch: consecutive activations of the
+// same event reuse one resolution while the publish generation is
+// unchanged, so a K-item batch of a hot event pays one set of atomic
+// registry loads instead of K. Guards are still enforced per activation
+// — a publish, install or deopt bumps the generation and invalidates
+// the cache, and the fast-path version check re-runs on every dispatch
+// regardless.
+//
+// Continuations need no per-item drain here: the coalesce guard rejects
+// captures while the batch remainder is in flight (batchRem), so one can
+// only appear during the final item — and the next popRunnableBatch
+// pops pending continuations before anything else.
+func (d *Domain) runBatch(batch []*activation) int {
+	s := d.sys
+	n := 0
+	gen := s.pubGen.Load()
+	var (
+		lastEv   = NoID
+		lastRec  *eventRec
+		lastSnap *bindingSnapshot
+		lastFast *SuperHandler
+	)
+	for i, a := range batch {
+		batch[i] = nil
+		// Items after this one are still ahead in program order; the
+		// coalesce guard must not let a continuation overtake them.
+		d.batchRem.Store(int32(len(batch) - i - 1))
+		switch {
+		case a.fire != nil:
+			fire := a.fire
+			s.putAct(a)
+			fire()
+		case a.csh != nil:
+			d.runCont(a)
+		case s.tel != nil:
+			// The telemetry wrapper re-times each activation; it resolves
+			// for itself.
+			d.runTop(a)
+		default:
+			if g := s.pubGen.Load(); a.ev != lastEv || g != gen {
+				gen, lastEv = g, a.ev
+				lastRec = s.recLF(a.ev)
+				if lastRec != nil {
+					lastSnap = lastRec.snap.Load()
+					lastFast = lastRec.fast.Load()
+				}
+			}
+			if lastRec == nil {
+				s.putAct(a) // unknown event: the async dispatch error is discarded
+			} else {
+				d.runTopResolved(a, lastRec, lastSnap, lastFast)
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// DrainBatched behaves like Drain but pumps each domain in batches of up
+// to k activations per queue-lock acquisition (k <= 1 degenerates to
+// Drain). Like Drain it runs everything from the calling goroutine in
+// domain order, so it must not race a concurrent Run loop.
+func (s *System) DrainBatched(k int) int {
+	if k <= 1 {
+		return s.Drain()
+	}
+	n := 0
+	for {
+		ran := 0
+		for _, d := range s.domains {
+			if cap(d.batchBuf) < k {
+				d.batchBuf = make([]*activation, k)
+			}
+			batch := d.batchBuf[:k]
+			for {
+				m := d.popRunnableBatch(batch)
+				if m == 0 {
+					break
+				}
+				ran += d.runBatch(batch[:m])
+			}
+		}
+		if ran > 0 {
+			n += ran
+			continue
+		}
+		vc, ok := s.clock.(*VirtualClock)
+		if !ok {
+			return n
+		}
+		at, any := s.earliestDeadline()
+		if !any {
+			return n
+		}
+		vc.advanceTo(at)
 	}
 }
 

@@ -32,6 +32,12 @@ type Segment struct {
 	// FusedIR optionally records the IR behind Fused (an *hir.Function),
 	// kept opaque here; the code-size experiment reads it.
 	FusedIR any
+	// AsyncEntry marks a segment whose link from its predecessor in the
+	// chain is asynchronous in the profile: an async raise of this event
+	// from inside the chain may be speculatively coalesced into an inline
+	// continuation instead of enqueued (coalesce.go). Sync subsumption of
+	// the segment is unaffected.
+	AsyncEntry bool
 }
 
 // SuperHandler is an optimized dispatch route installed for one event.
@@ -134,6 +140,7 @@ func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) 
 	if cas {
 		swapped := r.fast.CompareAndSwap(old, sh)
 		if swapped {
+			s.pubGen.Add(1)
 			if h := s.sched; h != nil {
 				h.Sched(SchedInstall, int(r.dom.Load()), sh.Entry, sh.Segments[0].Version)
 			}
@@ -141,6 +148,7 @@ func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) 
 		return swapped, nil
 	}
 	r.fast.Store(sh)
+	s.pubGen.Add(1)
 	if h := s.sched; h != nil {
 		h.Sched(SchedInstall, int(r.dom.Load()), sh.Entry, sh.Segments[0].Version)
 	}
@@ -151,6 +159,7 @@ func (s *System) installFastPath(sh *SuperHandler, old *SuperHandler, cas bool) 
 func (s *System) RemoveFastPath(ev ID) {
 	if r := s.recLF(ev); r != nil {
 		r.fast.Store(nil)
+		s.pubGen.Add(1)
 		if h := s.sched; h != nil {
 			h.Sched(SchedRemove, int(r.dom.Load()), ev, 0)
 		}
@@ -166,6 +175,7 @@ func (s *System) RemoveFastPathIf(sh *SuperHandler) bool {
 	if r == nil || !r.fast.CompareAndSwap(sh, nil) {
 		return false
 	}
+	s.pubGen.Add(1)
 	if h := s.sched; h != nil {
 		h.Sched(SchedRemove, int(r.dom.Load()), sh.Entry, 0)
 	}
@@ -181,6 +191,7 @@ func (s *System) deoptimize(d *Domain, sh *SuperHandler) {
 	if r == nil || !r.fast.CompareAndSwap(sh, nil) {
 		return
 	}
+	s.pubGen.Add(1)
 	d.stats.Deopts.Add(1)
 	if h := s.sched; h != nil {
 		h.Sched(SchedRemove, d.idx, sh.Entry, 0)

@@ -135,8 +135,16 @@ func (c *Ctx) Raise(ev ID, args ...Arg) {
 }
 
 // RaiseAsync asynchronously activates another event; it returns
-// immediately and the handlers run later from the event loop.
+// immediately and the handlers run later from the event loop. If the
+// current activation executes under a super-handler whose chain covers
+// ev as an async-entry segment, the raise may be coalesced into a
+// pending continuation on the same domain instead of enqueued
+// (coalesce.go); the fallback guard keeps the observable order equal to
+// the enqueue route.
 func (c *Ctx) RaiseAsync(ev ID, args ...Arg) {
+	if c.chain != nil && c.chain.dispatchNestedAsync(c, ev, args) {
+		return
+	}
 	c.System.enqueue(ev, Async, args)
 }
 

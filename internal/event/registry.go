@@ -73,6 +73,7 @@ func (s *System) Define(name string) ID {
 	s.byName[name] = id
 	s.publishTableLocked()
 	s.publishNamesLocked()
+	s.pubGen.Add(1)
 	if s.tel != nil {
 		// Pre-grow the telemetry tables so its record paths never allocate.
 		s.tel.DefineEvent(int32(id), name)
@@ -185,6 +186,7 @@ func (s *System) Delete(ev ID) error {
 	delete(s.byName, r.name)
 	s.publishNamesLocked()
 	r.fast.Store(nil)
+	s.pubGen.Add(1)
 	if h := s.sched; h != nil {
 		h.Sched(SchedPublish, int(r.dom.Load()), ev, r.ver.Load())
 	}
@@ -224,6 +226,7 @@ func (s *System) Bind(ev ID, name string, fn HandlerFunc, opts ...BindOption) Bi
 		return r.handlers[i].seq < r.handlers[j].seq
 	})
 	r.publish(true)
+	s.pubGen.Add(1)
 	if h := s.sched; h != nil {
 		h.Sched(SchedPublish, int(r.dom.Load()), ev, r.ver.Load())
 	}
@@ -243,6 +246,7 @@ func (s *System) Unbind(b Binding) error {
 		if h.seq == b.seq {
 			r.handlers = append(r.handlers[:i], r.handlers[i+1:]...)
 			r.publish(true)
+			s.pubGen.Add(1)
 			if hk := s.sched; hk != nil {
 				hk.Sched(SchedPublish, int(r.dom.Load()), b.ev, r.ver.Load())
 			}

@@ -40,6 +40,32 @@ func (r *actRing) pop() *activation {
 	return a
 }
 
+// popN removes up to max of the oldest records into dst — bounded also
+// by len(dst) and the queue length — and reports how many it moved. It
+// is the bulk analogue of pop: one call under the queue lock drains a
+// whole batch, and every vacated slot is cleared so the ring does not
+// pin released records.
+func (r *actRing) popN(dst []*activation, max int) int {
+	n := int(r.tail - r.head)
+	if n > max {
+		n = max
+	}
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	mask := uint64(len(r.buf) - 1)
+	for i := 0; i < n; i++ {
+		j := (r.head + uint64(i)) & mask
+		dst[i] = r.buf[j]
+		r.buf[j] = nil
+	}
+	r.head += uint64(n)
+	return n
+}
+
 // grow doubles the ring, unwrapping the live window to the front.
 func (r *actRing) grow() {
 	n := len(r.buf) * 2

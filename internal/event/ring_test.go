@@ -1,0 +1,126 @@
+package event
+
+import "testing"
+
+// TestActRingPopNEmpty: popN on an empty (even never-pushed) ring moves
+// nothing and touches no dst slots.
+func TestActRingPopNEmpty(t *testing.T) {
+	var r actRing
+	dst := make([]*activation, 4)
+	sentinel := &activation{}
+	dst[0] = sentinel
+	if n := r.popN(dst, 4); n != 0 {
+		t.Fatalf("popN on empty ring = %d, want 0", n)
+	}
+	if dst[0] != sentinel {
+		t.Fatal("popN wrote into dst despite moving nothing")
+	}
+	// Drained-to-empty ring behaves the same.
+	r.push(&activation{})
+	r.pop()
+	if n := r.popN(dst, 4); n != 0 {
+		t.Fatalf("popN on drained ring = %d, want 0", n)
+	}
+}
+
+// TestActRingPopNWrapAround: a batch that straddles the ring's wrap
+// point comes out in FIFO order and clears every vacated slot.
+func TestActRingPopNWrapAround(t *testing.T) {
+	var r actRing
+	acts := make([]*activation, 0, 3*ringMinCap)
+	mk := func(i int) *activation {
+		a := &activation{ev: ID(i + 1)}
+		acts = append(acts, a)
+		return a
+	}
+	// Fill to capacity, drain most, refill past the wrap point.
+	for i := 0; i < ringMinCap; i++ {
+		r.push(mk(i))
+	}
+	popped := 0
+	for i := 0; i < ringMinCap-2; i++ {
+		if got := r.pop(); got != acts[popped] {
+			t.Fatalf("pop %d = %p, want %p", i, got, acts[popped])
+		}
+		popped++
+	}
+	for i := ringMinCap; i < ringMinCap+6; i++ {
+		r.push(mk(i)) // head is near the end: these wrap
+	}
+	if r.len() != 8 {
+		t.Fatalf("ring len = %d, want 8", r.len())
+	}
+	dst := make([]*activation, 16)
+	n := r.popN(dst, 16)
+	if n != 8 {
+		t.Fatalf("popN = %d, want 8", n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i] != acts[popped+i] {
+			t.Fatalf("popN[%d] out of FIFO order", i)
+		}
+	}
+	for i, slot := range r.buf {
+		if slot != nil {
+			t.Fatalf("ring slot %d not cleared after popN", i)
+		}
+	}
+	if r.len() != 0 {
+		t.Fatalf("ring len after full popN = %d, want 0", r.len())
+	}
+}
+
+// TestActRingPopNBounded: popN respects both the max argument and
+// len(dst), leaving the remainder queued in order.
+func TestActRingPopNBounded(t *testing.T) {
+	var r actRing
+	var acts []*activation
+	for i := 0; i < 10; i++ {
+		a := &activation{ev: ID(i + 1)}
+		acts = append(acts, a)
+		r.push(a)
+	}
+	dst := make([]*activation, 8)
+	if n := r.popN(dst, 3); n != 3 {
+		t.Fatalf("popN(max=3) = %d, want 3", n)
+	}
+	if n := r.popN(dst[:2], 8); n != 2 {
+		t.Fatalf("popN(len(dst)=2) = %d, want 2", n)
+	}
+	if got := r.pop(); got != acts[5] {
+		t.Fatal("remainder not in FIFO order after bounded popN calls")
+	}
+	if r.len() != 4 {
+		t.Fatalf("ring len = %d, want 4", r.len())
+	}
+}
+
+// TestBatchedDrainBoundedQueue: a batched drain frees a full bounded
+// queue in one sweep, so producers rejected at the bound succeed again
+// afterwards — popN and the overflow policy share the same accounting.
+func TestBatchedDrainBoundedQueue(t *testing.T) {
+	s := New(WithQueueBound(4, RejectNew))
+	ev := s.Define("hot")
+	ran := 0
+	s.Bind(ev, "h", func(*Ctx) { ran++ })
+	for i := 0; i < 6; i++ {
+		s.RaiseAsync(ev)
+	}
+	if drops := s.StatsAggregate().QueueDrops; drops != 2 {
+		t.Fatalf("QueueDrops = %d, want 2", drops)
+	}
+	if n := s.DrainBatched(8); n != 4 {
+		t.Fatalf("DrainBatched ran %d activations, want 4", n)
+	}
+	if ran != 4 {
+		t.Fatalf("handler ran %d times, want 4", ran)
+	}
+	// The queue is empty again: the bound admits new work.
+	s.RaiseAsync(ev)
+	if n := s.DrainBatched(8); n != 1 {
+		t.Fatalf("post-drain DrainBatched ran %d, want 1", n)
+	}
+	if drops := s.StatsAggregate().QueueDrops; drops != 2 {
+		t.Fatalf("QueueDrops after refill = %d, want still 2", drops)
+	}
+}

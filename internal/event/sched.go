@@ -278,6 +278,13 @@ func cloneArgs(args []Arg) []Arg {
 func (d *Domain) popRunnable() *activation {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
+	// Pending coalesced continuations run first: each stands for what
+	// would have been the queue head at capture time (the coalesce guard
+	// required an empty queue), so continuation-before-queue preserves the
+	// generic FIFO order.
+	if a := d.popContLocked(); a != nil {
+		return a
+	}
 	now := d.sys.clock.Now()
 	// Due timers fire before queued events with respect to their deadline
 	// order, but queued events that were enqueued first still drain FIFO;
@@ -322,6 +329,122 @@ func (d *Domain) popRunnable() *activation {
 		}
 	}
 	return a
+}
+
+// popContLocked removes and returns the oldest pending coalesced
+// continuation (nil when none), clearing the vacated slot. Caller holds
+// qmu.
+func (d *Domain) popContLocked() *activation {
+	if d.contHead >= len(d.cont) {
+		return nil
+	}
+	a := d.cont[d.contHead]
+	d.cont[d.contHead] = nil
+	d.contHead++
+	if d.contHead == len(d.cont) {
+		d.cont = d.cont[:0]
+		d.contHead = 0
+	}
+	if h := d.sys.sched; h != nil {
+		h.Sched(SchedContinue, d.idx, a.ev, 0)
+	}
+	return a
+}
+
+// takeCont pops the oldest pending coalesced continuation, locking qmu.
+func (d *Domain) takeCont() *activation {
+	d.qmu.Lock()
+	a := d.popContLocked()
+	d.qmu.Unlock()
+	return a
+}
+
+// dueTimerLocked reports whether a live timer of this domain is at or
+// past its deadline at now. Caller holds qmu.
+func (d *Domain) dueTimerLocked(now Duration) bool {
+	for len(d.timers) > 0 {
+		e := d.timers.peek()
+		e.mu.Lock()
+		done, at := e.done, e.at
+		e.mu.Unlock()
+		if done {
+			d.dropDoneTimerLocked()
+			continue
+		}
+		return at <= now
+	}
+	return false
+}
+
+// popRunnableBatch fills dst with up to len(dst) runnable activations
+// under a single qmu acquisition — pending continuations first, then due
+// timers in deadline order, then queued activations FIFO — and reports
+// how many it moved. The queued portion reports one SchedBatchPop event
+// carrying the popped count instead of a SchedPop per activation.
+func (d *Domain) popRunnableBatch(dst []*activation) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	d.qmu.Lock()
+	n := 0
+	for n < len(dst) {
+		a := d.popContLocked()
+		if a == nil {
+			break
+		}
+		dst[n] = a
+		n++
+	}
+	now := d.sys.clock.Now()
+	for n < len(dst) && len(d.timers) > 0 {
+		e := d.timers.peek()
+		e.mu.Lock()
+		if e.done {
+			e.mu.Unlock()
+			d.dropDoneTimerLocked()
+			continue
+		}
+		if e.at > now {
+			e.mu.Unlock()
+			break
+		}
+		e.done = true
+		e.mu.Unlock()
+		heap.Pop(&d.timers)
+		a := d.sys.getAct()
+		a.ev, a.mode, a.attempt, a.fire = e.ev, e.mode, e.attempt, e.fire
+		a.adoptArgs(e.args)
+		e.args = nil
+		if tel := d.sys.tel; tel != nil && a.fire == nil {
+			tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-e.at))
+		}
+		if h := d.sys.sched; h != nil {
+			h.Sched(SchedTimerFire, d.idx, a.ev, 0)
+		}
+		dst[n] = a
+		n++
+	}
+	if n < len(dst) {
+		if k := d.q.popN(dst[n:], len(dst)-n); k > 0 {
+			if tel := d.sys.tel; tel != nil {
+				for _, a := range dst[n : n+k] {
+					if a.enqSet {
+						tel.RecordQueueDelay(d.idx, int32(a.ev), int64(now-a.enqAt))
+					}
+				}
+			}
+			if h := d.sys.sched; h != nil {
+				h.Sched(SchedBatchPop, d.idx, dst[n].ev, uint64(k))
+			}
+			n += k
+		}
+	}
+	// Publish the batch size before releasing qmu: from this moment the
+	// popped items are invisible to the queue but still ahead of any new
+	// raise, and the coalesce guard reads batchRem to respect that.
+	d.batchRem.Store(int32(n))
+	d.qmu.Unlock()
+	return n
 }
 
 // dropDoneTimerLocked pops the (done) heap top and credits the

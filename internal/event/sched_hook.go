@@ -30,6 +30,18 @@ const (
 	// SchedFastEntry: an activation entered an installed fast path (its
 	// guards passed); ver is the entry guard version that matched.
 	SchedFastEntry
+	// SchedCoalesce: an asynchronous raise of a covered async-entry
+	// segment was captured as a pending continuation on its own domain
+	// instead of enqueued (coalesce.go); ver is the segment guard version
+	// observed at capture.
+	SchedCoalesce
+	// SchedContinue: a pending coalesced continuation was taken for
+	// execution (the pop of a coalesced raise).
+	SchedContinue
+	// SchedBatchPop: a batched drain popped ver (>= 1) queued activations
+	// under one queue-lock acquisition; ev is the first popped event. It
+	// replaces the per-activation SchedPop on the batched path.
+	SchedBatchPop
 )
 
 // String returns the conventional name of the point.
@@ -49,6 +61,12 @@ func (p SchedPoint) String() string {
 		return "remove"
 	case SchedFastEntry:
 		return "fast-entry"
+	case SchedCoalesce:
+		return "coalesce"
+	case SchedContinue:
+		return "continue"
+	case SchedBatchPop:
+		return "batch-pop"
 	default:
 		return "SchedPoint(?)"
 	}
@@ -107,6 +125,9 @@ func (s *System) NextDeadline() (Duration, bool) {
 func (d *Domain) runnable() bool {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
+	if len(d.cont) > d.contHead {
+		return true
+	}
 	if d.q.len() > 0 {
 		return true
 	}

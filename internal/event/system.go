@@ -45,6 +45,10 @@ type Counters struct {
 	Locks        atomic.Int64 // state-maintenance lock acquisitions
 	HandlersRun  atomic.Int64 // total handler bodies executed (both paths)
 
+	// Async chain-merging counters (coalesce.go).
+	Coalesced         atomic.Int64 // async raises captured as pending continuations
+	CoalesceFallbacks atomic.Int64 // coalesce attempts that fell back to a real enqueue
+
 	// Supervision counters (fault.go). All zero under the default
 	// Propagate policy with an unbounded queue.
 	PanicsRecovered atomic.Int64 // handler panics recovered (Isolate/Quarantine)
@@ -78,6 +82,8 @@ func (c *Counters) Reset() {
 	c.ArgResolves.Store(0)
 	c.Locks.Store(0)
 	c.HandlersRun.Store(0)
+	c.Coalesced.Store(0)
+	c.CoalesceFallbacks.Store(0)
 	c.PanicsRecovered.Store(0)
 	c.Retries.Store(0)
 	c.Quarantines.Store(0)
@@ -97,6 +103,7 @@ type StatsSnapshot struct {
 	Generic, FastRuns, Fallbacks, SegFallbacks   int64
 	Indirect, Marshals, ArgResolves, Locks       int64
 	HandlersRun                                  int64
+	Coalesced, CoalesceFallbacks                 int64
 	PanicsRecovered, Retries, Quarantines        int64
 	Reinstates, Deopts, DeadLetters, QueueDrops  int64
 }
@@ -115,8 +122,10 @@ func (c *Counters) Snapshot() StatsSnapshot {
 		Indirect:        c.Indirect.Load(),
 		Marshals:        c.Marshals.Load(),
 		ArgResolves:     c.ArgResolves.Load(),
-		Locks:           c.Locks.Load(),
-		HandlersRun:     c.HandlersRun.Load(),
+		Locks:             c.Locks.Load(),
+		HandlersRun:       c.HandlersRun.Load(),
+		Coalesced:         c.Coalesced.Load(),
+		CoalesceFallbacks: c.CoalesceFallbacks.Load(),
 		PanicsRecovered: c.PanicsRecovered.Load(),
 		Retries:         c.Retries.Load(),
 		Quarantines:     c.Quarantines.Load(),
@@ -142,6 +151,8 @@ func (s *StatsSnapshot) add(o StatsSnapshot) {
 	s.ArgResolves += o.ArgResolves
 	s.Locks += o.Locks
 	s.HandlersRun += o.HandlersRun
+	s.Coalesced += o.Coalesced
+	s.CoalesceFallbacks += o.CoalesceFallbacks
 	s.PanicsRecovered += o.PanicsRecovered
 	s.Retries += o.Retries
 	s.Quarantines += o.Quarantines
@@ -171,6 +182,8 @@ func (s StatsSnapshot) Summary() string {
 	fmt.Fprintf(&b, "overheads     %8d indirect, %d marshals, %d arg-resolves, %d locks\n",
 		s.Indirect, s.Marshals, s.ArgResolves, s.Locks)
 	fmt.Fprintf(&b, "handlers run  %8d\n", s.HandlersRun)
+	fmt.Fprintf(&b, "coalesce      %8d merged async raises, %d enqueue fallbacks\n",
+		s.Coalesced, s.CoalesceFallbacks)
 	fmt.Fprintf(&b, "faults        %8d recovered, %d retries, %d quarantines, %d reinstates\n",
 		s.PanicsRecovered, s.Retries, s.Quarantines, s.Reinstates)
 	fmt.Fprintf(&b, "degradation   %8d deopts, %d dead-letters, %d queue drops\n",
@@ -203,6 +216,13 @@ type System struct {
 	table atomic.Pointer[[]*eventRec]   // lock-free ID -> record table
 	names atomic.Pointer[map[string]ID] // lock-free name -> ID table
 
+	// pubGen counts registry publishes (bind/unbind/delete/define) and
+	// fast-path installs/removals. The batched drain loop keys its hoisted
+	// registry resolution on it: any bump invalidates the cache, so a
+	// batch can reuse one resolution across same-event activations without
+	// weakening the guards (domain.go runBatch).
+	pubGen atomic.Uint64
+
 	noPool bool // test hook: disable activation pooling (oracle runs)
 
 	domains []*Domain
@@ -218,6 +238,7 @@ type System struct {
 	wantDomains  int            // WithDomains value, consumed by New
 	wantQcap     int            // queue bound remembered for domain creation
 	wantQpolicy  OverflowPolicy // overflow policy remembered for domain creation
+	wantBatchK   int            // WithBatchDrain value, consumed by New
 	wantTel      bool           // WithTelemetry requested, consumed by New
 	wantTelCfg   telemetry.Config
 	wantAdaptive any // WithAdaptiveOptimizer policy, consumed by the facade
@@ -251,6 +272,17 @@ func WithDomains(n int) Option {
 	return func(s *System) { s.wantDomains = n }
 }
 
+// WithBatchDrain sets the drain batch size K: each domain's Run loop
+// (and DrainBatched) pulls up to K runnable activations per queue-lock
+// acquisition and per wakeup, with the registry resolution hoisted
+// across consecutive same-event activations of a batch. K <= 1 (the
+// default) keeps the historical one-activation-per-acquisition loop.
+// Step and Drain are unaffected: deterministic single-step sweeps stay
+// byte-identical to the unbatched runtime.
+func WithBatchDrain(k int) Option {
+	return func(s *System) { s.wantBatchK = k }
+}
+
 // New creates an empty event system.
 func New(opts ...Option) *System {
 	s := &System{
@@ -267,6 +299,7 @@ func New(opts ...Option) *System {
 	s.domains = make([]*Domain, n)
 	for i := range s.domains {
 		s.domains[i] = newDomain(s, i)
+		s.domains[i].batchK = s.wantBatchK
 	}
 	if s.wantQcap > 0 {
 		s.SetQueueBound(s.wantQcap, s.wantQpolicy)
@@ -327,6 +360,8 @@ func (s *System) Stats() *Counters {
 	agg.ArgResolves.Store(snap.ArgResolves)
 	agg.Locks.Store(snap.Locks)
 	agg.HandlersRun.Store(snap.HandlersRun)
+	agg.Coalesced.Store(snap.Coalesced)
+	agg.CoalesceFallbacks.Store(snap.CoalesceFallbacks)
 	agg.PanicsRecovered.Store(snap.PanicsRecovered)
 	agg.Retries.Store(snap.Retries)
 	agg.Quarantines.Store(snap.Quarantines)

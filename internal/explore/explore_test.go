@@ -74,6 +74,22 @@ func TestExploreQuarantineLadder(t *testing.T) {
 	exploreScenario(t, QuarantineLadderScenario(), boundedOpts(1200), 1000)
 }
 
+// TestExploreAsyncPipeline model-checks speculative async chain merging:
+// optimized ≡ generic on every schedule, and the explored schedules must
+// include both coalesce-capturing and fallback-forcing interleavings
+// (otherwise the equivalence proof would be vacuous for one branch).
+func TestExploreAsyncPipeline(t *testing.T) {
+	sc, cov := AsyncPipelineScenario()
+	exploreScenario(t, sc, boundedOpts(1200), 1000)
+	t.Logf("async-pipeline coverage: %d coalesced, %d fallbacks", cov.Coalesced, cov.Fallbacks)
+	if cov.Coalesced == 0 {
+		t.Error("no explored schedule captured a coalesced continuation")
+	}
+	if cov.Fallbacks == 0 {
+		t.Error("no explored schedule forced a coalesce fallback")
+	}
+}
+
 // TestExploreFindsSeededBug is the harness sensitivity check: a
 // deliberately stale super-handler body must produce failing schedules
 // (raise after install) AND passing ones (raises drained first), and a

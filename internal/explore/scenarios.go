@@ -378,6 +378,109 @@ func QuarantineLadderScenario() Scenario {
 	return sc
 }
 
+// AsyncPipelineCoverage accumulates, across every explored schedule,
+// how often the optimized variant's speculative coalescing took each
+// branch. The explorer's equivalence check never sees these numbers
+// (route counters differ between variants by design); the test asserts
+// both branches were exercised.
+type AsyncPipelineCoverage struct {
+	Coalesced int64 // async raises captured as continuations
+	Fallbacks int64 // async raises demoted to a real enqueue
+}
+
+// AsyncPipelineScenario explores speculative async chain merging on a
+// two-domain pipeline: produce and process live on domain 0, deliver on
+// domain 1. Handlers chain produce ~> process ~> deliver through
+// asynchronous raises. The optimized variant installs an async-aware
+// plan (AsyncChains) built from a manually-weighted event graph, so the
+// produce super-handler covers the whole pipeline: its interior raise
+// of process is speculatively coalesced when domain 0's queue permits,
+// while the cross-domain raise of deliver always falls back to a real
+// enqueue. A rival thread raises process directly, forcing
+// queue-not-empty fallbacks on schedules where it gets ahead of the
+// producer. Every schedule must observe the exact generic delivery
+// order and stats.
+func AsyncPipelineScenario() (Scenario, *AsyncPipelineCoverage) {
+	cov := &AsyncPipelineCoverage{}
+	g := profile.NewEventGraph()
+	// IDs are assigned in Define order below: produce=first (domain 0),
+	// deliver=second (domain 1), process=third (domain 0). The graph uses
+	// the same order, purely-async edges, and full dominance.
+	sc := Scenario{
+		Name: "async-pipeline",
+		StepFP: func(d int) Footprint {
+			if d == 1 {
+				return Dom(1) // deliver handlers never leave domain 1
+			}
+			return Dom(0, 1) // domain-0 steps may hand off to domain 1
+		},
+	}
+	sc.Build = func(optimized bool, hook event.SchedHook) (*Instance, error) {
+		vc := event.NewVirtualClock()
+		s := event.New(sysOpts(vc, 2, hook)...)
+		produce := s.Define("produce") // domain 0
+		deliver := s.Define("deliver") // domain 1
+		process := s.Define("process") // domain 0
+
+		var delivered []int
+		s.Bind(produce, "producer", func(ctx *event.Ctx) {
+			ctx.RaiseAsync(process, event.A("n", ctx.Args.Int("n")))
+		})
+		s.Bind(process, "processor", func(ctx *event.Ctx) {
+			ctx.RaiseAsync(deliver, event.A("n", ctx.Args.Int("n")*10))
+		})
+		s.Bind(deliver, "sink", func(ctx *event.Ctx) {
+			delivered = append(delivered, ctx.Args.Int("n"))
+		})
+
+		if optimized {
+			if g.NumEdges() == 0 {
+				g.SetName(produce, "produce")
+				g.SetName(process, "process")
+				g.SetName(deliver, "deliver")
+				g.AddEdge(produce, process, 100, 0) // purely async
+				g.AddEdge(process, deliver, 100, 0)
+			}
+			prof := profile.GraphProfile(g)
+			opts := core.Options{
+				Subsume: true, GraphChains: true, AsyncChains: true,
+				Partitioned: true, MaxChainLen: 8, Threshold: 1,
+			}
+			if _, _, err := core.Apply(s, prof, nil, opts); err != nil {
+				return nil, err
+			}
+		}
+		produceOp := func(n int) Op {
+			return Op{Name: fmt.Sprintf("produce-%d", n), FP: Dom(0), Run: func(*Instance) {
+				s.RaiseAsync(produce, event.A("n", n))
+			}}
+		}
+		rivalOp := func(n int) Op {
+			return Op{Name: fmt.Sprintf("rival-%d", n), FP: Dom(0), Run: func(*Instance) {
+				s.RaiseAsync(process, event.A("n", n))
+			}}
+		}
+		inst := &Instance{
+			Sys:   s,
+			Clock: vc,
+			Threads: []Thread{
+				{Name: "producer", Ops: []Op{produceOp(1), produceOp(2), produceOp(3), produceOp(4)}},
+				{Name: "rival", Ops: []Op{rivalOp(7), rivalOp(8)}},
+			},
+			Observe: func() any {
+				if optimized {
+					st := s.StatsAggregate()
+					cov.Coalesced += st.Coalesced
+					cov.Fallbacks += st.CoalesceFallbacks
+				}
+				return struct{ Delivered []int }{append([]int(nil), delivered...)}
+			},
+		}
+		return inst, nil
+	}
+	return sc, cov
+}
+
 // SeededBugScenario is the harness's own sensitivity check: the
 // "optimized" variant installs, mid-schedule, a super-handler whose
 // guard version is correct but whose body is stale — it raises yOld

@@ -373,3 +373,156 @@ func (g *EventGraph) Chains() []Path {
 	}
 	return chains
 }
+
+// Chain is an event chain with per-link activation modes: Async[i]
+// reports whether the link into Events[i] is asynchronous in the
+// profile (Async[0] is always false — a chain head has no incoming
+// link). Chains() callers that only merge synchronous chains keep using
+// Path; ChainsAsync returns these richer records.
+type Chain struct {
+	Events Path
+	Async  []bool
+}
+
+// ChainsAsync extracts chains like Chains but may extend a chain across
+// an asynchronous (or mixed) edge when the successor overwhelmingly
+// follows the producer: the single successor edge v->w also carries at
+// least share of w's total incoming weight, so an activation of w is,
+// with high probability, caused by v. Those links are marked
+// asynchronous in the result; the planner turns them into async-entry
+// segments whose raise is speculatively coalesced at run time
+// (paper §5). share <= 0 selects the default of 0.9; purely synchronous
+// chains are returned unchanged (Chains() semantics), so with no async
+// edges the two functions agree.
+func (g *EventGraph) ChainsAsync(share float64) []Chain {
+	if share <= 0 {
+		share = 0.9
+	}
+	g.rebuildAdj()
+
+	// Total incoming weight per vertex, for the dominance test.
+	inWeight := make(map[event.ID]int)
+	for _, e := range g.Edges() {
+		inWeight[e.To] += e.Weight
+	}
+
+	// next[v] = w iff v has exactly one successor edge and that edge is
+	// either synchronous (the classic chain link) or async-dominant (w
+	// overwhelmingly follows v). async[v] marks the latter.
+	next := make(map[event.ID]event.ID)
+	async := make(map[event.ID]bool)
+	for _, v := range g.Nodes() {
+		succ := g.succ[v]
+		if len(succ) != 1 {
+			continue
+		}
+		e := g.EdgeBetween(v, succ[0])
+		switch {
+		case e.Sync():
+			next[v] = succ[0]
+		case float64(e.Weight) >= share*float64(inWeight[succ[0]]):
+			next[v] = succ[0]
+			async[v] = true
+		}
+	}
+
+	var heads []event.ID
+	for v := range next {
+		pred := false
+		for p, w := range next {
+			if w == v && p != v {
+				pred = true
+				break
+			}
+		}
+		if !pred {
+			heads = append(heads, v)
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+
+	reached := make(map[event.ID]bool)
+	walk := func(h event.ID) Chain {
+		c := Chain{Events: Path{h}, Async: []bool{false}}
+		visited := map[event.ID]bool{h: true}
+		reached[h] = true
+		for {
+			v := c.Events[len(c.Events)-1]
+			w, ok := next[v]
+			if !ok || visited[w] {
+				break
+			}
+			c.Events = append(c.Events, w)
+			c.Async = append(c.Async, async[v])
+			visited[w] = true
+			reached[w] = true
+		}
+		return c
+	}
+
+	var chains []Chain
+	for _, h := range heads {
+		if c := walk(h); len(c.Events) >= 2 {
+			chains = append(chains, c)
+		}
+	}
+
+	// Admitting async links can close cycles the sync-only walk never
+	// forms (a ping-pong stream records both a -> b and its async
+	// adjacency b ~> a), and a cycle has no head, so the pass above would
+	// silently drop its chain — including the synchronous prefix Chains()
+	// used to find. Break each leftover cycle at an async link: the
+	// smallest vertex entered asynchronously becomes the head, so the
+	// dropped link is speculative adjacency, never a synchronous raise.
+	// Purely synchronous cycles stay chain-less (Chains() semantics).
+	var rest []event.ID
+	for v := range next {
+		if !reached[v] {
+			rest = append(rest, v)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, v := range rest {
+		if reached[v] {
+			continue
+		}
+		cyc := Path{v}
+		for w := next[v]; w != v; w = next[w] {
+			cyc = append(cyc, w)
+		}
+		head, found := event.ID(0), false
+		for i, u := range cyc {
+			pred := cyc[(i+len(cyc)-1)%len(cyc)]
+			if async[pred] && (!found || u < head) {
+				head, found = u, true
+			}
+		}
+		if !found {
+			for _, u := range cyc {
+				reached[u] = true
+			}
+			continue
+		}
+		if c := walk(head); len(c.Events) >= 2 {
+			chains = append(chains, c)
+		}
+	}
+	return chains
+}
+
+// String renders the chain with "->" for synchronous links and "~>" for
+// asynchronous ones.
+func (c Chain) String(g *EventGraph) string {
+	var b strings.Builder
+	for i, ev := range c.Events {
+		if i > 0 {
+			if c.Async[i] {
+				b.WriteString(" ~> ")
+			} else {
+				b.WriteString(" -> ")
+			}
+		}
+		b.WriteString(g.Name(ev))
+	}
+	return b.String()
+}

@@ -248,6 +248,111 @@ func TestChainsMixedSyncEdge(t *testing.T) {
 	}
 }
 
+func TestChainsAsyncExtendsDominantEdge(t *testing.T) {
+	// A→B sync, B~>C async but carrying all of C's incoming weight: the
+	// async-aware extraction crosses the edge and marks the link.
+	g := NewEventGraph()
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.SetName(2, "C")
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 100, 0) // async, fully dominant
+	chains := g.ChainsAsync(0.9)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+	c := chains[0]
+	if c.String(g) != "A -> B ~> C" {
+		t.Fatalf("chain = %q, want A -> B ~> C", c.String(g))
+	}
+	if len(c.Async) != 3 || c.Async[0] || c.Async[1] || !c.Async[2] {
+		t.Fatalf("async mask = %v, want [false false true]", c.Async)
+	}
+}
+
+func TestChainsAsyncNonDominantBreaks(t *testing.T) {
+	// B~>C is B's only successor, but C has another heavy producer: the
+	// dominance test fails and the chain stops at B (Chains semantics).
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 100, 0) // async from B
+	g.AddEdge(3, 2, 100, 0) // C also fed heavily by 3: share is 0.5
+	chains := g.ChainsAsync(0.9)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %v", chains)
+	}
+	if got := chains[0].Events; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("chain events = %v, want [0 1]", got)
+	}
+}
+
+func TestChainsAsyncShareThreshold(t *testing.T) {
+	// The same graph crosses the edge at share 0.5 but not at 0.9 —
+	// dominance is a caller-tunable policy, not a fixed rule.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 60, 0)
+	g.AddEdge(3, 2, 40, 0)
+	if chains := g.ChainsAsync(0.9); len(chains[0].Events) != 2 {
+		t.Fatalf("share 0.9 crossed a 60%% edge: %v", chains)
+	}
+	if chains := g.ChainsAsync(0.5); len(chains[0].Events) != 3 {
+		t.Fatalf("share 0.5 did not cross a 60%% edge: %v", chains)
+	}
+}
+
+func TestChainsAsyncAgreesOnSyncGraphs(t *testing.T) {
+	// With no async edges the two extractions agree exactly.
+	g := NewEventGraph()
+	g.AddEdge(0, 1, 100, 100)
+	g.AddEdge(1, 2, 100, 100)
+	sync := g.Chains()
+	async := g.ChainsAsync(0)
+	if len(sync) != len(async) {
+		t.Fatalf("Chains %v vs ChainsAsync %v", sync, async)
+	}
+	for i := range sync {
+		if len(sync[i]) != len(async[i].Events) {
+			t.Fatalf("chain %d differs: %v vs %v", i, sync[i], async[i].Events)
+		}
+		for _, a := range async[i].Async {
+			if a {
+				t.Fatalf("sync graph produced async link: %v", async[i])
+			}
+		}
+	}
+}
+
+func TestChainsAsyncBreaksAdjacencyCycle(t *testing.T) {
+	// A ping-pong stream (a raises b synchronously, the next top-level a
+	// follows b asynchronously) records the cycle A -> B ~> A. Admitting
+	// the async link must not cost the chain its head: the cycle breaks
+	// at the async adjacency and the synchronous prefix survives.
+	g := NewEventGraph()
+	g.SetName(0, "A")
+	g.SetName(1, "B")
+	g.AddEdge(0, 1, 200, 200) // A -> B, the real raise
+	g.AddEdge(1, 0, 199, 0)   // B ~> A, queue adjacency
+	chains := g.ChainsAsync(0.9)
+	if len(chains) != 1 {
+		t.Fatalf("chains = %v, want exactly the broken cycle", chains)
+	}
+	if got := chains[0].String(g); got != "A -> B" {
+		t.Fatalf("chain = %q, want A -> B (broken at the async link)", got)
+	}
+
+	// A purely synchronous cycle stays chain-less, matching Chains().
+	g2 := NewEventGraph()
+	g2.AddEdge(0, 1, 100, 100)
+	g2.AddEdge(1, 0, 100, 100)
+	if chains := g2.ChainsAsync(0.9); len(chains) != 0 {
+		t.Fatalf("sync cycle produced chains: %v", chains)
+	}
+	if chains := g2.Chains(); len(chains) != 0 {
+		t.Fatalf("Chains() on a cycle: %v", chains)
+	}
+}
+
 func TestWriteDOT(t *testing.T) {
 	g := NewEventGraph()
 	g.SetName(0, "SegFromUser")

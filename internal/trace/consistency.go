@@ -251,7 +251,14 @@ func (r *SchedRecorder) Reset() {
 //   - handoff-causality: on every domain, at every prefix of the log,
 //     activations popped from the run queue never outnumber activations
 //     enqueued to it (a cross-domain handoff is consumed only after it
-//     was produced).
+//     was produced). A batched pop (SchedBatchPop, Ver = count) debits
+//     the same ledger, so batching cannot hide a pop-before-enqueue.
+//   - batch-count: a batched pop removes at least one activation (the
+//     drain loop never reports an empty batch).
+//   - continue-causality: on every domain, continuations run
+//     (SchedContinue) never outnumber coalesced raises captured
+//     (SchedCoalesce) — a speculatively merged async raise is consumed
+//     only after it was captured.
 func CheckSched(evs []SchedEvent) []Violation {
 	var out []Violation
 	fail := func(i int, e SchedEvent, rule, format string, args ...any) {
@@ -263,6 +270,8 @@ func CheckSched(evs []SchedEvent) []Violation {
 	live := make(map[event.ID]bool)        // install present (not removed)
 	enq := make(map[int]int)               // per-domain enqueue count
 	pop := make(map[int]int)               // per-domain pop count
+	coal := make(map[int]int)              // per-domain coalesced-capture count
+	cont := make(map[int]int)              // per-domain continuation-run count
 
 	for i, e := range evs {
 		switch e.Point {
@@ -299,6 +308,28 @@ func CheckSched(evs []SchedEvent) []Violation {
 				fail(i, e, "handoff-causality",
 					"domain %d popped %d activations but only %d were enqueued",
 					e.Dom, pop[e.Dom], enq[e.Dom])
+			}
+		case event.SchedBatchPop:
+			k := int(e.Ver)
+			if k < 1 {
+				fail(i, e, "batch-count",
+					"domain %d reported a batched pop of %d activations", e.Dom, k)
+				continue
+			}
+			pop[e.Dom] += k
+			if pop[e.Dom] > enq[e.Dom] {
+				fail(i, e, "handoff-causality",
+					"domain %d popped %d activations (batch of %d) but only %d were enqueued",
+					e.Dom, pop[e.Dom], k, enq[e.Dom])
+			}
+		case event.SchedCoalesce:
+			coal[e.Dom]++
+		case event.SchedContinue:
+			cont[e.Dom]++
+			if cont[e.Dom] > coal[e.Dom] {
+				fail(i, e, "continue-causality",
+					"domain %d ran %d continuations but only %d coalesced raises were captured",
+					e.Dom, cont[e.Dom], coal[e.Dom])
 			}
 		case event.SchedTimerFire:
 			// Timers are produced and consumed by the owning domain; no

@@ -205,6 +205,58 @@ func TestCheckSchedValidLog(t *testing.T) {
 	}
 }
 
+// TestCheckSchedBatchedCoalescedLog validates a live log that exercises
+// the batched-drain and coalescing sched points: a super-handler whose
+// interior async raise coalesces, plus a raise burst drained through
+// DrainBatched so pops arrive as SchedBatchPop records.
+func TestCheckSchedBatchedCoalescedLog(t *testing.T) {
+	sr := NewSchedRecorder()
+	s := event.New(event.WithSchedHook(sr))
+	a := s.Define("A")
+	b := s.Define("B")
+	aFn := func(ctx *event.Ctx) { ctx.RaiseAsync(b) }
+	s.Bind(a, "a1", aFn)
+	s.Bind(b, "b1", func(*event.Ctx) {})
+	sh := &event.SuperHandler{
+		Entry: a,
+		Segments: []event.Segment{
+			{Event: a, EventName: "A", Version: s.Version(a),
+				Steps: []event.Step{{Event: a, EventName: "A", Handler: "a1", Fn: aFn}}},
+			{Event: b, EventName: "B", Version: s.Version(b), AsyncEntry: true,
+				Steps: []event.Step{{Event: b, EventName: "B", Handler: "b1", Fn: func(*event.Ctx) {}}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	// Coalesce: idle queue, sync raise captures a continuation.
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	// Batch: a burst drained in one sweep.
+	for i := 0; i < 6; i++ {
+		s.RaiseAsync(a)
+	}
+	s.DrainBatched(4)
+
+	log := sr.Events()
+	if vs := CheckSched(log); len(vs) != 0 {
+		t.Fatalf("valid batched/coalesced log flagged: %v", vs)
+	}
+	for _, p := range []event.SchedPoint{event.SchedCoalesce, event.SchedContinue, event.SchedBatchPop} {
+		found := false
+		for _, e := range log {
+			if e.Point == p {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sched point %v missing from log", p)
+		}
+	}
+}
+
 func TestCheckSchedViolations(t *testing.T) {
 	cases := []struct {
 		name string
@@ -237,6 +289,18 @@ func TestCheckSchedViolations(t *testing.T) {
 		{"pop before enqueue", []SchedEvent{
 			{Point: event.SchedPop, Dom: 1, Event: 4},
 		}, "handoff-causality"},
+		{"batched pop overdraws", []SchedEvent{
+			{Point: event.SchedEnqueue, Dom: 1, Event: 4},
+			{Point: event.SchedEnqueue, Dom: 1, Event: 4},
+			{Point: event.SchedBatchPop, Dom: 1, Event: 4, Ver: 3},
+		}, "handoff-causality"},
+		{"empty batch reported", []SchedEvent{
+			{Point: event.SchedEnqueue, Dom: 1, Event: 4},
+			{Point: event.SchedBatchPop, Dom: 1, Event: 4, Ver: 0},
+		}, "batch-count"},
+		{"continue before coalesce", []SchedEvent{
+			{Point: event.SchedContinue, Dom: 0, Event: 4},
+		}, "continue-causality"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
