@@ -1,0 +1,50 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"eventopt/internal/codegen/genplan"
+	"eventopt/internal/event"
+	"eventopt/internal/telemetry"
+)
+
+// writePGO re-runs the workload's profiling drive on a telemetry-enabled
+// system and exports the result as a pprof CPU profile for
+// `go build -pgo`. This is the outer loop of the optimizer: the same
+// hot paths that shaped the plan now steer the Go compiler's inlining.
+func writePGO(workload, out string) error {
+	var sys *event.System
+	switch workload {
+	case "seccomm":
+		e, err := genplan.SecCommEndpoint(event.WithTelemetry(telemetry.Config{}))
+		if err != nil {
+			return err
+		}
+		if _, err := genplan.SecCommPlan(e); err != nil {
+			return err
+		}
+		sys = e.Sys
+	case "videoplayer":
+		p, err := genplan.VideoPlayer(event.WithTelemetry(telemetry.Config{}))
+		if err != nil {
+			return err
+		}
+		if _, err := genplan.VideoPlan(p); err != nil {
+			return err
+		}
+		sys = p.Sender.Sys
+	default:
+		return fmt.Errorf("-pgo: unknown workload %q", workload)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.WritePGO(f); err != nil {
+		return err
+	}
+	fmt.Printf("evgen: wrote pprof profile %s\n", out)
+	return nil
+}

@@ -57,9 +57,10 @@ func main() {
 		}
 		if !*noOpt {
 			// Older servers lack /optimizer; skip the pane quietly then.
-			if snap, err := liveview.FetchOptimizer(*url); err == nil {
+			if opt, err := liveview.FetchOptimizerDoc(*url); err == nil {
 				fmt.Println()
-				_ = liveview.RenderOptimizer(os.Stdout, snap)
+				_ = liveview.RenderOptimizer(os.Stdout, &opt.OptimizerSnapshot)
+				_ = liveview.RenderFastPaths(os.Stdout, opt.FastPaths)
 			}
 		}
 		if *once {

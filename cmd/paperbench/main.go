@@ -30,12 +30,14 @@ func main() {
 		adaptJSON    = flag.String("adaptive-json", "", "write the adaptive convergence report to this file (implies -adaptive)")
 		batch        = flag.Bool("batch", false, "include the batched-drain and async-chain-merging gate")
 		batchJSON    = flag.String("batch-json", "", "write the batch benchmark report to this file (implies -batch)")
+		codegen      = flag.Bool("codegen", false, "include the generated-code tier gate")
+		codegenJSON  = flag.String("codegen-json", "", "write the codegen tier report to this file (implies -codegen)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000, 20000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000, 5000
 	}
 
 	step := func(name string, f func() error) {
@@ -131,6 +133,22 @@ func main() {
 			rep, gateErr := bench.RunBatch(os.Stdout, bevents)
 			if *batchJSON != "" && rep != nil {
 				f, err := os.Create(*batchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *codegen || *codegenJSON != "" {
+		step("codegen", func() error {
+			rep, gateErr := bench.RunCodegen(os.Stdout, cgiters)
+			if *codegenJSON != "" && rep != nil {
+				f, err := os.Create(*codegenJSON)
 				if err != nil {
 					return err
 				}

@@ -1,0 +1,172 @@
+package eventopt
+
+import (
+	"bytes"
+	"testing"
+
+	"eventopt/internal/codegen/gen"
+	"eventopt/internal/codegen/genplan"
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/trace"
+)
+
+// seccommTierTrace primes a fresh Fig. 12 endpoint with the genplan
+// profiling drive (identical on both tiers), installs the requested
+// execution tier, and then records the standard determinism probe.
+func seccommTierTrace(t *testing.T, generated bool) ([]byte, event.StatsSnapshot, int) {
+	t.Helper()
+	e, err := genplan.SecCommEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := genplan.SecCommPlan(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins *core.Installed
+	if generated {
+		ins, err = core.InstallGenerated(e.Sys, e.Mod, gen.SeccommSupers())
+	} else {
+		ins, err = plan.Install(e.Sys, e.Mod)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	rec.EnableHandlerProfiling()
+	e.Sys.SetTracer(rec)
+	var pkt []byte
+	e.OnSend(func(p []byte) { pkt = append(pkt[:0], p...) })
+	msg := []byte("determinism probe payload")
+	for i := 0; i < 20; i++ {
+		e.Push(msg)
+		e.HandlePacket(append([]byte(nil), pkt...))
+	}
+	e.Sys.SetTracer(nil)
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, rec.Entries()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), e.Sys.Stats().Snapshot(), len(ins.Evicted())
+}
+
+// videoTierTrace is the video-player equivalent: the Fig. 11 player,
+// primed with the 200-frame profiling run, then traced for 50 frames on
+// the requested tier.
+func videoTierTrace(t *testing.T, generated bool) ([]byte, event.StatsSnapshot, int) {
+	t.Helper()
+	p, err := genplan.VideoPlayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := genplan.VideoPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins *core.Installed
+	if generated {
+		ins, err = core.InstallGenerated(p.Sender.Sys, p.Sender.Mod, gen.VideoplayerSupers())
+	} else {
+		ins, err = plan.Install(p.Sender.Sys, p.Sender.Mod)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := p.Trace(50)
+	var buf bytes.Buffer
+	if _, err := trace.WriteEntries(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), p.Sender.Sys.Stats().Snapshot(), len(ins.Evicted())
+}
+
+// TestGeneratedTierTraceIdentity asserts the AOT-generated tier is
+// observationally identical to the HIR tier: byte-identical traces,
+// identical counters, zero deoptimizations — and the fused fast paths
+// actually executed (the trace names the super-handlers).
+func TestGeneratedTierTraceIdentity(t *testing.T) {
+	hirTrace, hirStats, hirDeopts := seccommTierTrace(t, false)
+	genTrace, genStats, genDeopts := seccommTierTrace(t, true)
+	if !bytes.Equal(hirTrace, genTrace) {
+		t.Errorf("seccomm: generated-tier trace differs from HIR tier (%d vs %d bytes)",
+			len(genTrace), len(hirTrace))
+	}
+	if hirStats != genStats {
+		t.Errorf("seccomm: stats differ:\nhir %+v\ngenerated %+v", hirStats, genStats)
+	}
+	if hirDeopts != 0 || genDeopts != 0 {
+		t.Errorf("seccomm: unexpected deopts (hir %d, generated %d)", hirDeopts, genDeopts)
+	}
+	if !bytes.Contains(genTrace, []byte("super_")) {
+		t.Error("seccomm: generated-tier trace never entered a super-handler")
+	}
+	if len(genTrace) == 0 || genStats.Raises == 0 {
+		t.Fatal("seccomm tier probe recorded nothing")
+	}
+}
+
+// TestFastPathProvenance asserts installed fast paths report which tier
+// produced them, the field /optimizer and evtop surface.
+func TestFastPathProvenance(t *testing.T) {
+	e, err := genplan.SecCommEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := genplan.SecCommPlan(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(want string) {
+		t.Helper()
+		fps := e.Sys.FastPaths()
+		if len(fps) == 0 {
+			t.Fatalf("no fast paths installed (want provenance %q)", want)
+		}
+		for _, fp := range fps {
+			if fp.Provenance != want {
+				t.Errorf("fast path %s: provenance %q, want %q", fp.EntryName, fp.Provenance, want)
+			}
+		}
+	}
+	ins, err := plan.Install(e.Sys, e.Mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("offline")
+	ins.Uninstall()
+	gins, err := core.InstallGenerated(e.Sys, e.Mod, gen.SeccommSupers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("generated")
+	gins.Uninstall()
+	if got := len(e.Sys.FastPaths()); got != 0 {
+		t.Errorf("after uninstall: %d fast paths remain", got)
+	}
+}
+
+// TestGeneratedTierTraceIdentityVideo is the same guard on the video
+// player workload.
+func TestGeneratedTierTraceIdentityVideo(t *testing.T) {
+	hirTrace, hirStats, hirDeopts := videoTierTrace(t, false)
+	genTrace, genStats, genDeopts := videoTierTrace(t, true)
+	if !bytes.Equal(hirTrace, genTrace) {
+		t.Errorf("video: generated-tier trace differs from HIR tier (%d vs %d bytes)",
+			len(genTrace), len(hirTrace))
+	}
+	if hirStats != genStats {
+		t.Errorf("video: stats differ:\nhir %+v\ngenerated %+v", hirStats, genStats)
+	}
+	if hirDeopts != 0 || genDeopts != 0 {
+		t.Errorf("video: unexpected deopts (hir %d, generated %d)", hirDeopts, genDeopts)
+	}
+	// p.Trace records event-level entries only (no handler profiling),
+	// so prove the fused paths ran via the fast-path counter instead.
+	if genStats.FastRuns == 0 {
+		t.Error("video: generated tier never ran a fast path")
+	}
+	if len(genTrace) == 0 || genStats.Raises == 0 {
+		t.Fatal("video tier probe recorded nothing")
+	}
+}

@@ -625,6 +625,7 @@ func (c *Controller) buildLocked(e core.PlanEntry) (*event.SuperHandler, []uint6
 		return nil, nil, err
 	}
 	sh.OnDeopt = c.noteDeopt
+	sh.Provenance = "adaptive"
 	versions := make([]uint64, len(sh.Segments))
 	for i := range sh.Segments {
 		versions[i] = sh.Segments[i].Version
@@ -727,6 +728,7 @@ func (c *Controller) publishLocked(plan *core.Plan) {
 			GainNs:        pl.gainNs,
 			InstalledTick: pl.tick,
 			Replans:       pl.replans,
+			Source:        "adaptive",
 		}
 		for _, ce := range pl.entry.Chain {
 			op.Chain = append(op.Chain, c.sys.EventName(ce))

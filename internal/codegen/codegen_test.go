@@ -1,0 +1,174 @@
+package codegen
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventopt/internal/codegen/genplan"
+	"eventopt/internal/core"
+	"eventopt/internal/event"
+	"eventopt/internal/hir"
+	"eventopt/internal/hirrt"
+	"eventopt/internal/profile"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func generateSeccomm(t *testing.T) []byte {
+	t.Helper()
+	e, err := genplan.SecCommEndpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := genplan.SecCommPlan(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(Config{Package: "gen", Prefix: "Seccomm", Workload: "seccomm"}, e.Sys, e.Mod, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+// TestGenerateDeterministicSeccomm asserts the emitter is a pure
+// function of the plan: two independently built plans from the same
+// recipe yield byte-identical source, and that source is exactly the
+// checked-in file (so `go generate` is a no-op until the emitter or the
+// workload changes).
+func TestGenerateDeterministicSeccomm(t *testing.T) {
+	a := generateSeccomm(t)
+	b := generateSeccomm(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two generations of the seccomm plan differ")
+	}
+	checked, err := os.ReadFile(filepath.Join("gen", "seccomm_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, checked) {
+		t.Fatal("gen/seccomm_gen.go is out of date; run: go generate ./internal/codegen/gen")
+	}
+}
+
+// TestGenerateDeterministicVideo compares a fresh generation against
+// the checked-in file, which was produced by a separate process run —
+// cross-process determinism.
+func TestGenerateDeterministicVideo(t *testing.T) {
+	p, err := genplan.VideoPlayer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := genplan.VideoPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Generate(Config{Package: "gen", Prefix: "Videoplayer", Workload: "videoplayer"}, p.Sender.Sys, p.Sender.Mod, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := os.ReadFile(filepath.Join("gen", "videoplayer_gen.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, checked) {
+		t.Fatal("gen/videoplayer_gen.go is out of date; run: go generate ./internal/codegen/gen")
+	}
+}
+
+// syntheticPlan builds a small two-event system covering the emitter's
+// full instruction surface: arithmetic and comparison operators, bytes
+// constants, state cells, intrinsic calls, a branch, a spliced sync
+// raise, an async raise and a timed raise.
+func syntheticPlan(t *testing.T) (*event.System, *hirrt.Module, *core.Plan) {
+	t.Helper()
+	sys := event.New()
+	mod := hirrt.NewModule(sys)
+	alpha := sys.Define("alpha")
+	beta := sys.Define("beta")
+	sys.Define("gamma")
+	mod.RegisterIntrinsic("mix", true, func(args []hir.Value) hir.Value {
+		return hir.IntVal(args[0].Int()*3 + 1)
+	})
+
+	ab := hir.NewBuilder("a1", 0)
+	x := ab.Arg("x")
+	two := ab.Int(2)
+	prod := ab.Bin(hir.Mul, x, two)
+	ab.Store("acc", prod)
+	k := ab.Const(hir.BytesVal([]byte{0x01, 0x02, 0x03}))
+	ln := ab.Un(hir.Len, k)
+	sum := ab.Bin(hir.Add, prod, ln)
+	mixed := ab.Call("mix", sum)
+	ten := ab.Int(10)
+	cond := ab.Bin(hir.Gt, mixed, ten)
+	b0 := ab.Current()
+	bThen := ab.NewBlock()
+	ab.Raise("beta", []string{"v"}, []hir.Reg{mixed})
+	ab.RaiseAsync("gamma", nil, nil)
+	bElse := ab.NewBlock()
+	neg := ab.Un(hir.Neg, mixed)
+	ab.Store("neg", neg)
+	ab.RaiseAfter(1000, "gamma", nil, nil)
+	bEnd := ab.NewBlock()
+	ab.Return(hir.NoReg)
+	ab.SetBlock(b0)
+	ab.Branch(cond, bThen, bElse)
+	ab.SetBlock(bThen)
+	ab.Jump(bEnd)
+	ab.SetBlock(bElse)
+	ab.Jump(bEnd)
+	mod.Bind(alpha, "a1", ab.Fn())
+
+	bb := hir.NewBuilder("b1", 0)
+	v := bb.Arg("v")
+	acc := bb.Load("acc")
+	s := bb.Bin(hir.Add, v, acc)
+	bb.Store("acc", s)
+	mod.Bind(beta, "b1", bb.Fn())
+
+	g := profile.NewEventGraph()
+	g.SetName(alpha, "alpha")
+	g.SetName(beta, "beta")
+	g.AddEdge(alpha, beta, 100, 100)
+	opts := core.DefaultOptions()
+	opts.Threshold = 1
+	opts.MergeAll = true
+	opts.GraphChains = true
+	opts.FullFusion = true
+	opts.Partitioned = false
+	plan, err := core.BuildPlan(sys, profile.GraphProfile(g), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Entries) == 0 {
+		t.Fatal("synthetic plan is empty")
+	}
+	return sys, mod, plan
+}
+
+// TestGoldenSynthetic pins the emitted source for the synthetic plan so
+// emitter changes are reviewed as golden-file diffs.
+func TestGoldenSynthetic(t *testing.T) {
+	sys, mod, plan := syntheticPlan(t)
+	src, err := Generate(Config{Package: "gen", Prefix: "Synthetic", Workload: "synthetic"}, sys, mod, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "synthetic_gen.go.golden")
+	if *update {
+		if err := os.WriteFile(golden, src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(src, want) {
+		t.Errorf("synthetic generation drifted from golden.\n--- got ---\n%s", src)
+	}
+}

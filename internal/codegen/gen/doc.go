@@ -1,0 +1,14 @@
+// Package gen holds the checked-in evgen output: the ahead-of-time
+// compiled super-handlers for the golden workload plans. Each file is
+// produced deterministically from its genplan recipe, so CI can verify
+// the sources are in sync with the emitter (`evgen -verify`), and the
+// root-package determinism tests assert the generated tier's traces are
+// byte-identical to the HIR tier's.
+//
+// Install at runtime with:
+//
+//	core.InstallGenerated(sys, mod, gen.SeccommSupers())
+//
+//go:generate go run eventopt/cmd/evgen -workload seccomm -o seccomm_gen.go
+//go:generate go run eventopt/cmd/evgen -workload videoplayer -o videoplayer_gen.go
+package gen

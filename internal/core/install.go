@@ -60,6 +60,7 @@ func (p *Plan) Install(sys *event.System, mod *hirrt.Module) (*Installed, error)
 			return nil, fmt.Errorf("core: %s: %w", entry.EventName, err)
 		}
 		sh.OnDeopt = ins.noteDeopt
+		sh.Provenance = "offline"
 		if err := sys.InstallFastPath(sh); err != nil {
 			return nil, fmt.Errorf("core: install %s: %w", entry.EventName, err)
 		}

@@ -55,6 +55,13 @@ type SuperHandler struct {
 	Segments    []Segment
 	Partitioned bool
 
+	// Provenance records which tier produced this super-handler:
+	// "offline" (ahead-of-time plan install), "adaptive" (online
+	// controller), "generated" (evgen AOT code), or "" for manual
+	// installs. Purely informational; surfaced by FastPaths and the
+	// /optimizer debug endpoint.
+	Provenance string
+
 	// OnDeopt, when non-nil, is invoked after the runtime auto-uninstalls
 	// this super-handler because its optimized code panicked under an
 	// Isolate/Quarantine fault policy. The optimizer sets it so the

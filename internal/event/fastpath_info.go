@@ -1,0 +1,41 @@
+package event
+
+// FastPathInfo describes one installed super-handler for observability
+// surfaces (the /optimizer debug endpoint and evtop): which entry it
+// serves, the chain it covers, and which tier produced it.
+type FastPathInfo struct {
+	Entry       int32    `json:"entry"`
+	EntryName   string   `json:"entry_name"`
+	Chain       []string `json:"chain"`
+	Provenance  string   `json:"provenance"`
+	Partitioned bool     `json:"partitioned"`
+	Fused       bool     `json:"fused"`
+}
+
+// FastPaths lists the currently installed super-handlers in event-ID
+// order. Provenance is "manual" when the installer did not set one.
+func (s *System) FastPaths() []FastPathInfo {
+	ids := s.EventIDs()
+	out := make([]FastPathInfo, 0, 4)
+	for _, ev := range ids {
+		sh := s.FastPath(ev)
+		if sh == nil || sh.Entry != ev {
+			continue
+		}
+		info := FastPathInfo{
+			Entry:       int32(ev),
+			EntryName:   s.EventName(ev),
+			Provenance:  sh.Provenance,
+			Partitioned: sh.Partitioned,
+			Fused:       len(sh.Segments) > 0 && sh.Segments[0].Fused != nil,
+		}
+		if info.Provenance == "" {
+			info.Provenance = "manual"
+		}
+		for i := range sh.Segments {
+			info.Chain = append(info.Chain, sh.Segments[i].EventName)
+		}
+		out = append(out, info)
+	}
+	return out
+}

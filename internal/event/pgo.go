@@ -1,0 +1,45 @@
+package event
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"runtime"
+
+	"eventopt/internal/telemetry"
+)
+
+// WritePGO exports this system's telemetry as a gzipped pprof CPU
+// profile for `go build -pgo`: the outer loop of the optimizer. Event
+// ids are symbolized to the real linker symbols of their bound handler
+// functions (via runtime.FuncForPC), so the Go compiler can match the
+// hot paths the planner found to actual functions in the binary and
+// inline/devirtualize along them. Fails when the system was built
+// without WithTelemetry or nothing has been recorded yet.
+func (s *System) WritePGO(w io.Writer) error {
+	tel := s.Telemetry()
+	if tel == nil {
+		return errors.New("event: WritePGO: system built without WithTelemetry")
+	}
+	cache := make(map[int32][]telemetry.PGOFrame)
+	sym := func(ev int32) []telemetry.PGOFrame {
+		if f, ok := cache[ev]; ok {
+			return f
+		}
+		var frames []telemetry.PGOFrame
+		for _, h := range s.Handlers(ID(ev)) {
+			if h.Fn == nil {
+				continue
+			}
+			rf := runtime.FuncForPC(reflect.ValueOf(h.Fn).Pointer())
+			if rf == nil {
+				continue
+			}
+			file, line := rf.FileLine(rf.Entry())
+			frames = append(frames, telemetry.PGOFrame{Function: rf.Name(), File: file, Line: int64(line)})
+		}
+		cache[ev] = frames
+		return frames
+	}
+	return tel.WritePGO(w, sym)
+}

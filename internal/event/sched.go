@@ -362,6 +362,12 @@ func (d *Domain) takeCont() *activation {
 // dueTimerLocked reports whether a live timer of this domain is at or
 // past its deadline at now. Caller holds qmu.
 func (d *Domain) dueTimerLocked(now Duration) bool {
+	// Same hoisted compare as popRunnableBatch: the heap top's immutable
+	// `at` lower-bounds every live deadline, so one unlocked read answers
+	// the common "nothing due" case.
+	if len(d.timers) == 0 || d.timers[0].at > now {
+		return false
+	}
 	for len(d.timers) > 0 {
 		e := d.timers.peek()
 		e.mu.Lock()
@@ -396,7 +402,14 @@ func (d *Domain) popRunnableBatch(dst []*activation) int {
 		n++
 	}
 	now := d.sys.clock.Now()
-	for n < len(dst) && len(d.timers) > 0 {
+	// Single hoisted deadline compare per batch: `at` is written once at
+	// arming (under qmu, like every heap mutation) and never again, so the
+	// heap top's deadline — the minimum over all entries, where even a
+	// canceled entry's stale `at` is a conservative lower bound — is
+	// readable here without the per-entry mutex. Batches with no due timer
+	// (the steady-state drain) skip the lock/peek dance entirely; the
+	// locked loop below runs only when a deadline has actually passed.
+	for n < len(dst) && len(d.timers) > 0 && d.timers[0].at <= now {
 		e := d.timers.peek()
 		e.mu.Lock()
 		if e.done {

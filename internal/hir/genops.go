@@ -1,0 +1,39 @@
+package hir
+
+// Operator helpers for the generated (AOT) tier. evgen inlines the
+// one-liner operators (Sub, Mul, comparisons, bitwise, shifts) directly
+// into the emitted Go source and routes the polymorphic or faulting
+// ones through these helpers so the generated code keeps EvalBin's
+// exact semantics. Faults panic: the event runtime's handler
+// supervision treats the panic like any other handler fault.
+
+// AddValues is EvalBin(Add, a, b): string and byte concatenation when
+// both sides match, integer addition otherwise.
+func AddValues(a, b Value) Value {
+	if a.Kind == KInt && b.Kind == KInt {
+		return Value{Kind: KInt, I: a.I + b.I}
+	}
+	v, _ := EvalBin(Add, a, b) // Add never errors
+	return v
+}
+
+// DivValues is EvalBin(Div, a, b); it panics on division by zero.
+func DivValues(a, b Value) Value {
+	v, err := EvalBin(Div, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ModValues is EvalBin(Mod, a, b); it panics on division by zero.
+func ModValues(a, b Value) Value {
+	v, err := EvalBin(Mod, a, b)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// LenValue is EvalUn(Len, a).
+func LenValue(a Value) Value { return EvalUn(Len, a) }

@@ -7,32 +7,76 @@ import "sort"
 // Handler execution is serialized by the event runtime, so State needs no
 // internal locking; the runtime models state-maintenance lock traffic
 // separately.
+//
+// Cells are boxed so that compiled tiers can bind a *Cell once (at
+// factory/install time) and read or write it without a map lookup per
+// access; the interpreter keeps going through Get/Set by name.
 type State struct {
-	cells map[string]Value
+	cells map[string]*Cell
+}
+
+// Cell is one named slot of a State. A cell obtained through CellRef
+// before anything was stored in it reads as None and stays invisible to
+// Len/Names/Snapshot until the first Set, so pre-binding cells for
+// generated code does not perturb state-equivalence checks.
+type Cell struct {
+	v       Value
+	present bool
+}
+
+// Get reads the cell's value (None when never set).
+func (c *Cell) Get() Value { return c.v }
+
+// Set writes the cell's value.
+func (c *Cell) Set(v Value) {
+	c.v = v
+	c.present = true
 }
 
 // NewState returns an empty store.
-func NewState() *State { return &State{cells: make(map[string]Value)} }
+func NewState() *State { return &State{cells: make(map[string]*Cell)} }
+
+// CellRef returns the cell for name, creating an empty (not-present)
+// cell if needed. The returned pointer stays valid for the lifetime of
+// the State.
+func (s *State) CellRef(name string) *Cell {
+	if c, ok := s.cells[name]; ok {
+		return c
+	}
+	c := &Cell{}
+	s.cells[name] = c
+	return c
+}
 
 // Get reads a cell (None when absent).
 func (s *State) Get(name string) Value {
-	if v, ok := s.cells[name]; ok {
-		return v
+	if c, ok := s.cells[name]; ok {
+		return c.v
 	}
 	return None
 }
 
 // Set writes a cell.
-func (s *State) Set(name string, v Value) { s.cells[name] = v }
+func (s *State) Set(name string, v Value) { s.CellRef(name).Set(v) }
 
 // Len reports the number of populated cells.
-func (s *State) Len() int { return len(s.cells) }
+func (s *State) Len() int {
+	n := 0
+	for _, c := range s.cells {
+		if c.present {
+			n++
+		}
+	}
+	return n
+}
 
 // Names returns the populated cell names, sorted.
 func (s *State) Names() []string {
 	out := make([]string, 0, len(s.cells))
-	for n := range s.cells {
-		out = append(out, n)
+	for n, c := range s.cells {
+		if c.present {
+			out = append(out, n)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -42,7 +86,11 @@ func (s *State) Names() []string {
 // equivalence testing between optimized and unoptimized runs.
 func (s *State) Snapshot() map[string]Value {
 	out := make(map[string]Value, len(s.cells))
-	for n, v := range s.cells {
+	for n, c := range s.cells {
+		if !c.present {
+			continue
+		}
+		v := c.v
 		if v.Kind == KBytes {
 			v.B = append([]byte(nil), v.B...)
 		}
@@ -53,12 +101,15 @@ func (s *State) Snapshot() map[string]Value {
 
 // EqualSnapshot reports whether the store matches a snapshot exactly.
 func (s *State) EqualSnapshot(snap map[string]Value) bool {
-	if len(s.cells) != len(snap) {
+	if s.Len() != len(snap) {
 		return false
 	}
-	for n, v := range s.cells {
+	for n, c := range s.cells {
+		if !c.present {
+			continue
+		}
 		w, ok := snap[n]
-		if !ok || !v.Equal(w) {
+		if !ok || !c.v.Equal(w) {
 			return false
 		}
 	}

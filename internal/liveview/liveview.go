@@ -120,10 +120,40 @@ func us(ns float64) string {
 	return fmt.Sprintf("%.2fus", ns/1e3)
 }
 
+// FastPathRow mirrors the fast_paths entries of the /optimizer document
+// (event.FastPathInfo's JSON shape, kept structural so the view layer
+// does not depend on the runtime package).
+type FastPathRow struct {
+	Entry       int32    `json:"entry"`
+	EntryName   string   `json:"entry_name"`
+	Chain       []string `json:"chain"`
+	Provenance  string   `json:"provenance"`
+	Partitioned bool     `json:"partitioned"`
+	Fused       bool     `json:"fused"`
+}
+
+// OptimizerDoc mirrors httpdebug's /optimizer response: the flattened
+// controller snapshot plus every installed fast path with provenance.
+type OptimizerDoc struct {
+	telemetry.OptimizerSnapshot
+	FastPaths []FastPathRow `json:"fast_paths"`
+}
+
 // FetchOptimizer retrieves the /optimizer document (the adaptive
 // controller's published state). Servers predating the endpoint return
 // an error; callers typically skip the pane then.
 func FetchOptimizer(base string) (*telemetry.OptimizerSnapshot, error) {
+	doc, err := FetchOptimizerDoc(base)
+	if err != nil {
+		return nil, err
+	}
+	return &doc.OptimizerSnapshot, nil
+}
+
+// FetchOptimizerDoc retrieves the full /optimizer document including the
+// fast-path provenance list (servers predating provenance simply leave
+// FastPaths empty).
+func FetchOptimizerDoc(base string) (*OptimizerDoc, error) {
 	url := base
 	if !strings.HasSuffix(url, "/optimizer") {
 		url = strings.TrimRight(url, "/") + "/optimizer"
@@ -138,11 +168,11 @@ func FetchOptimizer(base string) (*telemetry.OptimizerSnapshot, error) {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
 	}
-	var snap telemetry.OptimizerSnapshot
-	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+	var doc OptimizerDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("%s: decoding: %w", url, err)
 	}
-	return &snap, nil
+	return &doc, nil
 }
 
 // RenderOptimizer writes the adaptive-optimizer pane: the controller's
@@ -167,8 +197,8 @@ func RenderOptimizer(w io.Writer, snap *telemetry.OptimizerSnapshot) error {
 		fmt.Fprintln(w, "  (no super-handlers installed)")
 		return nil
 	}
-	fmt.Fprintf(w, "  %-20s %-30s %8s %10s %12s %7s\n",
-		"ENTRY", "CHAIN", "HANDLERS", "SCORE", "EST.GAIN", "REPLANS")
+	fmt.Fprintf(w, "  %-20s %-30s %-9s %8s %10s %12s %7s\n",
+		"ENTRY", "CHAIN", "TIER", "HANDLERS", "SCORE", "EST.GAIN", "REPLANS")
 	for _, p := range snap.Installed {
 		name := p.EntryName
 		if name == "" {
@@ -178,8 +208,37 @@ func RenderOptimizer(w io.Writer, snap *telemetry.OptimizerSnapshot) error {
 		if chain == "" {
 			chain = name
 		}
-		fmt.Fprintf(w, "  %-20s %-30s %8d %10.1f %12s %7d\n",
-			name, chain, p.Handlers, p.Score, us(p.GainNs), p.Replans)
+		tier := p.Source
+		if tier == "" {
+			tier = "-"
+		}
+		fmt.Fprintf(w, "  %-20s %-30s %-9s %8d %10.1f %12s %7d\n",
+			name, chain, tier, p.Handlers, p.Score, us(p.GainNs), p.Replans)
+	}
+	return nil
+}
+
+// RenderFastPaths writes the installed-fast-path section of the
+// optimizer pane: one row per super-handler with the tier that produced
+// it (offline / adaptive / generated / manual). Nothing is printed when
+// no fast paths are installed.
+func RenderFastPaths(w io.Writer, rows []FastPathRow) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	fmt.Fprintf(w, "fast paths: %d installed\n", len(rows))
+	fmt.Fprintf(w, "  %-20s %-30s %-9s %5s %5s\n", "ENTRY", "CHAIN", "TIER", "FUSED", "PART")
+	for _, p := range rows {
+		name := p.EntryName
+		if name == "" {
+			name = fmt.Sprintf("#%d", p.Entry)
+		}
+		chain := strings.Join(p.Chain, ">")
+		if chain == "" {
+			chain = name
+		}
+		fmt.Fprintf(w, "  %-20s %-30s %-9s %5v %5v\n",
+			name, chain, p.Provenance, p.Fused, p.Partitioned)
 	}
 	return nil
 }

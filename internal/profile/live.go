@@ -25,17 +25,11 @@ func FromTelemetry(gs telemetry.GraphSnapshot) *EventGraph {
 		scale = 1
 	}
 	for _, e := range gs.Edges {
-		if e.From < 0 || e.To < 0 || e.Weight <= 0 {
+		e, ok := telemetry.SanitizeEdge(e)
+		if !ok {
 			continue
 		}
-		sw := e.SyncWeight
-		if sw < 0 {
-			sw = 0
-		}
-		if sw > e.Weight {
-			sw = e.Weight
-		}
-		g.AddEdge(event.ID(e.From), event.ID(e.To), int(e.Weight)*scale, int(sw)*scale)
+		g.AddEdge(event.ID(e.From), event.ID(e.To), int(e.Weight)*scale, int(e.SyncWeight)*scale)
 		if e.FromName != "" {
 			g.SetName(event.ID(e.From), e.FromName)
 		}

@@ -5,7 +5,8 @@
 //	/events          per-event telemetry rows (latency + queue-delay histograms)
 //	/graph           the live event graph as Graphviz DOT (?threshold=N prunes edges)
 //	/flightrecorder  per-domain flight-recorder contents and the last automatic dump
-//	/optimizer       adaptive-optimizer state: installed plans, decision counters
+//	/optimizer       adaptive-optimizer state: installed plans (with provenance), fast paths
+//	/pgo             telemetry exported as a pprof CPU profile for `go build -pgo`
 //	/trace           Chrome trace-event JSON of the attached trace recorder
 //	/debug/pprof/    the standard Go profiling endpoints
 //
@@ -14,6 +15,7 @@
 package httpdebug
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -44,6 +46,7 @@ func New(sys *event.System, rec *trace.Recorder) *Server {
 	s.mux.HandleFunc("/graph", s.graph)
 	s.mux.HandleFunc("/flightrecorder", s.flight)
 	s.mux.HandleFunc("/optimizer", s.optimizer)
+	s.mux.HandleFunc("/pgo", s.pgo)
 	s.mux.HandleFunc("/trace", s.trace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -165,21 +168,50 @@ func (s *Server) flight(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, doc)
 }
 
+// OptimizerDoc is the /optimizer document: the adaptive controller's
+// published snapshot (flattened, so pre-provenance clients decoding into
+// OptimizerSnapshot keep working) plus every installed fast path with
+// the tier that produced it.
+type OptimizerDoc struct {
+	telemetry.OptimizerSnapshot
+	FastPaths []event.FastPathInfo `json:"fast_paths,omitempty"`
+}
+
 // optimizer serves the adaptive controller's published state. Without
 // telemetry it is 404 like the other telemetry endpoints; with telemetry
 // but no controller it serves {"enabled": false} so dashboards can poll
-// it unconditionally.
+// it unconditionally. The fast_paths list covers every installed
+// super-handler — offline, adaptive, generated or manual — not only the
+// adaptive controller's.
 func (s *Server) optimizer(w http.ResponseWriter, r *http.Request) {
 	tel := s.sys.Telemetry()
 	if tel == nil {
 		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
 		return
 	}
-	snap := tel.Optimizer()
-	if snap == nil {
-		snap = &telemetry.OptimizerSnapshot{}
+	doc := OptimizerDoc{FastPaths: s.sys.FastPaths()}
+	if snap := tel.Optimizer(); snap != nil {
+		doc.OptimizerSnapshot = *snap
 	}
-	writeJSON(w, snap)
+	writeJSON(w, doc)
+}
+
+// pgo serves the system's telemetry as a pprof CPU profile, ready to be
+// saved as default.pgo and fed to `go build -pgo`: profile-directed
+// optimization applied back to the Go compiler itself.
+func (s *Server) pgo(w http.ResponseWriter, r *http.Request) {
+	if s.sys.Telemetry() == nil {
+		http.Error(w, "telemetry disabled (system built without WithTelemetry)", http.StatusNotFound)
+		return
+	}
+	var buf bytes.Buffer
+	if err := s.sys.WritePGO(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="default.pgo"`)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {

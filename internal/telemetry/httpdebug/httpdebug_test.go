@@ -139,10 +139,61 @@ func TestDisabledTelemetry(t *testing.T) {
 	if w := get(t, srv, "/metrics"); w.Code != 200 {
 		t.Fatalf("/metrics without telemetry -> %d, want 200 (counters still served)", w.Code)
 	}
-	for _, path := range []string{"/events", "/graph", "/flightrecorder", "/optimizer", "/trace"} {
+	for _, path := range []string{"/events", "/graph", "/flightrecorder", "/optimizer", "/pgo", "/trace"} {
 		if w := get(t, srv, path); w.Code != 404 {
 			t.Fatalf("%s without telemetry -> %d, want 404", path, w.Code)
 		}
+	}
+}
+
+// TestOptimizerFastPathsAndPGO covers the provenance surface: an
+// installed fast path appears in /optimizer's fast_paths with the tier
+// that produced it, and /pgo serves the telemetry as a gzipped pprof
+// profile.
+func TestOptimizerFastPathsAndPGO(t *testing.T) {
+	srv, s := newServer(t)
+	a := s.Lookup("req")
+	var steps []event.Step
+	for _, h := range s.Handlers(a) {
+		steps = append(steps, event.Step{Event: a, EventName: "req", Handler: h.Name, Fn: h.Fn})
+	}
+	sh := &event.SuperHandler{
+		Entry:      a,
+		Provenance: "generated",
+		Segments: []event.Segment{
+			{Event: a, EventName: "req", Version: s.Version(a), Steps: steps},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+
+	w := get(t, srv, "/optimizer")
+	if w.Code != 200 {
+		t.Fatalf("/optimizer -> %d: %s", w.Code, w.Body)
+	}
+	var doc OptimizerDoc
+	if err := json.Unmarshal(w.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid /optimizer JSON: %v", err)
+	}
+	if len(doc.FastPaths) != 1 {
+		t.Fatalf("fast_paths = %+v, want 1 entry", doc.FastPaths)
+	}
+	fp := doc.FastPaths[0]
+	if fp.EntryName != "req" || fp.Provenance != "generated" {
+		t.Fatalf("fast path = %+v, want req/generated", fp)
+	}
+
+	w = get(t, srv, "/pgo")
+	if w.Code != 200 {
+		t.Fatalf("/pgo -> %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("/pgo content type %q", ct)
+	}
+	body := w.Body.Bytes()
+	if len(body) < 2 || body[0] != 0x1f || body[1] != 0x8b {
+		t.Fatalf("/pgo body is not gzip (starts % x)", body[:min(4, len(body))])
 	}
 }
 

@@ -13,6 +13,10 @@ type OptimizerPlan struct {
 	GainNs        float64  `json:"gain_ns"`  // estimated saved ns per tick at install time
 	InstalledTick uint64   `json:"installed_tick"`
 	Replans       int64    `json:"replans"` // times this entry was rebuilt in place
+	// Source names the tier that produced the plan: "offline",
+	// "adaptive" or "generated". Empty in snapshots published before
+	// provenance tracking existed.
+	Source string `json:"source,omitempty"`
 }
 
 // OptimizerSnapshot is the adaptive controller's published state: its

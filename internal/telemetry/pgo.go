@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SanitizeEdge normalizes one sampled graph edge for downstream
+// consumers, applying the exact rules the offline profile lifter uses:
+// edges with an invalid endpoint or non-positive weight are dropped,
+// and the synchronous share is clamped into [0, Weight]. Both
+// profile.FromTelemetry and the pprof export go through this helper so
+// a sampling artifact (a torn counter read, a wrapped decrement) can
+// never smuggle a negative weight into a plan or a profile file.
+func SanitizeEdge(e GraphEdge) (GraphEdge, bool) {
+	if e.From < 0 || e.To < 0 || e.Weight <= 0 {
+		return GraphEdge{}, false
+	}
+	if e.SyncWeight < 0 {
+		e.SyncWeight = 0
+	}
+	if e.SyncWeight > e.Weight {
+		e.SyncWeight = e.Weight
+	}
+	return e, true
+}
+
+// PGOFrame is one call-stack frame of an exported pprof sample. The
+// Function name must be the real linker symbol of a function in the
+// binary (runtime.Func.Name form) for `go build -pgo` to match it.
+type PGOFrame struct {
+	Function string
+	File     string
+	Line     int64
+}
+
+// PGOSymbolizer maps an event id to the frames representing its
+// handlers, leaf first. Returning nil skips the event.
+type PGOSymbolizer func(ev int32) []PGOFrame
+
+// WritePGO exports the telemetry state as a gzipped pprof CPU profile
+// suitable for `go build -pgo`: per-event latency histograms become
+// self samples (count, cumulative ns — de-sampled by TimeSampleEvery),
+// and the sanitized sampled event graph becomes caller→callee two-level
+// stacks (de-sampled by SampleEvery) so the compiler sees the same hot
+// paths the planner optimizes. The encoding is hand-rolled protobuf
+// (profile.proto) — no dependencies — and is deterministic for a given
+// telemetry state.
+func (t *Telemetry) WritePGO(w io.Writer, sym PGOSymbolizer) error {
+	if sym == nil {
+		return fmt.Errorf("telemetry: WritePGO: nil symbolizer")
+	}
+	p := newPGOProfile()
+
+	// Self samples: one per event with observed latency.
+	rows := MergeEvents(t.Events())
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Event < rows[j].Event })
+	tscale := int64(t.TimeSampleEvery())
+	if tscale < 1 {
+		tscale = 1
+	}
+	for _, r := range rows {
+		if r.Latency.Count <= 0 {
+			continue
+		}
+		frames := sym(r.Event)
+		if len(frames) == 0 {
+			continue
+		}
+		p.sample(frames, r.Latency.Count*tscale, r.Latency.Sum*tscale)
+	}
+
+	// Edge samples: callee on top of caller, weighted by traversals.
+	gs := t.Graph()
+	escale := int64(gs.SampleEvery)
+	if escale < 1 {
+		escale = 1
+	}
+	for _, e := range gs.Edges {
+		e, ok := SanitizeEdge(e)
+		if !ok {
+			continue
+		}
+		callee := sym(e.To)
+		caller := sym(e.From)
+		if len(callee) == 0 || len(caller) == 0 {
+			continue
+		}
+		stack := make([]PGOFrame, 0, len(callee)+len(caller))
+		stack = append(stack, callee...)
+		stack = append(stack, caller...)
+		w := e.Weight * escale
+		p.sample(stack, w, w)
+	}
+
+	if len(p.samples) == 0 {
+		return fmt.Errorf("telemetry: WritePGO: no samples (no recorded latency or graph activity)")
+	}
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.marshal()); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// pgoProfile accumulates the pprof profile.proto message.
+type pgoProfile struct {
+	strings []string
+	strIdx  map[string]int64
+
+	funcs   []pgoFunc // id = index+1
+	funcIdx map[string]uint64
+
+	locs   []pgoLoc // id = index+1
+	locIdx map[pgoLoc]uint64
+
+	samples []pgoSample
+}
+
+type pgoFunc struct {
+	name, file int64 // string table indices
+	startLine  int64
+}
+
+type pgoLoc struct {
+	funcID uint64
+	line   int64
+}
+
+type pgoSample struct {
+	locs   []uint64
+	values [2]int64 // samples/count, cpu/nanoseconds
+}
+
+func newPGOProfile() *pgoProfile {
+	p := &pgoProfile{
+		strIdx:  map[string]int64{"": 0},
+		strings: []string{""},
+		funcIdx: map[string]uint64{},
+		locIdx:  map[pgoLoc]uint64{},
+	}
+	return p
+}
+
+func (p *pgoProfile) str(s string) int64 {
+	if i, ok := p.strIdx[s]; ok {
+		return i
+	}
+	i := int64(len(p.strings))
+	p.strings = append(p.strings, s)
+	p.strIdx[s] = i
+	return i
+}
+
+func (p *pgoProfile) location(f PGOFrame) uint64 {
+	fid, ok := p.funcIdx[f.Function]
+	if !ok {
+		fid = uint64(len(p.funcs) + 1)
+		p.funcs = append(p.funcs, pgoFunc{name: p.str(f.Function), file: p.str(f.File), startLine: f.Line})
+		p.funcIdx[f.Function] = fid
+	}
+	key := pgoLoc{funcID: fid, line: f.Line}
+	lid, ok := p.locIdx[key]
+	if !ok {
+		lid = uint64(len(p.locs) + 1)
+		p.locs = append(p.locs, key)
+		p.locIdx[key] = lid
+	}
+	return lid
+}
+
+func (p *pgoProfile) sample(frames []PGOFrame, count, ns int64) {
+	s := pgoSample{values: [2]int64{count, ns}}
+	for _, f := range frames {
+		s.locs = append(s.locs, p.location(f))
+	}
+	p.samples = append(p.samples, s)
+}
+
+// marshal encodes the accumulated profile as profile.proto bytes.
+func (p *pgoProfile) marshal() []byte {
+	var out protoBuf
+
+	// sample_type: [samples/count, cpu/nanoseconds] — the shape of a
+	// standard Go CPU profile, which is what the compiler's PGO loader
+	// expects to find.
+	var vt protoBuf
+	vt.int64Field(1, p.str("samples"))
+	vt.int64Field(2, p.str("count"))
+	out.msgField(1, vt.b)
+	vt = protoBuf{}
+	vt.int64Field(1, p.str("cpu"))
+	vt.int64Field(2, p.str("nanoseconds"))
+	out.msgField(1, vt.b)
+
+	for _, s := range p.samples {
+		var sb protoBuf
+		sb.packedUint64(1, s.locs)
+		sb.packedInt64(2, s.values[:])
+		out.msgField(2, sb.b)
+	}
+	for i, l := range p.locs {
+		var lb protoBuf
+		lb.uint64Field(1, uint64(i+1))
+		var ln protoBuf
+		ln.uint64Field(1, l.funcID)
+		ln.int64Field(2, l.line)
+		lb.msgField(4, ln.b)
+		out.msgField(4, lb.b)
+	}
+	for i, f := range p.funcs {
+		var fb protoBuf
+		fb.uint64Field(1, uint64(i+1))
+		fb.int64Field(2, f.name)
+		fb.int64Field(3, f.name)
+		fb.int64Field(4, f.file)
+		fb.int64Field(5, f.startLine)
+		out.msgField(5, fb.b)
+	}
+	for _, s := range p.strings {
+		out.bytesField(6, []byte(s))
+	}
+	// period_type cpu/nanoseconds, period 1: nominal, some readers want it.
+	var pt protoBuf
+	pt.int64Field(1, p.str("cpu"))
+	pt.int64Field(2, p.str("nanoseconds"))
+	out.msgField(11, pt.b)
+	out.int64Field(12, 1)
+	return out.b
+}
+
+// protoBuf is a minimal protobuf wire-format writer.
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.varint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *protoBuf) uint64Field(field int, v uint64) {
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *protoBuf) int64Field(field int, v int64) { p.uint64Field(field, uint64(v)) }
+
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *protoBuf) msgField(field int, b []byte) { p.bytesField(field, b) }
+
+func (p *protoBuf) packedUint64(field int, vs []uint64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+func (p *protoBuf) packedInt64(field int, vs []int64) {
+	var inner protoBuf
+	for _, v := range vs {
+		inner.varint(uint64(v))
+	}
+	p.bytesField(field, inner.b)
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// TestSanitizeEdge pins the shared sanitization rules both
+// profile.FromTelemetry and the pprof export rely on: a sampling
+// artifact must never surface as a negative or inflated weight.
+func TestSanitizeEdge(t *testing.T) {
+	cases := []struct {
+		name string
+		in   GraphEdge
+		ok   bool
+		want GraphEdge
+	}{
+		{"valid", GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: 3}, true, GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: 3}},
+		{"negative from", GraphEdge{From: -1, To: 2, Weight: 5}, false, GraphEdge{}},
+		{"negative to", GraphEdge{From: 1, To: -2, Weight: 5}, false, GraphEdge{}},
+		{"zero weight", GraphEdge{From: 1, To: 2, Weight: 0}, false, GraphEdge{}},
+		{"negative weight", GraphEdge{From: 1, To: 2, Weight: -7}, false, GraphEdge{}},
+		{"negative sync clamped up", GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: -2}, true, GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: 0}},
+		{"excess sync clamped down", GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: 50}, true, GraphEdge{From: 1, To: 2, Weight: 5, SyncWeight: 5}},
+	}
+	for _, c := range cases {
+		got, ok := SanitizeEdge(c.in)
+		if ok != c.ok || got != c.want {
+			t.Errorf("%s: SanitizeEdge(%+v) = (%+v, %v), want (%+v, %v)",
+				c.name, c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// protoFields splits one protobuf message into its top-level fields:
+// field number -> payloads (varint values or length-delimited bytes).
+func protoFields(t *testing.T, b []byte) map[int][][]byte {
+	t.Helper()
+	readVarint := func() uint64 {
+		var v uint64
+		for shift := 0; ; shift += 7 {
+			if len(b) == 0 {
+				t.Fatal("truncated varint")
+			}
+			c := b[0]
+			b = b[1:]
+			v |= uint64(c&0x7F) << shift
+			if c < 0x80 {
+				return v
+			}
+		}
+	}
+	out := map[int][][]byte{}
+	for len(b) > 0 {
+		key := readVarint()
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0:
+			v := readVarint()
+			var enc [10]byte
+			n := 0
+			for v >= 0x80 {
+				enc[n] = byte(v) | 0x80
+				v >>= 7
+				n++
+			}
+			enc[n] = byte(v)
+			out[field] = append(out[field], append([]byte(nil), enc[:n+1]...))
+		case 2:
+			n := int(readVarint())
+			if n > len(b) {
+				t.Fatalf("truncated length-delimited field %d", field)
+			}
+			out[field] = append(out[field], append([]byte(nil), b[:n]...))
+			b = b[n:]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return out
+}
+
+// TestWritePGO records activity on a real telemetry instance, exports a
+// profile, and checks the decoded pprof structure: two sample types, a
+// sample per hot event and per edge, every referenced symbol in the
+// string table — and byte-identical re-export (determinism).
+func TestWritePGO(t *testing.T) {
+	tel := New(1, Config{SampleEvery: 1, TimeSampleEvery: 1})
+	tel.DefineEvent(0, "alpha")
+	tel.DefineEvent(1, "beta")
+	tel.RecordLatency(0, 0, 1000)
+	tel.RecordLatency(0, 0, 2000)
+	tel.RecordLatency(0, 1, 500)
+	// Adjacent occurrences alpha→beta form one sampled edge.
+	tel.RecordEdge(0, 0, true)
+	tel.RecordEdge(0, 1, true)
+
+	sym := func(ev int32) []PGOFrame {
+		switch ev {
+		case 0:
+			return []PGOFrame{{Function: "eventopt/test.handlerAlpha", File: "alpha.go", Line: 10}}
+		case 1:
+			return []PGOFrame{{Function: "eventopt/test.handlerBeta", File: "beta.go", Line: 20}}
+		}
+		return nil
+	}
+
+	var buf bytes.Buffer
+	if err := tel.WritePGO(&buf, sym); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := protoFields(t, raw)
+	if got := len(fields[1]); got != 2 {
+		t.Errorf("sample_type count = %d, want 2 (samples/count, cpu/nanoseconds)", got)
+	}
+	// 2 self samples (alpha, beta) + 1 edge sample (alpha→beta).
+	if got := len(fields[2]); got != 3 {
+		t.Errorf("sample count = %d, want 3", got)
+	}
+	if got := len(fields[5]); got != 2 {
+		t.Errorf("function count = %d, want 2", got)
+	}
+	table := fmt.Sprintf("%q", fields[6])
+	for _, want := range []string{"eventopt/test.handlerAlpha", "eventopt/test.handlerBeta", "samples", "count", "cpu", "nanoseconds"} {
+		if !bytes.Contains([]byte(table), []byte(want)) {
+			t.Errorf("string table missing %q", want)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := tel.WritePGO(&again, sym); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WritePGO is not deterministic for a fixed telemetry state")
+	}
+}
+
+// TestWritePGOEmpty: an idle system must fail loudly rather than emit a
+// profile the Go compiler would silently ignore.
+func TestWritePGOEmpty(t *testing.T) {
+	tel := New(1, Config{})
+	if err := tel.WritePGO(io.Discard, func(int32) []PGOFrame { return nil }); err == nil {
+		t.Fatal("WritePGO on empty telemetry succeeded, want error")
+	}
+	if err := tel.WritePGO(io.Discard, nil); err == nil {
+		t.Fatal("WritePGO with nil symbolizer succeeded, want error")
+	}
+}
