@@ -6,11 +6,13 @@
 //
 //	evtop -url http://localhost:6060
 //
-// Flags select the poll interval, the sort column and single-shot mode
-// for scripting (-once prints one table without clearing the screen).
-// When the server runs the adaptive optimizer, an optimizer pane below
-// the table shows the installed super-handlers and the controller's
-// promote/demote/deopt counters (-no-optimizer hides it).
+// Flags select the poll interval, the sort column (count, mean, p99,
+// max or faults) and single-shot mode for scripting (-once prints one
+// table without clearing the screen). When the server runs the adaptive
+// optimizer, an optimizer pane below the table shows the installed
+// super-handlers and the controller's promote/demote/deopt counters
+// (-no-optimizer hides it); when it traces spans, a span pane shows the
+// retained causal traces (-no-spans hides it, -traces caps how many).
 package main
 
 import (
@@ -27,14 +29,16 @@ func main() {
 		url      = flag.String("url", "http://localhost:6060", "base URL of the telemetry endpoint")
 		interval = flag.Duration("interval", 2*time.Second, "poll interval")
 		once     = flag.Bool("once", false, "print one table and exit (no screen clearing)")
-		sortKey  = flag.String("sort", liveview.SortCount, "sort column: count, mean, p99 or max")
+		sortKey  = flag.String("sort", liveview.SortCount, "sort column: count, mean, p99, max or faults")
 		merged   = flag.Bool("merged", false, "merge per-domain cells into one row per event")
 		noOpt    = flag.Bool("no-optimizer", false, "hide the adaptive-optimizer pane")
+		noSpans  = flag.Bool("no-spans", false, "hide the span-trace pane")
+		traces   = flag.Int("traces", 4, "retained traces shown in the span pane")
 	)
 	flag.Parse()
 
 	switch *sortKey {
-	case liveview.SortCount, liveview.SortMean, liveview.SortP99, liveview.SortMax:
+	case liveview.SortCount, liveview.SortMean, liveview.SortP99, liveview.SortMax, liveview.SortFaults:
 	default:
 		fmt.Fprintf(os.Stderr, "evtop: unknown sort key %q\n", *sortKey)
 		os.Exit(2)
@@ -61,6 +65,13 @@ func main() {
 				fmt.Println()
 				_ = liveview.RenderOptimizer(os.Stdout, &opt.OptimizerSnapshot)
 				_ = liveview.RenderFastPaths(os.Stdout, opt.FastPaths)
+			}
+		}
+		if !*noSpans {
+			// Servers without span tracing answer 404; skip quietly.
+			if sp, err := liveview.FetchSpans(*url); err == nil {
+				fmt.Println()
+				_ = liveview.RenderSpans(os.Stdout, sp, *traces)
 			}
 		}
 		if *once {

@@ -32,12 +32,14 @@ func main() {
 		batchJSON    = flag.String("batch-json", "", "write the batch benchmark report to this file (implies -batch)")
 		codegen      = flag.Bool("codegen", false, "include the generated-code tier gate")
 		codegenJSON  = flag.String("codegen-json", "", "write the codegen tier report to this file (implies -codegen)")
+		spans        = flag.Bool("spans", false, "include the span tracing overhead gate")
+		spansJSON    = flag.String("spans-json", "", "write the span overhead report to this file (implies -spans)")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000, 20000
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000, 20000, 200000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000, 5000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000, 5000, 50000
 	}
 
 	step := func(name string, f func() error) {
@@ -133,6 +135,25 @@ func main() {
 			rep, gateErr := bench.RunBatch(os.Stdout, bevents)
 			if *batchJSON != "" && rep != nil {
 				f, err := os.Create(*batchJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *spans || *spansJSON != "" {
+		step("spans", func() error {
+			// Like the telemetry gate, the span layer's increment is a few
+			// nanoseconds per raise, so the gate uses the same high
+			// iteration count to resolve it above timer noise.
+			rep, gateErr := bench.RunSpans(os.Stdout, spops)
+			if *spansJSON != "" && rep != nil {
+				f, err := os.Create(*spansJSON)
 				if err != nil {
 					return err
 				}

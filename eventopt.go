@@ -40,6 +40,7 @@ import (
 	"eventopt/internal/event"
 	"eventopt/internal/hirrt"
 	"eventopt/internal/profile"
+	"eventopt/internal/span"
 	"eventopt/internal/telemetry"
 	"eventopt/internal/telemetry/httpdebug"
 	"eventopt/internal/trace"
@@ -92,6 +93,16 @@ type (
 	AdaptiveController = adaptive.Controller
 	// OptimizerSnapshot is the adaptive controller's published state.
 	OptimizerSnapshot = telemetry.OptimizerSnapshot
+	// SpanConfig tunes causal span tracing (see WithSpanTracing).
+	SpanConfig = span.Config
+	// Span is one recorded hop of a sampled trace.
+	Span = span.Span
+	// SLOConfig configures the SLO watchdog (see WithSLOWatchdog).
+	SLOConfig = telemetry.SLOConfig
+	// SLOObjective is one latency service-level objective.
+	SLOObjective = telemetry.SLOObjective
+	// SLOBreach is one fired watchdog alert.
+	SLOBreach = telemetry.SLOBreach
 )
 
 // Fault policies (see event.FaultPolicy). Propagate is the default.
@@ -161,6 +172,25 @@ func WithQueueBound(capacity int, policy OverflowPolicy) SystemOption {
 // current without a separate profiling run. The zero TelemetryConfig
 // selects the defaults; the record paths stay allocation-free.
 func WithTelemetry(cfg TelemetryConfig) SystemOption { return event.WithTelemetry(cfg) }
+
+// WithSpanTracing enables causal span tracing: sampled root raises get
+// a trace ID that propagates through nested raises, cross-domain async
+// handoffs, coalesced continuations, batched drains, timer retries,
+// dead-letter replays and post-deopt generic replays. Retained traces
+// are served at /spans (JSON, ?format=chrome for a Chrome trace export)
+// and rendered by evtop's span pane. The zero SpanConfig samples 1-in-16
+// roots; the context rides as fixed-size words in the pooled activation
+// records, so sync raises stay at 0 allocs/op with tracing on.
+func WithSpanTracing(cfg SpanConfig) SystemOption { return event.WithSpanTracing(cfg) }
+
+// WithSLOWatchdog attaches the SLO burn-rate watchdog (implies
+// WithTelemetry): each tick evaluates the configured latency objectives
+// against the histogram growth since the previous tick, and a burn rate
+// at or above the threshold dumps the affected domain's flight ring and
+// raises a synthetic "slo.breach" event — bind a handler to it to
+// alert or shed load. Drive ticks with Sys.SLO().Start(interval) or
+// explicit Sys.SLO().Tick() calls.
+func WithSLOWatchdog(cfg SLOConfig) SystemOption { return event.WithSLOWatchdog(cfg) }
 
 // WithAdaptiveOptimizer attaches the closed-loop adaptive optimizer:
 // a background controller that periodically lifts the live telemetry
@@ -257,12 +287,13 @@ func (a *App) Optimize(prof *Profile, opts Options) (*Plan, *Installed, error) {
 }
 
 // DebugHandler returns the HTTP observability surface of the app:
-// /metrics (counters + telemetry snapshots), /events (per-event
-// histogram document, the evtop feed), /graph (live sampled event graph
-// as Graphviz DOT, ?threshold= reduces), /flightrecorder (automatic
-// flight dumps), /trace (Chrome trace-event JSON of the current
-// profiling recording) and /debug/pprof. Mount it on a mux or serve it
-// directly:
+// /metrics (counters + telemetry snapshots), /metrics.prom (Prometheus
+// text exposition), /events (per-event histogram document, the evtop
+// feed), /graph (live sampled event graph as Graphviz DOT, ?threshold=
+// reduces), /flightrecorder (automatic flight dumps), /spans (causal
+// span traces, ?format=chrome for a Chrome trace export), /trace
+// (Chrome trace-event JSON of the current profiling recording) and
+// /debug/pprof. Mount it on a mux or serve it directly:
 //
 //	go http.ListenAndServe("localhost:6060", app.DebugHandler())
 //

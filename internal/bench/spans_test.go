@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSpansReportShape(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := RunSpans(&out, 50000)
+	if rep == nil {
+		t.Fatalf("RunSpans returned no report (err %v)", err)
+	}
+	if err != nil {
+		// The overhead gate is calibrated for the CI runner; on an
+		// arbitrary loaded machine only the report shape is asserted.
+		t.Logf("gate (tolerated in unit test): %v", err)
+	}
+	if rep.OffNs <= 0 || rep.TelemetryNs <= 0 || rep.SpansNs <= 0 {
+		t.Errorf("latencies not measured: %+v", rep)
+	}
+	if rep.SampleEvery <= 0 {
+		t.Errorf("sample rate missing: %+v", rep)
+	}
+	if rep.GatePct != SpansGatePct {
+		t.Errorf("gate = %v, want %v", rep.GatePct, SpansGatePct)
+	}
+	if !strings.Contains(out.String(), "telemetry+spans") {
+		t.Error("variant rows missing from output")
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back SpansReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.SpansNs != rep.SpansNs || back.Pass != rep.Pass {
+		t.Errorf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}

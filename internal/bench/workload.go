@@ -51,11 +51,13 @@ func SecCommWorkload() ([]trace.Entry, *seccomm.Endpoint, error) {
 // remainder). The returned trace is the golden input for checking that
 // batched drains and coalesced continuations keep every structural
 // trace invariant (evprof -check -workload batchpipe -batch K).
-func BatchPipeWorkload(k int) ([]trace.Entry, *event.System, error) {
+// Extra options (span tracing, scheduling hooks) pass through to the
+// underlying system.
+func BatchPipeWorkload(k int, opts ...event.Option) ([]trace.Entry, *event.System, error) {
 	if k < 2 {
 		k = 8
 	}
-	s := event.New()
+	s := event.New(opts...)
 	head := s.Define("head")
 	tail := s.Define("tail")
 	s.Bind(head, "stage", func(ctx *event.Ctx) { ctx.RaiseAsync(tail) })

@@ -42,6 +42,15 @@ type activation struct {
 	csh  *SuperHandler
 	cidx int
 
+	// trace/pspan/skind carry the causal span context of a sampled trace
+	// across the scheduler handoff (span.go): the trace ID, the raising
+	// span's ID, and the hop kind (span.Kind) the activation's own span
+	// records. Zero trace means the activation is not part of a sampled
+	// trace. Fixed-size words, cleared by pool zeroing.
+	trace uint64
+	pspan uint64
+	skind uint8
+
 	nargs   int
 	spilled bool
 	inline  [inlineArgs]Arg

@@ -3,6 +3,7 @@ package event
 import (
 	"testing"
 
+	"eventopt/internal/span"
 	"eventopt/internal/telemetry"
 )
 
@@ -238,6 +239,86 @@ func TestAllocRegression(t *testing.T) {
 			_ = s.Raise(outer)
 		}); got != 0 {
 			t.Errorf("nested sync raise: %.1f allocs/op, want 0", got)
+		}
+	})
+
+	t.Run("SpannedSyncRaise", func(t *testing.T) {
+		// Span tracing at SampleEvery 1 records a root span on every
+		// raise: ID minting, seqlock ring write, duration-histogram feed
+		// and the tail-retention draw must all stay off the heap.
+		s := New(WithSpanTracing(span.Config{SampleEvery: 1}))
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") }, WithParams("n", "s"))
+		if err := s.Raise(ev, args...); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(ev, args...)
+		}); got != 0 {
+			t.Errorf("spanned sync raise: %.1f allocs/op, want 0", got)
+		}
+		if st := s.Spans().Stats(); st.Spans == 0 {
+			t.Fatal("no spans recorded; the gate measured the wrong path")
+		}
+	})
+
+	t.Run("SpannedNestedSyncRaise", func(t *testing.T) {
+		// A nested raise inside a sampled trace adds a child-span bracket
+		// per level; the propagation words live in the domain record.
+		s := New(WithSpanTracing(span.Config{SampleEvery: 1}))
+		outer := s.Define("outer")
+		inner := s.Define("inner")
+		sink := 0
+		s.Bind(inner, "hi", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		s.Bind(outer, "ho", func(ctx *Ctx) { ctx.Raise(inner, args...) })
+		if err := s.Raise(outer); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(outer)
+		}); got != 0 {
+			t.Errorf("spanned nested sync raise: %.1f allocs/op, want 0", got)
+		}
+	})
+
+	t.Run("SpannedTelemetrySyncRaise", func(t *testing.T) {
+		// The full observability stack at once — timed telemetry plus
+		// span tracing, both sampling every activation — is the ISSUE's
+		// alloc gate: the sync raise path must still allocate nothing.
+		s := New(
+			WithTelemetry(telemetry.Config{TimeSampleEvery: 1}),
+			WithSpanTracing(span.Config{SampleEvery: 1}),
+		)
+		ev := s.Define("hot")
+		sink := 0
+		s.Bind(ev, "h", func(ctx *Ctx) { sink += ctx.Args.Int("n") }, WithParams("n", "s"))
+		if err := s.Raise(ev, args...); err != nil {
+			t.Fatal(err)
+		}
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(ev, args...)
+		}); got != 0 {
+			t.Errorf("spanned+timed sync raise: %.1f allocs/op, want 0", got)
+		}
+	})
+
+	t.Run("SpannedAsyncRaiseStep", func(t *testing.T) {
+		// Trace propagation through the queue rides the pooled activation
+		// record — the async budget stays at one object per activation.
+		s := New(WithSpanTracing(span.Config{SampleEvery: 1}))
+		a := s.Define("a")
+		b := s.Define("b")
+		sink := 0
+		s.Bind(a, "ha", func(ctx *Ctx) { ctx.RaiseAsync(b, args...) })
+		s.Bind(b, "hb", func(ctx *Ctx) { sink += ctx.Args.Int("n") })
+		_ = s.Raise(a)
+		s.Drain()
+		if got := testing.AllocsPerRun(200, func() {
+			_ = s.Raise(a)
+			s.Step()
+		}); got > 1 {
+			t.Errorf("spanned async raise+step: %.1f allocs/op, want <= 1", got)
 		}
 	})
 }

@@ -1,6 +1,9 @@
 package event
 
-import "eventopt/internal/telemetry"
+import (
+	"eventopt/internal/span"
+	"eventopt/internal/telemetry"
+)
 
 // Speculative coalescing of asynchronous chain raises (the paper's §5
 // future work): when a merged handler asynchronously raises an event
@@ -58,6 +61,11 @@ func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
 	a := s.getAct()
 	a.ev, a.mode = ev, Async
 	a.setArgs(args)
+	if s.spans != nil && d.curTrace != 0 {
+		// Stamp the raising span's context: the continuation (or the
+		// fallback enqueue) records a child span either way.
+		a.trace, a.pspan, a.skind = d.curTrace, d.curSpan, uint8(span.KindCoalesced)
+	}
 	d.qmu.Lock()
 	if d.q.len() > 0 || d.batchRem.Load() > 0 || d.dueTimerLocked(s.clock.Now()) {
 		// Pending work would be overtaken (or a bounded queue is under
@@ -67,6 +75,7 @@ func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
 		// order, so the raise must land behind them.
 		d.qmu.Unlock()
 		d.stats.CoalesceFallbacks.Add(1)
+		a.skind = uint8(span.KindAsync) // it travels the queue after all
 		if s.tel != nil {
 			a.enqAt, a.enqSet = s.clock.Now(), true
 		}
@@ -104,7 +113,7 @@ func (d *Domain) runCont(a *activation) {
 		d.runMu.Lock()
 		defer d.runMu.Unlock()
 		d.telAttempt = 0
-		s.dispatchSeg(d, sh, idx, a.ev, a.args())
+		s.dispatchSeg(d, sh, idx, a.ev, a.args(), a.trace, a.pspan)
 	}()
 	s.putAct(a)
 }
@@ -114,7 +123,8 @@ func (d *Domain) runCont(a *activation) {
 // through its super-handler segment instead of the generic path. Caller
 // holds runMu and the policy is Propagate. The segment guard is
 // re-checked here; a mismatch falls back to the original code.
-func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args []Arg) {
+// trace/pspan carry the raising span's context (zero when untraced).
+func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args []Arg, trace, pspan uint64) {
 	tel := s.tel
 	var start Duration
 	sampled := false
@@ -129,6 +139,15 @@ func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args [
 		// event is discarded before any counter moves.
 		return
 	}
+	col := s.spans
+	var spID uint64
+	var spStart Duration
+	if col != nil && trace != 0 {
+		spID = col.NextID(d.idx)
+		d.curTrace, d.curSpan = trace, spID
+		d.spanTier, d.spanFlags = 0, 0
+		spStart = s.clock.Now()
+	}
 	tracer := s.tracer()
 	d.stats.Raises.Add(1)
 	d.stats.AsyncRaises.Add(1)
@@ -138,12 +157,22 @@ func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args [
 	if !sh.segMatches(idx) {
 		// A rebind raced the pending continuation.
 		d.stats.SegFallbacks.Add(1)
+		d.spanNoteFlags(span.FlagSegFallback)
 		d.generic(snap, ev, Async, args, 0, tracer)
 	} else {
 		d.stats.FastRuns.Add(1)
+		d.spanNoteTier(spanTierOf(sh))
 		ce := &d.slot(0).ce
 		*ce = chainExec{sh: sh, d: d, tracer: tracer, supervised: false}
 		ce.runSegment(idx, args, Async, 0)
+	}
+	if spID != 0 {
+		spEnd := s.clock.Now()
+		tier, flags := span.Tier(d.spanTier), span.Flags(d.spanFlags)
+		d.curTrace, d.curSpan = 0, 0
+		d.spanTier, d.spanFlags = 0, 0
+		d.lastSpanTrace, d.lastSpanID = trace, spID
+		col.Record(d.idx, trace, spID, pspan, int32(ev), span.KindCoalesced, tier, flags, uint8(Async), int64(spStart), int64(spEnd))
 	}
 	if sampled {
 		end := s.clock.Now()

@@ -1,5 +1,7 @@
 package event
 
+import "eventopt/internal/span"
+
 // Raise synchronously activates ev from outside any handler: all bound
 // handlers run to completion before Raise returns. It reports an error
 // only for unknown or deleted events; an event with no handlers is
@@ -43,6 +45,7 @@ func (s *System) RaiseAsync(ev ID, args ...Arg) {
 // never exposes aliased storage.
 func (d *Domain) runTop(a *activation) {
 	var faults int
+	var ftrace, fspan uint64
 	func() {
 		// The unlock must be deferred: under the Propagate policy (or for
 		// a non-handler panic, e.g. a panicking tracer) a panic unwinds
@@ -52,12 +55,18 @@ func (d *Domain) runTop(a *activation) {
 		defer d.runMu.Unlock()
 		d.fault.activationFaults = 0
 		d.telAttempt = a.attempt
+		if d.sys.spans != nil {
+			d.pendTrace, d.pendSpan, d.pendKind = a.trace, a.pspan, a.skind
+		}
 		_ = d.sys.dispatch(d, a.ev, a.mode, a.args(), 0)
 		faults = d.fault.activationFaults
 		d.fault.activationFaults = 0
+		if faults > 0 {
+			ftrace, fspan = d.lastSpanTrace, d.lastSpanID
+		}
 	}()
 	if faults > 0 {
-		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt)
+		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt, ftrace, fspan)
 	}
 	d.sys.putAct(a)
 }
@@ -78,7 +87,9 @@ func (d *Domain) runTopResolved(a *activation, r *eventRec, snap *bindingSnapsho
 		d.fault.activationFaults = 0
 	}()
 	if faults > 0 {
-		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt)
+		// This route runs only with spans (and telemetry) off, so there is
+		// no span context to thread into the retry.
+		d.maybeRetry(a.ev, a.mode, a.args(), a.attempt, 0, 0)
 	}
 	d.sys.putAct(a)
 }
@@ -100,12 +111,14 @@ func (s *System) report(err error) {
 }
 
 // dispatch routes one activation through the core dispatcher, detouring
-// through the telemetry wrapper when the observability layer is enabled.
+// through the span wrapper and/or the telemetry wrapper when those
+// observability layers are enabled (spans bracket the whole activation,
+// telemetry accounting included).
 func (s *System) dispatch(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
-	if tel := s.tel; tel != nil {
-		return s.dispatchTimed(tel, d, ev, mode, args, depth)
+	if s.spans != nil {
+		return s.dispatchSpanned(d, ev, mode, args, depth)
 	}
-	return s.dispatchCore(d, ev, mode, args, depth)
+	return s.dispatchObserved(d, ev, mode, args, depth)
 }
 
 // dispatchCore routes one activation of ev executing on domain d: through
@@ -148,6 +161,7 @@ func (s *System) dispatchResolved(d *Domain, ev ID, mode Mode, args []Arg, depth
 		if s.policy() == Propagate {
 			if fast.run(d, mode, args, depth, tracer) {
 				d.stats.FastRuns.Add(1)
+				d.spanNoteTier(spanTierOf(fast))
 				if h := s.sched; h != nil {
 					h.Sched(SchedFastEntry, d.idx, ev, fast.Segments[0].Version)
 				}
@@ -156,10 +170,12 @@ func (s *System) dispatchResolved(d *Domain, ev ID, mode Mode, args []Arg, depth
 			// Guard failed: drop back into the original unoptimized code
 			// (paper section 3.3).
 			d.stats.Fallbacks.Add(1)
+			d.spanNoteFlags(span.FlagGuardFallback)
 		} else {
 			ran, faulted := d.runFastSupervised(fast, ev, snap.name, mode, args, depth, tracer)
 			if ran {
 				d.stats.FastRuns.Add(1)
+				d.spanNoteTier(spanTierOf(fast))
 				if h := s.sched; h != nil {
 					h.Sched(SchedFastEntry, d.idx, ev, fast.Segments[0].Version)
 				}
@@ -171,11 +187,13 @@ func (s *System) dispatchResolved(d *Domain, ev ID, mode Mode, args []Arg, depth
 				// atomically uninstall the entry and replay the whole
 				// activation through the original unoptimized code.
 				s.deoptimize(d, fast)
+				d.spanNoteFlags(span.FlagDeoptReplay)
 				// Replay against the freshest snapshot: the faulting chain
 				// may have rebound events before panicking.
 				snap = r.snap.Load()
 			} else {
 				d.stats.Fallbacks.Add(1)
+				d.spanNoteFlags(span.FlagGuardFallback)
 			}
 		}
 	}

@@ -67,6 +67,21 @@ type Domain struct {
 	// once the activation's own record has been appended.
 	telAttempt    int
 	telDumpReason string
+
+	// Span bookkeeping (span.go), all guarded by runMu. curTrace/curSpan
+	// are the innermost open span of the activation in flight (zero when
+	// it is unsampled); raises from handlers read them to stamp causality
+	// onto child activations. pend* carry the context of a popped
+	// activation record into the next top-level dispatch. spanTier and
+	// spanFlags are the attribution scratch of the innermost open span.
+	// lastSpanTrace/lastSpanID survive past the dispatch so the retry
+	// machinery (which runs after runMu is released) can parent a replay
+	// on the attempt that faulted.
+	curTrace, curSpan           uint64
+	pendTrace, pendSpan         uint64
+	pendKind                    uint8
+	spanTier, spanFlags         uint8
+	lastSpanTrace, lastSpanID   uint64
 }
 
 // dispatchSlot is the dispatch scratch of one synchronous nesting depth
@@ -363,9 +378,9 @@ func (d *Domain) runBatch(batch []*activation) int {
 			fire()
 		case a.csh != nil:
 			d.runCont(a)
-		case s.tel != nil:
-			// The telemetry wrapper re-times each activation; it resolves
-			// for itself.
+		case s.tel != nil || s.spans != nil:
+			// The telemetry/span wrappers re-instrument each activation;
+			// they resolve for themselves.
 			d.runTop(a)
 		default:
 			if g := s.pubGen.Load(); a.ev != lastEv || g != gen {

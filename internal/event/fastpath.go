@@ -1,6 +1,10 @@
 package event
 
-import "fmt"
+import (
+	"fmt"
+
+	"eventopt/internal/span"
+)
 
 // Step is one merged handler invocation inside a super-handler. It keeps
 // the original event and handler names so instrumented executions of
@@ -356,13 +360,42 @@ func (ce *chainExec) dispatchNested(c *Ctx, ev ID, args []Arg) bool {
 		}
 	}
 
+	// Subsumed raises never pass through dispatch(), so the span child
+	// hook lives here: same save/zero/restore discipline as
+	// dispatchSpanned, crediting the innermost open span only.
+	col := s.spans
+	var spID, spParent uint64
+	var prevTier, prevFlags uint8
+	var spStart Duration
+	var spFaultsBefore int
+	if col != nil && d.curTrace != 0 {
+		spID, spParent = col.NextID(d.idx), d.curSpan
+		prevTier, prevFlags = d.spanTier, d.spanFlags
+		d.curSpan = spID
+		d.spanTier, d.spanFlags = 0, 0
+		spFaultsBefore = d.fault.activationFaults
+		spStart = s.clock.Now()
+	}
+
 	// The guard must be re-checked at dispatch time: a handler earlier in
 	// this very chain may have rebound ev.
 	if !ce.sh.segMatches(idx) {
 		d.stats.SegFallbacks.Add(1)
+		d.spanNoteFlags(span.FlagSegFallback)
 		d.generic(ce.sh.recs[idx].snap.Load(), ev, Sync, args, c.depth+1, ce.tracer)
 	} else {
+		d.spanNoteTier(spanTierOf(ce.sh))
 		ce.runSegment(idx, args, Sync, c.depth+1)
+	}
+	if spID != 0 {
+		spEnd := s.clock.Now()
+		tier, flags := span.Tier(d.spanTier), span.Flags(d.spanFlags)
+		if d.fault.activationFaults > spFaultsBefore {
+			flags |= span.FlagFault
+		}
+		d.curSpan = spParent
+		d.spanTier, d.spanFlags = prevTier, prevFlags
+		col.Record(d.idx, d.curTrace, spID, spParent, int32(ev), span.KindSync, tier, flags, uint8(Sync), int64(spStart), int64(spEnd))
 	}
 	if telSampled {
 		tel.RecordLatency(d.idx, int32(ev), int64(s.clock.Now()-telStart))

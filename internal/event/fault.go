@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"eventopt/internal/span"
 )
 
 // FaultPolicy selects how the runtime treats a panic escaping a handler
@@ -493,8 +495,10 @@ func (d *Domain) runFastSupervised(sh *SuperHandler, ev ID, name string, mode Mo
 // optionally jittered exponential backoff, dead-lettering it when the
 // attempt budget is exhausted. attempt is 0-based (the attempt that just
 // ran). Retry is at-least-once: handlers that succeeded before the fault
-// run again on the retried activation, in this same domain.
-func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
+// run again on the retried activation, in this same domain. trace/pspan
+// are the span of the attempt that faulted (zero when untraced); they
+// parent the retry's span, so a trace shows every replay hop.
+func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int, trace, pspan uint64) {
 	s := d.sys
 	s.fault.mu.Lock()
 	rc := s.fault.retry
@@ -503,7 +507,7 @@ func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 		return
 	}
 	if attempt+1 >= rc.MaxAttempts {
-		d.deadLetter(ev, args, attempt+1, rc)
+		d.deadLetter(ev, args, attempt+1, rc, trace, pspan)
 		return
 	}
 	delay := rc.Backoff
@@ -518,7 +522,7 @@ func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 		delay = s.jitter(delay, rc.Jitter)
 	}
 	d.stats.Retries.Add(1)
-	d.scheduleRetry(delay, ev, mode, args, attempt+1)
+	d.scheduleRetry(delay, ev, mode, args, attempt+1, trace, pspan, uint8(span.KindRetry))
 }
 
 // deadLetter raises the configured dead-letter event for an exhausted
@@ -527,7 +531,7 @@ func (d *Domain) maybeRetry(ev ID, mode Mode, args []Arg, attempt int) {
 // atomicity lock, and with it the activation's flight record, before the
 // retry decision runs). The original arguments ride along after the
 // metadata.
-func (d *Domain) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig) {
+func (d *Domain) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig, trace, pspan uint64) {
 	s := d.sys
 	d.stats.DeadLetters.Add(1)
 	if tel := s.tel; tel != nil {
@@ -543,7 +547,7 @@ func (d *Domain) deadLetter(ev ID, args []Arg, attempts int, rc RetryConfig) {
 	meta := make([]Arg, 0, len(args)+2)
 	meta = append(meta, Arg{Name: "event", Val: s.EventName(ev)}, Arg{Name: "attempts", Val: attempts})
 	meta = append(meta, args...)
-	s.enqueue(dl, Async, meta)
+	s.enqueueCtx(dl, Async, meta, trace, pspan, uint8(span.KindDeadLetter))
 }
 
 // jitter draws a deterministic delay from [d*(1-frac), d].

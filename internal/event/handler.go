@@ -145,13 +145,13 @@ func (c *Ctx) RaiseAsync(ev ID, args ...Arg) {
 	if c.chain != nil && c.chain.dispatchNestedAsync(c, ev, args) {
 		return
 	}
-	c.System.enqueue(ev, Async, args)
+	c.System.enqueueFrom(c.dom, ev, Async, args)
 }
 
 // RaiseAfter schedules a timed activation of ev after delay d (in the
 // system's clock domain). The returned token can cancel it.
 func (c *Ctx) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
-	return c.System.RaiseAfter(d, ev, args...)
+	return c.System.raiseAfterFrom(c.dom, d, ev, args)
 }
 
 // Halt stops execution of the remaining handlers bound to the current

@@ -78,6 +78,11 @@ func (s *System) Define(name string) ID {
 		// Pre-grow the telemetry tables so its record paths never allocate.
 		s.tel.DefineEvent(int32(id), name)
 	}
+	if s.spans != nil {
+		// Teach the span collector the display name; resolution happens
+		// only at export time, never on the record path.
+		s.spans.DefineEvent(int32(id), name)
+	}
 	return id
 }
 

@@ -107,6 +107,12 @@ type timerEntry struct {
 	fire    func()  // internal callback timer (quarantine re-admission)
 	owner   *Domain // for cancellation accounting; nil on internal timers
 	done    bool
+
+	// Span context carried across the timer deferral (span.go): zero
+	// trace means the deferred activation is not part of a sampled trace.
+	trace uint64
+	pspan uint64
+	skind uint8
 }
 
 type timerHeap []*timerEntry
@@ -128,13 +134,20 @@ func (h timerHeap) peek() *timerEntry { return h[0] }
 // activations that become eligible once the clock passes their deadline
 // (paper section 2.2).
 func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
+	return s.raiseAfterCtx(d, ev, args, 0, 0, 0)
+}
+
+// raiseAfterCtx is RaiseAfter carrying a span context onto the timer
+// entry (zero trace for an untraced deferral).
+func (s *System) raiseAfterCtx(d Duration, ev ID, args []Arg, trace, pspan uint64, skind uint8) Timer {
 	if d < 0 {
 		d = 0
 	}
 	dom := s.domainOf(ev)
 	dom.qmu.Lock()
 	dom.tseq++
-	e := &timerEntry{at: s.clock.Now() + d, seq: dom.tseq, ev: ev, mode: Delayed, args: cloneArgs(args), owner: dom}
+	e := &timerEntry{at: s.clock.Now() + d, seq: dom.tseq, ev: ev, mode: Delayed, args: cloneArgs(args), owner: dom,
+		trace: trace, pspan: pspan, skind: skind}
 	heap.Push(&dom.timers, e)
 	dom.qmu.Unlock()
 	dom.nudge()
@@ -144,11 +157,13 @@ func (s *System) RaiseAfter(d Duration, ev ID, args ...Arg) Timer {
 // scheduleRetry re-arms a faulted activation after its backoff delay on
 // this domain, carrying the attempt count and the original mode forward,
 // so a retried RaiseAsync activation replays with ctx.Mode == Async. No
-// cancellation token escapes, so owner stays nil.
-func (d *Domain) scheduleRetry(delay Duration, ev ID, mode Mode, args []Arg, attempt int) {
+// cancellation token escapes, so owner stays nil. trace/pspan parent the
+// replay's span on the attempt that faulted (zero when untraced).
+func (d *Domain) scheduleRetry(delay Duration, ev ID, mode Mode, args []Arg, attempt int, trace, pspan uint64, skind uint8) {
 	d.qmu.Lock()
 	d.tseq++
-	e := &timerEntry{at: d.sys.clock.Now() + delay, seq: d.tseq, ev: ev, mode: mode, args: cloneArgs(args), attempt: attempt}
+	e := &timerEntry{at: d.sys.clock.Now() + delay, seq: d.tseq, ev: ev, mode: mode, args: cloneArgs(args), attempt: attempt,
+		trace: trace, pspan: pspan, skind: skind}
 	heap.Push(&d.timers, e)
 	d.qmu.Unlock()
 	d.nudge()
@@ -175,10 +190,17 @@ func (d *Domain) scheduleInternal(delay Duration, fire func()) {
 // any goroutine (or any other domain's handler) may produce, only the
 // owning domain consumes.
 func (s *System) enqueue(ev ID, mode Mode, args []Arg) {
+	s.enqueueCtx(ev, mode, args, 0, 0, 0)
+}
+
+// enqueueCtx is enqueue carrying a span context onto the activation
+// record (zero trace for an untraced raise).
+func (s *System) enqueueCtx(ev ID, mode Mode, args []Arg, trace, pspan uint64, skind uint8) {
 	d := s.domainOf(ev)
 	a := s.getAct()
 	a.ev, a.mode = ev, mode
 	a.setArgs(args)
+	a.trace, a.pspan, a.skind = trace, pspan, skind
 	if s.tel != nil {
 		a.enqAt, a.enqSet = s.clock.Now(), true
 	}
@@ -303,6 +325,7 @@ func (d *Domain) popRunnable() *activation {
 			heap.Pop(&d.timers)
 			a := d.sys.getAct()
 			a.ev, a.mode, a.attempt, a.fire = e.ev, e.mode, e.attempt, e.fire
+			a.trace, a.pspan, a.skind = e.trace, e.pspan, e.skind
 			a.adoptArgs(e.args)
 			e.args = nil
 			if tel := d.sys.tel; tel != nil && a.fire == nil {
@@ -426,6 +449,7 @@ func (d *Domain) popRunnableBatch(dst []*activation) int {
 		heap.Pop(&d.timers)
 		a := d.sys.getAct()
 		a.ev, a.mode, a.attempt, a.fire = e.ev, e.mode, e.attempt, e.fire
+		a.trace, a.pspan, a.skind = e.trace, e.pspan, e.skind
 		a.adoptArgs(e.args)
 		e.args = nil
 		if tel := d.sys.tel; tel != nil && a.fire == nil {

@@ -1,0 +1,60 @@
+package event
+
+import "eventopt/internal/telemetry"
+
+// WithSLOWatchdog enables the SLO burn-rate watchdog at construction
+// (implies WithTelemetry: burn rates are computed from the latency
+// histograms). Each watchdog tick that finds an objective burning its
+// error budget at or above the configured threshold takes a flight-
+// recorder dump of the affected domain and raises a synthetic
+// "slo.breach" event, so an ordinary handler binding can alert, shed
+// load, or trigger a replan — the breach travels the same dispatch
+// machinery it measures.
+//
+// Ticks are driven by the caller: either periodically via
+// System.SLO().Start(interval), or explicitly via System.SLO().Tick()
+// (deterministic; what the tests use).
+func WithSLOWatchdog(cfg telemetry.SLOConfig) Option {
+	return func(s *System) { s.wantSLO, s.wantSLOCfg = true, cfg }
+}
+
+// SLO returns the watchdog (nil unless the system was built with
+// WithSLOWatchdog).
+func (s *System) SLO() *telemetry.Watchdog { return s.slo }
+
+// SLOBreachEvent returns the ID of the synthetic breach event (NoID
+// unless the watchdog is enabled). Bind handlers to it to observe
+// breaches.
+func (s *System) SLOBreachEvent() ID {
+	if s.slo == nil {
+		return NoID
+	}
+	return s.sloEvent
+}
+
+// SLOBreachEventName is the registered name of the synthetic event the
+// watchdog raises on every breach.
+const SLOBreachEventName = "slo.breach"
+
+// initSLO defines the synthetic breach event and builds the watchdog.
+// Called from New after the telemetry layer exists.
+func (s *System) initSLO() {
+	s.sloEvent = s.Define(SLOBreachEventName)
+	s.slo = telemetry.NewWatchdog(s.tel, s.wantSLOCfg, func(b telemetry.SLOBreach) {
+		// Capture the recent activation history of the slow domain
+		// before the breach activation itself perturbs it.
+		dom := 0
+		if b.Event >= 0 {
+			dom = s.domainOf(ID(b.Event)).idx
+		}
+		s.tel.DumpFlight(dom, "slo:"+b.Objective)
+		s.RaiseAsync(s.sloEvent,
+			Arg{Name: "objective", Val: b.Objective},
+			Arg{Name: "event", Val: int(b.Event)},
+			Arg{Name: "burn", Val: b.Burn},
+			Arg{Name: "error_rate", Val: b.ErrorRate},
+			Arg{Name: "window", Val: int(b.Window)},
+			Arg{Name: "errors", Val: int(b.Errors)},
+		)
+	})
+}

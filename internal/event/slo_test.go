@@ -1,0 +1,120 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"eventopt/internal/telemetry"
+)
+
+// TestSLOWatchdogRaisesBreachEvent drives the full breach path through
+// the runtime: a slow event burns its objective's error budget, a Tick
+// fires the breach, and the watchdog dumps the affected domain's flight
+// ring and raises the synthetic slo.breach event with the breach data as
+// arguments — observable from an ordinary handler binding.
+func TestSLOWatchdogRaisesBreachEvent(t *testing.T) {
+	vc := NewVirtualClock()
+	var dumps []string
+	s := New(WithClock(vc),
+		WithTelemetry(telemetry.Config{
+			TimeSampleEvery: 1,
+			OnDump:          func(d *telemetry.FlightDump) { dumps = append(dumps, d.Reason) },
+		}),
+		WithSLOWatchdog(telemetry.SLOConfig{
+			Objectives: []telemetry.SLOObjective{
+				{Name: "work-p99", Event: 1, LatencyNs: int64(time.Millisecond), Target: 0.99},
+			},
+			MinSamples: 8,
+		}))
+
+	if s.SLO() == nil {
+		t.Fatal("SLO() = nil with the watchdog enabled")
+	}
+	if !s.TelemetryEnabled() {
+		t.Fatal("WithSLOWatchdog must imply telemetry")
+	}
+	breach := s.SLOBreachEvent()
+	if breach == NoID || s.EventName(breach) != SLOBreachEventName {
+		t.Fatalf("SLOBreachEvent = %v (%q)", breach, s.EventName(breach))
+	}
+
+	ev := s.Define("work")
+	if int32(ev) != 1 {
+		t.Fatalf("work = %v, objective pinned to event 1", ev)
+	}
+	slow := false
+	s.Bind(ev, "h", func(ctx *Ctx) {
+		if slow {
+			vc.Advance(5 * time.Millisecond)
+		}
+	})
+	var breaches []map[string]any
+	s.Bind(breach, "alert", func(ctx *Ctx) {
+		m := make(map[string]any)
+		for _, a := range ctx.Args.Pairs() {
+			m[a.Name] = a.Val
+		}
+		breaches = append(breaches, m)
+	})
+
+	// A healthy window: no breach.
+	for i := 0; i < 10; i++ {
+		_ = s.Raise(ev)
+	}
+	if fired := s.SLO().Tick(); len(fired) != 0 {
+		t.Fatalf("healthy window fired: %+v", fired)
+	}
+	s.Drain()
+	if len(breaches) != 0 || len(dumps) != 0 {
+		t.Fatalf("healthy window produced breach activity: %v %v", breaches, dumps)
+	}
+
+	// A degraded window: every activation blows the 1ms bound.
+	slow = true
+	for i := 0; i < 10; i++ {
+		_ = s.Raise(ev)
+	}
+	fired := s.SLO().Tick()
+	if len(fired) != 1 {
+		t.Fatalf("degraded window fired %d breaches, want 1", len(fired))
+	}
+	s.Drain() // runs the queued slo.breach activation
+
+	if len(breaches) != 1 {
+		t.Fatalf("breach handler ran %d times, want 1", len(breaches))
+	}
+	b := breaches[0]
+	if b["objective"] != "work-p99" || b["event"] != 1 {
+		t.Errorf("breach args identity = %v", b)
+	}
+	if w, _ := b["window"].(int); w != 10 {
+		t.Errorf("breach window = %v, want 10", b["window"])
+	}
+	if e, _ := b["errors"].(int); e != 10 {
+		t.Errorf("breach errors = %v, want 10", b["errors"])
+	}
+	if burn, _ := b["burn"].(float64); burn < 99 {
+		t.Errorf("burn = %v, want ~100 (full budget burn against 1%%)", b["burn"])
+	}
+	// The flight dump of the slow domain was taken before the breach
+	// activation ran, tagged with the objective.
+	if len(dumps) != 1 || !strings.Contains(dumps[0], "slo:work-p99") {
+		t.Errorf("dumps = %v, want one slo:work-p99 capture", dumps)
+	}
+	if s.SLO().TotalBreaches() != 1 {
+		t.Errorf("TotalBreaches = %d, want 1", s.SLO().TotalBreaches())
+	}
+}
+
+// TestSLOAccessorsDisabled pins the nil-object behaviour when the
+// watchdog was not requested.
+func TestSLOAccessorsDisabled(t *testing.T) {
+	s := New()
+	if s.SLO() != nil {
+		t.Error("SLO() non-nil without WithSLOWatchdog")
+	}
+	if s.SLOBreachEvent() != NoID {
+		t.Errorf("SLOBreachEvent = %v, want NoID", s.SLOBreachEvent())
+	}
+}

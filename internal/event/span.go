@@ -1,0 +1,151 @@
+package event
+
+import (
+	"eventopt/internal/span"
+)
+
+// WithSpanTracing enables causal span tracing at construction: sampled
+// root raises get a trace ID, and causality propagates through nested
+// raises, cross-domain async handoffs, coalesced continuations, batched
+// drains, timer retries, dead-letter replays and post-deopt generic
+// replays. The context travels as fixed-size words inside the pooled
+// activation records and timer entries, so the sampled path stays
+// allocation-free (the same discipline as the telemetry layer).
+func WithSpanTracing(cfg span.Config) Option {
+	return func(s *System) { s.wantSpans, s.wantSpanCfg = true, cfg }
+}
+
+// Spans returns the span collector (nil unless the system was built with
+// WithSpanTracing).
+func (s *System) Spans() *span.Collector { return s.spans }
+
+// SpanTracingEnabled reports whether the span layer is active.
+func (s *System) SpanTracingEnabled() bool { return s.spans != nil }
+
+// dispatchObserved routes through the telemetry wrapper when telemetry
+// is on, else straight to the core dispatcher. It is the layer below
+// span bracketing: spans time the whole activation including its
+// telemetry accounting.
+func (s *System) dispatchObserved(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+	if tel := s.tel; tel != nil {
+		return s.dispatchTimed(tel, d, ev, mode, args, depth)
+	}
+	return s.dispatchCore(d, ev, mode, args, depth)
+}
+
+// dispatchSpanned brackets one dispatch with a span when the activation
+// belongs to a sampled trace. Top-level dispatches either inherit the
+// context stamped on their activation record (pend*, set by runTop) or
+// draw the root-sampling decision; nested dispatches inherit the
+// domain's current span context. Unsampled activations pay one branch
+// and, at top level, one hash draw.
+//
+// The tier/flag scratch (d.spanTier, d.spanFlags) is saved and zeroed
+// around the inner dispatch so the attribution points in
+// dispatchResolved credit the innermost open span only.
+func (s *System) dispatchSpanned(d *Domain, ev ID, mode Mode, args []Arg, depth int) error {
+	col := s.spans
+	var trace, parent uint64
+	var kind span.Kind
+	if depth > 0 {
+		if d.curTrace == 0 {
+			// Unsampled nested raise: skip the dispatchObserved frame —
+			// this is the hot path's only extra cost besides the branch.
+			if tel := s.tel; tel != nil {
+				return s.dispatchTimed(tel, d, ev, mode, args, depth)
+			}
+			return s.dispatchCore(d, ev, mode, args, depth)
+		}
+		trace, parent, kind = d.curTrace, d.curSpan, span.KindSync
+	} else {
+		trace, parent, kind = d.pendTrace, d.pendSpan, span.Kind(d.pendKind)
+		d.pendTrace, d.pendSpan, d.pendKind = 0, 0, 0
+		if trace == 0 {
+			if !col.SampleRoot(d.idx) {
+				d.lastSpanTrace, d.lastSpanID = 0, 0
+				if tel := s.tel; tel != nil {
+					return s.dispatchTimed(tel, d, ev, mode, args, depth)
+				}
+				return s.dispatchCore(d, ev, mode, args, depth)
+			}
+			kind, parent = span.KindRoot, 0
+		}
+	}
+	id := col.NextID(d.idx)
+	if trace == 0 {
+		trace = id
+	}
+	prevTrace, prevSpan := d.curTrace, d.curSpan
+	prevTier, prevFlags := d.spanTier, d.spanFlags
+	d.curTrace, d.curSpan = trace, id
+	d.spanTier, d.spanFlags = 0, 0
+	faultsBefore := d.fault.activationFaults
+	start := s.clock.Now()
+	err := s.dispatchObserved(d, ev, mode, args, depth)
+	end := s.clock.Now()
+	flags := span.Flags(d.spanFlags)
+	tier := span.Tier(d.spanTier)
+	if d.fault.activationFaults > faultsBefore {
+		flags |= span.FlagFault
+	}
+	d.curTrace, d.curSpan = prevTrace, prevSpan
+	d.spanTier, d.spanFlags = prevTier, prevFlags
+	if depth == 0 {
+		// Remembered across the runMu release so the retry machinery can
+		// parent a replay on the attempt that faulted.
+		d.lastSpanTrace, d.lastSpanID = trace, id
+	}
+	col.Record(d.idx, trace, id, parent, int32(ev), kind, tier, flags, uint8(mode), int64(start), int64(end))
+	return err
+}
+
+// spanTierOf classifies which execution tier a super-handler represents:
+// AOT-generated code, a fused HIR body, or a steps-based fast path.
+func spanTierOf(sh *SuperHandler) uint8 {
+	if sh.Provenance == "generated" {
+		return uint8(span.TierGenerated)
+	}
+	for i := range sh.Segments {
+		if sh.Segments[i].Fused != nil {
+			return uint8(span.TierHIR)
+		}
+	}
+	return uint8(span.TierFast)
+}
+
+// spanNoteTier credits the innermost open span with the tier that ran
+// it. One plain-field branch when tracing is off or the activation is
+// unsampled. Caller holds runMu.
+func (d *Domain) spanNoteTier(tier uint8) {
+	if d.curTrace != 0 {
+		d.spanTier = tier
+	}
+}
+
+// spanNoteFlags ORs fallback/deopt annotations into the innermost open
+// span. Caller holds runMu.
+func (d *Domain) spanNoteFlags(f span.Flags) {
+	if d.curTrace != 0 {
+		d.spanFlags |= uint8(f)
+	}
+}
+
+// enqueueFrom is enqueue stamped with the raising handler's span
+// context, so a cross-domain RaiseAsync carries its trace to the target
+// domain's queue. Outside a sampled trace it is a plain enqueue.
+func (s *System) enqueueFrom(d *Domain, ev ID, mode Mode, args []Arg) {
+	if s.spans == nil || d == nil || d.curTrace == 0 {
+		s.enqueue(ev, mode, args)
+		return
+	}
+	s.enqueueCtx(ev, mode, args, d.curTrace, d.curSpan, uint8(span.KindAsync))
+}
+
+// raiseAfterFrom is RaiseAfter stamped with the raising handler's span
+// context (timer-deferred hop).
+func (s *System) raiseAfterFrom(from *Domain, delay Duration, ev ID, args []Arg) Timer {
+	if s.spans == nil || from == nil || from.curTrace == 0 {
+		return s.RaiseAfter(delay, ev, args...)
+	}
+	return s.raiseAfterCtx(delay, ev, args, from.curTrace, from.curSpan, uint8(span.KindTimer))
+}

@@ -1,0 +1,335 @@
+package event
+
+import (
+	"testing"
+
+	"eventopt/internal/span"
+)
+
+// spanSys builds a system that traces every root, so the hop tests can
+// assert exact parent/child edges without sampling noise.
+func spanSys(opts ...Option) *System {
+	opts = append([]Option{WithSpanTracing(span.Config{SampleEvery: 1})}, opts...)
+	return New(opts...)
+}
+
+// spansOf filters the ring snapshot by kind, in start order.
+func spansOf(t *testing.T, s *System, k span.Kind) []span.Span {
+	t.Helper()
+	var out []span.Span
+	for _, sp := range s.Spans().Recent() {
+		if sp.Kind == k {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// oneSpan asserts exactly one span of the given kind was recorded.
+func oneSpan(t *testing.T, s *System, k span.Kind) span.Span {
+	t.Helper()
+	got := spansOf(t, s, k)
+	if len(got) != 1 {
+		t.Fatalf("%v spans = %d, want 1: %+v", k, len(got), got)
+	}
+	return got[0]
+}
+
+// TestSpanRootAndSyncChild: hop 1 — a nested synchronous raise becomes a
+// child span of the sampled root, in the same trace.
+func TestSpanRootAndSyncChild(t *testing.T) {
+	s := spanSys()
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "ha", func(ctx *Ctx) { ctx.Raise(b) })
+	s.Bind(b, "hb", func(*Ctx) {})
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	root := oneSpan(t, s, span.KindRoot)
+	child := oneSpan(t, s, span.KindSync)
+	if !root.Root() || root.Event != int32(a) || root.Parent != 0 {
+		t.Fatalf("root span = %+v", root)
+	}
+	if child.Trace != root.Trace || child.Parent != root.ID || child.Event != int32(b) {
+		t.Fatalf("sync child edge wrong: root=%+v child=%+v", root, child)
+	}
+	if child.Mode != "sync" || root.Name != "a" || child.Name != "b" {
+		t.Fatalf("span metadata wrong: root=%+v child=%+v", root, child)
+	}
+	// The child runs inside the root's bracket.
+	if child.Start < root.Start || child.End > root.End {
+		t.Fatalf("sync child not nested in root: root=[%d,%d] child=[%d,%d]",
+			root.Start, root.End, child.Start, child.End)
+	}
+}
+
+// TestSpanAsyncCrossDomain: hop 2 — a RaiseAsync handed to another
+// domain keeps the trace and parents on the raising handler's span.
+func TestSpanAsyncCrossDomain(t *testing.T) {
+	s := spanSys(WithDomains(2))
+	a := s.Define("a") // id 0 -> domain 0
+	b := s.Define("b") // id 1 -> domain 1
+	s.Bind(a, "ha", func(ctx *Ctx) { ctx.RaiseAsync(b) })
+	s.Bind(b, "hb", func(*Ctx) {})
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	root := oneSpan(t, s, span.KindRoot)
+	child := oneSpan(t, s, span.KindAsync)
+	if child.Trace != root.Trace || child.Parent != root.ID || child.Event != int32(b) {
+		t.Fatalf("async edge wrong: root=%+v child=%+v", root, child)
+	}
+	if child.Domain == root.Domain {
+		t.Fatalf("handoff stayed on domain %d; want a cross-domain hop", child.Domain)
+	}
+	if child.Mode != "async" {
+		t.Fatalf("child mode = %q, want async", child.Mode)
+	}
+}
+
+// TestSpanCoalescedContinuation: hop 3 — an interior async raise
+// captured as a same-domain continuation records a coalesced span
+// parented on the capturing activation, not an async queue hop.
+func TestSpanCoalescedContinuation(t *testing.T) {
+	s := spanSys()
+	head, tail, _ := pipelineSH(t, s)
+	if err := s.Raise(head, A("n", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.StatsAggregate().Coalesced != 1 {
+		t.Fatal("raise was not coalesced; test precondition broken")
+	}
+	if !s.Step() {
+		t.Fatal("captured continuation not runnable")
+	}
+	root := oneSpan(t, s, span.KindRoot)
+	cont := oneSpan(t, s, span.KindCoalesced)
+	if root.Event != int32(head) || cont.Event != int32(tail) {
+		t.Fatalf("events wrong: root=%+v cont=%+v", root, cont)
+	}
+	if cont.Trace != root.Trace || cont.Parent != root.ID {
+		t.Fatalf("coalesced edge wrong: root=%+v cont=%+v", root, cont)
+	}
+	if cont.Domain != root.Domain {
+		t.Fatal("coalesced continuation must stay on the capturing domain")
+	}
+	if root.Tier != span.TierFast || cont.Tier != span.TierFast {
+		t.Fatalf("tiers = %v/%v, want fast/fast", root.Tier, cont.Tier)
+	}
+	if len(spansOf(t, s, span.KindAsync)) != 0 {
+		t.Fatal("coalesced raise also recorded an async hop")
+	}
+}
+
+// TestSpanBatchedDrain: hop 4 — activations pulled through the batched
+// drain keep their stamped context: every child parents on the root.
+func TestSpanBatchedDrain(t *testing.T) {
+	s := spanSys(WithBatchDrain(4))
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "ha", func(ctx *Ctx) {
+		for i := 0; i < 3; i++ {
+			ctx.RaiseAsync(b, A("i", i))
+		}
+	})
+	s.Bind(b, "hb", func(*Ctx) {})
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	root := oneSpan(t, s, span.KindRoot)
+	children := spansOf(t, s, span.KindAsync)
+	if len(children) != 3 {
+		t.Fatalf("async children = %d, want 3: %+v", len(children), children)
+	}
+	for _, c := range children {
+		if c.Trace != root.Trace || c.Parent != root.ID || c.Event != int32(b) {
+			t.Fatalf("batched drain lost an edge: root=%+v child=%+v", root, c)
+		}
+		if c.Start < root.End {
+			t.Fatalf("queued child started before its parent finished: root=%+v child=%+v", root, c)
+		}
+	}
+}
+
+// TestSpanTimerHop: hop 5 — a RaiseAfter from inside a traced handler
+// carries the context through the timer heap.
+func TestSpanTimerHop(t *testing.T) {
+	vc := NewVirtualClock()
+	s := spanSys(WithClock(vc))
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "ha", func(ctx *Ctx) { ctx.RaiseAfter(Duration(1e6), b) })
+	s.Bind(b, "hb", func(*Ctx) {})
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	root := oneSpan(t, s, span.KindRoot)
+	timer := oneSpan(t, s, span.KindTimer)
+	if timer.Trace != root.Trace || timer.Parent != root.ID || timer.Event != int32(b) {
+		t.Fatalf("timer edge wrong: root=%+v timer=%+v", root, timer)
+	}
+	if timer.Mode != "timed" {
+		t.Fatalf("timer mode = %q, want timed", timer.Mode)
+	}
+	if timer.Start < root.End+int64(1e6) {
+		t.Fatalf("timer hop fired before its delay: root end %d, timer start %d", root.End, timer.Start)
+	}
+}
+
+// TestSpanRetryChain: hop 6 — each retry parents on the attempt that
+// faulted, so the trace shows the whole replay chain; hop 7 — the
+// dead-letter notification parents on the final attempt.
+func TestSpanRetryChain(t *testing.T) {
+	vc := NewVirtualClock()
+	s := spanSys(WithClock(vc),
+		WithFaultPolicy(Isolate),
+		WithRetryConfig(RetryConfig{MaxAttempts: 3, Backoff: Duration(1e6), DeadLetter: "dead"}))
+	ev := s.Define("E")
+	dead := s.Define("dead")
+	s.Bind(ev, "boom", func(*Ctx) { panic("always") })
+	s.Bind(dead, "capture", func(*Ctx) {})
+
+	s.RaiseAsync(ev, A("payload", 42))
+	s.Drain()
+
+	first := oneSpan(t, s, span.KindRoot)
+	retries := spansOf(t, s, span.KindRetry)
+	dl := oneSpan(t, s, span.KindDeadLetter)
+	if len(retries) != 2 {
+		t.Fatalf("retry spans = %d, want 2: %+v", len(retries), retries)
+	}
+	if first.Flags&span.FlagFault == 0 {
+		t.Fatalf("faulted root not flagged: %+v", first)
+	}
+	// Chain: root <- retry1 <- retry2 <- dead-letter, one trace.
+	if retries[0].Trace != first.Trace || retries[0].Parent != first.ID {
+		t.Fatalf("first retry edge wrong: root=%+v retry=%+v", first, retries[0])
+	}
+	if retries[1].Trace != first.Trace || retries[1].Parent != retries[0].ID {
+		t.Fatalf("second retry edge wrong: %+v -> %+v", retries[0], retries[1])
+	}
+	if retries[0].Flags&span.FlagFault == 0 || retries[1].Flags&span.FlagFault == 0 {
+		t.Fatalf("faulted retries not flagged: %+v", retries)
+	}
+	if dl.Trace != first.Trace || dl.Parent != retries[1].ID || dl.Event != int32(dead) {
+		t.Fatalf("dead-letter edge wrong: last=%+v dl=%+v", retries[1], dl)
+	}
+	// A faulted trace is retained unconditionally, with the whole chain.
+	traces := s.Spans().Traces()
+	if len(traces) != 1 || traces[0].Reason != "fault" {
+		t.Fatalf("retained traces = %+v, want one faulted trace", traces)
+	}
+	if n := len(traces[0].Spans); n != 4 {
+		t.Fatalf("retained trace has %d spans, want 4 (root + 2 retries + dead-letter)", n)
+	}
+}
+
+// TestSpanDeoptReplayFlag: a fast path that faults is deoptimized and the
+// activation replayed generically — the span says so.
+func TestSpanDeoptReplayFlag(t *testing.T) {
+	s := spanSys(WithFaultPolicy(Isolate))
+	ev := s.Define("E")
+	s.Bind(ev, "boom", func(*Ctx) { panic("step bug") })
+	if err := s.InstallFastPath(superForOne(s, ev)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(ev); err != nil {
+		t.Fatal(err)
+	}
+	root := oneSpan(t, s, span.KindRoot)
+	if root.Flags&span.FlagDeoptReplay == 0 || root.Flags&span.FlagFault == 0 {
+		t.Fatalf("deopt replay not attributed: flags = %v (%+v)", root.Flags, root)
+	}
+}
+
+// TestSpanGuardFallbackFlag: a stale entry guard drops the activation to
+// the generic dispatcher and the span records the fallback reason.
+func TestSpanGuardFallbackFlag(t *testing.T) {
+	s := spanSys()
+	ev := s.Define("E")
+	s.Bind(ev, "h", func(*Ctx) {})
+	if err := s.InstallFastPath(superForOne(s, ev)); err != nil {
+		t.Fatal(err)
+	}
+	s.Bind(ev, "h2", func(*Ctx) {}) // version bump: guard goes stale
+	if err := s.Raise(ev); err != nil {
+		t.Fatal(err)
+	}
+	root := oneSpan(t, s, span.KindRoot)
+	if root.Flags&span.FlagGuardFallback == 0 {
+		t.Fatalf("guard fallback not attributed: flags = %v", root.Flags)
+	}
+	if root.Tier != span.TierGeneric {
+		t.Fatalf("fallback ran tier %v, want generic", root.Tier)
+	}
+}
+
+// TestSpanSubsumedSyncChild: a nested sync raise that a fast path
+// subsumes (runs as a segment without re-entering dispatch) still gets
+// its own child span with the fast tier.
+func TestSpanSubsumedSyncChild(t *testing.T) {
+	s := spanSys()
+	a := s.Define("a")
+	b := s.Define("b")
+	fn := func(ctx *Ctx) { ctx.Raise(b) }
+	bfn := func(*Ctx) {}
+	s.Bind(a, "ha", fn)
+	s.Bind(b, "hb", bfn)
+	sh := &SuperHandler{
+		Entry: a,
+		Segments: []Segment{
+			{Event: a, EventName: "a", Version: s.Version(a),
+				Steps: []Step{{Event: a, EventName: "a", Handler: "ha", Fn: fn}}},
+			{Event: b, EventName: "b", Version: s.Version(b),
+				Steps: []Step{{Event: b, EventName: "b", Handler: "hb", Fn: bfn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	// One fast entry, no generic dispatch: the nested raise was subsumed.
+	if st := s.StatsAggregate(); st.FastRuns != 1 || st.Generic != 0 {
+		t.Fatalf("nested raise not subsumed: %+v", st)
+	}
+	root := oneSpan(t, s, span.KindRoot)
+	child := oneSpan(t, s, span.KindSync)
+	if child.Trace != root.Trace || child.Parent != root.ID || child.Event != int32(b) {
+		t.Fatalf("subsumed edge wrong: root=%+v child=%+v", root, child)
+	}
+	if root.Tier != span.TierFast || child.Tier != span.TierFast {
+		t.Fatalf("tiers = %v/%v, want fast/fast", root.Tier, child.Tier)
+	}
+}
+
+// TestSpanUnsampledRootCostsNothing: with sampling effectively off no
+// spans are recorded and nested context stays zero.
+func TestSpanUnsampledRootCostsNothing(t *testing.T) {
+	s := New(WithSpanTracing(span.Config{SampleEvery: 1 << 30}))
+	a := s.Define("a")
+	b := s.Define("b")
+	s.Bind(a, "ha", func(ctx *Ctx) { ctx.RaiseAsync(b) })
+	s.Bind(b, "hb", func(*Ctx) {})
+	for i := 0; i < 50; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	st := s.Spans().Stats()
+	if st.Spans != 0 {
+		t.Fatalf("unsampled workload recorded %d spans", st.Spans)
+	}
+	// Each top-level activation without inherited context draws once:
+	// 50 external raises plus 50 queued children of unsampled parents.
+	// The draw counter is flushed in batches of 32, so 100 draws show 96.
+	if st.RootsSeen != 96 || st.RootsSampled != 0 {
+		t.Fatalf("draws = %d sampled = %d, want 96/0", st.RootsSeen, st.RootsSampled)
+	}
+}

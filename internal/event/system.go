@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eventopt/internal/span"
 	"eventopt/internal/telemetry"
 )
 
@@ -233,7 +234,11 @@ type System struct {
 	fault   faultShared // shared supervision config (fault.go)
 	haltErr func(error) // reporter for raise errors on async paths
 
-	tel *telemetry.Telemetry // live observability layer; nil unless enabled
+	tel   *telemetry.Telemetry // live observability layer; nil unless enabled
+	spans *span.Collector      // causal span tracing; nil unless enabled
+	slo   *telemetry.Watchdog  // SLO burn-rate watchdog; nil unless enabled
+
+	sloEvent ID // the synthetic slo.breach event (when the watchdog is on)
 
 	wantDomains  int            // WithDomains value, consumed by New
 	wantQcap     int            // queue bound remembered for domain creation
@@ -241,6 +246,10 @@ type System struct {
 	wantBatchK   int            // WithBatchDrain value, consumed by New
 	wantTel      bool           // WithTelemetry requested, consumed by New
 	wantTelCfg   telemetry.Config
+	wantSpans    bool // WithSpanTracing requested, consumed by New
+	wantSpanCfg  span.Config
+	wantSLO      bool // WithSLOWatchdog requested, consumed by New
+	wantSLOCfg   telemetry.SLOConfig
 	wantAdaptive any // WithAdaptiveOptimizer policy, consumed by the facade
 }
 
@@ -308,8 +317,18 @@ func New(opts ...Option) *System {
 		// The adaptive controller plans from the live telemetry graph.
 		s.wantTel = true
 	}
+	if s.wantSLO {
+		// The watchdog burns against the telemetry histograms.
+		s.wantTel = true
+	}
 	if s.wantTel {
 		s.tel = telemetry.New(n, s.wantTelCfg)
+	}
+	if s.wantSpans {
+		s.spans = span.NewCollector(n, s.wantSpanCfg)
+	}
+	if s.wantSLO {
+		s.initSLO()
 	}
 	return s
 }

@@ -135,6 +135,62 @@ func TestTelemetryFlightDumpOnDeadLetter(t *testing.T) {
 	}
 }
 
+// TestTelemetryFlightDumpOrderingQuarantineAndDeadLetter fires both
+// automatic dump triggers on the SAME faulted activation: with a
+// failure threshold of one the fault trips the breaker, and with an
+// attempt budget of one the same fault exhausts the retry policy. The
+// quarantine dump must come first (it is taken by the activation's own
+// dispatch, right after the faulted record lands in the ring) and the
+// dead-letter dump second (the retry decision runs only after the
+// atomicity lock is released), with consecutive ordinals, and both must
+// contain the triggering activation as their newest record.
+func TestTelemetryFlightDumpOrderingQuarantineAndDeadLetter(t *testing.T) {
+	vc := NewVirtualClock()
+	var dumps []*telemetry.FlightDump
+	s := New(WithClock(vc),
+		WithTelemetry(telemetry.Config{OnDump: func(d *telemetry.FlightDump) { dumps = append(dumps, d) }}),
+		WithFaultConfig(FaultConfig{Policy: Quarantine, FailureThreshold: 1}),
+		WithRetryConfig(RetryConfig{MaxAttempts: 1, DeadLetter: "dead"}))
+	s.Define("dead")
+	ev := s.Define("boom")
+	s.Bind(ev, "bad", func(ctx *Ctx) { panic("kaput") })
+	s.RaiseAsync(ev)
+	s.Drain()
+
+	if len(dumps) != 2 {
+		t.Fatalf("dumps = %d, want 2 (quarantine then dead-letter)", len(dumps))
+	}
+	quar, dl := dumps[0], dumps[1]
+	if !strings.Contains(quar.Reason, "quarantine: boom/bad") {
+		t.Errorf("first dump reason = %q, want the quarantine trip", quar.Reason)
+	}
+	if !strings.Contains(dl.Reason, "dead-letter: boom") {
+		t.Errorf("second dump reason = %q, want the dead-letter", dl.Reason)
+	}
+	if quar.Seq+1 != dl.Seq {
+		t.Errorf("dump ordinals = %d, %d, want consecutive", quar.Seq, dl.Seq)
+	}
+	if s.Telemetry().DumpCount() != 2 {
+		t.Errorf("DumpCount = %d, want 2", s.Telemetry().DumpCount())
+	}
+	for i, d := range dumps {
+		if vs := d.Validate(); len(vs) != 0 {
+			t.Errorf("dump %d invalid: %v", i, vs)
+		}
+		if len(d.Records) == 0 {
+			t.Fatalf("dump %d is empty", i)
+		}
+		last := d.Records[len(d.Records)-1]
+		if last.Name != "boom" || last.Outcome != telemetry.OutcomeFault || !strings.Contains(last.Cause, "kaput") {
+			t.Errorf("dump %d newest record = %+v, want the faulted boom activation", i, last)
+		}
+	}
+	// LastDump must agree with the hook's ordering.
+	if got := s.Telemetry().LastDump(); got == nil || got.Seq != dl.Seq {
+		t.Errorf("LastDump = %+v, want the dead-letter dump", got)
+	}
+}
+
 func TestPerDomainStats(t *testing.T) {
 	s := New(WithDomains(2))
 	a := s.Define("a")

@@ -51,11 +51,32 @@ func Fetch(base string) (*EventsDoc, error) {
 
 // Sort keys accepted by Render.
 const (
-	SortCount = "count"
-	SortMean  = "mean"
-	SortP99   = "p99"
-	SortMax   = "max"
+	SortCount  = "count"
+	SortMean   = "mean"
+	SortP99    = "p99"
+	SortMax    = "max"
+	SortFaults = "faults"
 )
+
+// nameWidth is the fixed width of the event-name column. Names longer
+// than this are truncated by fit, so one long event name cannot shift
+// every other column of the frame (the jitter made evtop unreadable
+// between redraws).
+const nameWidth = 20
+
+// fit truncates s to at most w terminal cells, marking the cut with an
+// ellipsis. Truncation is rune-aware so a multi-byte name cannot be
+// split mid-rune.
+func fit(s string, w int) string {
+	r := []rune(s)
+	if len(r) <= w {
+		return s
+	}
+	if w < 1 {
+		return ""
+	}
+	return string(r[:w-1]) + "…"
+}
 
 // Render writes the top-style per-event table. merged selects the
 // cross-domain rows (one per event) instead of per-domain cells. Counts
@@ -75,6 +96,8 @@ func Render(w io.Writer, doc *EventsDoc, sortKey string, merged bool) error {
 			return float64(r.Latency.Quantile(0.99))
 		case SortMax:
 			return float64(r.Latency.Max)
+		case SortFaults:
+			return float64(r.Faults)
 		default:
 			return float64(r.Latency.Count)
 		}
@@ -85,8 +108,8 @@ func Render(w io.Writer, doc *EventsDoc, sortKey string, merged bool) error {
 	if scale < 1 {
 		scale = 1
 	}
-	fmt.Fprintf(w, "%-20s %4s %10s %9s %9s %9s %9s %9s\n",
-		"EVENT", "DOM", "COUNT", "MEAN", "P50", "P99", "MAX", "QDELAY99")
+	fmt.Fprintf(w, "%-*s %4s %10s %9s %9s %9s %9s %9s %7s\n",
+		nameWidth, "EVENT", "DOM", "COUNT", "MEAN", "P50", "P99", "MAX", "QDELAY99", "FAULTS")
 	for _, r := range rows {
 		dom := fmt.Sprintf("%d", r.Domain)
 		if r.Domain < 0 {
@@ -100,14 +123,16 @@ func Render(w io.Writer, doc *EventsDoc, sortKey string, merged bool) error {
 		if r.QueueDelay.Count > 0 {
 			qd = us(float64(r.QueueDelay.Quantile(0.99)))
 		}
-		fmt.Fprintf(w, "%-20s %4s %10d %9s %9s %9s %9s %9s\n",
-			name, dom,
+		// Fault counts are exact (every fault is recorded), so they are
+		// not scaled by the sampling period like the latency counts.
+		fmt.Fprintf(w, "%-*s %4s %10d %9s %9s %9s %9s %9s %7d\n",
+			nameWidth, fit(name, nameWidth), dom,
 			r.Latency.Count*scale,
 			us(r.Latency.Mean()),
 			us(float64(r.Latency.Quantile(0.50))),
 			us(float64(r.Latency.Quantile(0.99))),
 			us(float64(r.Latency.Max)),
-			qd)
+			qd, r.Faults)
 	}
 	if len(rows) == 0 {
 		fmt.Fprintln(w, "(no telemetry recorded yet)")
@@ -213,7 +238,7 @@ func RenderOptimizer(w io.Writer, snap *telemetry.OptimizerSnapshot) error {
 			tier = "-"
 		}
 		fmt.Fprintf(w, "  %-20s %-30s %-9s %8d %10.1f %12s %7d\n",
-			name, chain, tier, p.Handlers, p.Score, us(p.GainNs), p.Replans)
+			fit(name, 20), fit(chain, 30), tier, p.Handlers, p.Score, us(p.GainNs), p.Replans)
 	}
 	return nil
 }
@@ -238,7 +263,7 @@ func RenderFastPaths(w io.Writer, rows []FastPathRow) error {
 			chain = name
 		}
 		fmt.Fprintf(w, "  %-20s %-30s %-9s %5v %5v\n",
-			name, chain, p.Provenance, p.Fused, p.Partitioned)
+			fit(name, 20), fit(chain, 30), p.Provenance, p.Fused, p.Partitioned)
 	}
 	return nil
 }

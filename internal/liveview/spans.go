@@ -1,0 +1,127 @@
+package liveview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"eventopt/internal/span"
+)
+
+// SpansDoc mirrors httpdebug's /spans response.
+type SpansDoc struct {
+	Enabled         bool         `json:"enabled"`
+	SampleEvery     int          `json:"sample_every"`
+	SlowThresholdNs int64        `json:"slow_threshold_ns"`
+	Stats           span.Stats   `json:"stats"`
+	Traces          []span.Trace `json:"traces"`
+	Recent          []span.Span  `json:"recent"`
+}
+
+// FetchSpans retrieves the /spans document. Servers built without span
+// tracing answer 404; callers typically skip the pane then.
+func FetchSpans(base string) (*SpansDoc, error) {
+	url := base
+	if !strings.HasSuffix(url, "/spans") {
+		url = strings.TrimRight(url, "/") + "/spans"
+	}
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var doc SpansDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: decoding: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// RenderSpans writes the span pane: the collector's statistics line and
+// up to maxTraces retained traces, each drawn as its causal tree. Every
+// span row names the event, the hop kind that linked it to its parent,
+// the tier that executed it, the domain and the duration; fallback and
+// fault flags are appended so a degraded hop is visible at a glance.
+func RenderSpans(w io.Writer, doc *SpansDoc, maxTraces int) error {
+	if doc == nil || !doc.Enabled {
+		fmt.Fprintln(w, "spans: off")
+		return nil
+	}
+	st := doc.Stats
+	fmt.Fprintf(w, "spans: 1/%d sampled — %d roots seen, %d sampled, %d spans; retained %d (%d faulted, %d slow)",
+		doc.SampleEvery, st.RootsSeen, st.RootsSampled, st.Spans, st.Retained, st.Faulted, st.SlowRoots)
+	if doc.SlowThresholdNs > 0 {
+		fmt.Fprintf(w, "; slow>%s", us(float64(doc.SlowThresholdNs)))
+	}
+	fmt.Fprintln(w)
+	if len(doc.Traces) == 0 {
+		fmt.Fprintln(w, "  (no retained traces yet)")
+		return nil
+	}
+	if maxTraces <= 0 {
+		maxTraces = 4
+	}
+	shown := doc.Traces
+	if len(shown) > maxTraces {
+		shown = shown[len(shown)-maxTraces:] // newest retained traces
+	}
+	for _, tr := range shown {
+		fmt.Fprintf(w, "  trace %016x [%s] %d spans\n", tr.Trace, tr.Reason, len(tr.Spans))
+		renderTraceTree(w, tr.Spans)
+	}
+	return nil
+}
+
+// renderTraceTree prints one trace's spans as an indented causal tree
+// (children under their parents, siblings in start order). Spans whose
+// parent is missing from the trace (ring overwrite) are printed at the
+// root level, so a partially evicted trace still renders.
+func renderTraceTree(w io.Writer, spans []span.Span) {
+	byParent := make(map[uint64][]span.Span, len(spans))
+	ids := make(map[uint64]bool, len(spans))
+	for _, sp := range spans {
+		ids[sp.ID] = true
+	}
+	var roots []span.Span
+	for _, sp := range spans {
+		if sp.Parent == 0 || !ids[sp.Parent] {
+			roots = append(roots, sp)
+			continue
+		}
+		byParent[sp.Parent] = append(byParent[sp.Parent], sp)
+	}
+	order := func(s []span.Span) {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	}
+	order(roots)
+	var walk func(sp span.Span, depth int)
+	walk = func(sp span.Span, depth int) {
+		name := sp.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", sp.Event)
+		}
+		line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth+2), fit(name, nameWidth))
+		fmt.Fprintf(w, "%-34s %-11s %-9s d%-3d %9s", line, sp.Kind, sp.Tier, sp.Domain, us(float64(sp.Duration())))
+		if sp.Flags != 0 {
+			fmt.Fprintf(w, "  [%s]", sp.Flags)
+		}
+		fmt.Fprintln(w)
+		kids := byParent[sp.ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}

@@ -1,0 +1,112 @@
+package liveview
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/span"
+	"eventopt/internal/telemetry"
+	"eventopt/internal/telemetry/httpdebug"
+)
+
+// TestSpanPaneRoundTrip drives a span-traced system, serves /spans
+// through the real httpdebug handler and renders the evtop pane from
+// the fetched document: wire format and pane stay in agreement.
+func TestSpanPaneRoundTrip(t *testing.T) {
+	s := event.New(
+		event.WithTelemetry(telemetry.Config{}),
+		event.WithSpanTracing(span.Config{SampleEvery: 1, RetainEvery: 1}),
+	)
+	a := s.Define("ingress.request")
+	b := s.Define("backend.call")
+	s.Bind(a, "ha", func(ctx *event.Ctx) { ctx.Raise(b) })
+	s.Bind(b, "hb", func(ctx *event.Ctx) {})
+	for i := 0; i < 8; i++ {
+		if err := s.Raise(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(httpdebug.New(s, nil))
+	defer srv.Close()
+
+	doc, err := FetchSpans(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Enabled || doc.Stats.RootsSampled == 0 {
+		t.Fatalf("fetched spans doc = %+v", doc)
+	}
+	if len(doc.Traces) == 0 {
+		t.Fatalf("no retained traces (RetainEvery=1): %+v", doc.Stats)
+	}
+
+	var b2 strings.Builder
+	if err := RenderSpans(&b2, doc, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b2.String()
+	for _, want := range []string{"spans: 1/1 sampled", "trace ", "ingress.request", "backend.call", "root", "sync"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span pane lacks %q:\n%s", want, out)
+		}
+	}
+	// The nested child renders indented under its root.
+	rootLine := strings.Index(out, "ingress.request")
+	childLine := strings.Index(out, "backend.call")
+	if rootLine < 0 || childLine < rootLine {
+		t.Fatalf("child not rendered after root:\n%s", out)
+	}
+
+	var off strings.Builder
+	if err := RenderSpans(&off, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(off.String(), "spans: off") {
+		t.Fatalf("nil doc pane = %q", off.String())
+	}
+}
+
+// TestRenderTruncatesLongNames pins the column-jitter fix: an event
+// name longer than the name column is truncated with an ellipsis so the
+// numeric columns of every row start at the same offset.
+func TestRenderTruncatesLongNames(t *testing.T) {
+	long := "an.extremely.long.event.name.that.overflows"
+	doc := &EventsDoc{
+		TimeSampleEvery: 1,
+		Events: []telemetry.EventSnapshot{
+			{Event: 0, Name: long, Domain: 0, Latency: histWith(100)},
+			{Event: 1, Name: "short", Domain: 0, Latency: histWith(100)},
+		},
+	}
+	var b strings.Builder
+	if err := Render(&b, doc, SortCount, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines:\n%s", len(lines), b.String())
+	}
+	if strings.Contains(b.String(), long) {
+		t.Fatalf("long name not truncated:\n%s", b.String())
+	}
+	// The name field is exactly nameWidth runes in every row, so the
+	// separator before the DOM column sits at the same offset — that is
+	// the jitter-free property the truncation buys.
+	for _, ln := range lines {
+		r := []rune(ln)
+		if len(r) <= nameWidth || r[nameWidth] != ' ' {
+			t.Fatalf("name field overflowed its column in %q:\n%s", ln, b.String())
+		}
+	}
+	if fit("abc", 3) != "abc" || fit("abcd", 3) != "ab…" || fit("x", 0) != "" {
+		t.Fatalf("fit misbehaves: %q %q %q", fit("abc", 3), fit("abcd", 3), fit("x", 0))
+	}
+}
+
+func histWith(ns int64) telemetry.HistSnapshot {
+	var h telemetry.Histogram
+	h.Record(ns)
+	return h.Snapshot()
+}

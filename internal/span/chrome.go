@@ -1,0 +1,61 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("X" complete events), loadable
+// in chrome://tracing and Perfetto. Domains map to thread lanes so
+// cross-domain handoffs are visible as lane switches within one trace.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes spans as a Chrome trace-event JSON document (the
+// {"traceEvents": [...]} object form, matching the /trace exporter).
+// Spans should already carry resolved Names; unnamed spans fall back to
+// the numeric event ID.
+func WriteChrome(w io.Writer, spans []Span) error {
+	evs := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		name := sp.Name
+		if name == "" {
+			name = fmt.Sprintf("#%d", sp.Event)
+		}
+		args := map[string]any{
+			"trace": fmt.Sprintf("%x", sp.Trace),
+			"span":  fmt.Sprintf("%x", sp.ID),
+			"tier":  sp.Tier.String(),
+			"mode":  sp.Mode,
+		}
+		if sp.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%x", sp.Parent)
+		}
+		if sp.Flags != 0 {
+			args["flags"] = sp.Flags.String()
+		}
+		evs = append(evs, chromeEvent{
+			Name: name,
+			Cat:  sp.Kind.String(),
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.End-sp.Start) / 1e3,
+			Pid:  1,
+			Tid:  sp.Domain,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{evs})
+}

@@ -1,0 +1,570 @@
+package span
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Config tunes the collector. The zero value picks the defaults below.
+type Config struct {
+	// SampleEvery head-samples roots: roughly one in SampleEvery
+	// external raises starts a trace (hash-spread, not strictly
+	// periodic). Default 16; 1 traces every root.
+	SampleEvery int
+	// RingSize is the per-domain span ring capacity, rounded up to a
+	// power of two. Default 256, minimum 16.
+	RingSize int
+	// RetainEvery hash-samples healthy finished traces for retention,
+	// roughly one in RetainEvery. Default 64; 0 disables baseline
+	// retention (faulted and slow traces are still kept).
+	RetainEvery int
+	// MaxRetained caps the retained-trace store; the oldest trace is
+	// evicted when full. Default 32.
+	MaxRetained int
+	// SlowAfter is the minimum number of finished sampled roots before
+	// the live p99 threshold starts marking slow traces. Default 128.
+	SlowAfter int64
+}
+
+// DefaultSampleEvery is the root head-sampling period a zero Config
+// selects: roughly one external raise in 16 starts a trace.
+const DefaultSampleEvery = 16
+
+func (c Config) withDefaults() Config {
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = DefaultSampleEvery
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 256
+	}
+	if c.RingSize < 16 {
+		c.RingSize = 16
+	}
+	if c.RetainEvery < 0 {
+		c.RetainEvery = 0
+	} else if c.RetainEvery == 0 {
+		c.RetainEvery = 64
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 32
+	}
+	if c.SlowAfter <= 0 {
+		c.SlowAfter = 128
+	}
+	return c
+}
+
+// DisableRetention is a RetainEvery sentinel: negative values switch
+// baseline hash-sampled retention off entirely.
+const DisableRetention = -1
+
+// sampleLimit converts a 1-in-N period into a threshold for a
+// golden-ratio hash draw over a monotone tick.
+func sampleLimit(n int) uint64 {
+	if n <= 1 {
+		return ^uint64(0)
+	}
+	return ^uint64(0) / uint64(n)
+}
+
+func hashTick(tick uint64) uint64 {
+	h := tick * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	return h
+}
+
+// slot is one span ring entry, written with the same seqlock discipline
+// as the telemetry flight recorder: seq goes to 0 (invalid) before the
+// payload stores and to seq+1 after, so a reader that sees the same odd
+// "stamp" before and after its copy has a consistent record.
+type slot struct {
+	seq    atomic.Uint64
+	trace  atomic.Uint64
+	id     atomic.Uint64
+	parent atomic.Uint64
+	meta   atomic.Uint64
+	start  atomic.Int64
+	end    atomic.Int64
+}
+
+// domSpans is the per-domain side of the collector. tick/seq/roots are
+// plain words: they are only touched by the owning domain's serialized
+// dispatch (under runMu), never concurrently.
+type domSpans struct {
+	mask  uint64
+	head  atomic.Uint64
+	slots []slot
+	tick  uint64 // root sampling counter
+	seq   uint64 // span ID counter
+	roots uint64 // finished healthy roots (p99 refresh trigger)
+	_     [3]uint64
+}
+
+func (d *domSpans) record(trace, id, parent, meta uint64, start, end int64) {
+	seq := d.head.Add(1)
+	s := &d.slots[seq&d.mask]
+	s.seq.Store(0)
+	s.trace.Store(trace)
+	s.id.Store(id)
+	s.parent.Store(parent)
+	s.meta.Store(meta)
+	s.start.Store(start)
+	s.end.Store(end)
+	s.seq.Store(seq)
+}
+
+// snapshot copies the ring's currently consistent spans, oldest first.
+func (d *domSpans) snapshot(dom int, out []Span) []Span {
+	head := d.head.Load()
+	n := uint64(len(d.slots))
+	lo := uint64(1)
+	if head > n {
+		lo = head - n + 1
+	}
+	for seq := lo; seq <= head; seq++ {
+		s := &d.slots[seq&d.mask]
+		if s.seq.Load() != seq {
+			continue
+		}
+		sp := Span{
+			Trace:  s.trace.Load(),
+			ID:     s.id.Load(),
+			Parent: s.parent.Load(),
+			Domain: dom,
+			Start:  s.start.Load(),
+			End:    s.end.Load(),
+		}
+		meta := s.meta.Load()
+		if s.seq.Load() != seq { // overwritten mid-copy
+			continue
+		}
+		var mode uint8
+		sp.Event, sp.Kind, sp.Tier, sp.Flags, mode = unpackMeta(meta)
+		sp.Mode = modeName(mode)
+		out = append(out, sp)
+	}
+	return out
+}
+
+// markSlots bounds the pending-retention mark table. 64 trace IDs is
+// comfortably more than MaxRetained's default and keeps the faulted/slow
+// mark path a fixed-size scan.
+const markSlots = 64
+
+// Stats is a snapshot of the collector's counters.
+type Stats struct {
+	RootsSeen     int64 `json:"roots_seen"`     // sampling draws at root raises
+	RootsSampled  int64 `json:"roots_sampled"`  // draws that started a trace
+	Spans         int64 `json:"spans"`          // spans recorded into rings
+	Faulted       int64 `json:"faulted"`        // spans carrying FlagFault
+	SlowRoots     int64 `json:"slow_roots"`     // roots ≥ live p99 threshold
+	Retained      int64 `json:"retained"`       // traces copied to the retained store
+	MarkDrops     int64 `json:"mark_drops"`     // retention marks dropped (table full)
+	RetainEvicted int64 `json:"retain_evicted"` // retained traces evicted (store full)
+}
+
+// Trace is a retained trace: the spans swept out of the rings for one
+// trace ID, oldest first, plus why it was kept.
+type Trace struct {
+	Trace  uint64 `json:"trace"`
+	Reason string `json:"reason"` // "fault", "slow" or "sampled"
+	Spans  []Span `json:"spans"`
+}
+
+// Collector owns the per-domain rings, the root-duration histogram that
+// drives slow-trace marking, and the retained-trace store. All record-
+// path methods are allocation-free; sweeping marked traces into the
+// retained store happens on the fault path and at export time only.
+type Collector struct {
+	cfg         Config
+	rootLimit   uint64
+	retainLimit uint64
+
+	doms []domSpans
+
+	// Root-duration histogram (log2 buckets, same shape as
+	// telemetry.Histogram) feeding the live p99 slow threshold.
+	// rootTotal caches the bucket sum at the last refresh so the record
+	// path gates slow-marking on one atomic load.
+	rootBkts  [64]atomic.Int64
+	rootTotal atomic.Int64
+	slowNs    atomic.Int64
+
+	// Pending retention marks: trace IDs waiting to be swept from the
+	// rings. markCount gates the scan so the common no-marks case is a
+	// single load.
+	marks     [markSlots]atomic.Uint64
+	markWhy   [markSlots]atomic.Uint32 // retention reason, retainReason*
+	markCount atomic.Int64
+
+	// rootsSeen is flushed from the per-domain tick in batches of
+	// seenFlush, so the unsampled raise path pays no shared atomic; the
+	// exported counter may lag the true draw count by up to
+	// domains*(seenFlush-1).
+	rootsSeen    atomic.Int64
+	rootsSampled atomic.Int64
+	faulted      atomic.Int64
+	slowRoots    atomic.Int64
+	retainedN    atomic.Int64
+	markDrops    atomic.Int64
+	evicted      atomic.Int64
+
+	mu       sync.Mutex
+	retained map[uint64]*Trace
+	order    []uint64 // retained trace IDs, oldest first
+
+	names atomic.Pointer[[]string] // event ID -> display name; copy-on-write
+}
+
+const (
+	retainSampled uint32 = iota + 1
+	retainSlow
+	retainFault
+)
+
+func retainReason(r uint32) string {
+	switch r {
+	case retainFault:
+		return "fault"
+	case retainSlow:
+		return "slow"
+	default:
+		return "sampled"
+	}
+}
+
+// NewCollector builds a collector for a system with the given number of
+// domains.
+func NewCollector(domains int, cfg Config) *Collector {
+	cfg = cfg.withDefaults()
+	if domains < 1 {
+		domains = 1
+	}
+	size := 1
+	for size < cfg.RingSize {
+		size <<= 1
+	}
+	c := &Collector{
+		cfg:       cfg,
+		rootLimit: sampleLimit(cfg.SampleEvery),
+		doms:      make([]domSpans, domains),
+		retained:  make(map[uint64]*Trace),
+	}
+	if cfg.RetainEvery > 0 {
+		c.retainLimit = sampleLimit(cfg.RetainEvery)
+	}
+	for i := range c.doms {
+		c.doms[i].mask = uint64(size - 1)
+		c.doms[i].slots = make([]slot, size)
+	}
+	return c
+}
+
+// SampleEvery reports the root sampling period.
+func (c *Collector) SampleEvery() int { return c.cfg.SampleEvery }
+
+// DefineEvent registers an event's display name. Names are applied at
+// export time only; the span record path stores numeric IDs.
+func (c *Collector) DefineEvent(ev int32, name string) {
+	if ev < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var tab []string
+	if p := c.names.Load(); p != nil {
+		tab = *p
+	}
+	grown := make([]string, len(tab))
+	copy(grown, tab)
+	for int(ev) >= len(grown) {
+		grown = append(grown, "")
+	}
+	grown[ev] = name
+	c.names.Store(&grown)
+}
+
+// EventName resolves a registered display name ("" when unknown).
+func (c *Collector) EventName(ev int32) string {
+	p := c.names.Load()
+	if p == nil || ev < 0 || int(ev) >= len(*p) {
+		return ""
+	}
+	return (*p)[ev]
+}
+
+// applyNames fills the Name field of exported spans in place.
+func (c *Collector) applyNames(spans []Span) {
+	p := c.names.Load()
+	if p == nil {
+		return
+	}
+	tab := *p
+	for i := range spans {
+		if ev := spans[i].Event; ev >= 0 && int(ev) < len(tab) {
+			spans[i].Name = tab[ev]
+		}
+	}
+}
+
+// seenFlush batches the rootsSeen counter: the per-domain tick is
+// flushed to the shared atomic once per seenFlush draws, keeping the
+// common unsampled raise free of shared-cacheline traffic.
+const seenFlush = 32
+
+// SampleRoot draws the head-sampling decision for an unsampled root
+// raise on dom. Called only under the domain's dispatch serialization.
+func (c *Collector) SampleRoot(dom int) bool {
+	d := &c.doms[dom]
+	d.tick++
+	if d.tick&(seenFlush-1) == 0 {
+		c.rootsSeen.Add(seenFlush)
+	}
+	if hashTick(d.tick) > c.rootLimit {
+		return false
+	}
+	c.rootsSampled.Add(1)
+	return true
+}
+
+// NextID mints a span ID on dom. Called only under the domain's
+// dispatch serialization.
+func (c *Collector) NextID(dom int) uint64 {
+	d := &c.doms[dom]
+	d.seq++
+	return uint64(dom+1)<<48 | d.seq&(1<<48-1)
+}
+
+// Record stores one finished span. For roots it also feeds the duration
+// histogram and draws the tail-retention decision; for faulted spans it
+// marks (and immediately sweeps) the trace. The healthy path performs
+// no allocation and takes no locks.
+func (c *Collector) Record(dom int, trace, id, parent uint64, ev int32, kind Kind, tier Tier, flags Flags, mode uint8, start, end int64) {
+	d := &c.doms[dom]
+	d.record(trace, id, parent, packMeta(ev, kind, tier, flags, mode), start, end)
+	if flags&FlagFault != 0 {
+		c.faulted.Add(1)
+		if c.mark(trace, retainFault) {
+			c.Sweep() // fault path: allocation is acceptable here
+		}
+		return
+	}
+	if trace != id {
+		return
+	}
+	// Root finished healthy: feed the duration histogram and decide
+	// whether the trace is worth keeping. roots is per-domain and plain
+	// (the caller serializes); the cross-domain total is refreshed
+	// together with the p99 threshold.
+	dur := end - start
+	if dur < 0 {
+		dur = 0
+	}
+	d.roots++
+	c.rootBkts[durBucket(dur)].Add(1)
+	if d.roots&63 == 0 || (d.roots == uint64(c.cfg.SlowAfter) && c.slowNs.Load() == 0) {
+		c.refreshSlow()
+	}
+	// The threshold is the p99 bucket's upper bound, so only durations
+	// strictly beyond it count as tail-slow.
+	if slow := c.slowNs.Load(); slow > 0 && dur > slow && c.rootTotal.Load() >= c.cfg.SlowAfter {
+		c.slowRoots.Add(1)
+		c.mark(trace, retainSlow)
+		return
+	}
+	if c.retainLimit != 0 && hashTick(d.roots*31+trace) <= c.retainLimit {
+		c.mark(trace, retainSampled)
+	}
+}
+
+// durBucket is bucketOf from telemetry/hist.go: ceil(log2(d)) clamped.
+func durBucket(d int64) int {
+	if d <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(d - 1))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// refreshSlow recomputes the cached p99 root-duration threshold and the
+// cross-domain root total. Called once per 64 finished roots per domain.
+func (c *Collector) refreshSlow() {
+	var total int64
+	for i := range c.rootBkts {
+		total += c.rootBkts[i].Load()
+	}
+	c.rootTotal.Store(total)
+	target := total - total/100 // count at or below p99
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range c.rootBkts {
+		cum += c.rootBkts[i].Load()
+		if cum >= target {
+			c.slowNs.Store(int64(1) << uint(i))
+			return
+		}
+	}
+}
+
+// SlowThresholdNs reports the live p99 root-duration threshold (0 until
+// enough roots have finished).
+func (c *Collector) SlowThresholdNs() int64 { return c.slowNs.Load() }
+
+// mark queues trace for retention sweeping. Reports whether the trace
+// is newly marked (or upgraded to a stronger reason). Lock-free; drops
+// the mark (counted) when the table is full.
+func (c *Collector) mark(trace uint64, why uint32) bool {
+	if trace == 0 {
+		return false
+	}
+	free := -1
+	for i := 0; i < markSlots; i++ {
+		got := c.marks[i].Load()
+		if got == trace {
+			for {
+				old := c.markWhy[i].Load()
+				if old >= why {
+					return false
+				}
+				if c.markWhy[i].CompareAndSwap(old, why) {
+					return true
+				}
+			}
+		}
+		if got == 0 && free < 0 {
+			free = i
+		}
+	}
+	if free < 0 {
+		c.markDrops.Add(1)
+		return false
+	}
+	for i := free; i < markSlots; i++ {
+		if c.marks[i].CompareAndSwap(0, trace) {
+			c.markWhy[i].Store(why)
+			c.markCount.Add(1)
+			return true
+		}
+	}
+	c.markDrops.Add(1)
+	return false
+}
+
+// Sweep copies the spans of every marked trace out of the rings into
+// the retained store, merging with spans already retained for the same
+// trace. Marks stay in place until their trace is evicted, so spans
+// finishing after the sweep (async stragglers) are picked up by the
+// next one. Called from the fault path and from exports.
+func (c *Collector) Sweep() {
+	if c.markCount.Load() == 0 {
+		return
+	}
+	var all []Span
+	for i := range c.doms {
+		all = c.doms[i].snapshot(i, all)
+	}
+	c.applyNames(all)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < markSlots; i++ {
+		trace := c.marks[i].Load()
+		if trace == 0 {
+			continue
+		}
+		why := c.markWhy[i].Load()
+		tr := c.retained[trace]
+		if tr == nil {
+			tr = &Trace{Trace: trace, Reason: retainReason(why)}
+			c.retained[trace] = tr
+			c.order = append(c.order, trace)
+			c.retainedN.Add(1)
+		} else if why == retainFault && tr.Reason != "fault" {
+			tr.Reason = "fault"
+		}
+		for _, sp := range all {
+			if sp.Trace != trace {
+				continue
+			}
+			dup := false
+			for _, have := range tr.Spans {
+				if have.ID == sp.ID {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				tr.Spans = append(tr.Spans, sp)
+			}
+		}
+	}
+	for len(c.order) > c.cfg.MaxRetained {
+		old := c.order[0]
+		c.order = c.order[1:]
+		delete(c.retained, old)
+		c.evicted.Add(1)
+		for i := 0; i < markSlots; i++ {
+			if c.marks[i].Load() == old {
+				c.marks[i].Store(0)
+				c.markWhy[i].Store(0)
+				c.markCount.Add(-1)
+			}
+		}
+	}
+}
+
+// Recent snapshots every domain ring, merged and sorted by start time.
+func (c *Collector) Recent() []Span {
+	var all []Span
+	for i := range c.doms {
+		all = c.doms[i].snapshot(i, all)
+	}
+	c.applyNames(all)
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	return all
+}
+
+// Traces sweeps pending marks and returns the retained traces, oldest
+// first, spans sorted by start time.
+func (c *Collector) Traces() []Trace {
+	c.Sweep()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Trace, 0, len(c.order))
+	for _, id := range c.order {
+		tr := c.retained[id]
+		if tr == nil {
+			continue
+		}
+		cp := Trace{Trace: tr.Trace, Reason: tr.Reason, Spans: append([]Span(nil), tr.Spans...)}
+		sort.SliceStable(cp.Spans, func(i, j int) bool { return cp.Spans[i].Start < cp.Spans[j].Start })
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Stats snapshots the collector counters. Spans is derived from the
+// ring heads (one record per head bump); RootsSeen is the batch-flushed
+// draw counter and may lag the true count by up to domains*31.
+func (c *Collector) Stats() Stats {
+	var spans int64
+	for i := range c.doms {
+		spans += int64(c.doms[i].head.Load())
+	}
+	return Stats{
+		RootsSeen:     c.rootsSeen.Load(),
+		RootsSampled:  c.rootsSampled.Load(),
+		Spans:         spans,
+		Faulted:       c.faulted.Load(),
+		SlowRoots:     c.slowRoots.Load(),
+		Retained:      c.retainedN.Load(),
+		MarkDrops:     c.markDrops.Load(),
+		RetainEvicted: c.evicted.Load(),
+	}
+}

@@ -138,7 +138,13 @@ func (t *Telemetry) RecordActivation(dom int, ev int32, mode, outcome uint8, att
 	if dom < 0 || dom >= len(t.doms) {
 		return
 	}
-	t.doms[dom].flight.record(ev, mode, outcome, attempt, durNs, endNs, cause)
+	d := t.doms[dom]
+	if outcome == OutcomeFault {
+		if h := d.hist(ev); h != nil {
+			h.faults.Add(1)
+		}
+	}
+	d.flight.record(ev, mode, outcome, attempt, durNs, endNs, cause)
 }
 
 // FlightRecords returns a copy of domain dom's ring, oldest record

@@ -96,3 +96,81 @@ func TestHistogramEmpty(t *testing.T) {
 		t.Fatal("empty snapshot must report zero mean and quantiles")
 	}
 }
+
+// TestHistogramQuantileEdgeCases pins the boundary behaviour of
+// Quantile: out-of-range q clamps, an empty snapshot reports zero
+// everywhere, and a single-bucket histogram (every observation the same
+// value) answers every quantile with the recorded max, not the bucket's
+// power-of-two bound.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(300) // all land in bucket 9 ([256, 512))
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.999, 1, 1.5} {
+		if got := s.Quantile(q); got != 300 {
+			t.Errorf("single-bucket Quantile(%g) = %d, want 300 (max clamp)", q, got)
+		}
+	}
+
+	// All-zero observations: bucket 0, Max 0 — quantiles must clamp to 0,
+	// not report BucketBound(0) = 1.
+	var z Histogram
+	z.Record(0)
+	z.Record(-7) // negative clamps to zero on the record path
+	zs := z.Snapshot()
+	if zs.Count != 2 || zs.Quantile(0.5) != 0 || zs.Quantile(1) != 0 {
+		t.Errorf("all-zero snapshot: %+v, Quantile(1) = %d, want 0", zs, zs.Quantile(1))
+	}
+}
+
+// TestHistogramMergeAfterReset exercises the scrape-window pattern the
+// SLO watchdog relies on: an accumulator snapshot is zeroed between
+// windows and refilled by Merge. A reset accumulator must behave exactly
+// like a fresh one — same quantiles, and merging an empty snapshot must
+// be the identity.
+func TestHistogramMergeAfterReset(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(int64(i) * 1000)
+	}
+	direct := h.Snapshot()
+
+	var acc HistSnapshot
+	acc.Merge(direct)
+	acc = HistSnapshot{} // window reset
+	acc.Merge(direct)
+	if acc != direct {
+		t.Fatalf("merge after reset differs from direct snapshot\nacc:  %+v\nwant: %+v", acc, direct)
+	}
+	if acc.Quantile(0.5) != direct.Quantile(0.5) || acc.Quantile(0.99) != direct.Quantile(0.99) {
+		t.Fatal("quantiles drifted across reset+merge")
+	}
+
+	acc.Merge(HistSnapshot{}) // merging empty is the identity
+	if acc != direct {
+		t.Fatalf("merging an empty snapshot changed the accumulator: %+v", acc)
+	}
+
+	// Reset mid-stream: only observations merged after the reset count.
+	var h2 Histogram
+	h2.Record(5)
+	first := h2.Snapshot()
+	h2.Record(1 << 20)
+	second := h2.Snapshot()
+	acc = HistSnapshot{}
+	acc.Merge(first)
+	acc = HistSnapshot{}
+	acc.Merge(second)
+	if acc.Count != 2 || acc.Max != 1<<20 {
+		t.Fatalf("post-reset window lost observations: %+v", acc)
+	}
+}

@@ -2,16 +2,19 @@
 // HTTP for interactive inspection (evtop, curl) and trace capture:
 //
 //	/metrics         expvar-style JSON: counters, per-domain breakdown, event histograms
+//	/metrics.prom    Prometheus/OpenMetrics text exposition of the same data
 //	/events          per-event telemetry rows (latency + queue-delay histograms)
 //	/graph           the live event graph as Graphviz DOT (?threshold=N prunes edges)
 //	/flightrecorder  per-domain flight-recorder contents and the last automatic dump
 //	/optimizer       adaptive-optimizer state: installed plans (with provenance), fast paths
+//	/spans           causal span traces (?format=chrome for a Chrome trace export)
 //	/pgo             telemetry exported as a pprof CPU profile for `go build -pgo`
 //	/trace           Chrome trace-event JSON of the attached trace recorder
 //	/debug/pprof/    the standard Go profiling endpoints
 //
 // The handler only reads lock-free snapshots, so it is safe to serve
-// from a production system while events are dispatching.
+// from a production system while events are dispatching. All debug
+// endpoints are read-only and accept GET/HEAD only (405 otherwise).
 package httpdebug
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"eventopt/internal/event"
 	"eventopt/internal/profile"
+	"eventopt/internal/span"
 	"eventopt/internal/telemetry"
 	"eventopt/internal/trace"
 )
@@ -41,13 +45,15 @@ type Server struct {
 // built without WithTelemetry (empty rows, 404 for the flight recorder).
 func New(sys *event.System, rec *trace.Recorder) *Server {
 	s := &Server{sys: sys, rec: rec, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/metrics", s.metrics)
-	s.mux.HandleFunc("/events", s.events)
-	s.mux.HandleFunc("/graph", s.graph)
-	s.mux.HandleFunc("/flightrecorder", s.flight)
-	s.mux.HandleFunc("/optimizer", s.optimizer)
-	s.mux.HandleFunc("/pgo", s.pgo)
-	s.mux.HandleFunc("/trace", s.trace)
+	s.mux.HandleFunc("/metrics", readOnly(s.metrics))
+	s.mux.HandleFunc("/metrics.prom", readOnly(s.promMetrics))
+	s.mux.HandleFunc("/events", readOnly(s.events))
+	s.mux.HandleFunc("/graph", readOnly(s.graph))
+	s.mux.HandleFunc("/flightrecorder", readOnly(s.flight))
+	s.mux.HandleFunc("/optimizer", readOnly(s.optimizer))
+	s.mux.HandleFunc("/spans", readOnly(s.spans))
+	s.mux.HandleFunc("/pgo", readOnly(s.pgo))
+	s.mux.HandleFunc("/trace", readOnly(s.trace))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -57,6 +63,21 @@ func New(sys *event.System, rec *trace.Recorder) *Server {
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// readOnly guards a debug endpoint: every route here is a snapshot
+// read, so anything but GET/HEAD is a client error. The 405 carries the
+// required Allow header; the historical behavior (200 for any method)
+// masked broken scrape configs that POSTed to /metrics.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed (read-only debug endpoint)", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -212,6 +233,154 @@ func (s *Server) pgo(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", `attachment; filename="default.pgo"`)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// SpansDoc is the /spans document: collector statistics, the retained
+// traces (faulted / tail-slow / hash-drawn) and the most recent spans
+// still in the per-domain rings.
+type SpansDoc struct {
+	Enabled         bool         `json:"enabled"`
+	SampleEvery     int          `json:"sample_every,omitempty"`
+	SlowThresholdNs int64        `json:"slow_threshold_ns,omitempty"`
+	Stats           span.Stats   `json:"stats,omitempty"`
+	Traces          []span.Trace `json:"traces,omitempty"`
+	Recent          []span.Span  `json:"recent,omitempty"`
+}
+
+// spans serves the causal span traces. ?format=chrome exports every
+// available span (retained traces + ring remainder) as Chrome
+// trace-event JSON for chrome://tracing / Perfetto.
+func (s *Server) spans(w http.ResponseWriter, r *http.Request) {
+	col := s.sys.Spans()
+	if col == nil {
+		http.Error(w, "span tracing disabled (system built without WithSpanTracing)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		all := col.Recent()
+		for _, t := range col.Traces() {
+			all = append(all, t.Spans...)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="eventopt-spans.json"`)
+		if err := span.WriteChrome(w, all); err != nil {
+			fmt.Fprintf(w, "\n/* export error: %v */", err)
+		}
+		return
+	}
+	// Traces() sweeps pending retention marks, so take it before the
+	// stats snapshot — the retained count then reflects this response.
+	traces := col.Traces()
+	writeJSON(w, SpansDoc{
+		Enabled:         true,
+		SampleEvery:     col.SampleEvery(),
+		SlowThresholdNs: col.SlowThresholdNs(),
+		Stats:           col.Stats(),
+		Traces:          traces,
+		Recent:          col.Recent(),
+	})
+}
+
+// PromContentType is the Content-Type of the /metrics.prom exposition.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promMetrics serves the runtime counters, per-event latency/queue
+// histograms, span-collector statistics and SLO burn rates in the
+// Prometheus text exposition format, so a stock Prometheus scrape
+// config can ingest the same data /metrics serves as JSON.
+func (s *Server) promMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	st := s.sys.StatsAggregate()
+
+	telemetry.WritePromHeader(w, "eventopt_raises_total", "counter", "Event activations by mode.")
+	telemetry.WritePromSample(w, "eventopt_raises_total", telemetry.PromLabels("mode", "sync"), float64(st.SyncRaises))
+	telemetry.WritePromSample(w, "eventopt_raises_total", telemetry.PromLabels("mode", "async"), float64(st.AsyncRaises))
+	telemetry.WritePromSample(w, "eventopt_raises_total", telemetry.PromLabels("mode", "timed"), float64(st.TimedRaises))
+
+	telemetry.WritePromHeader(w, "eventopt_dispatch_total", "counter", "Dispatches by path.")
+	telemetry.WritePromSample(w, "eventopt_dispatch_total", telemetry.PromLabels("path", "generic"), float64(st.Generic))
+	telemetry.WritePromSample(w, "eventopt_dispatch_total", telemetry.PromLabels("path", "fast"), float64(st.FastRuns))
+
+	telemetry.WritePromHeader(w, "eventopt_fallbacks_total", "counter", "Fast-path fallbacks by kind.")
+	telemetry.WritePromSample(w, "eventopt_fallbacks_total", telemetry.PromLabels("kind", "guard"), float64(st.Fallbacks))
+	telemetry.WritePromSample(w, "eventopt_fallbacks_total", telemetry.PromLabels("kind", "segment"), float64(st.SegFallbacks))
+
+	telemetry.WritePromHeader(w, "eventopt_handlers_run_total", "counter", "Handler bodies executed.")
+	telemetry.WritePromSample(w, "eventopt_handlers_run_total", "", float64(st.HandlersRun))
+
+	telemetry.WritePromHeader(w, "eventopt_faults_recovered_total", "counter", "Handler panics recovered under supervision.")
+	telemetry.WritePromSample(w, "eventopt_faults_recovered_total", "", float64(st.PanicsRecovered))
+
+	telemetry.WritePromHeader(w, "eventopt_degradation_total", "counter", "Degradation actions by kind.")
+	telemetry.WritePromSample(w, "eventopt_degradation_total", telemetry.PromLabels("kind", "retry"), float64(st.Retries))
+	telemetry.WritePromSample(w, "eventopt_degradation_total", telemetry.PromLabels("kind", "quarantine"), float64(st.Quarantines))
+	telemetry.WritePromSample(w, "eventopt_degradation_total", telemetry.PromLabels("kind", "deopt"), float64(st.Deopts))
+	telemetry.WritePromSample(w, "eventopt_degradation_total", telemetry.PromLabels("kind", "dead_letter"), float64(st.DeadLetters))
+	telemetry.WritePromSample(w, "eventopt_degradation_total", telemetry.PromLabels("kind", "queue_drop"), float64(st.QueueDrops))
+
+	if tel := s.sys.Telemetry(); tel != nil {
+		merged := telemetry.MergeEvents(tel.Events())
+		telemetry.WritePromHeader(w, "eventopt_event_latency_seconds", "histogram", "Sampled activation latency per event.")
+		for _, row := range merged {
+			if row.Latency.Count == 0 {
+				continue
+			}
+			telemetry.WritePromHistogram(w, "eventopt_event_latency_seconds",
+				telemetry.PromLabels("event", promEventName(row)), row.Latency)
+		}
+		telemetry.WritePromHeader(w, "eventopt_event_queue_delay_seconds", "histogram", "Sampled queue delay per event.")
+		for _, row := range merged {
+			if row.QueueDelay.Count == 0 {
+				continue
+			}
+			telemetry.WritePromHistogram(w, "eventopt_event_queue_delay_seconds",
+				telemetry.PromLabels("event", promEventName(row)), row.QueueDelay)
+		}
+		telemetry.WritePromHeader(w, "eventopt_event_faults_total", "counter", "Faulted activations per event.")
+		for _, row := range merged {
+			if row.Faults == 0 {
+				continue
+			}
+			telemetry.WritePromSample(w, "eventopt_event_faults_total",
+				telemetry.PromLabels("event", promEventName(row)), float64(row.Faults))
+		}
+	}
+
+	if col := s.sys.Spans(); col != nil {
+		ss := col.Stats()
+		telemetry.WritePromHeader(w, "eventopt_span_roots_total", "counter", "Top-level raises seen by the span sampler.")
+		telemetry.WritePromSample(w, "eventopt_span_roots_total", telemetry.PromLabels("sampled", "true"), float64(ss.RootsSampled))
+		telemetry.WritePromSample(w, "eventopt_span_roots_total", telemetry.PromLabels("sampled", "false"), float64(ss.RootsSeen-ss.RootsSampled))
+		telemetry.WritePromHeader(w, "eventopt_spans_recorded_total", "counter", "Spans recorded into the per-domain rings.")
+		telemetry.WritePromSample(w, "eventopt_spans_recorded_total", "", float64(ss.Spans))
+		telemetry.WritePromHeader(w, "eventopt_span_traces_total", "counter", "Traces marked for retention, by reason.")
+		telemetry.WritePromSample(w, "eventopt_span_traces_total", telemetry.PromLabels("reason", "fault"), float64(ss.Faulted))
+		telemetry.WritePromSample(w, "eventopt_span_traces_total", telemetry.PromLabels("reason", "slow"), float64(ss.SlowRoots))
+		telemetry.WritePromHeader(w, "eventopt_span_retained", "gauge", "Traces currently retained.")
+		telemetry.WritePromSample(w, "eventopt_span_retained", "", float64(ss.Retained))
+		telemetry.WritePromHeader(w, "eventopt_span_slow_threshold_seconds", "gauge", "Current tail-slow root threshold.")
+		telemetry.WritePromSample(w, "eventopt_span_slow_threshold_seconds", "", float64(col.SlowThresholdNs())/1e9)
+	}
+
+	if wd := s.sys.SLO(); wd != nil {
+		telemetry.WritePromHeader(w, "eventopt_slo_burn_rate", "gauge", "Error-budget burn rate per objective (last tick).")
+		for _, stt := range wd.Status() {
+			telemetry.WritePromSample(w, "eventopt_slo_burn_rate",
+				telemetry.PromLabels("objective", stt.Objective.Name), stt.Burn)
+		}
+		telemetry.WritePromHeader(w, "eventopt_slo_breaches_total", "counter", "SLO breaches fired since start.")
+		telemetry.WritePromSample(w, "eventopt_slo_breaches_total", "", float64(wd.TotalBreaches()))
+	}
+}
+
+// promEventName labels a merged event row: its registered name, or a
+// synthesized ev<id> for events defined before telemetry learned the
+// name.
+func promEventName(row telemetry.EventSnapshot) string {
+	if row.Name != "" {
+		return row.Name
+	}
+	return fmt.Sprintf("ev%d", row.Event)
 }
 
 func (s *Server) trace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,85 @@
+package telemetry
+
+// This file is the Prometheus/OpenMetrics text exposition (format
+// version 0.0.4) of the telemetry histograms. It speaks in io.Writer
+// and snapshot values only; the httpdebug layer assembles the full
+// scrape document (it can also see the event runtime's counters, which
+// this package cannot import).
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promEscaper escapes label values per the text exposition format:
+// backslash, double quote and newline.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// PromLabels renders alternating key/value pairs as a {k="v",...} label
+// set ("" for no pairs). Values are escaped; keys are trusted literals.
+func PromLabels(kv ...string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(promEscaper.Replace(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePromHeader writes the # HELP and # TYPE lines of one metric
+// family. typ is one of "counter", "gauge", "histogram".
+func WritePromHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WritePromSample writes one sample line. labels comes from PromLabels
+// (may be "").
+func WritePromSample(w io.Writer, name, labels string, value float64) {
+	fmt.Fprintf(w, "%s%s %g\n", name, labels, value)
+}
+
+// WritePromHistogram writes one HistSnapshot as a Prometheus histogram:
+// cumulative _bucket series with le bounds in seconds (the snapshot
+// records nanoseconds), then _sum (seconds) and _count. Only bounds up
+// to the highest occupied bucket are emitted, plus the mandatory +Inf;
+// the log₂ bucket layout makes the le list stable across scrapes for a
+// workload whose latency range is stable. labels are the shared label
+// set of the series (from PromLabels).
+func WritePromHistogram(w io.Writer, name, labels string, s HistSnapshot) {
+	last := -1
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			last = i
+			break
+		}
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += s.Buckets[i]
+		le := fmt.Sprintf("%g", float64(BucketBound(i))/1e9)
+		if inner == "" {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{%s,le=%q} %d\n", name, inner, le, cum)
+		}
+	}
+	if inner == "" {
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, inner, s.Count)
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, float64(s.Sum)/1e9)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}

@@ -1,0 +1,246 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SLOObjective is one latency service-level objective: at least Target
+// (a fraction, e.g. 0.99) of activations of Event should complete in
+// under LatencyNs nanoseconds. Event -1 applies the objective to all
+// events merged.
+type SLOObjective struct {
+	Name      string  `json:"name"`
+	Event     int32   `json:"event"` // -1 = all events
+	LatencyNs int64   `json:"latency_ns"`
+	Target    float64 `json:"target"` // fraction of activations under LatencyNs
+}
+
+// SLOConfig configures the watchdog. The zero value of the tuning fields
+// selects the defaults.
+type SLOConfig struct {
+	Objectives []SLOObjective
+	// BurnThreshold is the burn rate at or above which a breach fires
+	// (default 1.0: the error budget is being consumed exactly as fast
+	// as the objective allows; 2.0 means twice as fast).
+	BurnThreshold float64
+	// MinSamples is the minimum number of sampled activations a tick
+	// window must hold before the burn rate is evaluated (default 16);
+	// smaller windows are too noisy to alert on.
+	MinSamples int64
+	// MaxBreaches bounds the retained breach history (default 64;
+	// oldest evicted first). The total counter is unaffected.
+	MaxBreaches int
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 1.0
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	if c.MaxBreaches <= 0 {
+		c.MaxBreaches = 64
+	}
+	return c
+}
+
+// SLOBreach is one watchdog alert: an objective whose error budget
+// burned at or above the threshold rate over one tick window.
+type SLOBreach struct {
+	Objective string  `json:"objective"`
+	Event     int32   `json:"event"`
+	Burn      float64 `json:"burn"`
+	ErrorRate float64 `json:"error_rate"`
+	Window    int64   `json:"window"` // sampled activations in the window
+	Errors    int64   `json:"errors"` // of which over the latency bound
+}
+
+// SLOStatus is the current evaluation of one objective.
+type SLOStatus struct {
+	Objective SLOObjective `json:"objective"`
+	Burn      float64      `json:"burn"`
+	ErrorRate float64      `json:"error_rate"`
+	Window    int64        `json:"window"`
+	Errors    int64        `json:"errors"`
+	Breached  bool         `json:"breached"`
+}
+
+// Watchdog evaluates SLO burn rates from the telemetry latency
+// histograms. Each Tick diffs the merged per-event histograms against
+// the previous tick, computes the fraction of window activations over
+// each objective's latency bound, and divides by the objective's error
+// budget (1 - Target): a burn rate of 1.0 means the budget is being
+// consumed exactly as fast as the SLO permits. Burn at or above
+// BurnThreshold over a window of at least MinSamples samples fires a
+// breach to the OnBreach callback (the event runtime turns it into a
+// synthetic slo.breach activation).
+type Watchdog struct {
+	t        *Telemetry
+	cfg      SLOConfig
+	onBreach func(SLOBreach)
+
+	mu       sync.Mutex
+	prev     []HistSnapshot // per objective, last tick's merged snapshot
+	status   []SLOStatus
+	breaches []SLOBreach
+	total    atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewWatchdog builds a watchdog over t. onBreach (may be nil) is called
+// synchronously from Tick, outside the watchdog's lock, once per
+// breached objective per tick.
+func NewWatchdog(t *Telemetry, cfg SLOConfig, onBreach func(SLOBreach)) *Watchdog {
+	w := &Watchdog{t: t, cfg: cfg.withDefaults(), onBreach: onBreach}
+	w.prev = make([]HistSnapshot, len(w.cfg.Objectives))
+	w.status = make([]SLOStatus, len(w.cfg.Objectives))
+	for i := range w.status {
+		w.status[i].Objective = w.cfg.Objectives[i]
+	}
+	return w
+}
+
+// errorsOver counts the snapshot observations guaranteed to be at or
+// over the latency bound: the sum of the buckets whose lower bound
+// reaches it. The bucket straddling the bound is not counted (its
+// values may fall on either side), so the estimate is conservative by
+// at most one bucket width.
+func errorsOver(s HistSnapshot, boundNs int64) int64 {
+	if boundNs <= 0 {
+		return s.Count
+	}
+	var n int64
+	for i := 1; i < NumBuckets; i++ {
+		if BucketBound(i-1) >= boundNs {
+			n += s.Buckets[i]
+		}
+	}
+	return n
+}
+
+// Tick evaluates every objective against the histogram growth since the
+// previous tick and returns the breaches fired (nil when none).
+func (w *Watchdog) Tick() []SLOBreach {
+	rows := MergeEvents(w.t.Events())
+	byEvent := make(map[int32]HistSnapshot, len(rows))
+	var all HistSnapshot
+	for _, r := range rows {
+		byEvent[r.Event] = r.Latency
+		all.Merge(r.Latency)
+	}
+
+	w.mu.Lock()
+	var fired []SLOBreach
+	for i := range w.cfg.Objectives {
+		o := &w.cfg.Objectives[i]
+		cur := all
+		if o.Event >= 0 {
+			cur = byEvent[o.Event]
+		}
+		prev := w.prev[i]
+		w.prev[i] = cur
+		window := cur.Count - prev.Count
+		errs := errorsOver(cur, o.LatencyNs) - errorsOver(prev, o.LatencyNs)
+		st := &w.status[i]
+		st.Window, st.Errors = window, errs
+		st.Burn, st.ErrorRate, st.Breached = 0, 0, false
+		if window < w.cfg.MinSamples {
+			continue
+		}
+		budget := 1 - o.Target
+		if budget <= 0 {
+			budget = 1e-9 // Target >= 1: any error is an immediate burn
+		}
+		st.ErrorRate = float64(errs) / float64(window)
+		st.Burn = st.ErrorRate / budget
+		if st.Burn >= w.cfg.BurnThreshold {
+			st.Breached = true
+			b := SLOBreach{
+				Objective: o.Name, Event: o.Event,
+				Burn: st.Burn, ErrorRate: st.ErrorRate,
+				Window: window, Errors: errs,
+			}
+			w.breaches = append(w.breaches, b)
+			if len(w.breaches) > w.cfg.MaxBreaches {
+				w.breaches = w.breaches[len(w.breaches)-w.cfg.MaxBreaches:]
+			}
+			w.total.Add(1)
+			fired = append(fired, b)
+		}
+	}
+	w.mu.Unlock()
+
+	if w.onBreach != nil {
+		for _, b := range fired {
+			w.onBreach(b)
+		}
+	}
+	return fired
+}
+
+// Start launches a background goroutine ticking every interval until
+// Stop. A second Start without a Stop is a no-op.
+func (w *Watchdog) Start(interval time.Duration) {
+	w.mu.Lock()
+	if w.stop != nil {
+		w.mu.Unlock()
+		return
+	}
+	stop, done := make(chan struct{}), make(chan struct{})
+	w.stop, w.done = stop, done
+	w.mu.Unlock()
+	go func() {
+		defer close(done)
+		tk := time.NewTicker(interval)
+		defer tk.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tk.C:
+				w.Tick()
+			}
+		}
+	}()
+}
+
+// Stop halts the background ticker and waits for it to exit. A Stop
+// without a Start is a no-op.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	stop, done := w.stop, w.done
+	w.stop, w.done = nil, nil
+	w.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Status returns the latest evaluation of every objective.
+func (w *Watchdog) Status() []SLOStatus {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SLOStatus, len(w.status))
+	copy(out, w.status)
+	return out
+}
+
+// Breaches returns the retained breach history, oldest first.
+func (w *Watchdog) Breaches() []SLOBreach {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]SLOBreach, len(w.breaches))
+	copy(out, w.breaches)
+	return out
+}
+
+// TotalBreaches reports how many breaches have fired since creation
+// (including any evicted from the retained history).
+func (w *Watchdog) TotalBreaches() int64 { return w.total.Load() }

@@ -53,10 +53,13 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// eventHists is the histogram pair of one (event, domain) cell.
+// eventHists is the histogram pair of one (event, domain) cell, plus
+// the cell's fault counter (every faulted activation counts, not just
+// sampled ones — faults always reach RecordActivation).
 type eventHists struct {
-	lat  Histogram // activation latency (dispatch entry to completion)
-	qdel Histogram // queue delay (enqueue/due time to pop)
+	lat    Histogram // activation latency (dispatch entry to completion)
+	qdel   Histogram // queue delay (enqueue/due time to pop)
+	faults atomic.Int64
 }
 
 // domainTel is the per-domain half of the telemetry state. The mutable
@@ -226,6 +229,7 @@ type EventSnapshot struct {
 	Domain     int          `json:"domain"` // -1 when merged across domains
 	Latency    HistSnapshot `json:"latency"`
 	QueueDelay HistSnapshot `json:"queue_delay"`
+	Faults     int64        `json:"faults"`
 }
 
 // Events returns a snapshot row for every (event, domain) cell that has
@@ -241,13 +245,13 @@ func (t *Telemetry) Events() []EventSnapshot {
 			if h == nil {
 				continue
 			}
-			lat, qd := h.lat.Snapshot(), h.qdel.Snapshot()
-			if lat.Count == 0 && qd.Count == 0 {
+			lat, qd, flt := h.lat.Snapshot(), h.qdel.Snapshot(), h.faults.Load()
+			if lat.Count == 0 && qd.Count == 0 && flt == 0 {
 				continue
 			}
 			out = append(out, EventSnapshot{
 				Event: int32(ev), Name: t.EventName(int32(ev)), Domain: di,
-				Latency: lat, QueueDelay: qd,
+				Latency: lat, QueueDelay: qd, Faults: flt,
 			})
 		}
 	}
@@ -275,6 +279,7 @@ func MergeEvents(rows []EventSnapshot) []EventSnapshot {
 		}
 		m.Latency.Merge(r.Latency)
 		m.QueueDelay.Merge(r.QueueDelay)
+		m.Faults += r.Faults
 	}
 	out := make([]EventSnapshot, 0, len(byEvent))
 	for _, m := range byEvent {
