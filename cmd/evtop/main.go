@@ -8,7 +8,10 @@
 //
 // Flags select the poll interval, the sort column (count, mean, p99,
 // max or faults) and single-shot mode for scripting (-once prints one
-// table without clearing the screen). When the server runs the adaptive
+// table without clearing the screen). A dispatch pane below the table
+// shows how activations split between the fast and generic routes and
+// how speculative coalescing and cross-domain handoff fared
+// (-no-dispatch hides it). When the server runs the adaptive
 // optimizer, an optimizer pane below the table shows the installed
 // super-handlers and the controller's promote/demote/deopt counters
 // (-no-optimizer hides it); when it traces spans, a span pane shows the
@@ -32,6 +35,7 @@ func main() {
 		sortKey  = flag.String("sort", liveview.SortCount, "sort column: count, mean, p99, max or faults")
 		merged   = flag.Bool("merged", false, "merge per-domain cells into one row per event")
 		noOpt    = flag.Bool("no-optimizer", false, "hide the adaptive-optimizer pane")
+		noDisp   = flag.Bool("no-dispatch", false, "hide the dispatch-route pane (fast/generic/coalesce/handoff)")
 		noSpans  = flag.Bool("no-spans", false, "hide the span-trace pane")
 		traces   = flag.Int("traces", 4, "retained traces shown in the span pane")
 	)
@@ -58,6 +62,13 @@ func main() {
 		if err := liveview.Render(os.Stdout, doc, *sortKey, *merged); err != nil {
 			fmt.Fprintln(os.Stderr, "evtop:", err)
 			os.Exit(1)
+		}
+		if !*noDisp {
+			// Route counters come from /metrics, which every server has.
+			if m, err := liveview.FetchMetrics(*url); err == nil {
+				fmt.Println()
+				_ = liveview.RenderDispatch(os.Stdout, m)
+			}
 		}
 		if !*noOpt {
 			// Older servers lack /optimizer; skip the pane quietly then.

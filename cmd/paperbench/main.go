@@ -34,12 +34,27 @@ func main() {
 		codegenJSON  = flag.String("codegen-json", "", "write the codegen tier report to this file (implies -codegen)")
 		spans        = flag.Bool("spans", false, "include the span tracing overhead gate")
 		spansJSON    = flag.String("spans-json", "", "write the span overhead report to this file (implies -spans)")
+		xdomain      = flag.Bool("xdomain", false, "include the cross-domain handoff and K-tuning gate")
+		xdomainJSON  = flag.String("xdomain-json", "", "write the cross-domain report to this file (implies -xdomain)")
+		compare      = flag.Bool("compare", false, "compare two bench report JSON files (old.json new.json) and exit")
 	)
 	flag.Parse()
 
-	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000, 20000, 200000
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "paperbench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := bench.CompareReports(os.Stdout, flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops, xdevents := 400, 2000, 1000, 1000, 400, 400000, 20000, 200000, 20000, 120000, 20000, 200000, 100000
 	if *quick {
-		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000, 5000, 50000
+		frames, iters, msgs, xiters, ohFrames, praises, aops, tops, adops, bevents, cgiters, spops, xdevents = 120, 400, 200, 250, 150, 60000, 5000, 50000, 5000, 40000, 5000, 50000, 30000
 	}
 
 	step := func(name string, f func() error) {
@@ -154,6 +169,22 @@ func main() {
 			rep, gateErr := bench.RunSpans(os.Stdout, spops)
 			if *spansJSON != "" && rep != nil {
 				f, err := os.Create(*spansJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				if err := rep.WriteJSON(f); err != nil {
+					return err
+				}
+			}
+			return gateErr
+		})
+	}
+	if *xdomain || *xdomainJSON != "" {
+		step("xdomain", func() error {
+			rep, gateErr := bench.RunXDomain(os.Stdout, xdevents)
+			if *xdomainJSON != "" && rep != nil {
+				f, err := os.Create(*xdomainJSON)
 				if err != nil {
 					return err
 				}

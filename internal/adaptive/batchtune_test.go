@@ -1,0 +1,140 @@
+package adaptive
+
+import (
+	"testing"
+	"time"
+
+	"eventopt/internal/event"
+)
+
+// backlogTick enqueues n async raises of ev, ages them by delay on the
+// virtual clock (so every pop records that queue delay), drains, and
+// runs one controller tick against the fresh histogram deltas.
+func backlogTick(s *event.System, c *Controller, vc *event.VirtualClock, ev event.ID, n int, delay time.Duration) {
+	for i := 0; i < n; i++ {
+		s.RaiseAsync(ev)
+	}
+	vc.Advance(delay)
+	s.Drain()
+	c.Tick()
+}
+
+// TestBatchKTuningRaisesUnderBacklog: sustained queue delay above the
+// high threshold doubles the domain's batch size tick over tick, up to
+// the cap; collapsing delay shrinks it back to unbatched.
+func TestBatchKTuningRaisesUnderBacklog(t *testing.T) {
+	vc := event.NewVirtualClock()
+	s, a, _ := chainSys(t, event.WithClock(vc))
+	c, err := New(s, nil, Policy{CooldownTicks: 1, BatchCooldownTicks: 1, BatchMaxK: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if got := s.BatchK(0); got != 0 {
+		t.Fatalf("initial BatchK = %d, want 0 (unbatched)", got)
+	}
+	// Backlog phase: 1ms of queue delay per pop, far above the 20µs
+	// threshold. K should double each tick: 0 -> 2 -> 4 -> 8 (cap).
+	want := []int{2, 4, 8, 8}
+	for i, w := range want {
+		backlogTick(s, c, vc, a, 50, time.Millisecond)
+		if got := s.BatchK(0); got != w {
+			t.Fatalf("after backlog tick %d: BatchK = %d, want %d", i+1, got, w)
+		}
+	}
+	// Light phase: pops with zero queue delay decay the smoothed mean
+	// below the low threshold; K halves back down to unbatched.
+	for i := 0; i < 30 && s.BatchK(0) != 0; i++ {
+		backlogTick(s, c, vc, a, 50, 0)
+	}
+	if got := s.BatchK(0); got != 0 {
+		t.Fatalf("light phase did not shed the batch size: BatchK = %d", got)
+	}
+	snap := c.Snapshot()
+	if snap.BatchRaises < 3 || snap.BatchShrinks < 3 {
+		t.Fatalf("decision counters not published: raises=%d shrinks=%d", snap.BatchRaises, snap.BatchShrinks)
+	}
+	if len(snap.BatchK) != 1 || snap.BatchK[0] != 0 {
+		t.Fatalf("snapshot BatchK = %v, want [0]", snap.BatchK)
+	}
+}
+
+// TestBatchKTuningRespectsPin: an explicit WithBatchDrain is a manual
+// pin the controller must not override, and the System refuses direct
+// retunes too.
+func TestBatchKTuningRespectsPin(t *testing.T) {
+	vc := event.NewVirtualClock()
+	s, a, _ := chainSys(t, event.WithClock(vc), event.WithBatchDrain(4))
+	c, err := New(s, nil, Policy{CooldownTicks: 1, BatchCooldownTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if !s.BatchPinned(0) {
+		t.Fatal("WithBatchDrain did not pin the domain")
+	}
+	for i := 0; i < 4; i++ {
+		backlogTick(s, c, vc, a, 50, time.Millisecond)
+	}
+	if got := s.BatchK(0); got != 4 {
+		t.Fatalf("controller overrode a pinned batch size: BatchK = %d, want 4", got)
+	}
+	if s.TuneBatchDrain(0, 16) {
+		t.Fatal("TuneBatchDrain applied to a pinned domain")
+	}
+}
+
+// TestBatchKTuningHysteresisAndCooldown: a delay inside the hysteresis
+// band changes nothing, and a fresh retune freezes the domain for
+// BatchCooldownTicks.
+func TestBatchKTuningHysteresisAndCooldown(t *testing.T) {
+	vc := event.NewVirtualClock()
+	s, a, _ := chainSys(t, event.WithClock(vc))
+	c, err := New(s, nil, Policy{CooldownTicks: 1, BatchCooldownTicks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Hysteresis: ~10µs sits between the 2µs and 20µs thresholds, so
+	// the smoothed delay settles inside the band and the size holds at
+	// unbatched — neither raise nor shrink fires.
+	for i := 0; i < 6; i++ {
+		backlogTick(s, c, vc, a, 50, 10*time.Microsecond)
+	}
+	if got := s.BatchK(0); got != 0 {
+		t.Fatalf("hysteresis band moved the batch size: BatchK = %d, want 0", got)
+	}
+	// Backlog: the first raise lands, then the cooldown freezes the
+	// domain even though the smoothed delay is still above threshold.
+	backlogTick(s, c, vc, a, 50, time.Millisecond)
+	if got := s.BatchK(0); got != 2 {
+		t.Fatalf("BatchK = %d, want 2", got)
+	}
+	backlogTick(s, c, vc, a, 50, time.Millisecond)
+	if got := s.BatchK(0); got != 2 {
+		t.Fatalf("cooldown ignored: BatchK = %d, want 2", got)
+	}
+}
+
+// TestBatchKTuningDisabled: the law can be turned off outright.
+func TestBatchKTuningDisabled(t *testing.T) {
+	vc := event.NewVirtualClock()
+	s, a, _ := chainSys(t, event.WithClock(vc))
+	c, err := New(s, nil, Policy{DisableBatchTuning: true, CooldownTicks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		backlogTick(s, c, vc, a, 50, time.Millisecond)
+	}
+	if got := s.BatchK(0); got != 0 {
+		t.Fatalf("disabled tuner still retuned: BatchK = %d", got)
+	}
+	if snap := c.Snapshot(); snap.BatchK != nil {
+		t.Fatalf("disabled tuner published BatchK = %v", snap.BatchK)
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// CompareReports reads two bench report JSON files (any of the
+// BENCH_*.json shapes — the comparison is schema-agnostic) and prints a
+// benchstat-style per-gate delta table: every numeric field present in
+// either report, with old value, new value and relative change. Boolean
+// gates (pass flags) print as transitions. Returns an error only when a
+// file cannot be read or parsed; a regressed gate is the reader's call,
+// not this function's.
+func CompareReports(w io.Writer, oldPath, newPath string) error {
+	oldVals, err := loadReportValues(oldPath)
+	if err != nil {
+		return err
+	}
+	newVals, err := loadReportValues(newPath)
+	if err != nil {
+		return err
+	}
+
+	keys := make(map[string]bool, len(oldVals)+len(newVals))
+	for k := range oldVals {
+		keys[k] = true
+	}
+	for k := range newVals {
+		keys[k] = true
+	}
+	names := make([]string, 0, len(keys))
+	for k := range keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-44s %16s %16s %10s\n", "gate", "old", "new", "delta")
+	for _, name := range names {
+		ov, haveOld := oldVals[name]
+		nv, haveNew := newVals[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-44s %16s %16s %10s\n", name, "-", formatVal(nv), "added")
+		case !haveNew:
+			fmt.Fprintf(w, "%-44s %16s %16s %10s\n", name, formatVal(ov), "-", "removed")
+		default:
+			fmt.Fprintf(w, "%-44s %16s %16s %10s\n",
+				name, formatVal(ov), formatVal(nv), formatDelta(ov, nv))
+		}
+	}
+	return nil
+}
+
+// loadReportValues flattens a report file into dotted-path numeric and
+// boolean leaves ("rows.2.speedup", "pass"). Strings are skipped: they
+// are labels, not gates.
+func loadReportValues(path string) (map[string]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: compare: %w", err)
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("bench: compare: %s: %w", path, err)
+	}
+	vals := make(map[string]float64)
+	flattenReport("", doc, vals)
+	return vals, nil
+}
+
+func flattenReport(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			flattenReport(joinPath(prefix, k), sub, out)
+		}
+	case []any:
+		for i, sub := range t {
+			flattenReport(joinPath(prefix, strconv.Itoa(i)), sub, out)
+		}
+	case float64:
+		out[prefix] = t
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+func formatVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// formatDelta renders the relative change new-vs-old the way benchstat
+// does: a signed percentage, with ~ for no change and new/old shown
+// outright when the base is zero.
+func formatDelta(oldV, newV float64) string {
+	if oldV == newV {
+		return "~"
+	}
+	if oldV == 0 {
+		return fmt.Sprintf("=%s", formatVal(newV))
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"eventopt/internal/event"
+	"eventopt/internal/profile"
+)
+
+// TestAsyncChainSpansDomains pins the planner's domain-obliviousness:
+// an async chain whose events ping-pong between domains must plan as
+// ONE super-handler with async-entry marks at every hop, not split at
+// the domain edges. The runtime decides per dispatch whether a hop is
+// coalesced, handed off cross-domain, or enqueued for real; the plan's
+// job is only to make the whole pipeline coverable.
+func TestAsyncChainSpansDomains(t *testing.T) {
+	sys := event.New(event.WithDomains(2))
+	a := sys.Define("A") // domain 0
+	b := sys.Define("B") // domain 1
+	c := sys.Define("C") // domain 0
+	d := sys.Define("D") // domain 1
+	chain := []event.ID{a, b, c, d}
+	for i, ev := range chain {
+		if got := sys.EventDomain(ev); got != i%2 {
+			t.Fatalf("fixture broken: event %d on domain %d, want %d", ev, got, i%2)
+		}
+		sys.Bind(ev, "h", func(*event.Ctx) {})
+	}
+
+	g := profile.NewEventGraph()
+	g.SetName(a, "A")
+	g.SetName(b, "B")
+	g.SetName(c, "C")
+	g.SetName(d, "D")
+	g.AddEdge(a, b, 100, 0) // purely async hops
+	g.AddEdge(b, c, 100, 0)
+	g.AddEdge(c, d, 100, 0)
+
+	opts := Options{
+		Subsume: true, GraphChains: true, AsyncChains: true,
+		MaxChainLen: 8, Threshold: 1,
+	}
+	plan, _, err := Apply(sys, profile.GraphProfile(g), nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry *PlanEntry
+	for i := range plan.Entries {
+		if plan.Entries[i].Event == a {
+			entry = &plan.Entries[i]
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no plan entry for chain head:\n%s", plan.Describe(sys))
+	}
+	if len(entry.Chain) != len(chain) {
+		t.Fatalf("chain split at a domain edge: covers %d events, want %d\n%s",
+			len(entry.Chain), len(chain), plan.Describe(sys))
+	}
+	for i, ev := range chain {
+		if entry.Chain[i] != ev {
+			t.Fatalf("chain[%d] = %d, want %d", i, entry.Chain[i], ev)
+		}
+		if want := i > 0; entry.asyncAt(i) != want {
+			t.Fatalf("asyncAt(%d) = %v, want %v", i, entry.asyncAt(i), want)
+		}
+	}
+
+	// The installed super-handler mirrors the plan: one segment per
+	// event, async-entry at every cross-domain hop.
+	sh := sys.FastPath(a)
+	if sh == nil {
+		t.Fatal("no super-handler installed on the chain head")
+	}
+	if len(sh.Segments) != len(chain) {
+		t.Fatalf("installed %d segments, want %d", len(sh.Segments), len(chain))
+	}
+	for i, seg := range sh.Segments {
+		if seg.Event != chain[i] {
+			t.Fatalf("segment %d covers event %d, want %d", i, seg.Event, chain[i])
+		}
+		if want := i > 0; seg.AsyncEntry != want {
+			t.Fatalf("segment %d AsyncEntry = %v, want %v", i, seg.AsyncEntry, want)
+		}
+	}
+}

@@ -21,12 +21,24 @@ import (
 //
 //   - the raised event has a covered, non-entry segment marked
 //     AsyncEntry by the planner;
-//   - the segment's event is owned by the raising domain (a cross-domain
-//     pin must hand off through the owner's queue);
 //   - the segment guard (binding version) currently matches;
-//   - the domain's run queue is empty, no batched-drain remainder is in
-//     flight, and no timer is due — otherwise the continuation would
-//     overtake work that the generic schedule runs first.
+//   - the owning domain's run queue is empty, no batched-drain
+//     remainder is in flight, no timer is due, and no cross-domain
+//     handoff is pending — otherwise the continuation would overtake
+//     work that the generic schedule runs first.
+//
+// When the segment's event is owned by the raising domain the capture
+// lands in the domain's cont list as before. When it is owned by a
+// *different* domain — an async pipeline whose stages are pinned to
+// different shards — the continuation is published into the target
+// domain's single handoff slot instead (one CAS while holding the
+// target's queue lock), so each pipeline link skips the ring
+// enqueue/wake/pop handoff while still executing in the domain that
+// owns the event; handler atomicity and domain affinity are unchanged.
+// The cross-domain guard additionally requires the target's cont list
+// and handoff slot to be empty: the slot stands for the head of the
+// target's (empty) queue, and a pending same-domain continuation is
+// already ahead of anything a remote raise could add.
 //
 // Any guard failure falls back to a real enqueue, so the observable
 // order equals the generic one: a captured continuation is exactly what
@@ -48,15 +60,15 @@ func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
 	}
 	d := ce.d
 	s := d.sys
-	if int(sh.recs[idx].dom.Load()) != d.idx {
-		// Cross-domain pin: the owning domain alone consumes its queue.
-		d.stats.CoalesceFallbacks.Add(1)
-		return false
-	}
 	if !sh.segMatches(idx) {
 		// Already-stale segment guard: not worth capturing.
 		d.stats.CoalesceFallbacks.Add(1)
 		return false
+	}
+	if t := s.domains[sh.recs[idx].dom.Load()]; t != d {
+		// The segment's event is pinned to another domain: hand the
+		// continuation off into that domain's slot (or its queue).
+		return ce.handoffCross(t, sh, idx, ev, args)
 	}
 	a := s.getAct()
 	a.ev, a.mode = ev, Async
@@ -67,7 +79,7 @@ func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
 		a.trace, a.pspan, a.skind = d.curTrace, d.curSpan, uint8(span.KindCoalesced)
 	}
 	d.qmu.Lock()
-	if d.q.len() > 0 || d.batchRem.Load() > 0 || d.dueTimerLocked(s.clock.Now()) {
+	if d.q.len() > 0 || d.batchRem.Load() > 0 || d.handoff.Load() != nil || d.dueTimerLocked(s.clock.Now()) {
 		// Pending work would be overtaken (or a bounded queue is under
 		// pressure): fall back to a real enqueue behind it. batchRem covers
 		// activations a batched drain has popped but not yet run — they are
@@ -95,6 +107,65 @@ func (ce *chainExec) dispatchNestedAsync(c *Ctx, ev ID, args []Arg) bool {
 	return true
 }
 
+// handoffCross captures an asynchronous raise of a covered async-entry
+// segment owned by another domain t into t's handoff slot, so a
+// cross-domain pipeline link merges into a continuation instead of
+// paying the ring enqueue/wake/pop. The guard runs under t's queue
+// lock: t must have nothing runnable or in flight (empty queue, no
+// batch remainder, no pending continuation or handoff, no due timer),
+// because the slot stands for the head of t's empty queue. A guard
+// failure enqueues the activation on t for real — the raise is consumed
+// either way, so the caller never falls through to the generic route.
+// The segment guard is re-checked when t runs the continuation.
+func (ce *chainExec) handoffCross(t *Domain, sh *SuperHandler, idx int, ev ID, args []Arg) bool {
+	d := ce.d
+	s := d.sys
+	a := s.getAct()
+	a.ev, a.mode = ev, Async
+	a.setArgs(args)
+	if s.spans != nil && d.curTrace != 0 {
+		a.trace, a.pspan, a.skind = d.curTrace, d.curSpan, uint8(span.KindHandoff)
+	}
+	t.qmu.Lock()
+	if t.q.len() > 0 || t.batchRem.Load() > 0 || len(t.cont) > t.contHead ||
+		t.handoff.Load() != nil || t.dueTimerLocked(s.clock.Now()) {
+		// The target has work ahead of this raise in the generic order
+		// (or another handoff already holds the slot): land behind it in
+		// the target's queue, like any remote producer.
+		t.qmu.Unlock()
+		d.stats.XDomainFallbacks.Add(1)
+		a.skind = uint8(span.KindAsync) // it travels the queue after all
+		if s.tel != nil {
+			a.enqAt, a.enqSet = s.clock.Now(), true
+		}
+		t.enqueueAct(a)
+		return true
+	}
+	a.csh, a.cidx = sh, idx
+	// Single-CAS publish under t's qmu: the lock makes the slot check and
+	// the publish one atomic decision against t's consumers and rival
+	// publishers, and the CAS keeps the slot a one-writer cell even if
+	// that invariant is ever violated.
+	if !t.handoff.CompareAndSwap(nil, a) {
+		t.qmu.Unlock()
+		d.stats.XDomainFallbacks.Add(1)
+		a.csh, a.cidx = nil, 0
+		a.skind = uint8(span.KindAsync)
+		if s.tel != nil {
+			a.enqAt, a.enqSet = s.clock.Now(), true
+		}
+		t.enqueueAct(a)
+		return true
+	}
+	t.qmu.Unlock()
+	d.stats.XDomainHandoffs.Add(1)
+	if h := s.sched; h != nil {
+		h.Sched(SchedHandoff, t.idx, ev, sh.Segments[idx].Version)
+	}
+	t.nudge()
+	return true
+}
+
 // runCont executes one pending coalesced continuation popped from the
 // scheduler. Under the Propagate policy it dispatches directly through
 // the captured segment; under supervision it takes the full top-level
@@ -107,13 +178,17 @@ func (d *Domain) runCont(a *activation) {
 		return
 	}
 	sh, idx := a.csh, a.cidx
+	kind := span.KindCoalesced
+	if a.skind == uint8(span.KindHandoff) {
+		kind = span.KindHandoff
+	}
 	func() {
 		// Deferred unlock for the same reason as runTop: a Propagate-policy
 		// panic unwinds through here.
 		d.runMu.Lock()
 		defer d.runMu.Unlock()
 		d.telAttempt = 0
-		s.dispatchSeg(d, sh, idx, a.ev, a.args(), a.trace, a.pspan)
+		s.dispatchSeg(d, sh, idx, a.ev, a.args(), a.trace, a.pspan, kind)
 	}()
 	s.putAct(a)
 }
@@ -123,8 +198,10 @@ func (d *Domain) runCont(a *activation) {
 // through its super-handler segment instead of the generic path. Caller
 // holds runMu and the policy is Propagate. The segment guard is
 // re-checked here; a mismatch falls back to the original code.
-// trace/pspan carry the raising span's context (zero when untraced).
-func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args []Arg, trace, pspan uint64) {
+// trace/pspan carry the raising span's context (zero when untraced) and
+// kind attributes the hop: KindCoalesced for a same-domain capture,
+// KindHandoff for a cross-domain one.
+func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args []Arg, trace, pspan uint64, kind span.Kind) {
 	tel := s.tel
 	var start Duration
 	sampled := false
@@ -172,7 +249,7 @@ func (s *System) dispatchSeg(d *Domain, sh *SuperHandler, idx int, ev ID, args [
 		d.curTrace, d.curSpan = 0, 0
 		d.spanTier, d.spanFlags = 0, 0
 		d.lastSpanTrace, d.lastSpanID = trace, spID
-		col.Record(d.idx, trace, spID, pspan, int32(ev), span.KindCoalesced, tier, flags, uint8(Async), int64(spStart), int64(spEnd))
+		col.Record(d.idx, trace, spID, pspan, int32(ev), kind, tier, flags, uint8(Async), int64(spStart), int64(spEnd))
 	}
 	if sampled {
 		end := s.clock.Now()

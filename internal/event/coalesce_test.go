@@ -130,7 +130,8 @@ func TestCoalesceFallbackDueTimer(t *testing.T) {
 }
 
 // TestCoalesceFallbackCrossDomain: an async-entry segment pinned to a
-// different domain must hand off through that domain's queue.
+// different, idle domain is captured into that domain's handoff slot —
+// not coalesced locally, not enqueued — and runs there on drain.
 func TestCoalesceFallbackCrossDomain(t *testing.T) {
 	s := New(WithDomains(2))
 	head, _, tailRuns := pipelineSH(t, s) // IDs alternate: head on domain 0, tail on domain 1
@@ -138,13 +139,64 @@ func TestCoalesceFallbackCrossDomain(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := s.StatsAggregate()
-	if st.Coalesced != 0 || st.CoalesceFallbacks != 1 {
-		t.Fatalf("cross-domain raise not demoted: Coalesced=%d Fallbacks=%d",
-			st.Coalesced, st.CoalesceFallbacks)
+	if st.Coalesced != 0 || st.CoalesceFallbacks != 0 || st.XDomainHandoffs != 1 || st.XDomainFallbacks != 0 {
+		t.Fatalf("cross-domain raise not handed off: Coalesced=%d CoalesceFallbacks=%d XDomainHandoffs=%d XDomainFallbacks=%d",
+			st.Coalesced, st.CoalesceFallbacks, st.XDomainHandoffs, st.XDomainFallbacks)
+	}
+	if s.QueueLen() != 0 {
+		t.Fatalf("handoff should bypass the queue, QueueLen=%d", s.QueueLen())
 	}
 	s.Drain()
 	if *tailRuns != 4 {
 		t.Fatalf("tail handler saw n=%d, want 4", *tailRuns)
+	}
+	if st := s.StatsAggregate(); st.FastRuns < 2 {
+		t.Fatalf("handed-off continuation should run through the segment, FastRuns=%d", st.FastRuns)
+	}
+}
+
+// TestHandoffFallbackBusyTarget: a cross-domain capture against a
+// target with queued work must fall back to a real enqueue behind it,
+// preserving the target's FIFO order.
+func TestHandoffFallbackBusyTarget(t *testing.T) {
+	s := New(WithDomains(2))
+	var order []string
+	head := s.Define("head")
+	tail := s.Define("tail")
+	other := s.Define("other")
+	if err := s.PinEvent(other, 1); err != nil { // alongside tail on domain 1
+		t.Fatal(err)
+	}
+	headFn := func(ctx *Ctx) { ctx.RaiseAsync(tail) }
+	tailFn := func(*Ctx) { order = append(order, "tail") }
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	s.Bind(other, "ho", func(*Ctx) { order = append(order, "other") })
+	sh := &SuperHandler{
+		Entry: head,
+		Segments: []Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+
+	s.RaiseAsync(other) // sits in domain 1's queue when head's raise happens
+	if err := s.Raise(head); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StatsAggregate()
+	if st.XDomainHandoffs != 0 || st.XDomainFallbacks != 1 {
+		t.Fatalf("busy target did not force enqueue fallback: XDomainHandoffs=%d XDomainFallbacks=%d",
+			st.XDomainHandoffs, st.XDomainFallbacks)
+	}
+	s.Drain()
+	if len(order) != 2 || order[0] != "other" || order[1] != "tail" {
+		t.Fatalf("handoff fallback broke FIFO order: %v", order)
 	}
 }
 

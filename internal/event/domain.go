@@ -44,7 +44,24 @@ type Domain struct {
 	cont     []*activation
 	contHead int
 
-	batchK   int           // drain batch size for run/DrainBatched (<=1: unbatched)
+	// handoff is the cross-domain continuation slot (coalesce.go): at
+	// most one continuation captured by a merged chain running in
+	// *another* domain, pending here on the owning domain. It is
+	// published with a single CAS while the publisher holds this
+	// domain's qmu and the capture guard (empty queue, no batch
+	// remainder, no pending continuation, no due timer, empty slot), so
+	// the slot stands for what would have been the queue head. Consumed
+	// before cont: a same-domain continuation captured while a handoff
+	// pends is, in the generic order, behind the handoff's enqueue.
+	handoff atomic.Pointer[activation]
+
+	// batchK is the drain batch size for run/DrainBatched (<=1:
+	// unbatched). Atomic so the adaptive controller can retune it while
+	// the run loop executes (TuneBatchDrain); the loop re-reads it once
+	// per wakeup. batchPin marks an explicit WithBatchDrain value the
+	// controller must leave alone.
+	batchK   atomic.Int32
+	batchPin bool
 	batchBuf []*activation // reusable batch scratch of the owning drain loop
 
 	// batchRem counts batch-popped activations not yet executed by the
@@ -77,11 +94,11 @@ type Domain struct {
 	// lastSpanTrace/lastSpanID survive past the dispatch so the retry
 	// machinery (which runs after runMu is released) can parent a replay
 	// on the attempt that faulted.
-	curTrace, curSpan           uint64
-	pendTrace, pendSpan         uint64
-	pendKind                    uint8
-	spanTier, spanFlags         uint8
-	lastSpanTrace, lastSpanID   uint64
+	curTrace, curSpan         uint64
+	pendTrace, pendSpan       uint64
+	pendKind                  uint8
+	spanTier, spanFlags       uint8
+	lastSpanTrace, lastSpanID uint64
 }
 
 // dispatchSlot is the dispatch scratch of one synchronous nesting depth
@@ -277,13 +294,14 @@ func (s *System) Run(stop <-chan struct{}) int {
 }
 
 // run is one domain's blocking event loop. With a batch size configured
-// (WithBatchDrain) it pulls up to K activations per queue-lock
-// acquisition and per wakeup instead of one.
+// (WithBatchDrain, or the adaptive controller's TuneBatchDrain) it
+// pulls up to K activations per queue-lock acquisition and per wakeup
+// instead of one. The batch size is re-read every loop iteration so a
+// retune takes effect at the next wakeup without restarting the loop.
 func (d *Domain) run(stop <-chan struct{}) int {
 	n := 0
-	batch := d.batchScratch()
 	for {
-		if batch == nil {
+		if batch := d.batchScratch(); batch == nil {
 			for d.step() {
 				n++
 			}
@@ -332,7 +350,7 @@ func (d *Domain) run(stop <-chan struct{}) int {
 // drain loop that owns the domain (run, or a DrainBatched pump) may use
 // it — the same exclusivity Drain and Run already require.
 func (d *Domain) batchScratch() []*activation {
-	k := d.batchK
+	k := int(d.batchK.Load())
 	if k <= 1 {
 		return nil
 	}
@@ -340,6 +358,45 @@ func (d *Domain) batchScratch() []*activation {
 		d.batchBuf = make([]*activation, k)
 	}
 	return d.batchBuf[:k]
+}
+
+// TuneBatchDrain sets the drain batch size of domain dom at run time;
+// the domain's Run loop picks the new size up at its next wakeup. It is
+// the adaptive controller's K-tuning seam. k <= 1 restores the
+// unbatched loop; a domain pinned by an explicit WithBatchDrain refuses
+// retuning. It reports whether the size was applied.
+func (s *System) TuneBatchDrain(dom, k int) bool {
+	if dom < 0 || dom >= len(s.domains) {
+		return false
+	}
+	d := s.domains[dom]
+	if d.batchPin {
+		return false
+	}
+	if k < 0 {
+		k = 0
+	}
+	d.batchK.Store(int32(k))
+	d.nudge()
+	return true
+}
+
+// BatchK reports the current drain batch size of domain dom (<=1 means
+// unbatched; 0 for an out-of-range index).
+func (s *System) BatchK(dom int) int {
+	if dom < 0 || dom >= len(s.domains) {
+		return 0
+	}
+	return int(s.domains[dom].batchK.Load())
+}
+
+// BatchPinned reports whether domain dom's batch size was pinned by an
+// explicit WithBatchDrain and is therefore exempt from adaptive tuning.
+func (s *System) BatchPinned(dom int) bool {
+	if dom < 0 || dom >= len(s.domains) {
+		return false
+	}
+	return s.domains[dom].batchPin
 }
 
 // runBatch executes a popped batch in order and returns how many
@@ -352,10 +409,11 @@ func (d *Domain) batchScratch() []*activation {
 // the cache, and the fast-path version check re-runs on every dispatch
 // regardless.
 //
-// Continuations need no per-item drain here: the coalesce guard rejects
-// captures while the batch remainder is in flight (batchRem), so one can
-// only appear during the final item — and the next popRunnableBatch
-// pops pending continuations before anything else.
+// Continuations need no per-item drain here: the coalesce and handoff
+// guards reject captures while the batch remainder is in flight
+// (batchRem), so one can only appear during the final item — and the
+// next popRunnableBatch pops the pending handoff and continuations
+// before anything else.
 func (d *Domain) runBatch(batch []*activation) int {
 	s := d.sys
 	n := 0

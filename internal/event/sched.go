@@ -300,10 +300,15 @@ func cloneArgs(args []Arg) []Arg {
 func (d *Domain) popRunnable() *activation {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
-	// Pending coalesced continuations run first: each stands for what
-	// would have been the queue head at capture time (the coalesce guard
-	// required an empty queue), so continuation-before-queue preserves the
-	// generic FIFO order.
+	// Pending continuations run first: each stands for what would have
+	// been the queue head at capture time (the capture guard required an
+	// empty queue), so continuation-before-queue preserves the generic
+	// FIFO order. A cross-domain handoff precedes same-domain
+	// continuations: its guard required the cont list empty, so any
+	// pending continuation was captured after it.
+	if a := d.takeHandoffLocked(); a != nil {
+		return a
+	}
 	if a := d.popContLocked(); a != nil {
 		return a
 	}
@@ -382,6 +387,20 @@ func (d *Domain) takeCont() *activation {
 	return a
 }
 
+// takeHandoffLocked removes and returns the pending cross-domain
+// continuation (nil when none), reporting the consume as a
+// SchedContinue like a same-domain continuation pop. Caller holds qmu.
+func (d *Domain) takeHandoffLocked() *activation {
+	a := d.handoff.Swap(nil)
+	if a == nil {
+		return nil
+	}
+	if h := d.sys.sched; h != nil {
+		h.Sched(SchedContinue, d.idx, a.ev, 0)
+	}
+	return a
+}
+
 // dueTimerLocked reports whether a live timer of this domain is at or
 // past its deadline at now. Caller holds qmu.
 func (d *Domain) dueTimerLocked(now Duration) bool {
@@ -406,9 +425,9 @@ func (d *Domain) dueTimerLocked(now Duration) bool {
 }
 
 // popRunnableBatch fills dst with up to len(dst) runnable activations
-// under a single qmu acquisition — pending continuations first, then due
-// timers in deadline order, then queued activations FIFO — and reports
-// how many it moved. The queued portion reports one SchedBatchPop event
+// under a single qmu acquisition — a pending cross-domain handoff
+// first, then pending continuations, then due timers in deadline order,
+// then queued activations FIFO — and reports how many it moved. The queued portion reports one SchedBatchPop event
 // carrying the popped count instead of a SchedPop per activation.
 func (d *Domain) popRunnableBatch(dst []*activation) int {
 	if len(dst) == 0 {
@@ -416,6 +435,10 @@ func (d *Domain) popRunnableBatch(dst []*activation) int {
 	}
 	d.qmu.Lock()
 	n := 0
+	if a := d.takeHandoffLocked(); a != nil {
+		dst[n] = a
+		n++
+	}
 	for n < len(dst) {
 		a := d.popContLocked()
 		if a == nil {

@@ -42,6 +42,12 @@ const (
 	// under one queue-lock acquisition; ev is the first popped event. It
 	// replaces the per-activation SchedPop on the batched path.
 	SchedBatchPop
+	// SchedHandoff: an asynchronous raise of a covered async-entry
+	// segment owned by *another* domain was captured into that domain's
+	// handoff slot instead of enqueued (coalesce.go); dom is the
+	// receiving domain, ver is the segment guard version observed at
+	// capture. The consume reports as SchedContinue on the same domain.
+	SchedHandoff
 )
 
 // String returns the conventional name of the point.
@@ -67,6 +73,8 @@ func (p SchedPoint) String() string {
 		return "continue"
 	case SchedBatchPop:
 		return "batch-pop"
+	case SchedHandoff:
+		return "handoff"
 	default:
 		return "SchedPoint(?)"
 	}
@@ -125,6 +133,9 @@ func (s *System) NextDeadline() (Duration, bool) {
 func (d *Domain) runnable() bool {
 	d.qmu.Lock()
 	defer d.qmu.Unlock()
+	if d.handoff.Load() != nil {
+		return true
+	}
 	if len(d.cont) > d.contHead {
 		return true
 	}

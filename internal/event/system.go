@@ -46,9 +46,15 @@ type Counters struct {
 	Locks        atomic.Int64 // state-maintenance lock acquisitions
 	HandlersRun  atomic.Int64 // total handler bodies executed (both paths)
 
-	// Async chain-merging counters (coalesce.go).
+	// Async chain-merging counters (coalesce.go). The X-domain pair
+	// counts cross-domain captures: raises of covered segments owned by
+	// another domain, handed off into that domain's continuation slot
+	// (or enqueued there when its guard failed). Both are credited to
+	// the raising domain, like Coalesced/CoalesceFallbacks.
 	Coalesced         atomic.Int64 // async raises captured as pending continuations
 	CoalesceFallbacks atomic.Int64 // coalesce attempts that fell back to a real enqueue
+	XDomainHandoffs   atomic.Int64 // cross-domain raises captured into a handoff slot
+	XDomainFallbacks  atomic.Int64 // cross-domain captures that fell back to a real enqueue
 
 	// Supervision counters (fault.go). All zero under the default
 	// Propagate policy with an unbounded queue.
@@ -85,6 +91,8 @@ func (c *Counters) Reset() {
 	c.HandlersRun.Store(0)
 	c.Coalesced.Store(0)
 	c.CoalesceFallbacks.Store(0)
+	c.XDomainHandoffs.Store(0)
+	c.XDomainFallbacks.Store(0)
 	c.PanicsRecovered.Store(0)
 	c.Retries.Store(0)
 	c.Quarantines.Store(0)
@@ -105,6 +113,7 @@ type StatsSnapshot struct {
 	Indirect, Marshals, ArgResolves, Locks       int64
 	HandlersRun                                  int64
 	Coalesced, CoalesceFallbacks                 int64
+	XDomainHandoffs, XDomainFallbacks            int64
 	PanicsRecovered, Retries, Quarantines        int64
 	Reinstates, Deopts, DeadLetters, QueueDrops  int64
 }
@@ -112,28 +121,30 @@ type StatsSnapshot struct {
 // Snapshot loads every counter once and returns the copies.
 func (c *Counters) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Raises:          c.Raises.Load(),
-		SyncRaises:      c.SyncRaises.Load(),
-		AsyncRaises:     c.AsyncRaises.Load(),
-		TimedRaises:     c.TimedRaises.Load(),
-		Generic:         c.Generic.Load(),
-		FastRuns:        c.FastRuns.Load(),
-		Fallbacks:       c.Fallbacks.Load(),
-		SegFallbacks:    c.SegFallbacks.Load(),
-		Indirect:        c.Indirect.Load(),
-		Marshals:        c.Marshals.Load(),
-		ArgResolves:     c.ArgResolves.Load(),
+		Raises:            c.Raises.Load(),
+		SyncRaises:        c.SyncRaises.Load(),
+		AsyncRaises:       c.AsyncRaises.Load(),
+		TimedRaises:       c.TimedRaises.Load(),
+		Generic:           c.Generic.Load(),
+		FastRuns:          c.FastRuns.Load(),
+		Fallbacks:         c.Fallbacks.Load(),
+		SegFallbacks:      c.SegFallbacks.Load(),
+		Indirect:          c.Indirect.Load(),
+		Marshals:          c.Marshals.Load(),
+		ArgResolves:       c.ArgResolves.Load(),
 		Locks:             c.Locks.Load(),
 		HandlersRun:       c.HandlersRun.Load(),
 		Coalesced:         c.Coalesced.Load(),
 		CoalesceFallbacks: c.CoalesceFallbacks.Load(),
-		PanicsRecovered: c.PanicsRecovered.Load(),
-		Retries:         c.Retries.Load(),
-		Quarantines:     c.Quarantines.Load(),
-		Reinstates:      c.Reinstates.Load(),
-		Deopts:          c.Deopts.Load(),
-		DeadLetters:     c.DeadLetters.Load(),
-		QueueDrops:      c.QueueDrops.Load(),
+		XDomainHandoffs:   c.XDomainHandoffs.Load(),
+		XDomainFallbacks:  c.XDomainFallbacks.Load(),
+		PanicsRecovered:   c.PanicsRecovered.Load(),
+		Retries:           c.Retries.Load(),
+		Quarantines:       c.Quarantines.Load(),
+		Reinstates:        c.Reinstates.Load(),
+		Deopts:            c.Deopts.Load(),
+		DeadLetters:       c.DeadLetters.Load(),
+		QueueDrops:        c.QueueDrops.Load(),
 	}
 }
 
@@ -154,6 +165,8 @@ func (s *StatsSnapshot) add(o StatsSnapshot) {
 	s.HandlersRun += o.HandlersRun
 	s.Coalesced += o.Coalesced
 	s.CoalesceFallbacks += o.CoalesceFallbacks
+	s.XDomainHandoffs += o.XDomainHandoffs
+	s.XDomainFallbacks += o.XDomainFallbacks
 	s.PanicsRecovered += o.PanicsRecovered
 	s.Retries += o.Retries
 	s.Quarantines += o.Quarantines
@@ -185,6 +198,8 @@ func (s StatsSnapshot) Summary() string {
 	fmt.Fprintf(&b, "handlers run  %8d\n", s.HandlersRun)
 	fmt.Fprintf(&b, "coalesce      %8d merged async raises, %d enqueue fallbacks\n",
 		s.Coalesced, s.CoalesceFallbacks)
+	fmt.Fprintf(&b, "x-domain      %8d handoffs, %d enqueue fallbacks\n",
+		s.XDomainHandoffs, s.XDomainFallbacks)
 	fmt.Fprintf(&b, "faults        %8d recovered, %d retries, %d quarantines, %d reinstates\n",
 		s.PanicsRecovered, s.Retries, s.Quarantines, s.Reinstates)
 	fmt.Fprintf(&b, "degradation   %8d deopts, %d dead-letters, %d queue drops\n",
@@ -244,6 +259,7 @@ type System struct {
 	wantQcap     int            // queue bound remembered for domain creation
 	wantQpolicy  OverflowPolicy // overflow policy remembered for domain creation
 	wantBatchK   int            // WithBatchDrain value, consumed by New
+	wantBatchPin bool           // WithBatchDrain was explicit: exempt from K-tuning
 	wantTel      bool           // WithTelemetry requested, consumed by New
 	wantTelCfg   telemetry.Config
 	wantSpans    bool // WithSpanTracing requested, consumed by New
@@ -284,12 +300,23 @@ func WithDomains(n int) Option {
 // WithBatchDrain sets the drain batch size K: each domain's Run loop
 // (and DrainBatched) pulls up to K runnable activations per queue-lock
 // acquisition and per wakeup, with the registry resolution hoisted
-// across consecutive same-event activations of a batch. K <= 1 (the
-// default) keeps the historical one-activation-per-acquisition loop.
-// Step and Drain are unaffected: deterministic single-step sweeps stay
-// byte-identical to the unbatched runtime.
+// across consecutive same-event activations of a batch. K <= 1 keeps
+// the historical one-activation-per-acquisition loop (K <= 0 is
+// clamped to unbatched). Step and Drain are unaffected: deterministic
+// single-step sweeps stay byte-identical to the unbatched runtime.
+//
+// An explicit WithBatchDrain is a manual pin: the adaptive controller's
+// per-domain K-tuning (internal/adaptive) leaves pinned domains alone.
+// Omit the option to let the controller size K from the queue-delay
+// histograms.
 func WithBatchDrain(k int) Option {
-	return func(s *System) { s.wantBatchK = k }
+	return func(s *System) {
+		if k < 0 {
+			k = 0
+		}
+		s.wantBatchK = k
+		s.wantBatchPin = true
+	}
 }
 
 // New creates an empty event system.
@@ -308,7 +335,8 @@ func New(opts ...Option) *System {
 	s.domains = make([]*Domain, n)
 	for i := range s.domains {
 		s.domains[i] = newDomain(s, i)
-		s.domains[i].batchK = s.wantBatchK
+		s.domains[i].batchK.Store(int32(s.wantBatchK))
+		s.domains[i].batchPin = s.wantBatchPin
 	}
 	if s.wantQcap > 0 {
 		s.SetQueueBound(s.wantQcap, s.wantQpolicy)
@@ -381,6 +409,8 @@ func (s *System) Stats() *Counters {
 	agg.HandlersRun.Store(snap.HandlersRun)
 	agg.Coalesced.Store(snap.Coalesced)
 	agg.CoalesceFallbacks.Store(snap.CoalesceFallbacks)
+	agg.XDomainHandoffs.Store(snap.XDomainHandoffs)
+	agg.XDomainFallbacks.Store(snap.XDomainFallbacks)
 	agg.PanicsRecovered.Store(snap.PanicsRecovered)
 	agg.Retries.Store(snap.Retries)
 	agg.Quarantines.Store(snap.Quarantines)

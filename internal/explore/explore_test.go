@@ -90,6 +90,23 @@ func TestExploreAsyncPipeline(t *testing.T) {
 	}
 }
 
+// TestExploreXDomainPipeline model-checks cross-domain continuation
+// handoff: optimized ≡ generic on every schedule of a pipeline that
+// ping-pongs between domains, and the explored schedules must include
+// both handoff-capturing and enqueue-fallback interleavings (otherwise
+// the equivalence proof would be vacuous for one branch).
+func TestExploreXDomainPipeline(t *testing.T) {
+	sc, cov := XDomainPipelineScenario()
+	exploreScenario(t, sc, boundedOpts(1200), 1000)
+	t.Logf("xdomain-pipeline coverage: %d handoffs, %d fallbacks", cov.Handoffs, cov.Fallbacks)
+	if cov.Handoffs == 0 {
+		t.Error("no explored schedule captured a cross-domain handoff")
+	}
+	if cov.Fallbacks == 0 {
+		t.Error("no explored schedule forced a handoff fallback")
+	}
+}
+
 // TestExploreFindsSeededBug is the harness sensitivity check: a
 // deliberately stale super-handler body must produce failing schedules
 // (raise after install) AND passing ones (raises drained first), and a

@@ -395,10 +395,10 @@ type AsyncPipelineCoverage struct {
 // plan (AsyncChains) built from a manually-weighted event graph, so the
 // produce super-handler covers the whole pipeline: its interior raise
 // of process is speculatively coalesced when domain 0's queue permits,
-// while the cross-domain raise of deliver always falls back to a real
-// enqueue. A rival thread raises process directly, forcing
-// queue-not-empty fallbacks on schedules where it gets ahead of the
-// producer. Every schedule must observe the exact generic delivery
+// while the cross-domain raise of deliver is captured into domain 1's
+// handoff slot (or enqueued for real when domain 1 is busy). A rival
+// thread raises process directly, forcing queue-not-empty fallbacks on
+// schedules where it gets ahead of the producer. Every schedule must observe the exact generic delivery
 // order and stats.
 func AsyncPipelineScenario() (Scenario, *AsyncPipelineCoverage) {
 	cov := &AsyncPipelineCoverage{}
@@ -472,6 +472,102 @@ func AsyncPipelineScenario() (Scenario, *AsyncPipelineCoverage) {
 					st := s.StatsAggregate()
 					cov.Coalesced += st.Coalesced
 					cov.Fallbacks += st.CoalesceFallbacks
+				}
+				return struct{ Delivered []int }{append([]int(nil), delivered...)}
+			},
+		}
+		return inst, nil
+	}
+	return sc, cov
+}
+
+// XDomainPipelineCoverage accumulates, across every explored schedule,
+// how often the optimized variant's cross-domain handoff took each
+// branch. Like AsyncPipelineCoverage these are route counters the
+// equivalence check deliberately ignores; the test asserts both
+// branches were exercised so the proof is not vacuous.
+type XDomainPipelineCoverage struct {
+	Handoffs  int64 // continuations captured into a target domain's slot
+	Fallbacks int64 // cross-domain raises demoted to a real enqueue
+}
+
+// XDomainPipelineScenario explores cross-domain continuation handoff on
+// a pipeline that ping-pongs between domains: produce (domain 0) ~>
+// relay (domain 1) ~> deliver (domain 0), chained through asynchronous
+// raises. The optimized variant installs an async-aware plan over the
+// whole pipeline, so both interior raises cross a domain edge: each is
+// captured into the target domain's handoff slot when that domain is
+// verifiably idle, and demoted to a real enqueue otherwise. A rival
+// thread raises relay directly, landing activations in domain 1's queue
+// so schedules exist where the handoff guard must refuse. Every
+// schedule must observe the exact generic delivery order and stats.
+func XDomainPipelineScenario() (Scenario, *XDomainPipelineCoverage) {
+	cov := &XDomainPipelineCoverage{}
+	g := profile.NewEventGraph()
+	sc := Scenario{
+		Name: "xdomain-pipeline",
+		// Every step on either domain can hand a continuation to the
+		// other (produce's chain reaches into domain 1, relay's reaches
+		// back into domain 0), so all steps conflict.
+		StepFP: func(int) Footprint { return TouchAll },
+	}
+	sc.Build = func(optimized bool, hook event.SchedHook) (*Instance, error) {
+		vc := event.NewVirtualClock()
+		s := event.New(sysOpts(vc, 2, hook)...)
+		produce := s.Define("produce") // domain 0
+		relay := s.Define("relay")     // domain 1
+		deliver := s.Define("deliver") // domain 0
+
+		var delivered []int
+		s.Bind(produce, "producer", func(ctx *event.Ctx) {
+			ctx.RaiseAsync(relay, event.A("n", ctx.Args.Int("n")))
+		})
+		s.Bind(relay, "relayer", func(ctx *event.Ctx) {
+			ctx.RaiseAsync(deliver, event.A("n", ctx.Args.Int("n")+100))
+		})
+		s.Bind(deliver, "sink", func(ctx *event.Ctx) {
+			delivered = append(delivered, ctx.Args.Int("n"))
+		})
+
+		if optimized {
+			if g.NumEdges() == 0 {
+				g.SetName(produce, "produce")
+				g.SetName(relay, "relay")
+				g.SetName(deliver, "deliver")
+				g.AddEdge(produce, relay, 100, 0) // purely async
+				g.AddEdge(relay, deliver, 100, 0)
+			}
+			prof := profile.GraphProfile(g)
+			opts := core.Options{
+				Subsume: true, GraphChains: true, AsyncChains: true,
+				Partitioned: true, MaxChainLen: 8, Threshold: 1,
+			}
+			if _, _, err := core.Apply(s, prof, nil, opts); err != nil {
+				return nil, err
+			}
+		}
+		produceOp := func(n int) Op {
+			return Op{Name: fmt.Sprintf("produce-%d", n), FP: Dom(0), Run: func(*Instance) {
+				s.RaiseAsync(produce, event.A("n", n))
+			}}
+		}
+		rivalOp := func(n int) Op {
+			return Op{Name: fmt.Sprintf("rival-%d", n), FP: Dom(1), Run: func(*Instance) {
+				s.RaiseAsync(relay, event.A("n", n))
+			}}
+		}
+		inst := &Instance{
+			Sys:   s,
+			Clock: vc,
+			Threads: []Thread{
+				{Name: "producer", Ops: []Op{produceOp(1), produceOp(2), produceOp(3), produceOp(4)}},
+				{Name: "rival", Ops: []Op{rivalOp(7), rivalOp(8)}},
+			},
+			Observe: func() any {
+				if optimized {
+					st := s.StatsAggregate()
+					cov.Handoffs += st.XDomainHandoffs
+					cov.Fallbacks += st.XDomainFallbacks
 				}
 				return struct{ Delivered []int }{append([]int(nil), delivered...)}
 			},

@@ -239,9 +239,11 @@ type fakeTB struct {
 	clean  []func()
 }
 
-func (f *fakeTB) Failed() bool                      { return f.failed }
-func (f *fakeTB) Logf(format string, args ...any)   { f.logs = append(f.logs, fmt.Sprintf(format, args...)) }
-func (f *fakeTB) Cleanup(fn func())                 { f.clean = append(f.clean, fn) }
+func (f *fakeTB) Failed() bool { return f.failed }
+func (f *fakeTB) Logf(format string, args ...any) {
+	f.logs = append(f.logs, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Cleanup(fn func()) { f.clean = append(f.clean, fn) }
 func (f *fakeTB) runCleanups() {
 	for i := len(f.clean) - 1; i >= 0; i-- {
 		f.clean[i]()

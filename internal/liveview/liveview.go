@@ -145,6 +145,77 @@ func us(ns float64) string {
 	return fmt.Sprintf("%.2fus", ns/1e3)
 }
 
+// DispatchStats mirrors the dispatch-route counters of the /metrics
+// document's stats block (event.StatsSnapshot's JSON shape, kept
+// structural so the view layer does not depend on the runtime package).
+type DispatchStats struct {
+	Raises            int64 `json:"Raises"`
+	FastRuns          int64 `json:"FastRuns"`
+	Generic           int64 `json:"Generic"`
+	Fallbacks         int64 `json:"Fallbacks"`
+	SegFallbacks      int64 `json:"SegFallbacks"`
+	Coalesced         int64 `json:"Coalesced"`
+	CoalesceFallbacks int64 `json:"CoalesceFallbacks"`
+	XDomainHandoffs   int64 `json:"XDomainHandoffs"`
+	XDomainFallbacks  int64 `json:"XDomainFallbacks"`
+}
+
+// MetricsDoc mirrors the parts of httpdebug's /metrics response the
+// dispatch pane renders.
+type MetricsDoc struct {
+	Domains     int             `json:"domains"`
+	Stats       DispatchStats   `json:"stats"`
+	DomainStats []DispatchStats `json:"domain_stats"`
+}
+
+// FetchMetrics retrieves the /metrics document (aggregate and
+// per-domain dispatch counters).
+func FetchMetrics(base string) (*MetricsDoc, error) {
+	url := base
+	if !strings.HasSuffix(url, "/metrics") {
+		url = strings.TrimRight(url, "/") + "/metrics"
+	}
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var doc MetricsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: decoding: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// RenderDispatch writes the dispatch-route pane: how activations split
+// between the fast and generic paths, how speculative coalescing and
+// cross-domain handoff fared, with a per-domain breakdown when the
+// system runs more than one domain.
+func RenderDispatch(w io.Writer, doc *MetricsDoc) error {
+	s := doc.Stats
+	fmt.Fprintf(w, "dispatch: %d raises — %d fast, %d generic, %d guard fallbacks (%d stale segments)\n",
+		s.Raises, s.FastRuns, s.Generic, s.Fallbacks, s.SegFallbacks)
+	fmt.Fprintf(w, "  coalesce: %d captured, %d demoted to enqueue\n",
+		s.Coalesced, s.CoalesceFallbacks)
+	fmt.Fprintf(w, "  x-domain: %d handoffs, %d enqueue fallbacks\n",
+		s.XDomainHandoffs, s.XDomainFallbacks)
+	if len(doc.DomainStats) > 1 {
+		fmt.Fprintf(w, "  %-4s %10s %10s %10s %10s %10s %10s\n",
+			"DOM", "FAST", "GENERIC", "COALESCED", "CO.FALL", "HANDOFF", "HO.FALL")
+		for d, ds := range doc.DomainStats {
+			fmt.Fprintf(w, "  %-4d %10d %10d %10d %10d %10d %10d\n",
+				d, ds.FastRuns, ds.Generic, ds.Coalesced, ds.CoalesceFallbacks,
+				ds.XDomainHandoffs, ds.XDomainFallbacks)
+		}
+	}
+	return nil
+}
+
 // FastPathRow mirrors the fast_paths entries of the /optimizer document
 // (event.FastPathInfo's JSON shape, kept structural so the view layer
 // does not depend on the runtime package).

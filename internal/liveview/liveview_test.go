@@ -10,6 +10,64 @@ import (
 	"eventopt/internal/telemetry/httpdebug"
 )
 
+// TestDispatchPaneRoundTrip drives real traffic through a two-domain
+// system with a merged cross-domain pipeline, serves /metrics through
+// the real httpdebug handler and renders the dispatch pane from it: the
+// coalesce and handoff counters must survive the wire round trip.
+func TestDispatchPaneRoundTrip(t *testing.T) {
+	s := event.New(event.WithDomains(2), event.WithTelemetry(telemetry.Config{}))
+	head := s.Define("head") // domain 0
+	tail := s.Define("tail") // domain 1
+	headFn := func(ctx *event.Ctx) { ctx.RaiseAsync(tail) }
+	tailFn := func(*event.Ctx) {}
+	s.Bind(head, "hh", headFn)
+	s.Bind(tail, "ht", tailFn)
+	sh := &event.SuperHandler{
+		Entry: head,
+		Segments: []event.Segment{
+			{Event: head, EventName: "head", Version: s.Version(head),
+				Steps: []event.Step{{Event: head, EventName: "head", Handler: "hh", Fn: headFn}}},
+			{Event: tail, EventName: "tail", Version: s.Version(tail), AsyncEntry: true,
+				Steps: []event.Step{{Event: tail, EventName: "tail", Handler: "ht", Fn: tailFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Raise(head); err != nil {
+			t.Fatal(err)
+		}
+		s.Drain()
+	}
+	srv := httptest.NewServer(httpdebug.New(s, nil))
+	defer srv.Close()
+
+	doc, err := FetchMetrics(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Domains != 2 || len(doc.DomainStats) != 2 {
+		t.Fatalf("metrics doc = %+v", doc)
+	}
+	if doc.Stats.XDomainHandoffs != 3 || doc.Stats.FastRuns != 6 {
+		t.Fatalf("counters lost in transit: %+v", doc.Stats)
+	}
+
+	var b strings.Builder
+	if err := RenderDispatch(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"6 fast", "coalesce: 0 captured", "x-domain: 3 handoffs", "HANDOFF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("pane lacks %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestOptimizerPaneRoundTrip serves a published optimizer snapshot
 // through the real httpdebug handler and renders the evtop pane from it:
 // the wire format and the pane must stay in agreement.

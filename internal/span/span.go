@@ -45,12 +45,16 @@ const (
 	// KindDeadLetter is the dead-letter notification published after
 	// retries were exhausted.
 	KindDeadLetter
+	// KindHandoff is an async raise captured into another domain's
+	// cross-domain handoff slot: a continuation hop that crossed a
+	// domain boundary without a queue round-trip.
+	KindHandoff
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	"root", "sync", "async", "coalesced", "timer", "retry", "dead-letter",
+	"root", "sync", "async", "coalesced", "timer", "retry", "dead-letter", "handoff",
 }
 
 func (k Kind) String() string {

@@ -44,6 +44,12 @@ type OptimizerSnapshot struct {
 	LimitSkips    int64 `json:"limit_skips"` // promotions rejected by the plan cap
 	EmptyTicks    int64 `json:"empty_ticks"` // ticks with no sampled graph activity
 
+	// Drain-batch K-tuning decisions (the queue-delay control law) and
+	// the current per-domain batch sizes it produced (<=1: unbatched).
+	BatchRaises  int64 `json:"batch_raises"`
+	BatchShrinks int64 `json:"batch_shrinks"`
+	BatchK       []int `json:"batch_k,omitempty"`
+
 	// HotEvents names the entry events of the current tick's plan (the
 	// live hot set), hottest first.
 	HotEvents []string `json:"hot_events,omitempty"`

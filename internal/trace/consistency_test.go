@@ -257,6 +257,53 @@ func TestCheckSchedBatchedCoalescedLog(t *testing.T) {
 	}
 }
 
+// TestCheckSchedHandoffLog: a cross-domain pipeline whose interior
+// raise is captured into the target domain's handoff slot produces a
+// log that passes every rule, and the log actually contains the
+// handoff/continue pair on the receiving domain.
+func TestCheckSchedHandoffLog(t *testing.T) {
+	sr := NewSchedRecorder()
+	s := event.New(event.WithDomains(2), event.WithSchedHook(sr))
+	a := s.Define("A") // domain 0
+	b := s.Define("B") // domain 1 (hash affinity alternates IDs)
+	aFn := func(ctx *event.Ctx) { ctx.RaiseAsync(b) }
+	bFn := func(*event.Ctx) {}
+	s.Bind(a, "a1", aFn)
+	s.Bind(b, "b1", bFn)
+	sh := &event.SuperHandler{
+		Entry: a,
+		Segments: []event.Segment{
+			{Event: a, EventName: "A", Version: s.Version(a),
+				Steps: []event.Step{{Event: a, EventName: "A", Handler: "a1", Fn: aFn}}},
+			{Event: b, EventName: "B", Version: s.Version(b), AsyncEntry: true,
+				Steps: []event.Step{{Event: b, EventName: "B", Handler: "b1", Fn: bFn}}},
+		},
+	}
+	if err := s.InstallFastPath(sh); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Raise(a); err != nil {
+		t.Fatal(err)
+	}
+	s.Drain()
+	log := sr.Events()
+	if vs := CheckSched(log); len(vs) != 0 {
+		t.Fatalf("valid handoff log flagged: %v", vs)
+	}
+	var handoffs, continues int
+	for _, e := range log {
+		if e.Point == event.SchedHandoff && e.Dom == 1 {
+			handoffs++
+		}
+		if e.Point == event.SchedContinue && e.Dom == 1 {
+			continues++
+		}
+	}
+	if handoffs != 1 || continues != 1 {
+		t.Fatalf("handoff/continue pair missing on domain 1: handoffs=%d continues=%d log=%v", handoffs, continues, log)
+	}
+}
+
 func TestCheckSchedViolations(t *testing.T) {
 	cases := []struct {
 		name string
@@ -299,6 +346,15 @@ func TestCheckSchedViolations(t *testing.T) {
 			{Point: event.SchedBatchPop, Dom: 1, Event: 4, Ver: 0},
 		}, "batch-count"},
 		{"continue before coalesce", []SchedEvent{
+			{Point: event.SchedContinue, Dom: 0, Event: 4},
+		}, "continue-causality"},
+		{"continue overdraws handoffs", []SchedEvent{
+			{Point: event.SchedHandoff, Dom: 1, Event: 4, Ver: 1},
+			{Point: event.SchedContinue, Dom: 1, Event: 4},
+			{Point: event.SchedContinue, Dom: 1, Event: 4},
+		}, "continue-causality"},
+		{"handoff credits the receiving domain only", []SchedEvent{
+			{Point: event.SchedHandoff, Dom: 1, Event: 4, Ver: 1},
 			{Point: event.SchedContinue, Dom: 0, Event: 4},
 		}, "continue-causality"},
 	}
